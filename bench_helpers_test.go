@@ -1,0 +1,25 @@
+package torch2chip_test
+
+import (
+	"testing"
+
+	"torch2chip/internal/core"
+	"torch2chip/internal/data"
+	"torch2chip/internal/fuse"
+	"torch2chip/internal/nn"
+)
+
+// buildDeploy runs the prepare→calibrate→convert pipeline for benchmarks.
+func buildDeploy(tb testing.TB, model nn.Layer, calib *data.Dataset) *fuse.IntModel {
+	tb.Helper()
+	t2c := core.New(model, core.DefaultConfig())
+	t2c.Prepare()
+	if err := t2c.Calibrate(calib.Subset(4), 16); err != nil {
+		tb.Fatal(err)
+	}
+	im, err := t2c.Convert()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return im
+}

@@ -1,0 +1,75 @@
+// Command t2c-export converts a saved integer JSON checkpoint into the
+// RTL-facing formats (hex / bin / raw) without re-running compilation —
+// the standalone extraction tool of Figure 5.
+//
+//	t2c-export -in t2c-out/model_int.json -format hex -out mem/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"torch2chip/internal/export"
+)
+
+func main() {
+	in := flag.String("in", "model_int.json", "input integer checkpoint (JSON)")
+	format := flag.String("format", "hex", "output format: hex|bin|raw")
+	out := flag.String("out", "export-out", "output directory")
+	list := flag.Bool("list", false, "list checkpoint tensors and exit")
+	flag.Parse()
+
+	fp, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ck, err := export.ReadJSON(fp)
+	fp.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *list {
+		for _, n := range ck.Names() {
+			t := ck.Tensors[n]
+			fmt.Printf("%-40s shape=%v width=%d\n", n, t.Shape, t.Width)
+		}
+		return
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range ck.Names() {
+		t, err := ck.Tensor(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		width := ck.Tensors[name].Width
+		fn := filepath.Join(*out, strings.ReplaceAll(name, "/", "_")+"."+*format)
+		f, err := os.Create(fn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch *format {
+		case "hex":
+			err = export.WriteHex(f, t, width)
+		case "bin":
+			err = export.WriteBin(f, t, width)
+		case "raw":
+			err = export.WriteRaw(f, t, width)
+		default:
+			log.Fatalf("unknown format %q", *format)
+		}
+		cerr := f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if cerr != nil {
+			log.Fatal(cerr)
+		}
+	}
+	fmt.Printf("wrote %d tensors to %s\n", len(ck.Names()), *out)
+}

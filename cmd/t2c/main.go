@@ -1,0 +1,126 @@
+// Command t2c runs the end-to-end Torch2Chip workflow on a chosen model
+// and synthetic dataset: train (QAT or FP32+PTQ), calibrate, fuse,
+// convert to the integer-only deploy model, and export the parameters.
+//
+//	t2c -model mobilenet -dataset cifar10 -wbits 4 -abits 4 \
+//	    -weight sawb -act pact -trainer qat -epochs 8 -out out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"torch2chip/internal/core"
+	"torch2chip/internal/data"
+	"torch2chip/internal/models"
+	"torch2chip/internal/nn"
+	"torch2chip/internal/quant"
+	"torch2chip/internal/tensor"
+	"torch2chip/internal/train"
+)
+
+func main() {
+	modelName := flag.String("model", "mobilenet", "model: resnet20|resnet18|resnet50|mobilenet|vit")
+	dataset := flag.String("dataset", "cifar10", "dataset: cifar10|cifar100|imagenet|aircraft|flowers|food")
+	wbits := flag.Int("wbits", 8, "weight bits")
+	abits := flag.Int("abits", 8, "activation bits")
+	weight := flag.String("weight", "minmax", "weight quantizer: minmax|sawb|rcf|lsq|adaround")
+	act := flag.String("act", "minmax", "activation quantizer: minmax|pact|rcf|lsq|qdrop")
+	trainer := flag.String("trainer", "qat", "trainer: qat|ptq")
+	epochs := flag.Int("epochs", 8, "training epochs")
+	trainN := flag.Int("train-n", 600, "training samples")
+	testN := flag.Int("test-n", 200, "test samples")
+	out := flag.String("out", "t2c-out", "export directory")
+	formats := flag.String("formats", "hex,json", "comma-separated export formats: hex,bin,raw,json")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	spec, ok := map[string]data.Spec{
+		"cifar10": data.SynthCIFAR10, "cifar100": data.SynthCIFAR100,
+		"imagenet": data.SynthImageNet, "aircraft": data.SynthAircraft,
+		"flowers": data.SynthFlowers, "food": data.SynthFood,
+	}[*dataset]
+	if !ok {
+		log.Fatalf("unknown dataset %q", *dataset)
+	}
+	trainDS, testDS := data.Generate(spec, *trainN, *testN)
+	g := tensor.NewRNG(*seed)
+	var model nn.Layer
+	switch *modelName {
+	case "resnet20":
+		model = models.NewResNet(g, models.ResNet20(trainDS.NumClasses))
+	case "resnet18":
+		model = models.NewResNet(g, models.ResNet18(trainDS.NumClasses))
+	case "resnet50":
+		model = models.NewResNet(g, models.ResNet50(trainDS.NumClasses))
+	case "mobilenet":
+		model = models.NewMobileNetV1(g, models.MobileNetV1(trainDS.NumClasses))
+	case "vit":
+		model = models.NewViT(g, models.ViT7(spec.Size, trainDS.NumClasses))
+	default:
+		log.Fatalf("unknown model %q", *modelName)
+	}
+	fmt.Printf("model %s: %d parameters\n", *modelName, models.CountParams(model))
+
+	cfg := core.DefaultConfig()
+	cfg.Quant = quant.Config{WBits: *wbits, ABits: *abits, Weight: *weight, Act: *act,
+		PerChannel: true, RNG: tensor.NewRNG(*seed + 1)}
+	t2c := core.New(model, cfg)
+
+	calib := trainDS.Subset(8)
+	switch *trainer {
+	case "qat":
+		t2c.Prepare()
+		res := (&train.Supervised{
+			Model: model, Opt: train.NewSGD(0.05, 0.9, 5e-4),
+			Sched:  train.CosineSchedule{Base: 0.05, Min: 0.001},
+			Epochs: *epochs, Train: trainDS, Test: testDS, Batch: 32,
+			RNG: tensor.NewRNG(*seed + 2),
+		}).Run()
+		fmt.Printf("QAT final loss %.4f acc %.2f%%\n",
+			res.TrainLoss[len(res.TrainLoss)-1], res.TestAcc[len(res.TestAcc)-1]*100)
+	case "ptq":
+		res := (&train.Supervised{
+			Model: model, Opt: train.NewSGD(0.1, 0.9, 5e-4),
+			Sched:  train.CosineSchedule{Base: 0.1, Min: 0.002},
+			Epochs: *epochs, Train: trainDS, Test: testDS, Batch: 32,
+			RNG: tensor.NewRNG(*seed + 2),
+		}).Run()
+		fmt.Printf("FP32 acc %.2f%%\n", res.TestAcc[len(res.TestAcc)-1]*100)
+		fpLogits := train.CaptureFP(model, calib, 16)
+		nn.SetTraining(model, false)
+		t2c.Prepare()
+		(&train.PTQ{Model: model, Calib: calib, Batch: 16, FPLogits: fpLogits,
+			Steps: 8, LR: 1e-2, RegWeight: 0.01}).Run()
+	default:
+		log.Fatalf("unknown trainer %q", *trainer)
+	}
+
+	if err := t2c.Calibrate(calib, 16); err != nil {
+		log.Fatal(err)
+	}
+	qAcc := train.Evaluate(model, testDS, 32)
+	fmt.Printf("fake-quant accuracy: %.2f%%\n", qAcc*100)
+
+	if *modelName == "vit" {
+		fmt.Println("ViT deploy lowering is not supported; stopping after calibration (integer infer-mode is available via quant.SetMode).")
+		return
+	}
+	nn.SetTraining(model, false)
+	im, err := t2c.Convert()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(core.Summary(im))
+
+	var fs []core.Format
+	for _, f := range strings.Split(*formats, ",") {
+		fs = append(fs, core.Format(strings.TrimSpace(f)))
+	}
+	if err := t2c.Export(im, *out, fs...); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exported %v to %s\n", fs, *out)
+}

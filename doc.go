@@ -1,0 +1,10 @@
+// Package torch2chip is a from-scratch Go reproduction of "Torch2Chip: An
+// End-to-end Customizable Deep Neural Network Compression and Deployment
+// Toolkit for Prototype Hardware Accelerator Design" (MLSys 2024).
+//
+// The public surface lives under internal/ packages wired together by
+// internal/core; see README.md for the architecture overview, DESIGN.md
+// for the system inventory and substitutions, and EXPERIMENTS.md for the
+// paper-vs-measured record. The root package only anchors the module and
+// the benchmark harness (bench_test.go).
+package torch2chip

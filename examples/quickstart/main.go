@@ -1,0 +1,70 @@
+// Quickstart: the paper's five-line workflow on a small CNN — prepare,
+// calibrate, convert to the integer-only deploy model, and export the
+// parameters in hardware-readable formats.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"torch2chip/internal/core"
+	"torch2chip/internal/data"
+	"torch2chip/internal/models"
+	"torch2chip/internal/nn"
+	"torch2chip/internal/tensor"
+	"torch2chip/internal/train"
+)
+
+func main() {
+	// A synthetic CIFAR-10 stand-in (see DESIGN.md) and a scaled
+	// MobileNet-V1.
+	trainDS, testDS := data.Generate(data.SynthCIFAR10, 400, 150)
+	g := tensor.NewRNG(1)
+	model := models.NewMobileNetV1(g, models.MobileNetV1(trainDS.NumClasses))
+
+	// Ordinary float training first.
+	fmt.Println("training FP32 model...")
+	(&train.Supervised{
+		Model: model, Opt: train.NewSGD(0.1, 0.9, 5e-4),
+		Sched:  train.CosineSchedule{Base: 0.1, Min: 0.002},
+		Epochs: 8, Train: trainDS, Batch: 32, RNG: g,
+	}).Run()
+	fmt.Printf("FP32 accuracy: %.2f%%\n", train.Evaluate(model, testDS, 32)*100)
+
+	// The five-line Torch2Chip workflow.
+	t2c := core.New(model, core.DefaultConfig())
+	t2c.Prepare()
+	if err := t2c.Calibrate(trainDS.Subset(8), 16); err != nil {
+		log.Fatal(err)
+	}
+	im, err := t2c.Convert()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := t2c.Export(im, "quickstart-out", core.FormatHex, core.FormatJSON); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("fake-quant accuracy: %.2f%%\n", train.Evaluate(model, testDS, 32)*100)
+	nn.SetTraining(model, false)
+	// Evaluate the deployed, integer-only model.
+	var correct, total int
+	loader := data.NewLoader(testDS, 32, nil)
+	for {
+		x, y, ok := loader.Next()
+		if !ok {
+			break
+		}
+		logits := im.Forward(x)
+		c := logits.Shape[1]
+		for i := range y {
+			if tensor.FromSlice(logits.Data[i*c:(i+1)*c], c).Argmax() == y[i] {
+				correct++
+			}
+			total++
+		}
+	}
+	fmt.Printf("deployed integer-only accuracy: %.2f%%\n", 100*float64(correct)/float64(total))
+	fmt.Printf("deployed size: %d bytes\n", im.SizeBytes())
+	fmt.Println("exported hex + JSON to quickstart-out/")
+}

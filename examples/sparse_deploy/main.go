@@ -1,0 +1,68 @@
+// sparse_deploy: the Table-3 workflow — N:M=2:4 structured sparse
+// training, 8-bit PTQ, conversion, and verification that the exported
+// integer tensors carry the sparsity as real zeros in a valid 2:4
+// pattern (no side-band masks).
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"torch2chip/internal/core"
+	"torch2chip/internal/data"
+	"torch2chip/internal/models"
+	"torch2chip/internal/prune"
+	"torch2chip/internal/tensor"
+	"torch2chip/internal/train"
+)
+
+func main() {
+	trainDS, testDS := data.Generate(data.SynthCIFAR10, 500, 150)
+	g := tensor.NewRNG(31)
+	model := models.NewMobileNetV1(g, models.MobileNetV1(trainDS.NumClasses))
+
+	pruner, err := prune.NewNM(prune.PrunableParams(model), 2, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sparse training with N:M = 2:4...")
+	(&train.Supervised{
+		Model: model, Opt: train.NewSGD(0.1, 0.9, 5e-4),
+		Sched:  train.CosineSchedule{Base: 0.1, Min: 0.002},
+		Epochs: 10, Train: trainDS, Batch: 32,
+		RNG: tensor.NewRNG(32), Pruner: pruner,
+	}).Run()
+	fmt.Printf("sparsity: %.1f%%, accuracy: %.2f%%\n",
+		pruner.Sparsity()*100, train.Evaluate(model, testDS, 32)*100)
+
+	t2c := core.New(model, core.DefaultConfig())
+	t2c.Prepare()
+	if err := t2c.Calibrate(trainDS.Subset(8), 16); err != nil {
+		log.Fatal(err)
+	}
+	im, err := t2c.Convert()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Verify the 2:4 pattern survives in the exported integer weights.
+	checked := 0
+	for name, tt := range im.IntTensors() {
+		if !strings.HasSuffix(name, "conv.weight") && !strings.HasSuffix(name, "linear.weight") {
+			continue
+		}
+		if err := prune.CheckNM(tt, 2, 4); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		zeros := tt.CountZeros()
+		fmt.Printf("%-36s %6d codes, %5.1f%% zeros — 2:4 OK\n",
+			name, tt.Numel(), 100*float64(zeros)/float64(tt.Numel()))
+		checked++
+	}
+	fmt.Printf("verified %d weight tensors carry real 2:4 zeros\n", checked)
+	if err := t2c.Export(im, "sparse-out", core.FormatJSON); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("exported sparse integer checkpoint to sparse-out/")
+}

@@ -1,0 +1,111 @@
+// vit_ptq: post-training quantization of a vision transformer with
+// integer-only attention (Figure 4): all projections and both attention
+// matmuls run on integer kernels in infer mode, and the attention softmax
+// is replaced by the 8-bit LUT approximation.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"torch2chip/internal/data"
+	"torch2chip/internal/intmath"
+	"torch2chip/internal/models"
+	"torch2chip/internal/nn"
+	"torch2chip/internal/quant"
+	"torch2chip/internal/tensor"
+	"torch2chip/internal/train"
+)
+
+func main() {
+	trainDS, testDS := data.Generate(data.SynthCIFAR10, 400, 150)
+	g := tensor.NewRNG(11)
+	cfg := models.ViT7(16, trainDS.NumClasses)
+	cfg.Depth = 3
+	model := models.NewViT(g, cfg)
+
+	fmt.Println("training FP32 ViT...")
+	(&train.Supervised{
+		Model: model, Opt: train.NewSGD(0.05, 0.9, 5e-4),
+		Sched:  train.CosineSchedule{Base: 0.05, Min: 0.001},
+		Epochs: 10, Train: trainDS, Batch: 32, RNG: tensor.NewRNG(12),
+	}).Run()
+	fpAcc := train.Evaluate(model, testDS, 32)
+
+	// PTQ: quantize every projection, the patch-embed conv, and both
+	// attention matmuls to 8 bits.
+	nn.SetTraining(model, false)
+	quant.Prepare(model, quant.Config{WBits: 8, ABits: 8, Weight: "minmax", Act: "minmax"})
+	loader := data.NewLoader(trainDS.Subset(8), 16, nil)
+	for {
+		x, _, ok := loader.Next()
+		if !ok {
+			break
+		}
+		model.Forward(x)
+	}
+	quant.SetCalibrating(model, false)
+	quant.SetMode(model, quant.ModeInfer)
+	intAcc := evalAcc(model, testDS)
+
+	// Swap in the LUT softmax (integer-only attention, Fig. 4b).
+	const inScale = 1.0 / 16
+	lut := intmath.NewLUTSoftmax(-128, 127, inScale, 8)
+	_, _, attns := quant.QuantizedLayers(model)
+	for _, qa := range attns {
+		installLUT(qa, lut, inScale)
+	}
+	lutAcc := evalAcc(model, testDS)
+
+	fmt.Printf("FP32 accuracy:                  %.2f%%\n", fpAcc*100)
+	fmt.Printf("8/8 integer attention accuracy: %.2f%%\n", intAcc*100)
+	fmt.Printf("with LUT softmax:               %.2f%%\n", lutAcc*100)
+}
+
+func installLUT(qa *quant.QAttention, lut *intmath.LUTSoftmax, inScale float32) {
+	m := qa.MultiHeadAttention
+	dh := m.D / m.Heads
+	scale := float32(1 / math.Sqrt(float64(dh)))
+	qk := qa.QK
+	m.MatMulQK = func(q, k *tensor.Tensor) *tensor.Tensor {
+		scores := qk.Apply(q, k)
+		scaled := tensor.Scale(scores, scale)
+		codes := tensor.NewInt(scaled.Shape...)
+		for i, v := range scaled.Data {
+			c := int64(math.Round(float64(v / inScale)))
+			if c < -128 {
+				c = -128
+			}
+			if c > 127 {
+				c = 127
+			}
+			codes.Data[i] = c
+		}
+		probs := lut.FloatProbs(lut.Apply(codes))
+		out := tensor.New(probs.Shape...)
+		for i, p := range probs.Data {
+			if p < 1e-6 {
+				p = 1e-6
+			}
+			// Return log(p)/scale so the downstream softmax reproduces
+			// the LUT distribution exactly.
+			out.Data[i] = float32(math.Log(float64(p))) / scale
+		}
+		return out
+	}
+}
+
+func evalAcc(model nn.Layer, ds *data.Dataset) float32 {
+	loader := data.NewLoader(ds, 32, nil)
+	var correct, total float64
+	for {
+		x, y, ok := loader.Next()
+		if !ok {
+			break
+		}
+		logits := model.Forward(x)
+		correct += float64(nn.Accuracy(logits, y)) * float64(len(y))
+		total += float64(len(y))
+	}
+	return float32(correct / total)
+}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"torch2chip/internal/data"
+	"torch2chip/internal/fuse"
+	"torch2chip/internal/models"
+	"torch2chip/internal/nn"
+	"torch2chip/internal/quant"
+	"torch2chip/internal/tensor"
+)
+
+// AblationRow is one cell of the fusion-scheme ablation.
+type AblationRow struct {
+	WBits     int
+	Scheme    string
+	DeployAcc float32
+	FakeAcc   float32 // fake-quant reference accuracy
+}
+
+// AblationFusion sweeps weight precision × fusion scheme on the same
+// trained MobileNet, isolating the design choice the paper motivates in
+// §3.2: pre-fusion is adequate at 8 bits but channel-wise scaling is
+// required below it.
+func AblationFusion(sc Scale) []AblationRow {
+	trainDS, testDS := data.Generate(data.SynthCIFAR10, sc.TrainN, sc.TestN)
+	g := tensor.NewRNG(9500)
+	base := models.NewMobileNetV1(g, models.MobileNetConfig{WidthMult: 1, NumClasses: trainDS.NumClasses, Blocks: 4})
+	trainFP32(base, trainDS, testDS, sc, 9501)
+
+	var rows []AblationRow
+	for _, wbits := range []int{2, 4, 8} {
+		for _, scheme := range []fuse.Scheme{fuse.SchemePreFuse, fuse.SchemeChannelWise} {
+			model := cloneModel(base)
+			nn.SetTraining(model, false)
+			quant.Prepare(model, quant.Config{WBits: wbits, ABits: 8, Weight: "minmax", Act: "minmax", PerChannel: true})
+			outQ := calibrateOut(model, trainDS.Subset(5), 16, 12)
+			fakeAcc := evalEval(model, testDS, sc.Batch)
+			acc, _, err := deployAccuracy(model, outQ, testDS, sc.Batch, scheme)
+			if err != nil {
+				panic(err)
+			}
+			name := "prefuse"
+			if scheme == fuse.SchemeChannelWise {
+				name = "channelwise"
+			}
+			rows = append(rows, AblationRow{WBits: wbits, Scheme: name, DeployAcc: acc, FakeAcc: fakeAcc})
+		}
+	}
+	return rows
+}
+
+// FormatAblation renders the fusion ablation.
+func FormatAblation(rows []AblationRow) string {
+	var sb strings.Builder
+	sb.WriteString("Ablation — BN fusion scheme × weight precision (MobileNet-V1s)\n")
+	fmt.Fprintf(&sb, "%-6s %-12s %12s %12s\n", "Wbits", "scheme", "deploy acc%", "fakeq acc%")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-6d %-12s %12.2f %12.2f\n", r.WBits, r.Scheme, r.DeployAcc*100, r.FakeAcc*100)
+	}
+	return sb.String()
+}

@@ -1,0 +1,152 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation section on the synthetic substrate (see DESIGN.md for the
+// per-experiment index and the substitution rationale). Each experiment
+// returns structured rows so that cmd/t2c-bench can print paper-style
+// tables and bench_test.go can assert the qualitative shape (who wins,
+// roughly by how much, where the crossovers fall).
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"torch2chip/internal/data"
+	"torch2chip/internal/fuse"
+	"torch2chip/internal/nn"
+	"torch2chip/internal/quant"
+	"torch2chip/internal/tensor"
+	"torch2chip/internal/train"
+)
+
+// Scale controls how much compute the experiments burn. Unit scale runs
+// in a few seconds per experiment; larger scales sharpen the accuracy
+// estimates.
+type Scale struct {
+	TrainN  int // training samples per dataset
+	TestN   int
+	Epochs  int
+	Batch   int
+	PTQStep int
+}
+
+// Quick is the test-suite scale.
+func Quick() Scale { return Scale{TrainN: 300, TestN: 120, Epochs: 6, Batch: 32, PTQStep: 6} }
+
+// Full is the CLI default.
+func Full() Scale { return Scale{TrainN: 800, TestN: 300, Epochs: 12, Batch: 32, PTQStep: 12} }
+
+// Row is one line of a results table.
+type Row struct {
+	Method   string
+	Model    string
+	Training string
+	WA       string
+	ScaleFmt string
+	Acc      float32
+	FP32     float32
+	Extra    map[string]string
+}
+
+// Delta returns acc − fp32.
+func (r Row) Delta() float32 { return r.Acc - r.FP32 }
+
+// FormatTable renders rows in the paper's layout.
+func FormatTable(title string, rows []Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	fmt.Fprintf(&sb, "%-28s %-14s %-10s %-6s %-14s %8s %9s\n",
+		"Method", "Model", "Training", "W/A", "Scale+Bias", "Acc(%)", "Δ(%)")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-28s %-14s %-10s %-6s %-14s %8.2f %+9.2f",
+			r.Method, r.Model, r.Training, r.WA, r.ScaleFmt, r.Acc*100, r.Delta()*100)
+		for k, v := range r.Extra {
+			fmt.Fprintf(&sb, "  %s=%s", k, v)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// trainFP32 trains a float model and returns its test accuracy.
+func trainFP32(model nn.Layer, trainDS, testDS *data.Dataset, sc Scale, seed int64) float32 {
+	tr := &train.Supervised{
+		Model: model, Opt: train.NewSGD(0.1, 0.9, 5e-4),
+		Sched:  train.CosineSchedule{Base: 0.1, Min: 0.002},
+		Epochs: sc.Epochs, Train: trainDS, Batch: sc.Batch,
+		RNG: tensor.NewRNG(seed),
+	}
+	tr.Run()
+	return train.Evaluate(model, testDS, sc.Batch)
+}
+
+// calibrateOut runs calibration batches and returns the frozen logit
+// quantizer (model left in eval mode, observers frozen).
+func calibrateOut(model nn.Layer, calib *data.Dataset, batch, outBits int) *quant.QBase {
+	nn.SetTraining(model, false)
+	outQ := quant.NewMinMax(outBits, true, false)
+	loader := data.NewLoader(calib, batch, nil)
+	for {
+		x, _, ok := loader.Next()
+		if !ok {
+			break
+		}
+		outQ.Observe(model.Forward(x))
+	}
+	quant.SetCalibrating(model, false)
+	return outQ.Base()
+}
+
+// deployAccuracy converts the model and evaluates the integer pipeline.
+func deployAccuracy(model nn.Layer, outQ *quant.QBase, testDS *data.Dataset, batch int, scheme fuse.Scheme) (float32, *fuse.IntModel, error) {
+	opts := fuse.DefaultOptions()
+	opts.Scheme = scheme
+	opts.OutQuant = outQ
+	im, err := fuse.Convert(model, opts)
+	if err != nil {
+		return 0, nil, err
+	}
+	loader := data.NewLoader(testDS, batch, nil)
+	var correct, total int
+	for {
+		x, y, ok := loader.Next()
+		if !ok {
+			break
+		}
+		logits := im.Forward(x)
+		c := logits.Shape[1]
+		for i := range y {
+			row := tensor.FromSlice(logits.Data[i*c:(i+1)*c], c)
+			if row.Argmax() == y[i] {
+				correct++
+			}
+			total++
+		}
+	}
+	return float32(correct) / float32(total), im, nil
+}
+
+// inferAccuracy evaluates the dual-path infer mode (integer kernels with
+// float rescale — the "Float scale" rows of Table 1).
+func inferAccuracy(model nn.Layer, testDS *data.Dataset, batch int) float32 {
+	quant.SetMode(model, quant.ModeInfer)
+	defer quant.SetMode(model, quant.ModeTrain)
+	nn.SetTraining(model, false)
+	acc := evalEval(model, testDS, batch)
+	return acc
+}
+
+// evalEval is Evaluate without flipping back to train mode.
+func evalEval(model nn.Layer, ds *data.Dataset, batch int) float32 {
+	loader := data.NewLoader(ds, batch, nil)
+	var correct, total float64
+	for {
+		x, y, ok := loader.Next()
+		if !ok {
+			break
+		}
+		logits := model.Forward(x)
+		correct += float64(nn.Accuracy(logits, y)) * float64(len(y))
+		total += float64(len(y))
+	}
+	return float32(correct / total)
+}

@@ -1,0 +1,447 @@
+package bench
+
+import (
+	"fmt"
+
+	"torch2chip/internal/data"
+	"torch2chip/internal/fuse"
+	"torch2chip/internal/models"
+	"torch2chip/internal/nn"
+	"torch2chip/internal/prune"
+	"torch2chip/internal/quant"
+	"torch2chip/internal/ssl"
+	"torch2chip/internal/tensor"
+	"torch2chip/internal/train"
+)
+
+// Table1 reproduces the ImageNet-1K PTQ toolkit comparison: AIMET-style
+// AdaRound and OpenVINO-style MinMax (both 8/8 with float scaling) versus
+// Torch2Chip QDrop at 8/8 and 4/4 with INT16(12,4) integer scaling. All
+// four methods start from the same pre-trained full-precision model, as
+// in the paper.
+func Table1(sc Scale) []Row {
+	trainDS, testDS := data.Generate(data.SynthImageNet, sc.TrainN, sc.TestN)
+	calib := trainDS.Subset(5)
+
+	// One shared FP32 ResNet-50s.
+	g := tensor.NewRNG(100)
+	base := models.NewResNet(g, models.ResNet50(trainDS.NumClasses))
+	fp := trainFP32(base, trainDS, testDS, sc, 101)
+	fpLogits := train.CaptureFP(base, calib, 16)
+
+	runOne := func(seed int64, weight, act string, wbits, abits int, deploy bool, scheme fuse.Scheme) float32 {
+		model := cloneModel(base)
+		nn.SetTraining(model, false)
+		quant.Prepare(model, quant.Config{
+			WBits: wbits, ABits: abits, Weight: weight, Act: act,
+			PerChannel: true, RNG: tensor.NewRNG(seed),
+		})
+		ptq := &train.PTQ{Model: model, Calib: calib, Batch: 16,
+			FPLogits: fpLogits, Steps: sc.PTQStep, LR: 2e-3, RegWeight: 0.01}
+		ptq.Run()
+		if deploy {
+			outQ := calibrateOut(model, calib, 16, 12)
+			a, _, err := deployAccuracy(model, outQ, testDS, sc.Batch, scheme)
+			if err != nil {
+				panic(fmt.Sprintf("table1 deploy: %v", err))
+			}
+			return a
+		}
+		// Float-scale baselines evaluate the dual-path infer mode.
+		return inferAccuracy(model, testDS, sc.Batch)
+	}
+
+	var rows []Row
+	acc := runOne(100, "adaround", "minmax", 8, 8, false, fuse.SchemePreFuse)
+	rows = append(rows, Row{Method: "AdaRound (AIMET-style)", Model: "ResNet-50s", Training: "PTQ", WA: "8/8", ScaleFmt: "Float", Acc: acc, FP32: fp})
+	acc = runOne(200, "minmax", "minmax", 8, 8, false, fuse.SchemePreFuse)
+	rows = append(rows, Row{Method: "MinMax (OpenVINO-style)", Model: "ResNet-50s", Training: "PTQ", WA: "8/8", ScaleFmt: "Float", Acc: acc, FP32: fp})
+	acc = runOne(300, "adaround", "qdrop", 4, 4, true, fuse.SchemeChannelWise)
+	rows = append(rows, Row{Method: "QDrop (Torch2Chip)", Model: "ResNet-50s", Training: "PTQ", WA: "4/4", ScaleFmt: "INT (12,4)", Acc: acc, FP32: fp})
+	acc = runOne(400, "adaround", "qdrop", 8, 8, true, fuse.SchemeChannelWise)
+	rows = append(rows, Row{Method: "QDrop (Torch2Chip)", Model: "ResNet-50s", Training: "PTQ", WA: "8/8", ScaleFmt: "INT (12,4)", Acc: acc, FP32: fp})
+	return rows
+}
+
+// clonable reports whether every layer of a Sequential is covered by
+// cloneLayer.
+func clonable(s *nn.Sequential) bool {
+	ok := true
+	var check func(l nn.Layer)
+	check = func(l nn.Layer) {
+		switch v := l.(type) {
+		case *nn.Conv2d, *nn.BatchNorm2d, *nn.ReLU, *nn.ReLU6, *nn.AvgPool, *nn.Flatten, *nn.Linear, nn.Identity:
+		case *nn.Sequential:
+			for _, sub := range v.Layers {
+				check(sub)
+			}
+		case *nn.Residual:
+			check(v.Body)
+			check(v.Shortcut)
+		default:
+			ok = false
+		}
+	}
+	for _, l := range s.Layers {
+		check(l)
+	}
+	return ok
+}
+
+// cloneModel deep-copies a Sequential model (topology + parameters + BN
+// running statistics).
+func cloneModel(m nn.Layer) nn.Layer {
+	seq, ok := m.(*nn.Sequential)
+	if !ok {
+		panic("bench: cloneModel requires a Sequential root")
+	}
+	g := tensor.NewRNG(1)
+	clone := cloneSeq(g, seq)
+	src := seq.Params()
+	dst := clone.Params()
+	for i := range src {
+		dst[i].Data.CopyFrom(src[i].Data)
+	}
+	copyRunningStats(seq, clone)
+	return clone
+}
+
+// qatRun trains a prepared model with QAT, warm-started from the trained
+// FP32 weights (the usual QAT protocol at short schedules), and returns
+// the infer-mode (or deployed) accuracy plus the deployed size in bytes
+// when conversion is possible.
+func qatRun(sc Scale, seed int64, build func(*tensor.RNG) nn.Layer, cfg quant.Config,
+	trainDS, testDS *data.Dataset, profit bool, deploy bool) (fp, acc float32, sizeBytes int64, nparams int) {
+	g := tensor.NewRNG(seed)
+	fpModel := build(g)
+	fp = trainFP32(fpModel, trainDS, testDS, sc, seed+1)
+	nparams = models.CountParams(fpModel)
+
+	// Warm-start: clone the FP32 model (same topology + weights) when the
+	// topology is clonable, otherwise copy parameters into a fresh build.
+	var model nn.Layer
+	if seq, ok := fpModel.(*nn.Sequential); ok && clonable(seq) {
+		model = cloneModel(fpModel)
+	} else {
+		model = build(tensor.NewRNG(seed + 10))
+		src, dst := fpModel.Params(), model.Params()
+		for i := range src {
+			dst[i].Data.CopyFrom(src[i].Data)
+		}
+		copyRunningStats(fpModel, model)
+	}
+	quant.Prepare(model, cfg)
+	var fr *train.Freezer
+	if profit {
+		fr = train.NewFreezer(model)
+	}
+	var opt train.Optimizer = train.NewSGD(0.02, 0.9, 5e-4)
+	tr := &train.Supervised{
+		Model: model, Opt: opt,
+		Sched:  train.CosineSchedule{Base: 0.02, Min: 0.0005},
+		Epochs: sc.Epochs, Train: trainDS, Batch: sc.Batch,
+		RNG: tensor.NewRNG(seed + 11), Freezer: fr,
+	}
+	tr.Run()
+	calib := trainDS.Subset(5)
+	outQ := calibrateOut(model, calib, 16, 12)
+	if deploy {
+		a, im, err := deployAccuracy(model, outQ, testDS, sc.Batch, fuse.SchemeAuto)
+		if err == nil {
+			return fp, a, im.SizeBytes(), nparams
+		}
+	}
+	acc = inferAccuracy(model, testDS, sc.Batch)
+	// Size estimate for models without a deploy lowering (ViT):
+	sizeBytes = int64(nparams*cfg.WBits+7) / 8
+	return fp, acc, sizeBytes, nparams
+}
+
+// Table2 reproduces the CIFAR-10 integer-only model zoo.
+func Table2(sc Scale) []Row {
+	trainDS, testDS := data.Generate(data.SynthCIFAR10, sc.TrainN, sc.TestN)
+	nc := trainDS.NumClasses
+	var rows []Row
+
+	add := func(method, model, training, wa, sf string, fp, acc float32, size int64, nparams int) {
+		rows = append(rows, Row{Method: method, Model: model, Training: training, WA: wa, ScaleFmt: sf,
+			Acc: acc, FP32: fp, Extra: map[string]string{
+				"params": fmt.Sprintf("%d", nparams),
+				"sizeKB": fmt.Sprintf("%.1f", float64(size)/1024),
+			}})
+	}
+
+	resnet20 := func(g *tensor.RNG) nn.Layer { return models.NewResNet(g, models.ResNet20(nc)) }
+	resnet18 := func(g *tensor.RNG) nn.Layer { return models.NewResNet(g, models.ResNet18(nc)) }
+	mobnet := func(g *tensor.RNG) nn.Layer {
+		return models.NewMobileNetV1(g, models.MobileNetConfig{WidthMult: 1, NumClasses: nc, Blocks: 4})
+	}
+
+	// SAWB+PACT ResNet-20 at 2/2 and 4/4 (QAT).
+	for _, bits := range []int{2, 4} {
+		cfg := quant.Config{WBits: bits, ABits: bits, Weight: "sawb", Act: "pact", PerChannel: true}
+		fp, acc, size, np := qatRun(sc, int64(1000+bits), resnet20, cfg, trainDS, testDS, false, true)
+		add("SAWB+PACT", "ResNet-20s", "QAT", fmt.Sprintf("%d/%d", bits, bits), "INT (13,3)", fp, acc, size, np)
+	}
+	// RCF ResNet-18 at 4/4 and 8/8 (QAT).
+	for _, bits := range []int{4, 8} {
+		cfg := quant.Config{WBits: bits, ABits: bits, Weight: "rcf", Act: "rcf", PerChannel: false}
+		fp, acc, size, np := qatRun(sc, int64(2000+bits), resnet18, cfg, trainDS, testDS, false, true)
+		add("RCF", "ResNet-18s", "QAT", fmt.Sprintf("%d/%d", bits, bits), "INT (12,4)", fp, acc, size, np)
+	}
+	// ViT-7 at 8/8 (QAT with symmetric MinMax; the paper's RCF slot —
+	// RCF's unsigned activation clip does not fit signed transformer
+	// activations, see EXPERIMENTS.md). Transformers need Adam.
+	{
+		vitCfg := models.ViT7(16, nc)
+		vitCfg.Depth = 3 // scaled depth for CPU budget
+		g := tensor.NewRNG(3000)
+		model := models.NewViT(g, vitCfg)
+		np := models.CountParams(model)
+		(&train.Supervised{Model: model, Opt: train.NewAdam(1e-3),
+			Sched:  train.CosineSchedule{Base: 1e-3, Min: 1e-4},
+			Epochs: sc.Epochs * 2, Train: trainDS, Batch: sc.Batch,
+			RNG: tensor.NewRNG(3001)}).Run()
+		fp := train.Evaluate(model, testDS, sc.Batch)
+		quant.Prepare(model, quant.Config{WBits: 8, ABits: 8, Weight: "minmax", Act: "minmax"})
+		(&train.Supervised{Model: model, Opt: train.NewAdam(3e-4),
+			Sched:  train.CosineSchedule{Base: 3e-4, Min: 5e-5},
+			Epochs: sc.Epochs / 2, Train: trainDS, Batch: sc.Batch,
+			RNG: tensor.NewRNG(3002)}).Run()
+		calibrateOut(model, trainDS.Subset(5), 16, 12)
+		acc := inferAccuracy(model, testDS, sc.Batch)
+		add("MinMax (RCF slot)", "ViT-7s", "QAT", "8/8", "INT (13,3)", fp, acc, int64(np), np)
+	}
+	// PROFIT MobileNet-V1 at 4/4 and 8/8.
+	for _, bits := range []int{4, 8} {
+		cfg := quant.Config{WBits: bits, ABits: bits, Weight: "sawb", Act: "pact", PerChannel: true}
+		fp, acc, size, np := qatRun(sc, int64(4000+bits), mobnet, cfg, trainDS, testDS, true, true)
+		add("PROFIT", "MobileNet-V1s", "QAT", fmt.Sprintf("%d/%d", bits, bits), "INT (12,4)", fp, acc, size, np)
+	}
+	// AdaRound MobileNet-V1 8/8 (PTQ) and PyTorch-like float-scale PTQ.
+	{
+		g := tensor.NewRNG(5000)
+		model := mobnet(g)
+		fp := trainFP32(model, trainDS, testDS, sc, 5001)
+		np := models.CountParams(model)
+		calib := trainDS.Subset(5)
+		fpLogits := train.CaptureFP(model, calib, 16)
+		nn.SetTraining(model, false)
+		quant.Prepare(model, quant.Config{WBits: 8, ABits: 8, Weight: "adaround", Act: "minmax", PerChannel: true})
+		(&train.PTQ{Model: model, Calib: calib, Batch: 16, FPLogits: fpLogits,
+			Steps: sc.PTQStep, LR: 1e-2, RegWeight: 0.01}).Run()
+		outQ := calibrateOut(model, calib, 16, 12)
+		acc, im, err := deployAccuracy(model, outQ, testDS, sc.Batch, fuse.SchemeChannelWise)
+		size := int64(0)
+		if err == nil {
+			size = im.SizeBytes()
+		}
+		add("AdaRound", "MobileNet-V1s", "PTQ", "8/8", "INT (12,4)", fp, acc, size, np)
+	}
+	{
+		// "PyTorch Quant"-style baseline: per-tensor MinMax PTQ evaluated
+		// with float rescaling.
+		g := tensor.NewRNG(6000)
+		model := mobnet(g)
+		fp := trainFP32(model, trainDS, testDS, sc, 6001)
+		np := models.CountParams(model)
+		nn.SetTraining(model, false)
+		quant.Prepare(model, quant.Config{WBits: 8, ABits: 8, Weight: "minmax", Act: "minmax", PerChannel: false})
+		(&train.PTQ{Model: model, Calib: trainDS.Subset(5), Batch: 16}).Run()
+		acc := inferAccuracy(model, testDS, sc.Batch)
+		add("PyTorch-style Quant", "MobileNet-V1s", "PTQ", "8/8", "Float32", fp, acc, int64(np), np)
+	}
+	return rows
+}
+
+// Table3 reproduces sparse + low-precision ResNet-50: GraNet-style 80%
+// element-wise sparsity and N:M=2:4 structured sparsity, each followed by
+// PTQ at 8/8 and 4/4.
+func Table3(sc Scale) []Row {
+	trainDS, testDS := data.Generate(data.SynthImageNet, sc.TrainN, sc.TestN)
+	nc := trainDS.NumClasses
+	var rows []Row
+	run := func(seed int64, nm bool, wbits int) Row {
+		g := tensor.NewRNG(seed)
+		model := models.NewResNet(g, models.ResNet50(nc))
+		var pruner prune.Pruner
+		var method string
+		if nm {
+			p, err := prune.NewNM(prune.PrunableParams(model), 2, 4)
+			if err != nil {
+				panic(err)
+			}
+			pruner = p
+			method = "N:M = 2:4"
+		} else {
+			p := prune.NewMagnitude(prune.PrunableParams(model), 0.8)
+			p.InitialSparsity = 0.2
+			p.Regrow = 0.05
+			pruner = p
+			method = "GraNet"
+		}
+		tr := &train.Supervised{
+			Model: model, Opt: train.NewSGD(0.1, 0.9, 5e-4),
+			Sched:  train.CosineSchedule{Base: 0.1, Min: 0.002},
+			Epochs: sc.Epochs, Train: trainDS, Batch: sc.Batch,
+			RNG: tensor.NewRNG(seed + 1), Pruner: pruner,
+		}
+		tr.Run()
+		fp := train.Evaluate(model, testDS, sc.Batch)
+		calib := trainDS.Subset(5)
+		fpLogits := train.CaptureFP(model, calib, 16)
+		nn.SetTraining(model, false)
+		quant.Prepare(model, quant.Config{WBits: wbits, ABits: wbits, Weight: "minmax", Act: "minmax", PerChannel: true})
+		(&train.PTQ{Model: model, Calib: calib, Batch: 16, FPLogits: fpLogits,
+			Steps: sc.PTQStep / 2, LR: 5e-3, RegWeight: 0.01}).Run()
+		acc := inferAccuracy(model, testDS, sc.Batch)
+		return Row{Method: method, Model: "ResNet-50s", Training: "PTQ",
+			WA: fmt.Sprintf("%d/%d", wbits, wbits), ScaleFmt: "INT (12,4)",
+			Acc: acc, FP32: fp,
+			Extra: map[string]string{"sparsity": fmt.Sprintf("%.0f%%", pruner.Sparsity()*100)}}
+	}
+	rows = append(rows, run(7000, false, 8))
+	rows = append(rows, run(7100, false, 4))
+	rows = append(rows, run(7200, true, 8))
+	rows = append(rows, run(7300, true, 4))
+	return rows
+}
+
+// Table4 reproduces the SSL transfer comparison: MobileNet-V1 pre-trained
+// with Barlow Twins + XD on unlabeled SynthImageNet, then fine-tuned (and
+// PTQ-compressed at 8/8) on five low-label downstream tasks, against
+// supervised training from scratch on the same budgets.
+func Table4(sc Scale) []Row {
+	unlabeled, _ := data.Generate(data.SynthImageNet, sc.TrainN*2, 10)
+	downstream := []data.Spec{data.SynthCIFAR10, data.SynthCIFAR100, data.SynthAircraft, data.SynthFlowers, data.SynthFood}
+	perClass := 12 // low-label regime
+
+	mkEncoder := func(g *tensor.RNG, nc int) (*nn.Sequential, int) {
+		m := models.NewMobileNetV1(g, models.MobileNetConfig{WidthMult: 1, NumClasses: nc, Blocks: 4})
+		// Encoder = everything up to the classifier.
+		enc := nn.NewSequential(m.Layers[:len(m.Layers)-1]...)
+		dim := m.Layers[len(m.Layers)-1].(*nn.Linear).In
+		return enc, dim
+	}
+
+	// SSL pre-training once.
+	g := tensor.NewRNG(8000)
+	enc, dim := mkEncoder(g, 10)
+	proj := ssl.NewProjector(g, dim, 2*dim)
+	sslTr := &train.SSLTrainer{
+		Encoder: enc, Projector: proj, Opt: train.NewAdam(2e-3),
+		Epochs: sc.Epochs, Data: unlabeled, Batch: sc.Batch,
+		RNG: tensor.NewRNG(8001), Lambda: 0.005, XDWeight: 0.2,
+	}
+	sslTr.Run()
+
+	fineTune := func(encoder *nn.Sequential, dim int, ds data.Spec, seed int64) float32 {
+		tr, te := data.Generate(ds, sc.TrainN, sc.TestN)
+		low := tr.Subset(perClass)
+		head := nn.NewLinear(tensor.NewRNG(seed), dim, tr.NumClasses, true)
+		model := nn.NewSequential(append(append([]nn.Layer{}, encoder.Layers...), head)...)
+		(&train.Supervised{Model: model, Opt: train.NewSGD(0.02, 0.9, 5e-4),
+			Sched:  train.CosineSchedule{Base: 0.02, Min: 0.001},
+			Epochs: sc.Epochs, Train: low, Batch: 16, RNG: tensor.NewRNG(seed + 1)}).Run()
+		// PTQ 8/8 compress.
+		calib := low.Subset(4)
+		nn.SetTraining(model, false)
+		quant.Prepare(model, quant.Config{WBits: 8, ABits: 8, Weight: "minmax", Act: "minmax", PerChannel: true})
+		(&train.PTQ{Model: model, Calib: calib, Batch: 16}).Run()
+		return inferAccuracy(model, te, sc.Batch)
+	}
+
+	supRow := Row{Method: "Supervised + PTQ", Model: "Mob-V1 (1x)", Training: "scratch", WA: "8/8", ScaleFmt: "INT (12,4)", Extra: map[string]string{}}
+	xdRow := Row{Method: "XD (SSL) + PTQ", Model: "Mob-V1 (1x)", Training: "transfer", WA: "8/8", ScaleFmt: "INT (12,4)", Extra: map[string]string{}}
+	var supSum, xdSum float32
+	for i, ds := range downstream {
+		// Supervised from scratch on the low-label budget.
+		gs := tensor.NewRNG(int64(8100 + i))
+		encS, dimS := mkEncoder(gs, 10)
+		supAcc := fineTune(encS, dimS, ds, int64(8200+i))
+		// SSL transfer: reuse the pre-trained encoder (shared weights
+		// across tasks would interfere; clone parameters per task).
+		encC, dimC := cloneEncoder(enc, dim)
+		xdAcc := fineTune(encC, dimC, ds, int64(8300+i))
+		supRow.Extra[ds.Name] = fmt.Sprintf("%.1f", supAcc*100)
+		xdRow.Extra[ds.Name] = fmt.Sprintf("%.1f", xdAcc*100)
+		supSum += supAcc
+		xdSum += xdAcc
+	}
+	supRow.Acc = supSum / float32(len(downstream))
+	xdRow.Acc = xdSum / float32(len(downstream))
+	return []Row{supRow, xdRow}
+}
+
+// cloneEncoder deep-copies an encoder's parameters into a fresh structure
+// with the same topology (fine-tuning must not mutate the shared
+// pre-trained weights).
+func cloneEncoder(enc *nn.Sequential, dim int) (*nn.Sequential, int) {
+	g := tensor.NewRNG(999)
+	// Rebuild the same topology, then copy parameter data.
+	clone := cloneSeq(g, enc)
+	src := enc.Params()
+	dst := clone.Params()
+	for i := range src {
+		dst[i].Data.CopyFrom(src[i].Data)
+	}
+	// Copy BN running stats as well.
+	copyRunningStats(enc, clone)
+	return clone, dim
+}
+
+func cloneSeq(g *tensor.RNG, s *nn.Sequential) *nn.Sequential {
+	var ls []nn.Layer
+	for _, l := range s.Layers {
+		ls = append(ls, cloneLayer(g, l))
+	}
+	return nn.NewSequential(ls...)
+}
+
+func cloneLayer(g *tensor.RNG, l nn.Layer) nn.Layer {
+	switch v := l.(type) {
+	case *nn.Conv2d:
+		return nn.NewConv2d(g, v.InC, v.OutC, v.Kernel, v.P.Stride, v.P.Padding, v.P.Groups, v.B != nil)
+	case *nn.BatchNorm2d:
+		return nn.NewBatchNorm2d(v.C)
+	case *nn.ReLU:
+		return &nn.ReLU{}
+	case *nn.ReLU6:
+		return &nn.ReLU6{}
+	case *nn.AvgPool:
+		return &nn.AvgPool{Kernel: v.Kernel, Stride: v.Stride}
+	case *nn.Flatten:
+		return &nn.Flatten{}
+	case *nn.Linear:
+		return nn.NewLinear(g, v.In, v.Out, v.B != nil)
+	case *nn.Sequential:
+		return cloneSeq(g, v)
+	case *nn.Residual:
+		return nn.NewResidual(cloneLayer(g, v.Body), cloneLayer(g, v.Shortcut))
+	case nn.Identity:
+		return nn.Identity{}
+	default:
+		panic(fmt.Sprintf("bench: cannot clone %T", l))
+	}
+}
+
+func copyRunningStats(src, dst nn.Layer) {
+	var collect func(l nn.Layer, out *[]*nn.BatchNorm2d)
+	collect = func(l nn.Layer, out *[]*nn.BatchNorm2d) {
+		if bn, ok := l.(*nn.BatchNorm2d); ok {
+			*out = append(*out, bn)
+		}
+		if c, ok := l.(nn.Container); ok {
+			for _, sub := range c.Children() {
+				collect(sub, out)
+			}
+		}
+	}
+	var a, b []*nn.BatchNorm2d
+	collect(src, &a)
+	collect(dst, &b)
+	for i := range a {
+		b[i].RunningMean.CopyFrom(a[i].RunningMean)
+		b[i].RunningVar.CopyFrom(a[i].RunningVar)
+	}
+}

@@ -1,0 +1,212 @@
+// Package core is the top level of the toolkit: it wires the
+// user-customized quantizers, the trainer selection, the automatic fusion,
+// and the parameter extraction into the paper's five-line workflow:
+//
+//	t2c := core.New(model, cfg)
+//	t2c.Prepare()                               // swap in dual-path layers
+//	t2c.Calibrate(calibSet, batch)              // observers + logit range
+//	im, err := t2c.Convert()                    // integer-only deploy model
+//	err = t2c.Export(im, dir, core.FormatHex, core.FormatJSON)
+//
+// Training (QAT / PTQ / sparse / SSL) happens between Prepare and
+// Calibrate using the trainers in internal/train.
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"torch2chip/internal/data"
+	"torch2chip/internal/export"
+	"torch2chip/internal/fuse"
+	"torch2chip/internal/nn"
+	"torch2chip/internal/quant"
+	"torch2chip/internal/tensor"
+)
+
+// Format names an export output format (Figure 5).
+type Format string
+
+// Supported export formats.
+const (
+	FormatHex  Format = "hex"  // $readmemh text
+	FormatBin  Format = "bin"  // $readmemb text
+	FormatRaw  Format = "raw"  // packed little-endian binary
+	FormatJSON Format = "json" // integer checkpoint
+)
+
+// Config collects the end-to-end settings.
+type Config struct {
+	Quant quant.Config
+	Fuse  fuse.Options
+	// OutBits is the logit quantizer precision (12-bit default keeps the
+	// final rescale inside the INT16 fixed-point range).
+	OutBits int
+}
+
+// DefaultConfig returns the paper's INT16(12,4) deployment recipe with
+// 8-bit MinMax quantization.
+func DefaultConfig() Config {
+	return Config{
+		Quant: quant.Config{WBits: 8, ABits: 8, Weight: "minmax", Act: "minmax", PerChannel: true},
+		Fuse:  fuse.DefaultOptions(),
+	}
+}
+
+// T2C is the compilation pipeline around one model.
+type T2C struct {
+	Model nn.Layer
+	Cfg   Config
+	OutQ  *quant.MinMax
+
+	prepared   bool
+	calibrated bool
+}
+
+// New wraps a model.
+func New(model nn.Layer, cfg Config) *T2C {
+	if cfg.OutBits == 0 {
+		cfg.OutBits = 12
+	}
+	return &T2C{Model: model, Cfg: cfg, OutQ: quant.NewMinMax(cfg.OutBits, true, false)}
+}
+
+// Prepare swaps vanilla layers for dual-path quantized layers.
+func (t *T2C) Prepare() {
+	quant.Prepare(t.Model, t.Cfg.Quant)
+	t.prepared = true
+}
+
+// Calibrate runs calibration batches through the training path with
+// observers enabled, observes the logit range, then freezes all
+// observers. The model is left in eval mode.
+func (t *T2C) Calibrate(calib *data.Dataset, batch int) error {
+	if !t.prepared {
+		return fmt.Errorf("core: Calibrate before Prepare")
+	}
+	nn.SetTraining(t.Model, false)
+	quant.SetCalibrating(t.Model, true)
+	loader := data.NewLoader(calib, batch, nil)
+	for {
+		x, _, ok := loader.Next()
+		if !ok {
+			break
+		}
+		t.OutQ.Observe(t.Model.Forward(x))
+	}
+	quant.SetCalibrating(t.Model, false)
+	t.calibrated = true
+	return nil
+}
+
+// Convert fuses normalization into MulQuant modules and lowers the model
+// to the integer-only deploy pipeline.
+func (t *T2C) Convert() (*fuse.IntModel, error) {
+	if !t.calibrated {
+		return nil, fmt.Errorf("core: Convert before Calibrate")
+	}
+	opts := t.Cfg.Fuse
+	opts.OutQuant = t.OutQ.Base()
+	return fuse.Convert(t.Model, opts)
+}
+
+// widthsFor assigns export widths: weights carry the configured weight
+// precision, scaler scales are INT16, scaler biases INT32.
+func (t *T2C) widthsFor(names map[string]*tensor.IntTensor) map[string]int {
+	w := map[string]int{}
+	for name := range names {
+		switch {
+		case strings.HasSuffix(name, "scaler.scale"):
+			w[name] = 16
+		case strings.HasSuffix(name, "scaler.bias"):
+			w[name] = 32
+		default:
+			w[name] = t.Cfg.Quant.WBits
+		}
+	}
+	return w
+}
+
+// Export writes the integer model parameters to dir in the requested
+// formats. Hex/bin/raw produce one file per tensor; json produces a
+// single checkpoint file.
+func (t *T2C) Export(im *fuse.IntModel, dir string, formats ...Format) error {
+	tensors := im.IntTensors()
+	widths := t.widthsFor(tensors)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, f := range formats {
+		switch f {
+		case FormatJSON:
+			fp, err := os.Create(filepath.Join(dir, "model_int.json"))
+			if err != nil {
+				return err
+			}
+			ck := export.NewCheckpoint(tensors, widths)
+			err = ck.WriteJSON(fp)
+			cerr := fp.Close()
+			if err != nil {
+				return err
+			}
+			if cerr != nil {
+				return cerr
+			}
+		case FormatHex, FormatBin, FormatRaw:
+			for name, tt := range tensors {
+				fn := strings.ReplaceAll(name, "/", "_") + "." + string(f)
+				fp, err := os.Create(filepath.Join(dir, fn))
+				if err != nil {
+					return err
+				}
+				switch f {
+				case FormatHex:
+					err = export.WriteHex(fp, tt, widths[name])
+				case FormatBin:
+					err = export.WriteBin(fp, tt, widths[name])
+				case FormatRaw:
+					err = export.WriteRaw(fp, tt, widths[name])
+				}
+				cerr := fp.Close()
+				if err != nil {
+					return err
+				}
+				if cerr != nil {
+					return cerr
+				}
+			}
+		default:
+			return fmt.Errorf("core: unknown export format %q", f)
+		}
+	}
+	return nil
+}
+
+// Summary reports the compiled model inventory: tensor names, shapes, and
+// deployed size, for logging and the CLI.
+func Summary(im *fuse.IntModel) string {
+	var sb strings.Builder
+	ts := im.IntTensors()
+	names := make([]string, 0, len(ts))
+	for n := range ts {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	for _, n := range names {
+		fmt.Fprintf(&sb, "%-40s %v\n", n, ts[n].Shape)
+	}
+	fmt.Fprintf(&sb, "deployed size: %d bytes\n", im.SizeBytes())
+	return sb.String()
+}
+
+func sortStrings(s []string) {
+	for i := range s {
+		for j := i + 1; j < len(s); j++ {
+			if s[j] < s[i] {
+				s[i], s[j] = s[j], s[i]
+			}
+		}
+	}
+}

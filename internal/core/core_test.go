@@ -1,0 +1,178 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"torch2chip/internal/data"
+	"torch2chip/internal/export"
+	"torch2chip/internal/models"
+	"torch2chip/internal/nn"
+	"torch2chip/internal/tensor"
+)
+
+func trainedMobileNet(t *testing.T) (nn.Layer, *data.Dataset, *data.Dataset) {
+	t.Helper()
+	g := tensor.NewRNG(1)
+	train, test := data.Generate(data.SynthCIFAR10, 200, 60)
+	model := models.NewMobileNetV1(g, models.MobileNetConfig{WidthMult: 1, NumClasses: 10, Blocks: 3})
+	// A couple of epochs of plain SGD to get realistic BN stats.
+	loader := data.NewLoader(train, 32, g)
+	for ep := 0; ep < 2; ep++ {
+		for {
+			x, y, ok := loader.Next()
+			if !ok {
+				break
+			}
+			logits := model.Forward(x)
+			_, grad := nn.CrossEntropyLoss(logits, y)
+			nn.ZeroGrads(model)
+			model.Backward(grad)
+			for _, p := range model.Params() {
+				tensor.AxpyInPlace(p.Data, -0.05, p.Grad)
+			}
+		}
+	}
+	return model, train, test
+}
+
+func TestFiveLineWorkflow(t *testing.T) {
+	model, train, _ := trainedMobileNet(t)
+	t2c := New(model, DefaultConfig())
+	t2c.Prepare()
+	if err := t2c.Calibrate(train.Subset(5), 16); err != nil {
+		t.Fatal(err)
+	}
+	im, err := t2c.Convert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := t2c.Export(im, dir, FormatHex, FormatBin, FormatRaw, FormatJSON); err != nil {
+		t.Fatal(err)
+	}
+	// The JSON checkpoint must round-trip.
+	fp, err := os.Open(filepath.Join(dir, "model_int.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fp.Close()
+	ck, err := export.ReadJSON(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ck.Names()) != len(im.IntTensors()) {
+		t.Fatalf("checkpoint has %d tensors, model %d", len(ck.Names()), len(im.IntTensors()))
+	}
+	// Hex files must exist for every tensor and decode to the same codes.
+	for name, tt := range im.IntTensors() {
+		fn := filepath.Join(dir, strings.ReplaceAll(name, "/", "_")+".hex")
+		f, err := os.Open(fn)
+		if err != nil {
+			t.Fatalf("missing hex dump %s", fn)
+		}
+		width := 8
+		if strings.HasSuffix(name, "scaler.scale") {
+			width = 16
+		} else if strings.HasSuffix(name, "scaler.bias") {
+			width = 32
+		}
+		vals, err := export.ReadHex(f, width)
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vals) != tt.Numel() {
+			t.Fatalf("%s: %d values, want %d", name, len(vals), tt.Numel())
+		}
+		for i := range vals {
+			if vals[i] != tt.Data[i] {
+				t.Fatalf("%s[%d]: %d != %d", name, i, vals[i], tt.Data[i])
+			}
+		}
+	}
+}
+
+func TestWorkflowOrderEnforced(t *testing.T) {
+	g := tensor.NewRNG(2)
+	model := models.NewMobileNetV1(g, models.MobileNetConfig{WidthMult: 1, NumClasses: 10, Blocks: 2})
+	t2c := New(model, DefaultConfig())
+	train, _ := data.Generate(data.SynthCIFAR10, 10, 2)
+	if err := t2c.Calibrate(train, 4); err == nil {
+		t.Fatal("Calibrate before Prepare must fail")
+	}
+	if _, err := t2c.Convert(); err == nil {
+		t.Fatal("Convert before Calibrate must fail")
+	}
+}
+
+func TestExportUnknownFormat(t *testing.T) {
+	model, train, _ := trainedMobileNet(t)
+	t2c := New(model, DefaultConfig())
+	t2c.Prepare()
+	if err := t2c.Calibrate(train.Subset(3), 8); err != nil {
+		t.Fatal(err)
+	}
+	im, err := t2c.Convert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := t2c.Export(im, t.TempDir(), Format("nope")); err == nil {
+		t.Fatal("unknown format must error")
+	}
+}
+
+func TestDeployedModelClassifies(t *testing.T) {
+	model, train, test := trainedMobileNet(t)
+	// Fake-quant reference accuracy.
+	t2c := New(model, DefaultConfig())
+	t2c.Prepare()
+	if err := t2c.Calibrate(train.Subset(8), 16); err != nil {
+		t.Fatal(err)
+	}
+	im, err := t2c.Convert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var agree, total int
+	loader := data.NewLoader(test, 16, nil)
+	for {
+		x, _, ok := loader.Next()
+		if !ok {
+			break
+		}
+		ref := model.Forward(x)
+		got := im.Forward(x)
+		n, c := ref.Shape[0], ref.Shape[1]
+		for i := 0; i < n; i++ {
+			ri := tensor.FromSlice(ref.Data[i*c:(i+1)*c], c).Argmax()
+			gi := tensor.FromSlice(got.Data[i*c:(i+1)*c], c).Argmax()
+			if ri == gi {
+				agree++
+			}
+			total++
+		}
+	}
+	if float64(agree) < 0.9*float64(total) {
+		t.Fatalf("deploy/fake-quant agreement %d/%d below 90%%", agree, total)
+	}
+}
+
+func TestSummaryListsTensors(t *testing.T) {
+	model, train, _ := trainedMobileNet(t)
+	t2c := New(model, DefaultConfig())
+	t2c.Prepare()
+	if err := t2c.Calibrate(train.Subset(3), 8); err != nil {
+		t.Fatal(err)
+	}
+	im, err := t2c.Convert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summary(im)
+	if !strings.Contains(s, "conv.weight") || !strings.Contains(s, "deployed size") {
+		t.Fatalf("summary missing fields:\n%s", s)
+	}
+}

@@ -1,0 +1,288 @@
+// Package data provides the synthetic stand-ins for the paper's datasets
+// (CIFAR-10/100, ImageNet-1K, and the transfer suite Aircraft / Flowers /
+// Food-101). Real photos are unavailable in this environment; each
+// dataset is a seeded class-template generator whose samples are
+// template + geometric and photometric jitter. The tasks are genuinely
+// learnable (CNNs reach high accuracy with enough data) and quantization/
+// pruning stress behaves like on natural images: accuracy degrades
+// gracefully with precision, which is the property the paper's tables
+// measure. See DESIGN.md for the substitution rationale.
+package data
+
+import (
+	"fmt"
+	"math"
+
+	"torch2chip/internal/tensor"
+)
+
+// Dataset is an in-memory labelled image set (NCHW float32 in [0,1]).
+type Dataset struct {
+	Name       string
+	NumClasses int
+	C, H, W    int
+	Images     []*tensor.Tensor // each [C,H,W]
+	Labels     []int
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.Images) }
+
+// Batch assembles samples at the given indices into an [n,C,H,W] tensor
+// and a label slice.
+func (d *Dataset) Batch(idx []int) (*tensor.Tensor, []int) {
+	n := len(idx)
+	x := tensor.New(n, d.C, d.H, d.W)
+	y := make([]int, n)
+	sz := d.C * d.H * d.W
+	for i, id := range idx {
+		copy(x.Data[i*sz:(i+1)*sz], d.Images[id].Data)
+		y[i] = d.Labels[id]
+	}
+	return x, y
+}
+
+// Subset returns a dataset view with the first n samples per class,
+// emulating the low-label transfer regime of Table 4.
+func (d *Dataset) Subset(perClass int) *Dataset {
+	counts := make([]int, d.NumClasses)
+	out := &Dataset{Name: d.Name + "-subset", NumClasses: d.NumClasses, C: d.C, H: d.H, W: d.W}
+	for i, img := range d.Images {
+		y := d.Labels[i]
+		if counts[y] < perClass {
+			counts[y]++
+			out.Images = append(out.Images, img)
+			out.Labels = append(out.Labels, y)
+		}
+	}
+	return out
+}
+
+// Spec parameterizes a synthetic domain. Different domains (the transfer
+// tasks) differ in their template statistics.
+type Spec struct {
+	Name       string
+	NumClasses int
+	Size       int // H = W
+	// Blobs and Gratings control template complexity.
+	Blobs    int
+	Gratings int
+	// Noise is the per-sample additive noise std.
+	Noise float32
+	// MaxShift is the per-sample translation jitter in pixels.
+	MaxShift int
+	Seed     int64
+}
+
+// Standard domain specs; sizes are scaled down from the papers' datasets
+// so CPU training finishes in seconds (see DESIGN.md substitutions).
+var (
+	// SynthCIFAR10 stands in for CIFAR-10.
+	SynthCIFAR10 = Spec{Name: "synth-cifar10", NumClasses: 10, Size: 16, Blobs: 3, Gratings: 2, Noise: 0.06, MaxShift: 2, Seed: 1001}
+	// SynthCIFAR100 stands in for CIFAR-100.
+	SynthCIFAR100 = Spec{Name: "synth-cifar100", NumClasses: 40, Size: 16, Blobs: 3, Gratings: 2, Noise: 0.06, MaxShift: 2, Seed: 1002}
+	// SynthImageNet stands in for ImageNet-1K as the pre-training corpus.
+	SynthImageNet = Spec{Name: "synth-imagenet", NumClasses: 20, Size: 16, Blobs: 4, Gratings: 3, Noise: 0.08, MaxShift: 3, Seed: 1003}
+	// SynthAircraft / SynthFlowers / SynthFood are the transfer tasks.
+	SynthAircraft = Spec{Name: "synth-aircraft", NumClasses: 10, Size: 16, Blobs: 2, Gratings: 4, Noise: 0.1, MaxShift: 3, Seed: 1004}
+	SynthFlowers  = Spec{Name: "synth-flowers", NumClasses: 10, Size: 16, Blobs: 5, Gratings: 1, Noise: 0.08, MaxShift: 2, Seed: 1005}
+	SynthFood     = Spec{Name: "synth-food", NumClasses: 10, Size: 16, Blobs: 4, Gratings: 2, Noise: 0.12, MaxShift: 2, Seed: 1006}
+)
+
+// Generate builds train and test splits for a spec.
+func Generate(spec Spec, trainN, testN int) (train, test *Dataset) {
+	g := tensor.NewRNG(spec.Seed)
+	templates := make([]*tensor.Tensor, spec.NumClasses)
+	for k := range templates {
+		templates[k] = makeTemplate(g, spec)
+	}
+	make_ := func(n int, rng *tensor.RNG) *Dataset {
+		d := &Dataset{Name: spec.Name, NumClasses: spec.NumClasses, C: 3, H: spec.Size, W: spec.Size}
+		for i := 0; i < n; i++ {
+			y := i % spec.NumClasses
+			d.Images = append(d.Images, sample(rng, templates[y], spec))
+			d.Labels = append(d.Labels, y)
+		}
+		return d
+	}
+	return make_(trainN, tensor.NewRNG(spec.Seed+1)), make_(testN, tensor.NewRNG(spec.Seed+2))
+}
+
+// makeTemplate draws a class prototype: Gaussian blobs plus sinusoidal
+// gratings in random colors, normalized to [0.1, 0.9].
+func makeTemplate(g *tensor.RNG, spec Spec) *tensor.Tensor {
+	s := spec.Size
+	t := tensor.New(3, s, s)
+	for b := 0; b < spec.Blobs; b++ {
+		cx := g.Float32() * float32(s)
+		cy := g.Float32() * float32(s)
+		sig := 1 + g.Float32()*float32(s)/4
+		col := [3]float32{g.Float32(), g.Float32(), g.Float32()}
+		for c := 0; c < 3; c++ {
+			for y := 0; y < s; y++ {
+				for x := 0; x < s; x++ {
+					dx := float64(float32(x) - cx)
+					dy := float64(float32(y) - cy)
+					v := float32(math.Exp(-(dx*dx + dy*dy) / float64(2*sig*sig)))
+					t.Data[(c*s+y)*s+x] += col[c] * v
+				}
+			}
+		}
+	}
+	for gr := 0; gr < spec.Gratings; gr++ {
+		fx := (g.Float32() - 0.5) * 2
+		fy := (g.Float32() - 0.5) * 2
+		ph := g.Float32() * 6.28
+		col := [3]float32{g.Float32(), g.Float32(), g.Float32()}
+		for c := 0; c < 3; c++ {
+			for y := 0; y < s; y++ {
+				for x := 0; x < s; x++ {
+					v := float32(math.Sin(float64(fx*float32(x)+fy*float32(y)) + float64(ph)))
+					t.Data[(c*s+y)*s+x] += 0.3 * col[c] * v
+				}
+			}
+		}
+	}
+	// Normalize to [0.1, 0.9].
+	lo, hi := t.Min(), t.Max()
+	if hi-lo < 1e-6 {
+		hi = lo + 1
+	}
+	for i, v := range t.Data {
+		t.Data[i] = 0.1 + 0.8*(v-lo)/(hi-lo)
+	}
+	return t
+}
+
+// sample jitters a template: random shift, horizontal flip, contrast and
+// brightness jitter, additive noise; clipped back to [0,1].
+func sample(g *tensor.RNG, tpl *tensor.Tensor, spec Spec) *tensor.Tensor {
+	s := spec.Size
+	out := tensor.New(3, s, s)
+	dx := g.Intn(2*spec.MaxShift+1) - spec.MaxShift
+	dy := g.Intn(2*spec.MaxShift+1) - spec.MaxShift
+	flip := g.Float32() < 0.5
+	contrast := 0.8 + 0.4*g.Float32()
+	bright := (g.Float32() - 0.5) * 0.2
+	for c := 0; c < 3; c++ {
+		for y := 0; y < s; y++ {
+			for x := 0; x < s; x++ {
+				sx, sy := x+dx, y+dy
+				if flip {
+					sx = s - 1 - sx
+				}
+				var v float32 = 0.5
+				if sx >= 0 && sx < s && sy >= 0 && sy < s {
+					v = tpl.Data[(c*s+sy)*s+sx]
+				}
+				v = (v-0.5)*contrast + 0.5 + bright + g.NormFloat32()*spec.Noise
+				if v < 0 {
+					v = 0
+				}
+				if v > 1 {
+					v = 1
+				}
+				out.Data[(c*s+y)*s+x] = v
+			}
+		}
+	}
+	return out
+}
+
+// Loader iterates a dataset in shuffled mini-batches.
+type Loader struct {
+	DS    *Dataset
+	Batch int
+	RNG   *tensor.RNG
+	perm  []int
+	pos   int
+}
+
+// NewLoader builds a loader; batch must be positive.
+func NewLoader(ds *Dataset, batch int, rng *tensor.RNG) *Loader {
+	if batch <= 0 {
+		panic(fmt.Sprintf("data: batch %d", batch))
+	}
+	l := &Loader{DS: ds, Batch: batch, RNG: rng}
+	l.reshuffle()
+	return l
+}
+
+func (l *Loader) reshuffle() {
+	if l.RNG != nil {
+		l.perm = l.RNG.Perm(l.DS.Len())
+	} else {
+		l.perm = make([]int, l.DS.Len())
+		for i := range l.perm {
+			l.perm[i] = i
+		}
+	}
+	l.pos = 0
+}
+
+// Next returns the next batch, reshuffling at epoch boundaries. ok is
+// false exactly once per epoch (the epoch-end signal).
+func (l *Loader) Next() (x *tensor.Tensor, y []int, ok bool) {
+	if l.pos >= len(l.perm) {
+		l.reshuffle()
+		return nil, nil, false
+	}
+	end := l.pos + l.Batch
+	if end > len(l.perm) {
+		end = len(l.perm)
+	}
+	idx := l.perm[l.pos:end]
+	l.pos = end
+	x, y = l.DS.Batch(idx)
+	return x, y, true
+}
+
+// TwoViews produces two independently augmented views of a batch for
+// self-supervised training: random shift, flip, channel dropout-free
+// noise and cutout.
+func TwoViews(g *tensor.RNG, x *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
+	return augmentBatch(g, x), augmentBatch(g, x)
+}
+
+func augmentBatch(g *tensor.RNG, x *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	out := tensor.New(x.Shape...)
+	for ni := 0; ni < n; ni++ {
+		dx := g.Intn(5) - 2
+		dy := g.Intn(5) - 2
+		flip := g.Float32() < 0.5
+		noise := g.Float32() * 0.08
+		cutX, cutY, cutS := -10, -10, 0
+		if g.Float32() < 0.5 {
+			cutS = h / 4
+			cutX = g.Intn(w)
+			cutY = g.Intn(h)
+		}
+		for ci := 0; ci < c; ci++ {
+			for y := 0; y < h; y++ {
+				for xx := 0; xx < w; xx++ {
+					sx, sy := xx+dx, y+dy
+					if flip {
+						sx = w - 1 - sx
+					}
+					var v float32 = 0.5
+					if sx >= 0 && sx < w && sy >= 0 && sy < h {
+						v = x.Data[((ni*c+ci)*h+sy)*w+sx]
+					}
+					if xx >= cutX && xx < cutX+cutS && y >= cutY && y < cutY+cutS {
+						v = 0.5
+					}
+					v += g.NormFloat32() * noise
+					if v < 0 {
+						v = 0
+					}
+					if v > 1 {
+						v = 1
+					}
+					out.Data[((ni*c+ci)*h+y)*w+xx] = v
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package data
+
+import (
+	"math"
+	"testing"
+
+	"torch2chip/internal/tensor"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(SynthCIFAR10, 20, 10)
+	b, _ := Generate(SynthCIFAR10, 20, 10)
+	if !tensor.AllClose(a.Images[7], b.Images[7], 0, 0) {
+		t.Fatal("same spec must generate identical data")
+	}
+	if a.Labels[7] != b.Labels[7] {
+		t.Fatal("labels must match")
+	}
+}
+
+func TestGenerateRangeAndShape(t *testing.T) {
+	train, test := Generate(SynthCIFAR10, 30, 10)
+	if train.Len() != 30 || test.Len() != 10 {
+		t.Fatalf("lens %d/%d", train.Len(), test.Len())
+	}
+	img := train.Images[0]
+	if img.Shape[0] != 3 || img.Shape[1] != 16 {
+		t.Fatalf("shape %v", img.Shape)
+	}
+	if img.Min() < 0 || img.Max() > 1 {
+		t.Fatalf("pixel range [%v,%v]", img.Min(), img.Max())
+	}
+}
+
+func TestClassesAreSeparable(t *testing.T) {
+	// Same-class samples must be closer (on average) than cross-class
+	// samples — the learnability precondition.
+	train, _ := Generate(SynthCIFAR10, 100, 10)
+	dist := func(a, b *tensor.Tensor) float64 {
+		var s float64
+		for i := range a.Data {
+			d := float64(a.Data[i] - b.Data[i])
+			s += d * d
+		}
+		return s
+	}
+	var same, cross float64
+	var ns, nc int
+	for i := 0; i < 40; i++ {
+		for j := i + 1; j < 40; j++ {
+			d := dist(train.Images[i], train.Images[j])
+			if train.Labels[i] == train.Labels[j] {
+				same += d
+				ns++
+			} else {
+				cross += d
+				nc++
+			}
+		}
+	}
+	if same/float64(ns) >= cross/float64(nc) {
+		t.Fatalf("same-class dist %v not below cross-class %v", same/float64(ns), cross/float64(nc))
+	}
+}
+
+func TestDomainsDiffer(t *testing.T) {
+	a, _ := Generate(SynthAircraft, 10, 2)
+	f, _ := Generate(SynthFlowers, 10, 2)
+	if tensor.AllClose(a.Images[0], f.Images[0], 1e-3, 1e-3) {
+		t.Fatal("different domains must generate different data")
+	}
+}
+
+func TestBatchAssembly(t *testing.T) {
+	train, _ := Generate(SynthCIFAR10, 20, 5)
+	x, y := train.Batch([]int{0, 5, 10})
+	if x.Shape[0] != 3 || x.Shape[1] != 3 || len(y) != 3 {
+		t.Fatalf("batch shape %v labels %v", x.Shape, y)
+	}
+	// Row 1 must equal image 5.
+	sz := 3 * 16 * 16
+	for i := 0; i < sz; i++ {
+		if x.Data[sz+i] != train.Images[5].Data[i] {
+			t.Fatal("batch row mismatch")
+		}
+	}
+}
+
+func TestSubsetPerClass(t *testing.T) {
+	train, _ := Generate(SynthCIFAR10, 100, 5)
+	sub := train.Subset(3)
+	if sub.Len() != 30 {
+		t.Fatalf("subset len %d, want 30", sub.Len())
+	}
+	counts := map[int]int{}
+	for _, y := range sub.Labels {
+		counts[y]++
+	}
+	for y, c := range counts {
+		if c != 3 {
+			t.Fatalf("class %d has %d samples", y, c)
+		}
+	}
+}
+
+func TestLoaderCoversEpoch(t *testing.T) {
+	train, _ := Generate(SynthCIFAR10, 25, 5)
+	l := NewLoader(train, 8, tensor.NewRNG(1))
+	seen := 0
+	batches := 0
+	for {
+		x, y, ok := l.Next()
+		if !ok {
+			break
+		}
+		seen += len(y)
+		batches++
+		if x.Shape[0] != len(y) {
+			t.Fatal("batch size mismatch")
+		}
+	}
+	if seen != 25 || batches != 4 {
+		t.Fatalf("epoch covered %d samples in %d batches", seen, batches)
+	}
+	// Next epoch starts fresh.
+	_, _, ok := l.Next()
+	if !ok {
+		t.Fatal("second epoch must start after reset")
+	}
+}
+
+func TestLoaderShufflesBetweenEpochs(t *testing.T) {
+	train, _ := Generate(SynthCIFAR10, 50, 5)
+	l := NewLoader(train, 50, tensor.NewRNG(2))
+	_, y1, _ := l.Next()
+	l.Next() // epoch end
+	_, y2, _ := l.Next()
+	same := true
+	for i := range y1 {
+		if y1[i] != y2[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("loader must reshuffle between epochs")
+	}
+}
+
+func TestTwoViewsDiffer(t *testing.T) {
+	train, _ := Generate(SynthCIFAR10, 4, 2)
+	x, _ := train.Batch([]int{0, 1, 2, 3})
+	g := tensor.NewRNG(3)
+	v1, v2 := TwoViews(g, x)
+	if tensor.AllClose(v1, v2, 1e-4, 1e-4) {
+		t.Fatal("the two SSL views must differ")
+	}
+	if v1.Min() < 0 || v1.Max() > 1 {
+		t.Fatalf("view out of range [%v,%v]", v1.Min(), v1.Max())
+	}
+	// Views must stay correlated with the source (same content).
+	var dot, na, nb float64
+	for i := range x.Data {
+		dot += float64(x.Data[i]) * float64(v1.Data[i])
+		na += float64(x.Data[i]) * float64(x.Data[i])
+		nb += float64(v1.Data[i]) * float64(v1.Data[i])
+	}
+	if corr := dot / (math.Sqrt(na) * math.Sqrt(nb)); corr < 0.7 {
+		t.Fatalf("augmented view decorrelated from source: %v", corr)
+	}
+}

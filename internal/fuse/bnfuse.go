@@ -1,0 +1,87 @@
+// Package fuse implements the paper's automatic post-training fusion and
+// model conversion: BatchNorm folding (the 8-bit "Pre-Fusing" scheme of
+// Eq. 8–11 and the sub-8-bit channel-wise scheme of Eq. 12–15), the
+// construction of the integer-only deploy model whose scaling runs through
+// MulQuant modules, and the "custom → vanilla" conversion that leaves only
+// integer parameters behind.
+package fuse
+
+import (
+	"math"
+
+	"torch2chip/internal/nn"
+	"torch2chip/internal/tensor"
+)
+
+// BNParams is the channel-wise scale γ* and shift β* extracted from a
+// BatchNorm layer (Eq. 12–13): γ* = γ/√(σ²+ε), β* = β − γ*·μ.
+type BNParams struct {
+	GammaStar []float32
+	BetaStar  []float32
+}
+
+// ExtractBN computes γ*/β* from running statistics.
+func ExtractBN(bn *nn.BatchNorm2d) BNParams {
+	c := bn.C
+	p := BNParams{GammaStar: make([]float32, c), BetaStar: make([]float32, c)}
+	for ch := 0; ch < c; ch++ {
+		iv := float32(1 / math.Sqrt(float64(bn.RunningVar.Data[ch])+float64(bn.Eps)))
+		p.GammaStar[ch] = bn.Gamma.Data.Data[ch] * iv
+		p.BetaStar[ch] = bn.Beta.Data.Data[ch] - p.GammaStar[ch]*bn.RunningMean.Data[ch]
+	}
+	return p
+}
+
+// Identity returns BNParams that leave the activation unchanged, used when
+// a convolution has no following BatchNorm.
+func IdentityBN(c int) BNParams {
+	p := BNParams{GammaStar: make([]float32, c), BetaStar: make([]float32, c)}
+	for i := range p.GammaStar {
+		p.GammaStar[i] = 1
+	}
+	return p
+}
+
+// PreFuse folds BN into the convolution weights (the 8-bit scheme,
+// Eq. 8–11): W̄[oc] = γ*[oc]·W[oc], b̄[oc] = β*[oc] + γ*[oc]·b[oc].
+// It returns the fused weight and bias without modifying the inputs.
+func PreFuse(w *tensor.Tensor, bias *tensor.Tensor, p BNParams) (*tensor.Tensor, *tensor.Tensor) {
+	o := w.Shape[0]
+	chSize := len(w.Data) / o
+	wf := w.Clone()
+	bf := tensor.New(o)
+	for oc := 0; oc < o; oc++ {
+		g := p.GammaStar[oc]
+		seg := wf.Data[oc*chSize : (oc+1)*chSize]
+		for i := range seg {
+			seg[i] *= g
+		}
+		bf.Data[oc] = p.BetaStar[oc]
+		if bias != nil {
+			bf.Data[oc] += g * bias.Data[oc]
+		}
+	}
+	return wf, bf
+}
+
+// FusedFloatForward computes conv→BN in one fused float op, used by tests
+// to prove both fusion schemes are exact at FP32.
+func FusedFloatForward(x, w *tensor.Tensor, bias *tensor.Tensor, p BNParams, cp tensor.ConvParams) *tensor.Tensor {
+	y := tensor.Conv2d(x, w, nil, cp)
+	n, o := y.Shape[0], y.Shape[1]
+	sp := y.Shape[2] * y.Shape[3]
+	for ni := 0; ni < n; ni++ {
+		for oc := 0; oc < o; oc++ {
+			g := p.GammaStar[oc]
+			b := p.BetaStar[oc]
+			if bias != nil {
+				b += g * bias.Data[oc]
+			}
+			seg := y.Data[(ni*o+oc)*sp : (ni*o+oc+1)*sp]
+			for i := range seg {
+				seg[i] = g*seg[i] + b
+			}
+		}
+	}
+	return y
+}

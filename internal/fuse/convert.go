@@ -1,0 +1,310 @@
+package fuse
+
+import (
+	"fmt"
+
+	"torch2chip/internal/intmath"
+	"torch2chip/internal/quant"
+	"torch2chip/internal/tensor"
+)
+
+// Scheme selects the fusion strategy.
+type Scheme int
+
+const (
+	// SchemeAuto picks PreFuse for ≥8-bit weights and channel-wise
+	// scaling below 8 bits, the paper's recommendation.
+	SchemeAuto Scheme = iota
+	// SchemePreFuse folds BN into weights before quantization (Eq. 8–11).
+	SchemePreFuse
+	// SchemeChannelWise keeps BN as per-channel scale+bias inside
+	// MulQuant (Eq. 12–15).
+	SchemeChannelWise
+)
+
+// Options configure Convert.
+type Options struct {
+	Scheme Scheme
+	// IntBits+FracBits=16 define the MulQuant fixed-point split, e.g.
+	// (4, 12) is the paper's INT(12,4) with 12 fractional bits.
+	IntBits, FracBits int
+	// AutoSplit picks the per-layer INT16 split automatically so that the
+	// largest fused scale always fits (the paper reports the per-model
+	// "optimal scaling precision"); when false the global split is used
+	// and out-of-range scales are rejected.
+	AutoSplit bool
+	// ResidualShift carries residual branch codes at a 2^shift finer
+	// scale, shifting back after the integer add; this keeps the
+	// block-boundary requantization noise well below one activation step.
+	ResidualShift int
+	// OutQuant quantizes the final logits (16-bit symmetric by default);
+	// callers calibrate it on held-out data before Convert.
+	OutQuant *quant.QBase
+}
+
+// DefaultOptions returns the paper's INT16 (12 fractional, 4 integer)
+// split with automatic per-layer adjustment enabled.
+func DefaultOptions() Options {
+	return Options{Scheme: SchemeAuto, IntBits: 4, FracBits: 12, AutoSplit: true, ResidualShift: 6}
+}
+
+// IntLayer is one stage of the integer-only deploy pipeline.
+type IntLayer interface {
+	Forward(x *tensor.IntTensor) *tensor.IntTensor
+}
+
+// IntConv2d is a vanilla convolution holding integer weights and a
+// MulQuant scaler — the deploy-mode layer of Figure 3(c).
+type IntConv2d struct {
+	Name   string
+	W      *tensor.IntTensor
+	P      tensor.ConvParams
+	InZero int64
+	Scaler *intmath.MulQuant
+	// WBits records the logical weight precision for export/size audits.
+	WBits int
+}
+
+// Forward runs integer conv then fixed-point requantization.
+func (l *IntConv2d) Forward(x *tensor.IntTensor) *tensor.IntTensor {
+	acc := intmath.Conv2dInt(x, l.W, l.InZero, l.P)
+	return l.Scaler.Apply(acc, 1)
+}
+
+// IntLinear is the deploy-mode fully connected layer.
+type IntLinear struct {
+	Name   string
+	W      *tensor.IntTensor
+	InZero int64
+	Scaler *intmath.MulQuant
+	WBits  int
+}
+
+// Forward runs integer matmul then requantization.
+func (l *IntLinear) Forward(x *tensor.IntTensor) *tensor.IntTensor {
+	xs := x
+	if l.InZero != 0 {
+		xs = x.Clone()
+		for i := range xs.Data {
+			xs.Data[i] -= l.InZero
+		}
+	}
+	acc := intmath.MatMulIntT(xs, l.W)
+	return l.Scaler.Apply(acc, 1)
+}
+
+// IntAvgPool averages codes over a window (0 = global) with integer
+// round-to-nearest; codes keep their scale.
+type IntAvgPool struct{ Kernel, Stride int }
+
+// Forward averages integer codes.
+func (l *IntAvgPool) Forward(x *tensor.IntTensor) *tensor.IntTensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if l.Kernel == 0 {
+		out := tensor.NewInt(n, c, 1, 1)
+		cnt := int64(h * w)
+		for i := 0; i < n*c; i++ {
+			var s int64
+			for _, v := range x.Data[i*h*w : (i+1)*h*w] {
+				s += v
+			}
+			if s >= 0 {
+				out.Data[i] = (s + cnt/2) / cnt
+			} else {
+				out.Data[i] = -((-s + cnt/2) / cnt)
+			}
+		}
+		return out
+	}
+	k, st := l.Kernel, l.Stride
+	if st <= 0 {
+		st = k
+	}
+	oh, ow := (h-k)/st+1, (w-k)/st+1
+	out := tensor.NewInt(n, c, oh, ow)
+	cnt := int64(k * k)
+	for i := 0; i < n*c; i++ {
+		plane := x.Data[i*h*w : (i+1)*h*w]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				var s int64
+				for ky := 0; ky < k; ky++ {
+					for kx := 0; kx < k; kx++ {
+						s += plane[(oy*st+ky)*w+(ox*st+kx)]
+					}
+				}
+				if s >= 0 {
+					out.Data[i*oh*ow+oy*ow+ox] = (s + cnt/2) / cnt
+				} else {
+					out.Data[i*oh*ow+oy*ow+ox] = -((-s + cnt/2) / cnt)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// IntFlatten reshapes [N,...] to [N,rest].
+type IntFlatten struct{}
+
+// Forward flattens.
+func (IntFlatten) Forward(x *tensor.IntTensor) *tensor.IntTensor {
+	return x.Reshape(x.Shape[0], tensor.Numel(x.Shape)/x.Shape[0])
+}
+
+// IntResidual adds two branch pipelines elementwise, shifts the sum back
+// from the finer branch scale (codes are carried at 2^Shift × finer
+// resolution than the block output), and clamps to the declared output
+// range. Both branches must emit codes at the same scale; Convert
+// guarantees this by rescaling each branch to the block's output
+// quantizer.
+type IntResidual struct {
+	Body     []IntLayer
+	Shortcut []IntLayer
+	Shift    int
+	ClampLo  int64
+	ClampHi  int64
+}
+
+// Forward computes clamp((body(x) + shortcut(x)) >> Shift).
+func (r *IntResidual) Forward(x *tensor.IntTensor) *tensor.IntTensor {
+	b := x
+	for _, l := range r.Body {
+		b = l.Forward(b)
+	}
+	s := x
+	for _, l := range r.Shortcut {
+		s = l.Forward(s)
+	}
+	out := tensor.NewInt(b.Shape...)
+	half := int64(0)
+	if r.Shift > 0 {
+		half = 1 << (r.Shift - 1)
+	}
+	for i := range b.Data {
+		v := b.Data[i] + s.Data[i]
+		if r.Shift > 0 {
+			if v >= 0 {
+				v = (v + half) >> r.Shift
+			} else {
+				v = -((-v + half) >> r.Shift)
+			}
+		}
+		if v < r.ClampLo {
+			v = r.ClampLo
+		}
+		if v > r.ClampHi {
+			v = r.ClampHi
+		}
+		out.Data[i] = v
+	}
+	return out
+}
+
+// IntRescale is a bare MulQuant stage (used for identity shortcuts and
+// scale conversions between blocks).
+type IntRescale struct{ Scaler *intmath.MulQuant }
+
+// Forward requantizes the codes.
+func (l *IntRescale) Forward(x *tensor.IntTensor) *tensor.IntTensor {
+	return l.Scaler.Apply(x, -1)
+}
+
+// IntModel is the deployable integer-only network: a float input is
+// quantized once at the boundary, every internal stage exchanges integer
+// codes, and the output codes are dequantized to float logits.
+type IntModel struct {
+	InQuant  *quant.QBase
+	Layers   []IntLayer
+	OutScale float32
+	OutZero  int64
+}
+
+// Forward runs the integer pipeline end to end.
+func (m *IntModel) Forward(x *tensor.Tensor) *tensor.Tensor {
+	codes := m.InQuant.Quantize(x)
+	for _, l := range m.Layers {
+		codes = l.Forward(codes)
+	}
+	out := tensor.New(codes.Shape...)
+	for i, c := range codes.Data {
+		out.Data[i] = float32(c-m.OutZero) * m.OutScale
+	}
+	return out
+}
+
+// ForwardCodes runs the pipeline and returns raw output codes.
+func (m *IntModel) ForwardCodes(x *tensor.Tensor) *tensor.IntTensor {
+	codes := m.InQuant.Quantize(x)
+	for _, l := range m.Layers {
+		codes = l.Forward(codes)
+	}
+	return codes
+}
+
+// IntTensors returns every integer parameter tensor in the model keyed by
+// name, the input to the export formats.
+func (m *IntModel) IntTensors() map[string]*tensor.IntTensor {
+	out := map[string]*tensor.IntTensor{}
+	var walk func(ls []IntLayer, prefix string)
+	walk = func(ls []IntLayer, prefix string) {
+		for i, l := range ls {
+			switch v := l.(type) {
+			case *IntConv2d:
+				out[fmt.Sprintf("%s%d.conv.weight", prefix, i)] = v.W
+				out[fmt.Sprintf("%s%d.scaler.scale", prefix, i)] = scalerScaleTensor(v.Scaler)
+				out[fmt.Sprintf("%s%d.scaler.bias", prefix, i)] = scalerBiasTensor(v.Scaler)
+			case *IntLinear:
+				out[fmt.Sprintf("%s%d.linear.weight", prefix, i)] = v.W
+				out[fmt.Sprintf("%s%d.scaler.scale", prefix, i)] = scalerScaleTensor(v.Scaler)
+				out[fmt.Sprintf("%s%d.scaler.bias", prefix, i)] = scalerBiasTensor(v.Scaler)
+			case *IntResidual:
+				walk(v.Body, fmt.Sprintf("%s%d.body.", prefix, i))
+				walk(v.Shortcut, fmt.Sprintf("%s%d.shortcut.", prefix, i))
+			}
+		}
+	}
+	walk(m.Layers, "layers.")
+	return out
+}
+
+func scalerScaleTensor(m *intmath.MulQuant) *tensor.IntTensor {
+	t := tensor.NewInt(len(m.ScaleFx))
+	for i, v := range m.ScaleFx {
+		t.Data[i] = int64(v)
+	}
+	return t
+}
+
+func scalerBiasTensor(m *intmath.MulQuant) *tensor.IntTensor {
+	t := tensor.NewInt(len(m.BiasFx))
+	for i, v := range m.BiasFx {
+		t.Data[i] = int64(v)
+	}
+	return t
+}
+
+// SizeBytes returns the deployed model size assuming WBits-wide weight
+// storage and INT16 scaler entries, the "Model Size (MB)" column of
+// Table 2.
+func (m *IntModel) SizeBytes() int64 {
+	var total int64
+	var walk func(ls []IntLayer)
+	walk = func(ls []IntLayer) {
+		for _, l := range ls {
+			switch v := l.(type) {
+			case *IntConv2d:
+				total += int64(v.W.Numel()*v.WBits+7) / 8
+				total += int64(len(v.Scaler.ScaleFx))*2 + int64(len(v.Scaler.BiasFx))*4
+			case *IntLinear:
+				total += int64(v.W.Numel()*v.WBits+7) / 8
+				total += int64(len(v.Scaler.ScaleFx))*2 + int64(len(v.Scaler.BiasFx))*4
+			case *IntResidual:
+				walk(v.Body)
+				walk(v.Shortcut)
+			}
+		}
+	}
+	walk(m.Layers)
+	return total
+}

@@ -1,0 +1,344 @@
+package fuse
+
+import (
+	"fmt"
+
+	"torch2chip/internal/intmath"
+	"torch2chip/internal/nn"
+	"torch2chip/internal/quant"
+	"torch2chip/internal/tensor"
+)
+
+// state tracks the quantization parameters of the codes flowing through
+// the pipeline at a given point of the conversion walk.
+type state struct {
+	scale float32
+	zero  int64
+}
+
+// target describes the quantizer the current op must requantize into: the
+// activation quantizer of the next quantized layer (S_x^{l+1} in Eq. 14–15)
+// or the output quantizer at the very end.
+type target struct {
+	scale  float32
+	zero   int64
+	bits   int
+	signed bool
+}
+
+func targetOf(q *quant.QBase) target {
+	return target{scale: q.Scale[0], zero: q.Zero[0], bits: q.NBits, signed: q.Signed}
+}
+
+// Convert lowers a prepared, calibrated, frozen model into the
+// integer-only deploy pipeline. The model must be a Sequential whose
+// quantized layers have calibrated observers (run calibration batches in
+// ModeTrain first, then freeze with SetCalibrating(false)).
+func Convert(model nn.Layer, opts Options) (*IntModel, error) {
+	if opts.IntBits+opts.FracBits != 16 {
+		return nil, fmt.Errorf("fuse: INT(%d,%d) is not an INT16 split", opts.FracBits, opts.IntBits)
+	}
+	if opts.OutQuant == nil {
+		return nil, fmt.Errorf("fuse: Options.OutQuant must be calibrated on logits before Convert")
+	}
+	ops := flatten(model)
+	inQ := firstActQuant(ops)
+	if inQ == nil {
+		return nil, fmt.Errorf("fuse: model has no quantized layers")
+	}
+	c := &converter{opts: opts}
+	entry := state{scale: inQ.Scale[0], zero: inQ.Zero[0]}
+	layers, _, err := c.convertSeq(ops, entry, targetOf(opts.OutQuant))
+	if err != nil {
+		return nil, err
+	}
+	return &IntModel{
+		InQuant:  inQ,
+		Layers:   layers,
+		OutScale: opts.OutQuant.Scale[0],
+		OutZero:  opts.OutQuant.Zero[0],
+	}, nil
+}
+
+type converter struct{ opts Options }
+
+// mkMulQuant builds a MulQuant for the given fused scales, choosing the
+// INT16 split automatically when AutoSplit is set: the smallest integer
+// field that holds the largest |scale| keeps the most fractional bits.
+func (c *converter) mkMulQuant(scale, bias []float32, kind string, tgt target) (*intmath.MulQuant, error) {
+	intBits, fracBits := c.opts.IntBits, c.opts.FracBits
+	if c.opts.AutoSplit {
+		var mx float32
+		for _, s := range scale {
+			if s < 0 {
+				s = -s
+			}
+			if s > mx {
+				mx = s
+			}
+		}
+		intBits = 1
+		for mx >= float32(int64(1)<<(intBits-1)) && intBits < 15 {
+			intBits++
+		}
+		fracBits = 16 - intBits
+	} else if err := c.checkRange(scale, kind); err != nil {
+		return nil, err
+	}
+	return intmath.NewMulQuant(scale, bias, intBits, fracBits, tgt.bits, tgt.signed, tgt.zero)
+}
+
+// flatten inlines nested Sequentials into a flat op list.
+func flatten(l nn.Layer) []nn.Layer {
+	if s, ok := l.(*nn.Sequential); ok {
+		var out []nn.Layer
+		for _, sub := range s.Layers {
+			out = append(out, flatten(sub)...)
+		}
+		return out
+	}
+	return []nn.Layer{l}
+}
+
+// firstActQuant returns the activation quantizer that guards the model
+// input.
+func firstActQuant(ops []nn.Layer) *quant.QBase {
+	for _, op := range ops {
+		if q := entryActQuant(op); q != nil {
+			return q
+		}
+	}
+	return nil
+}
+
+// entryActQuant returns the activation quantizer that codes entering op
+// must satisfy.
+func entryActQuant(op nn.Layer) *quant.QBase {
+	switch v := op.(type) {
+	case *quant.QConv2d:
+		return v.AQuant.Base()
+	case *quant.QLinear:
+		return v.AQuant.Base()
+	case *nn.Residual:
+		return firstActQuant(flatten(v.Body))
+	}
+	return nil
+}
+
+// nextTarget finds the requantization target after position i. When an
+// average-pooling stage sits between this op and the next quantized layer,
+// the intermediate codes are widened to 16 bits at the same scale: pooling
+// reduces magnitude, so the downstream observer (calibrated post-pool)
+// would otherwise clip pre-pool peaks.
+func (c *converter) nextTarget(ops []nn.Layer, i int, final target) target {
+	widen := false
+	for j := i + 1; j < len(ops); j++ {
+		if _, ok := ops[j].(*nn.AvgPool); ok {
+			widen = true
+		}
+		if q := entryActQuant(ops[j]); q != nil {
+			t := targetOf(q)
+			if widen {
+				t.bits = 16
+			}
+			return t
+		}
+	}
+	return final
+}
+
+// convertSeq lowers a flat op sequence. entry describes incoming codes;
+// final is the requantization target for the last quantized op.
+func (c *converter) convertSeq(ops []nn.Layer, entry state, final target) ([]IntLayer, state, error) {
+	var out []IntLayer
+	cur := entry
+	for i := 0; i < len(ops); i++ {
+		switch v := ops[i].(type) {
+		case *quant.QConv2d:
+			// Peek for a following BatchNorm (consumed by fusion).
+			bnp := IdentityBN(v.Conv.OutC)
+			if i+1 < len(ops) {
+				if bn, ok := ops[i+1].(*nn.BatchNorm2d); ok {
+					bnp = ExtractBN(bn)
+					i++
+				}
+			}
+			tgt := c.nextTarget(ops, i, final)
+			il, err := c.lowerConv(v, bnp, cur, tgt)
+			if err != nil {
+				return nil, cur, err
+			}
+			out = append(out, il)
+			cur = state{scale: tgt.scale, zero: tgt.zero}
+		case *quant.QLinear:
+			tgt := c.nextTarget(ops, i, final)
+			il, err := c.lowerLinear(v, cur, tgt)
+			if err != nil {
+				return nil, cur, err
+			}
+			out = append(out, il)
+			cur = state{scale: tgt.scale, zero: tgt.zero}
+		case *nn.Residual:
+			tgt := c.nextTarget(ops, i, final)
+			il, err := c.lowerResidual(v, cur, tgt)
+			if err != nil {
+				return nil, cur, err
+			}
+			out = append(out, il)
+			cur = state{scale: tgt.scale, zero: tgt.zero}
+		case *nn.ReLU, *nn.ReLU6:
+			// Absorbed: the preceding MulQuant clamps to the unsigned
+			// range of the next activation quantizer.
+		case *nn.BatchNorm2d:
+			return nil, cur, fmt.Errorf("fuse: BatchNorm without preceding quantized conv at op %d", i)
+		case *nn.AvgPool:
+			out = append(out, &IntAvgPool{Kernel: v.Kernel, Stride: v.Stride})
+		case *nn.Flatten:
+			out = append(out, IntFlatten{})
+		case *nn.Dropout, nn.Identity:
+			// Identity at inference.
+		default:
+			return nil, cur, fmt.Errorf("fuse: unsupported layer %T in deploy conversion", v)
+		}
+	}
+	return out, cur, nil
+}
+
+// lowerConv builds the IntConv2d implementing Eq. 14/15 for the given
+// incoming codes and requantization target.
+func (c *converter) lowerConv(v *quant.QConv2d, bnp BNParams, cur state, tgt target) (*IntConv2d, error) {
+	wb := v.WQuant.Base()
+	scheme := c.opts.Scheme
+	if scheme == SchemeAuto {
+		if wb.NBits >= 8 {
+			scheme = SchemePreFuse
+		} else {
+			scheme = SchemeChannelWise
+		}
+	}
+	o := v.Conv.OutC
+	var wq *tensor.IntTensor
+	scale := make([]float32, o)
+	bias := make([]float32, o)
+	switch scheme {
+	case SchemePreFuse:
+		// Eq. 8–11: fold γ*/β* into weights, re-quantize the fused weight
+		// with a unified scale, keep a per-channel bias.
+		var biasT *tensor.Tensor
+		if v.Conv.B != nil {
+			biasT = v.Conv.B.Data
+		}
+		wf, bf := PreFuse(v.Conv.W.Data, biasT, bnp)
+		fq := quant.NewMinMax(wb.NBits, true, false)
+		fq.Observe(wf)
+		wq = fq.Quantize(wf)
+		sw := fq.Base().Scale[0]
+		u := sw * cur.scale / tgt.scale
+		for oc := 0; oc < o; oc++ {
+			scale[oc] = u
+			bias[oc] = bf.Data[oc] / tgt.scale
+		}
+	case SchemeChannelWise:
+		// Eq. 12–15: keep the user quantizer's integer weights and carry
+		// γ* inside the per-channel MulQuant scale.
+		wq = v.IntWeights()
+		for oc := 0; oc < o; oc++ {
+			sw := wb.Scale[0]
+			if wb.PerChannel && len(wb.Scale) > 1 {
+				sw = wb.Scale[oc]
+			}
+			scale[oc] = bnp.GammaStar[oc] * sw * cur.scale / tgt.scale
+			b := bnp.BetaStar[oc]
+			if v.Conv.B != nil {
+				b += bnp.GammaStar[oc] * v.Conv.B.Data.Data[oc]
+			}
+			bias[oc] = b / tgt.scale
+		}
+	default:
+		return nil, fmt.Errorf("fuse: unknown scheme %d", scheme)
+	}
+	mq, err := c.mkMulQuant(scale, bias, "conv", tgt)
+	if err != nil {
+		return nil, err
+	}
+	return &IntConv2d{W: wq, P: v.Conv.P, InZero: cur.zero, Scaler: mq, WBits: wb.NBits}, nil
+}
+
+// lowerLinear builds the IntLinear stage.
+func (c *converter) lowerLinear(v *quant.QLinear, cur state, tgt target) (*IntLinear, error) {
+	wb := v.WQuant.Base()
+	wq := v.IntWeights()
+	o := v.Lin.Out
+	scale := make([]float32, o)
+	bias := make([]float32, o)
+	for j := 0; j < o; j++ {
+		sw := wb.Scale[0]
+		if wb.PerChannel && len(wb.Scale) > 1 {
+			sw = wb.Scale[j]
+		}
+		scale[j] = sw * cur.scale / tgt.scale
+		if v.Lin.B != nil {
+			bias[j] = v.Lin.B.Data.Data[j] / tgt.scale
+		}
+	}
+	mq, err := c.mkMulQuant(scale, bias, "linear", tgt)
+	if err != nil {
+		return nil, err
+	}
+	return &IntLinear{W: wq, InZero: cur.zero, Scaler: mq, WBits: wb.NBits}, nil
+}
+
+// lowerResidual converts both branches so that each emits 16-bit signed
+// codes at the block target scale; the add then clamps into the target
+// activation range (the post-add ReLU becomes the unsigned clamp).
+func (c *converter) lowerResidual(r *nn.Residual, cur state, tgt target) (*IntResidual, error) {
+	shift := c.opts.ResidualShift
+	fine := tgt.scale / float32(int64(1)<<shift)
+	branchTarget := target{scale: fine, zero: 0, bits: 16, signed: true}
+	bodyOps := flatten(r.Body)
+	body, _, err := c.convertSeq(bodyOps, cur, branchTarget)
+	if err != nil {
+		return nil, err
+	}
+	var shortcut []IntLayer
+	switch sc := r.Shortcut.(type) {
+	case nn.Identity:
+		// Rescale entry codes (scale cur.scale, zero cur.zero) to the
+		// fine branch scale with a bare MulQuant: code' = (code−z)·S/S_f.
+		mq, err := c.mkMulQuant(
+			[]float32{cur.scale / fine},
+			[]float32{-float32(cur.zero) * cur.scale / fine},
+			"shortcut", branchTarget)
+		if err != nil {
+			return nil, err
+		}
+		shortcut = []IntLayer{&IntRescale{Scaler: mq}}
+	default:
+		scOps := flatten(sc)
+		shortcut, _, err = c.convertSeq(scOps, cur, branchTarget)
+		if err != nil {
+			return nil, err
+		}
+	}
+	lo, hi := int64(0), int64(1)<<tgt.bits-1
+	if tgt.signed {
+		lo, hi = -(1 << (tgt.bits - 1)), 1<<(tgt.bits-1)-1
+	}
+	return &IntResidual{Body: body, Shortcut: shortcut, Shift: shift, ClampLo: lo, ClampHi: hi}, nil
+}
+
+// checkRange rejects fused scales that exceed the fixed-point integer
+// range: the INT(frac,int) split must represent every per-channel scale,
+// otherwise the MulQuant codes saturate and the deploy model silently
+// diverges. Users hitting this should widen IntBits or lower the logit
+// quantizer precision (which raises S_out and shrinks the ratio).
+func (c *converter) checkRange(scale []float32, kind string) error {
+	limit := float32(int64(1)<<(c.opts.IntBits-1)) - 1/float32(int64(1)<<c.opts.FracBits)
+	for i, s := range scale {
+		if s > limit || s < -limit {
+			return fmt.Errorf("fuse: %s scale[%d]=%v exceeds INT(%d,%d) range ±%v; widen IntBits or lower the output precision",
+				kind, i, s, c.opts.FracBits, c.opts.IntBits, limit)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,551 @@
+package fuse
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"torch2chip/internal/intmath"
+	"torch2chip/internal/nn"
+	"torch2chip/internal/quant"
+	"torch2chip/internal/tensor"
+)
+
+func TestExtractBNMatchesEvalForward(t *testing.T) {
+	// γ*·y + β* must reproduce the eval-mode BatchNorm output exactly.
+	g := tensor.NewRNG(1)
+	bn := nn.NewBatchNorm2d(3)
+	// Realistic running stats.
+	for ch := 0; ch < 3; ch++ {
+		bn.RunningMean.Data[ch] = g.NormFloat32()
+		bn.RunningVar.Data[ch] = g.Float32()*2 + 0.1
+		bn.Gamma.Data.Data[ch] = g.Float32() + 0.5
+		bn.Beta.Data.Data[ch] = g.NormFloat32()
+	}
+	bn.SetTraining(false)
+	x := g.Randn(1, 2, 3, 4, 4)
+	want := bn.Forward(x)
+	p := ExtractBN(bn)
+	got := tensor.New(x.Shape...)
+	sp := 16
+	for ni := 0; ni < 2; ni++ {
+		for ch := 0; ch < 3; ch++ {
+			for i := 0; i < sp; i++ {
+				idx := (ni*3+ch)*sp + i
+				got.Data[idx] = p.GammaStar[ch]*x.Data[idx] + p.BetaStar[ch]
+			}
+		}
+	}
+	if !tensor.AllClose(got, want, 1e-5, 1e-5) {
+		t.Fatalf("BN extraction mismatch %v", tensor.MaxAbsDiff(got, want))
+	}
+}
+
+func TestPreFuseExactAtFP32(t *testing.T) {
+	// Pre-fusing BN into weights must be exact in float: conv(x, γ*W) + β̄
+	// == BN(conv(x, W) + b).
+	f := func(seed int64) bool {
+		g := tensor.NewRNG(seed)
+		conv := nn.NewConv2d(g, 2, 3, 3, 1, 1, 1, true)
+		for i := range conv.B.Data.Data {
+			conv.B.Data.Data[i] = g.NormFloat32()
+		}
+		bn := nn.NewBatchNorm2d(3)
+		for ch := 0; ch < 3; ch++ {
+			bn.RunningMean.Data[ch] = g.NormFloat32()
+			bn.RunningVar.Data[ch] = g.Float32() + 0.2
+			bn.Gamma.Data.Data[ch] = g.Float32() + 0.5
+			bn.Beta.Data.Data[ch] = g.NormFloat32()
+		}
+		bn.SetTraining(false)
+		x := g.Randn(1, 1, 2, 5, 5)
+		want := bn.Forward(conv.Forward(x))
+		p := ExtractBN(bn)
+		wf, bf := PreFuse(conv.W.Data, conv.B.Data, p)
+		got := tensor.Conv2d(x, wf, bf, conv.P)
+		return tensor.AllClose(got, want, 1e-4, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChannelWiseFusionExactAtFP32(t *testing.T) {
+	// The channel-wise scheme (γ*·conv + β̄) must also be exact.
+	g := tensor.NewRNG(2)
+	conv := nn.NewConv2d(g, 2, 4, 3, 1, 1, 1, false)
+	bn := nn.NewBatchNorm2d(4)
+	for ch := 0; ch < 4; ch++ {
+		bn.RunningMean.Data[ch] = g.NormFloat32()
+		bn.RunningVar.Data[ch] = g.Float32() + 0.2
+	}
+	bn.SetTraining(false)
+	x := g.Randn(1, 1, 2, 4, 4)
+	want := bn.Forward(conv.Forward(x))
+	got := FusedFloatForward(x, conv.W.Data, nil, ExtractBN(bn), conv.P)
+	if !tensor.AllClose(got, want, 1e-4, 1e-4) {
+		t.Fatalf("channel-wise fusion mismatch %v", tensor.MaxAbsDiff(got, want))
+	}
+}
+
+// buildCalibratedCNN creates a small conv-bn-relu → conv-bn-relu → pool →
+// linear model, prepares it with the given bits, and calibrates it.
+func buildCalibratedCNN(t *testing.T, g *tensor.RNG, wbits, abits int, weight, act string) (nn.Layer, *quant.QBase, *tensor.Tensor) {
+	t.Helper()
+	model := nn.NewSequential(
+		nn.NewConv2d(g, 3, 8, 3, 1, 1, 1, false),
+		nn.NewBatchNorm2d(8),
+		&nn.ReLU{},
+		nn.NewConv2d(g, 8, 8, 3, 2, 1, 1, false),
+		nn.NewBatchNorm2d(8),
+		&nn.ReLU{},
+		&nn.AvgPool{Kernel: 0},
+		&nn.Flatten{},
+		nn.NewLinear(g, 8, 10, true),
+	)
+	// Make BN running stats realistic by running training batches.
+	for i := 0; i < 4; i++ {
+		model.Forward(g.Uniform(0, 1, 4, 3, 8, 8))
+	}
+	nn.SetTraining(model, false)
+	quant.Prepare(model, quant.Config{WBits: wbits, ABits: abits, Weight: weight, Act: act, PerChannel: true})
+	// Calibrate observers.
+	x := g.Uniform(0, 1, 4, 3, 8, 8)
+	outQ := quant.NewMinMax(12, true, false)
+	for i := 0; i < 4; i++ {
+		logits := model.Forward(g.Uniform(0, 1, 4, 3, 8, 8))
+		outQ.Observe(logits)
+	}
+	quant.SetCalibrating(model, false)
+	return model, outQ.Base(), x
+}
+
+func TestConvertDeployMatchesInferMode(t *testing.T) {
+	// The headline Fig-3 invariant: the fully fused integer-only deploy
+	// model must match the dual-path infer mode within fixed-point
+	// tolerance, for both fusion schemes.
+	for _, tc := range []struct {
+		name   string
+		scheme Scheme
+		wbits  int
+	}{
+		{"prefuse-8bit", SchemePreFuse, 8},
+		{"channelwise-8bit", SchemeChannelWise, 8},
+		{"channelwise-4bit", SchemeChannelWise, 4},
+		{"auto-4bit", SchemeAuto, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := tensor.NewRNG(42)
+			model, outQ, x := buildCalibratedCNN(t, g, tc.wbits, 8, "minmax", "minmax")
+			opts := DefaultOptions()
+			opts.Scheme = tc.scheme
+			opts.OutQuant = outQ
+			im, err := Convert(model, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Reference: float model with fake-quant (train path, frozen).
+			ref := model.Forward(x)
+			got := im.Forward(x)
+			// Compare top-1 agreement and numeric distance.
+			n, c := ref.Shape[0], ref.Shape[1]
+			agree := 0
+			for i := 0; i < n; i++ {
+				ri := tensor.FromSlice(ref.Data[i*c:(i+1)*c], c).Argmax()
+				gi := tensor.FromSlice(got.Data[i*c:(i+1)*c], c).Argmax()
+				if ri == gi {
+					agree++
+				}
+			}
+			if agree < n {
+				t.Errorf("top-1 agreement %d/%d", agree, n)
+			}
+			if d := tensor.MaxAbsDiff(ref, got); d > 0.12 {
+				t.Errorf("deploy vs train-path distance %v too large", d)
+			}
+		})
+	}
+}
+
+func TestConvertResidualNetwork(t *testing.T) {
+	g := tensor.NewRNG(7)
+	block := nn.NewResidual(
+		nn.NewSequential(
+			nn.NewConv2d(g, 4, 4, 3, 1, 1, 1, false),
+			nn.NewBatchNorm2d(4),
+			&nn.ReLU{},
+			nn.NewConv2d(g, 4, 4, 3, 1, 1, 1, false),
+			nn.NewBatchNorm2d(4),
+		),
+		nn.Identity{},
+	)
+	model := nn.NewSequential(
+		nn.NewConv2d(g, 3, 4, 3, 1, 1, 1, false),
+		nn.NewBatchNorm2d(4),
+		&nn.ReLU{},
+		block,
+		&nn.ReLU{},
+		&nn.AvgPool{Kernel: 0},
+		&nn.Flatten{},
+		nn.NewLinear(g, 4, 5, true),
+	)
+	for i := 0; i < 4; i++ {
+		model.Forward(g.Uniform(0, 1, 4, 3, 8, 8))
+	}
+	nn.SetTraining(model, false)
+	quant.Prepare(model, quant.Config{WBits: 8, ABits: 8, Weight: "minmax", Act: "minmax", PerChannel: true})
+	outQ := quant.NewMinMax(12, true, false)
+	for i := 0; i < 4; i++ {
+		outQ.Observe(model.Forward(g.Uniform(0, 1, 4, 3, 8, 8)))
+	}
+	quant.SetCalibrating(model, false)
+	opts := DefaultOptions()
+	opts.OutQuant = outQ.Base()
+	im, err := Convert(model, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := g.Uniform(0, 1, 4, 3, 8, 8)
+	ref := model.Forward(x)
+	got := im.Forward(x)
+	if d := tensor.MaxAbsDiff(ref, got); d > 0.2 {
+		t.Fatalf("residual deploy distance %v", d)
+	}
+}
+
+func TestConvertRejectsUnpreparedModel(t *testing.T) {
+	g := tensor.NewRNG(3)
+	model := nn.NewSequential(nn.NewConv2d(g, 1, 1, 3, 1, 1, 1, false))
+	opts := DefaultOptions()
+	opts.OutQuant = quant.NewQBase(16, true, false)
+	if _, err := Convert(model, opts); err == nil {
+		t.Fatal("expected error for unquantized model")
+	}
+}
+
+func TestConvertRejectsMissingOutQuant(t *testing.T) {
+	g := tensor.NewRNG(4)
+	model := nn.NewSequential(nn.NewConv2d(g, 1, 1, 3, 1, 1, 1, false))
+	quant.Prepare(model, quant.Config{WBits: 8, ABits: 8, Weight: "minmax", Act: "minmax"})
+	if _, err := Convert(model, DefaultOptions()); err == nil {
+		t.Fatal("expected error for missing OutQuant")
+	}
+}
+
+func TestConvertRejectsBadSplit(t *testing.T) {
+	opts := Options{IntBits: 9, FracBits: 4, OutQuant: quant.NewQBase(16, true, false)}
+	if _, err := Convert(nn.NewSequential(), opts); err == nil {
+		t.Fatal("expected error for non-INT16 split")
+	}
+}
+
+func TestIntModelTensorsAndSize(t *testing.T) {
+	g := tensor.NewRNG(5)
+	model, outQ, _ := buildCalibratedCNN(t, g, 4, 8, "minmax", "minmax")
+	opts := DefaultOptions()
+	opts.OutQuant = outQ
+	im, err := Convert(model, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := im.IntTensors()
+	// 2 convs + 1 linear, each with weight + scale + bias = 9 tensors.
+	if len(ts) != 9 {
+		t.Fatalf("IntTensors len = %d: %v", len(ts), keys(ts))
+	}
+	size := im.SizeBytes()
+	// 4-bit weights: conv1 8·3·9=216, conv2 8·8·9=576, fc 10·8=80 weights
+	// → (216+576+80)/2 = 436 bytes + scalers.
+	if size < 400 || size > 1200 {
+		t.Fatalf("SizeBytes = %d out of plausible range", size)
+	}
+}
+
+func keys(m map[string]*tensor.IntTensor) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+func TestIntAvgPoolMatchesFloat(t *testing.T) {
+	x := tensor.IntFromSlice([]int64{1, 2, 3, 4, 10, 10, 10, 10}, 1, 2, 2, 2)
+	p := &IntAvgPool{Kernel: 0}
+	y := p.Forward(x)
+	if y.Data[0] != 3 || y.Data[1] != 10 {
+		t.Fatalf("int avgpool = %v", y.Data)
+	}
+}
+
+func TestIntAvgPoolNegativeRounding(t *testing.T) {
+	x := tensor.IntFromSlice([]int64{-1, -2, -3, -4}, 1, 1, 2, 2)
+	p := &IntAvgPool{Kernel: 0}
+	y := p.Forward(x)
+	if y.Data[0] != -3 { // -10/4 = -2.5 → round half away = -3
+		t.Fatalf("negative rounding = %v", y.Data[0])
+	}
+}
+
+func TestQuantizedBNFusionStability(t *testing.T) {
+	// The paper's motivation for channel-wise fusion (Park & Yoo 2020):
+	// at 4-bit, pre-fusing BN into the weights and re-quantizing with a
+	// unified scale crushes channels with small γ*, while the channel-wise
+	// MulQuant scheme preserves per-channel resolution. Compare how well
+	// each scheme reconstructs the fused float weights γ*·W per channel.
+	g := tensor.NewRNG(11)
+	const o, chSize = 8, 36
+	w := g.Randn(0.5, o, 4, 3, 3)
+	gamma := make([]float32, o)
+	for ch := 0; ch < o; ch++ {
+		gamma[ch] = float32(math.Pow(10, float64(ch)/3.5-1)) // 0.1 … ~10
+	}
+	// Float fused reference γ*·W.
+	ref := w.Clone()
+	for ch := 0; ch < o; ch++ {
+		for i := 0; i < chSize; i++ {
+			ref.Data[ch*chSize+i] *= gamma[ch]
+		}
+	}
+	const bits = 4
+	// Pre-fuse: quantize γ*·W with a unified scale.
+	pre := quant.NewMinMax(bits, true, false)
+	pre.Observe(ref)
+	preRec := pre.Dequantize(pre.Quantize(ref))
+	// Channel-wise: quantize W per channel, reconstruct with γ*·S_w·code.
+	cw := quant.NewMinMax(bits, true, true)
+	cw.Observe(w)
+	codes := cw.Quantize(w)
+	cwRec := tensor.New(w.Shape...)
+	for ch := 0; ch < o; ch++ {
+		s := cw.Scale[ch] * gamma[ch]
+		for i := 0; i < chSize; i++ {
+			cwRec.Data[ch*chSize+i] = float32(codes.Data[ch*chSize+i]) * s
+		}
+	}
+	// Per-channel relative RMSE: channel-wise must win on the small-γ*
+	// channels and overall.
+	relErr := func(rec *tensor.Tensor, ch int) float64 {
+		var num, den float64
+		for i := 0; i < chSize; i++ {
+			d := float64(rec.Data[ch*chSize+i] - ref.Data[ch*chSize+i])
+			num += d * d
+			den += float64(ref.Data[ch*chSize+i]) * float64(ref.Data[ch*chSize+i])
+		}
+		return math.Sqrt(num / den)
+	}
+	var preTot, cwTot float64
+	for ch := 0; ch < o; ch++ {
+		preTot += relErr(preRec, ch)
+		cwTot += relErr(cwRec, ch)
+	}
+	if cwTot >= preTot {
+		t.Fatalf("channel-wise total rel-RMSE %v should beat pre-fuse %v", cwTot, preTot)
+	}
+	// The smallest-γ* channel must be catastrophically bad under pre-fuse.
+	if relErr(preRec, 0) < 2*relErr(cwRec, 0) {
+		t.Fatalf("pre-fuse small-γ channel err %v vs channel-wise %v: expected ≥2× gap",
+			relErr(preRec, 0), relErr(cwRec, 0))
+	}
+}
+
+func TestConvertResidualConvShortcut(t *testing.T) {
+	// Downsampling block: stride-2 body with a 1x1-conv+BN shortcut, the
+	// ResNet stage-transition pattern.
+	g := tensor.NewRNG(21)
+	block := nn.NewResidual(
+		nn.NewSequential(
+			nn.NewConv2d(g, 4, 8, 3, 2, 1, 1, false),
+			nn.NewBatchNorm2d(8),
+			&nn.ReLU{},
+			nn.NewConv2d(g, 8, 8, 3, 1, 1, 1, false),
+			nn.NewBatchNorm2d(8),
+		),
+		nn.NewSequential(
+			nn.NewConv2d(g, 4, 8, 1, 2, 0, 1, false),
+			nn.NewBatchNorm2d(8),
+		),
+	)
+	model := nn.NewSequential(
+		nn.NewConv2d(g, 3, 4, 3, 1, 1, 1, false),
+		nn.NewBatchNorm2d(4),
+		&nn.ReLU{},
+		block,
+		&nn.ReLU{},
+		&nn.AvgPool{Kernel: 0},
+		&nn.Flatten{},
+		nn.NewLinear(g, 8, 5, true),
+	)
+	for i := 0; i < 4; i++ {
+		model.Forward(g.Uniform(0, 1, 4, 3, 8, 8))
+	}
+	nn.SetTraining(model, false)
+	quant.Prepare(model, quant.Config{WBits: 8, ABits: 8, Weight: "minmax", Act: "minmax", PerChannel: true})
+	outQ := quant.NewMinMax(12, true, false)
+	for i := 0; i < 4; i++ {
+		outQ.Observe(model.Forward(g.Uniform(0, 1, 4, 3, 8, 8)))
+	}
+	quant.SetCalibrating(model, false)
+	opts := DefaultOptions()
+	opts.OutQuant = outQ.Base()
+	im, err := Convert(model, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := g.Uniform(0, 1, 4, 3, 8, 8)
+	ref := model.Forward(x)
+	got := im.Forward(x)
+	if d := tensor.MaxAbsDiff(ref, got); d > 0.25 {
+		t.Fatalf("conv-shortcut residual deploy distance %v", d)
+	}
+	// The residual stage must contain a lowered conv in the shortcut.
+	var res *IntResidual
+	for _, l := range im.Layers {
+		if r, ok := l.(*IntResidual); ok {
+			res = r
+		}
+	}
+	if res == nil {
+		t.Fatal("no IntResidual in deploy model")
+	}
+	if len(res.Shortcut) == 0 {
+		t.Fatal("shortcut branch empty")
+	}
+	if _, ok := res.Shortcut[0].(*IntConv2d); !ok {
+		t.Fatalf("shortcut lowered to %T, want IntConv2d", res.Shortcut[0])
+	}
+}
+
+func TestSparsitySurvivesConversion(t *testing.T) {
+	// Weights pruned to real zeros must stay zeros in the exported
+	// integer tensors (Table-3 invariant).
+	g := tensor.NewRNG(22)
+	model, outQ, _ := buildCalibratedCNN(t, g, 8, 8, "minmax", "minmax")
+	// Zero out half of the first conv's weights post-hoc and refreeze.
+	convs, _, _ := quant.QuantizedLayers(model)
+	w := convs[0].Conv.W.Data
+	for i := 0; i < len(w.Data); i += 2 {
+		w.Data[i] = 0
+	}
+	convs[0].Freeze()
+	opts := DefaultOptions()
+	opts.Scheme = SchemeChannelWise
+	opts.OutQuant = outQ
+	im, err := Convert(model, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, tt := range im.IntTensors() {
+		if name != "layers.0.conv.weight" {
+			continue
+		}
+		for i := 0; i < len(tt.Data); i += 2 {
+			if tt.Data[i] != 0 {
+				t.Fatalf("pruned weight %d is %d in integer tensor", i, tt.Data[i])
+			}
+		}
+		return
+	}
+	t.Fatal("first conv weight tensor not found")
+}
+
+func TestAutoSplitPicksFittingRange(t *testing.T) {
+	c := &converter{opts: Options{AutoSplit: true, IntBits: 4, FracBits: 12}}
+	tgt := target{scale: 1, zero: 0, bits: 8, signed: true}
+	// A scale of 100 needs 8 integer bits; INT(12,4) would saturate.
+	mq, err := c.mkMulQuant([]float32{100}, []float32{0}, "test", tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mq.IntBits < 8 {
+		t.Fatalf("auto split chose %d integer bits for scale 100", mq.IntBits)
+	}
+	// Representation error must stay relative.
+	got := float64(mq.ScaleFx[0]) / float64(int64(1)<<mq.FracBits)
+	if got < 99 || got > 101 {
+		t.Fatalf("scale 100 encoded as %v", got)
+	}
+	// A tiny scale keeps maximal fractional bits.
+	mq2, err := c.mkMulQuant([]float32{0.001}, []float32{0}, "test", tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mq2.FracBits != 15 {
+		t.Fatalf("tiny scale got %d frac bits, want 15", mq2.FracBits)
+	}
+}
+
+func TestExplicitSplitStillRejectsOverflow(t *testing.T) {
+	c := &converter{opts: Options{AutoSplit: false, IntBits: 4, FracBits: 12}}
+	tgt := target{scale: 1, zero: 0, bits: 8, signed: true}
+	if _, err := c.mkMulQuant([]float32{100}, []float32{0}, "test", tgt); err == nil {
+		t.Fatal("scale 100 must overflow INT(12,4) when AutoSplit is off")
+	}
+}
+
+func TestResidualShiftReducesBoundaryError(t *testing.T) {
+	// With the fine-scale residual add (shift>0) the deploy model must be
+	// at least as close to the train path as with shift 0.
+	build := func(shift int) float32 {
+		g := tensor.NewRNG(42)
+		block := nn.NewResidual(
+			nn.NewSequential(
+				nn.NewConv2d(g, 4, 4, 3, 1, 1, 1, false),
+				nn.NewBatchNorm2d(4),
+				&nn.ReLU{},
+				nn.NewConv2d(g, 4, 4, 3, 1, 1, 1, false),
+				nn.NewBatchNorm2d(4),
+			),
+			nn.Identity{},
+		)
+		model := nn.NewSequential(
+			nn.NewConv2d(g, 3, 4, 3, 1, 1, 1, false),
+			nn.NewBatchNorm2d(4),
+			&nn.ReLU{},
+			block,
+			&nn.ReLU{},
+			&nn.AvgPool{Kernel: 0},
+			&nn.Flatten{},
+			nn.NewLinear(g, 4, 5, true),
+		)
+		for i := 0; i < 4; i++ {
+			model.Forward(g.Uniform(0, 1, 4, 3, 8, 8))
+		}
+		nn.SetTraining(model, false)
+		quant.Prepare(model, quant.Config{WBits: 8, ABits: 8, Weight: "minmax", Act: "minmax", PerChannel: true})
+		outQ := quant.NewMinMax(12, true, false)
+		for i := 0; i < 4; i++ {
+			outQ.Observe(model.Forward(g.Uniform(0, 1, 4, 3, 8, 8)))
+		}
+		quant.SetCalibrating(model, false)
+		opts := DefaultOptions()
+		opts.ResidualShift = shift
+		opts.OutQuant = outQ.Base()
+		im, err := Convert(model, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := g.Uniform(0, 1, 8, 3, 8, 8)
+		return tensor.MaxAbsDiff(model.Forward(x), im.Forward(x))
+	}
+	coarse := build(0)
+	fine := build(6)
+	if fine > coarse {
+		t.Fatalf("shift-6 error %v worse than shift-0 error %v", fine, coarse)
+	}
+}
+
+func TestIntRescaleIdentity(t *testing.T) {
+	mq, err := intmath.NewMulQuant([]float32{1}, []float32{0}, 4, 12, 16, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &IntRescale{Scaler: mq}
+	x := tensor.IntFromSlice([]int64{-5, 0, 7, 123}, 4)
+	y := r.Forward(x)
+	for i := range x.Data {
+		if y.Data[i] != x.Data[i] {
+			t.Fatalf("identity rescale changed %d → %d", x.Data[i], y.Data[i])
+		}
+	}
+}

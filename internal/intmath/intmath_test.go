@@ -1,0 +1,301 @@
+package intmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"torch2chip/internal/tensor"
+)
+
+func TestMatMulIntKnown(t *testing.T) {
+	a := tensor.IntFromSlice([]int64{1, 2, 3, 4}, 2, 2)
+	b := tensor.IntFromSlice([]int64{5, 6, 7, 8}, 2, 2)
+	c := MatMulInt(a, b)
+	want := []int64{19, 22, 43, 50}
+	for i := range want {
+		if c.Data[i] != want[i] {
+			t.Fatalf("c[%d] = %d, want %d", i, c.Data[i], want[i])
+		}
+	}
+}
+
+func TestMatMulIntTMatches(t *testing.T) {
+	g := tensor.NewRNG(1)
+	a := tensor.NewInt(5, 7)
+	b := tensor.NewInt(3, 7)
+	for i := range a.Data {
+		a.Data[i] = int64(g.Intn(255)) - 127
+	}
+	for i := range b.Data {
+		b.Data[i] = int64(g.Intn(255)) - 127
+	}
+	got := MatMulIntT(a, b)
+	// Reference through float matmul (values small enough to be exact).
+	ref := tensor.MatMulT(a.Float(), b.Float())
+	for i := range got.Data {
+		if float32(got.Data[i]) != ref.Data[i] {
+			t.Fatalf("intT[%d] = %d, float ref %v", i, got.Data[i], ref.Data[i])
+		}
+	}
+}
+
+func TestConv2dIntMatchesFloat(t *testing.T) {
+	// Integer conv with small codes must agree exactly with float conv.
+	g := tensor.NewRNG(2)
+	x := tensor.NewInt(2, 3, 6, 6)
+	w := tensor.NewInt(4, 3, 3, 3)
+	for i := range x.Data {
+		x.Data[i] = int64(g.Intn(255))
+	}
+	for i := range w.Data {
+		w.Data[i] = int64(g.Intn(15)) - 7
+	}
+	p := tensor.ConvParams{Stride: 2, Padding: 1}
+	got := Conv2dInt(x, w, 0, p)
+	ref := tensor.Conv2d(x.Float(), w.Float(), nil, p)
+	for i := range got.Data {
+		if float32(got.Data[i]) != ref.Data[i] {
+			t.Fatalf("conv[%d] = %d, float ref %v", i, got.Data[i], ref.Data[i])
+		}
+	}
+}
+
+func TestConv2dIntZeroPoint(t *testing.T) {
+	// Subtracting zx inside the kernel must equal pre-subtracting it,
+	// including in padded regions (padding contributes -zx·w).
+	g := tensor.NewRNG(3)
+	x := tensor.NewInt(1, 2, 5, 5)
+	w := tensor.NewInt(3, 2, 3, 3)
+	for i := range x.Data {
+		x.Data[i] = int64(g.Intn(200))
+	}
+	for i := range w.Data {
+		w.Data[i] = int64(g.Intn(15)) - 7
+	}
+	const zx = 100
+	p := tensor.ConvParams{Stride: 1, Padding: 1}
+	got := Conv2dInt(x, w, zx, p)
+	shifted := x.Clone()
+	for i := range shifted.Data {
+		shifted.Data[i] -= zx
+	}
+	// Padded zeros also shift by -zx in the fused kernel; emulate by
+	// convolving shifted input where padding contributes -zx too. Build a
+	// manually padded tensor.
+	padded := tensor.NewInt(1, 2, 7, 7)
+	for ch := 0; ch < 2; ch++ {
+		for y := 0; y < 7; y++ {
+			for xx := 0; xx < 7; xx++ {
+				idx := (ch*7+y)*7 + xx
+				if y == 0 || y == 6 || xx == 0 || xx == 6 {
+					padded.Data[idx] = -zx
+				} else {
+					padded.Data[idx] = shifted.Data[(ch*5+(y-1))*5+(xx-1)]
+				}
+			}
+		}
+	}
+	ref := Conv2dInt(padded, w, 0, tensor.ConvParams{Stride: 1, Padding: 0})
+	for i := range got.Data {
+		if got.Data[i] != ref.Data[i] {
+			t.Fatalf("zp conv[%d] = %d, ref %d", i, got.Data[i], ref.Data[i])
+		}
+	}
+}
+
+func TestConv2dIntGrouped(t *testing.T) {
+	g := tensor.NewRNG(4)
+	x := tensor.NewInt(1, 4, 4, 4)
+	w := tensor.NewInt(4, 1, 3, 3) // depthwise
+	for i := range x.Data {
+		x.Data[i] = int64(g.Intn(100))
+	}
+	for i := range w.Data {
+		w.Data[i] = int64(g.Intn(7)) - 3
+	}
+	p := tensor.ConvParams{Stride: 1, Padding: 1, Groups: 4}
+	got := Conv2dInt(x, w, 0, p)
+	ref := tensor.Conv2d(x.Float(), w.Float(), nil, p)
+	for i := range got.Data {
+		if float32(got.Data[i]) != ref.Data[i] {
+			t.Fatalf("depthwise conv[%d] = %d, ref %v", i, got.Data[i], ref.Data[i])
+		}
+	}
+}
+
+func TestMulQuantInvalidSplit(t *testing.T) {
+	if _, err := NewMulQuant([]float32{1}, []float32{0}, 8, 4, 8, true, 0); err == nil {
+		t.Fatal("INT(8,4) is not 16 bits; expected error")
+	}
+}
+
+func TestMulQuantMatchesFloatReference(t *testing.T) {
+	// The paper's INT(12,4)-style fixed point: integer rescale must match
+	// the float reference within the fixed-point resolution bound.
+	f := func(seed int64) bool {
+		g := tensor.NewRNG(seed)
+		scale := []float32{g.Float32()*0.5 + 0.01}
+		bias := []float32{g.NormFloat32()}
+		mq, err := NewMulQuant(scale, bias, 4, 12, 8, true, 0)
+		if err != nil {
+			return false
+		}
+		acc := tensor.NewInt(1, 1, 4, 4)
+		for i := range acc.Data {
+			acc.Data[i] = int64(g.Intn(2000)) - 1000
+		}
+		got := mq.Apply(acc, 1)
+		ref := mq.FloatReference(acc, 1, scale, bias)
+		for i := range got.Data {
+			d := got.Data[i] - ref.Data[i]
+			if d < 0 {
+				d = -d
+			}
+			// Fixed-point scale error ≤ 2^-13 per accumulator unit plus
+			// one rounding step.
+			bound := int64(math.Ceil(float64(absInt(acc.Data[i]))*mq.MaxScaleError())) + 1
+			if d > bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func absInt(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestMulQuantPerChannel(t *testing.T) {
+	scale := []float32{0.5, 2}
+	bias := []float32{0, 8}
+	mq, err := NewMulQuant(scale, bias, 4, 12, 16, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := tensor.IntFromSlice([]int64{10, 10, 10, 10}, 1, 2, 2, 1)
+	out := mq.Apply(acc, 1)
+	// ch0: 10*0.5=5; ch1: 10*2+8=28
+	if out.Data[0] != 5 || out.Data[1] != 5 || out.Data[2] != 28 || out.Data[3] != 28 {
+		t.Fatalf("per-channel mulquant = %v", out.Data)
+	}
+}
+
+func TestMulQuantOutputClipping(t *testing.T) {
+	mq, err := NewMulQuant([]float32{1}, []float32{0}, 8, 8, 4, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := tensor.IntFromSlice([]int64{1000, -1000, 3}, 3)
+	out := mq.Apply(acc, -1)
+	if out.Data[0] != 7 || out.Data[1] != -8 || out.Data[2] != 3 {
+		t.Fatalf("clipping = %v", out.Data)
+	}
+}
+
+func TestMulQuantUnsignedOutput(t *testing.T) {
+	mq, err := NewMulQuant([]float32{1}, []float32{0}, 8, 8, 8, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := tensor.IntFromSlice([]int64{-5, 300, 7}, 3)
+	out := mq.Apply(acc, -1)
+	if out.Data[0] != 0 || out.Data[1] != 255 || out.Data[2] != 7 {
+		t.Fatalf("unsigned clip = %v", out.Data)
+	}
+}
+
+func TestLUTMatchesFunction(t *testing.T) {
+	relu := func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		return x
+	}
+	l := NewLUT(relu, -128, 127, 0.1, 0.1, 16, true)
+	for _, c := range []int64{-128, -1, 0, 1, 64, 127} {
+		got := l.Lookup(c)
+		want := int64(math.Round(relu(float64(c)*0.1) / 0.1))
+		if got != want {
+			t.Fatalf("lut(%d) = %d, want %d", c, got, want)
+		}
+	}
+	// Out-of-range saturates.
+	if l.Lookup(500) != l.Lookup(127) || l.Lookup(-500) != l.Lookup(-128) {
+		t.Fatal("LUT must saturate at table edges")
+	}
+}
+
+func TestLUTSoftmaxApproximatesFloat(t *testing.T) {
+	g := tensor.NewRNG(5)
+	const inScale = 0.05
+	ls := NewLUTSoftmax(-128, 127, inScale, 8)
+	x := tensor.NewInt(4, 10)
+	for i := range x.Data {
+		x.Data[i] = int64(g.Intn(255)) - 128
+	}
+	probs := ls.FloatProbs(ls.Apply(x))
+	ref := tensor.Softmax(tensor.Scale(x.Float(), inScale))
+	if tensor.MaxAbsDiff(probs, ref) > 0.02 {
+		t.Fatalf("LUT softmax error %v", tensor.MaxAbsDiff(probs, ref))
+	}
+	// Rows must sum to ≈1.
+	for r := 0; r < 4; r++ {
+		var s float64
+		for j := 0; j < 10; j++ {
+			s += float64(probs.Data[r*10+j])
+		}
+		if math.Abs(s-1) > 0.05 {
+			t.Fatalf("row %d sums to %v", r, s)
+		}
+	}
+}
+
+func TestLUTSoftmaxShiftInvariance(t *testing.T) {
+	// Integer softmax must be invariant to a constant code shift (max
+	// subtraction), like its float counterpart.
+	ls := NewLUTSoftmax(-128, 127, 0.1, 8)
+	x := tensor.IntFromSlice([]int64{10, 20, 30, 40}, 1, 4)
+	y1 := ls.Apply(x)
+	shifted := x.Clone()
+	for i := range shifted.Data {
+		shifted.Data[i] += 50
+	}
+	y2 := ls.Apply(shifted)
+	for i := range y1.Data {
+		if y1.Data[i] != y2.Data[i] {
+			t.Fatalf("shift variance at %d: %d vs %d", i, y1.Data[i], y2.Data[i])
+		}
+	}
+}
+
+func TestLUTGELU(t *testing.T) {
+	const s = 0.05
+	l := NewLUTGELU(-128, 127, s)
+	gelu := func(x float64) float64 {
+		return 0.5 * x * (1 + math.Tanh(0.7978845608028654*(x+0.044715*x*x*x)))
+	}
+	for _, c := range []int64{-100, -10, 0, 10, 100} {
+		got := float64(l.Lookup(c)) * s
+		want := gelu(float64(c) * s)
+		if math.Abs(got-want) > s {
+			t.Fatalf("gelu lut(%d): %v vs %v", c, got, want)
+		}
+	}
+}
+
+func TestRoundClip(t *testing.T) {
+	if RoundClip(2.5, -10, 10) != 3 {
+		t.Fatalf("round 2.5 = %d", RoundClip(2.5, -10, 10))
+	}
+	if RoundClip(100, -10, 10) != 10 || RoundClip(-100, -10, 10) != -10 {
+		t.Fatal("clip failed")
+	}
+}

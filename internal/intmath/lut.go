@@ -1,0 +1,136 @@
+package intmath
+
+import (
+	"math"
+
+	"torch2chip/internal/tensor"
+)
+
+// LUT approximates a scalar non-linear function over integer inputs by
+// table lookup, the deploy-time replacement the paper uses for Softmax and
+// GELU inside integer-only transformers. Inputs are integer codes in
+// [InMin, InMax] (the quantized domain); outputs are integer codes with
+// the declared output scale.
+type LUT struct {
+	InMin, InMax int64
+	// Table maps code (x - InMin) to the output code.
+	Table []int64
+	// OutScale converts output codes back to float (out = code · OutScale).
+	OutScale float32
+}
+
+// NewLUT tabulates f over the quantized input domain. inScale converts an
+// input code to its float value; outScale quantizes the output with the
+// given output bit range.
+func NewLUT(f func(float64) float64, inMin, inMax int64, inScale float32, outScale float32, outBits int, outSigned bool) *LUT {
+	l := &LUT{InMin: inMin, InMax: inMax, OutScale: outScale, Table: make([]int64, inMax-inMin+1)}
+	var lo, hi int64
+	if outSigned {
+		lo, hi = -(1 << (outBits - 1)), 1<<(outBits-1)-1
+	} else {
+		lo, hi = 0, 1<<outBits-1
+	}
+	for c := inMin; c <= inMax; c++ {
+		y := f(float64(c) * float64(inScale))
+		l.Table[c-inMin] = RoundClip(y/float64(outScale), lo, hi)
+	}
+	return l
+}
+
+// Lookup maps one input code through the table, clamping out-of-range
+// codes to the table edges (saturating hardware behaviour).
+func (l *LUT) Lookup(c int64) int64 {
+	if c < l.InMin {
+		c = l.InMin
+	}
+	if c > l.InMax {
+		c = l.InMax
+	}
+	return l.Table[c-l.InMin]
+}
+
+// Apply maps a whole tensor through the table.
+func (l *LUT) Apply(x *tensor.IntTensor) *tensor.IntTensor {
+	out := tensor.NewInt(x.Shape...)
+	for i, c := range x.Data {
+		out.Data[i] = l.Lookup(c)
+	}
+	return out
+}
+
+// LUTSoftmax performs the integer-only softmax used inside quantized
+// attention (Figure 4): exponentials come from an 8-bit-input, 16-bit
+// fixed-point-output LUT; normalization is an integer divide.
+type LUTSoftmax struct {
+	exp *LUT
+	// OutBits of the resulting probability codes (unsigned).
+	OutBits int
+	// probScale converts probability codes to float: p = code / 2^OutBits-ish
+	ProbScale float32
+}
+
+// NewLUTSoftmax builds the exp LUT for logit codes in [inMin, inMax] with
+// input scale inScale. The exp table stores 16-bit fixed-point values of
+// exp(x - xmax) assuming inputs are pre-shifted by the row max.
+func NewLUTSoftmax(inMin, inMax int64, inScale float32, outBits int) *LUTSoftmax {
+	const expFrac = 15 // UQ1.15: exp(z) for z<=0 lies in (0,1]
+	expScale := float32(math.Pow(2, -expFrac))
+	exp := NewLUT(math.Exp, inMin-inMax, 0, inScale, expScale, 16, false)
+	s := &LUTSoftmax{exp: exp, OutBits: outBits}
+	s.ProbScale = 1 / float32(int64(1)<<outBits-1)
+	return s
+}
+
+// Apply computes row-wise integer softmax over the last dimension of x.
+// Each row is shifted by its max code before the LUT (standard
+// max-subtraction), the LUT exponentials are summed in int64, and each
+// probability is (e<<OutBits)/sum, an integer divide.
+func (s *LUTSoftmax) Apply(x *tensor.IntTensor) *tensor.IntTensor {
+	d := x.Shape[len(x.Shape)-1]
+	rows := len(x.Data) / d
+	out := tensor.NewInt(x.Shape...)
+	scaleMax := int64(1)<<s.OutBits - 1
+	for r := 0; r < rows; r++ {
+		seg := x.Data[r*d : (r+1)*d]
+		var mx int64 = math.MinInt64
+		for _, c := range seg {
+			if c > mx {
+				mx = c
+			}
+		}
+		var sum int64
+		es := make([]int64, d)
+		for j, c := range seg {
+			e := s.exp.Lookup(c - mx)
+			es[j] = e
+			sum += e
+		}
+		if sum == 0 {
+			sum = 1
+		}
+		o := out.Data[r*d : (r+1)*d]
+		for j, e := range es {
+			o[j] = (e*scaleMax + sum/2) / sum
+		}
+	}
+	return out
+}
+
+// FloatProbs converts probability codes to float32 probabilities.
+func (s *LUTSoftmax) FloatProbs(codes *tensor.IntTensor) *tensor.Tensor {
+	out := tensor.New(codes.Shape...)
+	for i, c := range codes.Data {
+		out.Data[i] = float32(c) * s.ProbScale
+	}
+	return out
+}
+
+// NewLUTGELU tabulates GELU for the given quantized input domain with a
+// symmetric int16 output of the same scale as the input, which keeps the
+// activation in the integer domain between matmuls.
+func NewLUTGELU(inMin, inMax int64, inScale float32) *LUT {
+	gelu := func(x float64) float64 {
+		return 0.5 * x * (1 + math.Tanh(0.7978845608028654*(x+0.044715*x*x*x)))
+	}
+	return NewLUT(gelu, inMin, inMax, inScale, inScale, 16, true)
+}

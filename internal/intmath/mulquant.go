@@ -1,0 +1,155 @@
+package intmath
+
+import (
+	"fmt"
+	"math"
+
+	"torch2chip/internal/tensor"
+)
+
+// MulQuant is the integer rescale-and-requantize module that replaces the
+// floating-point scale multiplication after fusion (Figure 3/4 of the
+// paper). The per-channel (or unified) scale and bias are stored as INT16
+// fixed-point numbers with a user-defined (integer, fraction) bit split,
+// e.g. INT(12,4) = 4 integer bits and 12 fractional bits:
+//
+//	y_q = round_clip( (acc · scaleFx) >> frac  +  biasFx >> frac )
+//
+// computed entirely with integer arithmetic (the shift is a fixed-point
+// divide). Outputs are clipped to the declared output bit-width.
+type MulQuant struct {
+	// ScaleFx and BiasFx are the fixed-point INT16 codes (one per channel,
+	// or a single entry for unified scaling).
+	ScaleFx []int16
+	BiasFx  []int32 // bias uses the same fraction but wider storage headroom
+	// FracBits / IntBits define the fixed-point split; FracBits+IntBits=16.
+	FracBits int
+	IntBits  int
+	// OutBits / OutSigned define the requantized output range.
+	OutBits   int
+	OutSigned bool
+	// OutZero is the output zero point added after rescale.
+	OutZero int64
+}
+
+// NewMulQuant converts float per-channel scale and bias into fixed point.
+// intBits+fracBits must equal 16 (an INT16 code).
+func NewMulQuant(scale, bias []float32, intBits, fracBits, outBits int, outSigned bool, outZero int64) (*MulQuant, error) {
+	if intBits+fracBits != 16 {
+		return nil, fmt.Errorf("intmath: INT(%d,%d) is not an INT16 split", intBits, fracBits)
+	}
+	m := &MulQuant{
+		ScaleFx: make([]int16, len(scale)), BiasFx: make([]int32, len(bias)),
+		FracBits: fracBits, IntBits: intBits,
+		OutBits: outBits, OutSigned: outSigned, OutZero: outZero,
+	}
+	lim := int64(1)<<15 - 1
+	for i, s := range scale {
+		c := RoundClip(float64(s)*float64(int64(1)<<fracBits), -lim-1, lim)
+		m.ScaleFx[i] = int16(c)
+	}
+	blim := int64(1)<<31 - 1
+	for i, b := range bias {
+		c := RoundClip(float64(b)*float64(int64(1)<<fracBits), -blim-1, blim)
+		m.BiasFx[i] = int32(c)
+	}
+	return m, nil
+}
+
+func (m *MulQuant) qRange() (int64, int64) {
+	if m.OutSigned {
+		return -(1 << (m.OutBits - 1)), 1<<(m.OutBits-1) - 1
+	}
+	return 0, 1<<m.OutBits - 1
+}
+
+// scaleAt returns the fixed-point codes for channel ch (unified scaling
+// collapses to index 0).
+func (m *MulQuant) scaleAt(ch int) (int64, int64) {
+	if len(m.ScaleFx) == 1 {
+		return int64(m.ScaleFx[0]), int64(m.BiasFx[0])
+	}
+	return int64(m.ScaleFx[ch]), int64(m.BiasFx[ch])
+}
+
+// Apply rescales an accumulator tensor [N,C,...] channel-wise. chDim
+// selects which dimension indexes channels (1 for NCHW accumulators,
+// -1 for unified scaling of matmul outputs).
+func (m *MulQuant) Apply(acc *tensor.IntTensor, chDim int) *tensor.IntTensor {
+	out := tensor.NewInt(acc.Shape...)
+	lo, hi := m.qRange()
+	half := int64(1) << (m.FracBits - 1)
+	var chSize, nCh int
+	if chDim < 0 || len(m.ScaleFx) == 1 {
+		nCh = 1
+		chSize = len(acc.Data)
+	} else {
+		nCh = acc.Shape[chDim]
+		inner := 1
+		for d := chDim + 1; d < len(acc.Shape); d++ {
+			inner *= acc.Shape[d]
+		}
+		chSize = inner
+	}
+	for i, v := range acc.Data {
+		ch := 0
+		if nCh > 1 {
+			ch = (i / chSize) % nCh
+		}
+		sfx, bfx := m.scaleAt(ch)
+		// Fixed-point multiply-add with round-to-nearest on the shift.
+		t := v*sfx + bfx
+		var q int64
+		if t >= 0 {
+			q = (t + half) >> m.FracBits
+		} else {
+			q = -((-t + half) >> m.FracBits)
+		}
+		q += m.OutZero
+		if q < lo {
+			q = lo
+		}
+		if q > hi {
+			q = hi
+		}
+		out.Data[i] = q
+	}
+	return out
+}
+
+// FloatReference computes the float-precision reference of Apply, used by
+// tests to bound the fixed-point error.
+func (m *MulQuant) FloatReference(acc *tensor.IntTensor, chDim int, scale, bias []float32) *tensor.IntTensor {
+	out := tensor.NewInt(acc.Shape...)
+	lo, hi := m.qRange()
+	var chSize, nCh int
+	if chDim < 0 || len(scale) == 1 {
+		nCh = 1
+		chSize = len(acc.Data)
+	} else {
+		nCh = acc.Shape[chDim]
+		inner := 1
+		for d := chDim + 1; d < len(acc.Shape); d++ {
+			inner *= acc.Shape[d]
+		}
+		chSize = inner
+	}
+	for i, v := range acc.Data {
+		ch := 0
+		if nCh > 1 {
+			ch = (i / chSize) % nCh
+		}
+		s, b := scale[0], bias[0]
+		if nCh > 1 {
+			s, b = scale[ch], bias[ch]
+		}
+		out.Data[i] = RoundClip(float64(v)*float64(s)+float64(b)+float64(m.OutZero), lo, hi)
+	}
+	return out
+}
+
+// MaxScaleError returns the worst-case representable scale error of the
+// fixed-point encoding, 2^-frac/2.
+func (m *MulQuant) MaxScaleError() float64 {
+	return math.Pow(2, -float64(m.FracBits)) / 2
+}

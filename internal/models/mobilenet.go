@@ -1,0 +1,68 @@
+package models
+
+import (
+	"torch2chip/internal/nn"
+	"torch2chip/internal/tensor"
+)
+
+// MobileNetConfig selects the depthwise-separable CNN variant.
+type MobileNetConfig struct {
+	// WidthMult scales all channel counts (the paper's Mob-V1 (1×)).
+	WidthMult  float32
+	NumClasses int
+	// Blocks is the number of depthwise-separable stages (full MobileNet
+	// uses 13; the scaled variant defaults to 5).
+	Blocks int
+}
+
+// MobileNetV1 returns the default scaled configuration.
+func MobileNetV1(numClasses int) MobileNetConfig {
+	return MobileNetConfig{WidthMult: 1, NumClasses: numClasses, Blocks: 5}
+}
+
+func scaleCh(c int, m float32) int {
+	s := int(float32(c) * m)
+	if s < 4 {
+		s = 4
+	}
+	return s
+}
+
+// NewMobileNetV1 builds the depthwise-separable network: a stride-1 stem
+// followed by [depthwise 3×3 → BN → ReLU6 → pointwise 1×1 → BN → ReLU6]
+// stages, pooling, and the classifier. The whole network is a flat
+// Sequential, so the deploy conversion lowers it fully to integers.
+func NewMobileNetV1(g *tensor.RNG, cfg MobileNetConfig) *nn.Sequential {
+	base := []int{8, 16, 16, 32, 32, 64, 64, 64, 64, 64, 64, 128, 128}
+	strides := []int{1, 2, 1, 2, 1, 2, 1, 1, 1, 1, 1, 2, 1}
+	if cfg.Blocks > len(base) {
+		cfg.Blocks = len(base)
+	}
+	in := scaleCh(8, cfg.WidthMult)
+	layers := []nn.Layer{
+		nn.NewConv2d(g, 3, in, 3, 1, 1, 1, false),
+		nn.NewBatchNorm2d(in),
+		&nn.ReLU6{},
+	}
+	for b := 0; b < cfg.Blocks; b++ {
+		out := scaleCh(base[b], cfg.WidthMult)
+		s := strides[b]
+		layers = append(layers,
+			// depthwise
+			nn.NewConv2d(g, in, in, 3, s, 1, in, false),
+			nn.NewBatchNorm2d(in),
+			&nn.ReLU6{},
+			// pointwise
+			nn.NewConv2d(g, in, out, 1, 1, 0, 1, false),
+			nn.NewBatchNorm2d(out),
+			&nn.ReLU6{},
+		)
+		in = out
+	}
+	layers = append(layers,
+		&nn.AvgPool{Kernel: 0},
+		&nn.Flatten{},
+		nn.NewLinear(g, in, cfg.NumClasses, true),
+	)
+	return nn.NewSequential(layers...)
+}

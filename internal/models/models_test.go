@@ -1,0 +1,178 @@
+package models
+
+import (
+	"testing"
+
+	"torch2chip/internal/nn"
+	"torch2chip/internal/quant"
+	"torch2chip/internal/tensor"
+)
+
+func TestResNet20ForwardShape(t *testing.T) {
+	g := tensor.NewRNG(1)
+	m := NewResNet(g, ResNet20(10))
+	x := g.Uniform(0, 1, 2, 3, 16, 16)
+	y := m.Forward(x)
+	if y.Shape[0] != 2 || y.Shape[1] != 10 {
+		t.Fatalf("shape %v", y.Shape)
+	}
+}
+
+func TestResNet50BottleneckShape(t *testing.T) {
+	g := tensor.NewRNG(2)
+	m := NewResNet(g, ResNet50(20))
+	x := g.Uniform(0, 1, 1, 3, 16, 16)
+	y := m.Forward(x)
+	if y.Shape[1] != 20 {
+		t.Fatalf("shape %v", y.Shape)
+	}
+}
+
+func TestResNetBackwardRuns(t *testing.T) {
+	g := tensor.NewRNG(3)
+	m := NewResNet(g, ResNet18(5))
+	x := g.Uniform(0, 1, 2, 3, 16, 16)
+	y := m.Forward(x)
+	_, grad := nn.CrossEntropyLoss(y, []int{1, 3})
+	gx := m.Backward(grad)
+	if gx.Shape[1] != 3 || gx.Shape[2] != 16 {
+		t.Fatalf("grad shape %v", gx.Shape)
+	}
+	// At least one conv weight must receive gradient.
+	var touched bool
+	for _, p := range m.Params() {
+		if p.Grad.AbsMax() > 0 {
+			touched = true
+			break
+		}
+	}
+	if !touched {
+		t.Fatal("no parameter gradient accumulated")
+	}
+}
+
+func TestMobileNetShapeAndDepthwise(t *testing.T) {
+	g := tensor.NewRNG(4)
+	m := NewMobileNetV1(g, MobileNetV1(10))
+	x := g.Uniform(0, 1, 2, 3, 16, 16)
+	y := m.Forward(x)
+	if y.Shape[1] != 10 {
+		t.Fatalf("shape %v", y.Shape)
+	}
+	// There must be grouped convolutions (depthwise).
+	dw := 0
+	for _, l := range m.Layers {
+		if c, ok := l.(*nn.Conv2d); ok && c.P.Groups > 1 {
+			dw++
+		}
+	}
+	if dw == 0 {
+		t.Fatal("MobileNet must contain depthwise convs")
+	}
+}
+
+func TestMobileNetWidthMult(t *testing.T) {
+	g := tensor.NewRNG(5)
+	full := CountParams(NewMobileNetV1(g, MobileNetV1(10)))
+	half := CountParams(NewMobileNetV1(g, MobileNetConfig{WidthMult: 0.5, NumClasses: 10, Blocks: 5}))
+	if half >= full {
+		t.Fatalf("0.5× (%d params) must be smaller than 1× (%d)", half, full)
+	}
+}
+
+func TestViTForwardBackward(t *testing.T) {
+	g := tensor.NewRNG(6)
+	cfg := ViT7(16, 10)
+	cfg.Depth = 2 // keep the test fast
+	m := NewViT(g, cfg)
+	x := g.Uniform(0, 1, 2, 3, 16, 16)
+	y := m.Forward(x)
+	if y.Shape[0] != 2 || y.Shape[1] != 10 {
+		t.Fatalf("shape %v", y.Shape)
+	}
+	_, grad := nn.CrossEntropyLoss(y, []int{0, 1})
+	gx := m.Backward(grad)
+	if gx.Shape[1] != 3 {
+		t.Fatalf("grad shape %v", gx.Shape)
+	}
+}
+
+func TestViTLearnsOneStep(t *testing.T) {
+	g := tensor.NewRNG(7)
+	cfg := ViT7(8, 4)
+	cfg.Depth = 1
+	cfg.Dim = 16
+	m := NewViT(g, cfg)
+	x := g.Uniform(0, 1, 4, 3, 8, 8)
+	labels := []int{0, 1, 2, 3}
+	var first, last float32
+	for step := 0; step < 20; step++ {
+		y := m.Forward(x)
+		loss, grad := nn.CrossEntropyLoss(y, labels)
+		if step == 0 {
+			first = loss
+		}
+		last = loss
+		nn.ZeroGrads(m)
+		m.Backward(grad)
+		for _, p := range m.Params() {
+			tensor.AxpyInPlace(p.Data, -0.05, p.Grad)
+		}
+	}
+	if last >= first {
+		t.Fatalf("ViT loss did not decrease: %v → %v", first, last)
+	}
+}
+
+func TestPrepareQuantizesResNet(t *testing.T) {
+	g := tensor.NewRNG(8)
+	m := NewResNet(g, ResNet20(10))
+	quant.Prepare(m, quant.Config{WBits: 4, ABits: 4, Weight: "sawb", Act: "pact", PerChannel: true})
+	convs, lins, _ := quant.QuantizedLayers(m)
+	// ResNet-20: 19 convs (stem + 9 blocks × 2 + 2 downsample shortcuts) + 1 linear.
+	if len(convs) < 19 || len(lins) != 1 {
+		t.Fatalf("prepare found %d convs, %d linears", len(convs), len(lins))
+	}
+	x := g.Uniform(0, 1, 1, 3, 16, 16)
+	y := m.Forward(x)
+	if y.Shape[1] != 10 {
+		t.Fatalf("quantized forward shape %v", y.Shape)
+	}
+}
+
+func TestPrepareQuantizesViTViaRewire(t *testing.T) {
+	g := tensor.NewRNG(9)
+	cfg := ViT7(8, 4)
+	cfg.Depth = 2
+	cfg.Dim = 16
+	m := NewViT(g, cfg)
+	quant.Prepare(m, quant.Config{WBits: 8, ABits: 8, Weight: "minmax", Act: "minmax"})
+	convs, lins, attns := quant.QuantizedLayers(m)
+	if len(convs) != 1 {
+		t.Fatalf("patch-embed conv not quantized: %d", len(convs))
+	}
+	// Each block: 4 attention projections + 2 MLP linears; head: 1 linear.
+	if len(lins) != 2*6+1 {
+		t.Fatalf("linears quantized: %d, want 13", len(lins))
+	}
+	if len(attns) != 2 {
+		t.Fatalf("attentions quantized: %d", len(attns))
+	}
+	x := g.Uniform(0, 1, 1, 3, 8, 8)
+	if y := m.Forward(x); y.Shape[1] != 4 {
+		t.Fatalf("shape %v", y.Shape)
+	}
+	// Infer mode must run integer matmuls end to end.
+	quant.SetCalibrating(m, false)
+	quant.SetMode(m, quant.ModeInfer)
+	if y := m.Forward(x); y.Shape[1] != 4 {
+		t.Fatalf("infer shape %v", y.Shape)
+	}
+}
+
+func TestCountParamsPositive(t *testing.T) {
+	g := tensor.NewRNG(10)
+	if CountParams(NewResNet(g, ResNet20(10))) <= 0 {
+		t.Fatal("param count must be positive")
+	}
+}

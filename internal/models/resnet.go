@@ -1,0 +1,130 @@
+// Package models implements the paper's model zoo — ResNet-20/18/50,
+// MobileNet-V1, and ViT-7 — as width/depth-scaled variants trainable on
+// CPU. Topologies are faithful (basic and bottleneck residual blocks,
+// depthwise-separable convolutions, patch-embedded transformer blocks) so
+// the toolkit's fusion and extraction paths are exercised exactly as on
+// the full-size models; only the channel counts and input resolution are
+// reduced (DESIGN.md, substitutions).
+package models
+
+import (
+	"torch2chip/internal/nn"
+	"torch2chip/internal/tensor"
+)
+
+// ResNetConfig selects a residual network variant.
+type ResNetConfig struct {
+	// BlocksPerStage is the number of residual blocks in each of the three
+	// stages (ResNet-20 uses {3,3,3}; the scaled "ResNet-18" uses {2,2,2};
+	// the scaled "ResNet-50" uses bottlenecks with {3,4,3}).
+	BlocksPerStage []int
+	// Bottleneck switches the block type (ResNet-50 family).
+	Bottleneck bool
+	// Width is the stage-1 channel count (16 in full ResNet-20).
+	Width      int
+	NumClasses int
+}
+
+// ResNet20 is the CIFAR-style 20-layer configuration at reduced width.
+func ResNet20(numClasses int) ResNetConfig {
+	return ResNetConfig{BlocksPerStage: []int{3, 3, 3}, Width: 8, NumClasses: numClasses}
+}
+
+// ResNet18 is the scaled basic-block ImageNet-style configuration.
+func ResNet18(numClasses int) ResNetConfig {
+	return ResNetConfig{BlocksPerStage: []int{2, 2, 2}, Width: 12, NumClasses: numClasses}
+}
+
+// ResNet50 is the scaled bottleneck configuration.
+func ResNet50(numClasses int) ResNetConfig {
+	return ResNetConfig{BlocksPerStage: []int{3, 4, 3}, Bottleneck: true, Width: 12, NumClasses: numClasses}
+}
+
+// NewResNet builds the network for 3-channel square inputs.
+func NewResNet(g *tensor.RNG, cfg ResNetConfig) *nn.Sequential {
+	w := cfg.Width
+	layers := []nn.Layer{
+		nn.NewConv2d(g, 3, w, 3, 1, 1, 1, false),
+		nn.NewBatchNorm2d(w),
+		&nn.ReLU{},
+	}
+	in := w
+	for stage, nb := range cfg.BlocksPerStage {
+		out := w << stage
+		stride := 1
+		if stage > 0 {
+			stride = 2
+		}
+		for b := 0; b < nb; b++ {
+			s := 1
+			if b == 0 {
+				s = stride
+			}
+			if cfg.Bottleneck {
+				layers = append(layers, bottleneckBlock(g, in, out, s)...)
+				in = out * 2 // expansion 2 (full ResNet-50 uses 4)
+			} else {
+				layers = append(layers, basicBlock(g, in, out, s)...)
+				in = out
+			}
+		}
+	}
+	layers = append(layers,
+		&nn.AvgPool{Kernel: 0},
+		&nn.Flatten{},
+		nn.NewLinear(g, in, cfg.NumClasses, true),
+	)
+	return nn.NewSequential(layers...)
+}
+
+// basicBlock is conv3x3-BN-ReLU-conv3x3-BN with identity or 1x1-conv
+// shortcut, followed by the post-add ReLU.
+func basicBlock(g *tensor.RNG, in, out, stride int) []nn.Layer {
+	body := nn.NewSequential(
+		nn.NewConv2d(g, in, out, 3, stride, 1, 1, false),
+		nn.NewBatchNorm2d(out),
+		&nn.ReLU{},
+		nn.NewConv2d(g, out, out, 3, 1, 1, 1, false),
+		nn.NewBatchNorm2d(out),
+	)
+	var shortcut nn.Layer = nn.Identity{}
+	if in != out || stride != 1 {
+		shortcut = nn.NewSequential(
+			nn.NewConv2d(g, in, out, 1, stride, 0, 1, false),
+			nn.NewBatchNorm2d(out),
+		)
+	}
+	return []nn.Layer{nn.NewResidual(body, shortcut), &nn.ReLU{}}
+}
+
+// bottleneckBlock is 1x1-reduce, 3x3, 1x1-expand with expansion 2.
+func bottleneckBlock(g *tensor.RNG, in, mid, stride int) []nn.Layer {
+	out := mid * 2
+	body := nn.NewSequential(
+		nn.NewConv2d(g, in, mid, 1, 1, 0, 1, false),
+		nn.NewBatchNorm2d(mid),
+		&nn.ReLU{},
+		nn.NewConv2d(g, mid, mid, 3, stride, 1, 1, false),
+		nn.NewBatchNorm2d(mid),
+		&nn.ReLU{},
+		nn.NewConv2d(g, mid, out, 1, 1, 0, 1, false),
+		nn.NewBatchNorm2d(out),
+	)
+	var shortcut nn.Layer = nn.Identity{}
+	if in != out || stride != 1 {
+		shortcut = nn.NewSequential(
+			nn.NewConv2d(g, in, out, 1, stride, 0, 1, false),
+			nn.NewBatchNorm2d(out),
+		)
+	}
+	return []nn.Layer{nn.NewResidual(body, shortcut), &nn.ReLU{}}
+}
+
+// CountParams returns the total number of scalar parameters of a model.
+func CountParams(l nn.Layer) int {
+	n := 0
+	for _, p := range l.Params() {
+		n += p.Data.Numel()
+	}
+	return n
+}

@@ -1,0 +1,241 @@
+package models
+
+import (
+	"torch2chip/internal/nn"
+	"torch2chip/internal/tensor"
+)
+
+// ViTConfig selects the vision-transformer variant (the paper's ViT-7 at
+// reduced dimension).
+type ViTConfig struct {
+	ImgSize    int
+	Patch      int
+	Dim        int
+	Depth      int
+	Heads      int
+	MLPRatio   int
+	NumClasses int
+}
+
+// ViT7 returns the scaled 7-block configuration.
+func ViT7(imgSize, numClasses int) ViTConfig {
+	return ViTConfig{ImgSize: imgSize, Patch: 4, Dim: 32, Depth: 7, Heads: 4, MLPRatio: 2, NumClasses: numClasses}
+}
+
+// PatchEmbed converts [N,3,H,W] to token embeddings [N,T,D] with a strided
+// convolution, then adds learnable positional embeddings and a class token.
+type PatchEmbed struct {
+	Conv   nn.Layer // *nn.Conv2d (or QConv2d after Prepare)
+	Pos    *nn.Param
+	Cls    *nn.Param
+	T      int // tokens including cls
+	D      int
+	nCache int
+}
+
+// NewPatchEmbed builds the embedding for the given geometry.
+func NewPatchEmbed(g *tensor.RNG, cfg ViTConfig) *PatchEmbed {
+	tok := (cfg.ImgSize / cfg.Patch) * (cfg.ImgSize / cfg.Patch)
+	pe := &PatchEmbed{
+		Conv: nn.NewConv2d(g, 3, cfg.Dim, cfg.Patch, cfg.Patch, 0, 1, true),
+		T:    tok + 1,
+		D:    cfg.Dim,
+	}
+	pe.Pos = nn.NewParam("vit.pos", g.Randn(0.02, tok+1, cfg.Dim))
+	pe.Pos.NoDecay = true
+	pe.Cls = nn.NewParam("vit.cls", g.Randn(0.02, cfg.Dim))
+	pe.Cls.NoDecay = true
+	return pe
+}
+
+// Forward embeds patches and prepends the class token.
+func (pe *PatchEmbed) Forward(x *tensor.Tensor) *tensor.Tensor {
+	n := x.Shape[0]
+	pe.nCache = n
+	f := pe.Conv.Forward(x) // [N,D,h,w]
+	d := f.Shape[1]
+	sp := f.Shape[2] * f.Shape[3]
+	out := tensor.New(n, pe.T, d)
+	for ni := 0; ni < n; ni++ {
+		// cls token
+		for j := 0; j < d; j++ {
+			out.Data[(ni*pe.T)*d+j] = pe.Cls.Data.Data[j] + pe.Pos.Data.Data[j]
+		}
+		for t := 0; t < sp; t++ {
+			for j := 0; j < d; j++ {
+				out.Data[(ni*pe.T+1+t)*d+j] = f.Data[(ni*d+j)*sp+t] + pe.Pos.Data.Data[(1+t)*d+j]
+			}
+		}
+	}
+	return out
+}
+
+// Backward routes gradients to the conv, position and class parameters.
+func (pe *PatchEmbed) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n := pe.nCache
+	d := pe.D
+	sp := pe.T - 1
+	gf := tensor.New(n, d, intSqrt(sp), intSqrt(sp))
+	for ni := 0; ni < n; ni++ {
+		for j := 0; j < d; j++ {
+			pe.Cls.Grad.Data[j] += grad.Data[(ni*pe.T)*d+j]
+			pe.Pos.Grad.Data[j] += grad.Data[(ni*pe.T)*d+j]
+		}
+		for t := 0; t < sp; t++ {
+			for j := 0; j < d; j++ {
+				g := grad.Data[(ni*pe.T+1+t)*d+j]
+				gf.Data[(ni*d+j)*sp+t] = g
+				pe.Pos.Grad.Data[(1+t)*d+j] += g
+			}
+		}
+	}
+	return pe.Conv.Backward(gf)
+}
+
+func intSqrt(n int) int {
+	for i := 1; i*i <= n; i++ {
+		if i*i == n {
+			return i
+		}
+	}
+	return 1
+}
+
+// Params returns conv, positional and class parameters.
+func (pe *PatchEmbed) Params() []*nn.Param {
+	return append(pe.Conv.Params(), pe.Pos, pe.Cls)
+}
+
+// Children exposes the embedding conv.
+func (pe *PatchEmbed) Children() []nn.Layer { return []nn.Layer{pe.Conv} }
+
+// Rewire lets the quantization pass replace the embedding conv.
+func (pe *PatchEmbed) Rewire(f func(nn.Layer) nn.Layer) { pe.Conv = f(pe.Conv) }
+
+// TransformerBlock is pre-norm attention + MLP with residual connections
+// over [N,T,D] tokens.
+type TransformerBlock struct {
+	Norm1 *nn.LayerNorm
+	Attn  nn.Layer // *nn.MultiHeadAttention (or QAttention)
+	Norm2 *nn.LayerNorm
+	FC1   nn.Layer // *nn.Linear (or QLinear)
+	Act   *nn.GELU
+	FC2   nn.Layer
+	D     int
+
+	x1, x2 *tensor.Tensor // residual caches
+	shape  []int
+}
+
+// NewTransformerBlock builds one encoder block.
+func NewTransformerBlock(g *tensor.RNG, cfg ViTConfig) *TransformerBlock {
+	hidden := cfg.Dim * cfg.MLPRatio
+	return &TransformerBlock{
+		Norm1: nn.NewLayerNorm(cfg.Dim),
+		Attn:  nn.NewMultiHeadAttention(g, cfg.Dim, cfg.Heads),
+		Norm2: nn.NewLayerNorm(cfg.Dim),
+		FC1:   nn.NewLinear(g, cfg.Dim, hidden, true),
+		Act:   &nn.GELU{},
+		FC2:   nn.NewLinear(g, hidden, cfg.Dim, true),
+		D:     cfg.Dim,
+	}
+}
+
+// Forward computes x + Attn(LN(x)), then + MLP(LN(·)).
+func (b *TransformerBlock) Forward(x *tensor.Tensor) *tensor.Tensor {
+	b.shape = append(b.shape[:0], x.Shape...)
+	b.x1 = x
+	h := b.Attn.Forward(b.Norm1.Forward(x))
+	y := tensor.Add(x, h)
+	b.x2 = y
+	n, t := y.Shape[0], y.Shape[1]
+	flat := b.Norm2.Forward(y).Reshape(n*t, b.D)
+	m := b.FC2.Forward(b.Act.Forward(b.FC1.Forward(flat)))
+	return tensor.Add(y, m.Reshape(n, t, b.D))
+}
+
+// Backward propagates through both residual branches.
+func (b *TransformerBlock) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n, t := b.shape[0], b.shape[1]
+	gm := grad.Reshape(n*t, b.D)
+	g1 := b.FC1.Backward(b.Act.Backward(b.FC2.Backward(gm)))
+	gy := tensor.Add(grad, b.Norm2.Backward(g1.Reshape(n, t, b.D)))
+	ga := b.Attn.Backward(gy)
+	return tensor.Add(gy, b.Norm1.Backward(ga))
+}
+
+// Params returns all block parameters.
+func (b *TransformerBlock) Params() []*nn.Param {
+	ps := b.Norm1.Params()
+	ps = append(ps, b.Attn.Params()...)
+	ps = append(ps, b.Norm2.Params()...)
+	ps = append(ps, b.FC1.Params()...)
+	return append(ps, b.FC2.Params()...)
+}
+
+// Children exposes sub-layers for mode walks.
+func (b *TransformerBlock) Children() []nn.Layer {
+	return []nn.Layer{b.Norm1, b.Attn, b.Norm2, b.FC1, b.FC2}
+}
+
+// Rewire lets the quantization pass swap the attention and MLP linears.
+func (b *TransformerBlock) Rewire(f func(nn.Layer) nn.Layer) {
+	b.Attn = f(b.Attn)
+	b.FC1 = f(b.FC1)
+	b.FC2 = f(b.FC2)
+}
+
+// ClsHead takes the class token and projects it to logits.
+type ClsHead struct {
+	Norm *nn.LayerNorm
+	FC   nn.Layer
+	D    int
+	n, t int
+}
+
+// NewClsHead builds the classification head.
+func NewClsHead(g *tensor.RNG, cfg ViTConfig) *ClsHead {
+	return &ClsHead{Norm: nn.NewLayerNorm(cfg.Dim), FC: nn.NewLinear(g, cfg.Dim, cfg.NumClasses, true), D: cfg.Dim}
+}
+
+// Forward normalizes tokens and classifies the class token.
+func (h *ClsHead) Forward(x *tensor.Tensor) *tensor.Tensor {
+	h.n, h.t = x.Shape[0], x.Shape[1]
+	y := h.Norm.Forward(x)
+	cls := tensor.New(h.n, h.D)
+	for ni := 0; ni < h.n; ni++ {
+		copy(cls.Data[ni*h.D:(ni+1)*h.D], y.Data[(ni*h.t)*h.D:(ni*h.t)*h.D+h.D])
+	}
+	return h.FC.Forward(cls)
+}
+
+// Backward scatters the class-token gradient back into the token grid.
+func (h *ClsHead) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	gcls := h.FC.Backward(grad)
+	gy := tensor.New(h.n, h.t, h.D)
+	for ni := 0; ni < h.n; ni++ {
+		copy(gy.Data[(ni*h.t)*h.D:(ni*h.t)*h.D+h.D], gcls.Data[ni*h.D:(ni+1)*h.D])
+	}
+	return h.Norm.Backward(gy)
+}
+
+// Params returns head parameters.
+func (h *ClsHead) Params() []*nn.Param {
+	return append(h.Norm.Params(), h.FC.Params()...)
+}
+
+// Children exposes the norm and projection.
+func (h *ClsHead) Children() []nn.Layer { return []nn.Layer{h.Norm, h.FC} }
+
+// Rewire lets the quantization pass swap the classifier linear.
+func (h *ClsHead) Rewire(f func(nn.Layer) nn.Layer) { h.FC = f(h.FC) }
+
+// NewViT assembles the full transformer.
+func NewViT(g *tensor.RNG, cfg ViTConfig) *nn.Sequential {
+	layers := []nn.Layer{NewPatchEmbed(g, cfg)}
+	for i := 0; i < cfg.Depth; i++ {
+		layers = append(layers, NewTransformerBlock(g, cfg))
+	}
+	layers = append(layers, NewClsHead(g, cfg))
+	return nn.NewSequential(layers...)
+}

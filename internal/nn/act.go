@@ -1,0 +1,199 @@
+package nn
+
+import (
+	"math"
+
+	"torch2chip/internal/tensor"
+)
+
+// ReLU is the rectified linear activation.
+type ReLU struct{ mask []bool }
+
+// Forward computes max(0, x).
+func (r *ReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(x.Shape...)
+	if cap(r.mask) < len(x.Data) {
+		r.mask = make([]bool, len(x.Data))
+	}
+	r.mask = r.mask[:len(x.Data)]
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+		}
+	}
+	return out
+}
+
+// Backward gates the gradient by the forward mask.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(grad.Shape...)
+	for i, g := range grad.Data {
+		if r.mask[i] {
+			out.Data[i] = g
+		}
+	}
+	return out
+}
+
+// Params returns nil.
+func (r *ReLU) Params() []*Param { return nil }
+
+// ReLU6 clips activations to [0, 6]; the MobileNet activation.
+type ReLU6 struct{ mask []bool }
+
+// Forward computes min(max(0,x),6).
+func (r *ReLU6) Forward(x *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(x.Shape...)
+	if cap(r.mask) < len(x.Data) {
+		r.mask = make([]bool, len(x.Data))
+	}
+	r.mask = r.mask[:len(x.Data)]
+	for i, v := range x.Data {
+		in := v > 0 && v < 6
+		r.mask[i] = in
+		switch {
+		case v <= 0:
+		case v >= 6:
+			out.Data[i] = 6
+		default:
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// Backward gates the gradient to the linear region.
+func (r *ReLU6) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(grad.Shape...)
+	for i, g := range grad.Data {
+		if r.mask[i] {
+			out.Data[i] = g
+		}
+	}
+	return out
+}
+
+// Params returns nil.
+func (r *ReLU6) Params() []*Param { return nil }
+
+// GELU is the Gaussian error linear unit (tanh approximation), used by ViT.
+type GELU struct{ inZ *tensor.Tensor }
+
+const geluC = 0.7978845608028654 // sqrt(2/pi)
+
+func geluF(x float64) float64 {
+	return 0.5 * x * (1 + math.Tanh(geluC*(x+0.044715*x*x*x)))
+}
+
+// Forward applies GELU elementwise.
+func (g *GELU) Forward(x *tensor.Tensor) *tensor.Tensor {
+	g.inZ = x
+	return tensor.Apply(x, func(v float32) float32 { return float32(geluF(float64(v))) })
+}
+
+// Backward applies the GELU derivative.
+func (g *GELU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(grad.Shape...)
+	for i, gr := range grad.Data {
+		x := float64(g.inZ.Data[i])
+		u := geluC * (x + 0.044715*x*x*x)
+		t := math.Tanh(u)
+		du := geluC * (1 + 3*0.044715*x*x)
+		d := 0.5*(1+t) + 0.5*x*(1-t*t)*du
+		out.Data[i] = gr * float32(d)
+	}
+	return out
+}
+
+// Params returns nil.
+func (g *GELU) Params() []*Param { return nil }
+
+// SoftmaxLayer applies softmax over the last dimension; used inside
+// attention where the paper replaces it with a LUT at deploy time.
+type SoftmaxLayer struct{ outZ *tensor.Tensor }
+
+// Forward computes row-wise softmax.
+func (s *SoftmaxLayer) Forward(x *tensor.Tensor) *tensor.Tensor {
+	s.outZ = tensor.Softmax(x)
+	return s.outZ
+}
+
+// Backward computes the softmax Jacobian-vector product.
+func (s *SoftmaxLayer) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	d := grad.Shape[len(grad.Shape)-1]
+	rows := grad.Numel() / d
+	gx := tensor.New(grad.Shape...)
+	for r := 0; r < rows; r++ {
+		g := grad.Data[r*d : (r+1)*d]
+		y := s.outZ.Data[r*d : (r+1)*d]
+		var dot float64
+		for i := range g {
+			dot += float64(g[i]) * float64(y[i])
+		}
+		o := gx.Data[r*d : (r+1)*d]
+		for i := range g {
+			o[i] = y[i] * (g[i] - float32(dot))
+		}
+	}
+	return gx
+}
+
+// Params returns nil.
+func (s *SoftmaxLayer) Params() []*Param { return nil }
+
+// Dropout zeroes activations with probability P during training, scaling
+// survivors by 1/(1-P).
+type Dropout struct {
+	P        float32
+	RNG      *tensor.RNG
+	training bool
+	mask     []float32
+}
+
+// NewDropout creates a dropout layer.
+func NewDropout(g *tensor.RNG, p float32) *Dropout {
+	return &Dropout{P: p, RNG: g, training: true}
+}
+
+// SetTraining switches mode; dropout is identity at eval time.
+func (d *Dropout) SetTraining(t bool) { d.training = t }
+
+// Forward applies the random mask.
+func (d *Dropout) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if !d.training || d.P == 0 {
+		return x
+	}
+	out := tensor.New(x.Shape...)
+	if cap(d.mask) < len(x.Data) {
+		d.mask = make([]float32, len(x.Data))
+	}
+	d.mask = d.mask[:len(x.Data)]
+	scale := 1 / (1 - d.P)
+	for i, v := range x.Data {
+		if d.RNG.Float32() < d.P {
+			d.mask[i] = 0
+		} else {
+			d.mask[i] = scale
+			out.Data[i] = v * scale
+		}
+	}
+	return out
+}
+
+// Backward applies the same mask to the gradient.
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if !d.training || d.P == 0 {
+		return grad
+	}
+	out := tensor.New(grad.Shape...)
+	for i, g := range grad.Data {
+		out.Data[i] = g * d.mask[i]
+	}
+	return out
+}
+
+// Params returns nil.
+func (d *Dropout) Params() []*Param { return nil }

@@ -1,0 +1,167 @@
+package nn
+
+import (
+	"math"
+
+	"torch2chip/internal/tensor"
+)
+
+// MultiHeadAttention implements standard self-attention over [N, T, D]
+// inputs. Q/K/V/output projections are Linear layers so that the
+// quantization toolkit can swap them for dual-path quantized layers, and
+// the two matmuls (QKᵀ and attn·V) are exposed as hooks that quantized
+// attention overrides (Figure 4 of the paper).
+type MultiHeadAttention struct {
+	// The four projections are Layer-typed so that the quantization pass
+	// can swap in dual-path quantized linears without touching the
+	// attention math.
+	Q, K, V, Proj Layer
+	Softmax       *SoftmaxLayer
+	Heads         int
+	D             int
+
+	// MatMulQK and MatMulAV allow quantized attention to intercept the
+	// two inner matmuls. They default to float matmuls.
+	MatMulQK func(q, k *tensor.Tensor) *tensor.Tensor // q[T,dh] × kᵀ[T,dh] → [T,T]
+	MatMulAV func(a, v *tensor.Tensor) *tensor.Tensor // a[T,T] × v[T,dh] → [T,dh]
+
+	// caches for backward
+	inZ                 *tensor.Tensor
+	qh, kh, vh          []*tensor.Tensor // per (batch, head)
+	attn                []*tensor.Tensor
+	n, t                int
+	gradQ, gradK, gradV *tensor.Tensor
+}
+
+// NewMultiHeadAttention builds an MHA block with Xavier-initialized
+// projections.
+func NewMultiHeadAttention(g *tensor.RNG, d, heads int) *MultiHeadAttention {
+	q, k, v, pr := NewLinear(g, d, d, true), NewLinear(g, d, d, true), NewLinear(g, d, d, true), NewLinear(g, d, d, true)
+	for _, l := range []*Linear{q, k, v, pr} {
+		l.W.Data = g.XavierLinear(d, d)
+	}
+	m := &MultiHeadAttention{
+		Q: q, K: k, V: v, Proj: pr,
+		Softmax: &SoftmaxLayer{}, Heads: heads, D: d,
+	}
+	m.MatMulQK = func(q, k *tensor.Tensor) *tensor.Tensor { return tensor.MatMulT(q, k) }
+	m.MatMulAV = func(a, v *tensor.Tensor) *tensor.Tensor { return tensor.MatMul(a, v) }
+	return m
+}
+
+// splitHeads slices a [N*T, D] projection into per-(batch,head) [T, dh]
+// matrices.
+func (m *MultiHeadAttention) splitHeads(x *tensor.Tensor, n, t int) []*tensor.Tensor {
+	dh := m.D / m.Heads
+	out := make([]*tensor.Tensor, n*m.Heads)
+	for ni := 0; ni < n; ni++ {
+		for h := 0; h < m.Heads; h++ {
+			mh := tensor.New(t, dh)
+			for ti := 0; ti < t; ti++ {
+				src := x.Data[(ni*t+ti)*m.D+h*dh : (ni*t+ti)*m.D+(h+1)*dh]
+				copy(mh.Data[ti*dh:(ti+1)*dh], src)
+			}
+			out[ni*m.Heads+h] = mh
+		}
+	}
+	return out
+}
+
+// mergeHeads is the inverse of splitHeads.
+func (m *MultiHeadAttention) mergeHeads(hs []*tensor.Tensor, n, t int) *tensor.Tensor {
+	dh := m.D / m.Heads
+	out := tensor.New(n*t, m.D)
+	for ni := 0; ni < n; ni++ {
+		for h := 0; h < m.Heads; h++ {
+			mh := hs[ni*m.Heads+h]
+			for ti := 0; ti < t; ti++ {
+				dst := out.Data[(ni*t+ti)*m.D+h*dh : (ni*t+ti)*m.D+(h+1)*dh]
+				copy(dst, mh.Data[ti*dh:(ti+1)*dh])
+			}
+		}
+	}
+	return out
+}
+
+// Forward computes self-attention for x of shape [N, T, D].
+func (m *MultiHeadAttention) Forward(x *tensor.Tensor) *tensor.Tensor {
+	n, t := x.Shape[0], x.Shape[1]
+	m.n, m.t = n, t
+	m.inZ = x
+	flat := x.Reshape(n*t, m.D)
+	q := m.Q.Forward(flat)
+	k := m.K.Forward(flat)
+	v := m.V.Forward(flat)
+	m.qh = m.splitHeads(q, n, t)
+	m.kh = m.splitHeads(k, n, t)
+	m.vh = m.splitHeads(v, n, t)
+	dh := m.D / m.Heads
+	scale := float32(1 / math.Sqrt(float64(dh)))
+	m.attn = make([]*tensor.Tensor, n*m.Heads)
+	outs := make([]*tensor.Tensor, n*m.Heads)
+	for i := range m.qh {
+		scores := m.MatMulQK(m.qh[i], m.kh[i])
+		tensor.ScaleInPlace(scores, scale)
+		a := tensor.Softmax(scores)
+		m.attn[i] = a
+		outs[i] = m.MatMulAV(a, m.vh[i])
+	}
+	merged := m.mergeHeads(outs, n, t)
+	y := m.Proj.Forward(merged)
+	return y.Reshape(n, t, m.D)
+}
+
+// Backward propagates through the attention computation.
+func (m *MultiHeadAttention) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n, t := m.n, m.t
+	dh := m.D / m.Heads
+	scale := float32(1 / math.Sqrt(float64(dh)))
+	gflat := grad.Reshape(n*t, m.D)
+	gmerged := m.Proj.Backward(gflat)
+	ghs := m.splitHeads(gmerged, n, t)
+
+	gq := make([]*tensor.Tensor, n*m.Heads)
+	gk := make([]*tensor.Tensor, n*m.Heads)
+	gv := make([]*tensor.Tensor, n*m.Heads)
+	for i := range ghs {
+		// out = attn × v
+		ga := tensor.MatMulT(ghs[i], m.vh[i]) // [t,dh] × vᵀ → [t,t]
+		gv[i] = tensor.MatMul(tensor.Transpose(m.attn[i]), ghs[i])
+		// softmax backward per row
+		gs := tensor.New(t, t)
+		for r := 0; r < t; r++ {
+			a := m.attn[i].Data[r*t : (r+1)*t]
+			g := ga.Data[r*t : (r+1)*t]
+			var dot float64
+			for j := range a {
+				dot += float64(a[j]) * float64(g[j])
+			}
+			o := gs.Data[r*t : (r+1)*t]
+			for j := range a {
+				o[j] = a[j] * (g[j] - float32(dot)) * scale
+			}
+		}
+		// scores = q × kᵀ
+		gq[i] = tensor.MatMul(gs, m.kh[i])
+		gk[i] = tensor.MatMul(tensor.Transpose(gs), m.qh[i])
+	}
+	gqm := m.mergeHeads(gq, n, t)
+	gkm := m.mergeHeads(gk, n, t)
+	gvm := m.mergeHeads(gv, n, t)
+	gx := m.Q.Backward(gqm)
+	tensor.AddInPlace(gx, m.K.Backward(gkm))
+	tensor.AddInPlace(gx, m.V.Backward(gvm))
+	return gx.Reshape(n, t, m.D)
+}
+
+// Params returns all projection parameters.
+func (m *MultiHeadAttention) Params() []*Param {
+	ps := append(m.Q.Params(), m.K.Params()...)
+	ps = append(ps, m.V.Params()...)
+	return append(ps, m.Proj.Params()...)
+}
+
+// Children exposes the projections for mode propagation and graph surgery.
+func (m *MultiHeadAttention) Children() []Layer {
+	return []Layer{m.Q, m.K, m.V, m.Proj}
+}

@@ -1,0 +1,178 @@
+// Package nn provides the neural-network layer substrate: an explicit
+// forward/backward Layer interface (no tape autograd), parameter containers,
+// and the standard layers needed by the paper's model zoo (convolutions,
+// normalization, attention, pooling, activations, losses).
+package nn
+
+import "torch2chip/internal/tensor"
+
+// Param is a trainable parameter with its accumulated gradient.
+type Param struct {
+	Name string
+	Data *tensor.Tensor
+	Grad *tensor.Tensor
+	// NoDecay marks parameters (norms, biases, quantizer clip values) that
+	// are excluded from weight decay.
+	NoDecay bool
+}
+
+// NewParam allocates a parameter wrapping data with a zero gradient.
+func NewParam(name string, data *tensor.Tensor) *Param {
+	return &Param{Name: name, Data: data, Grad: tensor.New(data.Shape...)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Layer is the unit of computation. Backward consumes the gradient with
+// respect to the layer output and must return the gradient with respect to
+// the layer input, accumulating parameter gradients internally.
+type Layer interface {
+	Forward(x *tensor.Tensor) *tensor.Tensor
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	Params() []*Param
+}
+
+// Trainable is implemented by layers whose behaviour differs between
+// training and evaluation (BatchNorm, dropout, quantizers).
+type Trainable interface {
+	SetTraining(train bool)
+}
+
+// SetTraining recursively switches train/eval mode on a layer tree.
+func SetTraining(l Layer, train bool) {
+	if t, ok := l.(Trainable); ok {
+		t.SetTraining(train)
+	}
+	if c, ok := l.(Container); ok {
+		for _, sub := range c.Children() {
+			SetTraining(sub, train)
+		}
+	}
+}
+
+// Container is implemented by layers that own sub-layers.
+type Container interface {
+	Children() []Layer
+}
+
+// CollectParams walks a layer tree and returns all parameters.
+func CollectParams(l Layer) []*Param {
+	return l.Params()
+}
+
+// ZeroGrads clears all gradients in a layer tree.
+func ZeroGrads(l Layer) {
+	for _, p := range l.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// Identity is a no-op layer, useful as a placeholder in residual branches.
+type Identity struct{}
+
+// Forward returns x unchanged.
+func (Identity) Forward(x *tensor.Tensor) *tensor.Tensor { return x }
+
+// Backward returns grad unchanged.
+func (Identity) Backward(grad *tensor.Tensor) *tensor.Tensor { return grad }
+
+// Params returns nil.
+func (Identity) Params() []*Param { return nil }
+
+// Sequential chains layers.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a sequential container.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Forward runs the layers in order.
+func (s *Sequential) Forward(x *tensor.Tensor) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward runs the layers in reverse.
+func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns all parameters of the chain.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Children returns the sub-layers.
+func (s *Sequential) Children() []Layer { return s.Layers }
+
+// Residual computes Body(x) + Shortcut(x) with a shared ReLU afterwards left
+// to the caller. Shortcut may be Identity.
+type Residual struct {
+	Body     Layer
+	Shortcut Layer
+}
+
+// NewResidual builds a residual block wrapper.
+func NewResidual(body, shortcut Layer) *Residual {
+	if shortcut == nil {
+		shortcut = Identity{}
+	}
+	return &Residual{Body: body, Shortcut: shortcut}
+}
+
+// Forward computes body(x) + shortcut(x).
+func (r *Residual) Forward(x *tensor.Tensor) *tensor.Tensor {
+	b := r.Body.Forward(x)
+	s := r.Shortcut.Forward(x)
+	return tensor.Add(b, s)
+}
+
+// Backward propagates grad through both branches and sums input grads.
+func (r *Residual) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	gb := r.Body.Backward(grad)
+	gs := r.Shortcut.Backward(grad)
+	return tensor.Add(gb, gs)
+}
+
+// Params returns parameters of both branches.
+func (r *Residual) Params() []*Param {
+	return append(r.Body.Params(), r.Shortcut.Params()...)
+}
+
+// Children returns both branches.
+func (r *Residual) Children() []Layer { return []Layer{r.Body, r.Shortcut} }
+
+// Flatten reshapes [N, ...] to [N, rest].
+type Flatten struct{ inShape []int }
+
+// Forward flattens all but the batch dimension.
+func (f *Flatten) Forward(x *tensor.Tensor) *tensor.Tensor {
+	f.inShape = append(f.inShape[:0], x.Shape...)
+	return x.Reshape(x.Shape[0], -1)
+}
+
+// Backward restores the original shape.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(f.inShape...)
+}
+
+// Params returns nil.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Rewirer is implemented by composite layers whose sub-layers can be
+// replaced in place (e.g. by the quantization pass). The callback returns
+// the replacement for each replaceable child.
+type Rewirer interface {
+	Rewire(func(Layer) Layer)
+}

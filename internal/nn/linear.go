@@ -1,0 +1,137 @@
+package nn
+
+import "torch2chip/internal/tensor"
+
+// Linear is a fully connected layer y = xWᵀ + b with weights stored
+// [out, in], matching the convention hardware extraction expects.
+type Linear struct {
+	W    *Param
+	B    *Param // nil when bias is disabled
+	inZ  *tensor.Tensor
+	In   int
+	Out  int
+	Bias bool
+}
+
+// NewLinear creates a linear layer with Kaiming initialization.
+func NewLinear(g *tensor.RNG, in, out int, bias bool) *Linear {
+	l := &Linear{In: in, Out: out, Bias: bias}
+	l.W = NewParam("linear.weight", g.KaimingLinear(out, in))
+	if bias {
+		l.B = NewParam("linear.bias", tensor.New(out))
+		l.B.NoDecay = true
+	}
+	return l
+}
+
+// Forward computes xWᵀ + b for x of shape [N, in].
+func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
+	l.inZ = x
+	y := tensor.MatMulT(x, l.W.Data)
+	if l.B != nil {
+		n := y.Shape[0]
+		for i := 0; i < n; i++ {
+			row := y.Data[i*l.Out : (i+1)*l.Out]
+			for j := range row {
+				row[j] += l.B.Data.Data[j]
+			}
+		}
+	}
+	return y
+}
+
+// Backward accumulates dW = gradᵀ×x, db = Σgrad and returns grad×W.
+func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	gw := tensor.MatMul(tensor.Transpose(grad), l.inZ)
+	tensor.AddInPlace(l.W.Grad, gw)
+	if l.B != nil {
+		gb := tensor.SumAxis0(grad)
+		tensor.AddInPlace(l.B.Grad, gb)
+	}
+	return tensor.MatMul(grad, l.W.Data)
+}
+
+// Params returns the layer parameters.
+func (l *Linear) Params() []*Param {
+	if l.B != nil {
+		return []*Param{l.W, l.B}
+	}
+	return []*Param{l.W}
+}
+
+// Conv2d is a grouped 2-D convolution layer over NCHW tensors.
+type Conv2d struct {
+	W      *Param
+	B      *Param // nil when bias is disabled
+	P      tensor.ConvParams
+	inZ    *tensor.Tensor
+	InC    int
+	OutC   int
+	Kernel int
+}
+
+// NewConv2d creates a conv layer with Kaiming initialization.
+func NewConv2d(g *tensor.RNG, inC, outC, kernel, stride, padding, groups int, bias bool) *Conv2d {
+	c := &Conv2d{
+		InC: inC, OutC: outC, Kernel: kernel,
+		P: tensor.ConvParams{Stride: stride, Padding: padding, Groups: groups},
+	}
+	if groups <= 0 {
+		c.P.Groups = 1
+	}
+	c.W = NewParam("conv.weight", g.KaimingConv(outC, inC/c.P.Groups, kernel, kernel))
+	if bias {
+		c.B = NewParam("conv.bias", tensor.New(outC))
+		c.B.NoDecay = true
+	}
+	return c
+}
+
+// Forward applies the convolution.
+func (c *Conv2d) Forward(x *tensor.Tensor) *tensor.Tensor {
+	c.inZ = x
+	var b *tensor.Tensor
+	if c.B != nil {
+		b = c.B.Data
+	}
+	return tensor.Conv2d(x, c.W.Data, b, c.P)
+}
+
+// Backward accumulates weight/bias gradients and returns the input gradient.
+func (c *Conv2d) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	gx, gw, gb := tensor.Conv2dBackward(c.inZ, c.W.Data, grad, c.P)
+	tensor.AddInPlace(c.W.Grad, gw)
+	if c.B != nil {
+		tensor.AddInPlace(c.B.Grad, gb)
+	}
+	return gx
+}
+
+// Params returns the layer parameters.
+func (c *Conv2d) Params() []*Param {
+	if c.B != nil {
+		return []*Param{c.W, c.B}
+	}
+	return []*Param{c.W}
+}
+
+// AvgPool is an average-pooling layer; Kernel 0 means global pooling.
+type AvgPool struct {
+	Kernel int
+	Stride int
+	inZ    *tensor.Tensor
+}
+
+// Forward pools the input.
+func (p *AvgPool) Forward(x *tensor.Tensor) *tensor.Tensor {
+	p.inZ = x
+	return tensor.AvgPool2d(x, p.Kernel, p.Stride)
+}
+
+// Backward distributes the gradient.
+func (p *AvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return tensor.AvgPool2dBackward(p.inZ, grad, p.Kernel, p.Stride)
+}
+
+// Params returns nil.
+func (p *AvgPool) Params() []*Param { return nil }

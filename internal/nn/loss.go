@@ -1,0 +1,89 @@
+package nn
+
+import (
+	"math"
+
+	"torch2chip/internal/tensor"
+)
+
+// CrossEntropyLoss computes softmax cross entropy over logits [N, C] with
+// integer class labels, returning the mean loss and the logits gradient.
+func CrossEntropyLoss(logits *tensor.Tensor, labels []int) (float32, *tensor.Tensor) {
+	n, c := logits.Shape[0], logits.Shape[1]
+	ls := tensor.LogSoftmax(logits)
+	grad := tensor.New(logits.Shape...)
+	var loss float64
+	inv := 1 / float32(n)
+	for i := 0; i < n; i++ {
+		y := labels[i]
+		loss -= float64(ls.Data[i*c+y])
+		for j := 0; j < c; j++ {
+			p := float32(math.Exp(float64(ls.Data[i*c+j])))
+			if j == y {
+				grad.Data[i*c+j] = (p - 1) * inv
+			} else {
+				grad.Data[i*c+j] = p * inv
+			}
+		}
+	}
+	return float32(loss) / float32(n), grad
+}
+
+// MSELoss computes mean squared error and its gradient with respect to pred.
+func MSELoss(pred, target *tensor.Tensor) (float32, *tensor.Tensor) {
+	if len(pred.Data) != len(target.Data) {
+		panic("nn: MSELoss size mismatch")
+	}
+	grad := tensor.New(pred.Shape...)
+	var loss float64
+	inv := 2 / float32(len(pred.Data))
+	for i := range pred.Data {
+		d := pred.Data[i] - target.Data[i]
+		loss += float64(d) * float64(d)
+		grad.Data[i] = d * inv
+	}
+	return float32(loss) / float32(len(pred.Data)), grad
+}
+
+// Accuracy returns the top-1 accuracy of logits [N, C] against labels.
+func Accuracy(logits *tensor.Tensor, labels []int) float32 {
+	n, c := logits.Shape[0], logits.Shape[1]
+	correct := 0
+	for i := 0; i < n; i++ {
+		best, bi := float32(math.Inf(-1)), 0
+		for j := 0; j < c; j++ {
+			if logits.Data[i*c+j] > best {
+				best, bi = logits.Data[i*c+j], j
+			}
+		}
+		if bi == labels[i] {
+			correct++
+		}
+	}
+	return float32(correct) / float32(n)
+}
+
+// KLDivLoss computes KL(target ‖ softmax(logits)) for soft-label
+// distillation, returning loss and logits gradient. target rows must be
+// probability distributions.
+func KLDivLoss(logits, target *tensor.Tensor) (float32, *tensor.Tensor) {
+	n, c := logits.Shape[0], logits.Shape[1]
+	ls := tensor.LogSoftmax(logits)
+	grad := tensor.New(logits.Shape...)
+	var loss float64
+	inv := 1 / float32(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < c; j++ {
+			tj := target.Data[i*c+j]
+			if tj > 0 {
+				loss += float64(tj) * (math.Log(float64(tj)) - float64(ls.Data[i*c+j]))
+			}
+		}
+		// d/dlogits = softmax(logits) - target, averaged over batch
+		for j := 0; j < c; j++ {
+			p := float32(math.Exp(float64(ls.Data[i*c+j])))
+			grad.Data[i*c+j] = (p - target.Data[i*c+j]) * inv
+		}
+	}
+	return float32(loss) / float32(n), grad
+}

@@ -1,0 +1,440 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"torch2chip/internal/tensor"
+)
+
+// checkGrad verifies a layer's input gradient against central differences
+// under the scalar loss L = <f(x), gy>.
+func checkGrad(t *testing.T, l Layer, x, gy *tensor.Tensor, idxs []int, tol float64) {
+	t.Helper()
+	loss := func() float64 {
+		out := l.Forward(x)
+		var s float64
+		for i := range out.Data {
+			s += float64(out.Data[i]) * float64(gy.Data[i])
+		}
+		return s
+	}
+	l.Forward(x)
+	gx := l.Backward(gy)
+	const eps = 1e-2
+	for _, idx := range idxs {
+		orig := x.Data[idx]
+		x.Data[idx] = orig + eps
+		lp := loss()
+		x.Data[idx] = orig - eps
+		lm := loss()
+		x.Data[idx] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-float64(gx.Data[idx])) > tol*(1+math.Abs(num)) {
+			t.Fatalf("input grad[%d]: numerical %v analytic %v", idx, num, gx.Data[idx])
+		}
+	}
+}
+
+// checkParamGrad verifies a parameter gradient numerically.
+func checkParamGrad(t *testing.T, l Layer, p *Param, x, gy *tensor.Tensor, idxs []int, tol float64) {
+	t.Helper()
+	loss := func() float64 {
+		out := l.Forward(x)
+		var s float64
+		for i := range out.Data {
+			s += float64(out.Data[i]) * float64(gy.Data[i])
+		}
+		return s
+	}
+	ZeroGrads(l)
+	l.Forward(x)
+	l.Backward(gy)
+	const eps = 1e-2
+	for _, idx := range idxs {
+		orig := p.Data.Data[idx]
+		p.Data.Data[idx] = orig + eps
+		lp := loss()
+		p.Data.Data[idx] = orig - eps
+		lm := loss()
+		p.Data.Data[idx] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-float64(p.Grad.Data[idx])) > tol*(1+math.Abs(num)) {
+			t.Fatalf("param %s grad[%d]: numerical %v analytic %v", p.Name, idx, num, p.Grad.Data[idx])
+		}
+	}
+}
+
+func TestLinearForwardKnown(t *testing.T) {
+	g := tensor.NewRNG(1)
+	l := NewLinear(g, 2, 3, true)
+	l.W.Data = tensor.FromSlice([]float32{1, 0, 0, 1, 1, 1}, 3, 2)
+	l.B.Data = tensor.FromSlice([]float32{0.5, -0.5, 0}, 3)
+	x := tensor.FromSlice([]float32{2, 3}, 1, 2)
+	y := l.Forward(x)
+	want := []float32{2.5, 2.5, 5}
+	for i := range want {
+		if y.Data[i] != want[i] {
+			t.Fatalf("y[%d] = %v, want %v", i, y.Data[i], want[i])
+		}
+	}
+}
+
+func TestLinearGradients(t *testing.T) {
+	g := tensor.NewRNG(2)
+	l := NewLinear(g, 5, 4, true)
+	x := g.Randn(1, 3, 5)
+	gy := g.Randn(1, 3, 4)
+	checkGrad(t, l, x, gy, []int{0, 7, 14}, 1e-2)
+	checkParamGrad(t, l, l.W, x, gy, []int{0, 9, 19}, 1e-2)
+	checkParamGrad(t, l, l.B, x, gy, []int{0, 3}, 1e-2)
+}
+
+func TestConv2dLayerGradients(t *testing.T) {
+	g := tensor.NewRNG(3)
+	c := NewConv2d(g, 2, 3, 3, 1, 1, 1, true)
+	x := g.Randn(1, 2, 2, 5, 5)
+	y := c.Forward(x)
+	gy := g.Randn(1, y.Shape...)
+	checkGrad(t, c, x, gy, []int{0, 20, 49}, 1e-2)
+	checkParamGrad(t, c, c.W, x, gy, []int{0, 25, 53}, 1e-2)
+}
+
+func TestReLU(t *testing.T) {
+	r := &ReLU{}
+	x := tensor.FromSlice([]float32{-1, 0, 2}, 3)
+	y := r.Forward(x)
+	if y.Data[0] != 0 || y.Data[2] != 2 {
+		t.Fatalf("relu = %v", y.Data)
+	}
+	g := r.Backward(tensor.FromSlice([]float32{5, 5, 5}, 3))
+	if g.Data[0] != 0 || g.Data[1] != 0 || g.Data[2] != 5 {
+		t.Fatalf("relu grad = %v", g.Data)
+	}
+}
+
+func TestReLU6(t *testing.T) {
+	r := &ReLU6{}
+	x := tensor.FromSlice([]float32{-1, 3, 7}, 3)
+	y := r.Forward(x)
+	if y.Data[0] != 0 || y.Data[1] != 3 || y.Data[2] != 6 {
+		t.Fatalf("relu6 = %v", y.Data)
+	}
+	g := r.Backward(tensor.FromSlice([]float32{1, 1, 1}, 3))
+	if g.Data[0] != 0 || g.Data[1] != 1 || g.Data[2] != 0 {
+		t.Fatalf("relu6 grad = %v", g.Data)
+	}
+}
+
+func TestGELUGradientNumerical(t *testing.T) {
+	g := tensor.NewRNG(4)
+	gl := &GELU{}
+	x := g.Randn(1, 10)
+	gy := g.Randn(1, 10)
+	checkGrad(t, gl, x, gy, []int{0, 4, 9}, 1e-2)
+}
+
+func TestGELUKnownValues(t *testing.T) {
+	gl := &GELU{}
+	x := tensor.FromSlice([]float32{0, 1, -1}, 3)
+	y := gl.Forward(x)
+	if y.Data[0] != 0 {
+		t.Fatalf("gelu(0) = %v", y.Data[0])
+	}
+	if math.Abs(float64(y.Data[1])-0.8412) > 1e-3 {
+		t.Fatalf("gelu(1) = %v", y.Data[1])
+	}
+	if math.Abs(float64(y.Data[2])+0.1588) > 1e-3 {
+		t.Fatalf("gelu(-1) = %v", y.Data[2])
+	}
+}
+
+func TestBatchNormTrainStatistics(t *testing.T) {
+	bn := NewBatchNorm2d(2)
+	g := tensor.NewRNG(5)
+	x := g.Randn(3, 4, 2, 6, 6)
+	y := bn.Forward(x)
+	// Per-channel output must be ~zero-mean unit-variance.
+	sp := 36
+	n := 4
+	for ch := 0; ch < 2; ch++ {
+		var sum, sq float64
+		for ni := 0; ni < n; ni++ {
+			for i := 0; i < sp; i++ {
+				v := float64(y.Data[(ni*2+ch)*sp+i])
+				sum += v
+				sq += v * v
+			}
+		}
+		cnt := float64(n * sp)
+		mu := sum / cnt
+		va := sq/cnt - mu*mu
+		if math.Abs(mu) > 1e-4 || math.Abs(va-1) > 1e-2 {
+			t.Fatalf("ch %d: mean %v var %v", ch, mu, va)
+		}
+	}
+}
+
+func TestBatchNormEvalUsesRunningStats(t *testing.T) {
+	bn := NewBatchNorm2d(1)
+	bn.SetTraining(false)
+	bn.RunningMean.Data[0] = 2
+	bn.RunningVar.Data[0] = 4
+	x := tensor.FromSlice([]float32{4}, 1, 1, 1, 1)
+	y := bn.Forward(x)
+	want := (4.0 - 2.0) / math.Sqrt(4+1e-5)
+	if math.Abs(float64(y.Data[0])-want) > 1e-5 {
+		t.Fatalf("eval bn = %v, want %v", y.Data[0], want)
+	}
+}
+
+func TestBatchNormGradientNumerical(t *testing.T) {
+	g := tensor.NewRNG(6)
+	bn := NewBatchNorm2d(2)
+	// Non-trivial gamma/beta.
+	bn.Gamma.Data.Data[0] = 1.5
+	bn.Beta.Data.Data[1] = -0.3
+	x := g.Randn(1, 2, 2, 3, 3)
+	gy := g.Randn(1, 2, 2, 3, 3)
+	checkGrad(t, bn, x, gy, []int{0, 10, 35}, 5e-2)
+	checkParamGrad(t, bn, bn.Gamma, x, gy, []int{0, 1}, 1e-2)
+	checkParamGrad(t, bn, bn.Beta, x, gy, []int{0, 1}, 1e-2)
+}
+
+func TestLayerNormGradientNumerical(t *testing.T) {
+	g := tensor.NewRNG(7)
+	ln := NewLayerNorm(8)
+	x := g.Randn(1, 4, 8)
+	gy := g.Randn(1, 4, 8)
+	checkGrad(t, ln, x, gy, []int{0, 17, 31}, 5e-2)
+	checkParamGrad(t, ln, ln.Gamma, x, gy, []int{0, 7}, 1e-2)
+}
+
+func TestLayerNormRowStatistics(t *testing.T) {
+	g := tensor.NewRNG(8)
+	ln := NewLayerNorm(16)
+	x := g.Randn(2, 5, 16)
+	y := ln.Forward(x)
+	for r := 0; r < 5; r++ {
+		row := y.Data[r*16 : (r+1)*16]
+		var sum, sq float64
+		for _, v := range row {
+			sum += float64(v)
+			sq += float64(v) * float64(v)
+		}
+		mu := sum / 16
+		va := sq/16 - mu*mu
+		if math.Abs(mu) > 1e-4 || math.Abs(va-1) > 1e-2 {
+			t.Fatalf("row %d: mean %v var %v", r, mu, va)
+		}
+	}
+}
+
+func TestSoftmaxLayerGradientNumerical(t *testing.T) {
+	g := tensor.NewRNG(9)
+	s := &SoftmaxLayer{}
+	x := g.Randn(1, 3, 6)
+	gy := g.Randn(1, 3, 6)
+	checkGrad(t, s, x, gy, []int{0, 9, 17}, 5e-2)
+}
+
+func TestDropoutTrainEval(t *testing.T) {
+	g := tensor.NewRNG(10)
+	d := NewDropout(g, 0.5)
+	x := tensor.Ones(1, 1000)
+	y := d.Forward(x)
+	zeros := 0
+	for _, v := range y.Data {
+		if v == 0 {
+			zeros++
+		} else if math.Abs(float64(v)-2) > 1e-6 {
+			t.Fatalf("survivor not scaled: %v", v)
+		}
+	}
+	if zeros < 400 || zeros > 600 {
+		t.Fatalf("dropout rate off: %d/1000 zeros", zeros)
+	}
+	d.SetTraining(false)
+	y2 := d.Forward(x)
+	if !tensor.AllClose(x, y2, 0, 0) {
+		t.Fatal("eval dropout must be identity")
+	}
+}
+
+func TestSequentialComposition(t *testing.T) {
+	g := tensor.NewRNG(11)
+	s := NewSequential(NewLinear(g, 4, 8, true), &ReLU{}, NewLinear(g, 8, 2, true))
+	x := g.Randn(1, 3, 4)
+	y := s.Forward(x)
+	if y.Shape[0] != 3 || y.Shape[1] != 2 {
+		t.Fatalf("shape %v", y.Shape)
+	}
+	if len(s.Params()) != 4 {
+		t.Fatalf("params %d", len(s.Params()))
+	}
+	gy := g.Randn(1, 3, 2)
+	gx := s.Backward(gy)
+	if gx.Shape[0] != 3 || gx.Shape[1] != 4 {
+		t.Fatalf("grad shape %v", gx.Shape)
+	}
+}
+
+func TestResidualForwardBackward(t *testing.T) {
+	g := tensor.NewRNG(12)
+	r := NewResidual(NewLinear(g, 4, 4, false), nil)
+	x := g.Randn(1, 2, 4)
+	y := r.Forward(x)
+	// y = Wx + x
+	w := r.Body.(*Linear)
+	want := tensor.Add(tensor.MatMulT(x, w.W.Data), x)
+	if !tensor.AllClose(y, want, 1e-5, 1e-5) {
+		t.Fatal("residual forward mismatch")
+	}
+	checkGrad(t, r, x, g.Randn(1, 2, 4), []int{0, 5}, 1e-2)
+}
+
+func TestMultiHeadAttentionShapes(t *testing.T) {
+	g := tensor.NewRNG(13)
+	m := NewMultiHeadAttention(g, 16, 4)
+	x := g.Randn(1, 2, 5, 16)
+	y := m.Forward(x)
+	if y.Shape[0] != 2 || y.Shape[1] != 5 || y.Shape[2] != 16 {
+		t.Fatalf("shape %v", y.Shape)
+	}
+	if len(m.Params()) != 8 {
+		t.Fatalf("params %d", len(m.Params()))
+	}
+}
+
+func TestMultiHeadAttentionGradientNumerical(t *testing.T) {
+	g := tensor.NewRNG(14)
+	m := NewMultiHeadAttention(g, 8, 2)
+	x := g.Randn(1, 1, 4, 8)
+	gy := g.Randn(1, 1, 4, 8)
+	checkGrad(t, m, x, gy, []int{0, 13, 31}, 5e-2)
+	checkParamGrad(t, m, m.Q.(*Linear).W, x, gy, []int{0, 31}, 5e-2)
+	checkParamGrad(t, m, m.V.(*Linear).W, x, gy, []int{5, 20}, 5e-2)
+	checkParamGrad(t, m, m.Proj.(*Linear).W, x, gy, []int{7, 40}, 5e-2)
+}
+
+func TestCrossEntropyKnown(t *testing.T) {
+	// Uniform logits over 4 classes → loss = ln(4).
+	logits := tensor.New(2, 4)
+	loss, grad := CrossEntropyLoss(logits, []int{0, 3})
+	if math.Abs(float64(loss)-math.Log(4)) > 1e-5 {
+		t.Fatalf("loss = %v, want ln4", loss)
+	}
+	// Gradient rows sum to zero.
+	for i := 0; i < 2; i++ {
+		var s float64
+		for j := 0; j < 4; j++ {
+			s += float64(grad.Data[i*4+j])
+		}
+		if math.Abs(s) > 1e-6 {
+			t.Fatalf("grad row %d sums to %v", i, s)
+		}
+	}
+}
+
+func TestCrossEntropyGradNumerical(t *testing.T) {
+	g := tensor.NewRNG(15)
+	logits := g.Randn(1, 3, 5)
+	labels := []int{1, 0, 4}
+	_, grad := CrossEntropyLoss(logits, labels)
+	const eps = 1e-2
+	for _, idx := range []int{0, 7, 14} {
+		orig := logits.Data[idx]
+		logits.Data[idx] = orig + eps
+		lp, _ := CrossEntropyLoss(logits, labels)
+		logits.Data[idx] = orig - eps
+		lm, _ := CrossEntropyLoss(logits, labels)
+		logits.Data[idx] = orig
+		num := float64(lp-lm) / (2 * eps)
+		if math.Abs(num-float64(grad.Data[idx])) > 1e-2 {
+			t.Fatalf("ce grad[%d]: %v vs %v", idx, num, grad.Data[idx])
+		}
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	logits := tensor.FromSlice([]float32{1, 2, 3, 9, 1, 1}, 2, 3)
+	acc := Accuracy(logits, []int{2, 0})
+	if acc != 1 {
+		t.Fatalf("acc = %v", acc)
+	}
+	acc = Accuracy(logits, []int{0, 0})
+	if acc != 0.5 {
+		t.Fatalf("acc = %v", acc)
+	}
+}
+
+func TestKLDivLossZeroWhenEqual(t *testing.T) {
+	g := tensor.NewRNG(16)
+	logits := g.Randn(1, 2, 6)
+	target := tensor.Softmax(logits)
+	loss, _ := KLDivLoss(logits, target)
+	if math.Abs(float64(loss)) > 1e-5 {
+		t.Fatalf("KL(p‖p) = %v, want 0", loss)
+	}
+}
+
+func TestMSELoss(t *testing.T) {
+	p := tensor.FromSlice([]float32{1, 2}, 2)
+	q := tensor.FromSlice([]float32{0, 0}, 2)
+	loss, grad := MSELoss(p, q)
+	if math.Abs(float64(loss)-2.5) > 1e-6 {
+		t.Fatalf("mse = %v", loss)
+	}
+	if grad.Data[0] != 1 || grad.Data[1] != 2 {
+		t.Fatalf("grad = %v", grad.Data)
+	}
+}
+
+func TestFlattenRoundTrip(t *testing.T) {
+	f := &Flatten{}
+	g := tensor.NewRNG(17)
+	x := g.Randn(1, 2, 3, 4, 4)
+	y := f.Forward(x)
+	if y.Shape[0] != 2 || y.Shape[1] != 48 {
+		t.Fatalf("shape %v", y.Shape)
+	}
+	back := f.Backward(y)
+	if back.Shape[3] != 4 || len(back.Shape) != 4 {
+		t.Fatalf("back shape %v", back.Shape)
+	}
+}
+
+func TestSetTrainingPropagates(t *testing.T) {
+	g := tensor.NewRNG(18)
+	bn := NewBatchNorm2d(3)
+	s := NewSequential(NewConv2d(g, 3, 3, 3, 1, 1, 1, false), bn, &ReLU{})
+	SetTraining(s, false)
+	if bn.training {
+		t.Fatal("SetTraining must reach nested BatchNorm")
+	}
+	SetTraining(s, true)
+	if !bn.training {
+		t.Fatal("SetTraining must switch back")
+	}
+}
+
+func TestBatchNormInvariantProperty(t *testing.T) {
+	// BN(ax+b) with default gamma/beta equals BN(x) for a>0 (shift/scale
+	// invariance of normalization), checked via testing/quick.
+	f := func(seed int64) bool {
+		g := tensor.NewRNG(seed)
+		a := g.Float32()*2 + 0.5
+		b := g.NormFloat32()
+		x := g.Randn(1, 2, 1, 4, 4)
+		bn1 := NewBatchNorm2d(1)
+		bn2 := NewBatchNorm2d(1)
+		y1 := bn1.Forward(x)
+		x2 := tensor.AddScalar(tensor.Scale(x, a), b)
+		y2 := bn2.Forward(x2)
+		return tensor.AllClose(y1, y2, 1e-2, 1e-2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

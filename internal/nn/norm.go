@@ -1,0 +1,299 @@
+package nn
+
+import (
+	"math"
+
+	"torch2chip/internal/tensor"
+)
+
+// BatchNorm2d normalizes NCHW activations per channel. During training it
+// uses batch statistics and maintains running estimates; during evaluation
+// it uses the running statistics, which is what post-training fusion
+// consumes (Eq. 7–13 of the paper).
+type BatchNorm2d struct {
+	Gamma *Param
+	Beta  *Param
+	// RunningMean and RunningVar are buffers, not parameters.
+	RunningMean *tensor.Tensor
+	RunningVar  *tensor.Tensor
+	Momentum    float32
+	Eps         float32
+	C           int
+
+	training bool
+	// cached values for backward
+	inZ      *tensor.Tensor
+	xhat     *tensor.Tensor
+	mean     []float32
+	ivstd    []float32
+	evalPass bool // last forward ran with running statistics
+}
+
+// NewBatchNorm2d creates a BatchNorm over c channels.
+func NewBatchNorm2d(c int) *BatchNorm2d {
+	bn := &BatchNorm2d{
+		Gamma:       NewParam("bn.gamma", tensor.Ones(c)),
+		Beta:        NewParam("bn.beta", tensor.New(c)),
+		RunningMean: tensor.New(c),
+		RunningVar:  tensor.Ones(c),
+		Momentum:    0.1,
+		Eps:         1e-5,
+		C:           c,
+		training:    true,
+	}
+	bn.Gamma.NoDecay = true
+	bn.Beta.NoDecay = true
+	return bn
+}
+
+// SetTraining switches between batch and running statistics.
+func (bn *BatchNorm2d) SetTraining(t bool) { bn.training = t }
+
+// Forward normalizes x per channel.
+func (bn *BatchNorm2d) Forward(x *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	out := tensor.New(x.Shape...)
+	sp := h * w
+	bn.evalPass = false
+	if bn.training {
+		bn.inZ = x
+		bn.mean = make([]float32, c)
+		bn.ivstd = make([]float32, c)
+		bn.xhat = tensor.New(x.Shape...)
+		cnt := float64(n * sp)
+		for ch := 0; ch < c; ch++ {
+			var sum, sq float64
+			for ni := 0; ni < n; ni++ {
+				seg := x.Data[(ni*c+ch)*sp : (ni*c+ch+1)*sp]
+				for _, v := range seg {
+					sum += float64(v)
+					sq += float64(v) * float64(v)
+				}
+			}
+			mu := sum / cnt
+			va := sq/cnt - mu*mu
+			if va < 0 {
+				va = 0
+			}
+			bn.mean[ch] = float32(mu)
+			iv := 1 / math.Sqrt(va+float64(bn.Eps))
+			bn.ivstd[ch] = float32(iv)
+			// update running stats (unbiased variance like PyTorch)
+			unb := va
+			if cnt > 1 {
+				unb = va * cnt / (cnt - 1)
+			}
+			bn.RunningMean.Data[ch] = (1-bn.Momentum)*bn.RunningMean.Data[ch] + bn.Momentum*float32(mu)
+			bn.RunningVar.Data[ch] = (1-bn.Momentum)*bn.RunningVar.Data[ch] + bn.Momentum*float32(unb)
+			ga, be := bn.Gamma.Data.Data[ch], bn.Beta.Data.Data[ch]
+			for ni := 0; ni < n; ni++ {
+				seg := x.Data[(ni*c+ch)*sp : (ni*c+ch+1)*sp]
+				oh := out.Data[(ni*c+ch)*sp : (ni*c+ch+1)*sp]
+				xh := bn.xhat.Data[(ni*c+ch)*sp : (ni*c+ch+1)*sp]
+				for i, v := range seg {
+					xn := (v - float32(mu)) * float32(iv)
+					xh[i] = xn
+					oh[i] = ga*xn + be
+				}
+			}
+		}
+		return out
+	}
+	// Eval mode: use running stats. Cache xhat/ivstd so Backward works
+	// during PTQ reconstruction, where gradients flow through a frozen
+	// network (running statistics are constants, so the gradient has no
+	// batch coupling).
+	bn.evalPass = true
+	bn.xhat = tensor.New(x.Shape...)
+	bn.ivstd = make([]float32, c)
+	for ch := 0; ch < c; ch++ {
+		iv := float32(1 / math.Sqrt(float64(bn.RunningVar.Data[ch])+float64(bn.Eps)))
+		bn.ivstd[ch] = iv
+		mu := bn.RunningMean.Data[ch]
+		ga, be := bn.Gamma.Data.Data[ch], bn.Beta.Data.Data[ch]
+		for ni := 0; ni < n; ni++ {
+			seg := x.Data[(ni*c+ch)*sp : (ni*c+ch+1)*sp]
+			oh := out.Data[(ni*c+ch)*sp : (ni*c+ch+1)*sp]
+			xh := bn.xhat.Data[(ni*c+ch)*sp : (ni*c+ch+1)*sp]
+			for i, v := range seg {
+				xn := (v - mu) * iv
+				xh[i] = xn
+				oh[i] = ga*xn + be
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements the BatchNorm gradient. After a training-mode
+// forward it includes the batch-statistic coupling; after an eval-mode
+// forward the running statistics are constants and the gradient is the
+// plain affine chain rule (used by PTQ reconstruction).
+func (bn *BatchNorm2d) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := grad.Shape[0], grad.Shape[1], grad.Shape[2], grad.Shape[3]
+	sp := h * w
+	gx := tensor.New(grad.Shape...)
+	if bn.evalPass {
+		for ch := 0; ch < c; ch++ {
+			ga := bn.Gamma.Data.Data[ch]
+			iv := bn.ivstd[ch]
+			var sumG, sumGX float64
+			for ni := 0; ni < n; ni++ {
+				gseg := grad.Data[(ni*c+ch)*sp : (ni*c+ch+1)*sp]
+				xh := bn.xhat.Data[(ni*c+ch)*sp : (ni*c+ch+1)*sp]
+				gxs := gx.Data[(ni*c+ch)*sp : (ni*c+ch+1)*sp]
+				for i, g := range gseg {
+					sumG += float64(g)
+					sumGX += float64(g) * float64(xh[i])
+					gxs[i] = g * ga * iv
+				}
+			}
+			bn.Gamma.Grad.Data[ch] += float32(sumGX)
+			bn.Beta.Grad.Data[ch] += float32(sumG)
+		}
+		return gx
+	}
+	cnt := float32(n * sp)
+	for ch := 0; ch < c; ch++ {
+		var sumG, sumGX float64
+		for ni := 0; ni < n; ni++ {
+			gseg := grad.Data[(ni*c+ch)*sp : (ni*c+ch+1)*sp]
+			xh := bn.xhat.Data[(ni*c+ch)*sp : (ni*c+ch+1)*sp]
+			for i, g := range gseg {
+				sumG += float64(g)
+				sumGX += float64(g) * float64(xh[i])
+			}
+		}
+		bn.Gamma.Grad.Data[ch] += float32(sumGX)
+		bn.Beta.Grad.Data[ch] += float32(sumG)
+		ga := bn.Gamma.Data.Data[ch]
+		iv := bn.ivstd[ch]
+		mg := float32(sumG) / cnt
+		mgx := float32(sumGX) / cnt
+		for ni := 0; ni < n; ni++ {
+			gseg := grad.Data[(ni*c+ch)*sp : (ni*c+ch+1)*sp]
+			xh := bn.xhat.Data[(ni*c+ch)*sp : (ni*c+ch+1)*sp]
+			gxs := gx.Data[(ni*c+ch)*sp : (ni*c+ch+1)*sp]
+			for i, g := range gseg {
+				gxs[i] = ga * iv * (g - mg - xh[i]*mgx)
+			}
+		}
+	}
+	return gx
+}
+
+// Params returns gamma and beta.
+func (bn *BatchNorm2d) Params() []*Param { return []*Param{bn.Gamma, bn.Beta} }
+
+// LayerNorm normalizes over the last dimension, as used in transformers.
+// The paper notes LayerNorm statistics can be instant (computed on the fly)
+// or running (pre-computed for lower inference latency); both are supported.
+type LayerNorm struct {
+	Gamma *Param
+	Beta  *Param
+	Eps   float32
+	D     int
+
+	// UseRunning selects pre-computed statistics at eval time.
+	UseRunning  bool
+	RunningMean *tensor.Tensor // scalar buffers of size 1
+	RunningVar  *tensor.Tensor
+	Momentum    float32
+
+	training bool
+	xhat     *tensor.Tensor
+	ivstd    []float32
+}
+
+// NewLayerNorm creates a LayerNorm over feature size d.
+func NewLayerNorm(d int) *LayerNorm {
+	ln := &LayerNorm{
+		Gamma:       NewParam("ln.gamma", tensor.Ones(d)),
+		Beta:        NewParam("ln.beta", tensor.New(d)),
+		Eps:         1e-5,
+		D:           d,
+		RunningMean: tensor.New(1),
+		RunningVar:  tensor.Ones(1),
+		Momentum:    0.05,
+		training:    true,
+	}
+	ln.Gamma.NoDecay = true
+	ln.Beta.NoDecay = true
+	return ln
+}
+
+// SetTraining switches mode.
+func (ln *LayerNorm) SetTraining(t bool) { ln.training = t }
+
+// Forward normalizes each row of the flattened [rows, D] view.
+func (ln *LayerNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
+	d := ln.D
+	rows := x.Numel() / d
+	out := tensor.New(x.Shape...)
+	ln.xhat = tensor.New(x.Shape...)
+	ln.ivstd = make([]float32, rows)
+	for r := 0; r < rows; r++ {
+		seg := x.Data[r*d : (r+1)*d]
+		var sum, sq float64
+		for _, v := range seg {
+			sum += float64(v)
+			sq += float64(v) * float64(v)
+		}
+		mu := sum / float64(d)
+		va := sq/float64(d) - mu*mu
+		if va < 0 {
+			va = 0
+		}
+		var iv float32
+		if !ln.training && ln.UseRunning {
+			mu = float64(ln.RunningMean.Data[0])
+			iv = float32(1 / math.Sqrt(float64(ln.RunningVar.Data[0])+float64(ln.Eps)))
+		} else {
+			iv = float32(1 / math.Sqrt(va+float64(ln.Eps)))
+		}
+		if ln.training {
+			ln.RunningMean.Data[0] = (1-ln.Momentum)*ln.RunningMean.Data[0] + ln.Momentum*float32(mu)
+			ln.RunningVar.Data[0] = (1-ln.Momentum)*ln.RunningVar.Data[0] + ln.Momentum*float32(va)
+		}
+		ln.ivstd[r] = iv
+		o := out.Data[r*d : (r+1)*d]
+		xh := ln.xhat.Data[r*d : (r+1)*d]
+		for i, v := range seg {
+			xn := (v - float32(mu)) * iv
+			xh[i] = xn
+			o[i] = ln.Gamma.Data.Data[i]*xn + ln.Beta.Data.Data[i]
+		}
+	}
+	return out
+}
+
+// Backward implements the LayerNorm gradient.
+func (ln *LayerNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	d := ln.D
+	rows := grad.Numel() / d
+	gx := tensor.New(grad.Shape...)
+	for r := 0; r < rows; r++ {
+		gseg := grad.Data[r*d : (r+1)*d]
+		xh := ln.xhat.Data[r*d : (r+1)*d]
+		var sumG, sumGX float64
+		for i, g := range gseg {
+			gg := g * ln.Gamma.Data.Data[i]
+			sumG += float64(gg)
+			sumGX += float64(gg) * float64(xh[i])
+			ln.Gamma.Grad.Data[i] += g * xh[i]
+			ln.Beta.Grad.Data[i] += g
+		}
+		mg := float32(sumG) / float32(d)
+		mgx := float32(sumGX) / float32(d)
+		iv := ln.ivstd[r]
+		o := gx.Data[r*d : (r+1)*d]
+		for i, g := range gseg {
+			gg := g * ln.Gamma.Data.Data[i]
+			o[i] = iv * (gg - mg - xh[i]*mgx)
+		}
+	}
+	return gx
+}
+
+// Params returns gamma and beta.
+func (ln *LayerNorm) Params() []*Param { return []*Param{ln.Gamma, ln.Beta} }

@@ -1,0 +1,319 @@
+// Package prune implements the paper's user-customizable sparsification:
+// element-wise magnitude pruning, the GraNet-style gradual prune-and-
+// regrow schedule, and N:M fine-grained structured sparsity (e.g. 2:4).
+// Masks are applied to the float weights during training and materialize
+// as real zeros in the exported integer tensors, never as side-band masks.
+package prune
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"torch2chip/internal/nn"
+	"torch2chip/internal/tensor"
+)
+
+// Pruner computes and applies sparsity masks to a set of parameters.
+type Pruner interface {
+	// Step updates the masks for the given training progress in [0,1] and
+	// applies them to the weights.
+	Step(progress float64)
+	// Apply re-applies the current masks (call after every optimizer
+	// update so pruned weights stay zero).
+	Apply()
+	// Sparsity reports the fraction of masked weights.
+	Sparsity() float64
+}
+
+// maskedParam pairs a parameter with its binary mask.
+type maskedParam struct {
+	p    *nn.Param
+	mask []bool
+}
+
+func newMasked(p *nn.Param) *maskedParam {
+	return &maskedParam{p: p, mask: make([]bool, p.Data.Numel())}
+}
+
+func (m *maskedParam) apply() {
+	for i, dead := range m.mask {
+		if dead {
+			m.p.Data.Data[i] = 0
+			m.p.Grad.Data[i] = 0
+		}
+	}
+}
+
+func (m *maskedParam) count() (dead, total int) {
+	for _, d := range m.mask {
+		if d {
+			dead++
+		}
+	}
+	return dead, len(m.mask)
+}
+
+// PrunableParams selects the weight tensors of conv and linear layers
+// (norm parameters and biases are never pruned).
+func PrunableParams(root nn.Layer) []*nn.Param {
+	var out []*nn.Param
+	var walk func(l nn.Layer)
+	walk = func(l nn.Layer) {
+		switch v := l.(type) {
+		case *nn.Conv2d:
+			out = append(out, v.W)
+		case *nn.Linear:
+			out = append(out, v.W)
+		}
+		if c, ok := l.(nn.Container); ok {
+			for _, sub := range c.Children() {
+				walk(sub)
+			}
+		}
+	}
+	walk(root)
+	return out
+}
+
+// Magnitude prunes the globally smallest |w| to reach a target sparsity,
+// with an optional GraNet-style gradual schedule and regrowth.
+type Magnitude struct {
+	Target float64
+	// InitialSparsity starts the gradual schedule (GraNet prunes from a
+	// partially sparse model).
+	InitialSparsity float64
+	// Regrow re-activates the largest-gradient pruned weights each step
+	// (the "neuroregeneration" of GraNet); fraction of pruned weights.
+	Regrow float64
+	params []*maskedParam
+}
+
+// NewMagnitude builds a global magnitude pruner over the given parameters.
+func NewMagnitude(params []*nn.Param, target float64) *Magnitude {
+	m := &Magnitude{Target: target}
+	for _, p := range params {
+		m.params = append(m.params, newMasked(p))
+	}
+	return m
+}
+
+// currentTarget implements the cubic sparsity ramp s(t) = s_f + (s_i −
+// s_f)·(1−t)³ used by gradual pruning.
+func (m *Magnitude) currentTarget(progress float64) float64 {
+	if progress >= 1 {
+		return m.Target
+	}
+	if progress < 0 {
+		progress = 0
+	}
+	d := 1 - progress
+	return m.Target + (m.InitialSparsity-m.Target)*d*d*d
+}
+
+// Step recomputes the global threshold at the scheduled sparsity and
+// rebuilds all masks.
+func (m *Magnitude) Step(progress float64) {
+	target := m.currentTarget(progress)
+	// Gather all magnitudes.
+	var all []float32
+	for _, mp := range m.params {
+		for _, v := range mp.p.Data.Data {
+			if v < 0 {
+				v = -v
+			}
+			all = append(all, v)
+		}
+	}
+	if len(all) == 0 {
+		return
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	k := int(target * float64(len(all)))
+	if k >= len(all) {
+		k = len(all) - 1
+	}
+	var thr float32
+	if k > 0 {
+		thr = all[k]
+	}
+	for _, mp := range m.params {
+		for i, v := range mp.p.Data.Data {
+			a := v
+			if a < 0 {
+				a = -a
+			}
+			mp.mask[i] = a < thr
+		}
+	}
+	if m.Regrow > 0 {
+		m.regrow()
+	}
+	m.Apply()
+}
+
+// regrow revives the pruned weights with the largest gradient magnitude,
+// then re-kills the same number of smallest-magnitude live weights so the
+// sparsity level is preserved.
+func (m *Magnitude) regrow() {
+	type cand struct {
+		mp  *maskedParam
+		idx int
+		val float32
+	}
+	var pruned, live []cand
+	for _, mp := range m.params {
+		for i, dead := range mp.mask {
+			g := mp.p.Grad.Data[i]
+			if g < 0 {
+				g = -g
+			}
+			w := mp.p.Data.Data[i]
+			if w < 0 {
+				w = -w
+			}
+			if dead {
+				pruned = append(pruned, cand{mp, i, g})
+			} else {
+				live = append(live, cand{mp, i, w})
+			}
+		}
+	}
+	n := int(m.Regrow * float64(len(pruned)))
+	if n == 0 || len(live) == 0 {
+		return
+	}
+	sort.Slice(pruned, func(i, j int) bool { return pruned[i].val > pruned[j].val })
+	sort.Slice(live, func(i, j int) bool { return live[i].val < live[j].val })
+	if n > len(live) {
+		n = len(live)
+	}
+	for i := 0; i < n; i++ {
+		pruned[i].mp.mask[pruned[i].idx] = false
+		live[i].mp.mask[live[i].idx] = true
+	}
+}
+
+// Apply re-applies masks.
+func (m *Magnitude) Apply() {
+	for _, mp := range m.params {
+		mp.apply()
+	}
+}
+
+// Sparsity reports the masked fraction.
+func (m *Magnitude) Sparsity() float64 {
+	var dead, total int
+	for _, mp := range m.params {
+		d, t := mp.count()
+		dead += d
+		total += t
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(dead) / float64(total)
+}
+
+// NM implements N:M structured fine-grained sparsity: in every group of M
+// consecutive weights (along the input dimension), only the N largest
+// magnitudes survive. N:M=2:4 gives 50% sparsity with hardware-friendly
+// structure.
+type NM struct {
+	N, M   int
+	params []*maskedParam
+}
+
+// NewNM builds an N:M pruner.
+func NewNM(params []*nn.Param, n, m int) (*NM, error) {
+	if n <= 0 || m <= 0 || n > m {
+		return nil, fmt.Errorf("prune: invalid N:M = %d:%d", n, m)
+	}
+	p := &NM{N: n, M: m}
+	for _, pp := range params {
+		p.params = append(p.params, newMasked(pp))
+	}
+	return p, nil
+}
+
+// Step rebuilds the group masks (progress is ignored: N:M is a fixed
+// pattern, typically applied from scratch per Zhou et al. 2021).
+func (p *NM) Step(progress float64) {
+	_ = progress
+	for _, mp := range p.params {
+		data := mp.p.Data.Data
+		for g := 0; g+p.M <= len(data); g += p.M {
+			// Select the N largest |w| in the group.
+			type iv struct {
+				i int
+				v float32
+			}
+			group := make([]iv, p.M)
+			for j := 0; j < p.M; j++ {
+				v := data[g+j]
+				if v < 0 {
+					v = -v
+				}
+				group[j] = iv{g + j, v}
+			}
+			sort.Slice(group, func(a, b int) bool { return group[a].v > group[b].v })
+			for j, e := range group {
+				mp.mask[e.i] = j >= p.N
+			}
+		}
+		// Tail shorter than M stays dense.
+		for j := (len(data) / p.M) * p.M; j < len(data); j++ {
+			mp.mask[j] = false
+		}
+	}
+	p.Apply()
+}
+
+// Apply re-applies masks.
+func (p *NM) Apply() {
+	for _, mp := range p.params {
+		mp.apply()
+	}
+}
+
+// Sparsity reports the masked fraction.
+func (p *NM) Sparsity() float64 {
+	var dead, total int
+	for _, mp := range p.params {
+		d, t := mp.count()
+		dead += d
+		total += t
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(dead) / float64(total)
+}
+
+// CheckNM verifies that every complete group of M consecutive elements in
+// t has at most N non-zeros; the exported-tensor invariant of Table 3.
+func CheckNM(t *tensor.IntTensor, n, m int) error {
+	for g := 0; g+m <= len(t.Data); g += m {
+		nz := 0
+		for j := 0; j < m; j++ {
+			if t.Data[g+j] != 0 {
+				nz++
+			}
+		}
+		if nz > n {
+			return fmt.Errorf("prune: group at %d has %d non-zeros (> %d:%d)", g, nz, n, m)
+		}
+	}
+	return nil
+}
+
+// TensorSparsity reports the zero fraction of a float tensor.
+func TensorSparsity(t *tensor.Tensor) float64 {
+	zeros := 0
+	for _, v := range t.Data {
+		if v == 0 {
+			zeros++
+		}
+	}
+	return float64(zeros) / math.Max(1, float64(len(t.Data)))
+}

@@ -1,0 +1,186 @@
+package prune
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"torch2chip/internal/nn"
+	"torch2chip/internal/tensor"
+)
+
+func TestMagnitudeReachesTarget(t *testing.T) {
+	g := tensor.NewRNG(1)
+	p := nn.NewParam("w", g.Randn(1, 50, 50))
+	m := NewMagnitude([]*nn.Param{p}, 0.8)
+	m.Step(1)
+	if s := m.Sparsity(); math.Abs(s-0.8) > 0.01 {
+		t.Fatalf("sparsity %v, want 0.8", s)
+	}
+	if s := TensorSparsity(p.Data); math.Abs(s-0.8) > 0.01 {
+		t.Fatalf("tensor zeros %v, want 0.8", s)
+	}
+}
+
+func TestMagnitudeKeepsLargest(t *testing.T) {
+	p := nn.NewParam("w", tensor.FromSlice([]float32{0.1, -5, 0.2, 4, -0.05, 3, 0.3, -2}, 8))
+	m := NewMagnitude([]*nn.Param{p}, 0.5)
+	m.Step(1)
+	// The four largest magnitudes (5,4,3,2) must survive.
+	want := []float32{0, -5, 0, 4, 0, 3, 0, -2}
+	for i := range want {
+		if p.Data.Data[i] != want[i] {
+			t.Fatalf("w[%d] = %v, want %v", i, p.Data.Data[i], want[i])
+		}
+	}
+}
+
+func TestGradualScheduleMonotone(t *testing.T) {
+	g := tensor.NewRNG(2)
+	p := nn.NewParam("w", g.Randn(1, 40, 40))
+	m := NewMagnitude([]*nn.Param{p}, 0.9)
+	m.InitialSparsity = 0.1
+	prev := -1.0
+	for _, prog := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		m.Step(prog)
+		s := m.Sparsity()
+		if s < prev-0.01 {
+			t.Fatalf("sparsity decreased: %v after %v", s, prev)
+		}
+		prev = s
+	}
+	if math.Abs(prev-0.9) > 0.02 {
+		t.Fatalf("final sparsity %v, want 0.9", prev)
+	}
+	// Early progress must be near the initial sparsity, not the target.
+	m2 := NewMagnitude([]*nn.Param{nn.NewParam("w", g.Randn(1, 40, 40))}, 0.9)
+	m2.InitialSparsity = 0.1
+	m2.Step(0)
+	if s := m2.Sparsity(); s > 0.2 {
+		t.Fatalf("sparsity at t=0 is %v, want ≈0.1", s)
+	}
+}
+
+func TestApplyKeepsPrunedAtZero(t *testing.T) {
+	g := tensor.NewRNG(3)
+	p := nn.NewParam("w", g.Randn(1, 100))
+	m := NewMagnitude([]*nn.Param{p}, 0.5)
+	m.Step(1)
+	// Simulate an optimizer update that perturbs everything.
+	for i := range p.Data.Data {
+		p.Data.Data[i] += 0.3
+	}
+	m.Apply()
+	if s := TensorSparsity(p.Data); math.Abs(s-0.5) > 0.02 {
+		t.Fatalf("after Apply sparsity %v", s)
+	}
+}
+
+func TestRegrowPreservesSparsity(t *testing.T) {
+	g := tensor.NewRNG(4)
+	p := nn.NewParam("w", g.Randn(1, 60, 60))
+	m := NewMagnitude([]*nn.Param{p}, 0.7)
+	m.Regrow = 0.2
+	// Give pruned weights distinct gradients so regrowth has signal.
+	for i := range p.Grad.Data {
+		p.Grad.Data[i] = g.NormFloat32()
+	}
+	m.Step(1)
+	if s := m.Sparsity(); math.Abs(s-0.7) > 0.02 {
+		t.Fatalf("regrow broke sparsity: %v", s)
+	}
+}
+
+func TestNMBasic(t *testing.T) {
+	g := tensor.NewRNG(5)
+	p := nn.NewParam("w", g.Randn(1, 16, 16))
+	nm, err := NewNM([]*nn.Param{p}, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm.Step(0)
+	if s := nm.Sparsity(); math.Abs(s-0.5) > 1e-6 {
+		t.Fatalf("2:4 sparsity %v, want exactly 0.5", s)
+	}
+	// Verify the group structure on the float tensor.
+	for gi := 0; gi+4 <= 256; gi += 4 {
+		nz := 0
+		for j := 0; j < 4; j++ {
+			if p.Data.Data[gi+j] != 0 {
+				nz++
+			}
+		}
+		if nz > 2 {
+			t.Fatalf("group %d has %d non-zeros", gi, nz)
+		}
+	}
+}
+
+func TestNMKeepsLargestPerGroup(t *testing.T) {
+	p := nn.NewParam("w", tensor.FromSlice([]float32{1, -9, 2, 8, 0.5, 0.6, -0.7, 0.1}, 8))
+	nm, _ := NewNM([]*nn.Param{p}, 2, 4)
+	nm.Step(0)
+	want := []float32{0, -9, 0, 8, 0, 0.6, -0.7, 0}
+	for i := range want {
+		if p.Data.Data[i] != want[i] {
+			t.Fatalf("w[%d] = %v, want %v", i, p.Data.Data[i], want[i])
+		}
+	}
+}
+
+func TestNMInvalidRatio(t *testing.T) {
+	if _, err := NewNM(nil, 4, 2); err == nil {
+		t.Fatal("4:2 must be rejected")
+	}
+	if _, err := NewNM(nil, 0, 4); err == nil {
+		t.Fatal("0:4 must be rejected")
+	}
+}
+
+func TestCheckNM(t *testing.T) {
+	good := tensor.IntFromSlice([]int64{1, 0, 2, 0, 0, 3, 0, 4}, 8)
+	if err := CheckNM(good, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	bad := tensor.IntFromSlice([]int64{1, 1, 1, 0}, 4)
+	if err := CheckNM(bad, 2, 4); err == nil {
+		t.Fatal("3 non-zeros in a 2:4 group must fail")
+	}
+}
+
+func TestPrunableParamsSelection(t *testing.T) {
+	g := tensor.NewRNG(6)
+	model := nn.NewSequential(
+		nn.NewConv2d(g, 3, 4, 3, 1, 1, 1, true),
+		nn.NewBatchNorm2d(4),
+		&nn.ReLU{},
+		nn.NewLinear(g, 16, 4, true),
+	)
+	ps := PrunableParams(model)
+	// Only the conv weight and linear weight; not biases or BN params.
+	if len(ps) != 2 {
+		t.Fatalf("prunable %d, want 2", len(ps))
+	}
+}
+
+func TestNMProperty(t *testing.T) {
+	// Any random tensor pruned with N:M must pass CheckNM after integer
+	// quantization (zeros stay zeros through round(x/s)).
+	f := func(seed int64) bool {
+		g := tensor.NewRNG(seed)
+		p := nn.NewParam("w", g.Randn(1, 8, 12))
+		nm, err := NewNM([]*nn.Param{p}, 2, 4)
+		if err != nil {
+			return false
+		}
+		nm.Step(0)
+		codes := tensor.NewInt(96)
+		for i, v := range p.Data.Data {
+			codes.Data[i] = int64(math.Round(float64(v) / 0.01))
+		}
+		return CheckNM(codes, 2, 4) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,194 @@
+package quant
+
+import (
+	"fmt"
+	"torch2chip/internal/nn"
+	"torch2chip/internal/tensor"
+)
+
+// Config selects the quantization recipe applied by Prepare. The weight
+// and activation methods are user-customizable names resolved through the
+// quantizer registry, mirroring the paper's hierarchical customization:
+// any Quantizer implementation can be registered and swapped in.
+type Config struct {
+	WBits, ABits int
+	// Weight / Act name the quantizer methods, e.g. "minmax", "sawb",
+	// "rcf", "lsq", "adaround" (weights) and "minmax", "pact", "rcf",
+	// "lsq", "qdrop" (activations).
+	Weight string
+	Act    string
+	// PerChannel enables per-output-channel weight scales (required for
+	// the sub-8-bit channel-wise fusion scheme).
+	PerChannel bool
+	// DropProb is the QDrop passthrough probability.
+	DropProb float32
+	// RNG drives stochastic quantizers (QDrop).
+	RNG *tensor.RNG
+}
+
+// WeightFactory and ActFactory construct quantizers from a Config; custom
+// algorithms register here.
+type (
+	WeightFactory func(c Config) Quantizer
+	ActFactory    func(c Config) Quantizer
+)
+
+var weightRegistry = map[string]WeightFactory{}
+var actRegistry = map[string]ActFactory{}
+
+// RegisterWeight adds a custom weight quantizer method.
+func RegisterWeight(name string, f WeightFactory) { weightRegistry[name] = f }
+
+// RegisterAct adds a custom activation quantizer method.
+func RegisterAct(name string, f ActFactory) { actRegistry[name] = f }
+
+func init() {
+	RegisterWeight("minmax", func(c Config) Quantizer { return NewMinMax(c.WBits, true, c.PerChannel) })
+	RegisterWeight("sawb", func(c Config) Quantizer { return NewSAWB(c.WBits, c.PerChannel) })
+	RegisterWeight("rcf", func(c Config) Quantizer { return NewRCF(c.WBits, true, 1.0) })
+	RegisterWeight("lsq", func(c Config) Quantizer { return NewLSQ(c.WBits, true) })
+	RegisterWeight("adaround", func(c Config) Quantizer { return NewAdaRound(c.WBits, c.PerChannel) })
+
+	RegisterAct("minmax", func(c Config) Quantizer { return NewMinMax(c.ABits, false, false) })
+	RegisterAct("minmax_signed", func(c Config) Quantizer { return NewMinMax(c.ABits, true, false) })
+	RegisterAct("pact", func(c Config) Quantizer { return NewPACT(c.ABits, 3.0) })
+	RegisterAct("rcf", func(c Config) Quantizer { return NewRCF(c.ABits, false, 6.0) })
+	RegisterAct("lsq", func(c Config) Quantizer { return NewLSQ(c.ABits, false) })
+	RegisterAct("qdrop", func(c Config) Quantizer {
+		rng := c.RNG
+		if rng == nil {
+			rng = tensor.NewRNG(0)
+		}
+		p := c.DropProb
+		if p == 0 {
+			p = 0.5
+		}
+		return NewQDrop(c.ABits, false, p, rng)
+	})
+}
+
+// NewWeightQuantizer resolves the configured weight method.
+func (c Config) NewWeightQuantizer() Quantizer {
+	f, ok := weightRegistry[c.Weight]
+	if !ok {
+		panic(fmt.Sprintf("quant: unknown weight quantizer %q", c.Weight))
+	}
+	return f(c)
+}
+
+// NewActQuantizer resolves the configured activation method.
+func (c Config) NewActQuantizer() Quantizer {
+	f, ok := actRegistry[c.Act]
+	if !ok {
+		panic(fmt.Sprintf("quant: unknown activation quantizer %q", c.Act))
+	}
+	return f(c)
+}
+
+// signedActQuantizer builds an activation quantizer for signed tensors
+// (attention operands can be negative); falls back to a signed MinMax when
+// the configured method is unsigned-only.
+func (c Config) signedActQuantizer() Quantizer {
+	switch c.Act {
+	case "lsq":
+		return NewLSQ(c.ABits, true)
+	default:
+		return NewMinMax(c.ABits, true, false)
+	}
+}
+
+// Prepare rewrites a model in place, replacing every nn.Conv2d, nn.Linear,
+// and nn.MultiHeadAttention with its dual-path quantized counterpart. It
+// returns the same root for chaining. This is the paper's "vanilla →
+// custom" conversion; fuse.Convert later performs "custom → vanilla".
+func Prepare(root nn.Layer, cfg Config) nn.Layer {
+	switch l := root.(type) {
+	case *nn.Sequential:
+		for i, sub := range l.Layers {
+			l.Layers[i] = Prepare(sub, cfg)
+		}
+	case *nn.Residual:
+		l.Body = Prepare(l.Body, cfg)
+		l.Shortcut = Prepare(l.Shortcut, cfg)
+	case *nn.Conv2d:
+		return NewQConv2d(l, cfg.NewWeightQuantizer(), cfg.NewActQuantizer())
+	case *nn.Linear:
+		return NewQLinear(l, cfg.NewWeightQuantizer(), cfg.NewActQuantizer())
+	case *nn.MultiHeadAttention:
+		return PrepareAttention(l, cfg)
+	default:
+		if rw, ok := root.(nn.Rewirer); ok {
+			rw.Rewire(func(sub nn.Layer) nn.Layer { return Prepare(sub, cfg) })
+		}
+	}
+	return root
+}
+
+// QAttention wraps an MHA whose projections are QLinear and whose two
+// matmuls run through QMatMul, matching Figure 4's training graph. The
+// base MHA forward/backward are reused unchanged: the projections are
+// swapped for dual-path quantized linears and the two inner matmuls are
+// intercepted by the quantized hooks.
+type QAttention struct {
+	*nn.MultiHeadAttention
+	QK *QMatMul
+	AV *QMatMul
+	// The projections, retained with concrete types for fusion/extraction.
+	QProj, KProj, VProj, OProj *QLinear
+}
+
+// PrepareAttention converts an MHA block in place.
+func PrepareAttention(m *nn.MultiHeadAttention, cfg Config) *QAttention {
+	qa := &QAttention{MultiHeadAttention: m}
+	wrap := func(l nn.Layer) *QLinear {
+		return NewQLinear(l.(*nn.Linear), cfg.NewWeightQuantizer(), cfg.signedActQuantizer())
+	}
+	qa.QProj, qa.KProj, qa.VProj, qa.OProj = wrap(m.Q), wrap(m.K), wrap(m.V), wrap(m.Proj)
+	m.Q, m.K, m.V, m.Proj = qa.QProj, qa.KProj, qa.VProj, qa.OProj
+	// QKᵀ quantizes two signed operands; attn·V has an unsigned left
+	// operand (softmax output in [0,1]).
+	qa.QK = NewQMatMul(cfg.signedActQuantizer(), cfg.signedActQuantizer(), true)
+	avLeft := NewMinMax(cfg.ABits, false, false)
+	qa.AV = NewQMatMul(avLeft, cfg.signedActQuantizer(), false)
+	m.MatMulQK = func(q, k *tensor.Tensor) *tensor.Tensor { return qa.QK.Apply(q, k) }
+	m.MatMulAV = func(a, v *tensor.Tensor) *tensor.Tensor { return qa.AV.Apply(a, v) }
+	return qa
+}
+
+// SetMode switches the matmul hooks; the projections are reached through
+// Children by SetMode's walk.
+func (qa *QAttention) SetMode(m Mode) {
+	qa.QK.SetMode(m)
+	qa.AV.SetMode(m)
+}
+
+// SetCalibrating toggles the matmul observers.
+func (qa *QAttention) SetCalibrating(c bool) {
+	qa.QK.SetCalibrating(c)
+	qa.AV.SetCalibrating(c)
+}
+
+// Walk visits every layer in the tree, leaves included, calling fn.
+func Walk(root nn.Layer, fn func(nn.Layer)) {
+	fn(root)
+	if c, ok := root.(nn.Container); ok {
+		for _, sub := range c.Children() {
+			Walk(sub, fn)
+		}
+	}
+}
+
+// QuantizedLayers collects all dual-path leaf layers in the tree.
+func QuantizedLayers(root nn.Layer) (convs []*QConv2d, lins []*QLinear, attns []*QAttention) {
+	Walk(root, func(l nn.Layer) {
+		switch v := l.(type) {
+		case *QConv2d:
+			convs = append(convs, v)
+		case *QLinear:
+			lins = append(lins, v)
+		case *QAttention:
+			attns = append(attns, v)
+		}
+	})
+	return convs, lins, attns
+}

@@ -1,0 +1,192 @@
+// Package quant implements the paper's hierarchical quantization stack:
+// the bottom-level QBase module (the paper's _QBase) that registers scale
+// and zero-point, a zoo of customizable quantizers (MinMax, SAWB, PACT,
+// RCF, LSQ, AdaRound, QDrop), and the "Dual-Path" base layers (QConv2d,
+// QLinear, QMatMul) whose training path performs fake-quantized float
+// computation and whose inference path performs integer-only computation.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"torch2chip/internal/nn"
+	"torch2chip/internal/tensor"
+)
+
+// Mode selects the computation path of a dual-path layer.
+type Mode int
+
+const (
+	// ModeTrain runs the fake-quantized float path (QAT/PTQ training).
+	ModeTrain Mode = iota
+	// ModeInfer runs the integer-only path with dequantized float output.
+	ModeInfer
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == ModeTrain {
+		return "train"
+	}
+	return "infer"
+}
+
+// QBase is the bottom-level quantization module. It registers the scaling
+// factor and zero point as state shared between the training and inference
+// paths; user-defined quantizers embed it and update the registered
+// parameters from the training path, after which the inference path is
+// derived automatically.
+type QBase struct {
+	NBits      int
+	Signed     bool
+	PerChannel bool
+	// Scale and Zero hold one entry per channel when PerChannel, else one.
+	Scale []float32
+	Zero  []int64
+	// Calibrating enables observer updates in TrainForward.
+	Calibrating bool
+}
+
+// NewQBase constructs a QBase with unit scale.
+func NewQBase(nbits int, signed, perChannel bool) *QBase {
+	return &QBase{
+		NBits: nbits, Signed: signed, PerChannel: perChannel,
+		Scale: []float32{1}, Zero: []int64{0}, Calibrating: true,
+	}
+}
+
+// QMin returns the smallest representable code.
+func (q *QBase) QMin() int64 {
+	if q.Signed {
+		return -(1 << (q.NBits - 1))
+	}
+	return 0
+}
+
+// QMax returns the largest representable code.
+func (q *QBase) QMax() int64 {
+	if q.Signed {
+		return 1<<(q.NBits-1) - 1
+	}
+	return 1<<q.NBits - 1
+}
+
+// Base returns q itself; embedding types inherit this to satisfy Quantizer.
+func (q *QBase) Base() *QBase { return q }
+
+// channels returns how many scale entries q carries.
+func (q *QBase) channels() int { return len(q.Scale) }
+
+// scaleFor returns the (scale, zero) for flat element index i of a tensor
+// whose leading dimension has chSize elements per channel.
+func (q *QBase) scaleFor(i, chSize int) (float32, int64) {
+	if !q.PerChannel || len(q.Scale) == 1 {
+		return q.Scale[0], q.Zero[0]
+	}
+	c := i / chSize
+	return q.Scale[c], q.Zero[c]
+}
+
+// SetScale resizes and assigns per-channel scales.
+func (q *QBase) SetScale(scale []float32, zero []int64) {
+	q.Scale = append(q.Scale[:0], scale...)
+	q.Zero = append(q.Zero[:0], zero...)
+}
+
+// Quantize maps x to integer codes: round(x/S) + Z, clamped to the code
+// range. For per-channel quantizers the leading dimension of x indexes
+// channels.
+func (q *QBase) Quantize(x *tensor.Tensor) *tensor.IntTensor {
+	out := tensor.NewInt(x.Shape...)
+	chSize := perChannelSize(x, q)
+	qmin, qmax := q.QMin(), q.QMax()
+	for i, v := range x.Data {
+		s, z := q.scaleFor(i, chSize)
+		c := int64(math.Round(float64(v/s))) + z
+		if c < qmin {
+			c = qmin
+		}
+		if c > qmax {
+			c = qmax
+		}
+		out.Data[i] = c
+	}
+	return out
+}
+
+// Dequantize maps integer codes back to float: (c - Z) * S.
+func (q *QBase) Dequantize(xq *tensor.IntTensor) *tensor.Tensor {
+	out := tensor.New(xq.Shape...)
+	chSize := perChannelSizeInt(xq, q)
+	for i, c := range xq.Data {
+		s, z := q.scaleFor(i, chSize)
+		out.Data[i] = float32(c-z) * s
+	}
+	return out
+}
+
+// FakeQuant performs quantize-dequantize in one step (the training-path
+// discretization) and reports, per element, whether the value was inside
+// the clipping range (needed for straight-through gradients).
+func (q *QBase) FakeQuant(x *tensor.Tensor) (*tensor.Tensor, []bool) {
+	out := tensor.New(x.Shape...)
+	mask := make([]bool, len(x.Data))
+	chSize := perChannelSize(x, q)
+	qmin, qmax := q.QMin(), q.QMax()
+	for i, v := range x.Data {
+		s, z := q.scaleFor(i, chSize)
+		c := int64(math.Round(float64(v/s))) + z
+		in := c >= qmin && c <= qmax
+		mask[i] = in
+		if c < qmin {
+			c = qmin
+		}
+		if c > qmax {
+			c = qmax
+		}
+		out.Data[i] = float32(c-z) * s
+	}
+	return out, mask
+}
+
+func perChannelSize(x *tensor.Tensor, q *QBase) int {
+	if !q.PerChannel || len(x.Shape) == 0 || len(q.Scale) <= 1 {
+		return len(x.Data)
+	}
+	return len(x.Data) / x.Shape[0]
+}
+
+func perChannelSizeInt(x *tensor.IntTensor, q *QBase) int {
+	if !q.PerChannel || len(x.Shape) == 0 || len(q.Scale) <= 1 {
+		return len(x.Data)
+	}
+	return len(x.Data) / x.Shape[0]
+}
+
+// Quantizer is the user-customizable quantization method. Users implement
+// the training path (TrainForward + BackwardInput + parameter updates);
+// the integer inference path (Quantize) is inherited from QBase once the
+// scale and zero point are registered.
+type Quantizer interface {
+	// TrainForward fake-quantizes x on the training path, updating
+	// observers when calibrating.
+	TrainForward(x *tensor.Tensor) *tensor.Tensor
+	// BackwardInput applies the straight-through (or custom) gradient of
+	// the last TrainForward to grad.
+	BackwardInput(grad *tensor.Tensor) *tensor.Tensor
+	// Quantize maps x to integer codes using the registered parameters.
+	Quantize(x *tensor.Tensor) *tensor.IntTensor
+	// Base exposes the registered scale/zero-point state.
+	Base() *QBase
+	// Params returns learnable quantizer parameters (clip values, step
+	// sizes, rounding offsets); may be empty.
+	Params() []*nn.Param
+}
+
+// validateBits panics on unsupported widths; quantizers share it.
+func validateBits(nbits int) {
+	if nbits < 1 || nbits > 16 {
+		panic(fmt.Sprintf("quant: unsupported bit-width %d", nbits))
+	}
+}

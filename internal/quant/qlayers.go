@@ -1,0 +1,332 @@
+package quant
+
+import (
+	"torch2chip/internal/intmath"
+	"torch2chip/internal/nn"
+	"torch2chip/internal/tensor"
+)
+
+// ModeSetter is implemented by dual-path layers.
+type ModeSetter interface{ SetMode(Mode) }
+
+// SetMode recursively switches every dual-path layer in the tree.
+func SetMode(l nn.Layer, m Mode) {
+	if ms, ok := l.(ModeSetter); ok {
+		ms.SetMode(m)
+	}
+	if c, ok := l.(nn.Container); ok {
+		for _, sub := range c.Children() {
+			SetMode(sub, m)
+		}
+	}
+}
+
+// CalibSetter toggles observer updates.
+type CalibSetter interface{ SetCalibrating(bool) }
+
+// SetCalibrating recursively freezes or unfreezes all observers.
+func SetCalibrating(l nn.Layer, c bool) {
+	if cs, ok := l.(CalibSetter); ok {
+		cs.SetCalibrating(c)
+	}
+	if ct, ok := l.(nn.Container); ok {
+		for _, sub := range ct.Children() {
+			SetCalibrating(sub, c)
+		}
+	}
+}
+
+// QConv2d is the dual-path convolution (the paper's _BaseConv2d). The
+// training path fake-quantizes weight and input and runs a float
+// convolution; the inference path quantizes to integers, runs the
+// integer-only convolution, and dequantizes the accumulator with
+// S_w·S_x (fusion later replaces this float rescale with MulQuant).
+type QConv2d struct {
+	Conv   *nn.Conv2d
+	WQuant Quantizer
+	AQuant Quantizer
+	Mode   Mode
+
+	// cached integer weights for the inference path
+	wq *tensor.IntTensor
+
+	// training-path caches
+	xFQ *tensor.Tensor
+	wFQ *tensor.Tensor
+}
+
+// NewQConv2d wraps an existing convolution with quantizers.
+func NewQConv2d(conv *nn.Conv2d, wq, aq Quantizer) *QConv2d {
+	return &QConv2d{Conv: conv, WQuant: wq, AQuant: aq}
+}
+
+// SetMode switches paths, invalidating cached integer weights on re-entry
+// to training.
+func (q *QConv2d) SetMode(m Mode) {
+	q.Mode = m
+	if m == ModeTrain {
+		q.wq = nil
+	}
+}
+
+// SetCalibrating toggles the quantizer observers.
+func (q *QConv2d) SetCalibrating(c bool) {
+	q.WQuant.Base().Calibrating = c
+	q.AQuant.Base().Calibrating = c
+}
+
+// Freeze materializes the integer weights for the inference path.
+func (q *QConv2d) Freeze() {
+	q.wq = q.WQuant.Quantize(q.Conv.W.Data)
+}
+
+// IntWeights returns the frozen integer weights, freezing on demand.
+func (q *QConv2d) IntWeights() *tensor.IntTensor {
+	if q.wq == nil {
+		q.Freeze()
+	}
+	return q.wq
+}
+
+// Forward dispatches on the active path.
+func (q *QConv2d) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if q.Mode == ModeInfer {
+		return q.inferForward(x)
+	}
+	q.xFQ = q.AQuant.TrainForward(x)
+	q.wFQ = q.WQuant.TrainForward(q.Conv.W.Data)
+	var b *tensor.Tensor
+	if q.Conv.B != nil {
+		b = q.Conv.B.Data
+	}
+	return tensor.Conv2d(q.xFQ, q.wFQ, b, q.Conv.P)
+}
+
+func (q *QConv2d) inferForward(x *tensor.Tensor) *tensor.Tensor {
+	wq := q.IntWeights()
+	xq := q.AQuant.Quantize(x)
+	zx := q.AQuant.Base().Zero[0]
+	acc := intmath.Conv2dInt(xq, wq, zx, q.Conv.P)
+	// Dequantize: y = acc · S_w(oc) · S_x (+ bias).
+	out := tensor.New(acc.Shape...)
+	sx := q.AQuant.Base().Scale[0]
+	wb := q.WQuant.Base()
+	n, o := acc.Shape[0], acc.Shape[1]
+	sp := acc.Shape[2] * acc.Shape[3]
+	for ni := 0; ni < n; ni++ {
+		for oc := 0; oc < o; oc++ {
+			sw := wb.Scale[0]
+			if wb.PerChannel && len(wb.Scale) > 1 {
+				sw = wb.Scale[oc]
+			}
+			s := sw * sx
+			var bias float32
+			if q.Conv.B != nil {
+				bias = q.Conv.B.Data.Data[oc]
+			}
+			seg := acc.Data[(ni*o+oc)*sp : (ni*o+oc+1)*sp]
+			oseg := out.Data[(ni*o+oc)*sp : (ni*o+oc+1)*sp]
+			for i, v := range seg {
+				oseg[i] = float32(v)*s + bias
+			}
+		}
+	}
+	return out
+}
+
+// Backward runs the float convolution backward on the fake-quantized
+// operands, then routes gradients through the quantizers' straight-through
+// estimators into the underlying float weights.
+func (q *QConv2d) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	gx, gw, gb := tensor.Conv2dBackward(q.xFQ, q.wFQlast(), grad, q.Conv.P)
+	gwSTE := q.WQuant.BackwardInput(gw)
+	tensor.AddInPlace(q.Conv.W.Grad, gwSTE)
+	if q.Conv.B != nil {
+		tensor.AddInPlace(q.Conv.B.Grad, gb)
+	}
+	return q.AQuant.BackwardInput(gx)
+}
+
+// wFQlast returns the fake-quantized weights used in the last forward.
+func (q *QConv2d) wFQlast() *tensor.Tensor {
+	if q.wFQ != nil {
+		return q.wFQ
+	}
+	return q.Conv.W.Data
+}
+
+// Params returns the convolution parameters plus learnable quantizer
+// parameters (PACT/RCF clip values, LSQ steps, AdaRound logits).
+func (q *QConv2d) Params() []*nn.Param {
+	ps := q.Conv.Params()
+	ps = append(ps, q.WQuant.Params()...)
+	return append(ps, q.AQuant.Params()...)
+}
+
+// QLinear is the dual-path fully connected layer (_BaseLinear).
+type QLinear struct {
+	Lin    *nn.Linear
+	WQuant Quantizer
+	AQuant Quantizer
+	Mode   Mode
+
+	wq  *tensor.IntTensor
+	xFQ *tensor.Tensor
+	wFQ *tensor.Tensor
+}
+
+// NewQLinear wraps an existing linear layer.
+func NewQLinear(lin *nn.Linear, wq, aq Quantizer) *QLinear {
+	return &QLinear{Lin: lin, WQuant: wq, AQuant: aq}
+}
+
+// SetMode switches paths.
+func (q *QLinear) SetMode(m Mode) {
+	q.Mode = m
+	if m == ModeTrain {
+		q.wq = nil
+	}
+}
+
+// SetCalibrating toggles observers.
+func (q *QLinear) SetCalibrating(c bool) {
+	q.WQuant.Base().Calibrating = c
+	q.AQuant.Base().Calibrating = c
+}
+
+// Freeze materializes integer weights.
+func (q *QLinear) Freeze() { q.wq = q.WQuant.Quantize(q.Lin.W.Data) }
+
+// IntWeights returns frozen integer weights.
+func (q *QLinear) IntWeights() *tensor.IntTensor {
+	if q.wq == nil {
+		q.Freeze()
+	}
+	return q.wq
+}
+
+// Forward dispatches on the active path.
+func (q *QLinear) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if q.Mode == ModeInfer {
+		return q.inferForward(x)
+	}
+	q.xFQ = q.AQuant.TrainForward(x)
+	q.wFQ = q.WQuant.TrainForward(q.Lin.W.Data)
+	out := tensor.MatMulT(q.xFQ, q.wFQ)
+	if q.Lin.B != nil {
+		n, o := out.Shape[0], out.Shape[1]
+		for i := 0; i < n; i++ {
+			row := out.Data[i*o : (i+1)*o]
+			for j := range row {
+				row[j] += q.Lin.B.Data.Data[j]
+			}
+		}
+	}
+	return out
+}
+
+func (q *QLinear) inferForward(x *tensor.Tensor) *tensor.Tensor {
+	wq := q.IntWeights()
+	xq := q.AQuant.Quantize(x)
+	zx := q.AQuant.Base().Zero[0]
+	if zx != 0 {
+		for i := range xq.Data {
+			xq.Data[i] -= zx
+		}
+	}
+	acc := intmath.MatMulIntT(xq, wq)
+	out := tensor.New(acc.Shape...)
+	sx := q.AQuant.Base().Scale[0]
+	wb := q.WQuant.Base()
+	n, o := acc.Shape[0], acc.Shape[1]
+	for i := 0; i < n; i++ {
+		for j := 0; j < o; j++ {
+			sw := wb.Scale[0]
+			if wb.PerChannel && len(wb.Scale) > 1 {
+				sw = wb.Scale[j]
+			}
+			v := float32(acc.Data[i*o+j]) * sw * sx
+			if q.Lin.B != nil {
+				v += q.Lin.B.Data.Data[j]
+			}
+			out.Data[i*o+j] = v
+		}
+	}
+	return out
+}
+
+// Backward mirrors QConv2d.Backward for the linear layer.
+func (q *QLinear) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	gw := tensor.MatMul(tensor.Transpose(grad), q.xFQ)
+	gwSTE := q.WQuant.BackwardInput(gw)
+	tensor.AddInPlace(q.Lin.W.Grad, gwSTE)
+	if q.Lin.B != nil {
+		tensor.AddInPlace(q.Lin.B.Grad, tensor.SumAxis0(grad))
+	}
+	gx := tensor.MatMul(grad, q.wFQ)
+	return q.AQuant.BackwardInput(gx)
+}
+
+// Params returns linear plus quantizer parameters.
+func (q *QLinear) Params() []*nn.Param {
+	ps := q.Lin.Params()
+	ps = append(ps, q.WQuant.Params()...)
+	return append(ps, q.AQuant.Params()...)
+}
+
+// QMatMul quantizes both operands of a matmul, used for the QKᵀ and
+// attn·V products inside integer-only attention (Figure 4).
+type QMatMul struct {
+	AQuant Quantizer // left operand
+	BQuant Quantizer // right operand
+	Mode   Mode
+	// TransposeB selects A×Bᵀ (QKᵀ) versus A×B (attn·V).
+	TransposeB bool
+}
+
+// NewQMatMul builds a quantized matmul.
+func NewQMatMul(aq, bq Quantizer, transposeB bool) *QMatMul {
+	return &QMatMul{AQuant: aq, BQuant: bq, TransposeB: transposeB}
+}
+
+// SetMode switches paths.
+func (q *QMatMul) SetMode(m Mode) { q.Mode = m }
+
+// SetCalibrating toggles observers.
+func (q *QMatMul) SetCalibrating(c bool) {
+	q.AQuant.Base().Calibrating = c
+	q.BQuant.Base().Calibrating = c
+}
+
+// Apply computes the (fake-)quantized product.
+func (q *QMatMul) Apply(a, b *tensor.Tensor) *tensor.Tensor {
+	if q.Mode == ModeInfer {
+		aq := q.AQuant.Quantize(a)
+		bq := q.BQuant.Quantize(b)
+		za, zb := q.AQuant.Base().Zero[0], q.BQuant.Base().Zero[0]
+		for i := range aq.Data {
+			aq.Data[i] -= za
+		}
+		for i := range bq.Data {
+			bq.Data[i] -= zb
+		}
+		var acc *tensor.IntTensor
+		if q.TransposeB {
+			acc = intmath.MatMulIntT(aq, bq)
+		} else {
+			acc = intmath.MatMulInt(aq, bq)
+		}
+		s := q.AQuant.Base().Scale[0] * q.BQuant.Base().Scale[0]
+		out := tensor.New(acc.Shape...)
+		for i, v := range acc.Data {
+			out.Data[i] = float32(v) * s
+		}
+		return out
+	}
+	afq := q.AQuant.TrainForward(a)
+	bfq := q.BQuant.TrainForward(b)
+	if q.TransposeB {
+		return tensor.MatMulT(afq, bfq)
+	}
+	return tensor.MatMul(afq, bfq)
+}

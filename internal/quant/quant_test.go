@@ -1,0 +1,469 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"torch2chip/internal/nn"
+	"torch2chip/internal/tensor"
+)
+
+func TestQBaseRange(t *testing.T) {
+	q := NewQBase(4, true, false)
+	if q.QMin() != -8 || q.QMax() != 7 {
+		t.Fatalf("signed 4-bit range [%d,%d]", q.QMin(), q.QMax())
+	}
+	u := NewQBase(8, false, false)
+	if u.QMin() != 0 || u.QMax() != 255 {
+		t.Fatalf("unsigned 8-bit range [%d,%d]", u.QMin(), u.QMax())
+	}
+}
+
+func TestQuantizeDequantizeBound(t *testing.T) {
+	// Property: every quantized code is in range, and dequantization error
+	// is at most scale/2 for in-range values.
+	f := func(seed int64) bool {
+		g := tensor.NewRNG(seed)
+		x := g.Randn(1, 64)
+		q := NewQBase(6, true, false)
+		q.SetScale([]float32{x.AbsMax() / float32(q.QMax())}, []int64{0})
+		codes := q.Quantize(x)
+		mn, mx := codes.MinMax()
+		if mn < q.QMin() || mx > q.QMax() {
+			return false
+		}
+		deq := q.Dequantize(codes)
+		s := q.Scale[0]
+		for i := range x.Data {
+			d := float64(x.Data[i] - deq.Data[i])
+			if math.Abs(d) > float64(s)/2+1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFakeQuantMatchesQuantDequant(t *testing.T) {
+	g := tensor.NewRNG(1)
+	x := g.Randn(1, 32)
+	q := NewQBase(4, true, false)
+	q.SetScale([]float32{0.1}, []int64{0})
+	fq, _ := q.FakeQuant(x)
+	ref := q.Dequantize(q.Quantize(x))
+	if !tensor.AllClose(fq, ref, 1e-6, 1e-6) {
+		t.Fatal("FakeQuant must equal Dequantize∘Quantize")
+	}
+}
+
+func TestMinMaxSymmetricScale(t *testing.T) {
+	m := NewMinMax(8, true, false)
+	x := tensor.FromSlice([]float32{-2, 1, 0.5}, 3)
+	m.Observe(x)
+	want := 2.0 / 127
+	if math.Abs(float64(m.Scale[0])-want) > 1e-6 {
+		t.Fatalf("scale %v want %v", m.Scale[0], want)
+	}
+	if m.Zero[0] != 0 {
+		t.Fatal("symmetric must have zero zero-point")
+	}
+}
+
+func TestMinMaxAffineUnsigned(t *testing.T) {
+	m := NewMinMax(8, false, false)
+	x := tensor.FromSlice([]float32{0, 1, 2, 3}, 4)
+	m.Observe(x)
+	codes := m.Quantize(x)
+	deq := m.Dequantize(codes)
+	if tensor.MaxAbsDiff(x, deq) > m.Scale[0] {
+		t.Fatalf("affine round-trip error %v > scale %v", tensor.MaxAbsDiff(x, deq), m.Scale[0])
+	}
+}
+
+func TestMinMaxPerChannel(t *testing.T) {
+	m := NewMinMax(8, true, true)
+	// Channel 0 small, channel 1 large: scales must differ.
+	x := tensor.New(2, 4)
+	for i := 0; i < 4; i++ {
+		x.Data[i] = 0.01 * float32(i)
+		x.Data[4+i] = 10 * float32(i)
+	}
+	m.Observe(x)
+	if len(m.Scale) != 2 || m.Scale[0] >= m.Scale[1] {
+		t.Fatalf("per-channel scales %v", m.Scale)
+	}
+}
+
+func TestSAWBClipTighterThanMax(t *testing.T) {
+	g := tensor.NewRNG(2)
+	w := g.Randn(1, 1024)
+	s := NewSAWB(2, false)
+	s.TrainForward(w)
+	// SAWB's 2-bit clip must be far below the absolute max for a Gaussian.
+	clip := s.Scale[0] * float32(s.QMax())
+	if clip >= w.AbsMax() {
+		t.Fatalf("SAWB clip %v not tighter than max %v", clip, w.AbsMax())
+	}
+	if clip < 0.5 || clip > 3 {
+		t.Fatalf("SAWB 2-bit clip for N(0,1) ≈ 1, got %v", clip)
+	}
+}
+
+func TestPACTForwardClips(t *testing.T) {
+	p := NewPACT(8, 2.0)
+	x := tensor.FromSlice([]float32{-1, 1, 5}, 3)
+	y := p.TrainForward(x)
+	if y.Data[0] != 0 {
+		t.Fatalf("negative input must clip to 0: %v", y.Data[0])
+	}
+	if math.Abs(float64(y.Data[2])-2) > 1e-4 {
+		t.Fatalf("above-alpha input must clip to alpha: %v", y.Data[2])
+	}
+}
+
+func TestPACTAlphaGradient(t *testing.T) {
+	p := NewPACT(8, 1.0)
+	x := tensor.FromSlice([]float32{0.5, 2, 3}, 3)
+	p.TrainForward(x)
+	g := tensor.FromSlice([]float32{1, 1, 1}, 3)
+	gx := p.BackwardInput(g)
+	// Saturated elements route gradient to alpha.
+	if p.Alpha.Grad.Data[0] != 2 {
+		t.Fatalf("alpha grad = %v, want 2", p.Alpha.Grad.Data[0])
+	}
+	if gx.Data[0] != 1 || gx.Data[1] != 0 || gx.Data[2] != 0 {
+		t.Fatalf("input grad = %v", gx.Data)
+	}
+}
+
+func TestRCFSignedClipAndAlphaGrad(t *testing.T) {
+	r := NewRCF(4, true, 1.0)
+	x := tensor.FromSlice([]float32{-3, 0.5, 3}, 3)
+	y := r.TrainForward(x)
+	if math.Abs(float64(y.Data[0])+1) > 1e-3 || math.Abs(float64(y.Data[2])-1) > 1e-3 {
+		t.Fatalf("RCF clip: %v", y.Data)
+	}
+	g := tensor.FromSlice([]float32{1, 1, 1}, 3)
+	r.BackwardInput(g)
+	// -1 from the low tail, +1 from the high tail → net 0.
+	if r.Alpha.Grad.Data[0] != 0 {
+		t.Fatalf("alpha grad = %v", r.Alpha.Grad.Data[0])
+	}
+}
+
+func TestLSQInitializesFromFirstBatch(t *testing.T) {
+	g := tensor.NewRNG(3)
+	l := NewLSQ(8, true)
+	x := g.Randn(1, 256)
+	l.TrainForward(x)
+	if l.Step.Data.Data[0] == 0.1 {
+		t.Fatal("LSQ step must be re-initialized from data")
+	}
+	// Step gradient accumulates.
+	l.BackwardInput(g.Randn(1, 256))
+	if l.Step.Grad.Data[0] == 0 {
+		t.Fatal("LSQ step gradient must be non-zero for random grads")
+	}
+}
+
+func TestAdaRoundSoftStartsAtNearest(t *testing.T) {
+	g := tensor.NewRNG(4)
+	w := g.Randn(0.2, 8, 8)
+	a := NewAdaRound(4, false)
+	soft := a.TrainForward(w)
+	// Initialization inverts the rectified sigmoid, so the soft-quantized
+	// weight must start very close to the float weight (within clip).
+	if tensor.MaxAbsDiff(soft, tensor.Clamp(w, -a.Scale[0]*8, a.Scale[0]*7)) > a.Scale[0]*0.51 {
+		t.Fatalf("soft init error %v vs scale %v", tensor.MaxAbsDiff(soft, w), a.Scale[0])
+	}
+}
+
+func TestAdaRoundHardQuantizeUsesSign(t *testing.T) {
+	g := tensor.NewRNG(5)
+	w := g.Randn(0.2, 4, 4)
+	a := NewAdaRound(4, false)
+	a.TrainForward(w)
+	codes := a.Quantize(w)
+	chSize := len(w.Data)
+	for i, c := range codes.Data {
+		s, _ := a.scaleFor(i, chSize)
+		fl := int64(math.Floor(float64(w.Data[i] / s)))
+		want := fl
+		if a.V.Data.Data[i] >= 0 {
+			want++
+		}
+		if want > a.QMax() {
+			want = a.QMax()
+		}
+		if want < a.QMin() {
+			want = a.QMin()
+		}
+		if c != want {
+			t.Fatalf("code[%d] = %d, want %d", i, c, want)
+		}
+	}
+}
+
+func TestAdaRoundRegLossPushesBinary(t *testing.T) {
+	g := tensor.NewRNG(6)
+	w := g.Randn(0.2, 8, 8)
+	a := NewAdaRound(4, false)
+	a.TrainForward(w)
+	// h≈frac initially → reg loss positive.
+	l1 := a.RegLoss(1)
+	if l1 <= 0 {
+		t.Fatalf("reg loss = %v, want > 0", l1)
+	}
+	// Push V strongly positive: h→1, reg → 0.
+	for i := range a.V.Data.Data {
+		a.V.Data.Data[i] = 10
+	}
+	a.V.Grad.Zero()
+	l2 := a.RegLoss(1)
+	if l2 > 0.01*l1 {
+		t.Fatalf("binary rounding should have ~0 reg, got %v (initial %v)", l2, l1)
+	}
+}
+
+func TestQDropPassesThroughSomeElements(t *testing.T) {
+	g := tensor.NewRNG(7)
+	q := NewQDrop(2, false, 0.5, g)
+	x := g.Uniform(0, 1, 1, 2048)
+	y := q.TrainForward(x)
+	exact, quantized := 0, 0
+	for i := range x.Data {
+		if y.Data[i] == x.Data[i] {
+			exact++
+		} else {
+			quantized++
+		}
+	}
+	if exact < 800 || quantized < 800 {
+		t.Fatalf("QDrop mixture off: exact=%d quantized=%d", exact, quantized)
+	}
+}
+
+func TestQConv2dDualPathConsistency(t *testing.T) {
+	// Fig 3 invariant: with frozen observers, the training path (fake
+	// quant + float conv) matches the inference path (integer conv +
+	// dequant) within float tolerance.
+	g := tensor.NewRNG(8)
+	conv := nn.NewConv2d(g, 3, 8, 3, 1, 1, 1, true)
+	qc := NewQConv2d(conv, NewMinMax(8, true, true), NewMinMax(8, false, false))
+	x := g.Uniform(0, 1, 2, 3, 8, 8)
+	// Calibrate then freeze.
+	qc.Forward(x)
+	qc.SetCalibrating(false)
+	yTrain := qc.Forward(x)
+	qc.SetMode(ModeInfer)
+	yInfer := qc.Forward(x)
+	if !tensor.AllClose(yTrain, yInfer, 1e-4, 1e-4) {
+		t.Fatalf("dual-path mismatch: %v", tensor.MaxAbsDiff(yTrain, yInfer))
+	}
+}
+
+func TestQLinearDualPathConsistency(t *testing.T) {
+	g := tensor.NewRNG(9)
+	lin := nn.NewLinear(g, 16, 8, true)
+	ql := NewQLinear(lin, NewMinMax(8, true, true), NewMinMax(8, false, false))
+	x := g.Uniform(0, 1, 4, 16)
+	ql.Forward(x)
+	ql.SetCalibrating(false)
+	yTrain := ql.Forward(x)
+	ql.SetMode(ModeInfer)
+	yInfer := ql.Forward(x)
+	if !tensor.AllClose(yTrain, yInfer, 1e-4, 1e-4) {
+		t.Fatalf("dual-path mismatch: %v", tensor.MaxAbsDiff(yTrain, yInfer))
+	}
+}
+
+func TestQLinearAffineActivationConsistency(t *testing.T) {
+	// With a non-zero activation zero point the integer path must still
+	// match (zero-point correction in the integer domain).
+	g := tensor.NewRNG(10)
+	lin := nn.NewLinear(g, 12, 6, false)
+	ql := NewQLinear(lin, NewMinMax(8, true, false), NewMinMax(8, false, false))
+	x := g.Uniform(0.5, 2.5, 3, 12) // strictly positive range → non-zero zp after affine mapping? lo>0 clamps to 0
+	ql.Forward(x)
+	ql.SetCalibrating(false)
+	yTrain := ql.Forward(x)
+	ql.SetMode(ModeInfer)
+	yInfer := ql.Forward(x)
+	if !tensor.AllClose(yTrain, yInfer, 1e-4, 1e-4) {
+		t.Fatalf("dual-path mismatch %v", tensor.MaxAbsDiff(yTrain, yInfer))
+	}
+}
+
+func TestQConv2dQATLearns(t *testing.T) {
+	// One SGD step on the fake-quant path must reduce a simple loss,
+	// proving gradients flow through the quantizers.
+	g := tensor.NewRNG(11)
+	conv := nn.NewConv2d(g, 1, 1, 3, 1, 1, 1, false)
+	qc := NewQConv2d(conv, NewSAWB(4, false), NewPACT(4, 4.0))
+	x := g.Uniform(0, 1, 2, 1, 5, 5)
+	target := g.Randn(1, 2, 1, 5, 5)
+	lossOf := func() float32 {
+		y := qc.Forward(x)
+		l, _ := nn.MSELoss(y, target)
+		return l
+	}
+	for step := 0; step < 30; step++ {
+		y := qc.Forward(x)
+		_, grad := nn.MSELoss(y, target)
+		nn.ZeroGrads(qc)
+		qc.Backward(grad)
+		for _, p := range qc.Params() {
+			tensor.AxpyInPlace(p.Data, -0.1, p.Grad)
+		}
+	}
+	qc.SetCalibrating(false)
+	if lossOf() > 0.9 {
+		t.Fatalf("QAT failed to learn: loss %v", lossOf())
+	}
+}
+
+func TestPrepareSwapsLayers(t *testing.T) {
+	g := tensor.NewRNG(12)
+	model := nn.NewSequential(
+		nn.NewConv2d(g, 3, 4, 3, 1, 1, 1, false),
+		nn.NewBatchNorm2d(4),
+		&nn.ReLU{},
+		&nn.Flatten{},
+		nn.NewLinear(g, 4*4*4, 10, true),
+	)
+	cfg := Config{WBits: 8, ABits: 8, Weight: "minmax", Act: "minmax", PerChannel: true}
+	Prepare(model, cfg)
+	convs, lins, _ := QuantizedLayers(model)
+	if len(convs) != 1 || len(lins) != 1 {
+		t.Fatalf("prepare found %d convs %d linears", len(convs), len(lins))
+	}
+	// Forward must still work and produce the right shape.
+	x := g.Uniform(0, 1, 2, 3, 4, 4)
+	y := model.Forward(x)
+	if y.Shape[0] != 2 || y.Shape[1] != 10 {
+		t.Fatalf("shape %v", y.Shape)
+	}
+}
+
+func TestPrepareResidual(t *testing.T) {
+	g := tensor.NewRNG(13)
+	block := nn.NewResidual(
+		nn.NewSequential(nn.NewConv2d(g, 4, 4, 3, 1, 1, 1, false), &nn.ReLU{}),
+		nn.NewConv2d(g, 4, 4, 1, 1, 0, 1, false),
+	)
+	Prepare(block, Config{WBits: 4, ABits: 4, Weight: "sawb", Act: "pact"})
+	convs, _, _ := QuantizedLayers(block)
+	if len(convs) != 2 {
+		t.Fatalf("residual prepare found %d convs", len(convs))
+	}
+}
+
+func TestPrepareAttentionQuantizesMatmuls(t *testing.T) {
+	g := tensor.NewRNG(14)
+	mha := nn.NewMultiHeadAttention(g, 16, 2)
+	qa := PrepareAttention(mha, Config{WBits: 8, ABits: 8, Weight: "minmax", Act: "minmax"})
+	x := g.Randn(0.5, 2, 5, 16)
+	y := qa.Forward(x)
+	if y.Shape[2] != 16 {
+		t.Fatalf("shape %v", y.Shape)
+	}
+	// After a calibration pass, infer mode must be close to train mode.
+	SetCalibrating(qa, false)
+	qa.SetCalibrating(false)
+	yTrain := qa.Forward(x)
+	SetMode(qa, ModeInfer)
+	qa.SetMode(ModeInfer)
+	yInfer := qa.Forward(x)
+	if tensor.MaxAbsDiff(yTrain, yInfer) > 0.15 {
+		t.Fatalf("quantized attention paths diverge: %v", tensor.MaxAbsDiff(yTrain, yInfer))
+	}
+}
+
+func TestSetModeWalksTree(t *testing.T) {
+	g := tensor.NewRNG(15)
+	model := nn.NewSequential(nn.NewConv2d(g, 1, 1, 1, 1, 0, 1, false))
+	Prepare(model, Config{WBits: 8, ABits: 8, Weight: "minmax", Act: "minmax"})
+	SetMode(model, ModeInfer)
+	convs, _, _ := QuantizedLayers(model)
+	if convs[0].Mode != ModeInfer {
+		t.Fatal("SetMode must reach nested QConv2d")
+	}
+	SetMode(model, ModeTrain)
+	if convs[0].Mode != ModeTrain {
+		t.Fatal("SetMode must switch back")
+	}
+}
+
+func TestRegistryCustomQuantizer(t *testing.T) {
+	// The paper's core claim: user-defined quantizers drop in. Register a
+	// trivial 1-bit sign quantizer and run it through a QConv2d.
+	RegisterWeight("sign_test", func(c Config) Quantizer {
+		m := NewMinMax(2, true, false)
+		return m
+	})
+	g := tensor.NewRNG(16)
+	conv := nn.NewConv2d(g, 1, 2, 3, 1, 1, 1, false)
+	cfg := Config{WBits: 2, ABits: 8, Weight: "sign_test", Act: "minmax"}
+	qc := NewQConv2d(conv, cfg.NewWeightQuantizer(), cfg.NewActQuantizer())
+	x := g.Uniform(0, 1, 1, 1, 4, 4)
+	qc.Forward(x)
+	qc.SetCalibrating(false)
+	qc.SetMode(ModeInfer)
+	codes := qc.IntWeights()
+	mn, mx := codes.MinMax()
+	if mn < -2 || mx > 1 {
+		t.Fatalf("2-bit codes out of range [%d,%d]", mn, mx)
+	}
+}
+
+func TestUnknownQuantizerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown quantizer")
+		}
+	}()
+	Config{WBits: 8, ABits: 8, Weight: "nope", Act: "minmax"}.NewWeightQuantizer()
+}
+
+func TestQMatMulDualPath(t *testing.T) {
+	g := tensor.NewRNG(17)
+	qm := NewQMatMul(NewMinMax(8, true, false), NewMinMax(8, true, false), false)
+	a := g.Randn(0.5, 6, 8)
+	b := g.Randn(0.5, 8, 4)
+	qm.Apply(a, b)
+	qm.SetCalibrating(false)
+	yTrain := qm.Apply(a, b)
+	qm.SetMode(ModeInfer)
+	yInfer := qm.Apply(a, b)
+	if !tensor.AllClose(yTrain, yInfer, 1e-3, 1e-3) {
+		t.Fatalf("QMatMul paths diverge %v", tensor.MaxAbsDiff(yTrain, yInfer))
+	}
+}
+
+func TestQuantizedIntRangeProperty(t *testing.T) {
+	// Property over random tensors and bit-widths: integer codes of a
+	// frozen QConv2d always respect the declared range.
+	f := func(seed int64) bool {
+		g := tensor.NewRNG(seed)
+		bits := 2 + int(seed%7)
+		if bits < 2 {
+			bits = 2
+		}
+		conv := nn.NewConv2d(g, 2, 3, 3, 1, 1, 1, false)
+		qc := NewQConv2d(conv, NewMinMax(bits, true, true), NewMinMax(8, false, false))
+		x := g.Uniform(0, 1, 1, 2, 4, 4)
+		qc.Forward(x)
+		qc.SetCalibrating(false)
+		qc.SetMode(ModeInfer)
+		codes := qc.IntWeights()
+		mn, mx := codes.MinMax()
+		return mn >= qc.WQuant.Base().QMin() && mx <= qc.WQuant.Base().QMax()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,674 @@
+package quant
+
+import (
+	"math"
+
+	"torch2chip/internal/nn"
+	"torch2chip/internal/tensor"
+)
+
+// ---------------------------------------------------------------------------
+// MinMax: observer-based uniform quantizer (PTQ). This is the behaviour of
+// OpenVINO's default MinMax calibration and of the PyTorch eager-mode
+// observer: the scale follows the (EMA of the) observed min/max range.
+// ---------------------------------------------------------------------------
+
+// MinMax quantizes with a scale derived from observed extrema. Symmetric
+// for signed data, affine (with zero point) for unsigned data.
+type MinMax struct {
+	*QBase
+	// EMA smoothing for activation observers; 1 means "last batch wins".
+	Momentum float32
+	lo, hi   float32
+	seen     bool
+	mask     []bool
+}
+
+// NewMinMax builds a MinMax quantizer.
+func NewMinMax(nbits int, signed, perChannel bool) *MinMax {
+	validateBits(nbits)
+	return &MinMax{QBase: NewQBase(nbits, signed, perChannel), Momentum: 0.9}
+}
+
+// Observe updates the tracked range and recomputes scale/zero.
+func (m *MinMax) Observe(x *tensor.Tensor) {
+	if m.PerChannel {
+		m.observePerChannel(x)
+		return
+	}
+	lo, hi := x.Min(), x.Max()
+	if !m.seen {
+		m.lo, m.hi = lo, hi
+		m.seen = true
+	} else {
+		m.lo = m.Momentum*m.lo + (1-m.Momentum)*lo
+		m.hi = m.Momentum*m.hi + (1-m.Momentum)*hi
+	}
+	m.recompute()
+}
+
+func (m *MinMax) observePerChannel(x *tensor.Tensor) {
+	ch := x.Shape[0]
+	chSize := len(x.Data) / ch
+	scale := make([]float32, ch)
+	zero := make([]int64, ch)
+	for c := 0; c < ch; c++ {
+		seg := x.Data[c*chSize : (c+1)*chSize]
+		var amax float32
+		for _, v := range seg {
+			if v < 0 {
+				v = -v
+			}
+			if v > amax {
+				amax = v
+			}
+		}
+		scale[c] = symmetricScale(amax, m.NBits)
+		zero[c] = 0
+	}
+	m.SetScale(scale, zero)
+}
+
+func (m *MinMax) recompute() {
+	if m.Signed {
+		amax := m.hi
+		if -m.lo > amax {
+			amax = -m.lo
+		}
+		m.SetScale([]float32{symmetricScale(amax, m.NBits)}, []int64{0})
+		return
+	}
+	// Affine unsigned: scale = (hi-lo)/(2^n-1), zero = round(-lo/scale).
+	lo := m.lo
+	if lo > 0 {
+		lo = 0
+	}
+	hi := m.hi
+	if hi < lo+1e-8 {
+		hi = lo + 1e-8
+	}
+	s := (hi - lo) / float32(m.QMax())
+	z := int64(math.Round(float64(-lo / s)))
+	m.SetScale([]float32{s}, []int64{z})
+}
+
+// symmetricScale returns amax / qmax with a floor to avoid zero scales.
+func symmetricScale(amax float32, nbits int) float32 {
+	qmax := float32(int64(1)<<(nbits-1) - 1)
+	if amax < 1e-8 {
+		amax = 1e-8
+	}
+	return amax / qmax
+}
+
+// TrainForward observes (when calibrating) and fake-quantizes.
+func (m *MinMax) TrainForward(x *tensor.Tensor) *tensor.Tensor {
+	if m.Calibrating {
+		m.Observe(x)
+	}
+	out, mask := m.FakeQuant(x)
+	m.mask = mask
+	return out
+}
+
+// BackwardInput is the straight-through estimator gated to the clip range.
+func (m *MinMax) BackwardInput(grad *tensor.Tensor) *tensor.Tensor {
+	return steGate(grad, m.mask)
+}
+
+// Params returns no learnable parameters.
+func (m *MinMax) Params() []*nn.Param { return nil }
+
+func steGate(grad *tensor.Tensor, mask []bool) *tensor.Tensor {
+	out := tensor.New(grad.Shape...)
+	for i, g := range grad.Data {
+		if mask == nil || mask[i] {
+			out.Data[i] = g
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// SAWB: statistics-aware weight binning (Choi et al., 2019). The optimal
+// symmetric clip is a closed form of the first and second moments of the
+// weight distribution; coefficients depend on bit-width.
+// ---------------------------------------------------------------------------
+
+// SAWB is a weight quantizer whose clipping threshold is computed from
+// weight statistics at every training-path call.
+type SAWB struct {
+	*QBase
+	mask []bool
+}
+
+// sawbCoef maps bit-width to (c1, c2) in alpha* = c1·sqrt(E[w²]) − c2·E[|w|].
+var sawbCoef = map[int][2]float32{
+	2: {3.12, 2.064},
+	3: {7.877, 6.205},
+	4: {12.68, 12.80},
+	8: {31.76, 35.04},
+}
+
+// NewSAWB builds a SAWB weight quantizer.
+func NewSAWB(nbits int, perChannel bool) *SAWB {
+	validateBits(nbits)
+	return &SAWB{QBase: NewQBase(nbits, true, perChannel)}
+}
+
+func (s *SAWB) clip(data []float32) float32 {
+	var e1, e2 float64
+	for _, v := range data {
+		a := float64(v)
+		if a < 0 {
+			a = -a
+		}
+		e1 += a
+		e2 += a * a
+	}
+	n := float64(len(data))
+	e1 /= n
+	e2 /= n
+	co, ok := sawbCoef[s.NBits]
+	if !ok {
+		// Fallback: 3σ clipping for uncommon widths.
+		return float32(3 * math.Sqrt(e2))
+	}
+	alpha := float64(co[0])*math.Sqrt(e2) - float64(co[1])*e1
+	// The closed form assumes Gaussian statistics over many weights; on
+	// tiny groups (per-channel depthwise kernels have 9 entries) the two
+	// moments nearly cancel and the clip degenerates. Floor it at the
+	// RMS, which the closed form always exceeds for healthy statistics.
+	if rms := math.Sqrt(e2); alpha < rms {
+		alpha = rms
+	}
+	return float32(alpha)
+}
+
+// TrainForward recomputes the statistics-aware clip and fake-quantizes.
+func (s *SAWB) TrainForward(x *tensor.Tensor) *tensor.Tensor {
+	if s.Calibrating {
+		if s.PerChannel {
+			ch := x.Shape[0]
+			chSize := len(x.Data) / ch
+			scale := make([]float32, ch)
+			zero := make([]int64, ch)
+			for c := 0; c < ch; c++ {
+				scale[c] = symmetricScale(s.clip(x.Data[c*chSize:(c+1)*chSize]), s.NBits)
+			}
+			s.SetScale(scale, zero)
+		} else {
+			s.SetScale([]float32{symmetricScale(s.clip(x.Data), s.NBits)}, []int64{0})
+		}
+	}
+	out, mask := s.FakeQuant(x)
+	s.mask = mask
+	return out
+}
+
+// BackwardInput applies the straight-through estimator.
+func (s *SAWB) BackwardInput(grad *tensor.Tensor) *tensor.Tensor {
+	return steGate(grad, s.mask)
+}
+
+// Params returns no learnable parameters.
+func (s *SAWB) Params() []*nn.Param { return nil }
+
+// ---------------------------------------------------------------------------
+// PACT: parameterized clipping activation (Choi et al., 2019 companion).
+// The unsigned clip alpha is learned with the task loss: dL/dalpha receives
+// the upstream gradient wherever the activation saturated.
+// ---------------------------------------------------------------------------
+
+// PACT is an activation quantizer with a learnable clipping threshold.
+type PACT struct {
+	*QBase
+	Alpha *nn.Param
+	inZ   *tensor.Tensor
+}
+
+// NewPACT builds a PACT activation quantizer with initial clip alpha0.
+func NewPACT(nbits int, alpha0 float32) *PACT {
+	validateBits(nbits)
+	p := &PACT{QBase: NewQBase(nbits, false, false)}
+	p.Alpha = nn.NewParam("pact.alpha", tensor.FromSlice([]float32{alpha0}, 1))
+	p.Alpha.NoDecay = false // PACT regularizes alpha with L2 decay
+	return p
+}
+
+// TrainForward clips to [0, alpha] and fake-quantizes with scale alpha/qmax.
+// The learnable clip is kept inside [0.05, 20] — the saturated-gradient
+// update can otherwise run the clip to zero in a handful of steps on
+// short schedules, collapsing every activation to the same code.
+func (p *PACT) TrainForward(x *tensor.Tensor) *tensor.Tensor {
+	p.inZ = x
+	if p.Alpha.Data.Data[0] < 0.05 {
+		p.Alpha.Data.Data[0] = 0.05
+	}
+	if p.Alpha.Data.Data[0] > 20 {
+		p.Alpha.Data.Data[0] = 20
+	}
+	alpha := p.Alpha.Data.Data[0]
+	s := alpha / float32(p.QMax())
+	p.SetScale([]float32{s}, []int64{0})
+	out, _ := p.FakeQuant(tensor.Clamp(x, 0, alpha))
+	return out
+}
+
+// BackwardInput routes gradient: pass-through on (0, alpha), alpha gets the
+// saturated gradient mass.
+func (p *PACT) BackwardInput(grad *tensor.Tensor) *tensor.Tensor {
+	alpha := p.Alpha.Data.Data[0]
+	out := tensor.New(grad.Shape...)
+	var ga float64
+	for i, g := range grad.Data {
+		v := p.inZ.Data[i]
+		switch {
+		case v <= 0:
+			// no gradient
+		case v >= alpha:
+			ga += float64(g)
+		default:
+			out.Data[i] = g
+		}
+	}
+	p.Alpha.Grad.Data[0] += float32(ga)
+	return out
+}
+
+// Params exposes alpha to the optimizer.
+func (p *PACT) Params() []*nn.Param { return []*nn.Param{p.Alpha} }
+
+// ---------------------------------------------------------------------------
+// RCF: reinforced/learnable clipping for QAT of weights and activations
+// (following the clipping-function formulation of the additive
+// powers-of-two work, Li et al. 2020). Both the signed weight clip and the
+// unsigned activation clip are trained with straight-through gradients,
+// which keeps the integer mapping uniform and therefore hardware-exact.
+// ---------------------------------------------------------------------------
+
+// RCF is a symmetric quantizer with a learnable clipping threshold usable
+// for weights (signed) and activations (unsigned).
+type RCF struct {
+	*QBase
+	Alpha *nn.Param
+	inZ   *tensor.Tensor
+}
+
+// NewRCF builds an RCF quantizer.
+func NewRCF(nbits int, signed bool, alpha0 float32) *RCF {
+	validateBits(nbits)
+	r := &RCF{QBase: NewQBase(nbits, signed, false)}
+	r.Alpha = nn.NewParam("rcf.alpha", tensor.FromSlice([]float32{alpha0}, 1))
+	r.Alpha.NoDecay = true
+	return r
+}
+
+// TrainForward clips to ±alpha (or [0,alpha]) and fake-quantizes, with
+// the same clip-range guard as PACT.
+func (r *RCF) TrainForward(x *tensor.Tensor) *tensor.Tensor {
+	r.inZ = x
+	if r.Alpha.Data.Data[0] < 0.05 {
+		r.Alpha.Data.Data[0] = 0.05
+	}
+	if r.Alpha.Data.Data[0] > 20 {
+		r.Alpha.Data.Data[0] = 20
+	}
+	alpha := r.Alpha.Data.Data[0]
+	s := alpha / float32(r.QMax())
+	r.SetScale([]float32{s}, []int64{0})
+	lo := float32(0)
+	if r.Signed {
+		lo = -alpha
+	}
+	out, _ := r.FakeQuant(tensor.Clamp(x, lo, alpha))
+	return out
+}
+
+// BackwardInput passes gradient inside the clip range and accumulates the
+// clip-boundary gradient into alpha (±1 at the saturated tails).
+func (r *RCF) BackwardInput(grad *tensor.Tensor) *tensor.Tensor {
+	alpha := r.Alpha.Data.Data[0]
+	out := tensor.New(grad.Shape...)
+	var ga float64
+	lo := float32(0)
+	if r.Signed {
+		lo = -alpha
+	}
+	for i, g := range grad.Data {
+		v := r.inZ.Data[i]
+		switch {
+		case v >= alpha:
+			ga += float64(g)
+		case v <= lo:
+			if r.Signed {
+				ga -= float64(g)
+			}
+		default:
+			out.Data[i] = g
+		}
+	}
+	r.Alpha.Grad.Data[0] += float32(ga)
+	return out
+}
+
+// Params exposes alpha.
+func (r *RCF) Params() []*nn.Param { return []*nn.Param{r.Alpha} }
+
+// ---------------------------------------------------------------------------
+// LSQ: learned step size quantization (Esser et al.). The scale itself is
+// the learnable parameter, with the canonical gradient and a 1/sqrt(N·qmax)
+// gradient scale for stability.
+// ---------------------------------------------------------------------------
+
+// LSQ learns the quantization step directly.
+type LSQ struct {
+	*QBase
+	Step *nn.Param
+	inZ  *tensor.Tensor
+	init bool
+}
+
+// NewLSQ builds an LSQ quantizer.
+func NewLSQ(nbits int, signed bool) *LSQ {
+	validateBits(nbits)
+	l := &LSQ{QBase: NewQBase(nbits, signed, false)}
+	l.Step = nn.NewParam("lsq.step", tensor.FromSlice([]float32{0.1}, 1))
+	l.Step.NoDecay = true
+	return l
+}
+
+// TrainForward fake-quantizes with the learned step, initializing it from
+// the first batch statistics (2·E|x|/sqrt(qmax), the LSQ heuristic).
+func (l *LSQ) TrainForward(x *tensor.Tensor) *tensor.Tensor {
+	l.inZ = x
+	if !l.init {
+		var e1 float64
+		for _, v := range x.Data {
+			if v < 0 {
+				v = -v
+			}
+			e1 += float64(v)
+		}
+		e1 /= float64(len(x.Data))
+		s := float32(2 * e1 / math.Sqrt(float64(l.QMax())))
+		if s < 1e-6 {
+			s = 1e-6
+		}
+		l.Step.Data.Data[0] = s
+		l.init = true
+	}
+	s := l.Step.Data.Data[0]
+	if s < 1e-6 {
+		s = 1e-6
+	}
+	l.SetScale([]float32{s}, []int64{0})
+	out, _ := l.FakeQuant(x)
+	return out
+}
+
+// BackwardInput computes both the STE input gradient and the step-size
+// gradient.
+func (l *LSQ) BackwardInput(grad *tensor.Tensor) *tensor.Tensor {
+	s := l.Step.Data.Data[0]
+	if s < 1e-6 {
+		s = 1e-6
+	}
+	qmin, qmax := float64(l.QMin()), float64(l.QMax())
+	gscale := 1 / math.Sqrt(float64(len(l.inZ.Data))*qmax)
+	out := tensor.New(grad.Shape...)
+	var gs float64
+	for i, g := range grad.Data {
+		v := float64(l.inZ.Data[i]) / float64(s)
+		switch {
+		case v <= qmin:
+			gs += float64(g) * qmin
+		case v >= qmax:
+			gs += float64(g) * qmax
+		default:
+			out.Data[i] = g
+			gs += float64(g) * (math.Round(v) - v)
+		}
+	}
+	l.Step.Grad.Data[0] += float32(gs * gscale)
+	return out
+}
+
+// Params exposes the step.
+func (l *LSQ) Params() []*nn.Param { return []*nn.Param{l.Step} }
+
+// ---------------------------------------------------------------------------
+// AdaRound: adaptive rounding for PTQ (Nagel et al., 2020). Rounding is
+// learned per weight through a rectified-sigmoid offset h(V) added to the
+// floor of W/S; at inference the offset hardens to {0,1} by sign(V)
+// (Eq. 5–6 of the paper).
+// ---------------------------------------------------------------------------
+
+// AdaRound is a PTQ weight quantizer with learnable rounding.
+type AdaRound struct {
+	*QBase
+	V     *nn.Param // rounding logits, same shape as the weight
+	wRef  *tensor.Tensor
+	Beta  float32 // regularizer sharpness
+	ready bool
+}
+
+// NewAdaRound builds an AdaRound quantizer; scale comes from the weight's
+// absolute maximum (per-channel optional).
+func NewAdaRound(nbits int, perChannel bool) *AdaRound {
+	validateBits(nbits)
+	return &AdaRound{QBase: NewQBase(nbits, true, perChannel), Beta: 2}
+}
+
+// rectified sigmoid: h(v) = clip(sigmoid(v)·1.2 − 0.1, 0, 1)
+func rectSigmoid(v float32) float32 {
+	h := float32(1/(1+math.Exp(-float64(v))))*1.2 - 0.1
+	if h < 0 {
+		return 0
+	}
+	if h > 1 {
+		return 1
+	}
+	return h
+}
+
+// attach initializes V so that soft rounding starts at nearest rounding.
+func (a *AdaRound) attach(w *tensor.Tensor) {
+	a.wRef = w
+	if a.PerChannel {
+		ch := w.Shape[0]
+		chSize := len(w.Data) / ch
+		scale := make([]float32, ch)
+		zero := make([]int64, ch)
+		for c := 0; c < ch; c++ {
+			var amax float32
+			for _, v := range w.Data[c*chSize : (c+1)*chSize] {
+				if v < 0 {
+					v = -v
+				}
+				if v > amax {
+					amax = v
+				}
+			}
+			scale[c] = symmetricScale(amax, a.NBits)
+		}
+		a.SetScale(scale, zero)
+	} else {
+		a.SetScale([]float32{symmetricScale(w.AbsMax(), a.NBits)}, []int64{0})
+	}
+	v := tensor.New(w.Shape...)
+	chSize := perChannelSize(w, a.QBase)
+	for i, wv := range w.Data {
+		s, _ := a.scaleFor(i, chSize)
+		frac := float64(wv/s) - math.Floor(float64(wv/s))
+		// invert rect-sigmoid so h(V)=frac
+		p := (frac + 0.1) / 1.2
+		if p < 1e-4 {
+			p = 1e-4
+		}
+		if p > 1-1e-4 {
+			p = 1 - 1e-4
+		}
+		v.Data[i] = float32(-math.Log(1/p - 1))
+	}
+	a.V = nn.NewParam("adaround.v", v)
+	a.V.NoDecay = true
+	a.ready = true
+}
+
+// TrainForward returns the soft-rounded fake-quantized weight
+// floor(W/S)+h(V), clamped and rescaled.
+func (a *AdaRound) TrainForward(w *tensor.Tensor) *tensor.Tensor {
+	if !a.ready {
+		a.attach(w)
+	}
+	out := tensor.New(w.Shape...)
+	chSize := perChannelSize(w, a.QBase)
+	qmin, qmax := float32(a.QMin()), float32(a.QMax())
+	for i, wv := range w.Data {
+		s, _ := a.scaleFor(i, chSize)
+		c := float32(math.Floor(float64(wv/s))) + rectSigmoid(a.V.Data.Data[i])
+		if c < qmin {
+			c = qmin
+		}
+		if c > qmax {
+			c = qmax
+		}
+		out.Data[i] = c * s
+	}
+	return out
+}
+
+// BackwardInput routes the weight gradient to the rounding logits via the
+// rectified-sigmoid derivative and passes STE to the weight.
+func (a *AdaRound) BackwardInput(grad *tensor.Tensor) *tensor.Tensor {
+	chSize := perChannelSize(a.wRef, a.QBase)
+	out := tensor.New(grad.Shape...)
+	for i, g := range grad.Data {
+		s, _ := a.scaleFor(i, chSize)
+		v := a.V.Data.Data[i]
+		sig := float32(1 / (1 + math.Exp(-float64(v))))
+		h := sig*1.2 - 0.1
+		if h > 0 && h < 1 {
+			a.V.Grad.Data[i] += g * s * 1.2 * sig * (1 - sig)
+		}
+		out.Data[i] = g
+	}
+	return out
+}
+
+// RegLoss returns the rounding regularizer Σ 1−|2h−1|^β that anneals soft
+// rounding to binary, and accumulates its gradient into V.
+func (a *AdaRound) RegLoss(weight float32) float32 {
+	if !a.ready {
+		return 0
+	}
+	var loss float64
+	for i, v := range a.V.Data.Data {
+		sig := float32(1 / (1 + math.Exp(-float64(v))))
+		h := sig*1.2 - 0.1
+		if h < 0 {
+			h = 0
+		}
+		if h > 1 {
+			h = 1
+		}
+		t := math.Abs(float64(2*h - 1))
+		loss += 1 - math.Pow(t, float64(a.Beta))
+		if h > 0 && h < 1 && t > 0 {
+			// d/dh (1-|2h-1|^β) = -β|2h-1|^(β-1)·sign(2h-1)·2
+			dh := -float64(a.Beta) * math.Pow(t, float64(a.Beta)-1) * 2
+			if 2*h-1 < 0 {
+				dh = -dh
+			}
+			a.V.Grad.Data[i] += weight * float32(dh) * 1.2 * sig * (1 - sig)
+		}
+	}
+	return weight * float32(loss)
+}
+
+// Quantize hardens rounding: floor(W/S) + 1{V≥0} (paper Eq. 6).
+func (a *AdaRound) Quantize(w *tensor.Tensor) *tensor.IntTensor {
+	out := tensor.NewInt(w.Shape...)
+	chSize := perChannelSize(w, a.QBase)
+	qmin, qmax := a.QMin(), a.QMax()
+	for i, wv := range w.Data {
+		s, _ := a.scaleFor(i, chSize)
+		c := int64(math.Floor(float64(wv / s)))
+		if a.ready && a.V.Data.Data[i] >= 0 {
+			c++
+		}
+		if c < qmin {
+			c = qmin
+		}
+		if c > qmax {
+			c = qmax
+		}
+		out.Data[i] = c
+	}
+	return out
+}
+
+// Params exposes the rounding logits.
+func (a *AdaRound) Params() []*nn.Param {
+	if a.V == nil {
+		return nil
+	}
+	return []*nn.Param{a.V}
+}
+
+// ---------------------------------------------------------------------------
+// QDrop (Wei et al., 2022): during PTQ reconstruction the activation
+// quantization is randomly dropped per element, exposing the optimization
+// to a mixture of quantized and clean activations, which flattens the loss
+// landscape at very low precision.
+// ---------------------------------------------------------------------------
+
+// QDrop is an activation quantizer that randomly bypasses quantization
+// during the PTQ training path.
+type QDrop struct {
+	*MinMax
+	// DropProb is the probability an element keeps its float value.
+	DropProb float32
+	RNG      *tensor.RNG
+	drop     []bool
+}
+
+// NewQDrop builds a QDrop activation quantizer.
+func NewQDrop(nbits int, signed bool, dropProb float32, rng *tensor.RNG) *QDrop {
+	return &QDrop{MinMax: NewMinMax(nbits, signed, false), DropProb: dropProb, RNG: rng}
+}
+
+// TrainForward quantizes elementwise with random passthrough.
+func (q *QDrop) TrainForward(x *tensor.Tensor) *tensor.Tensor {
+	if q.Calibrating {
+		q.Observe(x)
+	}
+	fq, mask := q.FakeQuant(x)
+	q.mask = mask
+	if cap(q.drop) < len(x.Data) {
+		q.drop = make([]bool, len(x.Data))
+	}
+	q.drop = q.drop[:len(x.Data)]
+	for i := range x.Data {
+		if q.RNG != nil && q.RNG.Float32() < q.DropProb {
+			fq.Data[i] = x.Data[i]
+			q.drop[i] = true
+		} else {
+			q.drop[i] = false
+		}
+	}
+	return fq
+}
+
+// BackwardInput passes gradient through dropped elements unconditionally
+// and through kept elements with the STE gate.
+func (q *QDrop) BackwardInput(grad *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(grad.Shape...)
+	for i, g := range grad.Data {
+		if q.drop[i] || q.mask == nil || q.mask[i] {
+			out.Data[i] = g
+		}
+	}
+	return out
+}

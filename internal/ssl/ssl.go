@@ -1,0 +1,141 @@
+// Package ssl implements the self-supervised pre-training recipe the
+// paper ships for powerful foundation-model compression: the Barlow Twins
+// redundancy-reduction loss (Zbontar et al., 2021) with the
+// cross-distillation (XD) correlation term of Eq. 16 (Meng et al., 2023).
+// Both losses operate on batch-normalized embeddings of two augmented
+// views and return analytic gradients for the explicit backward pass.
+package ssl
+
+import (
+	"math"
+
+	"torch2chip/internal/nn"
+	"torch2chip/internal/tensor"
+)
+
+// normalized holds a batch-normalized embedding with the statistics needed
+// to backprop through the normalization.
+type normalized struct {
+	zn    *tensor.Tensor
+	ivstd []float32
+}
+
+// normalize standardizes each embedding dimension over the batch.
+func normalize(z *tensor.Tensor) *normalized {
+	n, d := z.Shape[0], z.Shape[1]
+	out := &normalized{zn: tensor.New(n, d), ivstd: make([]float32, d)}
+	for j := 0; j < d; j++ {
+		var sum, sq float64
+		for i := 0; i < n; i++ {
+			v := float64(z.Data[i*d+j])
+			sum += v
+			sq += v * v
+		}
+		mu := sum / float64(n)
+		va := sq/float64(n) - mu*mu
+		if va < 1e-8 {
+			va = 1e-8
+		}
+		iv := 1 / math.Sqrt(va)
+		out.ivstd[j] = float32(iv)
+		for i := 0; i < n; i++ {
+			out.zn.Data[i*d+j] = float32((float64(z.Data[i*d+j]) - mu) * iv)
+		}
+	}
+	return out
+}
+
+// backNormalize maps a gradient w.r.t. the normalized embedding back to
+// the raw embedding (per-dimension batch-norm backward).
+func (nm *normalized) backNormalize(g *tensor.Tensor) *tensor.Tensor {
+	n, d := g.Shape[0], g.Shape[1]
+	out := tensor.New(n, d)
+	for j := 0; j < d; j++ {
+		var mg, mgz float64
+		for i := 0; i < n; i++ {
+			mg += float64(g.Data[i*d+j])
+			mgz += float64(g.Data[i*d+j]) * float64(nm.zn.Data[i*d+j])
+		}
+		mg /= float64(n)
+		mgz /= float64(n)
+		iv := nm.ivstd[j]
+		for i := 0; i < n; i++ {
+			out.Data[i*d+j] = iv * (g.Data[i*d+j] - float32(mg) - nm.zn.Data[i*d+j]*float32(mgz))
+		}
+	}
+	return out
+}
+
+// crossCorrelation computes C = Aᵀ·B / N for normalized embeddings.
+func crossCorrelation(a, b *tensor.Tensor) *tensor.Tensor {
+	n := a.Shape[0]
+	c := tensor.MatMul(tensor.Transpose(a), b)
+	tensor.ScaleInPlace(c, 1/float32(n))
+	return c
+}
+
+// BarlowLoss computes the Barlow Twins loss Σ(1−C_ii)² + λΣ_{i≠j}C_ij² on
+// two view embeddings z1, z2 of shape [N, D], returning the loss and the
+// gradients with respect to z1 and z2.
+func BarlowLoss(z1, z2 *tensor.Tensor, lambda float32) (float32, *tensor.Tensor, *tensor.Tensor) {
+	n, d := z1.Shape[0], z1.Shape[1]
+	n1 := normalize(z1)
+	n2 := normalize(z2)
+	c := crossCorrelation(n1.zn, n2.zn)
+	var loss float64
+	gc := tensor.New(d, d)
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			cij := c.Data[i*d+j]
+			if i == j {
+				diff := 1 - cij
+				loss += float64(diff) * float64(diff)
+				gc.Data[i*d+j] = -2 * diff
+			} else {
+				loss += float64(lambda) * float64(cij) * float64(cij)
+				gc.Data[i*d+j] = 2 * lambda * cij
+			}
+		}
+	}
+	// dL/dA = B·Gᵀ/N, dL/dB = A·G/N for C = AᵀB/N.
+	inv := 1 / float32(n)
+	ga := tensor.MatMul(n2.zn, tensor.Transpose(gc))
+	tensor.ScaleInPlace(ga, inv)
+	gb := tensor.MatMul(n1.zn, gc)
+	tensor.ScaleInPlace(gb, inv)
+	return float32(loss), n1.backNormalize(ga), n2.backNormalize(gb)
+}
+
+// XDLoss is the cross-distillation correlation term of Eq. 16 applied
+// between the encoder features of the two views (the lightweight-model
+// adaptation of Meng et al. 2023; see DESIGN.md): the diagonal of the
+// cross-view feature correlation is pulled to 1 and the off-diagonal
+// redundancy is suppressed. Returns the loss and gradients w.r.t. both
+// feature tensors.
+func XDLoss(h1, h2 *tensor.Tensor, lambda float32) (float32, *tensor.Tensor, *tensor.Tensor) {
+	return BarlowLoss(h1, h2, lambda)
+}
+
+// Projector is the two-layer MLP head appended to the encoder during SSL
+// pre-training and discarded afterwards.
+type Projector struct {
+	Net *nn.Sequential
+}
+
+// NewProjector builds the projection head encoderDim → projDim.
+func NewProjector(g *tensor.RNG, encoderDim, projDim int) *Projector {
+	return &Projector{Net: nn.NewSequential(
+		nn.NewLinear(g, encoderDim, projDim, true),
+		&nn.ReLU{},
+		nn.NewLinear(g, projDim, projDim, true),
+	)}
+}
+
+// Forward projects features.
+func (p *Projector) Forward(h *tensor.Tensor) *tensor.Tensor { return p.Net.Forward(h) }
+
+// Backward propagates the embedding gradient back to the features.
+func (p *Projector) Backward(g *tensor.Tensor) *tensor.Tensor { return p.Net.Backward(g) }
+
+// Params returns the projector parameters.
+func (p *Projector) Params() []*nn.Param { return p.Net.Params() }

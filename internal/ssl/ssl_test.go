@@ -1,0 +1,127 @@
+package ssl
+
+import (
+	"math"
+	"testing"
+
+	"torch2chip/internal/tensor"
+)
+
+func TestNormalizeStatistics(t *testing.T) {
+	g := tensor.NewRNG(1)
+	z := g.Randn(2, 32, 8)
+	nm := normalize(z)
+	for j := 0; j < 8; j++ {
+		var sum, sq float64
+		for i := 0; i < 32; i++ {
+			v := float64(nm.zn.Data[i*8+j])
+			sum += v
+			sq += v * v
+		}
+		mu := sum / 32
+		va := sq/32 - mu*mu
+		if math.Abs(mu) > 1e-5 || math.Abs(va-1) > 1e-3 {
+			t.Fatalf("dim %d: mean %v var %v", j, mu, va)
+		}
+	}
+}
+
+func TestBarlowLossZeroAtIdentityCorrelation(t *testing.T) {
+	// Identical views with decorrelated dims → C = I → loss ≈ 0.
+	g := tensor.NewRNG(2)
+	z := g.Randn(1, 256, 4) // large batch decorrelates random dims
+	loss, _, _ := BarlowLoss(z, z, 0.005)
+	if loss > 0.05 {
+		t.Fatalf("loss for identical decorrelated views = %v", loss)
+	}
+}
+
+func TestBarlowLossPositiveForIndependentViews(t *testing.T) {
+	g := tensor.NewRNG(3)
+	z1 := g.Randn(1, 64, 8)
+	z2 := g.Randn(1, 64, 8)
+	loss, _, _ := BarlowLoss(z1, z2, 0.005)
+	// Independent views have C_ii ≈ 0 → diagonal loss ≈ D.
+	if loss < 4 {
+		t.Fatalf("independent views loss = %v, want ≈8", loss)
+	}
+}
+
+func TestBarlowGradientNumerical(t *testing.T) {
+	g := tensor.NewRNG(4)
+	z1 := g.Randn(1, 6, 4)
+	z2 := g.Randn(1, 6, 4)
+	const lambda = 0.1
+	_, g1, g2 := BarlowLoss(z1, z2, lambda)
+	const eps = 1e-2
+	for _, idx := range []int{0, 7, 23} {
+		orig := z1.Data[idx]
+		z1.Data[idx] = orig + eps
+		lp, _, _ := BarlowLoss(z1, z2, lambda)
+		z1.Data[idx] = orig - eps
+		lm, _, _ := BarlowLoss(z1, z2, lambda)
+		z1.Data[idx] = orig
+		num := float64(lp-lm) / (2 * eps)
+		if math.Abs(num-float64(g1.Data[idx])) > 2e-2*(1+math.Abs(num)) {
+			t.Fatalf("g1[%d]: numerical %v analytic %v", idx, num, g1.Data[idx])
+		}
+	}
+	for _, idx := range []int{3, 11} {
+		orig := z2.Data[idx]
+		z2.Data[idx] = orig + eps
+		lp, _, _ := BarlowLoss(z1, z2, lambda)
+		z2.Data[idx] = orig - eps
+		lm, _, _ := BarlowLoss(z1, z2, lambda)
+		z2.Data[idx] = orig
+		num := float64(lp-lm) / (2 * eps)
+		if math.Abs(num-float64(g2.Data[idx])) > 2e-2*(1+math.Abs(num)) {
+			t.Fatalf("g2[%d]: numerical %v analytic %v", idx, num, g2.Data[idx])
+		}
+	}
+}
+
+func TestBarlowGradientDescends(t *testing.T) {
+	// Descending the analytic gradient must reduce the loss.
+	g := tensor.NewRNG(5)
+	z1 := g.Randn(1, 32, 6)
+	z2 := g.Randn(1, 32, 6)
+	first, _, _ := BarlowLoss(z1, z2, 0.01)
+	loss := first
+	for i := 0; i < 50; i++ {
+		var g1, g2 *tensor.Tensor
+		loss, g1, g2 = BarlowLoss(z1, z2, 0.01)
+		tensor.AxpyInPlace(z1, -0.5, g1)
+		tensor.AxpyInPlace(z2, -0.5, g2)
+	}
+	if loss >= first/2 {
+		t.Fatalf("gradient descent failed: %v → %v", first, loss)
+	}
+}
+
+func TestProjectorShapes(t *testing.T) {
+	g := tensor.NewRNG(6)
+	p := NewProjector(g, 16, 32)
+	h := g.Randn(1, 8, 16)
+	z := p.Forward(h)
+	if z.Shape[0] != 8 || z.Shape[1] != 32 {
+		t.Fatalf("shape %v", z.Shape)
+	}
+	gh := p.Backward(g.Randn(1, 8, 32))
+	if gh.Shape[1] != 16 {
+		t.Fatalf("grad shape %v", gh.Shape)
+	}
+	if len(p.Params()) != 4 {
+		t.Fatalf("params %d", len(p.Params()))
+	}
+}
+
+func TestXDLossSymmetricAPI(t *testing.T) {
+	g := tensor.NewRNG(7)
+	h1 := g.Randn(1, 16, 8)
+	h2 := g.Randn(1, 16, 8)
+	l1, _, _ := XDLoss(h1, h2, 0.01)
+	l2, _, _ := XDLoss(h2, h1, 0.01)
+	if math.Abs(float64(l1-l2)) > 1e-4 {
+		t.Fatalf("XD loss asymmetric: %v vs %v", l1, l2)
+	}
+}

@@ -1,0 +1,280 @@
+package tensor
+
+import "fmt"
+
+// ConvParams describes a 2-D convolution. Tensors are NCHW; weights are
+// [outC, inC/groups, kH, kW].
+type ConvParams struct {
+	Stride  int
+	Padding int
+	Groups  int
+}
+
+// ConvOutSize returns the output spatial size for input size in.
+func (p ConvParams) ConvOutSize(in, k int) int {
+	return (in+2*p.Padding-k)/p.Stride + 1
+}
+
+func (p ConvParams) check() ConvParams {
+	if p.Stride <= 0 {
+		p.Stride = 1
+	}
+	if p.Groups <= 0 {
+		p.Groups = 1
+	}
+	return p
+}
+
+// Im2Col unrolls x [N,C,H,W] into a matrix of shape
+// [N*outH*outW, C*kH*kW] so that convolution becomes GEMM.
+func Im2Col(x *Tensor, kH, kW int, p ConvParams) *Tensor {
+	p = p.check()
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := p.ConvOutSize(h, kH), p.ConvOutSize(w, kW)
+	cols := New(n*oh*ow, c*kH*kW)
+	colW := c * kH * kW
+	parallelFor(n, n*c*oh*ow*kH*kW >= 1<<18, func(ni int) {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				row := cols.Data[((ni*oh+oy)*ow+ox)*colW : ((ni*oh+oy)*ow+ox+1)*colW]
+				ci := 0
+				for ch := 0; ch < c; ch++ {
+					base := (ni*c + ch) * h * w
+					for ky := 0; ky < kH; ky++ {
+						iy := oy*p.Stride - p.Padding + ky
+						for kx := 0; kx < kW; kx++ {
+							ix := ox*p.Stride - p.Padding + kx
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								row[ci] = x.Data[base+iy*w+ix]
+							}
+							ci++
+						}
+					}
+				}
+			}
+		}
+	})
+	return cols
+}
+
+// Col2Im scatters gradient columns back to the input layout; the adjoint of
+// Im2Col.
+func Col2Im(cols *Tensor, n, c, h, w, kH, kW int, p ConvParams) *Tensor {
+	p = p.check()
+	oh, ow := p.ConvOutSize(h, kH), p.ConvOutSize(w, kW)
+	x := New(n, c, h, w)
+	colW := c * kH * kW
+	for ni := 0; ni < n; ni++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				row := cols.Data[((ni*oh+oy)*ow+ox)*colW : ((ni*oh+oy)*ow+ox+1)*colW]
+				ci := 0
+				for ch := 0; ch < c; ch++ {
+					base := (ni*c + ch) * h * w
+					for ky := 0; ky < kH; ky++ {
+						iy := oy*p.Stride - p.Padding + ky
+						for kx := 0; kx < kW; kx++ {
+							ix := ox*p.Stride - p.Padding + kx
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								x.Data[base+iy*w+ix] += row[ci]
+							}
+							ci++
+						}
+					}
+				}
+			}
+		}
+	}
+	return x
+}
+
+// Conv2d computes a grouped 2-D convolution of x [N,C,H,W] with weights
+// w [O, C/groups, kH, kW] and optional bias [O], returning [N,O,oH,oW].
+func Conv2d(x, w, bias *Tensor, p ConvParams) *Tensor {
+	p = p.check()
+	if len(x.Shape) != 4 || len(w.Shape) != 4 {
+		panic(fmt.Sprintf("tensor: Conv2d ranks %v, %v", x.Shape, w.Shape))
+	}
+	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	o, cg, kH, kW := w.Shape[0], w.Shape[1], w.Shape[2], w.Shape[3]
+	if c/p.Groups != cg || o%p.Groups != 0 {
+		panic(fmt.Sprintf("tensor: Conv2d group mismatch x C=%d w=%v groups=%d", c, w.Shape, p.Groups))
+	}
+	oh, ow := p.ConvOutSize(h, kH), p.ConvOutSize(wd, kW)
+	out := New(n, o, oh, ow)
+	og := o / p.Groups
+	spatial := oh * ow
+
+	for g := 0; g < p.Groups; g++ {
+		// Slice the channels belonging to this group.
+		xg := sliceChannels(x, g*cg, (g+1)*cg)
+		cols := Im2Col(xg, kH, kW, p) // [n*oh*ow, cg*kH*kW]
+		wg := &Tensor{Shape: []int{og, cg * kH * kW}, Data: w.Data[g*og*cg*kH*kW : (g+1)*og*cg*kH*kW]}
+		prod := MatMulT(cols, wg) // [n*oh*ow, og]
+		// Scatter back into NCHW.
+		for ni := 0; ni < n; ni++ {
+			for s := 0; s < spatial; s++ {
+				src := prod.Data[(ni*spatial+s)*og : (ni*spatial+s+1)*og]
+				for oc := 0; oc < og; oc++ {
+					out.Data[((ni*o+g*og+oc)*spatial)+s] = src[oc]
+				}
+			}
+		}
+	}
+	if bias != nil {
+		for ni := 0; ni < n; ni++ {
+			for oc := 0; oc < o; oc++ {
+				b := bias.Data[oc]
+				seg := out.Data[(ni*o+oc)*spatial : (ni*o+oc+1)*spatial]
+				for i := range seg {
+					seg[i] += b
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Conv2dBackward computes the gradients of a grouped convolution given the
+// upstream gradient gy [N,O,oH,oW]. It returns (gx, gw, gb).
+func Conv2dBackward(x, w, gy *Tensor, p ConvParams) (gx, gw, gb *Tensor) {
+	p = p.check()
+	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	o, cg, kH, kW := w.Shape[0], w.Shape[1], w.Shape[2], w.Shape[3]
+	oh, ow := p.ConvOutSize(h, kH), p.ConvOutSize(wd, kW)
+	og := o / p.Groups
+	spatial := oh * ow
+
+	gw = New(w.Shape...)
+	gb = New(o)
+	gx = New(x.Shape...)
+
+	for g := 0; g < p.Groups; g++ {
+		xg := sliceChannels(x, g*cg, (g+1)*cg)
+		cols := Im2Col(xg, kH, kW, p) // [n*spatial, cg*kH*kW]
+		// Gather gy for this group into [n*spatial, og].
+		gyg := New(n*spatial, og)
+		for ni := 0; ni < n; ni++ {
+			for oc := 0; oc < og; oc++ {
+				src := gy.Data[((ni*o + g*og + oc) * spatial) : ((ni*o+g*og+oc)*spatial)+spatial]
+				for s, v := range src {
+					gyg.Data[(ni*spatial+s)*og+oc] = v
+				}
+			}
+		}
+		// gw_g = gygᵀ × cols : [og, cg*kH*kW]
+		gwg := MatMul(Transpose(gyg), cols)
+		copy(gw.Data[g*og*cg*kH*kW:(g+1)*og*cg*kH*kW], gwg.Data)
+		// gb
+		for oc := 0; oc < og; oc++ {
+			var s float64
+			for r := 0; r < n*spatial; r++ {
+				s += float64(gyg.Data[r*og+oc])
+			}
+			gb.Data[g*og+oc] = float32(s)
+		}
+		// gcols = gyg × wg : [n*spatial, cg*kH*kW]
+		wg := &Tensor{Shape: []int{og, cg * kH * kW}, Data: w.Data[g*og*cg*kH*kW : (g+1)*og*cg*kH*kW]}
+		gcols := MatMul(gyg, wg)
+		gxg := Col2Im(gcols, n, cg, h, wd, kH, kW, p)
+		// Scatter group channels back.
+		for ni := 0; ni < n; ni++ {
+			for ch := 0; ch < cg; ch++ {
+				dst := gx.Data[(ni*c+g*cg+ch)*h*wd : (ni*c+g*cg+ch+1)*h*wd]
+				src := gxg.Data[(ni*cg+ch)*h*wd : (ni*cg+ch+1)*h*wd]
+				copy(dst, src)
+			}
+		}
+	}
+	return gx, gw, gb
+}
+
+// sliceChannels returns a copy of x[:, lo:hi, :, :].
+func sliceChannels(x *Tensor, lo, hi int) *Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if lo == 0 && hi == c {
+		return x
+	}
+	cg := hi - lo
+	out := New(n, cg, h, w)
+	for ni := 0; ni < n; ni++ {
+		src := x.Data[(ni*c+lo)*h*w : (ni*c+hi)*h*w]
+		copy(out.Data[ni*cg*h*w:(ni+1)*cg*h*w], src)
+	}
+	return out
+}
+
+// AvgPool2d performs global or windowed average pooling over [N,C,H,W].
+// k==0 means global pooling (output 1×1).
+func AvgPool2d(x *Tensor, k, stride int) *Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if k == 0 {
+		out := New(n, c, 1, 1)
+		inv := 1 / float32(h*w)
+		for i := 0; i < n*c; i++ {
+			var s float64
+			for _, v := range x.Data[i*h*w : (i+1)*h*w] {
+				s += float64(v)
+			}
+			out.Data[i] = float32(s) * inv
+		}
+		return out
+	}
+	if stride <= 0 {
+		stride = k
+	}
+	oh, ow := (h-k)/stride+1, (w-k)/stride+1
+	out := New(n, c, oh, ow)
+	inv := 1 / float32(k*k)
+	for i := 0; i < n*c; i++ {
+		plane := x.Data[i*h*w : (i+1)*h*w]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				var s float32
+				for ky := 0; ky < k; ky++ {
+					for kx := 0; kx < k; kx++ {
+						s += plane[(oy*stride+ky)*w+(ox*stride+kx)]
+					}
+				}
+				out.Data[i*oh*ow+oy*ow+ox] = s * inv
+			}
+		}
+	}
+	return out
+}
+
+// AvgPool2dBackward distributes gradient uniformly over each pooling window.
+func AvgPool2dBackward(x, gy *Tensor, k, stride int) *Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	gx := New(x.Shape...)
+	if k == 0 {
+		inv := 1 / float32(h*w)
+		for i := 0; i < n*c; i++ {
+			g := gy.Data[i] * inv
+			seg := gx.Data[i*h*w : (i+1)*h*w]
+			for j := range seg {
+				seg[j] = g
+			}
+		}
+		return gx
+	}
+	if stride <= 0 {
+		stride = k
+	}
+	oh, ow := (h-k)/stride+1, (w-k)/stride+1
+	inv := 1 / float32(k*k)
+	for i := 0; i < n*c; i++ {
+		plane := gx.Data[i*h*w : (i+1)*h*w]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				g := gy.Data[i*oh*ow+oy*ow+ox] * inv
+				for ky := 0; ky < k; ky++ {
+					for kx := 0; kx < k; kx++ {
+						plane[(oy*stride+ky)*w+(ox*stride+kx)] += g
+					}
+				}
+			}
+		}
+	}
+	return gx
+}

@@ -1,0 +1,67 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG is a seeded random source used everywhere in the toolkit so that
+// experiments are reproducible without relying on global state.
+type RNG struct{ r *rand.Rand }
+
+// NewRNG returns a deterministic generator for the given seed.
+func NewRNG(seed int64) *RNG { return &RNG{r: rand.New(rand.NewSource(seed))} }
+
+// Float32 returns a uniform value in [0,1).
+func (g *RNG) Float32() float32 { return g.r.Float32() }
+
+// Intn returns a uniform int in [0,n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a uniform non-negative int64.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// NormFloat32 returns a standard normal sample.
+func (g *RNG) NormFloat32() float32 { return float32(g.r.NormFloat64()) }
+
+// Perm returns a random permutation of [0,n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Randn fills a new tensor with N(0, std) samples.
+func (g *RNG) Randn(std float32, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = g.NormFloat32() * std
+	}
+	return t
+}
+
+// Uniform fills a new tensor with Uniform(lo, hi) samples.
+func (g *RNG) Uniform(lo, hi float32, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = lo + (hi-lo)*g.Float32()
+	}
+	return t
+}
+
+// KaimingConv initializes convolution weights [O,C,kH,kW] with Kaiming
+// normal fan-in scaling, the standard initialization for ReLU networks.
+func (g *RNG) KaimingConv(o, c, kh, kw int) *Tensor {
+	fanIn := c * kh * kw
+	std := float32(math.Sqrt(2 / float64(fanIn)))
+	return g.Randn(std, o, c, kh, kw)
+}
+
+// KaimingLinear initializes linear weights [out,in] with Kaiming fan-in.
+func (g *RNG) KaimingLinear(out, in int) *Tensor {
+	std := float32(math.Sqrt(2 / float64(in)))
+	return g.Randn(std, out, in)
+}
+
+// XavierLinear initializes linear weights [out,in] with Xavier/Glorot
+// scaling, used for transformer projections.
+func (g *RNG) XavierLinear(out, in int) *Tensor {
+	lim := float32(math.Sqrt(6 / float64(in+out)))
+	return g.Uniform(-lim, lim, out, in)
+}

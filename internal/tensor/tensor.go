@@ -1,0 +1,327 @@
+// Package tensor implements the dense float32 and integer tensor substrate
+// that the rest of the toolkit is built on. Tensors are row-major with an
+// explicit shape; all operations are implemented with the standard library
+// only. The package provides the minimum surface a compression toolkit
+// needs: elementwise arithmetic, reductions, GEMM, and im2col-based
+// convolution with full backward passes.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Tensor is a dense row-major float32 tensor.
+type Tensor struct {
+	Shape []int
+	Data  []float32
+}
+
+// New allocates a zero-filled tensor with the given shape.
+func New(shape ...int) *Tensor {
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float32, Numel(shape))}
+}
+
+// FromSlice wraps data with shape. The data is not copied; len(data) must
+// equal the product of shape.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	if len(data) != Numel(shape) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v", len(data), shape))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
+}
+
+// Full returns a tensor with every element set to v.
+func Full(v float32, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+	return t
+}
+
+// Ones returns a tensor of ones.
+func Ones(shape ...int) *Tensor { return Full(1, shape...) }
+
+// Numel returns the number of elements implied by shape.
+func Numel(shape []int) int {
+	n := 1
+	for _, s := range shape {
+		if s < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+		}
+		n *= s
+	}
+	return n
+}
+
+// Numel returns the number of elements in t.
+func (t *Tensor) Numel() int { return len(t.Data) }
+
+// Dim returns the size of dimension i (supports negative indexing).
+func (t *Tensor) Dim(i int) int {
+	if i < 0 {
+		i += len(t.Shape)
+	}
+	return t.Shape[i]
+}
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Reshape returns a view with a new shape sharing the same backing data.
+// One dimension may be -1 and is inferred.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	shape = append([]int(nil), shape...)
+	infer := -1
+	known := 1
+	for i, s := range shape {
+		if s == -1 {
+			if infer >= 0 {
+				panic("tensor: multiple -1 dims in reshape")
+			}
+			infer = i
+		} else {
+			known *= s
+		}
+	}
+	if infer >= 0 {
+		if known == 0 || len(t.Data)%known != 0 {
+			panic(fmt.Sprintf("tensor: cannot infer reshape %v from %v", shape, t.Shape))
+		}
+		shape[infer] = len(t.Data) / known
+	}
+	if Numel(shape) != len(t.Data) {
+		panic(fmt.Sprintf("tensor: reshape %v incompatible with %v", shape, t.Shape))
+	}
+	return &Tensor{Shape: shape, Data: t.Data}
+}
+
+// At returns the element at the given multi-dimensional index.
+func (t *Tensor) At(idx ...int) float32 { return t.Data[t.flat(idx)] }
+
+// Set assigns the element at the given multi-dimensional index.
+func (t *Tensor) Set(v float32, idx ...int) { t.Data[t.flat(idx)] = v }
+
+func (t *Tensor) flat(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match shape %v", len(idx), t.Shape))
+	}
+	off := 0
+	for i, ix := range idx {
+		if ix < 0 || ix >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.Shape))
+		}
+		off = off*t.Shape[i] + ix
+	}
+	return off
+}
+
+// SameShape reports whether a and b have identical shapes.
+func SameShape(a, b *Tensor) bool {
+	if len(a.Shape) != len(b.Shape) {
+		return false
+	}
+	for i := range a.Shape {
+		if a.Shape[i] != b.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact description, useful in error messages and logs.
+func (t *Tensor) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Tensor%v", t.Shape)
+	if len(t.Data) <= 8 {
+		fmt.Fprintf(&sb, "%v", t.Data)
+	} else {
+		fmt.Fprintf(&sb, "[%.4g %.4g %.4g ... %.4g]", t.Data[0], t.Data[1], t.Data[2], t.Data[len(t.Data)-1])
+	}
+	return sb.String()
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() { t.Fill(0) }
+
+// CopyFrom copies src's data into t; shapes must match in element count.
+func (t *Tensor) CopyFrom(src *Tensor) {
+	if len(t.Data) != len(src.Data) {
+		panic("tensor: CopyFrom size mismatch")
+	}
+	copy(t.Data, src.Data)
+}
+
+// Max returns the maximum element.
+func (t *Tensor) Max() float32 {
+	m := float32(math.Inf(-1))
+	for _, v := range t.Data {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum element.
+func (t *Tensor) Min() float32 {
+	m := float32(math.Inf(1))
+	for _, v := range t.Data {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// AbsMax returns the maximum absolute element value.
+func (t *Tensor) AbsMax() float32 {
+	var m float32
+	for _, v := range t.Data {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of all elements (accumulated in float64).
+func (t *Tensor) Sum() float32 {
+	var s float64
+	for _, v := range t.Data {
+		s += float64(v)
+	}
+	return float32(s)
+}
+
+// Mean returns the mean of all elements.
+func (t *Tensor) Mean() float32 {
+	if len(t.Data) == 0 {
+		return 0
+	}
+	return t.Sum() / float32(len(t.Data))
+}
+
+// Std returns the (population) standard deviation of all elements.
+func (t *Tensor) Std() float32 {
+	n := len(t.Data)
+	if n == 0 {
+		return 0
+	}
+	mu := float64(t.Mean())
+	var acc float64
+	for _, v := range t.Data {
+		d := float64(v) - mu
+		acc += d * d
+	}
+	return float32(math.Sqrt(acc / float64(n)))
+}
+
+// Argmax returns the flat index of the maximum element.
+func (t *Tensor) Argmax() int {
+	best, bi := float32(math.Inf(-1)), 0
+	for i, v := range t.Data {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// IntTensor is a dense row-major integer tensor. Values are stored as int64
+// so that bit-widths up to 32 plus accumulator headroom are representable;
+// quantized layers declare their logical bit-width separately.
+type IntTensor struct {
+	Shape []int
+	Data  []int64
+}
+
+// NewInt allocates a zero-filled integer tensor.
+func NewInt(shape ...int) *IntTensor {
+	return &IntTensor{Shape: append([]int(nil), shape...), Data: make([]int64, Numel(shape))}
+}
+
+// IntFromSlice wraps data with shape (no copy).
+func IntFromSlice(data []int64, shape ...int) *IntTensor {
+	if len(data) != Numel(shape) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v", len(data), shape))
+	}
+	return &IntTensor{Shape: append([]int(nil), shape...), Data: data}
+}
+
+// Numel returns the number of elements in t.
+func (t *IntTensor) Numel() int { return len(t.Data) }
+
+// Clone returns a deep copy.
+func (t *IntTensor) Clone() *IntTensor {
+	c := NewInt(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Reshape returns a view with a new shape sharing the backing data.
+func (t *IntTensor) Reshape(shape ...int) *IntTensor {
+	if Numel(shape) != len(t.Data) {
+		panic(fmt.Sprintf("tensor: reshape %v incompatible with %v", shape, t.Shape))
+	}
+	return &IntTensor{Shape: append([]int(nil), shape...), Data: t.Data}
+}
+
+// Float converts to a float32 tensor.
+func (t *IntTensor) Float() *Tensor {
+	f := New(t.Shape...)
+	for i, v := range t.Data {
+		f.Data[i] = float32(v)
+	}
+	return f
+}
+
+// MinMax returns the minimum and maximum integer values.
+func (t *IntTensor) MinMax() (int64, int64) {
+	if len(t.Data) == 0 {
+		return 0, 0
+	}
+	mn, mx := t.Data[0], t.Data[0]
+	for _, v := range t.Data {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return mn, mx
+}
+
+// CountZeros returns the number of zero elements (used to verify that
+// pruned models carry real zeros after conversion).
+func (t *IntTensor) CountZeros() int {
+	n := 0
+	for _, v := range t.Data {
+		if v == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders a compact description.
+func (t *IntTensor) String() string {
+	return fmt.Sprintf("IntTensor%v(n=%d)", t.Shape, len(t.Data))
+}

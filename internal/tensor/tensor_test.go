@@ -1,0 +1,448 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapeAndNumel(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Numel() != 24 {
+		t.Fatalf("Numel = %d, want 24", x.Numel())
+	}
+	if x.Dim(-1) != 4 || x.Dim(0) != 2 {
+		t.Fatalf("Dim wrong: %v", x.Shape)
+	}
+	for _, v := range x.Data {
+		if v != 0 {
+			t.Fatal("New must zero-fill")
+		}
+	}
+}
+
+func TestFromSliceMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSlice([]float32{1, 2, 3}, 2, 2)
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	x := New(3, 4)
+	x.Set(7.5, 2, 1)
+	if x.At(2, 1) != 7.5 {
+		t.Fatalf("At = %v", x.At(2, 1))
+	}
+	if x.Data[2*4+1] != 7.5 {
+		t.Fatal("row-major layout violated")
+	}
+}
+
+func TestReshapeInference(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	y := x.Reshape(3, -1)
+	if y.Shape[0] != 3 || y.Shape[1] != 2 {
+		t.Fatalf("Reshape = %v", y.Shape)
+	}
+	y.Data[0] = 42
+	if x.Data[0] != 42 {
+		t.Fatal("Reshape must share storage")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	x := FromSlice([]float32{1, 2}, 2)
+	y := x.Clone()
+	y.Data[0] = 9
+	if x.Data[0] != 1 {
+		t.Fatal("Clone must deep-copy")
+	}
+}
+
+func TestReductions(t *testing.T) {
+	x := FromSlice([]float32{-3, 1, 2}, 3)
+	if x.Max() != 2 || x.Min() != -3 || x.AbsMax() != 3 {
+		t.Fatalf("Max/Min/AbsMax = %v/%v/%v", x.Max(), x.Min(), x.AbsMax())
+	}
+	if x.Sum() != 0 {
+		t.Fatalf("Sum = %v", x.Sum())
+	}
+	if x.Mean() != 0 {
+		t.Fatalf("Mean = %v", x.Mean())
+	}
+	if x.Argmax() != 2 {
+		t.Fatalf("Argmax = %d", x.Argmax())
+	}
+}
+
+func TestStd(t *testing.T) {
+	x := FromSlice([]float32{1, 1, 1, 1}, 4)
+	if x.Std() != 0 {
+		t.Fatalf("Std of constant = %v", x.Std())
+	}
+	y := FromSlice([]float32{-1, 1}, 2)
+	if math.Abs(float64(y.Std())-1) > 1e-6 {
+		t.Fatalf("Std = %v, want 1", y.Std())
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3}, 3)
+	b := FromSlice([]float32{4, 5, 6}, 3)
+	if got := Add(a, b).Data[2]; got != 9 {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := Sub(b, a).Data[0]; got != 3 {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := Mul(a, b).Data[1]; got != 10 {
+		t.Fatalf("Mul = %v", got)
+	}
+	if got := Div(b, a).Data[2]; got != 2 {
+		t.Fatalf("Div = %v", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	x := FromSlice([]float32{-5, 0.5, 5}, 3)
+	y := Clamp(x, -1, 1)
+	want := []float32{-1, 0.5, 1}
+	for i := range want {
+		if y.Data[i] != want[i] {
+			t.Fatalf("Clamp[%d] = %v", i, y.Data[i])
+		}
+	}
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	b := FromSlice([]float32{5, 6, 7, 8}, 2, 2)
+	c := MatMul(a, b)
+	want := []float32{19, 22, 43, 50}
+	for i := range want {
+		if c.Data[i] != want[i] {
+			t.Fatalf("MatMul[%d] = %v, want %v", i, c.Data[i], want[i])
+		}
+	}
+}
+
+func TestMatMulTMatchesExplicitTranspose(t *testing.T) {
+	g := NewRNG(1)
+	a := g.Randn(1, 7, 5)
+	b := g.Randn(1, 9, 5)
+	got := MatMulT(a, b)
+	want := MatMul(a, Transpose(b))
+	if !AllClose(got, want, 1e-5, 1e-5) {
+		t.Fatalf("MatMulT mismatch, maxdiff=%v", MaxAbsDiff(got, want))
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	g := NewRNG(2)
+	a := g.Randn(1, 4, 6)
+	b := Transpose(Transpose(a))
+	if !AllClose(a, b, 0, 0) {
+		t.Fatal("transpose twice must be identity")
+	}
+}
+
+func TestSumAxis0(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	s := SumAxis0(a)
+	want := []float32{5, 7, 9}
+	for i := range want {
+		if s.Data[i] != want[i] {
+			t.Fatalf("SumAxis0[%d] = %v", i, s.Data[i])
+		}
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	g := NewRNG(3)
+	x := g.Randn(2, 4, 10)
+	y := Softmax(x)
+	for r := 0; r < 4; r++ {
+		var s float64
+		for j := 0; j < 10; j++ {
+			v := y.Data[r*10+j]
+			if v < 0 || v > 1 {
+				t.Fatalf("softmax out of range: %v", v)
+			}
+			s += float64(v)
+		}
+		if math.Abs(s-1) > 1e-5 {
+			t.Fatalf("row %d sums to %v", r, s)
+		}
+	}
+}
+
+func TestLogSoftmaxConsistentWithSoftmax(t *testing.T) {
+	g := NewRNG(4)
+	x := g.Randn(1, 3, 7)
+	ls := LogSoftmax(x)
+	sm := Softmax(x)
+	for i := range ls.Data {
+		if math.Abs(math.Exp(float64(ls.Data[i]))-float64(sm.Data[i])) > 1e-5 {
+			t.Fatalf("exp(logsoftmax) != softmax at %d", i)
+		}
+	}
+}
+
+func TestSoftmaxShiftInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		g := NewRNG(seed)
+		x := g.Randn(1, 2, 8)
+		shifted := AddScalar(x, 100)
+		return AllClose(Softmax(x), Softmax(shifted), 1e-4, 1e-5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConv2dIdentityKernel(t *testing.T) {
+	g := NewRNG(5)
+	x := g.Randn(1, 2, 3, 5, 5)
+	// 1x1 identity kernel per channel via 3 output channels selecting inputs.
+	w := New(3, 3, 1, 1)
+	for i := 0; i < 3; i++ {
+		w.Set(1, i, i, 0, 0)
+	}
+	y := Conv2d(x, w, nil, ConvParams{Stride: 1})
+	if !AllClose(x, y, 1e-6, 1e-6) {
+		t.Fatal("1x1 identity conv must be identity")
+	}
+}
+
+func TestConv2dKnownValues(t *testing.T) {
+	// 1 channel, 3x3 input, 2x2 kernel of ones, stride 1, no pad → window sums.
+	x := FromSlice([]float32{1, 2, 3, 4, 5, 6, 7, 8, 9}, 1, 1, 3, 3)
+	w := Full(1, 1, 1, 2, 2)
+	y := Conv2d(x, w, nil, ConvParams{})
+	want := []float32{12, 16, 24, 28}
+	for i := range want {
+		if y.Data[i] != want[i] {
+			t.Fatalf("conv[%d] = %v, want %v", i, y.Data[i], want[i])
+		}
+	}
+	if y.Shape[2] != 2 || y.Shape[3] != 2 {
+		t.Fatalf("out shape %v", y.Shape)
+	}
+}
+
+func TestConv2dPaddingShape(t *testing.T) {
+	x := New(2, 3, 8, 8)
+	w := New(4, 3, 3, 3)
+	y := Conv2d(x, w, nil, ConvParams{Stride: 2, Padding: 1})
+	if y.Shape[0] != 2 || y.Shape[1] != 4 || y.Shape[2] != 4 || y.Shape[3] != 4 {
+		t.Fatalf("shape %v", y.Shape)
+	}
+}
+
+func TestConv2dBias(t *testing.T) {
+	x := New(1, 1, 2, 2)
+	w := New(2, 1, 1, 1)
+	b := FromSlice([]float32{1.5, -2}, 2)
+	y := Conv2d(x, w, b, ConvParams{})
+	if y.At(0, 0, 1, 1) != 1.5 || y.At(0, 1, 0, 0) != -2 {
+		t.Fatalf("bias broadcast wrong: %v", y.Data)
+	}
+}
+
+func TestDepthwiseConvGroups(t *testing.T) {
+	g := NewRNG(6)
+	x := g.Randn(1, 1, 4, 6, 6)
+	w := g.Randn(0.5, 4, 1, 3, 3)
+	y := Conv2d(x, w, nil, ConvParams{Stride: 1, Padding: 1, Groups: 4})
+	if y.Shape[1] != 4 || y.Shape[2] != 6 {
+		t.Fatalf("depthwise shape %v", y.Shape)
+	}
+	// Each output channel must only depend on its own input channel: zero
+	// out channel 0 of input and check only output channel 0 changes.
+	x2 := x.Clone()
+	for i := 0; i < 36; i++ {
+		x2.Data[i] = 0
+	}
+	y2 := Conv2d(x2, w, nil, ConvParams{Stride: 1, Padding: 1, Groups: 4})
+	for ch := 1; ch < 4; ch++ {
+		a := y.Data[ch*36 : (ch+1)*36]
+		b := y2.Data[ch*36 : (ch+1)*36]
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("channel %d leaked across groups", ch)
+			}
+		}
+	}
+}
+
+// numericalGradCheck verifies Conv2dBackward against finite differences.
+func TestConv2dBackwardNumerical(t *testing.T) {
+	g := NewRNG(7)
+	x := g.Randn(1, 2, 2, 5, 5)
+	w := g.Randn(0.5, 3, 2, 3, 3)
+	p := ConvParams{Stride: 2, Padding: 1}
+	y := Conv2d(x, w, nil, p)
+	gy := g.Randn(1, y.Shape...)
+	gx, gw, gb := Conv2dBackward(x, w, gy, p)
+
+	loss := func() float64 {
+		out := Conv2d(x, w, nil, p)
+		var s float64
+		for i := range out.Data {
+			s += float64(out.Data[i]) * float64(gy.Data[i])
+		}
+		return s
+	}
+	const eps = 1e-2
+	for _, idx := range []int{0, 7, 31} {
+		orig := x.Data[idx]
+		x.Data[idx] = orig + eps
+		lp := loss()
+		x.Data[idx] = orig - eps
+		lm := loss()
+		x.Data[idx] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-float64(gx.Data[idx])) > 1e-2*(1+math.Abs(num)) {
+			t.Fatalf("gx[%d]: numerical %v analytic %v", idx, num, gx.Data[idx])
+		}
+	}
+	for _, idx := range []int{0, 11, 29} {
+		orig := w.Data[idx]
+		w.Data[idx] = orig + eps
+		lp := loss()
+		w.Data[idx] = orig - eps
+		lm := loss()
+		w.Data[idx] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-float64(gw.Data[idx])) > 1e-2*(1+math.Abs(num)) {
+			t.Fatalf("gw[%d]: numerical %v analytic %v", idx, num, gw.Data[idx])
+		}
+	}
+	// Bias gradient equals sum of gy per channel across the batch.
+	n, o, sp := y.Shape[0], y.Shape[1], y.Shape[2]*y.Shape[3]
+	for oc := 0; oc < o; oc++ {
+		var s float64
+		for ni := 0; ni < n; ni++ {
+			for i := 0; i < sp; i++ {
+				s += float64(gy.Data[(ni*o+oc)*sp+i])
+			}
+		}
+		if math.Abs(s-float64(gb.Data[oc])) > 1e-3 {
+			t.Fatalf("gb[%d]: %v vs %v", oc, s, gb.Data[oc])
+		}
+	}
+}
+
+func TestIm2ColCol2ImAdjoint(t *testing.T) {
+	// <Im2Col(x), c> == <x, Col2Im(c)> : the defining adjoint property.
+	g := NewRNG(8)
+	x := g.Randn(1, 1, 3, 6, 6)
+	p := ConvParams{Stride: 2, Padding: 1}
+	cols := Im2Col(x, 3, 3, p)
+	c := g.Randn(1, cols.Shape...)
+	lhs := Dot(cols, c)
+	back := Col2Im(c, 1, 3, 6, 6, 3, 3, p)
+	rhs := Dot(x, back)
+	if math.Abs(float64(lhs-rhs)) > 1e-2 {
+		t.Fatalf("adjoint mismatch: %v vs %v", lhs, rhs)
+	}
+}
+
+func TestAvgPoolGlobal(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4}, 1, 1, 2, 2)
+	y := AvgPool2d(x, 0, 0)
+	if y.Data[0] != 2.5 {
+		t.Fatalf("global avg = %v", y.Data[0])
+	}
+	gx := AvgPool2dBackward(x, FromSlice([]float32{4}, 1, 1, 1, 1), 0, 0)
+	for _, v := range gx.Data {
+		if v != 1 {
+			t.Fatalf("backward = %v", gx.Data)
+		}
+	}
+}
+
+func TestAvgPoolWindowed(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}, 1, 1, 4, 4)
+	y := AvgPool2d(x, 2, 2)
+	want := []float32{3.5, 5.5, 11.5, 13.5}
+	for i := range want {
+		if y.Data[i] != want[i] {
+			t.Fatalf("pool[%d] = %v", i, y.Data[i])
+		}
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42).Randn(1, 100)
+	b := NewRNG(42).Randn(1, 100)
+	if !AllClose(a, b, 0, 0) {
+		t.Fatal("same seed must give same stream")
+	}
+	c := NewRNG(43).Randn(1, 100)
+	if AllClose(a, c, 0, 0) {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestKaimingStatistics(t *testing.T) {
+	g := NewRNG(9)
+	w := g.KaimingConv(64, 32, 3, 3)
+	std := float64(w.Std())
+	want := math.Sqrt(2.0 / (32 * 9))
+	if math.Abs(std-want) > 0.1*want {
+		t.Fatalf("Kaiming std %v, want ≈%v", std, want)
+	}
+}
+
+func TestIntTensorBasics(t *testing.T) {
+	x := IntFromSlice([]int64{-3, 0, 7, 0}, 2, 2)
+	mn, mx := x.MinMax()
+	if mn != -3 || mx != 7 {
+		t.Fatalf("MinMax = %d,%d", mn, mx)
+	}
+	if x.CountZeros() != 2 {
+		t.Fatalf("CountZeros = %d", x.CountZeros())
+	}
+	f := x.Float()
+	if f.Data[2] != 7 {
+		t.Fatalf("Float = %v", f.Data)
+	}
+	c := x.Clone()
+	c.Data[0] = 5
+	if x.Data[0] != -3 {
+		t.Fatal("Clone must copy")
+	}
+}
+
+func TestMatMulAssociativityProperty(t *testing.T) {
+	// (A×B)×C ≈ A×(B×C) for random small matrices.
+	f := func(seed int64) bool {
+		g := NewRNG(seed)
+		a := g.Randn(1, 3, 4)
+		b := g.Randn(1, 4, 5)
+		c := g.Randn(1, 5, 2)
+		l := MatMul(MatMul(a, b), c)
+		r := MatMul(a, MatMul(b, c))
+		return AllClose(l, r, 1e-3, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGemmParallelMatchesSerial(t *testing.T) {
+	// Large enough to trigger the parallel path; compare against MatMulT
+	// column-dot reference.
+	g := NewRNG(10)
+	a := g.Randn(1, 64, 96)
+	b := g.Randn(1, 96, 64)
+	c := MatMul(a, b)
+	ref := MatMulT(a, Transpose(b))
+	if !AllClose(c, ref, 1e-4, 1e-4) {
+		t.Fatalf("parallel gemm mismatch %v", MaxAbsDiff(c, ref))
+	}
+}

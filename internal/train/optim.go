@@ -1,0 +1,142 @@
+// Package train provides optimizers, learning-rate schedules, and the
+// paper's TRAINER selection: supervised training, quantization-aware
+// training (including the PROFIT progressive-freezing method), post-
+// training quantization (calibration plus AdaRound/QDrop reconstruction),
+// sparse training, and self-supervised pre-training.
+package train
+
+import (
+	"math"
+
+	"torch2chip/internal/nn"
+	"torch2chip/internal/tensor"
+)
+
+// Optimizer applies parameter updates; SGD and Adam implement it.
+type Optimizer interface {
+	Step(params []*nn.Param)
+	SetLR(lr float32)
+}
+
+// SGD is stochastic gradient descent with momentum and decoupled weight
+// decay (params flagged NoDecay are excluded).
+type SGD struct {
+	LR          float32
+	Momentum    float32
+	WeightDecay float32
+	vel         map[*nn.Param]*tensor.Tensor
+}
+
+// NewSGD constructs the optimizer.
+func NewSGD(lr, momentum, weightDecay float32) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay, vel: map[*nn.Param]*tensor.Tensor{}}
+}
+
+// SetLR updates the learning rate (used by schedules).
+func (s *SGD) SetLR(lr float32) { s.LR = lr }
+
+// Step applies one update to the given parameters.
+func (s *SGD) Step(params []*nn.Param) {
+	for _, p := range params {
+		g := p.Grad
+		if s.WeightDecay > 0 && !p.NoDecay {
+			for i := range g.Data {
+				g.Data[i] += s.WeightDecay * p.Data.Data[i]
+			}
+		}
+		if s.Momentum > 0 {
+			v, ok := s.vel[p]
+			if !ok {
+				v = tensor.New(p.Data.Shape...)
+				s.vel[p] = v
+			}
+			for i := range v.Data {
+				v.Data[i] = s.Momentum*v.Data[i] + g.Data[i]
+				p.Data.Data[i] -= s.LR * v.Data[i]
+			}
+		} else {
+			tensor.AxpyInPlace(p.Data, -s.LR, g)
+		}
+	}
+}
+
+// Adam is the Adam optimizer, used for PTQ reconstruction and SSL.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float32
+	t                     int
+	m, v                  map[*nn.Param]*tensor.Tensor
+}
+
+// NewAdam constructs the optimizer with standard betas.
+func NewAdam(lr float32) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: map[*nn.Param]*tensor.Tensor{}, v: map[*nn.Param]*tensor.Tensor{}}
+}
+
+// SetLR updates the learning rate (used by schedules).
+func (a *Adam) SetLR(lr float32) { a.LR = lr }
+
+// Step applies one Adam update.
+func (a *Adam) Step(params []*nn.Param) {
+	a.t++
+	bc1 := 1 - float32(math.Pow(float64(a.Beta1), float64(a.t)))
+	bc2 := 1 - float32(math.Pow(float64(a.Beta2), float64(a.t)))
+	for _, p := range params {
+		m, ok := a.m[p]
+		if !ok {
+			m = tensor.New(p.Data.Shape...)
+			a.m[p] = m
+			a.v[p] = tensor.New(p.Data.Shape...)
+		}
+		v := a.v[p]
+		for i, g := range p.Grad.Data {
+			m.Data[i] = a.Beta1*m.Data[i] + (1-a.Beta1)*g
+			v.Data[i] = a.Beta2*v.Data[i] + (1-a.Beta2)*g*g
+			mh := m.Data[i] / bc1
+			vh := v.Data[i] / bc2
+			p.Data.Data[i] -= a.LR * mh / (float32(math.Sqrt(float64(vh))) + a.Eps)
+		}
+	}
+}
+
+// Schedule maps training progress to a learning rate.
+type Schedule interface {
+	LR(step, total int) float32
+}
+
+// CosineSchedule decays from Base to Min over the run.
+type CosineSchedule struct{ Base, Min float32 }
+
+// LR implements Schedule.
+func (c CosineSchedule) LR(step, total int) float32 {
+	if total <= 1 {
+		return c.Base
+	}
+	t := float64(step) / float64(total-1)
+	return c.Min + (c.Base-c.Min)*float32(0.5*(1+math.Cos(math.Pi*t)))
+}
+
+// StepSchedule multiplies the rate by Gamma at each milestone fraction.
+type StepSchedule struct {
+	Base       float32
+	Milestones []float64 // fractions of total, e.g. {0.5, 0.75}
+	Gamma      float32
+}
+
+// LR implements Schedule.
+func (s StepSchedule) LR(step, total int) float32 {
+	lr := s.Base
+	prog := float64(step) / math.Max(1, float64(total))
+	for _, m := range s.Milestones {
+		if prog >= m {
+			lr *= s.Gamma
+		}
+	}
+	return lr
+}
+
+// ConstSchedule keeps the rate fixed.
+type ConstSchedule struct{ Base float32 }
+
+// LR implements Schedule.
+func (c ConstSchedule) LR(step, total int) float32 { return c.Base }

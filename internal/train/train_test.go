@@ -1,0 +1,292 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"torch2chip/internal/data"
+	"torch2chip/internal/fuse"
+	"torch2chip/internal/models"
+	"torch2chip/internal/nn"
+	"torch2chip/internal/prune"
+	"torch2chip/internal/quant"
+	"torch2chip/internal/ssl"
+	"torch2chip/internal/tensor"
+)
+
+func TestSGDMomentumKnown(t *testing.T) {
+	p := nn.NewParam("w", tensor.FromSlice([]float32{1}, 1))
+	opt := NewSGD(0.1, 0.9, 0)
+	p.Grad.Data[0] = 1
+	opt.Step([]*nn.Param{p}) // v=1, w=1-0.1=0.9
+	p.Grad.Data[0] = 1
+	opt.Step([]*nn.Param{p}) // v=1.9, w=0.9-0.19=0.71
+	if math.Abs(float64(p.Data.Data[0])-0.71) > 1e-6 {
+		t.Fatalf("w = %v, want 0.71", p.Data.Data[0])
+	}
+}
+
+func TestSGDWeightDecaySkipsNoDecay(t *testing.T) {
+	p := nn.NewParam("w", tensor.FromSlice([]float32{1}, 1))
+	q := nn.NewParam("b", tensor.FromSlice([]float32{1}, 1))
+	q.NoDecay = true
+	opt := NewSGD(0.1, 0, 0.5)
+	opt.Step([]*nn.Param{p, q})
+	if p.Data.Data[0] >= 1 {
+		t.Fatal("decayed param must shrink")
+	}
+	if q.Data.Data[0] != 1 {
+		t.Fatal("NoDecay param must not shrink with zero grad")
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	p := nn.NewParam("w", tensor.FromSlice([]float32{5}, 1))
+	opt := NewAdam(0.2)
+	for i := 0; i < 200; i++ {
+		p.Grad.Data[0] = 2 * p.Data.Data[0] // d/dw w²
+		opt.Step([]*nn.Param{p})
+	}
+	if math.Abs(float64(p.Data.Data[0])) > 0.05 {
+		t.Fatalf("Adam did not converge: %v", p.Data.Data[0])
+	}
+}
+
+func TestCosineScheduleEndpoints(t *testing.T) {
+	c := CosineSchedule{Base: 1, Min: 0.1}
+	if c.LR(0, 100) != 1 {
+		t.Fatalf("start %v", c.LR(0, 100))
+	}
+	if math.Abs(float64(c.LR(99, 100))-0.1) > 1e-5 {
+		t.Fatalf("end %v", c.LR(99, 100))
+	}
+	mid := c.LR(50, 100)
+	if mid <= 0.1 || mid >= 1 {
+		t.Fatalf("mid %v", mid)
+	}
+}
+
+func TestStepSchedule(t *testing.T) {
+	s := StepSchedule{Base: 1, Milestones: []float64{0.5, 0.75}, Gamma: 0.1}
+	if s.LR(0, 100) != 1 {
+		t.Fatal("before milestone")
+	}
+	if math.Abs(float64(s.LR(60, 100))-0.1) > 1e-6 {
+		t.Fatalf("after first milestone: %v", s.LR(60, 100))
+	}
+	if math.Abs(float64(s.LR(80, 100))-0.01) > 1e-7 {
+		t.Fatalf("after second: %v", s.LR(80, 100))
+	}
+}
+
+// tinyCNN builds a fast model for trainer tests.
+func tinyCNN(g *tensor.RNG, classes int) *nn.Sequential {
+	return nn.NewSequential(
+		nn.NewConv2d(g, 3, 8, 3, 2, 1, 1, false),
+		nn.NewBatchNorm2d(8),
+		&nn.ReLU{},
+		nn.NewConv2d(g, 8, 16, 3, 2, 1, 1, false),
+		nn.NewBatchNorm2d(16),
+		&nn.ReLU{},
+		&nn.AvgPool{Kernel: 0},
+		&nn.Flatten{},
+		nn.NewLinear(g, 16, classes, true),
+	)
+}
+
+func TestSupervisedLearnsSynthetic(t *testing.T) {
+	g := tensor.NewRNG(1)
+	train, test := data.Generate(data.SynthCIFAR10, 300, 100)
+	model := tinyCNN(g, train.NumClasses)
+	tr := &Supervised{
+		Model: model, Opt: NewSGD(0.1, 0.9, 5e-4),
+		Sched:  CosineSchedule{Base: 0.1, Min: 0.001},
+		Epochs: 6, Train: train, Test: test, Batch: 32, RNG: g,
+	}
+	res := tr.Run()
+	first, last := res.TrainLoss[0], res.TrainLoss[len(res.TrainLoss)-1]
+	if last >= first {
+		t.Fatalf("loss did not decrease: %v → %v", first, last)
+	}
+	acc := res.TestAcc[len(res.TestAcc)-1]
+	if acc < 0.5 {
+		t.Fatalf("test acc %v too low; synthetic task should be learnable", acc)
+	}
+}
+
+func TestQATTrainerWithPACT(t *testing.T) {
+	g := tensor.NewRNG(2)
+	train, test := data.Generate(data.SynthCIFAR10, 300, 80)
+	model := tinyCNN(g, train.NumClasses)
+	quant.Prepare(model, quant.Config{WBits: 4, ABits: 4, Weight: "sawb", Act: "pact", PerChannel: true})
+	tr := &Supervised{
+		Model: model, Opt: NewSGD(0.05, 0.9, 5e-4),
+		Sched:  CosineSchedule{Base: 0.05, Min: 0.001},
+		Epochs: 8, Train: train, Test: test, Batch: 32, RNG: g,
+	}
+	res := tr.Run()
+	if res.TestAcc[len(res.TestAcc)-1] < 0.4 {
+		t.Fatalf("QAT acc %v too low", res.TestAcc[len(res.TestAcc)-1])
+	}
+}
+
+func TestSparseTrainerReachesSparsityWithAccuracy(t *testing.T) {
+	g := tensor.NewRNG(3)
+	train, test := data.Generate(data.SynthCIFAR10, 200, 80)
+	model := tinyCNN(g, train.NumClasses)
+	pruner := prune.NewMagnitude(prune.PrunableParams(model), 0.5)
+	pruner.InitialSparsity = 0.1
+	tr := &Supervised{
+		Model: model, Opt: NewSGD(0.1, 0.9, 5e-4),
+		Sched:  CosineSchedule{Base: 0.1, Min: 0.001},
+		Epochs: 6, Train: train, Test: test, Batch: 32, RNG: g,
+		Pruner: pruner,
+	}
+	res := tr.Run()
+	if s := pruner.Sparsity(); math.Abs(s-0.5) > 0.02 {
+		t.Fatalf("sparsity %v, want 0.5", s)
+	}
+	if res.TestAcc[len(res.TestAcc)-1] < 0.4 {
+		t.Fatalf("sparse acc %v too low", res.TestAcc[len(res.TestAcc)-1])
+	}
+}
+
+func TestPTQCalibrationAndReconstruction(t *testing.T) {
+	g := tensor.NewRNG(4)
+	train, test := data.Generate(data.SynthCIFAR10, 300, 100)
+	model := tinyCNN(g, train.NumClasses)
+	// Train FP32 first.
+	(&Supervised{Model: model, Opt: NewSGD(0.1, 0.9, 5e-4),
+		Sched:  CosineSchedule{Base: 0.1, Min: 0.001},
+		Epochs: 6, Train: train, Batch: 32, RNG: g}).Run()
+	fpAcc := Evaluate(model, test, 32)
+	calib := train.Subset(5)
+	fpLogits := CaptureFP(model, calib, 16)
+	nn.SetTraining(model, false)
+	quant.Prepare(model, quant.Config{WBits: 4, ABits: 8, Weight: "adaround", Act: "minmax", PerChannel: true})
+	p := &PTQ{Model: model, Calib: calib, Batch: 16, FPLogits: fpLogits, Steps: 8, LR: 1e-2, RegWeight: 0.01}
+	p.Run()
+	qAcc := Evaluate(model, test, 32)
+	if qAcc < fpAcc-0.25 {
+		t.Fatalf("PTQ accuracy dropped too much: fp %v → q %v", fpAcc, qAcc)
+	}
+}
+
+func TestProfitFreezerFreezesGroups(t *testing.T) {
+	g := tensor.NewRNG(5)
+	train, _ := data.Generate(data.SynthCIFAR10, 100, 10)
+	model := tinyCNN(g, train.NumClasses)
+	quant.Prepare(model, quant.Config{WBits: 4, ABits: 4, Weight: "sawb", Act: "pact", PerChannel: true})
+	fr := NewFreezer(model)
+	tr := &Supervised{
+		Model: model, Opt: NewSGD(0.05, 0.9, 0),
+		Sched:  ConstSchedule{Base: 0.05},
+		Epochs: 6, Train: train, Batch: 32, RNG: g,
+		Freezer: fr,
+	}
+	tr.Run()
+	if fr.FrozenCount() == 0 {
+		t.Fatal("PROFIT freezer froze nothing")
+	}
+	if fr.FrozenCount() > len(fr.Groups) {
+		t.Fatalf("frozen %d > groups %d", fr.FrozenCount(), len(fr.Groups))
+	}
+}
+
+func TestSSLTrainerLossDecreases(t *testing.T) {
+	g := tensor.NewRNG(6)
+	unlabeled, _ := data.Generate(data.SynthImageNet, 128, 10)
+	enc := nn.NewSequential(
+		nn.NewConv2d(g, 3, 8, 3, 2, 1, 1, false),
+		nn.NewBatchNorm2d(8),
+		&nn.ReLU{},
+		&nn.AvgPool{Kernel: 0},
+		&nn.Flatten{},
+	)
+	proj := ssl.NewProjector(g, 8, 16)
+	tr := &SSLTrainer{
+		Encoder: enc, Projector: proj, Opt: NewAdam(1e-2),
+		Epochs: 4, Data: unlabeled, Batch: 32, RNG: g,
+		Lambda: 0.01, XDWeight: 0.1,
+	}
+	losses := tr.Run()
+	if losses[len(losses)-1] >= losses[0] {
+		t.Fatalf("SSL loss did not decrease: %v", losses)
+	}
+}
+
+func TestEvaluateRestoresTrainingMode(t *testing.T) {
+	g := tensor.NewRNG(7)
+	train, _ := data.Generate(data.SynthCIFAR10, 40, 10)
+	model := tinyCNN(g, 10)
+	bn := model.Layers[1].(*nn.BatchNorm2d)
+	Evaluate(model, train, 16)
+	// Evaluate must leave the model back in training mode.
+	x := g.Uniform(0, 1, 4, 3, 16, 16)
+	before := bn.RunningMean.Clone()
+	model.Forward(x)
+	if tensor.AllClose(before, bn.RunningMean, 0, 0) {
+		t.Fatal("model left in eval mode after Evaluate")
+	}
+}
+
+func TestEndToEndQATDeploy(t *testing.T) {
+	// The paper's headline workflow at miniature scale: train FP32 →
+	// Prepare → QAT → calibrate out quantizer → Convert → deploy accuracy
+	// within a few points of the fake-quant accuracy.
+	g := tensor.NewRNG(8)
+	train, test := data.Generate(data.SynthCIFAR10, 300, 100)
+	model := models.NewMobileNetV1(g, models.MobileNetConfig{WidthMult: 1, NumClasses: 10, Blocks: 3})
+	(&Supervised{Model: model, Opt: NewSGD(0.1, 0.9, 5e-4),
+		Sched:  CosineSchedule{Base: 0.1, Min: 0.001},
+		Epochs: 6, Train: train, Batch: 32, RNG: g}).Run()
+	nn.SetTraining(model, false)
+	quant.Prepare(model, quant.Config{WBits: 8, ABits: 8, Weight: "minmax", Act: "minmax", PerChannel: true})
+	// Calibrate.
+	calibLoader := data.NewLoader(train.Subset(10), 16, nil)
+	outQ := quant.NewMinMax(12, true, false)
+	for {
+		x, _, ok := calibLoader.Next()
+		if !ok {
+			break
+		}
+		outQ.Observe(model.Forward(x))
+	}
+	quant.SetCalibrating(model, false)
+	qAcc := Evaluate(model, test, 32)
+	// Note: Evaluate toggles training mode; re-set eval for conversion.
+	nn.SetTraining(model, false)
+	im := mustConvert(t, model, outQ.Base())
+	// Deployed integer model accuracy.
+	var correct, total int
+	loader := data.NewLoader(test, 32, nil)
+	for {
+		x, y, ok := loader.Next()
+		if !ok {
+			break
+		}
+		logits := im.Forward(x)
+		for i := range y {
+			row := tensor.FromSlice(logits.Data[i*10:(i+1)*10], 10)
+			if row.Argmax() == y[i] {
+				correct++
+			}
+			total++
+		}
+	}
+	dAcc := float32(correct) / float32(total)
+	if dAcc < qAcc-0.05 {
+		t.Fatalf("deploy acc %v below fake-quant acc %v", dAcc, qAcc)
+	}
+}
+
+func mustConvert(t *testing.T, model nn.Layer, outQ *quant.QBase) *fuse.IntModel {
+	t.Helper()
+	opts := fuse.DefaultOptions()
+	opts.OutQuant = outQ
+	im, err := fuse.Convert(model, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}

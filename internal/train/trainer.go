@@ -1,0 +1,405 @@
+package train
+
+import (
+	"fmt"
+
+	"torch2chip/internal/data"
+	"torch2chip/internal/nn"
+	"torch2chip/internal/prune"
+	"torch2chip/internal/quant"
+	"torch2chip/internal/ssl"
+	"torch2chip/internal/tensor"
+)
+
+// Result summarizes a training run.
+type Result struct {
+	TrainLoss []float32 // per epoch
+	TestAcc   []float32 // per epoch (if a test set was provided)
+}
+
+// Evaluate returns top-1 accuracy of a model over a dataset (eval mode).
+func Evaluate(model nn.Layer, ds *data.Dataset, batch int) float32 {
+	nn.SetTraining(model, false)
+	defer nn.SetTraining(model, true)
+	loader := data.NewLoader(ds, batch, nil)
+	var correct, total float64
+	for {
+		x, y, ok := loader.Next()
+		if !ok {
+			break
+		}
+		logits := model.Forward(x)
+		correct += float64(nn.Accuracy(logits, y)) * float64(len(y))
+		total += float64(len(y))
+	}
+	if total == 0 {
+		return 0
+	}
+	return float32(correct / total)
+}
+
+// Supervised trains a model with cross entropy; it is also the QAT trainer
+// when the model has been through quant.Prepare (quantizer parameters ride
+// along in Params()).
+type Supervised struct {
+	Model  nn.Layer
+	Opt    Optimizer
+	Sched  Schedule
+	Epochs int
+	Train  *data.Dataset
+	Test   *data.Dataset // optional
+	Batch  int
+	RNG    *tensor.RNG
+	// Pruner, when set, turns this into the sparse trainer: masks are
+	// updated per epoch and re-applied after every optimizer step.
+	Pruner prune.Pruner
+	// Freezer, when set, implements PROFIT-style progressive freezing.
+	Freezer *Freezer
+	// Silent suppresses per-epoch output.
+	Verbose bool
+}
+
+// Run executes the training loop.
+func (t *Supervised) Run() Result {
+	var res Result
+	loader := data.NewLoader(t.Train, t.Batch, t.RNG)
+	stepsPerEpoch := (t.Train.Len() + t.Batch - 1) / t.Batch
+	total := t.Epochs * stepsPerEpoch
+	step := 0
+	for ep := 0; ep < t.Epochs; ep++ {
+		if t.Pruner != nil {
+			t.Pruner.Step(float64(ep) / float64(maxInt(1, t.Epochs-1)))
+		}
+		var lossSum float64
+		var batches int
+		for {
+			x, y, ok := loader.Next()
+			if !ok {
+				break
+			}
+			t.Opt.SetLR(t.Sched.LR(step, total))
+			logits := t.Model.Forward(x)
+			loss, grad := nn.CrossEntropyLoss(logits, y)
+			lossSum += float64(loss)
+			batches++
+			nn.ZeroGrads(t.Model)
+			t.Model.Backward(grad)
+			if t.Freezer != nil {
+				t.Freezer.MaskGrads()
+			}
+			t.Opt.Step(t.Model.Params())
+			if t.Pruner != nil {
+				t.Pruner.Apply()
+			}
+			step++
+		}
+		res.TrainLoss = append(res.TrainLoss, float32(lossSum/float64(maxInt(1, batches))))
+		if t.Test != nil {
+			res.TestAcc = append(res.TestAcc, Evaluate(t.Model, t.Test, t.Batch))
+		}
+		if t.Freezer != nil {
+			t.Freezer.EndEpoch(ep, t.Epochs)
+		}
+		if t.Verbose {
+			acc := float32(0)
+			if len(res.TestAcc) > 0 {
+				acc = res.TestAcc[len(res.TestAcc)-1]
+			}
+			fmt.Printf("epoch %d: loss %.4f acc %.4f\n", ep, res.TrainLoss[len(res.TrainLoss)-1], acc)
+		}
+	}
+	return res
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Freezer implements the PROFIT training method (Park & Yoo, 2020): in
+// the tail phase of QAT, the layers whose weights moved the most (the
+// activation-instability proxy) are frozen progressively so the remaining
+// layers settle around them.
+type Freezer struct {
+	// Groups are the per-layer parameter sets eligible for freezing.
+	Groups [][]*nn.Param
+	// StartFrac is the training fraction after which freezing begins.
+	StartFrac float64
+	snapshot  map[*nn.Param]*tensor.Tensor
+	frozen    map[*nn.Param]bool
+	order     []int // group indices sorted by instability, filled lazily
+	nextIdx   int
+}
+
+// NewFreezer builds a freezer over the quantized layers of a model.
+func NewFreezer(model nn.Layer) *Freezer {
+	f := &Freezer{StartFrac: 0.5, frozen: map[*nn.Param]bool{}, snapshot: map[*nn.Param]*tensor.Tensor{}}
+	convs, lins, _ := quant.QuantizedLayers(model)
+	for _, c := range convs {
+		f.Groups = append(f.Groups, c.Conv.Params())
+	}
+	for _, l := range lins {
+		f.Groups = append(f.Groups, l.Lin.Params())
+	}
+	for _, g := range f.Groups {
+		for _, p := range g {
+			f.snapshot[p] = p.Data.Clone()
+		}
+	}
+	return f
+}
+
+// MaskGrads zeroes gradients of frozen parameters (call between backward
+// and the optimizer step).
+func (f *Freezer) MaskGrads() {
+	for p, fr := range f.frozen {
+		if fr {
+			p.Grad.Zero()
+		}
+	}
+}
+
+// EndEpoch freezes the next most-unstable group once past StartFrac.
+func (f *Freezer) EndEpoch(ep, total int) {
+	if total <= 0 || float64(ep+1)/float64(total) < f.StartFrac || len(f.Groups) == 0 {
+		return
+	}
+	if f.order == nil {
+		type gi struct {
+			idx int
+			mv  float64
+		}
+		var gs []gi
+		for i, g := range f.Groups {
+			var mv float64
+			for _, p := range g {
+				snap := f.snapshot[p]
+				for k := range p.Data.Data {
+					d := float64(p.Data.Data[k] - snap.Data[k])
+					mv += d * d
+				}
+			}
+			gs = append(gs, gi{i, mv})
+		}
+		// Most unstable first.
+		for i := range gs {
+			for j := i + 1; j < len(gs); j++ {
+				if gs[j].mv > gs[i].mv {
+					gs[i], gs[j] = gs[j], gs[i]
+				}
+			}
+		}
+		for _, e := range gs {
+			f.order = append(f.order, e.idx)
+		}
+	}
+	// Freeze groups gradually: spread the remaining epochs over groups.
+	remainEpochs := total - ep - 1
+	remainGroups := len(f.order) - f.nextIdx
+	if remainEpochs <= 0 || remainGroups <= 0 {
+		return
+	}
+	toFreeze := (remainGroups + remainEpochs - 1) / remainEpochs
+	for k := 0; k < toFreeze && f.nextIdx < len(f.order); k++ {
+		for _, p := range f.Groups[f.order[f.nextIdx]] {
+			f.frozen[p] = true
+		}
+		f.nextIdx++
+	}
+}
+
+// FrozenCount reports how many groups are currently frozen.
+func (f *Freezer) FrozenCount() int { return f.nextIdx }
+
+// PTQ calibrates a prepared model's observers and optionally runs a
+// reconstruction phase that optimizes only the quantizer parameters
+// (AdaRound rounding logits, LSQ steps, clip values) against the stored
+// full-precision logits — the workflow behind AdaRound and QDrop.
+type PTQ struct {
+	Model nn.Layer
+	// Calib supplies calibration batches.
+	Calib *data.Dataset
+	Batch int
+	// FPLogits are the full-precision model outputs on the calibration
+	// set, captured by CaptureFP before quant.Prepare.
+	FPLogits []*tensor.Tensor
+	// Steps of Adam reconstruction; 0 skips reconstruction (pure MinMax).
+	Steps int
+	LR    float32
+	// RegWeight anneals the AdaRound rounding regularizer.
+	RegWeight float32
+}
+
+// CaptureFP records full-precision logits for the calibration set; call on
+// the float model before quant.Prepare.
+func CaptureFP(model nn.Layer, calib *data.Dataset, batch int) []*tensor.Tensor {
+	nn.SetTraining(model, false)
+	defer nn.SetTraining(model, true)
+	var out []*tensor.Tensor
+	loader := data.NewLoader(calib, batch, nil)
+	for {
+		x, _, ok := loader.Next()
+		if !ok {
+			break
+		}
+		out = append(out, model.Forward(x).Clone())
+	}
+	return out
+}
+
+// QuantizerParams collects only the learnable quantizer parameters of a
+// prepared model (weights themselves stay fixed during PTQ).
+func QuantizerParams(model nn.Layer) []*nn.Param {
+	var ps []*nn.Param
+	convs, lins, _ := quant.QuantizedLayers(model)
+	for _, c := range convs {
+		ps = append(ps, c.WQuant.Params()...)
+		ps = append(ps, c.AQuant.Params()...)
+	}
+	for _, l := range lins {
+		ps = append(ps, l.WQuant.Params()...)
+		ps = append(ps, l.AQuant.Params()...)
+	}
+	return ps
+}
+
+// adaRounders returns all AdaRound weight quantizers in the model.
+func adaRounders(model nn.Layer) []*quant.AdaRound {
+	var out []*quant.AdaRound
+	convs, lins, _ := quant.QuantizedLayers(model)
+	for _, c := range convs {
+		if a, ok := c.WQuant.(*quant.AdaRound); ok {
+			out = append(out, a)
+		}
+	}
+	for _, l := range lins {
+		if a, ok := l.WQuant.(*quant.AdaRound); ok {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Run calibrates and reconstructs. Returns the final reconstruction loss.
+func (p *PTQ) Run() float32 {
+	nn.SetTraining(p.Model, false)
+	// Phase 1: observer calibration.
+	loader := data.NewLoader(p.Calib, p.Batch, nil)
+	for {
+		x, _, ok := loader.Next()
+		if !ok {
+			break
+		}
+		p.Model.Forward(x)
+	}
+	quant.SetCalibrating(p.Model, false)
+	if p.Steps == 0 || len(p.FPLogits) == 0 {
+		return 0
+	}
+	// Phase 2: quantizer-parameter reconstruction against FP logits.
+	opt := NewAdam(p.LR)
+	params := QuantizerParams(p.Model)
+	ada := adaRounders(p.Model)
+	var last float32
+	for step := 0; step < p.Steps; step++ {
+		loader := data.NewLoader(p.Calib, p.Batch, nil)
+		bi := 0
+		for {
+			x, _, ok := loader.Next()
+			if !ok {
+				break
+			}
+			if bi >= len(p.FPLogits) {
+				break
+			}
+			logits := p.Model.Forward(x)
+			loss, grad := nn.MSELoss(logits, p.FPLogits[bi])
+			for _, pp := range params {
+				pp.ZeroGrad()
+			}
+			nn.ZeroGrads(p.Model)
+			p.Model.Backward(grad)
+			reg := float32(0)
+			for _, a := range ada {
+				reg += a.RegLoss(p.RegWeight)
+			}
+			last = loss + reg
+			opt.Step(params)
+			bi++
+		}
+	}
+	return last
+}
+
+// SSLTrainer pre-trains an encoder with Barlow Twins plus the XD
+// cross-distillation term on unlabeled data.
+type SSLTrainer struct {
+	Encoder   nn.Layer
+	Projector *ssl.Projector
+	Opt       *Adam
+	Epochs    int
+	Data      *data.Dataset
+	Batch     int
+	RNG       *tensor.RNG
+	Lambda    float32 // off-diagonal weight
+	XDWeight  float32 // weight of the encoder-feature XD term
+}
+
+// Run executes SSL pre-training, returning per-epoch losses.
+func (t *SSLTrainer) Run() []float32 {
+	var losses []float32
+	loader := data.NewLoader(t.Data, t.Batch, t.RNG)
+	params := append(t.Encoder.Params(), t.Projector.Params()...)
+	for ep := 0; ep < t.Epochs; ep++ {
+		var sum float64
+		var batches int
+		for {
+			x, _, ok := loader.Next()
+			if !ok {
+				break
+			}
+			v1, v2 := data.TwoViews(t.RNG, x)
+			// Forward both views, keeping copies of the embeddings; the
+			// layer caches only hold the most recent forward, so backward
+			// runs per view with a re-forward in between.
+			h1 := t.Encoder.Forward(v1).Clone()
+			z1 := t.Projector.Forward(h1).Clone()
+			h2 := t.Encoder.Forward(v2)
+			z2 := t.Projector.Forward(h2)
+			loss, g1, g2 := ssl.BarlowLoss(z1, z2, t.Lambda)
+			var gh1, gh2 *tensor.Tensor
+			if t.XDWeight > 0 {
+				xdLoss, xg1, xg2 := ssl.XDLoss(h1, h2, t.Lambda)
+				loss += t.XDWeight * xdLoss
+				tensor.ScaleInPlace(xg1, t.XDWeight)
+				tensor.ScaleInPlace(xg2, t.XDWeight)
+				gh1, gh2 = xg1, xg2
+			}
+			sum += float64(loss)
+			batches++
+			// Backward view 2 (caches are valid for it).
+			nn.ZeroGrads(t.Encoder)
+			for _, p := range t.Projector.Params() {
+				p.ZeroGrad()
+			}
+			gfeat := t.Projector.Backward(g2)
+			if gh2 != nil {
+				tensor.AddInPlace(gfeat, gh2)
+			}
+			t.Encoder.Backward(gfeat)
+			// Re-forward view 1 to refresh caches, then backward.
+			t.Encoder.Forward(v1)
+			t.Projector.Forward(h1)
+			gfeat = t.Projector.Backward(g1)
+			if gh1 != nil {
+				tensor.AddInPlace(gfeat, gh1)
+			}
+			t.Encoder.Backward(gfeat)
+			t.Opt.Step(params)
+		}
+		losses = append(losses, float32(sum/float64(maxInt(1, batches))))
+	}
+	return losses
+}
