@@ -11,6 +11,7 @@ import (
 
 	"torch2chip/internal/bench"
 	"torch2chip/internal/data"
+	"torch2chip/internal/engine"
 	"torch2chip/internal/intmath"
 	"torch2chip/internal/models"
 	"torch2chip/internal/quant"
@@ -176,6 +177,82 @@ func BenchmarkQuantizerFakeQuant(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		q.TrainForward(x)
 	}
+}
+
+// BenchmarkEngineVsIntModel compares the graph-IR engine (planned arena,
+// parallel blocked kernels) against the IntLayer interpreter on the
+// serving hot path at batch 1, 8, and 32. allocs/op is the headline: the
+// engine must stay flat while the interpreter allocates per op.
+func BenchmarkEngineVsIntModel(b *testing.B) {
+	trainDS, _ := data.Generate(data.SynthCIFAR10, 64, 8)
+	g := tensor.NewRNG(8)
+	model := models.NewMobileNetV1(g, models.MobileNetConfig{WidthMult: 1, NumClasses: 10, Blocks: 4})
+	xw, _ := trainDS.Batch([]int{0, 1, 2, 3})
+	model.Forward(xw) // realistic BN stats
+	im := buildDeploy(b, model, trainDS)
+	prog, err := engine.Lower(im)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, batch := range []int{1, 8, 32} {
+		x := g.Uniform(0, 1, batch, 3, 32, 32)
+		b.Run(fmt.Sprintf("interpreter/batch%d", batch), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				im.Forward(x)
+			}
+		})
+		b.Run(fmt.Sprintf("engine/batch%d", batch), func(b *testing.B) {
+			ex, err := engine.NewExecutor(prog, x.Shape)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := ex.Execute(x); err != nil { // warm scratch
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ex.Execute(x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineServer measures the batched serving runtime under
+// concurrent single-sample load.
+func BenchmarkEngineServer(b *testing.B) {
+	trainDS, _ := data.Generate(data.SynthCIFAR10, 64, 8)
+	g := tensor.NewRNG(9)
+	model := models.NewMobileNetV1(g, models.MobileNetConfig{WidthMult: 1, NumClasses: 10, Blocks: 4})
+	xw, _ := trainDS.Batch([]int{0, 1, 2, 3})
+	model.Forward(xw)
+	im := buildDeploy(b, model, trainDS)
+	prog, err := engine.Lower(im)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := engine.NewServer(prog, []int{3, 32, 32}, engine.ServerOptions{MaxBatch: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	x := g.Uniform(0, 1, 1, 3, 32, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := srv.Infer(x); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	st := srv.Stats()
+	b.ReportMetric(st.MeanBatch(), "mean_batch")
 }
 
 func BenchmarkDeployForwardMobileNet(b *testing.B) {

@@ -7,6 +7,7 @@
 //	t2c-bench -exp table3            # sparse + low-precision ResNet-50
 //	t2c-bench -exp table4            # SSL transfer vs supervised
 //	t2c-bench -exp fig3|fig4|fig5    # workflow figures
+//	t2c-bench -exp engine            # graph-IR engine vs interpreter + serving
 //	t2c-bench -exp all -scale quick  # everything at test scale
 package main
 
@@ -20,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1..table4, fig3..fig5, ablation, all")
+	exp := flag.String("exp", "all", "experiment: table1..table4, fig3..fig5, ablation, engine, all")
 	scale := flag.String("scale", "quick", "compute scale: quick or full")
 	outDir := flag.String("out", "bench-out", "output directory for export artifacts (fig5)")
 	flag.Parse()
@@ -95,6 +96,12 @@ func main() {
 	if want("fig5") {
 		any = true
 		run("fig5", func() { fmt.Print(bench.FormatFig5(bench.Fig5(sc, *outDir))) })
+	}
+	if want("engine") {
+		any = true
+		run("engine", func() {
+			fmt.Print(bench.FormatEngine(bench.EngineComparison(sc), bench.ServeComparison(sc)))
+		})
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)

@@ -1,19 +1,33 @@
 // Command t2c runs the end-to-end Torch2Chip workflow on a chosen model
 // and synthetic dataset: train (QAT or FP32+PTQ), calibrate, fuse,
-// convert to the integer-only deploy model, and export the parameters.
+// convert to the integer-only deploy model, and export the parameters
+// (the JSON checkpoint carries the compiled engine program).
 //
 //	t2c -model mobilenet -dataset cifar10 -wbits 4 -abits 4 \
-//	    -weight sawb -act pact -trainer qat -epochs 8 -out out/
+//	    -weight sawb -act pact -trainer qat -epochs 8 -out out/ \
+//	    -save-inputs 16
+//
+// The serve subcommand loads an exported checkpoint and runs the batched
+// graph-IR serving runtime over a directory of input tensor files:
+//
+//	t2c serve -ckpt out/model_int.json -in out/inputs
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
+	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"torch2chip/internal/core"
 	"torch2chip/internal/data"
+	"torch2chip/internal/engine"
+	"torch2chip/internal/export"
 	"torch2chip/internal/models"
 	"torch2chip/internal/nn"
 	"torch2chip/internal/quant"
@@ -22,6 +36,112 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		runServe(os.Args[2:])
+		return
+	}
+	runCompile()
+}
+
+// runServe loads a checkpoint's program section and serves every input
+// tensor file in a directory through the micro-batching runtime.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	ckptPath := fs.String("ckpt", "t2c-out/model_int.json", "JSON checkpoint with program section")
+	inDir := fs.String("in", "", "directory of input tensor JSON files ({\"shape\":[C,H,W],\"data\":[...]})")
+	workers := fs.Int("workers", 0, "serving workers (0 = auto)")
+	maxBatch := fs.Int("max-batch", 8, "micro-batch size")
+	wait := fs.Duration("batch-wait", 500*time.Microsecond, "max wait to fill a micro-batch")
+	if err := fs.Parse(args); err != nil {
+		log.Fatal(err)
+	}
+	if *inDir == "" {
+		log.Fatal("serve: -in directory is required (export with -save-inputs to generate one)")
+	}
+
+	f, err := os.Open(*ckptPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ck, err := export.ReadJSON(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := engine.FromCheckpoint(ck)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	files, err := filepath.Glob(filepath.Join(*inDir, "*.json"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		log.Fatalf("serve: no *.json inputs in %s", *inDir)
+	}
+	inputs := make([]*tensor.Tensor, len(files))
+	for i, fn := range files {
+		fp, err := os.Open(fn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		it, err := export.ReadInputJSON(fp)
+		fp.Close()
+		if err != nil {
+			log.Fatalf("serve: %s: %v", fn, err)
+		}
+		shape := it.Shape
+		if len(shape) == 4 && shape[0] == 1 {
+			shape = shape[1:]
+		}
+		inputs[i] = tensor.FromSlice(it.Data, shape...)
+		// Every file must agree on the sample shape: equal element count
+		// with a different layout would be silently misinterpreted.
+		if i > 0 && fmt.Sprint(shape) != fmt.Sprint(inputs[0].Shape) {
+			log.Fatalf("serve: %s has shape %v, but %s set the sample shape to %v",
+				fn, shape, filepath.Base(files[0]), inputs[0].Shape)
+		}
+	}
+	sample := inputs[0].Shape
+
+	srv, err := engine.NewServer(prog, sample, engine.ServerOptions{
+		Workers: *workers, MaxBatch: *maxBatch, BatchWait: *wait,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	results := make([]*tensor.Tensor, len(inputs))
+	errs := make([]error, len(inputs))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := range inputs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = srv.Infer(inputs[i])
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	for i, fn := range files {
+		if errs[i] != nil {
+			fmt.Printf("%-30s ERROR %v\n", filepath.Base(fn), errs[i])
+			continue
+		}
+		fmt.Printf("%-30s class %d\n", filepath.Base(fn), results[i].Argmax())
+	}
+	st := srv.Stats()
+	fmt.Printf("served %d requests in %s (%.0f req/s), %d batches, mean batch %.2f\n",
+		st.Requests, elapsed.Round(time.Millisecond),
+		float64(st.Requests)/elapsed.Seconds(), st.Batches, st.MeanBatch())
+}
+
+func runCompile() {
 	modelName := flag.String("model", "mobilenet", "model: resnet20|resnet18|resnet50|mobilenet|vit")
 	dataset := flag.String("dataset", "cifar10", "dataset: cifar10|cifar100|imagenet|aircraft|flowers|food")
 	wbits := flag.Int("wbits", 8, "weight bits")
@@ -34,6 +154,7 @@ func main() {
 	testN := flag.Int("test-n", 200, "test samples")
 	out := flag.String("out", "t2c-out", "export directory")
 	formats := flag.String("formats", "hex,json", "comma-separated export formats: hex,bin,raw,json")
+	saveInputs := flag.Int("save-inputs", 0, "also write N test samples to <out>/inputs for t2c serve")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
@@ -109,18 +230,57 @@ func main() {
 		return
 	}
 	nn.SetTraining(model, false)
-	im, err := t2c.Convert()
+	cm, err := t2c.Compile()
 	if err != nil {
 		log.Fatal(err)
 	}
+	im := cm.Int
 	fmt.Print(core.Summary(im))
+	if plan, err := cm.Prog.PlanBuffers([]int{8, 3, spec.Size, spec.Size}); err == nil {
+		fmt.Printf("compiled program: %d instrs, batch-8 %s\n", len(cm.Prog.Instrs), plan)
+	} else {
+		log.Fatalf("compiled program does not plan at batch 8: %v", err)
+	}
 
 	var fs []core.Format
 	for _, f := range strings.Split(*formats, ",") {
 		fs = append(fs, core.Format(strings.TrimSpace(f)))
 	}
-	if err := t2c.Export(im, *out, fs...); err != nil {
+	if err := t2c.ExportCompiled(cm, *out, fs...); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("exported %v to %s\n", fs, *out)
+
+	if *saveInputs > 0 {
+		dir := filepath.Join(*out, "inputs")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		n := *saveInputs
+		if n > testDS.Len() {
+			n = testDS.Len()
+		}
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		x, _ := testDS.Batch(idx)
+		sampleN := x.Numel() / n
+		shape := append([]int(nil), x.Shape[1:]...)
+		for i := 0; i < n; i++ {
+			fp, err := os.Create(filepath.Join(dir, fmt.Sprintf("input_%03d.json", i)))
+			if err != nil {
+				log.Fatal(err)
+			}
+			err = export.WriteInputJSON(fp, shape, x.Data[i*sampleN:(i+1)*sampleN])
+			cerr := fp.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if cerr != nil {
+				log.Fatal(cerr)
+			}
+		}
+		fmt.Printf("wrote %d serving inputs to %s\n", n, dir)
+	}
 }

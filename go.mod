@@ -1,0 +1,3 @@
+module torch2chip
+
+go 1.24

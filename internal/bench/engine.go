@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"torch2chip/internal/core"
+	"torch2chip/internal/data"
+	"torch2chip/internal/engine"
+	"torch2chip/internal/models"
+	"torch2chip/internal/nn"
+	"torch2chip/internal/tensor"
+)
+
+// EngineRow compares the graph-IR engine against the IntLayer interpreter
+// for one model at one batch size.
+type EngineRow struct {
+	Model string
+	Batch int
+
+	InterpUsPerSample float64 // interpreter latency, µs per sample
+	EngineUsPerSample float64 // engine latency, µs per sample
+	Speedup           float64
+
+	InterpAllocs float64 // heap allocations per forward
+	EngineAllocs float64 // heap allocations per execute
+
+	PlannedBytes int64 // planned arena footprint
+	NaiveBytes   int64 // per-op allocation footprint
+}
+
+// ServeRow summarizes one batched-serving run.
+type ServeRow struct {
+	Model      string
+	Clients    int
+	Requests   int
+	Throughput float64 // requests per second
+	MeanBatch  float64 // average coalesced batch size
+}
+
+// buildZooModel constructs the named zoo model for engine comparisons.
+func buildZooModel(g *tensor.RNG, name string, numClasses int) nn.Layer {
+	switch name {
+	case "resnet20":
+		return models.NewResNet(g, models.ResNet20(numClasses))
+	case "mobilenet":
+		return models.NewMobileNetV1(g, models.MobileNetConfig{WidthMult: 1, NumClasses: numClasses, Blocks: 4})
+	default:
+		panic(fmt.Sprintf("bench: unknown engine model %q", name))
+	}
+}
+
+// engineModel builds and compiles one zoo model for the comparison.
+func engineModel(sc Scale, name string) (*core.Compiled, *data.Dataset) {
+	trainDS, _ := data.Generate(data.SynthCIFAR10, sc.TrainN/2, 8)
+	g := tensor.NewRNG(9300)
+	model := buildZooModel(g, name, trainDS.NumClasses)
+	x, _ := trainDS.Batch([]int{0, 1, 2, 3})
+	model.Forward(x) // realistic BN statistics
+	t2c := core.New(model, core.DefaultConfig())
+	t2c.Prepare()
+	if err := t2c.Calibrate(trainDS.Subset(5), 16); err != nil {
+		panic(err)
+	}
+	nn.SetTraining(model, false)
+	cm, err := t2c.Compile()
+	if err != nil {
+		panic(err)
+	}
+	return cm, trainDS
+}
+
+// timeAndAllocs runs f repeatedly for at least minIters and reports
+// (wall-clock per call, heap allocations per call).
+func timeAndAllocs(minIters int, f func()) (time.Duration, float64) {
+	f() // warm scratch buffers and caches
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < minIters; i++ {
+		f()
+	}
+	el := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return el / time.Duration(minIters), float64(m1.Mallocs-m0.Mallocs) / float64(minIters)
+}
+
+// EngineComparison measures interpreter-vs-engine latency, allocations,
+// and memory footprint at batch 1, 8, and 32.
+func EngineComparison(sc Scale) []EngineRow {
+	var rows []EngineRow
+	for _, name := range []string{"mobilenet", "resnet20"} {
+		cm, _ := engineModel(sc, name)
+		g := tensor.NewRNG(9400)
+		for _, batch := range []int{1, 8, 32} {
+			x := g.Uniform(0, 1, batch, 3, 32, 32)
+			ex, err := engine.NewExecutor(cm.Prog, x.Shape)
+			if err != nil {
+				panic(err)
+			}
+			iters := 3
+			if batch == 1 {
+				iters = 10
+			}
+			interp, interpAllocs := timeAndAllocs(iters, func() { cm.Int.Forward(x) })
+			eng, engAllocs := timeAndAllocs(iters, func() {
+				if _, err := ex.Execute(x); err != nil {
+					panic(err)
+				}
+			})
+			plan := ex.Plan()
+			rows = append(rows, EngineRow{
+				Model: name, Batch: batch,
+				InterpUsPerSample: float64(interp.Microseconds()) / float64(batch),
+				EngineUsPerSample: float64(eng.Microseconds()) / float64(batch),
+				Speedup:           float64(interp) / float64(eng),
+				InterpAllocs:      interpAllocs,
+				EngineAllocs:      engAllocs,
+				PlannedBytes:      plan.PlannedBytes(),
+				NaiveBytes:        plan.NaiveBytes(),
+			})
+		}
+	}
+	return rows
+}
+
+// ServeComparison drives the batched serving runtime with concurrent
+// clients and reports throughput and coalescing.
+func ServeComparison(sc Scale) []ServeRow {
+	cm, _ := engineModel(sc, "mobilenet")
+	g := tensor.NewRNG(9500)
+	var rows []ServeRow
+	for _, clients := range []int{1, 8} {
+		srv, err := engine.NewServer(cm.Prog, []int{3, 32, 32}, engine.ServerOptions{MaxBatch: 8})
+		if err != nil {
+			panic(err)
+		}
+		perClient := 24
+		inputs := make([]*tensor.Tensor, clients)
+		for i := range inputs {
+			inputs[i] = g.Uniform(0, 1, 1, 3, 32, 32)
+		}
+		start := time.Now()
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for r := 0; r < perClient; r++ {
+					if _, err := srv.Infer(inputs[c]); err != nil {
+						panic(err)
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		el := time.Since(start)
+		st := srv.Stats()
+		srv.Close()
+		rows = append(rows, ServeRow{
+			Model: "mobilenet", Clients: clients, Requests: clients * perClient,
+			Throughput: float64(clients*perClient) / el.Seconds(),
+			MeanBatch:  st.MeanBatch(),
+		})
+	}
+	return rows
+}
+
+// FormatEngine renders the engine comparison tables.
+func FormatEngine(rows []EngineRow, serve []ServeRow) string {
+	var sb strings.Builder
+	sb.WriteString("Engine — graph-IR executor vs IntLayer interpreter\n")
+	fmt.Fprintf(&sb, "%-10s %6s %14s %14s %8s %14s %14s %12s %12s\n",
+		"model", "batch", "interp µs/smp", "engine µs/smp", "speedup",
+		"interp allocs", "engine allocs", "planned B", "naive B")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %6d %14.0f %14.0f %7.2fx %14.1f %14.1f %12d %12d\n",
+			r.Model, r.Batch, r.InterpUsPerSample, r.EngineUsPerSample, r.Speedup,
+			r.InterpAllocs, r.EngineAllocs, r.PlannedBytes, r.NaiveBytes)
+	}
+	sb.WriteString("\nServing — micro-batching runtime\n")
+	fmt.Fprintf(&sb, "%-10s %8s %9s %12s %10s\n", "model", "clients", "requests", "req/s", "mean batch")
+	for _, r := range serve {
+		fmt.Fprintf(&sb, "%-10s %8d %9d %12.0f %10.2f\n", r.Model, r.Clients, r.Requests, r.Throughput, r.MeanBatch)
+	}
+	return sb.String()
+}

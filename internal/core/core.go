@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"torch2chip/internal/data"
+	"torch2chip/internal/engine"
 	"torch2chip/internal/export"
 	"torch2chip/internal/fuse"
 	"torch2chip/internal/nn"
@@ -112,6 +113,28 @@ func (t *T2C) Convert() (*fuse.IntModel, error) {
 	return fuse.Convert(t.Model, opts)
 }
 
+// Compiled pairs the interpreter-form deploy model (the parity oracle)
+// with its compiled graph program (the serving artifact).
+type Compiled struct {
+	Int  *fuse.IntModel
+	Prog *engine.Program
+}
+
+// Compile converts the model and lowers the result into the engine's
+// graph IR in one step — the deploy artifact the serving runtime and the
+// checkpoint's program section are built from.
+func (t *T2C) Compile() (*Compiled, error) {
+	im, err := t.Convert()
+	if err != nil {
+		return nil, err
+	}
+	prog, err := engine.Lower(im)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{Int: im, Prog: prog}, nil
+}
+
 // widthsFor assigns export widths: weights carry the configured weight
 // precision, scaler scales are INT16, scaler biases INT32.
 func (t *T2C) widthsFor(names map[string]*tensor.IntTensor) map[string]int {
@@ -131,8 +154,21 @@ func (t *T2C) widthsFor(names map[string]*tensor.IntTensor) map[string]int {
 
 // Export writes the integer model parameters to dir in the requested
 // formats. Hex/bin/raw produce one file per tensor; json produces a
-// single checkpoint file.
+// single checkpoint file that also carries the compiled program section
+// (the serialized graph IR), so the checkpoint alone reconstructs a
+// servable engine.Program.
 func (t *T2C) Export(im *fuse.IntModel, dir string, formats ...Format) error {
+	return t.exportWith(im, nil, dir, formats...)
+}
+
+// ExportCompiled is Export for an already-compiled model: the JSON
+// checkpoint embeds cm.Prog instead of lowering cm.Int a second time, so
+// the exported program is the exact artifact the caller planned/served.
+func (t *T2C) ExportCompiled(cm *Compiled, dir string, formats ...Format) error {
+	return t.exportWith(cm.Int, cm.Prog, dir, formats...)
+}
+
+func (t *T2C) exportWith(im *fuse.IntModel, prog *engine.Program, dir string, formats ...Format) error {
 	tensors := im.IntTensors()
 	widths := t.widthsFor(tensors)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -141,11 +177,19 @@ func (t *T2C) Export(im *fuse.IntModel, dir string, formats ...Format) error {
 	for _, f := range formats {
 		switch f {
 		case FormatJSON:
+			if prog == nil {
+				var err error
+				prog, err = engine.Lower(im)
+				if err != nil {
+					return err
+				}
+			}
 			fp, err := os.Create(filepath.Join(dir, "model_int.json"))
 			if err != nil {
 				return err
 			}
 			ck := export.NewCheckpoint(tensors, widths)
+			ck.Program = prog.Spec()
 			err = ck.WriteJSON(fp)
 			cerr := fp.Close()
 			if err != nil {

@@ -1,0 +1,361 @@
+package engine_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"torch2chip/internal/core"
+	"torch2chip/internal/data"
+	"torch2chip/internal/engine"
+	"torch2chip/internal/export"
+	"torch2chip/internal/fuse"
+	"torch2chip/internal/models"
+	"torch2chip/internal/nn"
+	"torch2chip/internal/tensor"
+)
+
+// compile runs prepare→calibrate→convert→lower on a model over synthetic
+// CIFAR data and returns the interpreter and the compiled program.
+func compile(t testing.TB, model nn.Layer, calib *data.Dataset) (*fuse.IntModel, *engine.Program) {
+	t.Helper()
+	t2c := core.New(model, core.DefaultConfig())
+	t2c.Prepare()
+	if err := t2c.Calibrate(calib.Subset(8), 4); err != nil {
+		t.Fatal(err)
+	}
+	nn.SetTraining(model, false)
+	cm, err := t2c.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cm.Int, cm.Prog
+}
+
+// smallCNN is a conv-bn-relu ×2 → pool → linear chain with realistic BN
+// statistics.
+func smallCNN(g *tensor.RNG) nn.Layer {
+	model := nn.NewSequential(
+		nn.NewConv2d(g, 3, 8, 3, 1, 1, 1, false),
+		nn.NewBatchNorm2d(8),
+		&nn.ReLU{},
+		nn.NewConv2d(g, 8, 8, 3, 2, 1, 1, false),
+		nn.NewBatchNorm2d(8),
+		&nn.ReLU{},
+		&nn.AvgPool{Kernel: 0},
+		&nn.Flatten{},
+		nn.NewLinear(g, 8, 10, true),
+	)
+	for i := 0; i < 4; i++ {
+		model.Forward(g.Uniform(0, 1, 4, 3, 8, 8))
+	}
+	return model
+}
+
+// assertBitIdentical checks that the program reproduces the interpreter's
+// output codes and logits exactly on batch inputs.
+func assertBitIdentical(t *testing.T, im *fuse.IntModel, prog *engine.Program, x *tensor.Tensor, reg *engine.Registry) {
+	t.Helper()
+	ex, err := engine.NewExecutor(prog, x.Shape, engine.WithKernels(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCodes := im.ForwardCodes(x)
+	gotCodes, err := ex.ExecuteCodes(im.InQuant.Quantize(x), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wantCodes.Data) != len(gotCodes.Data) {
+		t.Fatalf("code count %d vs %d", len(gotCodes.Data), len(wantCodes.Data))
+	}
+	for i := range wantCodes.Data {
+		if wantCodes.Data[i] != gotCodes.Data[i] {
+			t.Fatalf("code[%d] = %d, interpreter %d", i, gotCodes.Data[i], wantCodes.Data[i])
+		}
+	}
+	want := im.Forward(x)
+	got, err := ex.Execute(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatalf("logit[%d] = %v, interpreter %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestExecuteBitIdenticalSmallCNN(t *testing.T) {
+	g := tensor.NewRNG(1)
+	calib, _ := data.Generate(data.SynthCIFAR10, 32, 8)
+	model := smallCNN(g)
+	// The synthetic dataset is 32×32; smallCNN was warmed on 8×8 — both
+	// work since the model is input-size agnostic until the flatten.
+	im, prog := compile(t, model, calib)
+	x := g.Uniform(0, 1, 4, 3, 8, 8)
+	t.Run("fast", func(t *testing.T) { assertBitIdentical(t, im, prog, x, engine.FastKernels()) })
+	t.Run("reference", func(t *testing.T) { assertBitIdentical(t, im, prog, x, engine.ReferenceKernels()) })
+}
+
+func TestExecuteBitIdenticalZoo(t *testing.T) {
+	calib, _ := data.Generate(data.SynthCIFAR10, 48, 8)
+	for _, tc := range []struct {
+		name  string
+		build func(g *tensor.RNG) nn.Layer
+	}{
+		{"resnet20", func(g *tensor.RNG) nn.Layer { return models.NewResNet(g, models.ResNet20(10)) }},
+		{"resnet18", func(g *tensor.RNG) nn.Layer { return models.NewResNet(g, models.ResNet18(10)) }},
+		{"resnet50", func(g *tensor.RNG) nn.Layer { return models.NewResNet(g, models.ResNet50(10)) }},
+		{"mobilenet", func(g *tensor.RNG) nn.Layer {
+			return models.NewMobileNetV1(g, models.MobileNetConfig{WidthMult: 1, NumClasses: 10, Blocks: 4})
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := tensor.NewRNG(7)
+			model := tc.build(g)
+			// Realistic BN running statistics before freezing.
+			x, _ := calib.Batch([]int{0, 1, 2, 3})
+			model.Forward(x)
+			im, prog := compile(t, model, calib)
+			for _, batch := range []int{1, 3} {
+				xb := g.Uniform(0, 1, batch, 3, 32, 32)
+				assertBitIdentical(t, im, prog, xb, engine.FastKernels())
+			}
+		})
+	}
+}
+
+func TestViTNotLowerable(t *testing.T) {
+	// The ViT path stops at calibration (attention has no deploy
+	// lowering); Convert must fail cleanly rather than mis-compile.
+	g := tensor.NewRNG(3)
+	model := models.NewViT(g, models.ViT7(32, 10))
+	calib, _ := data.Generate(data.SynthCIFAR10, 16, 8)
+	t2c := core.New(model, core.DefaultConfig())
+	t2c.Prepare()
+	if err := t2c.Calibrate(calib.Subset(8), 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2c.Compile(); err == nil {
+		t.Fatal("expected ViT lowering to fail")
+	}
+}
+
+func TestPlannerReusesBuffers(t *testing.T) {
+	g := tensor.NewRNG(11)
+	calib, _ := data.Generate(data.SynthCIFAR10, 32, 8)
+	model := models.NewResNet(g, models.ResNet20(10))
+	x, _ := calib.Batch([]int{0, 1})
+	model.Forward(x)
+	_, prog := compile(t, model, calib)
+	plan, err := prog.PlanBuffers([]int{8, 3, 32, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.ArenaWords >= plan.NaiveWords {
+		t.Fatalf("planned %d words not smaller than naive %d", plan.ArenaWords, plan.NaiveWords)
+	}
+	// A deep residual chain should reuse aggressively: expect ≥2× saving.
+	if 2*plan.ArenaWords > plan.NaiveWords {
+		t.Errorf("planned %d vs naive %d: expected ≥2× reuse", plan.ArenaWords, plan.NaiveWords)
+	}
+	// Every buffer must fit inside the arena.
+	for b, off := range plan.Offsets {
+		if off < 0 {
+			continue
+		}
+		if end := off + tensor.Numel(plan.Shapes[b]); end > plan.ArenaWords {
+			t.Fatalf("buffer %d [%d,%d) exceeds arena %d", b, off, end, plan.ArenaWords)
+		}
+	}
+}
+
+func TestPlannerRejectsBadShape(t *testing.T) {
+	g := tensor.NewRNG(12)
+	calib, _ := data.Generate(data.SynthCIFAR10, 32, 8)
+	model := smallCNN(g)
+	_, prog := compile(t, model, calib)
+	if _, err := prog.PlanBuffers([]int{1, 3}); err == nil {
+		t.Fatal("expected rank error")
+	}
+}
+
+func TestExecutorRejectsWrongInput(t *testing.T) {
+	g := tensor.NewRNG(13)
+	calib, _ := data.Generate(data.SynthCIFAR10, 32, 8)
+	model := smallCNN(g)
+	_, prog := compile(t, model, calib)
+	ex, err := engine.NewExecutor(prog, []int{2, 3, 8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Execute(g.Uniform(0, 1, 4, 3, 8, 8)); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	g := tensor.NewRNG(21)
+	calib, _ := data.Generate(data.SynthCIFAR10, 32, 8)
+	model := models.NewResNet(g, models.ResNet20(10))
+	x, _ := calib.Batch([]int{0, 1})
+	model.Forward(x)
+
+	t2c := core.New(model, core.DefaultConfig())
+	t2c.Prepare()
+	if err := t2c.Calibrate(calib.Subset(8), 4); err != nil {
+		t.Fatal(err)
+	}
+	nn.SetTraining(model, false)
+	cm, err := t2c.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serialize: program spec + the interpreter's tensor table (weight
+	// names are shared between the two).
+	ck := export.NewCheckpoint(cm.Int.IntTensors(), nil)
+	ck.Program = cm.Prog.Spec()
+	var buf bytes.Buffer
+	if err := ck.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ck2, err := export.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog2, err := engine.FromCheckpoint(ck2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	xb := g.Uniform(0, 1, 2, 3, 32, 32)
+	ex1, err := engine.NewExecutor(cm.Prog, xb.Shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex2, err := engine.NewExecutor(prog2, xb.Shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y1, err := ex1.Execute(xb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y2, err := ex2.Execute(xb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range y1.Data {
+		if y1.Data[i] != y2.Data[i] {
+			t.Fatalf("round-tripped logit[%d] = %v, want %v", i, y2.Data[i], y1.Data[i])
+		}
+	}
+	// And the round-tripped program still matches the interpreter.
+	assertBitIdentical(t, cm.Int, prog2, xb, engine.FastKernels())
+}
+
+func TestFromCheckpointRejectsMissingProgram(t *testing.T) {
+	ck := export.NewCheckpoint(map[string]*tensor.IntTensor{}, nil)
+	if _, err := engine.FromCheckpoint(ck); err == nil {
+		t.Fatal("expected error for checkpoint without program section")
+	}
+}
+
+func TestServerMatchesDirectExecution(t *testing.T) {
+	g := tensor.NewRNG(31)
+	calib, _ := data.Generate(data.SynthCIFAR10, 32, 8)
+	model := smallCNN(g)
+	im, prog := compile(t, model, calib)
+
+	srv, err := engine.NewServer(prog, []int{3, 8, 8}, engine.ServerOptions{Workers: 2, MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const n = 24
+	inputs := make([]*tensor.Tensor, n)
+	for i := range inputs {
+		inputs[i] = g.Uniform(0, 1, 1, 3, 8, 8)
+	}
+	results := make([]*tensor.Tensor, n)
+	var wg sync.WaitGroup
+	for i := range inputs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			y, err := srv.Infer(inputs[i])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = y
+		}(i)
+	}
+	wg.Wait()
+	for i := range inputs {
+		if results[i] == nil {
+			t.Fatalf("request %d returned no result", i)
+		}
+		want := im.Forward(inputs[i])
+		for j := range want.Data {
+			if results[i].Data[j] != want.Data[j] {
+				t.Fatalf("request %d logit %d = %v, interpreter %v", i, j, results[i].Data[j], want.Data[j])
+			}
+		}
+	}
+	st := srv.Stats()
+	if st.Requests != n {
+		t.Fatalf("stats requests = %d, want %d", st.Requests, n)
+	}
+	if st.Batches >= n {
+		t.Errorf("no coalescing: %d batches for %d requests", st.Batches, n)
+	}
+}
+
+func TestServerRejectsAfterClose(t *testing.T) {
+	g := tensor.NewRNG(32)
+	calib, _ := data.Generate(data.SynthCIFAR10, 32, 8)
+	model := smallCNN(g)
+	_, prog := compile(t, model, calib)
+	srv, err := engine.NewServer(prog, []int{3, 8, 8}, engine.ServerOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if _, err := srv.Infer(g.Uniform(0, 1, 1, 3, 8, 8)); err == nil {
+		t.Fatal("expected error after Close")
+	}
+	srv.Close() // double close must be safe
+}
+
+func TestKernelRegistryPluggable(t *testing.T) {
+	g := tensor.NewRNG(33)
+	calib, _ := data.Generate(data.SynthCIFAR10, 32, 8)
+	model := smallCNN(g)
+	_, prog := compile(t, model, calib)
+	// A registry missing a required kind must be rejected up front.
+	reg := engine.NewRegistry()
+	if _, err := engine.NewExecutor(prog, []int{1, 3, 8, 8}, engine.WithKernels(reg)); err == nil {
+		t.Fatal("expected missing-kernel error")
+	}
+	// A custom kernel must be picked up: count conv invocations.
+	calls := 0
+	custom := engine.FastKernels()
+	base, _ := custom.Lookup(engine.OpConv)
+	custom.Register(engine.OpConv, func(ex *engine.Executor, idx int, it *engine.Instr, in []*tensor.IntTensor, out *tensor.IntTensor) {
+		calls++
+		base(ex, idx, it, in, out)
+	})
+	ex, err := engine.NewExecutor(prog, []int{1, 3, 8, 8}, engine.WithKernels(custom))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Execute(g.Uniform(0, 1, 1, 3, 8, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("custom conv kernel called %d times, want 2", calls)
+	}
+}

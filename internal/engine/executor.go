@@ -1,0 +1,176 @@
+package engine
+
+import (
+	"fmt"
+
+	"torch2chip/internal/tensor"
+)
+
+// Executor runs a Program for one fixed input shape. All inter-op buffers
+// live in a single arena placed by the static planner; scratch used
+// inside kernels is grow-only and reused across calls, so steady-state
+// Execute performs no per-op allocation. An Executor is not safe for
+// concurrent use — the Server gives each worker its own.
+type Executor struct {
+	prog *Program
+	plan *Plan
+	kern []KernelFunc // per-instr resolved kernel
+	reg  *Registry
+
+	arena       []int64
+	bufs        []*tensor.IntTensor
+	scratchBufs [][]int64                 // per-slot grow-only kernel scratch
+	states      []any                     // per-instr cached kernel state
+	ins         [maxIns]*tensor.IntTensor // reused input operand slice
+}
+
+// maxIns is the largest instruction fan-in (residual add reads two).
+const maxIns = 2
+
+// ExecOption configures NewExecutor.
+type ExecOption func(*execConfig)
+
+type execConfig struct{ reg *Registry }
+
+// WithKernels selects the kernel registry (default: DefaultKernels).
+func WithKernels(r *Registry) ExecOption {
+	return func(c *execConfig) { c.reg = r }
+}
+
+// NewExecutor plans and binds a program for inputs of shape inShape
+// (full shape including the batch dimension, e.g. [8,3,32,32]).
+func NewExecutor(p *Program, inShape []int, opts ...ExecOption) (*Executor, error) {
+	cfg := execConfig{reg: DefaultKernels()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	reg := cfg.reg.Clone()
+	if err := checkKernels(p, reg); err != nil {
+		return nil, err
+	}
+	plan, err := p.PlanBuffers(inShape)
+	if err != nil {
+		return nil, err
+	}
+	ex := &Executor{
+		prog:        p,
+		plan:        plan,
+		reg:         reg,
+		arena:       make([]int64, plan.ArenaWords),
+		bufs:        make([]*tensor.IntTensor, p.NumBufs),
+		scratchBufs: make([][]int64, 4),
+		states:      make([]any, len(p.Instrs)),
+	}
+	for b := 0; b < p.NumBufs; b++ {
+		if plan.Offsets[b] < 0 {
+			continue
+		}
+		sh := plan.Shapes[b]
+		n := tensor.Numel(sh)
+		ex.bufs[b] = &tensor.IntTensor{
+			Shape: append([]int(nil), sh...),
+			Data:  ex.arena[plan.Offsets[b] : plan.Offsets[b]+n],
+		}
+	}
+	ex.kern = make([]KernelFunc, len(p.Instrs))
+	for i := range p.Instrs {
+		k, _ := reg.Lookup(p.Instrs[i].Kind)
+		ex.kern[i] = k
+	}
+	return ex, nil
+}
+
+// Plan exposes the executor's buffer placement (for reporting).
+func (ex *Executor) Plan() *Plan { return ex.plan }
+
+// InShape returns the input shape the executor was planned for.
+func (ex *Executor) InShape() []int { return ex.plan.Shapes[ex.prog.Input] }
+
+// ExecuteCodes runs the program on already-quantized input codes, writing
+// results into dst (allocated if nil) and returning it. The returned
+// tensor is caller-owned; arena storage is reused by the next call.
+func (ex *Executor) ExecuteCodes(codes *tensor.IntTensor, dst *tensor.IntTensor) (*tensor.IntTensor, error) {
+	in := ex.bufs[ex.prog.Input]
+	if len(codes.Data) != len(in.Data) {
+		return nil, fmt.Errorf("engine: input %v does not match planned shape %v", codes.Shape, in.Shape)
+	}
+	copy(in.Data, codes.Data)
+	ex.run()
+	out := ex.bufs[ex.prog.Output]
+	if dst == nil {
+		dst = tensor.NewInt(out.Shape...)
+	} else if len(dst.Data) != len(out.Data) {
+		return nil, fmt.Errorf("engine: dst %v does not match output shape %v", dst.Shape, out.Shape)
+	}
+	copy(dst.Data, out.Data)
+	return dst, nil
+}
+
+// Execute runs the full float→int→float pipeline exactly like
+// IntModel.Forward: quantize at the boundary, execute the integer
+// program, dequantize the output codes to logits.
+func (ex *Executor) Execute(x *tensor.Tensor) (*tensor.Tensor, error) {
+	in := ex.bufs[ex.prog.Input]
+	if len(x.Data) != len(in.Data) {
+		return nil, fmt.Errorf("engine: input %v does not match planned shape %v", x.Shape, in.Shape)
+	}
+	ex.prog.InQuant.QuantizeTo(in, x)
+	ex.run()
+	codes := ex.bufs[ex.prog.Output]
+	out := tensor.New(codes.Shape...)
+	ex.DequantizeInto(out, codes)
+	return out, nil
+}
+
+// ExecuteInto is Execute writing logits into a caller-owned tensor, the
+// zero-alloc path the serving runtime uses.
+func (ex *Executor) ExecuteInto(out *tensor.Tensor, x *tensor.Tensor) error {
+	in := ex.bufs[ex.prog.Input]
+	if len(x.Data) != len(in.Data) {
+		return fmt.Errorf("engine: input %v does not match planned shape %v", x.Shape, in.Shape)
+	}
+	ex.prog.InQuant.QuantizeTo(in, x)
+	ex.run()
+	codes := ex.bufs[ex.prog.Output]
+	if len(out.Data) != len(codes.Data) {
+		return fmt.Errorf("engine: out %v does not match output shape %v", out.Shape, codes.Shape)
+	}
+	ex.DequantizeInto(out, codes)
+	return nil
+}
+
+// DequantizeInto maps output codes to float logits with the program's
+// output scale/zero.
+func (ex *Executor) DequantizeInto(out *tensor.Tensor, codes *tensor.IntTensor) {
+	for i, c := range codes.Data {
+		out.Data[i] = float32(c-ex.prog.OutZero) * ex.prog.OutScale
+	}
+}
+
+// OutShape returns the planned output logits shape.
+func (ex *Executor) OutShape() []int { return ex.plan.Shapes[ex.prog.Output] }
+
+func (ex *Executor) run() {
+	for i := range ex.prog.Instrs {
+		it := &ex.prog.Instrs[i]
+		for j, b := range it.In {
+			ex.ins[j] = ex.bufs[b]
+		}
+		ex.kern[i](ex, i, it, ex.ins[:len(it.In)], ex.bufs[it.Out])
+	}
+}
+
+// KernelState returns the cached state slot for instruction idx. Kernels
+// store per-instruction tensor headers or precomputed shape math there on
+// first execution and reuse it afterwards, which keeps the steady state
+// allocation-free.
+func (ex *Executor) KernelState(idx int) *any { return &ex.states[idx] }
+
+// scratch returns a grow-only int64 slice of at least n words for kernel
+// slot i; contents are undefined.
+func (ex *Executor) scratch(i, n int) []int64 {
+	if cap(ex.scratchBufs[i]) < n {
+		ex.scratchBufs[i] = make([]int64, n)
+	}
+	return ex.scratchBufs[i][:n]
+}

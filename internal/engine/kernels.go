@@ -1,0 +1,308 @@
+package engine
+
+import (
+	"fmt"
+
+	"torch2chip/internal/intmath"
+	"torch2chip/internal/tensor"
+)
+
+// KernelFunc executes one instruction: read the input buffers, write the
+// output buffer. idx is the instruction's position in the program —
+// kernels use it to cache per-instruction state (tensor headers, shape
+// math) across calls via Executor.KernelState, which is how the fast
+// kernels reach zero steady-state allocations. Kernels must be
+// bit-identical to the corresponding IntLayer.Forward — integer
+// arithmetic makes this checkable exactly — and must not retain
+// references to the buffers (arena storage is reused).
+type KernelFunc func(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor)
+
+// Registry maps op kinds to kernels. An Executor copies the table it is
+// given, so concurrent servers never observe later mutation.
+type Registry struct {
+	kernels map[OpKind]KernelFunc
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{kernels: map[OpKind]KernelFunc{}} }
+
+// Register installs (or replaces) the kernel for kind.
+func (r *Registry) Register(kind OpKind, k KernelFunc) { r.kernels[kind] = k }
+
+// Lookup returns the kernel for kind.
+func (r *Registry) Lookup(kind OpKind) (KernelFunc, bool) {
+	k, ok := r.kernels[kind]
+	return k, ok
+}
+
+// Clone returns an independent copy of the registry.
+func (r *Registry) Clone() *Registry {
+	c := NewRegistry()
+	for k, v := range r.kernels {
+		c.kernels[k] = v
+	}
+	return c
+}
+
+// ReferenceKernels returns kernels that wrap the interpreter's per-layer
+// logic directly (allocating like it does); they are the oracle the fast
+// kernels are tested against.
+func ReferenceKernels() *Registry {
+	r := NewRegistry()
+	r.Register(OpConv, func(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) {
+		acc := intmath.Conv2dInt(in[0], it.W, it.InZero, it.P)
+		it.Scaler.ApplyTo(out, acc, 1)
+	})
+	r.Register(OpLinear, func(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) {
+		xs := in[0]
+		if it.InZero != 0 {
+			xs = in[0].Clone()
+			for i := range xs.Data {
+				xs.Data[i] -= it.InZero
+			}
+		}
+		acc := intmath.MatMulIntT(xs, it.W)
+		it.Scaler.ApplyTo(out, acc, 1)
+	})
+	r.Register(OpAvgPool, kernelAvgPool)
+	r.Register(OpFlatten, kernelFlattenNop)
+	r.Register(OpRescale, kernelRescale)
+	r.Register(OpAdd, kernelResAdd)
+	return r
+}
+
+// FastKernels returns the default kernel set: the conv and linear hot
+// paths run blocked, parallel integer GEMM (im2col for dense conv, a
+// direct parallel loop for grouped/depthwise conv) with all scratch drawn
+// from the executor, so steady-state execution does not allocate.
+func FastKernels() *Registry {
+	r := ReferenceKernels().Clone()
+	r.Register(OpConv, kernelConvFast)
+	r.Register(OpLinear, kernelLinearFast)
+	return r
+}
+
+// defaultRegistry backs DefaultKernels; Register mutates it before any
+// executor is built (init-time plugging).
+var defaultRegistry = FastKernels()
+
+// DefaultKernels returns the process-wide default kernel set.
+func DefaultKernels() *Registry { return defaultRegistry }
+
+// Register installs a kernel into the process-wide default set, keyed by
+// op kind. Call before constructing executors or servers.
+func Register(kind OpKind, k KernelFunc) { defaultRegistry.Register(kind, k) }
+
+// kernelConvFast lowers dense convolution onto im2col + blocked parallel
+// GEMM; grouped convolution (MobileNet depthwise) takes a direct parallel
+// per-(sample,channel) loop, where im2col would shred locality.
+func kernelConvFast(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) {
+	x := in[0]
+	pp := it.P
+	if pp.Stride <= 0 {
+		pp.Stride = 1
+	}
+	if pp.Groups <= 0 {
+		pp.Groups = 1
+	}
+	if pp.Groups == 1 {
+		kernelConvGEMM(ex, idx, it, x, out, pp)
+		return
+	}
+	kernelConvGrouped(it, x, out, pp)
+}
+
+// convState caches the im2col/GEMM tensor headers for one conv
+// instruction; the backing scratch is rebound every call (it is shared
+// across instructions and grow-only).
+type convState struct {
+	cols, wmat, prod tensor.IntTensor
+}
+
+func kernelConvGEMM(ex *Executor, idx int, it *Instr, x, out *tensor.IntTensor, pp tensor.ConvParams) {
+	n, _, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	o, cg, kH, kW := it.W.Shape[0], it.W.Shape[1], it.W.Shape[2], it.W.Shape[3]
+	oh, ow := pp.ConvOutSize(h, kH), pp.ConvOutSize(w, kW)
+	spatial := oh * ow
+	colW := cg * kH * kW
+	sp := ex.KernelState(idx)
+	st, ok := (*sp).(*convState)
+	if !ok {
+		st = &convState{
+			cols: tensor.IntTensor{Shape: []int{n * spatial, colW}},
+			wmat: tensor.IntTensor{Shape: []int{o, colW}, Data: it.W.Data},
+			prod: tensor.IntTensor{Shape: []int{n * spatial, o}},
+		}
+		*sp = st
+	}
+	st.cols.Data = ex.scratch(0, n*spatial*colW)
+	st.prod.Data = ex.scratch(1, n*spatial*o)
+	tensor.Im2ColIntTo(&st.cols, x, kH, kW, pp, it.InZero)
+	tensor.MatMulIntTTo(&st.prod, &st.cols, &st.wmat)
+	// Requantize straight out of the [n*spatial, o] GEMM layout into NCHW
+	// planes: per output channel the scaler is constant, so each
+	// (sample, channel) plane is one strided gather.
+	prod := st.prod.Data
+	scaler := it.Scaler
+	tensor.ParallelForInt(n*o, n*o*spatial >= 1<<15, func(job int) {
+		ni, oc := job/o, job%o
+		dst := out.Data[(ni*o+oc)*spatial : (ni*o+oc+1)*spatial]
+		scaler.ApplyGather(dst, prod[ni*spatial*o+oc:], o, oc)
+	})
+}
+
+func kernelConvGrouped(it *Instr, x, out *tensor.IntTensor, pp tensor.ConvParams) {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	o, cg, kH, kW := it.W.Shape[0], it.W.Shape[1], it.W.Shape[2], it.W.Shape[3]
+	oh, ow := pp.ConvOutSize(h, kH), pp.ConvOutSize(w, kW)
+	og := o / pp.Groups
+	zx := it.InZero
+	scaler := it.Scaler
+	tensor.ParallelForInt(n*o, n*o*oh*ow*cg*kH*kW >= 1<<15, func(job int) {
+		ni, oc := job/o, job%o
+		g := oc / og
+		wBase := oc * cg * kH * kW
+		seg := out.Data[(ni*o+oc)*oh*ow : (ni*o+oc+1)*oh*ow]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				var s int64
+				for ch := 0; ch < cg; ch++ {
+					xBase := (ni*c + g*cg + ch) * h * w
+					for ky := 0; ky < kH; ky++ {
+						iy := oy*pp.Stride - pp.Padding + ky
+						for kx := 0; kx < kW; kx++ {
+							ix := ox*pp.Stride - pp.Padding + kx
+							var xv int64
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								xv = x.Data[xBase+iy*w+ix]
+							}
+							s += (xv - zx) * it.W.Data[wBase+(ch*kH+ky)*kW+kx]
+						}
+					}
+				}
+				seg[oy*ow+ox] = s
+			}
+		}
+		// In-place requantize of the finished plane.
+		scaler.ApplySeg(seg, seg, oc)
+	})
+}
+
+// linState caches the shifted-input and accumulator headers for one
+// linear instruction.
+type linState struct {
+	shifted, acc tensor.IntTensor
+}
+
+func kernelLinearFast(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) {
+	x := in[0]
+	sp := ex.KernelState(idx)
+	st, ok := (*sp).(*linState)
+	if !ok {
+		st = &linState{
+			shifted: tensor.IntTensor{Shape: append([]int(nil), x.Shape...)},
+			acc:     tensor.IntTensor{Shape: []int{x.Shape[0], it.W.Shape[0]}},
+		}
+		*sp = st
+	}
+	if it.InZero != 0 {
+		st.shifted.Data = ex.scratch(0, len(x.Data))
+		for i, v := range x.Data {
+			st.shifted.Data[i] = v - it.InZero
+		}
+		x = &st.shifted
+	}
+	st.acc.Data = ex.scratch(1, x.Shape[0]*it.W.Shape[0])
+	tensor.MatMulIntTTo(&st.acc, x, it.W)
+	it.Scaler.ApplyTo(out, &st.acc, 1)
+}
+
+// kernelAvgPool mirrors fuse.IntAvgPool.Forward (round-half-away integer
+// mean), writing into the planned output.
+func kernelAvgPool(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) {
+	x := in[0]
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if it.Kernel == 0 {
+		cnt := int64(h * w)
+		for i := 0; i < n*c; i++ {
+			var s int64
+			for _, v := range x.Data[i*h*w : (i+1)*h*w] {
+				s += v
+			}
+			out.Data[i] = roundDiv(s, cnt)
+		}
+		return
+	}
+	k, st := it.Kernel, it.Stride
+	if st <= 0 {
+		st = k
+	}
+	oh, ow := (h-k)/st+1, (w-k)/st+1
+	cnt := int64(k * k)
+	for i := 0; i < n*c; i++ {
+		plane := x.Data[i*h*w : (i+1)*h*w]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				var s int64
+				for ky := 0; ky < k; ky++ {
+					for kx := 0; kx < k; kx++ {
+						s += plane[(oy*st+ky)*w+(ox*st+kx)]
+					}
+				}
+				out.Data[i*oh*ow+oy*ow+ox] = roundDiv(s, cnt)
+			}
+		}
+	}
+}
+
+func roundDiv(s, cnt int64) int64 {
+	if s >= 0 {
+		return (s + cnt/2) / cnt
+	}
+	return -((-s + cnt/2) / cnt)
+}
+
+// kernelFlattenNop: flatten outputs alias their input storage; the
+// executor binds both buffers to the same arena words at prepare time.
+func kernelFlattenNop(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) {
+}
+
+func kernelRescale(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) {
+	it.Scaler.ApplyTo(out, in[0], -1)
+}
+
+// kernelResAdd mirrors fuse.IntResidual's add/shift-back/clamp epilogue.
+func kernelResAdd(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) {
+	b, s := in[0], in[1]
+	half := int64(0)
+	if it.Shift > 0 {
+		half = 1 << (it.Shift - 1)
+	}
+	for i := range b.Data {
+		v := b.Data[i] + s.Data[i]
+		if it.Shift > 0 {
+			if v >= 0 {
+				v = (v + half) >> it.Shift
+			} else {
+				v = -((-v + half) >> it.Shift)
+			}
+		}
+		if v < it.ClampLo {
+			v = it.ClampLo
+		}
+		if v > it.ClampHi {
+			v = it.ClampHi
+		}
+		out.Data[i] = v
+	}
+}
+
+// checkKernels verifies every instruction kind in p has a kernel.
+func checkKernels(p *Program, r *Registry) error {
+	for _, it := range p.Instrs {
+		if _, ok := r.Lookup(it.Kind); !ok {
+			return fmt.Errorf("engine: no kernel registered for op %q", it.Kind)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"torch2chip/internal/tensor"
+)
+
+// Plan is the static buffer placement for one input shape: every buffer
+// maps to a word offset inside a single reusable arena. Flatten outputs
+// alias their input storage, and buffers whose live ranges do not overlap
+// share arena words.
+type Plan struct {
+	Shapes  [][]int // per-buffer inferred shape
+	Offsets []int   // per-buffer arena word offset (alias-resolved)
+
+	// ArenaWords is the planned arena size; NaiveWords is what allocating
+	// every buffer separately (the interpreter strategy) would take.
+	ArenaWords int
+	NaiveWords int
+}
+
+// PlannedBytes returns the arena footprint in bytes (int64 words).
+func (pl *Plan) PlannedBytes() int64 { return int64(pl.ArenaWords) * 8 }
+
+// NaiveBytes returns the unplanned footprint in bytes.
+func (pl *Plan) NaiveBytes() int64 { return int64(pl.NaiveWords) * 8 }
+
+// String summarizes the plan for logs and the bench CLI.
+func (pl *Plan) String() string {
+	saved := 1 - float64(pl.ArenaWords)/float64(pl.NaiveWords)
+	return fmt.Sprintf("arena %d B (naive %d B, %.0f%% saved)",
+		pl.PlannedBytes(), pl.NaiveBytes(), saved*100)
+}
+
+// interval is a buffer's live range over instruction indices: defined at
+// def (input buffer: -1), last read at use (output buffer: len(instrs)).
+type interval struct {
+	def, use int
+	words    int
+}
+
+// PlanBuffers liveness-analyzes the program for the given input shape and
+// greedily packs buffers into the smallest arena: buffers are placed in
+// decreasing size order at the lowest offset not overlapping any
+// already-placed buffer with an intersecting live range.
+func (p *Program) PlanBuffers(inShape []int) (*Plan, error) {
+	shapes, err := p.InferShapes(inShape)
+	if err != nil {
+		return nil, err
+	}
+	// Storage roots: flatten aliases collapse onto their source buffer.
+	root := make([]int, p.NumBufs)
+	for i := range root {
+		root[i] = i
+	}
+	for _, it := range p.Instrs {
+		if it.Kind == OpFlatten {
+			root[it.Out] = root[it.In[0]]
+		}
+	}
+
+	// Liveness per root: min def, max use over all aliased buffers.
+	iv := make(map[int]*interval)
+	touch := func(buf, at int, isDef bool) {
+		r := root[buf]
+		e, ok := iv[r]
+		if !ok {
+			e = &interval{def: at, use: at}
+			iv[r] = e
+		}
+		if isDef && at < e.def {
+			e.def = at
+		}
+		if at > e.use {
+			e.use = at
+		}
+		if w := tensor.Numel(shapes[buf]); w > e.words {
+			e.words = w
+		}
+	}
+	touch(p.Input, -1, true)
+	for idx, it := range p.Instrs {
+		for _, b := range it.In {
+			touch(b, idx, false)
+		}
+		touch(it.Out, idx, true)
+	}
+	// The output buffer must survive past the last instruction so the
+	// caller can read it after Execute returns.
+	touch(p.Output, len(p.Instrs), false)
+
+	// Greedy placement, largest first.
+	roots := make([]int, 0, len(iv))
+	naive := 0
+	for r, e := range iv {
+		roots = append(roots, r)
+		naive += e.words
+	}
+	sort.Slice(roots, func(a, b int) bool {
+		if iv[roots[a]].words != iv[roots[b]].words {
+			return iv[roots[a]].words > iv[roots[b]].words
+		}
+		return roots[a] < roots[b]
+	})
+	type placed struct{ off, words, def, use int }
+	var placements []placed
+	offsetOf := make(map[int]int, len(roots))
+	arena := 0
+	for _, r := range roots {
+		e := iv[r]
+		// Collect placed buffers whose live ranges overlap this one.
+		var busy []placed
+		for _, q := range placements {
+			if e.def <= q.use && q.def <= e.use {
+				busy = append(busy, q)
+			}
+		}
+		sort.Slice(busy, func(a, b int) bool { return busy[a].off < busy[b].off })
+		off := 0
+		for _, q := range busy {
+			if off+e.words <= q.off {
+				break
+			}
+			if q.off+q.words > off {
+				off = q.off + q.words
+			}
+		}
+		offsetOf[r] = off
+		placements = append(placements, placed{off: off, words: e.words, def: e.def, use: e.use})
+		if off+e.words > arena {
+			arena = off + e.words
+		}
+	}
+
+	pl := &Plan{Shapes: shapes, Offsets: make([]int, p.NumBufs), ArenaWords: arena, NaiveWords: naive}
+	for b := 0; b < p.NumBufs; b++ {
+		if shapes[b] == nil {
+			pl.Offsets[b] = -1
+			continue
+		}
+		pl.Offsets[b] = offsetOf[root[b]]
+	}
+	return pl, nil
+}

@@ -1,0 +1,244 @@
+// Package engine compiles the fused integer deploy model (fuse.IntModel)
+// into an explicit graph IR — a topologically ordered instruction list
+// over numbered integer buffers — and executes it with pluggable kernels,
+// a static liveness-planned buffer arena, and a batched serving runtime.
+//
+// The interpreter (IntModel.Forward) walks a tree of IntLayers and
+// allocates a fresh tensor at every op; it remains the semantic oracle.
+// The engine runs the same integer arithmetic instruction by instruction,
+// bit-identically, but with all intermediate storage placed once at plan
+// time and reused across calls, which is what a serving runtime needs.
+package engine
+
+import (
+	"fmt"
+
+	"torch2chip/internal/fuse"
+	"torch2chip/internal/intmath"
+	"torch2chip/internal/quant"
+	"torch2chip/internal/tensor"
+)
+
+// OpKind names an instruction's operation; kernels are registered per kind.
+type OpKind string
+
+// Instruction kinds lowered from the deploy pipeline.
+const (
+	OpConv    OpKind = "conv"    // integer conv + MulQuant rescale
+	OpLinear  OpKind = "linear"  // integer matmul + MulQuant rescale
+	OpAvgPool OpKind = "avgpool" // integer average pooling
+	OpFlatten OpKind = "flatten" // reshape; aliases its input buffer
+	OpRescale OpKind = "rescale" // bare MulQuant stage
+	OpAdd     OpKind = "resadd"  // residual add with shift-back and clamp
+)
+
+// Instr is one operation over numbered buffers. Only the attribute fields
+// relevant to Kind are set.
+type Instr struct {
+	Kind OpKind
+	// Name mirrors the IntModel tree path (e.g. "layers.3.body.0") so
+	// instruction weights share names with fuse.IntModel.IntTensors.
+	Name string
+	In   []int
+	Out  int
+
+	// Conv / linear attributes.
+	W      *tensor.IntTensor
+	P      tensor.ConvParams
+	InZero int64
+	Scaler *intmath.MulQuant // also set for rescale
+	WBits  int
+
+	// Avgpool attributes.
+	Kernel, Stride int
+
+	// Residual-add attributes.
+	Shift            int
+	ClampLo, ClampHi int64
+}
+
+// Program is the compiled integer inference graph: a topo-ordered
+// instruction list plus the float↔code boundary parameters.
+type Program struct {
+	InQuant  *quant.QBase
+	OutScale float32
+	OutZero  int64
+
+	Instrs  []Instr
+	NumBufs int
+	Input   int // buffer holding input codes
+	Output  int // buffer holding output codes
+}
+
+func (p *Program) newBuf() int {
+	id := p.NumBufs
+	p.NumBufs++
+	return id
+}
+
+// Lower compiles an IntModel into a Program. The resulting program
+// executes bit-identically to im.Forward for any input.
+func Lower(im *fuse.IntModel) (*Program, error) {
+	p := &Program{InQuant: im.InQuant, OutScale: im.OutScale, OutZero: im.OutZero}
+	p.Input = p.newBuf()
+	out, err := p.lowerSeq(im.Layers, p.Input, "layers.")
+	if err != nil {
+		return nil, err
+	}
+	p.Output = out
+	return p, nil
+}
+
+// lowerSeq appends instructions for a layer chain starting from buffer
+// cur and returns the buffer holding the chain's output codes.
+func (p *Program) lowerSeq(layers []fuse.IntLayer, cur int, prefix string) (int, error) {
+	for i, l := range layers {
+		name := fmt.Sprintf("%s%d", prefix, i)
+		switch v := l.(type) {
+		case *fuse.IntConv2d:
+			out := p.newBuf()
+			p.Instrs = append(p.Instrs, Instr{
+				Kind: OpConv, Name: name, In: []int{cur}, Out: out,
+				W: v.W, P: v.P, InZero: v.InZero, Scaler: v.Scaler, WBits: v.WBits,
+			})
+			cur = out
+		case *fuse.IntLinear:
+			out := p.newBuf()
+			p.Instrs = append(p.Instrs, Instr{
+				Kind: OpLinear, Name: name, In: []int{cur}, Out: out,
+				W: v.W, InZero: v.InZero, Scaler: v.Scaler, WBits: v.WBits,
+			})
+			cur = out
+		case *fuse.IntAvgPool:
+			out := p.newBuf()
+			p.Instrs = append(p.Instrs, Instr{
+				Kind: OpAvgPool, Name: name, In: []int{cur}, Out: out,
+				Kernel: v.Kernel, Stride: v.Stride,
+			})
+			cur = out
+		case fuse.IntFlatten:
+			out := p.newBuf()
+			p.Instrs = append(p.Instrs, Instr{Kind: OpFlatten, Name: name, In: []int{cur}, Out: out})
+			cur = out
+		case *fuse.IntRescale:
+			out := p.newBuf()
+			p.Instrs = append(p.Instrs, Instr{
+				Kind: OpRescale, Name: name, In: []int{cur}, Out: out, Scaler: v.Scaler,
+			})
+			cur = out
+		case *fuse.IntResidual:
+			body, err := p.lowerSeq(v.Body, cur, name+".body.")
+			if err != nil {
+				return 0, err
+			}
+			short, err := p.lowerSeq(v.Shortcut, cur, name+".shortcut.")
+			if err != nil {
+				return 0, err
+			}
+			out := p.newBuf()
+			p.Instrs = append(p.Instrs, Instr{
+				Kind: OpAdd, Name: name, In: []int{body, short}, Out: out,
+				Shift: v.Shift, ClampLo: v.ClampLo, ClampHi: v.ClampHi,
+			})
+			cur = out
+		default:
+			return 0, fmt.Errorf("engine: cannot lower layer %T", l)
+		}
+	}
+	return cur, nil
+}
+
+// InferShapes computes the shape of every buffer for a given input shape,
+// validating instruction operands along the way.
+func (p *Program) InferShapes(inShape []int) ([][]int, error) {
+	shapes := make([][]int, p.NumBufs)
+	shapes[p.Input] = append([]int(nil), inShape...)
+	for idx, it := range p.Instrs {
+		for _, b := range it.In {
+			if shapes[b] == nil {
+				return nil, fmt.Errorf("engine: instr %d (%s) reads undefined buffer %d", idx, it.Kind, b)
+			}
+		}
+		in := shapes[it.In[0]]
+		switch it.Kind {
+		case OpConv:
+			if len(in) != 4 {
+				return nil, fmt.Errorf("engine: %s input rank %d, want NCHW", it.Name, len(in))
+			}
+			o, kH, kW := it.W.Shape[0], it.W.Shape[2], it.W.Shape[3]
+			pp := it.P
+			if pp.Stride <= 0 {
+				pp.Stride = 1
+			}
+			groups := pp.Groups
+			if groups <= 0 {
+				groups = 1
+			}
+			if in[1] != it.W.Shape[1]*groups {
+				return nil, fmt.Errorf("engine: %s input channels %d, weight %v with %d groups expects %d",
+					it.Name, in[1], it.W.Shape, groups, it.W.Shape[1]*groups)
+			}
+			oh, ow := pp.ConvOutSize(in[2], kH), pp.ConvOutSize(in[3], kW)
+			if oh <= 0 || ow <= 0 {
+				return nil, fmt.Errorf("engine: %s input %v too small for %dx%d kernel", it.Name, in, kH, kW)
+			}
+			shapes[it.Out] = []int{in[0], o, oh, ow}
+		case OpLinear:
+			if len(in) != 2 || in[1] != it.W.Shape[1] {
+				return nil, fmt.Errorf("engine: %s input %v incompatible with weight %v", it.Name, in, it.W.Shape)
+			}
+			shapes[it.Out] = []int{in[0], it.W.Shape[0]}
+		case OpAvgPool:
+			if len(in) != 4 {
+				return nil, fmt.Errorf("engine: %s input rank %d, want NCHW", it.Name, len(in))
+			}
+			if it.Kernel == 0 {
+				shapes[it.Out] = []int{in[0], in[1], 1, 1}
+			} else {
+				st := it.Stride
+				if st <= 0 {
+					st = it.Kernel
+				}
+				oh, ow := (in[2]-it.Kernel)/st+1, (in[3]-it.Kernel)/st+1
+				if oh <= 0 || ow <= 0 {
+					return nil, fmt.Errorf("engine: %s input %v too small for %d-pool", it.Name, in, it.Kernel)
+				}
+				shapes[it.Out] = []int{in[0], in[1], oh, ow}
+			}
+		case OpFlatten:
+			shapes[it.Out] = []int{in[0], tensor.Numel(in) / in[0]}
+		case OpRescale:
+			shapes[it.Out] = append([]int(nil), in...)
+		case OpAdd:
+			b, s := shapes[it.In[0]], shapes[it.In[1]]
+			if tensor.Numel(b) != tensor.Numel(s) {
+				return nil, fmt.Errorf("engine: %s branch shapes %v vs %v", it.Name, b, s)
+			}
+			shapes[it.Out] = append([]int(nil), b...)
+		default:
+			return nil, fmt.Errorf("engine: unknown op kind %q", it.Kind)
+		}
+	}
+	if shapes[p.Output] == nil {
+		return nil, fmt.Errorf("engine: output buffer %d never written", p.Output)
+	}
+	return shapes, nil
+}
+
+// WeightTensors returns the instruction weight tensors keyed by the same
+// names fuse.IntModel.IntTensors uses (Name + ".conv.weight" /
+// ".linear.weight"), so a checkpoint's tensor section can be shared
+// between the interpreter and the engine.
+func (p *Program) WeightTensors() map[string]*tensor.IntTensor {
+	out := map[string]*tensor.IntTensor{}
+	for i := range p.Instrs {
+		it := &p.Instrs[i]
+		switch it.Kind {
+		case OpConv:
+			out[it.Name+".conv.weight"] = it.W
+		case OpLinear:
+			out[it.Name+".linear.weight"] = it.W
+		}
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"fmt"
+
+	"torch2chip/internal/export"
+	"torch2chip/internal/intmath"
+	"torch2chip/internal/quant"
+	"torch2chip/internal/tensor"
+)
+
+// ProgramSpecVersion is the serialized graph IR version this package
+// writes and accepts.
+const ProgramSpecVersion = 1
+
+// Spec lowers the program to the plain-data checkpoint representation.
+// Instruction weights are referenced by the names WeightTensors uses;
+// callers must store those tensors in the same checkpoint.
+func (p *Program) Spec() *export.ProgramSpec {
+	spec := &export.ProgramSpec{
+		Version: ProgramSpecVersion,
+		InQuant: export.QuantSpec{
+			NBits:  p.InQuant.NBits,
+			Signed: p.InQuant.Signed,
+			Scale:  append([]float32(nil), p.InQuant.Scale...),
+			Zero:   append([]int64(nil), p.InQuant.Zero...),
+		},
+		OutScale: p.OutScale,
+		OutZero:  p.OutZero,
+		NumBufs:  p.NumBufs,
+		Input:    p.Input,
+		Output:   p.Output,
+	}
+	for i := range p.Instrs {
+		it := &p.Instrs[i]
+		is := export.InstrSpec{
+			Kind: string(it.Kind), Name: it.Name,
+			In: append([]int(nil), it.In...), Out: it.Out,
+		}
+		switch it.Kind {
+		case OpConv:
+			is.Weight = it.Name + ".conv.weight"
+			is.Stride, is.Padding, is.Groups = it.P.Stride, it.P.Padding, it.P.Groups
+			is.InZero, is.WBits = it.InZero, it.WBits
+			is.Scaler = scalerSpec(it.Scaler)
+		case OpLinear:
+			is.Weight = it.Name + ".linear.weight"
+			is.InZero, is.WBits = it.InZero, it.WBits
+			is.Scaler = scalerSpec(it.Scaler)
+		case OpAvgPool:
+			is.Kernel, is.PoolStride = it.Kernel, it.Stride
+		case OpRescale:
+			is.Scaler = scalerSpec(it.Scaler)
+		case OpAdd:
+			is.Shift, is.ClampLo, is.ClampHi = it.Shift, it.ClampLo, it.ClampHi
+		}
+		spec.Instrs = append(spec.Instrs, is)
+	}
+	return spec
+}
+
+func scalerSpec(m *intmath.MulQuant) *export.ScalerSpec {
+	return &export.ScalerSpec{
+		ScaleFx:   append([]int16(nil), m.ScaleFx...),
+		BiasFx:    append([]int32(nil), m.BiasFx...),
+		FracBits:  m.FracBits,
+		IntBits:   m.IntBits,
+		OutBits:   m.OutBits,
+		OutSigned: m.OutSigned,
+		OutZero:   m.OutZero,
+	}
+}
+
+func scalerFromSpec(s *export.ScalerSpec) *intmath.MulQuant {
+	return &intmath.MulQuant{
+		ScaleFx:   append([]int16(nil), s.ScaleFx...),
+		BiasFx:    append([]int32(nil), s.BiasFx...),
+		FracBits:  s.FracBits,
+		IntBits:   s.IntBits,
+		OutBits:   s.OutBits,
+		OutSigned: s.OutSigned,
+		OutZero:   s.OutZero,
+	}
+}
+
+// FromCheckpoint reconstructs an executable Program from a checkpoint
+// carrying a program section, resolving instruction weights against the
+// checkpoint's tensor table.
+func FromCheckpoint(ck *export.Checkpoint) (*Program, error) {
+	if ck.Program == nil {
+		return nil, fmt.Errorf("engine: checkpoint has no program section")
+	}
+	spec := ck.Program
+	if spec.Version != ProgramSpecVersion {
+		return nil, fmt.Errorf("engine: program spec version %d, want %d", spec.Version, ProgramSpecVersion)
+	}
+	inQ := quant.NewQBase(spec.InQuant.NBits, spec.InQuant.Signed, len(spec.InQuant.Scale) > 1)
+	inQ.SetScale(append([]float32(nil), spec.InQuant.Scale...), append([]int64(nil), spec.InQuant.Zero...))
+	inQ.Calibrating = false
+	p := &Program{
+		InQuant:  inQ,
+		OutScale: spec.OutScale,
+		OutZero:  spec.OutZero,
+		NumBufs:  spec.NumBufs,
+		Input:    spec.Input,
+		Output:   spec.Output,
+	}
+	for i := range spec.Instrs {
+		is := &spec.Instrs[i]
+		it := Instr{
+			Kind: OpKind(is.Kind), Name: is.Name,
+			In: append([]int(nil), is.In...), Out: is.Out,
+		}
+		var w *tensor.IntTensor
+		if is.Weight != "" {
+			var err error
+			w, err = ck.Tensor(is.Weight)
+			if err != nil {
+				return nil, fmt.Errorf("engine: instr %d: %w", i, err)
+			}
+		}
+		switch it.Kind {
+		case OpConv, OpLinear:
+			if w == nil || is.Scaler == nil {
+				return nil, fmt.Errorf("engine: instr %d (%s) missing weight or scaler", i, is.Kind)
+			}
+		case OpRescale:
+			if is.Scaler == nil {
+				return nil, fmt.Errorf("engine: instr %d (rescale) missing scaler", i)
+			}
+		}
+		switch it.Kind {
+		case OpConv:
+			it.W = w
+			it.P = tensor.ConvParams{Stride: is.Stride, Padding: is.Padding, Groups: is.Groups}
+			it.InZero, it.WBits = is.InZero, is.WBits
+			it.Scaler = scalerFromSpec(is.Scaler)
+		case OpLinear:
+			it.W = w
+			it.InZero, it.WBits = is.InZero, is.WBits
+			it.Scaler = scalerFromSpec(is.Scaler)
+		case OpAvgPool:
+			it.Kernel, it.Stride = is.Kernel, is.PoolStride
+		case OpFlatten:
+			// No attributes.
+		case OpRescale:
+			it.Scaler = scalerFromSpec(is.Scaler)
+		case OpAdd:
+			it.Shift, it.ClampLo, it.ClampHi = is.Shift, is.ClampLo, is.ClampHi
+		default:
+			return nil, fmt.Errorf("engine: unknown serialized op kind %q", is.Kind)
+		}
+		p.Instrs = append(p.Instrs, it)
+	}
+	return p, nil
+}

@@ -1,0 +1,254 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"torch2chip/internal/tensor"
+)
+
+// ServerOptions tune the batched serving runtime.
+type ServerOptions struct {
+	// Workers is the number of executor-owning goroutines (default
+	// GOMAXPROCS/2, min 1).
+	Workers int
+	// MaxBatch is the micro-batch size requests are coalesced into
+	// (default 8).
+	MaxBatch int
+	// BatchWait bounds how long the batcher waits for more requests after
+	// the first one arrives (default 500µs).
+	BatchWait time.Duration
+	// QueueSize is the request queue capacity (default 4×MaxBatch×Workers).
+	QueueSize int
+	// Kernels selects the kernel registry (default DefaultKernels).
+	Kernels *Registry
+}
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0) / 2
+		if o.Workers < 1 {
+			o.Workers = 1
+		}
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 8
+	}
+	if o.BatchWait <= 0 {
+		o.BatchWait = 500 * time.Microsecond
+	}
+	if o.QueueSize <= 0 {
+		o.QueueSize = 4 * o.MaxBatch * o.Workers
+	}
+	if o.Kernels == nil {
+		o.Kernels = DefaultKernels()
+	}
+	return o
+}
+
+// ServerStats counts serving activity; read with Stats().
+type ServerStats struct {
+	Requests int64 // single-sample requests served successfully
+	Batches  int64 // successful batched executes
+	Batched  int64 // samples that shared a batch with at least one other
+	Failures int64 // requests that returned an execution error
+}
+
+// MeanBatch returns the average samples per batched execute.
+func (s ServerStats) MeanBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.Requests) / float64(s.Batches)
+}
+
+type request struct {
+	x     *tensor.Tensor
+	reply chan reply
+}
+
+type reply struct {
+	y   *tensor.Tensor
+	err error
+}
+
+// Server is the batched serving runtime: single-sample requests are
+// coalesced by a micro-batching queue into batched executes that run on a
+// pool of workers, each owning planned executors (one per encountered
+// batch size), so steady-state serving does not allocate inter-op
+// buffers.
+type Server struct {
+	prog   *Program
+	sample []int // single-sample shape (no batch dim)
+	opts   ServerOptions
+
+	queue    chan request
+	batches  chan []request
+	wg       sync.WaitGroup
+	batcherW sync.WaitGroup
+
+	requests atomic.Int64
+	nBatches atomic.Int64
+	batched  atomic.Int64
+	failures atomic.Int64
+
+	// mu guards closed and orders queue sends before close: producers
+	// hold the read side (so they can enqueue concurrently), Close takes
+	// the write side.
+	mu     sync.RWMutex
+	closed bool
+}
+
+// NewServer validates the program against the single-sample input shape
+// (e.g. [3,32,32]) and starts the batcher and worker pool.
+func NewServer(p *Program, sampleShape []int, opts ServerOptions) (*Server, error) {
+	opts = opts.withDefaults()
+	// Validate up front: plan at batch 1 so shape errors surface here.
+	if _, err := p.PlanBuffers(append([]int{1}, sampleShape...)); err != nil {
+		return nil, err
+	}
+	if err := checkKernels(p, opts.Kernels); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		prog:    p,
+		sample:  append([]int(nil), sampleShape...),
+		opts:    opts,
+		queue:   make(chan request, opts.QueueSize),
+		batches: make(chan []request, opts.Workers),
+	}
+	s.batcherW.Add(1)
+	go s.batcher()
+	for w := 0; w < opts.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// batcher coalesces queued requests: a batch is dispatched when it
+// reaches MaxBatch or when BatchWait has elapsed since its first request.
+func (s *Server) batcher() {
+	defer s.batcherW.Done()
+	defer close(s.batches)
+	for {
+		first, ok := <-s.queue
+		if !ok {
+			return
+		}
+		batch := append(make([]request, 0, s.opts.MaxBatch), first)
+		timer := time.NewTimer(s.opts.BatchWait)
+	fill:
+		for len(batch) < s.opts.MaxBatch {
+			select {
+			case r, ok := <-s.queue:
+				if !ok {
+					break fill
+				}
+				batch = append(batch, r)
+			case <-timer.C:
+				break fill
+			}
+		}
+		timer.Stop()
+		s.batches <- batch
+	}
+}
+
+// worker owns one executor per encountered batch size and serves batches.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	execs := map[int]*Executor{}
+	var xBatch, yBatch map[int]*tensor.Tensor
+	xBatch, yBatch = map[int]*tensor.Tensor{}, map[int]*tensor.Tensor{}
+	sampleN := tensor.Numel(s.sample)
+	for batch := range s.batches {
+		n := len(batch)
+		ex, ok := execs[n]
+		if !ok {
+			var err error
+			ex, err = NewExecutor(s.prog, append([]int{n}, s.sample...), WithKernels(s.opts.Kernels))
+			if err != nil {
+				for _, r := range batch {
+					r.reply <- reply{err: err}
+				}
+				continue
+			}
+			execs[n] = ex
+			xBatch[n] = tensor.New(append([]int{n}, s.sample...)...)
+			yBatch[n] = tensor.New(ex.OutShape()...)
+		}
+		x, y := xBatch[n], yBatch[n]
+		for i, r := range batch {
+			copy(x.Data[i*sampleN:(i+1)*sampleN], r.x.Data)
+		}
+		err := ex.ExecuteInto(y, x)
+		// Count before replying: a client that reads Stats right after
+		// its Infer returns must see this batch. Failed batches count as
+		// failures, not served requests.
+		if err != nil {
+			s.failures.Add(int64(n))
+		} else {
+			s.requests.Add(int64(n))
+			s.nBatches.Add(1)
+			if n > 1 {
+				s.batched.Add(int64(n))
+			}
+		}
+		outN := len(y.Data) / n
+		for i, r := range batch {
+			if err != nil {
+				r.reply <- reply{err: err}
+				continue
+			}
+			yi := tensor.New(append([]int{1}, y.Shape[1:]...)...)
+			copy(yi.Data, y.Data[i*outN:(i+1)*outN])
+			r.reply <- reply{y: yi}
+		}
+	}
+}
+
+// Infer serves one sample (shape = sampleShape, or [1, sampleShape...])
+// and blocks until its logits are ready.
+func (s *Server) Infer(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if len(x.Data) != tensor.Numel(s.sample) {
+		return nil, fmt.Errorf("engine: sample shape %v, server expects %v", x.Shape, s.sample)
+	}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, fmt.Errorf("engine: server is closed")
+	}
+	r := request{x: x, reply: make(chan reply, 1)}
+	s.queue <- r
+	s.mu.RUnlock()
+	rep := <-r.reply
+	return rep.y, rep.err
+}
+
+// Stats returns a snapshot of the serving counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Requests: s.requests.Load(),
+		Batches:  s.nBatches.Load(),
+		Batched:  s.batched.Load(),
+		Failures: s.failures.Load(),
+	}
+}
+
+// Close drains in-flight requests and stops the workers.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.batcherW.Wait()
+	s.wg.Wait()
+}

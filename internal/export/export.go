@@ -180,6 +180,68 @@ func byteWidth(widthBits int) int {
 type Checkpoint struct {
 	Format  string                `json:"format"`
 	Tensors map[string]CkptTensor `json:"tensors"`
+	// Program is the optional compiled inference graph (engine.Program
+	// lowered to a plain-data spec). Instruction weights reference
+	// entries of Tensors by name, so the parameter payload is stored
+	// once and shared between the interpreter and the engine.
+	Program *ProgramSpec `json:"program,omitempty"`
+}
+
+// ProgramSpec is the serialized graph IR: a topo-ordered instruction
+// list over numbered buffers plus the float↔code boundary parameters.
+type ProgramSpec struct {
+	Version  int         `json:"version"`
+	InQuant  QuantSpec   `json:"in_quant"`
+	OutScale float32     `json:"out_scale"`
+	OutZero  int64       `json:"out_zero"`
+	NumBufs  int         `json:"num_bufs"`
+	Input    int         `json:"input"`
+	Output   int         `json:"output"`
+	Instrs   []InstrSpec `json:"instrs"`
+}
+
+// QuantSpec serializes an activation quantizer's frozen parameters.
+type QuantSpec struct {
+	NBits  int       `json:"nbits"`
+	Signed bool      `json:"signed"`
+	Scale  []float32 `json:"scale"`
+	Zero   []int64   `json:"zero"`
+}
+
+// ScalerSpec serializes a MulQuant fixed-point rescaler.
+type ScalerSpec struct {
+	ScaleFx   []int16 `json:"scale_fx"`
+	BiasFx    []int32 `json:"bias_fx"`
+	FracBits  int     `json:"frac_bits"`
+	IntBits   int     `json:"int_bits"`
+	OutBits   int     `json:"out_bits"`
+	OutSigned bool    `json:"out_signed"`
+	OutZero   int64   `json:"out_zero"`
+}
+
+// InstrSpec is one serialized instruction. Only the fields relevant to
+// Kind are populated.
+type InstrSpec struct {
+	Kind   string `json:"kind"`
+	Name   string `json:"name,omitempty"`
+	In     []int  `json:"in"`
+	Out    int    `json:"out"`
+	Weight string `json:"weight,omitempty"` // Tensors key of the weight
+
+	Stride  int   `json:"stride,omitempty"`
+	Padding int   `json:"padding,omitempty"`
+	Groups  int   `json:"groups,omitempty"`
+	InZero  int64 `json:"in_zero,omitempty"`
+	WBits   int   `json:"w_bits,omitempty"`
+
+	Scaler *ScalerSpec `json:"scaler,omitempty"`
+
+	Kernel     int `json:"kernel,omitempty"`
+	PoolStride int `json:"pool_stride,omitempty"`
+
+	Shift   int   `json:"shift,omitempty"`
+	ClampLo int64 `json:"clamp_lo,omitempty"`
+	ClampHi int64 `json:"clamp_hi,omitempty"`
 }
 
 // CkptTensor is one named integer tensor.
@@ -238,6 +300,37 @@ func (c *Checkpoint) Names() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// InputTensor is a float tensor payload file: one serving request for
+// the t2c serve subcommand (shape [C,H,W] or [1,C,H,W]).
+type InputTensor struct {
+	Shape []int     `json:"shape"`
+	Data  []float32 `json:"data"`
+}
+
+// WriteInputJSON serializes a float tensor as a serving input file.
+func WriteInputJSON(w io.Writer, shape []int, data []float32) error {
+	return json.NewEncoder(w).Encode(InputTensor{Shape: shape, Data: data})
+}
+
+// ReadInputJSON parses a serving input file.
+func ReadInputJSON(r io.Reader) (*InputTensor, error) {
+	var t InputTensor
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, err
+	}
+	n := 1
+	for _, s := range t.Shape {
+		if s <= 0 {
+			return nil, fmt.Errorf("export: bad input shape %v", t.Shape)
+		}
+		n *= s
+	}
+	if n != len(t.Data) {
+		return nil, fmt.Errorf("export: input shape %v does not match %d values", t.Shape, len(t.Data))
+	}
+	return &t, nil
 }
 
 // QIntPack packs sub-byte codes densely (e.g. eight 4-bit codes in four

@@ -77,6 +77,17 @@ func (m *MulQuant) scaleAt(ch int) (int64, int64) {
 // -1 for unified scaling of matmul outputs).
 func (m *MulQuant) Apply(acc *tensor.IntTensor, chDim int) *tensor.IntTensor {
 	out := tensor.NewInt(acc.Shape...)
+	m.ApplyTo(out, acc, chDim)
+	return out
+}
+
+// ApplyTo is Apply writing into a caller-owned destination (same element
+// count as acc), so planned-arena executors can rescale without
+// allocating. out may alias acc.
+func (m *MulQuant) ApplyTo(out, acc *tensor.IntTensor, chDim int) {
+	if len(out.Data) != len(acc.Data) {
+		panic("intmath: ApplyTo size mismatch")
+	}
 	lo, hi := m.qRange()
 	half := int64(1) << (m.FracBits - 1)
 	var chSize, nCh int
@@ -97,24 +108,54 @@ func (m *MulQuant) Apply(acc *tensor.IntTensor, chDim int) *tensor.IntTensor {
 			ch = (i / chSize) % nCh
 		}
 		sfx, bfx := m.scaleAt(ch)
-		// Fixed-point multiply-add with round-to-nearest on the shift.
-		t := v*sfx + bfx
-		var q int64
-		if t >= 0 {
-			q = (t + half) >> m.FracBits
-		} else {
-			q = -((-t + half) >> m.FracBits)
-		}
-		q += m.OutZero
-		if q < lo {
-			q = lo
-		}
-		if q > hi {
-			q = hi
-		}
-		out.Data[i] = q
+		out.Data[i] = m.requantize(v, sfx, bfx, half, lo, hi)
 	}
-	return out
+}
+
+// requantize is the per-element fixed-point multiply-add with
+// round-to-nearest on the shift; every Apply variant funnels through it
+// so the engine kernels stay bit-identical to the interpreter.
+func (m *MulQuant) requantize(v, sfx, bfx, half, lo, hi int64) int64 {
+	t := v*sfx + bfx
+	var q int64
+	if t >= 0 {
+		q = (t + half) >> m.FracBits
+	} else {
+		q = -((-t + half) >> m.FracBits)
+	}
+	q += m.OutZero
+	if q < lo {
+		q = lo
+	}
+	if q > hi {
+		q = hi
+	}
+	return q
+}
+
+// ApplySeg rescales a contiguous accumulator segment that belongs
+// entirely to channel ch, writing dst[i] for each acc[i]. dst may alias
+// acc. Parallel kernels use it to requantize one output plane per job.
+func (m *MulQuant) ApplySeg(dst, acc []int64, ch int) {
+	lo, hi := m.qRange()
+	half := int64(1) << (m.FracBits - 1)
+	sfx, bfx := m.scaleAt(ch)
+	for i, v := range acc {
+		dst[i] = m.requantize(v, sfx, bfx, half, lo, hi)
+	}
+}
+
+// ApplyGather rescales channel ch reading src strided (src[i*stride] for
+// i in [0,len(dst))), writing dst densely. This lets a GEMM output laid
+// out [rows, channels] be requantized straight into NCHW planes without
+// an intermediate scatter pass.
+func (m *MulQuant) ApplyGather(dst, src []int64, stride, ch int) {
+	lo, hi := m.qRange()
+	half := int64(1) << (m.FracBits - 1)
+	sfx, bfx := m.scaleAt(ch)
+	for i := range dst {
+		dst[i] = m.requantize(src[i*stride], sfx, bfx, half, lo, hi)
+	}
 }
 
 // FloatReference computes the float-precision reference of Apply, used by

@@ -99,6 +99,17 @@ func (q *QBase) SetScale(scale []float32, zero []int64) {
 // channels.
 func (q *QBase) Quantize(x *tensor.Tensor) *tensor.IntTensor {
 	out := tensor.NewInt(x.Shape...)
+	q.QuantizeTo(out, x)
+	return out
+}
+
+// QuantizeTo is Quantize writing into a caller-owned destination with the
+// same element count as x, so executors with planned buffers can quantize
+// at the model boundary without allocating.
+func (q *QBase) QuantizeTo(out *tensor.IntTensor, x *tensor.Tensor) {
+	if len(out.Data) != len(x.Data) {
+		panic("quant: QuantizeTo size mismatch")
+	}
 	chSize := perChannelSize(x, q)
 	qmin, qmax := q.QMin(), q.QMax()
 	for i, v := range x.Data {
@@ -112,7 +123,6 @@ func (q *QBase) Quantize(x *tensor.Tensor) *tensor.IntTensor {
 		}
 		out.Data[i] = c
 	}
-	return out
 }
 
 // Dequantize maps integer codes back to float: (c - Z) * S.

@@ -147,7 +147,42 @@ func gemm(a, b, c []float32, m, k, n int) {
 	parallelFor(m, m*k*n >= 1<<18, rowFn)
 }
 
-// parallelFor runs fn(i) for i in [0,n), in parallel when parallel is true.
+// poolJob is one chunk of a parallelFor, dispatched to the worker pool.
+type poolJob struct {
+	fn     func(i int)
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+var (
+	poolOnce sync.Once
+	poolJobs chan poolJob
+)
+
+// ensurePool lazily starts the process-wide worker pool. Persistent
+// workers avoid spawning goroutines on every parallel section, which
+// keeps hot inference loops allocation-free.
+func ensurePool() {
+	poolOnce.Do(func() {
+		n := runtime.GOMAXPROCS(0)
+		poolJobs = make(chan poolJob, 4*n)
+		for w := 0; w < n; w++ {
+			go func() {
+				for j := range poolJobs {
+					for i := j.lo; i < j.hi; i++ {
+						j.fn(i)
+					}
+					j.wg.Done()
+				}
+			}()
+		}
+	})
+}
+
+// parallelFor runs fn(i) for i in [0,n), in parallel when parallel is
+// true. The caller executes the first chunk itself and chunks that do not
+// fit the pool queue run inline, so progress never depends on a free
+// worker. fn must not call parallelFor (workers do not re-dispatch).
 func parallelFor(n int, parallel bool, fn func(i int)) {
 	if !parallel || n < 2 {
 		for i := 0; i < n; i++ {
@@ -155,28 +190,34 @@ func parallelFor(n int, parallel bool, fn func(i int)) {
 		}
 		return
 	}
+	ensurePool()
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
-	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
+	var wg sync.WaitGroup
+	for lo := chunk; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
-		if lo >= hi {
-			break
-		}
 		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
+		select {
+		case poolJobs <- poolJob{fn: fn, lo: lo, hi: hi, wg: &wg}:
+		default:
 			for i := lo; i < hi; i++ {
 				fn(i)
 			}
-		}(lo, hi)
+			wg.Done()
+		}
+	}
+	end := chunk
+	if end > n {
+		end = n
+	}
+	for i := 0; i < end; i++ {
+		fn(i)
 	}
 	wg.Wait()
 }
