@@ -179,10 +179,11 @@ func BenchmarkQuantizerFakeQuant(b *testing.B) {
 	}
 }
 
-// BenchmarkEngineVsIntModel compares the graph-IR engine (planned arena,
-// parallel blocked kernels) against the IntLayer interpreter on the
-// serving hot path at batch 1, 8, and 32. allocs/op is the headline: the
-// engine must stay flat while the interpreter allocates per op.
+// BenchmarkEngineVsIntModel compares the fused+prepacked engine against
+// the unfused PR-1 engine (full im2col + blocked GEMM) and the IntLayer
+// interpreter on the serving hot path at batch 1, 8, and 32. allocs/op
+// is one headline (both engines stay flat while the interpreter
+// allocates per op); ns/op fused-vs-unfused is the other.
 func BenchmarkEngineVsIntModel(b *testing.B) {
 	trainDS, _ := data.Generate(data.SynthCIFAR10, 64, 8)
 	g := tensor.NewRNG(8)
@@ -190,20 +191,14 @@ func BenchmarkEngineVsIntModel(b *testing.B) {
 	xw, _ := trainDS.Batch([]int{0, 1, 2, 3})
 	model.Forward(xw) // realistic BN stats
 	im := buildDeploy(b, model, trainDS)
-	prog, err := engine.Lower(im)
+	unfused, err := engine.Lower(im)
 	if err != nil {
 		b.Fatal(err)
 	}
-	for _, batch := range []int{1, 8, 32} {
-		x := g.Uniform(0, 1, batch, 3, 32, 32)
-		b.Run(fmt.Sprintf("interpreter/batch%d", batch), func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				im.Forward(x)
-			}
-		})
-		b.Run(fmt.Sprintf("engine/batch%d", batch), func(b *testing.B) {
-			ex, err := engine.NewExecutor(prog, x.Shape)
+	fused := engine.Optimize(unfused, engine.OptFuse)
+	benchExec := func(prog *engine.Program, reg *engine.Registry, x *tensor.Tensor) func(b *testing.B) {
+		return func(b *testing.B) {
+			ex, err := engine.NewExecutor(prog, x.Shape, engine.WithKernels(reg))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -217,7 +212,18 @@ func BenchmarkEngineVsIntModel(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		}
+	}
+	for _, batch := range []int{1, 8, 32} {
+		x := g.Uniform(0, 1, batch, 3, 32, 32)
+		b.Run(fmt.Sprintf("interpreter/batch%d", batch), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				im.Forward(x)
+			}
 		})
+		b.Run(fmt.Sprintf("engine-pr1/batch%d", batch), benchExec(unfused, engine.Im2ColKernels(), x))
+		b.Run(fmt.Sprintf("engine-fused/batch%d", batch), benchExec(fused, engine.FastKernels(), x))
 	}
 }
 
@@ -234,6 +240,7 @@ func BenchmarkEngineServer(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	prog = engine.Optimize(prog, engine.OptFuse)
 	srv, err := engine.NewServer(prog, []int{3, 32, 32}, engine.ServerOptions{MaxBatch: 8})
 	if err != nil {
 		b.Fatal(err)

@@ -7,8 +7,13 @@
 //	t2c-bench -exp table3            # sparse + low-precision ResNet-50
 //	t2c-bench -exp table4            # SSL transfer vs supervised
 //	t2c-bench -exp fig3|fig4|fig5    # workflow figures
-//	t2c-bench -exp engine            # graph-IR engine vs interpreter + serving
+//	t2c-bench -exp engine            # fused+prepacked engine vs PR-1 engine vs interpreter
 //	t2c-bench -exp all -scale quick  # everything at test scale
+//
+// The engine experiment also writes a machine-readable report
+// (ns/op, allocs/op, arena bytes, instruction counts before/after
+// fusion) to the -json path, BENCH_engine.json by default, so the perf
+// trajectory is comparable across PRs.
 package main
 
 import (
@@ -24,6 +29,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: table1..table4, fig3..fig5, ablation, engine, all")
 	scale := flag.String("scale", "quick", "compute scale: quick or full")
 	outDir := flag.String("out", "bench-out", "output directory for export artifacts (fig5)")
+	jsonPath := flag.String("json", "BENCH_engine.json", "path for the engine experiment's JSON report (empty = skip)")
 	flag.Parse()
 
 	var sc bench.Scale
@@ -100,7 +106,16 @@ func main() {
 	if want("engine") {
 		any = true
 		run("engine", func() {
-			fmt.Print(bench.FormatEngine(bench.EngineComparison(sc), bench.ServeComparison(sc)))
+			rep := bench.EngineComparison(sc)
+			rep.Serve = bench.ServeComparison(sc)
+			fmt.Print(bench.FormatEngine(rep))
+			if *jsonPath != "" {
+				if err := bench.WriteBenchJSON(*jsonPath, rep); err != nil {
+					fmt.Fprintf(os.Stderr, "engine: write %s: %v\n", *jsonPath, err)
+					os.Exit(1)
+				}
+				fmt.Printf("wrote %s\n", *jsonPath)
+			}
 		})
 	}
 	if !any {

@@ -52,6 +52,7 @@ func runServe(args []string) {
 	workers := fs.Int("workers", 0, "serving workers (0 = auto)")
 	maxBatch := fs.Int("max-batch", 8, "micro-batch size")
 	wait := fs.Duration("batch-wait", 500*time.Microsecond, "max wait to fill a micro-batch")
+	opt := fs.Int("opt", 1, "optimization level for unfused checkpoints (0 = run as stored)")
 	if err := fs.Parse(args); err != nil {
 		log.Fatal(err)
 	}
@@ -71,6 +72,11 @@ func runServe(args []string) {
 	prog, err := engine.FromCheckpoint(ck)
 	if err != nil {
 		log.Fatal(err)
+	}
+	// Version-1 checkpoints carry unfused programs; optimize on load so
+	// old artifacts serve at current speed (bit-identity is preserved).
+	if lvl := engine.OptLevel(*opt); prog.OptLevel < lvl {
+		prog = engine.Optimize(prog, lvl)
 	}
 
 	files, err := filepath.Glob(filepath.Join(*inDir, "*.json"))
@@ -153,6 +159,7 @@ func runCompile() {
 	trainN := flag.Int("train-n", 600, "training samples")
 	testN := flag.Int("test-n", 200, "test samples")
 	out := flag.String("out", "t2c-out", "export directory")
+	opt := flag.Int("opt", 1, "engine optimization level: 0 = unfused graph, 1 = fused epilogues")
 	formats := flag.String("formats", "hex,json", "comma-separated export formats: hex,bin,raw,json")
 	saveInputs := flag.Int("save-inputs", 0, "also write N test samples to <out>/inputs for t2c serve")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -230,12 +237,18 @@ func runCompile() {
 		return
 	}
 	nn.SetTraining(model, false)
-	cm, err := t2c.Compile()
+	cm, err := t2c.CompileAt(engine.OptLevel(*opt))
 	if err != nil {
 		log.Fatal(err)
 	}
 	im := cm.Int
 	fmt.Print(core.Summary(im))
+	if cm.Prog.OptLevel > engine.OptNone {
+		st := cm.Fusion
+		fmt.Printf("fusion: %d→%d instrs, %d→%d buffers (%d rescales, %d adds, %d flattens folded)\n",
+			st.InstrsBefore, st.InstrsAfter, st.BuffersBefore, st.BuffersAfter,
+			st.FoldedRescales, st.FusedAdds, st.FoldedFlattens)
+	}
 	if plan, err := cm.Prog.PlanBuffers([]int{8, 3, spec.Size, spec.Size}); err == nil {
 		fmt.Printf("compiled program: %d instrs, batch-8 %s\n", len(cm.Prog.Instrs), plan)
 	} else {

@@ -1,7 +1,9 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"runtime"
 	"strings"
 	"sync"
@@ -15,30 +17,66 @@ import (
 	"torch2chip/internal/tensor"
 )
 
-// EngineRow compares the graph-IR engine against the IntLayer interpreter
-// for one model at one batch size.
+// Engine configuration labels: the interpreter oracle, the PR-1 engine
+// (unfused program, full-im2col kernels), the fused+prepacked engine,
+// and the fused program under the allocating reference kernels.
+const (
+	CfgInterpreter = "interpreter"
+	CfgPR1         = "unfused+im2col"
+	CfgFused       = "fused+prepacked"
+	CfgFusedRef    = "fused+reference"
+)
+
+// EngineRow is one measured (model, batch, config) point.
 type EngineRow struct {
-	Model string
-	Batch int
+	Model  string `json:"model"`
+	Batch  int    `json:"batch"`
+	Config string `json:"config"`
 
-	InterpUsPerSample float64 // interpreter latency, µs per sample
-	EngineUsPerSample float64 // engine latency, µs per sample
-	Speedup           float64
+	NsPerOp     float64 `json:"ns_per_op"`
+	UsPerSample float64 `json:"us_per_sample"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
 
-	InterpAllocs float64 // heap allocations per forward
-	EngineAllocs float64 // heap allocations per execute
+	// SpeedupVsInterp/VsPR1 compare latency at the same (model, batch).
+	SpeedupVsInterp float64 `json:"speedup_vs_interpreter,omitempty"`
+	SpeedupVsPR1    float64 `json:"speedup_vs_pr1,omitempty"`
 
-	PlannedBytes int64 // planned arena footprint
-	NaiveBytes   int64 // per-op allocation footprint
+	Instrs       int   `json:"instrs,omitempty"`
+	ArenaBytes   int64 `json:"arena_bytes,omitempty"`
+	ScratchBytes int64 `json:"scratch_bytes,omitempty"`
+	TotalBytes   int64 `json:"total_bytes,omitempty"`
+}
+
+// FusionRow records what the fusion pass did to one model's program,
+// with batch-8 plan footprints before and after.
+type FusionRow struct {
+	Model string `json:"model"`
+	engine.FusionStats
+	ArenaBytesBefore int64 `json:"arena_bytes_before"`
+	ArenaBytesAfter  int64 `json:"arena_bytes_after"`
+	NaiveBytesBefore int64 `json:"naive_bytes_before"`
+	NaiveBytesAfter  int64 `json:"naive_bytes_after"`
 }
 
 // ServeRow summarizes one batched-serving run.
 type ServeRow struct {
-	Model      string
-	Clients    int
-	Requests   int
-	Throughput float64 // requests per second
-	MeanBatch  float64 // average coalesced batch size
+	Model      string  `json:"model"`
+	Clients    int     `json:"clients"`
+	Requests   int     `json:"requests"`
+	Throughput float64 `json:"throughput_rps"` // requests per second
+	MeanBatch  float64 `json:"mean_batch"`     // average coalesced batch size
+}
+
+// EngineReport is the full engine-benchmark result, serialized to
+// BENCH_engine.json so the perf trajectory is machine-readable across
+// PRs.
+type EngineReport struct {
+	Scale      string      `json:"scale"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	Batches    []int       `json:"batches"`
+	Rows       []EngineRow `json:"rows"`
+	Fusion     []FusionRow `json:"fusion"`
+	Serve      []ServeRow  `json:"serve"`
 }
 
 // buildZooModel constructs the named zoo model for engine comparisons.
@@ -53,8 +91,10 @@ func buildZooModel(g *tensor.RNG, name string, numClasses int) nn.Layer {
 	}
 }
 
-// engineModel builds and compiles one zoo model for the comparison.
-func engineModel(sc Scale, name string) (*core.Compiled, *data.Dataset) {
+// engineModel builds and compiles one zoo model; the returned Compiled
+// carries the fused program, and the unfused program is re-lowered from
+// the interpreter for the PR-1 baseline.
+func engineModel(sc Scale, name string) (*core.Compiled, *engine.Program, *data.Dataset) {
 	trainDS, _ := data.Generate(data.SynthCIFAR10, sc.TrainN/2, 8)
 	g := tensor.NewRNG(9300)
 	model := buildZooModel(g, name, trainDS.NumClasses)
@@ -70,7 +110,11 @@ func engineModel(sc Scale, name string) (*core.Compiled, *data.Dataset) {
 	if err != nil {
 		panic(err)
 	}
-	return cm, trainDS
+	unfused, err := engine.Lower(cm.Int)
+	if err != nil {
+		panic(err)
+	}
+	return cm, unfused, trainDS
 }
 
 // timeAndAllocs runs f repeatedly for at least minIters and reports
@@ -89,49 +133,113 @@ func timeAndAllocs(minIters int, f func()) (time.Duration, float64) {
 	return el / time.Duration(minIters), float64(m1.Mallocs-m0.Mallocs) / float64(minIters)
 }
 
-// EngineComparison measures interpreter-vs-engine latency, allocations,
-// and memory footprint at batch 1, 8, and 32.
-func EngineComparison(sc Scale) []EngineRow {
-	var rows []EngineRow
+// measureExec times one executor configuration and fills a row.
+func measureExec(model string, batch int, cfg string, prog *engine.Program, reg *engine.Registry, x *tensor.Tensor, iters int) EngineRow {
+	ex, err := engine.NewExecutor(prog, x.Shape, engine.WithKernels(reg))
+	if err != nil {
+		panic(err)
+	}
+	el, allocs := timeAndAllocs(iters, func() {
+		if _, err := ex.Execute(x); err != nil {
+			panic(err)
+		}
+	})
+	plan := ex.Plan()
+	return EngineRow{
+		Model: model, Batch: batch, Config: cfg,
+		NsPerOp:      float64(el.Nanoseconds()),
+		UsPerSample:  float64(el.Microseconds()) / float64(batch),
+		AllocsPerOp:  allocs,
+		Instrs:       len(prog.Instrs),
+		ArenaBytes:   plan.PlannedBytes(),
+		ScratchBytes: ex.ScratchBytes(),
+		TotalBytes:   plan.PlannedBytes() + ex.ScratchBytes(),
+	}
+}
+
+// EngineComparison measures the interpreter, the PR-1 engine, and the
+// fused+prepacked engine at batch 1, 8, and 32 (the reference registry
+// rides along at batch 1 as the oracle configuration), plus per-model
+// fusion statistics.
+func EngineComparison(sc Scale) *EngineReport {
+	rep := &EngineReport{
+		Scale:      scaleName(sc),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Batches:    []int{1, 8, 32},
+	}
 	for _, name := range []string{"mobilenet", "resnet20"} {
-		cm, _ := engineModel(sc, name)
+		cm, unfused, _ := engineModel(sc, name)
+		fused := cm.Prog
+
+		_, st := engine.OptimizeStats(unfused, engine.OptFuse)
+		up, err := unfused.PlanBuffers([]int{8, 3, 32, 32})
+		if err != nil {
+			panic(err)
+		}
+		fp, err := fused.PlanBuffers([]int{8, 3, 32, 32})
+		if err != nil {
+			panic(err)
+		}
+		rep.Fusion = append(rep.Fusion, FusionRow{
+			Model: name, FusionStats: st,
+			ArenaBytesBefore: up.PlannedBytes(), ArenaBytesAfter: fp.PlannedBytes(),
+			NaiveBytesBefore: up.NaiveBytes(), NaiveBytesAfter: fp.NaiveBytes(),
+		})
+
 		g := tensor.NewRNG(9400)
-		for _, batch := range []int{1, 8, 32} {
+		for _, batch := range rep.Batches {
 			x := g.Uniform(0, 1, batch, 3, 32, 32)
-			ex, err := engine.NewExecutor(cm.Prog, x.Shape)
-			if err != nil {
-				panic(err)
-			}
 			iters := 3
 			if batch == 1 {
 				iters = 10
 			}
 			interp, interpAllocs := timeAndAllocs(iters, func() { cm.Int.Forward(x) })
-			eng, engAllocs := timeAndAllocs(iters, func() {
-				if _, err := ex.Execute(x); err != nil {
-					panic(err)
-				}
-			})
-			plan := ex.Plan()
-			rows = append(rows, EngineRow{
-				Model: name, Batch: batch,
-				InterpUsPerSample: float64(interp.Microseconds()) / float64(batch),
-				EngineUsPerSample: float64(eng.Microseconds()) / float64(batch),
-				Speedup:           float64(interp) / float64(eng),
-				InterpAllocs:      interpAllocs,
-				EngineAllocs:      engAllocs,
-				PlannedBytes:      plan.PlannedBytes(),
-				NaiveBytes:        plan.NaiveBytes(),
-			})
+			iRow := EngineRow{
+				Model: name, Batch: batch, Config: CfgInterpreter,
+				NsPerOp:     float64(interp.Nanoseconds()),
+				UsPerSample: float64(interp.Microseconds()) / float64(batch),
+				AllocsPerOp: interpAllocs,
+			}
+			pr1 := measureExec(name, batch, CfgPR1, unfused, engine.Im2ColKernels(), x, iters)
+			fast := measureExec(name, batch, CfgFused, fused, engine.FastKernels(), x, iters)
+			pr1.SpeedupVsInterp = iRow.NsPerOp / pr1.NsPerOp
+			fast.SpeedupVsInterp = iRow.NsPerOp / fast.NsPerOp
+			fast.SpeedupVsPR1 = pr1.NsPerOp / fast.NsPerOp
+			rep.Rows = append(rep.Rows, iRow, pr1, fast)
+			if batch == 1 {
+				ref := measureExec(name, batch, CfgFusedRef, fused, engine.ReferenceKernels(), x, iters)
+				ref.SpeedupVsInterp = iRow.NsPerOp / ref.NsPerOp
+				rep.Rows = append(rep.Rows, ref)
+			}
 		}
 	}
-	return rows
+	return rep
 }
 
-// ServeComparison drives the batched serving runtime with concurrent
-// clients and reports throughput and coalescing.
+// scaleName labels the scale for the report.
+func scaleName(sc Scale) string {
+	if sc.TrainN >= Full().TrainN {
+		return "full"
+	}
+	return "quick"
+}
+
+// WriteBenchJSON serializes the report (indented, trailing newline) to
+// path — the BENCH_engine.json artifact the acceptance criteria and
+// EXPERIMENTS.md read.
+func WriteBenchJSON(path string, rep *EngineReport) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ServeComparison drives the batched serving runtime (fused program,
+// default kernels) with concurrent clients and reports throughput and
+// coalescing.
 func ServeComparison(sc Scale) []ServeRow {
-	cm, _ := engineModel(sc, "mobilenet")
+	cm, _, _ := engineModel(sc, "mobilenet")
 	g := tensor.NewRNG(9500)
 	var rows []ServeRow
 	for _, clients := range []int{1, 8} {
@@ -171,21 +279,40 @@ func ServeComparison(sc Scale) []ServeRow {
 }
 
 // FormatEngine renders the engine comparison tables.
-func FormatEngine(rows []EngineRow, serve []ServeRow) string {
+func FormatEngine(rep *EngineReport) string {
 	var sb strings.Builder
-	sb.WriteString("Engine — graph-IR executor vs IntLayer interpreter\n")
-	fmt.Fprintf(&sb, "%-10s %6s %14s %14s %8s %14s %14s %12s %12s\n",
-		"model", "batch", "interp µs/smp", "engine µs/smp", "speedup",
-		"interp allocs", "engine allocs", "planned B", "naive B")
-	for _, r := range rows {
-		fmt.Fprintf(&sb, "%-10s %6d %14.0f %14.0f %7.2fx %14.1f %14.1f %12d %12d\n",
-			r.Model, r.Batch, r.InterpUsPerSample, r.EngineUsPerSample, r.Speedup,
-			r.InterpAllocs, r.EngineAllocs, r.PlannedBytes, r.NaiveBytes)
+	sb.WriteString("Engine — fused+prepacked vs PR-1 engine vs IntLayer interpreter\n")
+	fmt.Fprintf(&sb, "%-10s %6s %-16s %12s %10s %8s %8s %7s %12s %12s\n",
+		"model", "batch", "config", "µs/smp", "allocs", "vs intp", "vs pr1",
+		"instrs", "arena B", "scratch B")
+	for _, r := range rep.Rows {
+		vsI, vsP := "", ""
+		if r.SpeedupVsInterp > 0 {
+			vsI = fmt.Sprintf("%.2fx", r.SpeedupVsInterp)
+		}
+		if r.SpeedupVsPR1 > 0 {
+			vsP = fmt.Sprintf("%.2fx", r.SpeedupVsPR1)
+		}
+		fmt.Fprintf(&sb, "%-10s %6d %-16s %12.0f %10.1f %8s %8s %7d %12d %12d\n",
+			r.Model, r.Batch, r.Config, r.UsPerSample, r.AllocsPerOp, vsI, vsP,
+			r.Instrs, r.ArenaBytes, r.ScratchBytes)
 	}
-	sb.WriteString("\nServing — micro-batching runtime\n")
-	fmt.Fprintf(&sb, "%-10s %8s %9s %12s %10s\n", "model", "clients", "requests", "req/s", "mean batch")
-	for _, r := range serve {
-		fmt.Fprintf(&sb, "%-10s %8d %9d %12.0f %10.2f\n", r.Model, r.Clients, r.Requests, r.Throughput, r.MeanBatch)
+	sb.WriteString("\nFusion — instruction and buffer reduction (batch-8 plans)\n")
+	fmt.Fprintf(&sb, "%-10s %8s %8s %8s %8s %7s %6s %8s %14s %14s\n",
+		"model", "instrs", "fused", "bufs", "fused", "rescale", "adds", "flatten",
+		"arena B (pre)", "arena B (post)")
+	for _, f := range rep.Fusion {
+		fmt.Fprintf(&sb, "%-10s %8d %8d %8d %8d %7d %6d %8d %14d %14d\n",
+			f.Model, f.InstrsBefore, f.InstrsAfter, f.BuffersBefore, f.BuffersAfter,
+			f.FoldedRescales, f.FusedAdds, f.FoldedFlattens,
+			f.ArenaBytesBefore, f.ArenaBytesAfter)
+	}
+	if len(rep.Serve) > 0 {
+		sb.WriteString("\nServing — micro-batching runtime\n")
+		fmt.Fprintf(&sb, "%-10s %8s %9s %12s %10s\n", "model", "clients", "requests", "req/s", "mean batch")
+		for _, r := range rep.Serve {
+			fmt.Fprintf(&sb, "%-10s %8d %9d %12.0f %10.2f\n", r.Model, r.Clients, r.Requests, r.Throughput, r.MeanBatch)
+		}
 	}
 	return sb.String()
 }

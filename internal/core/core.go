@@ -114,16 +114,26 @@ func (t *T2C) Convert() (*fuse.IntModel, error) {
 }
 
 // Compiled pairs the interpreter-form deploy model (the parity oracle)
-// with its compiled graph program (the serving artifact).
+// with its compiled graph program (the serving artifact) and what the
+// fusion pass did to it (zero-valued when compiled at OptNone).
 type Compiled struct {
-	Int  *fuse.IntModel
-	Prog *engine.Program
+	Int    *fuse.IntModel
+	Prog   *engine.Program
+	Fusion engine.FusionStats
 }
 
-// Compile converts the model and lowers the result into the engine's
-// graph IR in one step — the deploy artifact the serving runtime and the
-// checkpoint's program section are built from.
+// Compile converts the model, lowers the result into the engine's graph
+// IR, and runs the fusion pass — the deploy artifact the serving runtime
+// and the checkpoint's program section are built from. Fusion preserves
+// bit-identity with the interpreter, so the optimized program remains
+// checkable against cm.Int.
 func (t *T2C) Compile() (*Compiled, error) {
+	return t.CompileAt(engine.OptFuse)
+}
+
+// CompileAt is Compile with an explicit optimization level (OptNone
+// reproduces the unfused PR-1 artifact, e.g. for baselines).
+func (t *T2C) CompileAt(lvl engine.OptLevel) (*Compiled, error) {
 	im, err := t.Convert()
 	if err != nil {
 		return nil, err
@@ -132,7 +142,11 @@ func (t *T2C) Compile() (*Compiled, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Compiled{Int: im, Prog: prog}, nil
+	cm := &Compiled{Int: im, Prog: prog}
+	if lvl > engine.OptNone {
+		cm.Prog, cm.Fusion = engine.OptimizeStats(prog, lvl)
+	}
+	return cm, nil
 }
 
 // widthsFor assigns export widths: weights carry the configured weight

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"sync"
 	"testing"
+	"time"
 
 	"torch2chip/internal/core"
 	"torch2chip/internal/data"
@@ -311,6 +312,48 @@ func TestServerMatchesDirectExecution(t *testing.T) {
 	}
 	if st.Batches >= n {
 		t.Errorf("no coalescing: %d batches for %d requests", st.Batches, n)
+	}
+}
+
+func TestServerFullBatchDispatchesImmediately(t *testing.T) {
+	// Regression: a full batch must dispatch the moment it fills, not on
+	// the next timer tick. With BatchWait set absurdly high, 2×MaxBatch
+	// concurrent requests only complete quickly if the batcher flushes
+	// full batches without consulting the timer.
+	g := tensor.NewRNG(34)
+	calib, _ := data.Generate(data.SynthCIFAR10, 32, 8)
+	model := smallCNN(g)
+	_, prog := compile(t, model, calib)
+	srv, err := engine.NewServer(prog, []int{3, 8, 8}, engine.ServerOptions{
+		Workers: 2, MaxBatch: 4, BatchWait: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const n = 8 // exactly two full batches
+	inputs := make([]*tensor.Tensor, n)
+	for i := range inputs {
+		inputs[i] = g.Uniform(0, 1, 1, 3, 8, 8)
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := srv.Infer(inputs[i]); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if el := time.Since(start); el > 10*time.Second {
+		t.Fatalf("full batches took %s; the batcher waited on the flush timer", el)
+	}
+	if st := srv.Stats(); st.Requests != n {
+		t.Fatalf("served %d requests, want %d", st.Requests, n)
 	}
 }
 

@@ -19,9 +19,14 @@ type Executor struct {
 
 	arena       []int64
 	bufs        []*tensor.IntTensor
-	scratchBufs [][]int64                 // per-slot grow-only kernel scratch
+	scratchBufs [][]int64                 // grow-only kernel scratch (legacy lazy kernels)
 	states      []any                     // per-instr cached kernel state
 	ins         [maxIns]*tensor.IntTensor // reused input operand slice
+
+	// Prepacked-kernel support, sized at bind time by the registry's
+	// prep hooks.
+	slotScratch [][]int64 // per parallel slot, shared across instrs
+	slotNeed    int       // words each slot must hold
 }
 
 // maxIns is the largest instruction fan-in (residual add reads two).
@@ -77,7 +82,61 @@ func NewExecutor(p *Program, inShape []int, opts ...ExecOption) (*Executor, erro
 		k, _ := reg.Lookup(p.Instrs[i].Kind)
 		ex.kern[i] = k
 	}
+	// Bind-time prep: prepack weights, epilogue constants, and cached
+	// index maps so the first Execute already runs the steady state.
+	for i := range p.Instrs {
+		prep, ok := reg.lookupPrep(p.Instrs[i].Kind)
+		if !ok {
+			continue
+		}
+		st, err := prep(ex, i, &p.Instrs[i])
+		if err != nil {
+			return nil, err
+		}
+		ex.states[i] = st
+	}
+	if ex.slotNeed > 0 {
+		ex.slotScratch = make([][]int64, tensor.MaxParallelSlots())
+		for s := range ex.slotScratch {
+			ex.slotScratch[s] = make([]int64, ex.slotNeed)
+		}
+	}
 	return ex, nil
+}
+
+// NeedSlotScratch is called by prep hooks to reserve per-parallel-slot
+// scratch words; the executor allocates the maximum requested once.
+func (ex *Executor) NeedSlotScratch(words int) {
+	if words > ex.slotNeed {
+		ex.slotNeed = words
+	}
+}
+
+// SlotScratch returns the scratch slice owned by a parallel slot.
+func (ex *Executor) SlotScratch(slot int) []int64 { return ex.slotScratch[slot] }
+
+// ScratchBytes reports the executor's kernel scratch footprint: planned
+// per-slot panels, the im2col index maps its bound state actually
+// references (shared maps counted once), plus the grow-only buffers the
+// legacy kernels have claimed so far (stable after one Execute).
+func (ex *Executor) ScratchBytes() int64 {
+	words := len(ex.slotScratch) * ex.slotNeed
+	for _, s := range ex.scratchBufs {
+		words += cap(s)
+	}
+	var idxBytes int64
+	seen := map[*int32]bool{}
+	for _, st := range ex.states {
+		cp, ok := st.(*convPack)
+		if !ok || len(cp.idx) == 0 {
+			continue
+		}
+		if k := &cp.idx[0]; !seen[k] {
+			seen[k] = true
+			idxBytes += int64(len(cp.idx)) * 4
+		}
+	}
+	return int64(words)*8 + idxBytes
 }
 
 // Plan exposes the executor's buffer placement (for reporting).

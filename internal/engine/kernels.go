@@ -17,22 +17,44 @@ import (
 // references to the buffers (arena storage is reused).
 type KernelFunc func(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor)
 
-// Registry maps op kinds to kernels. An Executor copies the table it is
-// given, so concurrent servers never observe later mutation.
+// PrepFunc builds per-instruction kernel state at executor bind time:
+// prepacked weight panels, epilogue constant vectors, cached im2col
+// index maps, scratch reservations. The returned state lands in the
+// executor's KernelState slot before the first Execute, so the steady
+// state runs with zero shape math and zero allocation.
+type PrepFunc func(ex *Executor, idx int, it *Instr) (any, error)
+
+// Registry maps op kinds to kernels (and optional bind-time prep hooks).
+// An Executor copies the table it is given, so concurrent servers never
+// observe later mutation.
 type Registry struct {
 	kernels map[OpKind]KernelFunc
+	preps   map[OpKind]PrepFunc
 }
 
 // NewRegistry returns an empty registry.
-func NewRegistry() *Registry { return &Registry{kernels: map[OpKind]KernelFunc{}} }
+func NewRegistry() *Registry {
+	return &Registry{kernels: map[OpKind]KernelFunc{}, preps: map[OpKind]PrepFunc{}}
+}
 
-// Register installs (or replaces) the kernel for kind.
+// Register installs (or replaces) the kernel for kind. Any prep hook
+// registered for kind is kept, so wrapping a kernel (e.g. to count
+// calls) does not lose its prepacked state.
 func (r *Registry) Register(kind OpKind, k KernelFunc) { r.kernels[kind] = k }
+
+// RegisterPrep installs the bind-time prep hook for kind.
+func (r *Registry) RegisterPrep(kind OpKind, p PrepFunc) { r.preps[kind] = p }
 
 // Lookup returns the kernel for kind.
 func (r *Registry) Lookup(kind OpKind) (KernelFunc, bool) {
 	k, ok := r.kernels[kind]
 	return k, ok
+}
+
+// lookupPrep returns the prep hook for kind.
+func (r *Registry) lookupPrep(kind OpKind) (PrepFunc, bool) {
+	p, ok := r.preps[kind]
+	return p, ok
 }
 
 // Clone returns an independent copy of the registry.
@@ -41,17 +63,126 @@ func (r *Registry) Clone() *Registry {
 	for k, v := range r.kernels {
 		c.kernels[k] = v
 	}
+	for k, v := range r.preps {
+		c.preps[k] = v
+	}
 	return c
+}
+
+// addShiftClamp is the residual-add epilogue shared by every kernel:
+// shift back with round-half-away (when shift > 0) and clamp. It mirrors
+// fuse.IntResidual.Forward exactly.
+func addShiftClamp(v int64, shift int, half, lo, hi int64) int64 {
+	if shift > 0 {
+		if v >= 0 {
+			v = (v + half) >> uint(shift)
+		} else {
+			v = -((-v + half) >> uint(shift))
+		}
+	}
+	if v < lo {
+		v = lo
+	}
+	if v > hi {
+		v = hi
+	}
+	return v
+}
+
+// addHalfOf returns the rounding constant of a shift-back.
+func addHalfOf(shift int) int64 {
+	if shift > 0 {
+		return 1 << uint(shift-1)
+	}
+	return 0
+}
+
+// fusedConsts unpacks an instruction's folded epilogue — the optional
+// FusedRescale stage and the optional FusedAdd/shift/clamp — into plain
+// scalars. It is the single implementation of the fused value pipeline:
+// every kernel path (reference, im2col, prepacked) finishes elements
+// through finish(), so a semantic change cannot drift between them.
+type fusedConsts struct {
+	hasRe                bool
+	reSfx, reBfx, reHalf int64
+	reFrac               uint
+	reZero, reLo, reHi   int64
+
+	hasAdd       bool
+	addShift     int
+	addHalf      int64
+	addLo, addHi int64
+}
+
+func fusedConstsOf(it *Instr) fusedConsts {
+	fc := fusedConsts{}
+	if re := it.FusedRescale; re != nil {
+		fc.hasRe = true
+		fc.reHalf, fc.reFrac, fc.reZero, fc.reLo, fc.reHi = re.Consts()
+		// Bare rescales apply unified scaling (channel 0), matching
+		// MulQuant.ApplyTo with chDim < 0.
+		fc.reSfx, fc.reBfx = int64(re.ScaleFx[0]), int64(re.BiasFx[0])
+	}
+	if it.FusedAdd {
+		fc.hasAdd = true
+		fc.addShift = it.Shift
+		fc.addHalf = addHalfOf(it.Shift)
+		fc.addLo, fc.addHi = it.ClampLo, it.ClampHi
+	}
+	return fc
+}
+
+func (fc *fusedConsts) active() bool { return fc.hasRe || fc.hasAdd }
+
+// finish runs one already-requantized value through the folded epilogue.
+// add is indexed by di and read here — before the caller writes dst[di]
+// — which is what the planner's in-place placement relies on.
+func (fc *fusedConsts) finish(q int64, add []int64, di int) int64 {
+	if fc.hasRe {
+		q = intmath.Requantize(q, fc.reSfx, fc.reBfx, fc.reHalf, fc.reFrac, fc.reZero, fc.reLo, fc.reHi)
+	}
+	if fc.hasAdd {
+		q = addShiftClamp(q+add[di], fc.addShift, fc.addHalf, fc.addLo, fc.addHi)
+	}
+	return q
+}
+
+// applyFusedEpilogue finishes an instruction's already-requantized codes
+// src through its folded epilogue, writing dst. Every element is read
+// (src[i], add[i]) before dst[i] is written, so dst may alias src or
+// add.
+func applyFusedEpilogue(it *Instr, dst, src, add []int64) {
+	fc := fusedConstsOf(it)
+	if !fc.active() {
+		if &dst[0] != &src[0] {
+			copy(dst, src)
+		}
+		return
+	}
+	for i, v := range src {
+		dst[i] = fc.finish(v, add, i)
+	}
+}
+
+// fusedAddOperand returns the fused residual branch's codes (nil when
+// the instruction carries no FusedAdd).
+func fusedAddOperand(it *Instr, in []*tensor.IntTensor) []int64 {
+	if !it.FusedAdd {
+		return nil
+	}
+	return in[len(in)-1].Data
 }
 
 // ReferenceKernels returns kernels that wrap the interpreter's per-layer
 // logic directly (allocating like it does); they are the oracle the fast
-// kernels are tested against.
+// kernels are tested against. They honor fused epilogues, so optimized
+// programs can run under the reference registry for parity checks.
 func ReferenceKernels() *Registry {
 	r := NewRegistry()
 	r.Register(OpConv, func(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) {
 		acc := intmath.Conv2dInt(in[0], it.W, it.InZero, it.P)
-		it.Scaler.ApplyTo(out, acc, 1)
+		it.Scaler.ApplyTo(acc, acc, 1) // in place: acc is scratch, out may alias the fused branch
+		applyFusedEpilogue(it, out.Data, acc.Data, fusedAddOperand(it, in))
 	})
 	r.Register(OpLinear, func(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) {
 		xs := in[0]
@@ -62,7 +193,8 @@ func ReferenceKernels() *Registry {
 			}
 		}
 		acc := intmath.MatMulIntT(xs, it.W)
-		it.Scaler.ApplyTo(out, acc, 1)
+		it.Scaler.ApplyTo(acc, acc, 1)
+		applyFusedEpilogue(it, out.Data, acc.Data, fusedAddOperand(it, in))
 	})
 	r.Register(OpAvgPool, kernelAvgPool)
 	r.Register(OpFlatten, kernelFlattenNop)
@@ -71,11 +203,26 @@ func ReferenceKernels() *Registry {
 	return r
 }
 
-// FastKernels returns the default kernel set: the conv and linear hot
-// paths run blocked, parallel integer GEMM (im2col for dense conv, a
-// direct parallel loop for grouped/depthwise conv) with all scratch drawn
-// from the executor, so steady-state execution does not allocate.
+// FastKernels returns the default kernel set: conv and linear bind
+// prepacked state at executor construction (weight panels, cached im2col
+// index maps, epilogue constant vectors) and run tiled integer GEMM with
+// per-slot scratch, so steady-state execution does no shape math and no
+// allocation. Grouped/depthwise convolution takes a dedicated
+// register-blocked direct kernel.
 func FastKernels() *Registry {
+	r := ReferenceKernels().Clone()
+	r.Register(OpConv, kernelConvPacked)
+	r.RegisterPrep(OpConv, prepConv)
+	r.Register(OpLinear, kernelLinearPacked)
+	r.RegisterPrep(OpLinear, prepLinear)
+	return r
+}
+
+// Im2ColKernels returns the PR-1 fast path — full im2col materialization
+// plus blocked GEMM, lazy first-call state — kept as the measured
+// baseline the prepacked kernels are compared against in the bench
+// harness.
+func Im2ColKernels() *Registry {
 	r := ReferenceKernels().Clone()
 	r.Register(OpConv, kernelConvFast)
 	r.Register(OpLinear, kernelLinearFast)
@@ -97,7 +244,6 @@ func Register(kind OpKind, k KernelFunc) { defaultRegistry.Register(kind, k) }
 // GEMM; grouped convolution (MobileNet depthwise) takes a direct parallel
 // per-(sample,channel) loop, where im2col would shred locality.
 func kernelConvFast(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) {
-	x := in[0]
 	pp := it.P
 	if pp.Stride <= 0 {
 		pp.Stride = 1
@@ -106,10 +252,10 @@ func kernelConvFast(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, ou
 		pp.Groups = 1
 	}
 	if pp.Groups == 1 {
-		kernelConvGEMM(ex, idx, it, x, out, pp)
+		kernelConvGEMM(ex, idx, it, in, out, pp)
 		return
 	}
-	kernelConvGrouped(it, x, out, pp)
+	kernelConvGrouped(it, in, out, pp)
 }
 
 // convState caches the im2col/GEMM tensor headers for one conv
@@ -119,7 +265,8 @@ type convState struct {
 	cols, wmat, prod tensor.IntTensor
 }
 
-func kernelConvGEMM(ex *Executor, idx int, it *Instr, x, out *tensor.IntTensor, pp tensor.ConvParams) {
+func kernelConvGEMM(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor, pp tensor.ConvParams) {
+	x := in[0]
 	n, _, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	o, cg, kH, kW := it.W.Shape[0], it.W.Shape[1], it.W.Shape[2], it.W.Shape[3]
 	oh, ow := pp.ConvOutSize(h, kH), pp.ConvOutSize(w, kW)
@@ -144,25 +291,79 @@ func kernelConvGEMM(ex *Executor, idx int, it *Instr, x, out *tensor.IntTensor, 
 	// (sample, channel) plane is one strided gather.
 	prod := st.prod.Data
 	scaler := it.Scaler
+	fused := it.FusedRescale != nil || it.FusedAdd
+	add := fusedAddOperand(it, in)
 	tensor.ParallelForInt(n*o, n*o*spatial >= 1<<15, func(job int) {
 		ni, oc := job/o, job%o
-		dst := out.Data[(ni*o+oc)*spatial : (ni*o+oc+1)*spatial]
-		scaler.ApplyGather(dst, prod[ni*spatial*o+oc:], o, oc)
+		base := (ni*o + oc) * spatial
+		dst := out.Data[base : base+spatial]
+		if !fused {
+			scaler.ApplyGather(dst, prod[ni*spatial*o+oc:], o, oc)
+			return
+		}
+		var addSeg []int64
+		if add != nil {
+			addSeg = add[base : base+spatial]
+		}
+		epilogueGather(it, dst, prod[ni*spatial*o+oc:], o, oc, addSeg)
 	})
 }
 
-func kernelConvGrouped(it *Instr, x, out *tensor.IntTensor, pp tensor.ConvParams) {
+// scalerConsts mirrors MulQuant.scaleAt using the exported fields
+// (unified scaling collapses to entry 0).
+func scalerConsts(m *intmath.MulQuant, ch int) (int64, int64) {
+	if len(m.ScaleFx) == 1 {
+		return int64(m.ScaleFx[0]), int64(m.BiasFx[0])
+	}
+	return int64(m.ScaleFx[ch]), int64(m.BiasFx[ch])
+}
+
+// epilogueGather requantizes one output plane straight out of a strided
+// accumulator layout through the instruction's own scaler at channel oc,
+// then the fused epilogue, writing dst densely. add is indexed like dst;
+// every element reads src and add before writing dst, so dst may alias
+// add (the planner's in-place fused-add placement).
+func epilogueGather(it *Instr, dst, src []int64, stride, oc int, add []int64) {
+	half, frac, zero, lo, hi := it.Scaler.Consts()
+	sfx, bfx := scalerConsts(it.Scaler, oc)
+	fc := fusedConstsOf(it)
+	for i := range dst {
+		q := intmath.Requantize(src[i*stride], sfx, bfx, half, frac, zero, lo, hi)
+		dst[i] = fc.finish(q, add, i)
+	}
+}
+
+func kernelConvGrouped(it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor, pp tensor.ConvParams) {
+	x := in[0]
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	o, cg, kH, kW := it.W.Shape[0], it.W.Shape[1], it.W.Shape[2], it.W.Shape[3]
 	oh, ow := pp.ConvOutSize(h, kH), pp.ConvOutSize(w, kW)
 	og := o / pp.Groups
 	zx := it.InZero
 	scaler := it.Scaler
+	fused := it.FusedRescale != nil || it.FusedAdd
+	add := fusedAddOperand(it, in)
 	tensor.ParallelForInt(n*o, n*o*oh*ow*cg*kH*kW >= 1<<15, func(job int) {
 		ni, oc := job/o, job%o
 		g := oc / og
 		wBase := oc * cg * kH * kW
-		seg := out.Data[(ni*o+oc)*oh*ow : (ni*o+oc+1)*oh*ow]
+		base := (ni*o + oc) * oh * ow
+		seg := out.Data[base : base+oh*ow]
+		// A fused epilogue must finish each element in one read-then-write
+		// step (the planner may alias out onto the fused branch); hoist
+		// all epilogue constants out of the site loop.
+		var fc fusedConsts
+		var half, zero, lo, hi, sfx, bfx int64
+		var frac uint
+		var addSeg []int64
+		if fused {
+			half, frac, zero, lo, hi = scaler.Consts()
+			sfx, bfx = scalerConsts(scaler, oc)
+			fc = fusedConstsOf(it)
+			if add != nil {
+				addSeg = add[base : base+oh*ow]
+			}
+		}
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {
 				var s int64
@@ -180,11 +381,19 @@ func kernelConvGrouped(it *Instr, x, out *tensor.IntTensor, pp tensor.ConvParams
 						}
 					}
 				}
-				seg[oy*ow+ox] = s
+				if fused {
+					si := oy*ow + ox
+					q := intmath.Requantize(s, sfx, bfx, half, frac, zero, lo, hi)
+					seg[si] = fc.finish(q, addSeg, si)
+				} else {
+					seg[oy*ow+ox] = s
+				}
 			}
 		}
-		// In-place requantize of the finished plane.
-		scaler.ApplySeg(seg, seg, oc)
+		if !fused {
+			// In-place requantize of the finished plane.
+			scaler.ApplySeg(seg, seg, oc)
+		}
 	})
 }
 
@@ -214,7 +423,24 @@ func kernelLinearFast(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, 
 	}
 	st.acc.Data = ex.scratch(1, x.Shape[0]*it.W.Shape[0])
 	tensor.MatMulIntTTo(&st.acc, x, it.W)
-	it.Scaler.ApplyTo(out, &st.acc, 1)
+	if it.FusedRescale == nil && !it.FusedAdd {
+		it.Scaler.ApplyTo(out, &st.acc, 1)
+		return
+	}
+	epilogueRowMajor(it, out.Data, st.acc.Data, it.W.Shape[0], fusedAddOperand(it, in))
+}
+
+// epilogueRowMajor finishes a [rows, o] accumulator through the own
+// scaler (per output channel) and the fused epilogue, element-aligned
+// with dst and add, reading before writing (dst may alias add).
+func epilogueRowMajor(it *Instr, dst, src []int64, o int, add []int64) {
+	half, frac, zero, lo, hi := it.Scaler.Consts()
+	fc := fusedConstsOf(it)
+	for i, v := range src {
+		sfx, bfx := scalerConsts(it.Scaler, i%o)
+		q := intmath.Requantize(v, sfx, bfx, half, frac, zero, lo, hi)
+		dst[i] = fc.finish(q, add, i)
+	}
 }
 
 // kernelAvgPool mirrors fuse.IntAvgPool.Forward (round-half-away integer
@@ -267,33 +493,31 @@ func roundDiv(s, cnt int64) int64 {
 func kernelFlattenNop(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) {
 }
 
+// kernelRescale applies the bare MulQuant stage; with a fused residual
+// add (the common identity-shortcut fold) the whole block epilogue —
+// rescale, add, shift-back, clamp — is one read-then-write pass, so the
+// planner may alias the output onto either dying input.
 func kernelRescale(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) {
-	it.Scaler.ApplyTo(out, in[0], -1)
+	if it.FusedRescale == nil && !it.FusedAdd {
+		it.Scaler.ApplyTo(out, in[0], -1)
+		return
+	}
+	half, frac, zero, lo, hi := it.Scaler.Consts()
+	sfx, bfx := int64(it.Scaler.ScaleFx[0]), int64(it.Scaler.BiasFx[0])
+	fc := fusedConstsOf(it)
+	add := fusedAddOperand(it, in)
+	for i, v := range in[0].Data {
+		q := intmath.Requantize(v, sfx, bfx, half, frac, zero, lo, hi)
+		out.Data[i] = fc.finish(q, add, i)
+	}
 }
 
 // kernelResAdd mirrors fuse.IntResidual's add/shift-back/clamp epilogue.
 func kernelResAdd(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) {
 	b, s := in[0], in[1]
-	half := int64(0)
-	if it.Shift > 0 {
-		half = 1 << (it.Shift - 1)
-	}
+	half := addHalfOf(it.Shift)
 	for i := range b.Data {
-		v := b.Data[i] + s.Data[i]
-		if it.Shift > 0 {
-			if v >= 0 {
-				v = (v + half) >> it.Shift
-			} else {
-				v = -((-v + half) >> it.Shift)
-			}
-		}
-		if v < it.ClampLo {
-			v = it.ClampLo
-		}
-		if v > it.ClampHi {
-			v = it.ClampHi
-		}
-		out.Data[i] = v
+		out.Data[i] = addShiftClamp(b.Data[i]+s.Data[i], it.Shift, half, it.ClampLo, it.ClampHi)
 	}
 }
 

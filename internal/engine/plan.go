@@ -41,24 +41,102 @@ type interval struct {
 	words    int
 }
 
+// aliasCandidates returns the input buffers instr's output may share
+// storage with, in preference order. Only strictly element-aligned
+// writes qualify: the kernel must read in[i] (for every aliasable input)
+// before writing out[i]. Conv/linear outputs may alias only the fused
+// residual branch — their primary input is re-read across output sites.
+func aliasCandidates(it *Instr) []int {
+	switch it.Kind {
+	case OpRescale, OpAdd:
+		return it.In
+	case OpConv, OpLinear:
+		if it.FusedAdd {
+			return it.In[len(it.In)-1:]
+		}
+	}
+	return nil
+}
+
 // PlanBuffers liveness-analyzes the program for the given input shape and
 // greedily packs buffers into the smallest arena: buffers are placed in
 // decreasing size order at the lowest offset not overlapping any
-// already-placed buffer with an intersecting live range.
+// already-placed buffer with an intersecting live range. Flatten outputs
+// alias their source, and elementwise outputs (rescale, residual add,
+// fused-add epilogues) are written in place over a dying input, which
+// removes whole buffers from the packed liveness set.
 func (p *Program) PlanBuffers(inShape []int) (*Plan, error) {
 	shapes, err := p.InferShapes(inShape)
 	if err != nil {
 		return nil, err
 	}
-	// Storage roots: flatten aliases collapse onto their source buffer.
+	// lastUse[b]: index of the last instruction reading buffer b
+	// (len(instrs) for the program output, -1 for never-read).
+	lastUse := make([]int, p.NumBufs)
+	for i := range lastUse {
+		lastUse[i] = -1
+	}
+	for idx := range p.Instrs {
+		for _, b := range p.Instrs[idx].In {
+			lastUse[b] = idx
+		}
+	}
+	lastUse[p.Output] = len(p.Instrs)
+
+	// Storage roots, resolved in one ordered walk: flatten aliases
+	// collapse onto their source, and elementwise outputs adopt a dying
+	// input's root. rootUse tracks, per root, the last read over every
+	// member merged so far — a candidate is dead after idx iff its
+	// root's use is ≤ idx.
 	root := make([]int, p.NumBufs)
 	for i := range root {
 		root[i] = i
 	}
-	for _, it := range p.Instrs {
-		if it.Kind == OpFlatten {
-			root[it.Out] = root[it.In[0]]
+	rootUse := make(map[int]int, p.NumBufs)
+	rootUse[p.Input] = lastUse[p.Input]
+	extend := func(r, use int) {
+		if u, ok := rootUse[r]; !ok || use > u {
+			rootUse[r] = use
 		}
+	}
+	for idx := range p.Instrs {
+		it := &p.Instrs[idx]
+		out := it.Out
+		if it.Kind == OpFlatten {
+			root[out] = root[it.In[0]]
+			extend(root[out], lastUse[out])
+			continue
+		}
+		// In-place placement belongs to the optimization layer: unfused
+		// programs keep the PR-1 plan so baselines stay comparable.
+		if p.OptLevel < OptFuse {
+			extend(root[out], lastUse[out])
+			continue
+		}
+		for _, c := range aliasCandidates(it) {
+			rc := root[c]
+			if rootUse[rc] > idx {
+				continue // still read after this instruction
+			}
+			if it.Kind == OpConv || it.Kind == OpLinear {
+				// The candidate is the fused residual branch; the primary
+				// operands are re-read across output sites and must never
+				// share its storage.
+				conflict := false
+				for _, other := range it.In[:len(it.In)-1] {
+					if root[other] == rc {
+						conflict = true
+						break
+					}
+				}
+				if conflict {
+					continue
+				}
+			}
+			root[out] = rc
+			break
+		}
+		extend(root[out], lastUse[out])
 	}
 
 	// Liveness per root: min def, max use over all aliased buffers.

@@ -12,6 +12,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"torch2chip/internal/fuse"
 	"torch2chip/internal/intmath"
@@ -52,10 +53,22 @@ type Instr struct {
 	// Avgpool attributes.
 	Kernel, Stride int
 
-	// Residual-add attributes.
+	// Residual-add attributes, also used by a FusedAdd epilogue.
 	Shift            int
 	ClampLo, ClampHi int64
+
+	// Fused epilogue, attached by the Optimize pass. The value pipeline
+	// per output element is: own op (+ Scaler) → FusedRescale →
+	// FusedAdd(+Shift/Clamp) → output write; FlattenOut only reshapes
+	// the written buffer. Kernels must honor all three.
+	FusedRescale *intmath.MulQuant // folded OpRescale consumer
+	FusedAdd     bool              // folded OpAdd: last In entry is the other branch
+	FlattenOut   bool              // folded OpFlatten: output is the 2-D view
 }
+
+// AddOperand returns the buffer id of the fused residual branch (the
+// last input) for instructions carrying a FusedAdd epilogue.
+func (it *Instr) AddOperand() int { return it.In[len(it.In)-1] }
 
 // Program is the compiled integer inference graph: a topo-ordered
 // instruction list plus the float↔code boundary parameters.
@@ -68,6 +81,31 @@ type Program struct {
 	NumBufs int
 	Input   int // buffer holding input codes
 	Output  int // buffer holding output codes
+
+	// OptLevel records which optimization pass produced this program
+	// (OptNone for freshly lowered programs); it round-trips through
+	// checkpoints so a reloaded artifact is the exact one benchmarked.
+	OptLevel OptLevel
+
+	// pack caches prepacked kernel state that is batch- and
+	// executor-independent (weight panels, zero-point row sums, im2col
+	// index maps), so a server's many (worker, batch-size) executors
+	// bind against one copy instead of re-packing the model each time.
+	pack *packCache
+}
+
+// packInitMu guards lazy creation of the per-program pack cache, so
+// concurrently built executors (server workers) agree on one cache.
+var packInitMu sync.Mutex
+
+func (p *Program) packs() *packCache {
+	packInitMu.Lock()
+	if p.pack == nil {
+		p.pack = &packCache{}
+	}
+	pc := p.pack
+	packInitMu.Unlock()
+	return pc
 }
 
 func (p *Program) newBuf() int {
@@ -160,6 +198,7 @@ func (p *Program) InferShapes(inShape []int) ([][]int, error) {
 			}
 		}
 		in := shapes[it.In[0]]
+		var natural []int
 		switch it.Kind {
 		case OpConv:
 			if len(in) != 4 {
@@ -182,18 +221,18 @@ func (p *Program) InferShapes(inShape []int) ([][]int, error) {
 			if oh <= 0 || ow <= 0 {
 				return nil, fmt.Errorf("engine: %s input %v too small for %dx%d kernel", it.Name, in, kH, kW)
 			}
-			shapes[it.Out] = []int{in[0], o, oh, ow}
+			natural = []int{in[0], o, oh, ow}
 		case OpLinear:
 			if len(in) != 2 || in[1] != it.W.Shape[1] {
 				return nil, fmt.Errorf("engine: %s input %v incompatible with weight %v", it.Name, in, it.W.Shape)
 			}
-			shapes[it.Out] = []int{in[0], it.W.Shape[0]}
+			natural = []int{in[0], it.W.Shape[0]}
 		case OpAvgPool:
 			if len(in) != 4 {
 				return nil, fmt.Errorf("engine: %s input rank %d, want NCHW", it.Name, len(in))
 			}
 			if it.Kernel == 0 {
-				shapes[it.Out] = []int{in[0], in[1], 1, 1}
+				natural = []int{in[0], in[1], 1, 1}
 			} else {
 				st := it.Stride
 				if st <= 0 {
@@ -203,21 +242,43 @@ func (p *Program) InferShapes(inShape []int) ([][]int, error) {
 				if oh <= 0 || ow <= 0 {
 					return nil, fmt.Errorf("engine: %s input %v too small for %d-pool", it.Name, in, it.Kernel)
 				}
-				shapes[it.Out] = []int{in[0], in[1], oh, ow}
+				natural = []int{in[0], in[1], oh, ow}
 			}
 		case OpFlatten:
-			shapes[it.Out] = []int{in[0], tensor.Numel(in) / in[0]}
+			natural = []int{in[0], tensor.Numel(in) / in[0]}
 		case OpRescale:
-			shapes[it.Out] = append([]int(nil), in...)
+			natural = append([]int(nil), in...)
 		case OpAdd:
 			b, s := shapes[it.In[0]], shapes[it.In[1]]
 			if tensor.Numel(b) != tensor.Numel(s) {
 				return nil, fmt.Errorf("engine: %s branch shapes %v vs %v", it.Name, b, s)
 			}
-			shapes[it.Out] = append([]int(nil), b...)
+			natural = append([]int(nil), b...)
 		default:
 			return nil, fmt.Errorf("engine: unknown op kind %q", it.Kind)
 		}
+		// Fused epilogues are only defined for the kinds whose kernels
+		// apply them; anything else (e.g. a corrupt checkpoint attaching
+		// one to avgpool) must be rejected, not silently ignored.
+		if it.FusedRescale != nil && it.Kind != OpConv && it.Kind != OpLinear {
+			return nil, fmt.Errorf("engine: %s (%s) cannot carry a fused rescale", it.Name, it.Kind)
+		}
+		if it.FusedAdd {
+			if it.Kind != OpConv && it.Kind != OpLinear && it.Kind != OpRescale {
+				return nil, fmt.Errorf("engine: %s (%s) cannot carry a fused add", it.Name, it.Kind)
+			}
+			if len(it.In) < 2 {
+				return nil, fmt.Errorf("engine: %s fused add missing branch operand", it.Name)
+			}
+			br := shapes[it.AddOperand()]
+			if tensor.Numel(br) != tensor.Numel(natural) {
+				return nil, fmt.Errorf("engine: %s fused-add branch %v vs output %v", it.Name, br, natural)
+			}
+		}
+		if it.FlattenOut {
+			natural = []int{natural[0], tensor.Numel(natural) / natural[0]}
+		}
+		shapes[it.Out] = natural
 	}
 	if shapes[p.Output] == nil {
 		return nil, fmt.Errorf("engine: output buffer %d never written", p.Output)

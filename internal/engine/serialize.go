@@ -10,15 +10,20 @@ import (
 )
 
 // ProgramSpecVersion is the serialized graph IR version this package
-// writes and accepts.
-const ProgramSpecVersion = 1
+// writes. Version 2 adds the optimization level and fused-epilogue
+// instruction fields; version-1 checkpoints (no fusion) still load.
+const ProgramSpecVersion = 2
+
+// minProgramSpecVersion is the oldest spec this package accepts.
+const minProgramSpecVersion = 1
 
 // Spec lowers the program to the plain-data checkpoint representation.
 // Instruction weights are referenced by the names WeightTensors uses;
 // callers must store those tensors in the same checkpoint.
 func (p *Program) Spec() *export.ProgramSpec {
 	spec := &export.ProgramSpec{
-		Version: ProgramSpecVersion,
+		Version:  ProgramSpecVersion,
+		OptLevel: int(p.OptLevel),
 		InQuant: export.QuantSpec{
 			NBits:  p.InQuant.NBits,
 			Signed: p.InQuant.Signed,
@@ -54,6 +59,14 @@ func (p *Program) Spec() *export.ProgramSpec {
 		case OpAdd:
 			is.Shift, is.ClampLo, is.ClampHi = it.Shift, it.ClampLo, it.ClampHi
 		}
+		if it.FusedRescale != nil {
+			is.FusedRescale = scalerSpec(it.FusedRescale)
+		}
+		if it.FusedAdd {
+			is.FusedAdd = true
+			is.Shift, is.ClampLo, is.ClampHi = it.Shift, it.ClampLo, it.ClampHi
+		}
+		is.FlattenOut = it.FlattenOut
 		spec.Instrs = append(spec.Instrs, is)
 	}
 	return spec
@@ -91,8 +104,12 @@ func FromCheckpoint(ck *export.Checkpoint) (*Program, error) {
 		return nil, fmt.Errorf("engine: checkpoint has no program section")
 	}
 	spec := ck.Program
-	if spec.Version != ProgramSpecVersion {
-		return nil, fmt.Errorf("engine: program spec version %d, want %d", spec.Version, ProgramSpecVersion)
+	if spec.Version < minProgramSpecVersion || spec.Version > ProgramSpecVersion {
+		return nil, fmt.Errorf("engine: program spec version %d, support %d..%d",
+			spec.Version, minProgramSpecVersion, ProgramSpecVersion)
+	}
+	if spec.OptLevel < int(OptNone) || spec.OptLevel > int(OptFuse) {
+		return nil, fmt.Errorf("engine: unknown program opt level %d", spec.OptLevel)
 	}
 	inQ := quant.NewQBase(spec.InQuant.NBits, spec.InQuant.Signed, len(spec.InQuant.Scale) > 1)
 	inQ.SetScale(append([]float32(nil), spec.InQuant.Scale...), append([]int64(nil), spec.InQuant.Zero...))
@@ -104,6 +121,7 @@ func FromCheckpoint(ck *export.Checkpoint) (*Program, error) {
 		NumBufs:  spec.NumBufs,
 		Input:    spec.Input,
 		Output:   spec.Output,
+		OptLevel: OptLevel(spec.OptLevel),
 	}
 	for i := range spec.Instrs {
 		is := &spec.Instrs[i]
@@ -150,6 +168,17 @@ func FromCheckpoint(ck *export.Checkpoint) (*Program, error) {
 		default:
 			return nil, fmt.Errorf("engine: unknown serialized op kind %q", is.Kind)
 		}
+		if is.FusedRescale != nil {
+			it.FusedRescale = scalerFromSpec(is.FusedRescale)
+		}
+		if is.FusedAdd {
+			if len(it.In) < 2 {
+				return nil, fmt.Errorf("engine: instr %d (%s) fused add without branch operand", i, is.Kind)
+			}
+			it.FusedAdd = true
+			it.Shift, it.ClampLo, it.ClampHi = is.Shift, is.ClampLo, is.ClampHi
+		}
+		it.FlattenOut = is.FlattenOut
 		p.Instrs = append(p.Instrs, it)
 	}
 	return p, nil

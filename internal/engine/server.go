@@ -129,31 +129,63 @@ func NewServer(p *Program, sampleShape []int, opts ServerOptions) (*Server, erro
 	return s, nil
 }
 
-// batcher coalesces queued requests: a batch is dispatched when it
-// reaches MaxBatch or when BatchWait has elapsed since its first request.
+// batcher coalesces queued requests: a batch is dispatched the moment it
+// reaches MaxBatch, or when BatchWait has elapsed since its first
+// request. When requests arrive faster than the flush interval the
+// backlog is drained non-blocking to a full batch without ever arming
+// the timer, so a saturated server dispatches at queue speed and never
+// waits on a timer tick with a full batch in hand. One timer is reused
+// across batches instead of being allocated per batch.
 func (s *Server) batcher() {
 	defer s.batcherW.Done()
 	defer close(s.batches)
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
 	for {
 		first, ok := <-s.queue
 		if !ok {
 			return
 		}
 		batch := append(make([]request, 0, s.opts.MaxBatch), first)
-		timer := time.NewTimer(s.opts.BatchWait)
-	fill:
+		// Fast path: drain whatever is already queued, no timer involved.
+	drain:
 		for len(batch) < s.opts.MaxBatch {
 			select {
 			case r, ok := <-s.queue:
 				if !ok {
-					break fill
+					s.batches <- batch
+					return
 				}
 				batch = append(batch, r)
-			case <-timer.C:
-				break fill
+			default:
+				break drain
 			}
 		}
-		timer.Stop()
+		if len(batch) < s.opts.MaxBatch {
+			// Slow path: wait up to BatchWait (measured from the first
+			// request) for stragglers; a full batch dispatches immediately.
+			timer.Reset(s.opts.BatchWait)
+		fill:
+			for len(batch) < s.opts.MaxBatch {
+				select {
+				case r, ok := <-s.queue:
+					if !ok {
+						break fill
+					}
+					batch = append(batch, r)
+				case <-timer.C:
+					break fill
+				}
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		}
 		s.batches <- batch
 	}
 }

@@ -189,8 +189,11 @@ type Checkpoint struct {
 
 // ProgramSpec is the serialized graph IR: a topo-ordered instruction
 // list over numbered buffers plus the float↔code boundary parameters.
+// OptLevel records the optimization pass the program was compiled with,
+// so a reloaded checkpoint reconstructs the exact fused artifact.
 type ProgramSpec struct {
 	Version  int         `json:"version"`
+	OptLevel int         `json:"opt_level,omitempty"`
 	InQuant  QuantSpec   `json:"in_quant"`
 	OutScale float32     `json:"out_scale"`
 	OutZero  int64       `json:"out_zero"`
@@ -242,6 +245,13 @@ type InstrSpec struct {
 	Shift   int   `json:"shift,omitempty"`
 	ClampLo int64 `json:"clamp_lo,omitempty"`
 	ClampHi int64 `json:"clamp_hi,omitempty"`
+
+	// Fused epilogue (spec version ≥ 2): a folded rescale stage, a folded
+	// residual add (whose branch is the last In entry; Shift/Clamp fields
+	// carry its parameters), and a folded flatten of the output view.
+	FusedRescale *ScalerSpec `json:"fused_rescale,omitempty"`
+	FusedAdd     bool        `json:"fused_add,omitempty"`
+	FlattenOut   bool        `json:"flatten_out,omitempty"`
 }
 
 // CkptTensor is one named integer tensor.

@@ -116,14 +116,22 @@ func (m *MulQuant) ApplyTo(out, acc *tensor.IntTensor, chDim int) {
 // round-to-nearest on the shift; every Apply variant funnels through it
 // so the engine kernels stay bit-identical to the interpreter.
 func (m *MulQuant) requantize(v, sfx, bfx, half, lo, hi int64) int64 {
+	return Requantize(v, sfx, bfx, half, uint(m.FracBits), m.OutZero, lo, hi)
+}
+
+// Requantize is the scalar fixed-point rescale every MulQuant application
+// funnels through: q = round_half_away((v·sfx + bfx) >> frac) + zero,
+// clamped to [lo, hi]. It is exported so compiled-engine kernels that
+// prepack the MulQuant constants produce bit-identical codes.
+func Requantize(v, sfx, bfx, half int64, frac uint, zero, lo, hi int64) int64 {
 	t := v*sfx + bfx
 	var q int64
 	if t >= 0 {
-		q = (t + half) >> m.FracBits
+		q = (t + half) >> frac
 	} else {
-		q = -((-t + half) >> m.FracBits)
+		q = -((-t + half) >> frac)
 	}
-	q += m.OutZero
+	q += zero
 	if q < lo {
 		q = lo
 	}
@@ -131,6 +139,24 @@ func (m *MulQuant) requantize(v, sfx, bfx, half, lo, hi int64) int64 {
 		q = hi
 	}
 	return q
+}
+
+// Consts returns the scalar constants Requantize needs: the rounding
+// half, the fraction shift, the output zero point, and the clamp range.
+func (m *MulQuant) Consts() (half int64, frac uint, zero, lo, hi int64) {
+	lo, hi = m.qRange()
+	return int64(1) << (m.FracBits - 1), uint(m.FracBits), m.OutZero, lo, hi
+}
+
+// Expand widens the fixed-point codes to n per-channel int64 pairs
+// (unified scaling broadcasts entry 0), the layout prepacked kernels
+// index without the per-element channel branch.
+func (m *MulQuant) Expand(n int) (sfx, bfx []int64) {
+	sfx, bfx = make([]int64, n), make([]int64, n)
+	for i := 0; i < n; i++ {
+		sfx[i], bfx[i] = m.scaleAt(i)
+	}
+	return sfx, bfx
 }
 
 // ApplySeg rescales a contiguous accumulator segment that belongs

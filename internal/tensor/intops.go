@@ -90,3 +90,9 @@ func MatMulIntTTo(dst, a, b *IntTensor) {
 // kernel implementations outside this package. fn must not itself invoke
 // a parallel loop.
 func ParallelForInt(n int, parallel bool, fn func(i int)) { parallelFor(n, parallel, fn) }
+
+// ParallelForSlots is ParallelForInt for kernels carrying per-chunk
+// scratch: fn(i, slot) owns the scratch dedicated to slot for the whole
+// chunk (slots are in [0, MaxParallelSlots()) and never run twice
+// concurrently). fn must not itself invoke a parallel loop.
+func ParallelForSlots(n int, parallel bool, fn func(i, slot int)) { parallelForSlots(n, parallel, fn) }

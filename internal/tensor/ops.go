@@ -148,29 +148,44 @@ func gemm(a, b, c []float32, m, k, n int) {
 }
 
 // poolJob is one chunk of a parallelFor, dispatched to the worker pool.
+// Exactly one of fn / fnSlot is set; fnSlot additionally receives the
+// chunk's slot index so kernels can use per-chunk scratch without
+// synchronization.
 type poolJob struct {
 	fn     func(i int)
+	fnSlot func(i, slot int)
+	slot   int
 	lo, hi int
 	wg     *sync.WaitGroup
 }
 
 var (
-	poolOnce sync.Once
-	poolJobs chan poolJob
+	poolOnce    sync.Once
+	poolJobs    chan poolJob
+	poolWorkers int
 )
 
 // ensurePool lazily starts the process-wide worker pool. Persistent
 // workers avoid spawning goroutines on every parallel section, which
-// keeps hot inference loops allocation-free.
+// keeps hot inference loops allocation-free. The worker count is frozen
+// at first use: slot-carrying loops and the scratch arrays sized from
+// MaxParallelSlots must agree forever, even if GOMAXPROCS changes later.
 func ensurePool() {
 	poolOnce.Do(func() {
 		n := runtime.GOMAXPROCS(0)
+		poolWorkers = n
 		poolJobs = make(chan poolJob, 4*n)
 		for w := 0; w < n; w++ {
 			go func() {
 				for j := range poolJobs {
-					for i := j.lo; i < j.hi; i++ {
-						j.fn(i)
+					if j.fnSlot != nil {
+						for i := j.lo; i < j.hi; i++ {
+							j.fnSlot(i, j.slot)
+						}
+					} else {
+						for i := j.lo; i < j.hi; i++ {
+							j.fn(i)
+						}
 					}
 					j.wg.Done()
 				}
@@ -218,6 +233,64 @@ func parallelFor(n int, parallel bool, fn func(i int)) {
 	}
 	for i := 0; i < end; i++ {
 		fn(i)
+	}
+	wg.Wait()
+}
+
+// MaxParallelSlots bounds the slot indices parallelForSlots hands out:
+// slot 0 runs on the caller, the rest on pool workers. Kernels size
+// per-slot scratch arrays with it. The value is frozen when the worker
+// pool first starts, so scratch sized at executor bind time stays valid
+// even if GOMAXPROCS changes afterwards.
+func MaxParallelSlots() int {
+	ensurePool()
+	return poolWorkers
+}
+
+// parallelForSlots is parallelFor for kernels that need per-chunk
+// scratch: fn(i, slot) may freely reuse scratch dedicated to slot, since
+// a slot is never executed by two goroutines at once. Slots are in
+// [0, MaxParallelSlots()).
+func parallelForSlots(n int, parallel bool, fn func(i, slot int)) {
+	if !parallel || n < 2 {
+		for i := 0; i < n; i++ {
+			fn(i, 0)
+		}
+		return
+	}
+	ensurePool()
+	workers := poolWorkers
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	slot := 1
+	for lo := chunk; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		select {
+		case poolJobs <- poolJob{fnSlot: fn, slot: slot, lo: lo, hi: hi, wg: &wg}:
+		default:
+			// Queue full: run inline on the caller's slot (0), which is
+			// only used between the dispatch loop and the tail chunk here,
+			// so no other goroutine shares it.
+			for i := lo; i < hi; i++ {
+				fn(i, 0)
+			}
+			wg.Done()
+		}
+		slot++
+	}
+	end := chunk
+	if end > n {
+		end = n
+	}
+	for i := 0; i < end; i++ {
+		fn(i, 0)
 	}
 	wg.Wait()
 }
