@@ -8,12 +8,15 @@
 //	t2c-bench -exp table4            # SSL transfer vs supervised
 //	t2c-bench -exp fig3|fig4|fig5    # workflow figures
 //	t2c-bench -exp engine            # fused+prepacked engine vs PR-1 engine vs interpreter
+//	t2c-bench -exp serve             # HTTP serving subsystem under load
 //	t2c-bench -exp all -scale quick  # everything at test scale
 //
 // The engine experiment also writes a machine-readable report
 // (ns/op, allocs/op, arena bytes, instruction counts before/after
 // fusion) to the -json path, BENCH_engine.json by default, so the perf
-// trajectory is comparable across PRs.
+// trajectory is comparable across PRs. The serve experiment likewise
+// writes QPS, latency percentiles, mean batch size, and reject counts
+// to the -serve-json path, BENCH_serve.json by default.
 package main
 
 import (
@@ -26,10 +29,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1..table4, fig3..fig5, ablation, engine, all")
+	exp := flag.String("exp", "all", "experiment: table1..table4, fig3..fig5, ablation, engine, serve, all")
 	scale := flag.String("scale", "quick", "compute scale: quick or full")
 	outDir := flag.String("out", "bench-out", "output directory for export artifacts (fig5)")
 	jsonPath := flag.String("json", "BENCH_engine.json", "path for the engine experiment's JSON report (empty = skip)")
+	serveJSON := flag.String("serve-json", "BENCH_serve.json", "path for the serve experiment's JSON report (empty = skip)")
 	flag.Parse()
 
 	var sc bench.Scale
@@ -115,6 +119,20 @@ func main() {
 					os.Exit(1)
 				}
 				fmt.Printf("wrote %s\n", *jsonPath)
+			}
+		})
+	}
+	if want("serve") {
+		any = true
+		run("serve", func() {
+			rep := bench.ServeBench(sc)
+			fmt.Print(bench.FormatServeBench(rep))
+			if *serveJSON != "" {
+				if err := bench.WriteServeJSON(*serveJSON, rep); err != nil {
+					fmt.Fprintf(os.Stderr, "serve: write %s: %v\n", *serveJSON, err)
+					os.Exit(1)
+				}
+				fmt.Printf("wrote %s\n", *serveJSON)
 			}
 		})
 	}

@@ -1,0 +1,92 @@
+// Command t2c-load drives a running t2c serve HTTP endpoint with
+// closed- or open-loop load and reports throughput plus latency
+// percentiles.
+//
+//	t2c serve -ckpt out/model_int.json -http :8080 &
+//	t2c-load -url http://127.0.0.1:8080 -model default -shape 3,32,32 \
+//	         -mode closed -clients 64 -duration 5s
+//	t2c-load -url http://127.0.0.1:8080 -model default -in out/inputs/input_000.json \
+//	         -mode open -qps 500 -duration 5s -deadline-ms 50
+//
+// Closed loop (-clients N) measures service capacity: each client fires
+// its next request when the previous completes. Open loop (-qps R)
+// fires at the target arrival rate regardless of completions, which is
+// what exposes admission-control behavior (429s, deadline drops) under
+// overload.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"torch2chip/internal/export"
+	"torch2chip/internal/serve"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8080", "server base URL")
+	model := flag.String("model", "default", "target model name")
+	mode := flag.String("mode", "closed", "load mode: closed or open")
+	clients := flag.Int("clients", 8, "closed-loop concurrent clients")
+	qps := flag.Float64("qps", 100, "open-loop target arrival rate")
+	duration := flag.Duration("duration", 2_000_000_000, "run duration")
+	maxReq := flag.Int("n", 0, "optional total request cap (0 = duration-bound)")
+	shape := flag.String("shape", "", "random payload sample shape, e.g. 3,32,32")
+	batch := flag.Int("batch", 1, "samples per request payload")
+	inFile := flag.String("in", "", "input tensor JSON file to use as the payload (overrides -shape)")
+	deadlineMS := flag.Int("deadline-ms", 0, "per-request deadline sent as ?deadline_ms=")
+	seed := flag.Int64("seed", 1, "random payload seed")
+	jsonPath := flag.String("json", "", "also write the report as JSON to this path")
+	flag.Parse()
+
+	var body []byte
+	var err error
+	switch {
+	case *inFile != "":
+		f, err := os.Open(*inFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		it, err := export.ReadInputJSON(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if body, err = serve.PredictBody(it.Shape, it.Data); err != nil {
+			log.Fatal(err)
+		}
+	case *shape != "":
+		sample, err := serve.ParseShape(*shape)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if body, err = serve.RandomBody(sample, *batch, *seed); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatal("t2c-load: pass -shape C,H,W or -in input.json to build the payload")
+	}
+
+	rep, err := serve.RunLoad(serve.LoadOptions{
+		URL: *url, Model: *model, Body: body,
+		Mode: *mode, Clients: *clients, QPS: *qps,
+		Duration: *duration, MaxRequests: *maxReq, DeadlineMS: *deadlineMS,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(serve.FormatLoadReport(rep))
+	if *jsonPath != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(b, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+}

@@ -7,21 +7,27 @@
 //	    -weight sawb -act pact -trainer qat -epochs 8 -out out/ \
 //	    -save-inputs 16
 //
-// The serve subcommand loads an exported checkpoint and runs the batched
-// graph-IR serving runtime over a directory of input tensor files:
+// The serve subcommand loads an exported checkpoint and either starts
+// the network-facing multi-model HTTP server or replays a directory of
+// input tensor files through the batched graph-IR runtime:
 //
+//	t2c serve -ckpt out/model_int.json -http :8080
 //	t2c serve -ckpt out/model_int.json -in out/inputs
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"torch2chip/internal/core"
@@ -31,6 +37,7 @@ import (
 	"torch2chip/internal/models"
 	"torch2chip/internal/nn"
 	"torch2chip/internal/quant"
+	"torch2chip/internal/serve"
 	"torch2chip/internal/tensor"
 	"torch2chip/internal/train"
 )
@@ -43,32 +50,50 @@ func main() {
 	runCompile()
 }
 
-// runServe loads a checkpoint's program section and serves every input
-// tensor file in a directory through the micro-batching runtime.
+// runServe loads a checkpoint's program section and either starts the
+// HTTP serving subsystem (-http) or replays a directory of input tensor
+// files through the micro-batching runtime (-in).
 func runServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
-	ckptPath := fs.String("ckpt", "t2c-out/model_int.json", "JSON checkpoint with program section")
+	ckptPath := fs.String("ckpt", "t2c-out/model_int.json", "JSON checkpoint with program section (empty with -http starts with no models)")
+	httpAddr := fs.String("http", "", "listen address for the HTTP serving API (e.g. :8080); empty = replay mode")
+	name := fs.String("name", "default", "model name the checkpoint is registered under (-http mode)")
+	shape := fs.String("shape", "", "sample input shape override, e.g. 3,32,32 (for checkpoints without a recorded in_shape)")
+	replicas := fs.Int("replicas", 1, "engine.Server replicas per model (-http mode)")
+	maxInFlight := fs.Int("max-inflight", 0, "admission control: max in-flight requests per model (0 = auto)")
+	deadlineFlag := fs.Duration("deadline", 0, "default per-request deadline (0 = none)")
 	inDir := fs.String("in", "", "directory of input tensor JSON files ({\"shape\":[C,H,W],\"data\":[...]})")
-	workers := fs.Int("workers", 0, "serving workers (0 = auto)")
+	workers := fs.Int("workers", 0, "serving workers per replica (0 = auto)")
 	maxBatch := fs.Int("max-batch", 8, "micro-batch size")
 	wait := fs.Duration("batch-wait", 500*time.Microsecond, "max wait to fill a micro-batch")
+	queue := fs.Int("queue", 0, "per-replica request queue capacity (0 = auto)")
 	opt := fs.Int("opt", 1, "optimization level for unfused checkpoints (0 = run as stored)")
 	if err := fs.Parse(args); err != nil {
 		log.Fatal(err)
 	}
-	if *inDir == "" {
-		log.Fatal("serve: -in directory is required (export with -save-inputs to generate one)")
+	engOpts := engine.ServerOptions{
+		Workers: *workers, MaxBatch: *maxBatch, BatchWait: *wait, QueueSize: *queue,
+	}
+	var sample []int
+	if *shape != "" {
+		var err error
+		if sample, err = serve.ParseShape(*shape); err != nil {
+			log.Fatal(err)
+		}
 	}
 
-	f, err := os.Open(*ckptPath)
-	if err != nil {
-		log.Fatal(err)
+	if *httpAddr != "" {
+		runServeHTTP(*httpAddr, *ckptPath, *name, sample, engOpts, serveHTTPConfig{
+			replicas: *replicas, maxInFlight: *maxInFlight,
+			deadline: *deadlineFlag, opt: engine.OptLevel(*opt),
+		})
+		return
 	}
-	ck, err := export.ReadJSON(f)
-	f.Close()
-	if err != nil {
-		log.Fatal(err)
+	if *inDir == "" {
+		log.Fatal("serve: pass -http to start the server or -in to replay a directory (export with -save-inputs to generate one)")
 	}
+
+	ck := readCheckpoint(*ckptPath)
 	prog, err := engine.FromCheckpoint(ck)
 	if err != nil {
 		log.Fatal(err)
@@ -110,11 +135,7 @@ func runServe(args []string) {
 				fn, shape, filepath.Base(files[0]), inputs[0].Shape)
 		}
 	}
-	sample := inputs[0].Shape
-
-	srv, err := engine.NewServer(prog, sample, engine.ServerOptions{
-		Workers: *workers, MaxBatch: *maxBatch, BatchWait: *wait,
-	})
+	srv, err := engine.NewServer(prog, inputs[0].Shape, engOpts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -145,6 +166,68 @@ func runServe(args []string) {
 	fmt.Printf("served %d requests in %s (%.0f req/s), %d batches, mean batch %.2f\n",
 		st.Requests, elapsed.Round(time.Millisecond),
 		float64(st.Requests)/elapsed.Seconds(), st.Batches, st.MeanBatch())
+}
+
+func readCheckpoint(path string) *export.Checkpoint {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ck, err := export.ReadJSON(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ck
+}
+
+type serveHTTPConfig struct {
+	replicas    int
+	maxInFlight int
+	deadline    time.Duration
+	opt         engine.OptLevel
+}
+
+// runServeHTTP starts the multi-model serving subsystem: registry +
+// HTTP API with graceful shutdown on SIGINT/SIGTERM (in-flight requests
+// drain before exit).
+func runServeHTTP(addr, ckptPath, name string, sample []int, engOpts engine.ServerOptions, cfg serveHTTPConfig) {
+	reg := serve.NewRegistry(serve.Options{
+		Replicas:        cfg.replicas,
+		Engine:          engOpts,
+		MaxInFlight:     cfg.maxInFlight,
+		DefaultDeadline: cfg.deadline,
+		OptLevel:        cfg.opt,
+		RawOptLevel:     cfg.opt == engine.OptNone,
+	})
+	if ckptPath != "" {
+		info, err := reg.Load(name, readCheckpoint(ckptPath), sample)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded model %q v%d (sample %v, %d replicas)",
+			info.Name, info.Version, info.Sample, info.Replicas)
+	}
+	srv := &http.Server{Addr: addr, Handler: serve.NewHandler(reg, serve.HandlerOptions{})}
+	done := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		close(done)
+	}()
+	log.Printf("serving HTTP on %s", addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	<-done
+	reg.Close()
 }
 
 func runCompile() {
@@ -242,6 +325,9 @@ func runCompile() {
 		log.Fatal(err)
 	}
 	im := cm.Int
+	// Record the sample input shape so the serving registry can size
+	// replica pools straight from the checkpoint.
+	cm.Prog.InShape = []int{3, spec.Size, spec.Size}
 	fmt.Print(core.Summary(im))
 	if cm.Prog.OptLevel > engine.OptNone {
 		st := cm.Fusion

@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"torch2chip/internal/engine"
+	"torch2chip/internal/export"
+	"torch2chip/internal/serve"
+)
+
+// ServeBenchRow is one HTTP serving scenario's measured outcome.
+type ServeBenchRow struct {
+	Scenario  string  `json:"scenario"`
+	Mode      string  `json:"mode"`
+	Clients   int     `json:"clients,omitempty"`
+	TargetQPS float64 `json:"target_qps,omitempty"`
+	Reloads   int     `json:"reloads"`
+
+	DurationSec   float64 `json:"duration_sec"`
+	Sent          int     `json:"sent"`
+	OK            int     `json:"ok"`
+	Rejected      int     `json:"rejected"`
+	Expired       int     `json:"expired"`
+	Errors        int     `json:"errors"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+
+	P50Ns  int64 `json:"p50_ns"`
+	P95Ns  int64 `json:"p95_ns"`
+	P99Ns  int64 `json:"p99_ns"`
+	MeanNs int64 `json:"mean_ns"`
+
+	MeanBatch     float64 `json:"mean_batch"`
+	EngineSamples int64   `json:"engine_samples"`
+}
+
+// ServeReport is the machine-readable serving-performance record
+// written to BENCH_serve.json, the serving analogue of BENCH_engine.json.
+type ServeReport struct {
+	Scale      string          `json:"scale"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	Model      string          `json:"model"`
+	Rows       []ServeBenchRow `json:"rows"`
+}
+
+// serveCheckpoint compiles the bench model and wraps it in a servable
+// checkpoint (tensor table + program section + recorded input shape).
+func serveCheckpoint(sc Scale) []byte {
+	cm, _, _ := engineModel(sc, "mobilenet")
+	cm.Prog.InShape = []int{3, 32, 32}
+	ck := export.NewCheckpoint(cm.Int.IntTensors(), nil)
+	ck.Program = cm.Prog.Spec()
+	var buf bytes.Buffer
+	if err := ck.WriteJSON(&buf); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// uploadCheckpoint POSTs ck to the load/reload endpoint.
+func uploadCheckpoint(url, name string, ck []byte) error {
+	resp, err := http.Post(url+"/v1/models/"+name, "application/json", bytes.NewReader(ck))
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("bench: upload status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// ServeBench measures the HTTP serving subsystem end to end:
+//
+//   - closed-64+reload: 64 concurrent clients with a hot reload fired
+//     mid-run — the acceptance scenario (batched execution under load,
+//     zero dropped requests across the swap);
+//   - closed-64-overload: the same client pressure against a tight
+//     16-in-flight admission budget, demonstrating fast-fail 429s
+//     instead of unbounded buffering;
+//   - open-400qps: open-loop arrivals at a fixed rate with a 100 ms
+//     per-request deadline, the latency-bounded operating point.
+func ServeBench(sc Scale) *ServeReport {
+	rep := &ServeReport{Scale: scaleName(sc), GoMaxProcs: runtime.GOMAXPROCS(0), Model: "mobilenet"}
+	ck := serveCheckpoint(sc)
+	body, err := serve.RandomBody([]int{3, 32, 32}, 1, 9600)
+	if err != nil {
+		panic(err)
+	}
+	dur := 1500 * time.Millisecond
+	if sc.TrainN >= Full().TrainN {
+		dur = 4 * time.Second
+	}
+
+	// Scenario 1: closed loop, 64 clients, one mid-run hot reload. The
+	// queue is provisioned for the client count so the run demonstrates
+	// batched, drop-free serving across the swap.
+	{
+		reg := serve.NewRegistry(serve.Options{Engine: engine.ServerOptions{MaxBatch: 8, QueueSize: 128}})
+		ts := httptest.NewServer(serve.NewHandler(reg, serve.HandlerOptions{}))
+		if err := uploadCheckpoint(ts.URL, "mobilenet", ck); err != nil {
+			panic(err)
+		}
+		reloadErr := make(chan error, 1)
+		go func() {
+			time.Sleep(dur / 3)
+			reloadErr <- uploadCheckpoint(ts.URL, "mobilenet", ck)
+		}()
+		lr, err := serve.RunLoad(serve.LoadOptions{
+			URL: ts.URL, Model: "mobilenet", Body: body,
+			Mode: "closed", Clients: 64, Duration: dur,
+		})
+		if err != nil {
+			panic(err)
+		}
+		if err := <-reloadErr; err != nil {
+			panic(err)
+		}
+		rep.Rows = append(rep.Rows, serveRow("closed-64+reload", 1, lr, reg))
+		ts.Close()
+		reg.Close()
+	}
+
+	// Scenario 2: 64 closed-loop clients against a deliberately tight
+	// admission budget (max 16 in flight): the surplus clients must get
+	// fast-fail 429s, not unbounded buffering.
+	{
+		reg := serve.NewRegistry(serve.Options{
+			Engine:      engine.ServerOptions{MaxBatch: 8, QueueSize: 16},
+			MaxInFlight: 16,
+		})
+		ts := httptest.NewServer(serve.NewHandler(reg, serve.HandlerOptions{}))
+		if err := uploadCheckpoint(ts.URL, "mobilenet", ck); err != nil {
+			panic(err)
+		}
+		lr, err := serve.RunLoad(serve.LoadOptions{
+			URL: ts.URL, Model: "mobilenet", Body: body,
+			Mode: "closed", Clients: 64, Duration: dur,
+		})
+		if err != nil {
+			panic(err)
+		}
+		rep.Rows = append(rep.Rows, serveRow("closed-64-overload", 0, lr, reg))
+		ts.Close()
+		reg.Close()
+	}
+
+	// Scenario 3: open-loop arrivals with a per-request deadline, the
+	// latency-bounded operating point.
+	{
+		reg := serve.NewRegistry(serve.Options{Engine: engine.ServerOptions{MaxBatch: 8, QueueSize: 64}})
+		ts := httptest.NewServer(serve.NewHandler(reg, serve.HandlerOptions{}))
+		if err := uploadCheckpoint(ts.URL, "mobilenet", ck); err != nil {
+			panic(err)
+		}
+		lr, err := serve.RunLoad(serve.LoadOptions{
+			URL: ts.URL, Model: "mobilenet", Body: body,
+			Mode: "open", QPS: 400, Duration: dur, DeadlineMS: 100,
+		})
+		if err != nil {
+			panic(err)
+		}
+		rep.Rows = append(rep.Rows, serveRow("open-400qps", 0, lr, reg))
+		ts.Close()
+		reg.Close()
+	}
+	return rep
+}
+
+func serveRow(scenario string, reloads int, lr *serve.LoadReport, reg *serve.Registry) ServeBenchRow {
+	row := ServeBenchRow{
+		Scenario: scenario, Mode: lr.Mode, Clients: lr.Clients, TargetQPS: lr.TargetQPS,
+		Reloads: reloads, DurationSec: lr.DurationSec,
+		Sent: lr.Sent, OK: lr.OK, Rejected: lr.Rejected, Expired: lr.Expired, Errors: lr.Errors,
+		ThroughputRPS: lr.ThroughputRPS,
+		P50Ns:         lr.P50Ns, P95Ns: lr.P95Ns, P99Ns: lr.P99Ns, MeanNs: lr.MeanNs,
+	}
+	for _, mi := range reg.Models() {
+		row.MeanBatch = mi.Stats.MeanBatch()
+		row.EngineSamples = mi.Stats.Requests
+	}
+	return row
+}
+
+// WriteServeJSON serializes the serving report (indented, trailing
+// newline) to path — the BENCH_serve.json artifact.
+func WriteServeJSON(path string, rep *ServeReport) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// FormatServeBench renders the serving scenarios as a table.
+func FormatServeBench(rep *ServeReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Serve — HTTP serving subsystem (%s, GOMAXPROCS=%d, model %s)\n",
+		rep.Scale, rep.GoMaxProcs, rep.Model)
+	fmt.Fprintf(&sb, "%-18s %-7s %8s %8s %7s %7s %7s %10s %9s %9s %9s %10s\n",
+		"scenario", "mode", "sent", "ok", "429s", "504s", "errs", "req/s", "p50", "p95", "p99", "mean batch")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(&sb, "%-18s %-7s %8d %8d %7d %7d %7d %10.0f %9s %9s %9s %10.2f\n",
+			r.Scenario, r.Mode, r.Sent, r.OK, r.Rejected, r.Expired, r.Errors,
+			r.ThroughputRPS,
+			time.Duration(r.P50Ns).Round(10*time.Microsecond),
+			time.Duration(r.P95Ns).Round(10*time.Microsecond),
+			time.Duration(r.P99Ns).Round(10*time.Microsecond),
+			r.MeanBatch)
+	}
+	return sb.String()
+}

@@ -215,6 +215,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 
 	// Serialize: program spec + the interpreter's tensor table (weight
 	// names are shared between the two).
+	cm.Prog.InShape = []int{3, 32, 32}
 	ck := export.NewCheckpoint(cm.Int.IntTensors(), nil)
 	ck.Program = cm.Prog.Spec()
 	var buf bytes.Buffer
@@ -228,6 +229,9 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	prog2, err := engine.FromCheckpoint(ck2)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(prog2.InShape) != 3 || prog2.InShape[0] != 3 || prog2.InShape[1] != 32 || prog2.InShape[2] != 32 {
+		t.Fatalf("round-tripped InShape = %v, want [3 32 32]", prog2.InShape)
 	}
 
 	xb := g.Uniform(0, 1, 2, 3, 32, 32)

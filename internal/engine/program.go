@@ -87,6 +87,12 @@ type Program struct {
 	// checkpoints so a reloaded artifact is the exact one benchmarked.
 	OptLevel OptLevel
 
+	// InShape is the single-sample input shape the model was compiled
+	// for (no batch dimension). It round-trips through checkpoints so a
+	// serving registry can size replica pools without being told the
+	// shape out of band; nil on pre-PR-3 checkpoints.
+	InShape []int
+
 	// pack caches prepacked kernel state that is batch- and
 	// executor-independent (weight panels, zero-point row sums, im2col
 	// index maps), so a server's many (worker, batch-size) executors

@@ -24,6 +24,7 @@ func (p *Program) Spec() *export.ProgramSpec {
 	spec := &export.ProgramSpec{
 		Version:  ProgramSpecVersion,
 		OptLevel: int(p.OptLevel),
+		InShape:  append([]int(nil), p.InShape...),
 		InQuant: export.QuantSpec{
 			NBits:  p.InQuant.NBits,
 			Signed: p.InQuant.Signed,
@@ -122,6 +123,7 @@ func FromCheckpoint(ck *export.Checkpoint) (*Program, error) {
 		Input:    spec.Input,
 		Output:   spec.Output,
 		OptLevel: OptLevel(spec.OptLevel),
+		InShape:  append([]int(nil), spec.InShape...),
 	}
 	for i := range spec.Instrs {
 		is := &spec.Instrs[i]

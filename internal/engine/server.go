@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -9,6 +10,20 @@ import (
 
 	"torch2chip/internal/tensor"
 )
+
+// ErrQueueFull is returned by TryInfer when the request queue is at
+// capacity: the server is overloaded and the caller should shed load
+// (the HTTP layer maps it to 429) instead of buffering unboundedly.
+var ErrQueueFull = errors.New("engine: server queue full")
+
+// ErrDeadlineExceeded is returned when a request's deadline expired
+// before a worker executed it; the sample is dropped without running.
+var ErrDeadlineExceeded = errors.New("engine: request deadline exceeded")
+
+// ErrShapeMismatch wraps rejections of mis-shaped request tensors, so
+// callers (the HTTP layer) can report them as client errors — e.g. a
+// request racing a hot reload that changed the model's input shape.
+var ErrShapeMismatch = errors.New("engine: sample shape mismatch")
 
 // ServerOptions tune the batched serving runtime.
 type ServerOptions struct {
@@ -26,6 +41,11 @@ type ServerOptions struct {
 	// Kernels selects the kernel registry (default DefaultKernels).
 	Kernels *Registry
 }
+
+// WithDefaults returns o with unset fields resolved, so higher layers
+// (the serve registry's admission sizing) can see the effective queue
+// capacity and worker count.
+func (o ServerOptions) WithDefaults() ServerOptions { return o.withDefaults() }
 
 func (o ServerOptions) withDefaults() ServerOptions {
 	if o.Workers <= 0 {
@@ -55,6 +75,19 @@ type ServerStats struct {
 	Batches  int64 // successful batched executes
 	Batched  int64 // samples that shared a batch with at least one other
 	Failures int64 // requests that returned an execution error
+	Rejected int64 // TryInfer fast-fails on a full queue
+	Expired  int64 // requests whose deadline passed before execution
+}
+
+// Add accumulates other into s (for aggregating replica pools and
+// folding a drained server's final counters into long-lived totals).
+func (s *ServerStats) Add(o ServerStats) {
+	s.Requests += o.Requests
+	s.Batches += o.Batches
+	s.Batched += o.Batched
+	s.Failures += o.Failures
+	s.Rejected += o.Rejected
+	s.Expired += o.Expired
 }
 
 // MeanBatch returns the average samples per batched execute.
@@ -66,8 +99,9 @@ func (s ServerStats) MeanBatch() float64 {
 }
 
 type request struct {
-	x     *tensor.Tensor
-	reply chan reply
+	x        *tensor.Tensor
+	deadline time.Time // zero = no deadline
+	reply    chan reply
 }
 
 type reply struct {
@@ -94,6 +128,8 @@ type Server struct {
 	nBatches atomic.Int64
 	batched  atomic.Int64
 	failures atomic.Int64
+	rejected atomic.Int64
+	expired  atomic.Int64
 
 	// mu guards closed and orders queue sends before close: producers
 	// hold the read side (so they can enqueue concurrently), Close takes
@@ -198,6 +234,25 @@ func (s *Server) worker() {
 	xBatch, yBatch = map[int]*tensor.Tensor{}, map[int]*tensor.Tensor{}
 	sampleN := tensor.Numel(s.sample)
 	for batch := range s.batches {
+		// Drop requests whose deadline passed while queued: replying
+		// ErrDeadlineExceeded without executing is what keeps latency
+		// bounded under overload instead of serving stale work.
+		if hasDeadlines(batch) {
+			now := time.Now()
+			live := batch[:0]
+			for _, r := range batch {
+				if !r.deadline.IsZero() && now.After(r.deadline) {
+					s.expired.Add(1)
+					r.reply <- reply{err: ErrDeadlineExceeded}
+					continue
+				}
+				live = append(live, r)
+			}
+			batch = live
+			if len(batch) == 0 {
+				continue
+			}
+		}
 		n := len(batch)
 		ex, ok := execs[n]
 		if !ok {
@@ -243,23 +298,79 @@ func (s *Server) worker() {
 	}
 }
 
+func hasDeadlines(batch []request) bool {
+	for _, r := range batch {
+		if !r.deadline.IsZero() {
+			return true
+		}
+	}
+	return false
+}
+
+// checkShape validates a request tensor against the server's sample
+// shape, accepting the documented [1, sample...] batch-of-one form.
+// Comparing only element counts is not enough: a [32,32,3] tensor has
+// the same Numel as a [3,32,32] model input but a different layout, and
+// accepting it would silently misinfer.
+func (s *Server) checkShape(x *tensor.Tensor) error {
+	sh := x.Shape
+	if len(sh) == len(s.sample)+1 && sh[0] == 1 {
+		sh = sh[1:]
+	}
+	if len(sh) != len(s.sample) {
+		return fmt.Errorf("%w: sample shape %v, server expects %v", ErrShapeMismatch, x.Shape, s.sample)
+	}
+	for i := range sh {
+		if sh[i] != s.sample[i] {
+			return fmt.Errorf("%w: sample shape %v, server expects %v", ErrShapeMismatch, x.Shape, s.sample)
+		}
+	}
+	return nil
+}
+
 // Infer serves one sample (shape = sampleShape, or [1, sampleShape...])
-// and blocks until its logits are ready.
+// and blocks until its logits are ready, waiting for queue space if the
+// server is saturated.
 func (s *Server) Infer(x *tensor.Tensor) (*tensor.Tensor, error) {
-	if len(x.Data) != tensor.Numel(s.sample) {
-		return nil, fmt.Errorf("engine: sample shape %v, server expects %v", x.Shape, s.sample)
+	return s.infer(x, time.Time{}, true)
+}
+
+// TryInfer is Infer with admission control: it fast-fails with
+// ErrQueueFull instead of blocking when the queue is at capacity, and a
+// non-zero deadline makes workers drop the request unexecuted
+// (ErrDeadlineExceeded) once it expires.
+func (s *Server) TryInfer(x *tensor.Tensor, deadline time.Time) (*tensor.Tensor, error) {
+	return s.infer(x, deadline, false)
+}
+
+func (s *Server) infer(x *tensor.Tensor, deadline time.Time, block bool) (*tensor.Tensor, error) {
+	if err := s.checkShape(x); err != nil {
+		return nil, err
 	}
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
 		return nil, fmt.Errorf("engine: server is closed")
 	}
-	r := request{x: x, reply: make(chan reply, 1)}
-	s.queue <- r
+	r := request{x: x, deadline: deadline, reply: make(chan reply, 1)}
+	if block {
+		s.queue <- r
+	} else {
+		select {
+		case s.queue <- r:
+		default:
+			s.mu.RUnlock()
+			s.rejected.Add(1)
+			return nil, ErrQueueFull
+		}
+	}
 	s.mu.RUnlock()
 	rep := <-r.reply
 	return rep.y, rep.err
 }
+
+// SampleShape returns the single-sample input shape the server accepts.
+func (s *Server) SampleShape() []int { return append([]int(nil), s.sample...) }
 
 // Stats returns a snapshot of the serving counters.
 func (s *Server) Stats() ServerStats {
@@ -268,6 +379,8 @@ func (s *Server) Stats() ServerStats {
 		Batches:  s.nBatches.Load(),
 		Batched:  s.batched.Load(),
 		Failures: s.failures.Load(),
+		Rejected: s.rejected.Load(),
+		Expired:  s.expired.Load(),
 	}
 }
 

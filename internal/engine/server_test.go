@@ -1,0 +1,195 @@
+package engine_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"torch2chip/internal/data"
+	"torch2chip/internal/engine"
+	"torch2chip/internal/tensor"
+)
+
+// blockingKernels returns a registry whose conv kernel parks on release
+// (signalling gate on entry), so tests can hold a worker mid-execute and
+// fill the admission pipeline deterministically.
+func blockingKernels(gate chan struct{}, release chan struct{}) *engine.Registry {
+	reg := engine.FastKernels()
+	base, _ := reg.Lookup(engine.OpConv)
+	reg.Register(engine.OpConv, func(ex *engine.Executor, idx int, it *engine.Instr, in []*tensor.IntTensor, out *tensor.IntTensor) {
+		select {
+		case gate <- struct{}{}:
+		default:
+		}
+		<-release
+		base(ex, idx, it, in, out)
+	})
+	return reg
+}
+
+func TestServerValidatesSampleShape(t *testing.T) {
+	g := tensor.NewRNG(41)
+	calib, _ := data.Generate(data.SynthCIFAR10, 32, 8)
+	model := smallCNN(g)
+	_, prog := compile(t, model, calib)
+	srv, err := engine.NewServer(prog, []int{3, 8, 8}, engine.ServerOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// The documented forms must both work.
+	if _, err := srv.Infer(g.Uniform(0, 1, 3, 8, 8)); err != nil {
+		t.Fatalf("sample-shaped input rejected: %v", err)
+	}
+	if _, err := srv.Infer(g.Uniform(0, 1, 1, 3, 8, 8)); err != nil {
+		t.Fatalf("[1,sample...] input rejected: %v", err)
+	}
+	// Same element count, different layout: must be rejected, not
+	// silently misinferred.
+	if _, err := srv.Infer(g.Uniform(0, 1, 8, 8, 3)); err == nil {
+		t.Fatal("transposed-layout input with matching Numel was accepted")
+	}
+	if _, err := srv.Infer(g.Uniform(0, 1, 192)); err == nil {
+		t.Fatal("flat input with matching Numel was accepted")
+	}
+	if _, err := srv.Infer(g.Uniform(0, 1, 2, 3, 8, 8)); err == nil {
+		t.Fatal("batch-of-two input was accepted")
+	}
+}
+
+func TestServerTryInferQueueFull(t *testing.T) {
+	g := tensor.NewRNG(42)
+	calib, _ := data.Generate(data.SynthCIFAR10, 32, 8)
+	model := smallCNN(g)
+	_, prog := compile(t, model, calib)
+
+	gate := make(chan struct{}, 1)
+	release := make(chan struct{})
+	srv, err := engine.NewServer(prog, []int{3, 8, 8}, engine.ServerOptions{
+		Workers: 1, MaxBatch: 1, QueueSize: 1, Kernels: blockingKernels(gate, release),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var wg sync.WaitGroup
+	var once sync.Once
+	unblock := func() { once.Do(func() { close(release) }) }
+	// LIFO defers: unblock the kernel, let every request finish, then
+	// Close — a blocked sender holds the server's read lock, so Close
+	// must come last even when the test bails out early.
+	defer wg.Wait()
+	defer unblock()
+
+	// Hold the single worker mid-execute, then oversubscribe the
+	// pipeline (worker + batches slot + batcher's hand + queue = 4
+	// slots) so the queue stays full until the kernel is released. One
+	// prebuilt input is shared read-only: the RNG is not thread-safe.
+	x := g.Uniform(0, 1, 3, 8, 8)
+	infer := func() {
+		defer wg.Done()
+		if _, err := srv.Infer(x); err != nil {
+			t.Errorf("blocking Infer failed: %v", err)
+		}
+	}
+	wg.Add(1)
+	go infer()
+	<-gate
+	const extra = 7
+	for i := 0; i < extra; i++ {
+		wg.Add(1)
+		go infer()
+	}
+
+	// TryInfer must fast-fail once the queue is full. Polls that sneak
+	// in while the pipeline is still filling are admitted and park on
+	// their reply, so each poll runs in its own goroutine; admitted
+	// polls complete after release and count as served requests.
+	deadline := time.Now().Add(10 * time.Second)
+	sawFull := false
+	for !sawFull {
+		if time.Now().After(deadline) {
+			t.Error("TryInfer never reported a full queue on a saturated server")
+			return
+		}
+		res := make(chan error, 1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := srv.TryInfer(x, time.Time{})
+			if err != nil && !errors.Is(err, engine.ErrQueueFull) {
+				t.Errorf("TryInfer returned unexpected error: %v", err)
+			}
+			res <- err
+		}()
+		select {
+		case err := <-res:
+			sawFull = errors.Is(err, engine.ErrQueueFull)
+		case <-time.After(200 * time.Millisecond):
+			// Admitted and parked; it finishes after release.
+		}
+	}
+
+	unblock()
+	wg.Wait()
+	st := srv.Stats()
+	if st.Rejected < 1 {
+		t.Fatalf("stats rejected = %d, want ≥ 1", st.Rejected)
+	}
+	if st.Requests < 1+extra {
+		t.Fatalf("stats requests = %d, want ≥ %d (no admitted request may be dropped)", st.Requests, 1+extra)
+	}
+}
+
+func TestServerDeadlineDropsUnexecuted(t *testing.T) {
+	g := tensor.NewRNG(43)
+	calib, _ := data.Generate(data.SynthCIFAR10, 32, 8)
+	model := smallCNN(g)
+	_, prog := compile(t, model, calib)
+
+	gate := make(chan struct{}, 1)
+	release := make(chan struct{})
+	srv, err := engine.NewServer(prog, []int{3, 8, 8}, engine.ServerOptions{
+		Workers: 1, MaxBatch: 1, Kernels: blockingKernels(gate, release),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	x1, x2 := g.Uniform(0, 1, 3, 8, 8), g.Uniform(0, 1, 3, 8, 8)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := srv.Infer(x1); err != nil {
+			t.Errorf("blocking Infer failed: %v", err)
+		}
+	}()
+	<-gate
+
+	// Queued behind the held worker with a deadline that expires while it
+	// waits: the worker must drop it unexecuted.
+	errc := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err := srv.TryInfer(x2, time.Now().Add(20*time.Millisecond))
+		errc <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if err := <-errc; !errors.Is(err, engine.ErrDeadlineExceeded) {
+		t.Fatalf("expired request returned %v, want ErrDeadlineExceeded", err)
+	}
+	st := srv.Stats()
+	if st.Expired != 1 {
+		t.Fatalf("stats expired = %d, want 1", st.Expired)
+	}
+	if st.Requests != 1 {
+		t.Fatalf("stats requests = %d, want 1", st.Requests)
+	}
+}

@@ -192,8 +192,12 @@ type Checkpoint struct {
 // OptLevel records the optimization pass the program was compiled with,
 // so a reloaded checkpoint reconstructs the exact fused artifact.
 type ProgramSpec struct {
-	Version  int         `json:"version"`
-	OptLevel int         `json:"opt_level,omitempty"`
+	Version  int `json:"version"`
+	OptLevel int `json:"opt_level,omitempty"`
+	// InShape is the single-sample input shape (no batch dimension,
+	// e.g. [3,32,32]). Optional for backward compatibility: older
+	// checkpoints omit it and servers must be told the shape explicitly.
+	InShape  []int       `json:"in_shape,omitempty"`
 	InQuant  QuantSpec   `json:"in_quant"`
 	OutScale float32     `json:"out_scale"`
 	OutZero  int64       `json:"out_zero"`
@@ -341,6 +345,42 @@ func ReadInputJSON(r io.Reader) (*InputTensor, error) {
 		return nil, fmt.Errorf("export: input shape %v does not match %d values", t.Shape, len(t.Data))
 	}
 	return &t, nil
+}
+
+// Samples splits a (possibly batched) input payload into per-sample
+// tensors of the given sample shape. Accepted layouts are exactly
+// sample (one tensor) and [N, sample...] (a batch); anything else —
+// including a transposed layout with a matching element count — is
+// rejected so it cannot be silently misinterpreted.
+func (t *InputTensor) Samples(sample []int) ([]*tensor.Tensor, error) {
+	sh := t.Shape
+	n := 1
+	switch {
+	case shapeEqual(sh, sample):
+	case len(sh) == len(sample)+1 && shapeEqual(sh[1:], sample):
+		n = sh[0]
+	default:
+		return nil, fmt.Errorf("export: input shape %v, want %v or [N,%v]", sh, sample, sample)
+	}
+	sampleN := len(t.Data) / n
+	out := make([]*tensor.Tensor, n)
+	for i := range out {
+		data := append([]float32(nil), t.Data[i*sampleN:(i+1)*sampleN]...)
+		out[i] = tensor.FromSlice(data, append([]int{1}, sample...)...)
+	}
+	return out, nil
+}
+
+func shapeEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // QIntPack packs sub-byte codes densely (e.g. eight 4-bit codes in four

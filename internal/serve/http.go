@@ -1,0 +1,289 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"torch2chip/internal/engine"
+	"torch2chip/internal/export"
+	"torch2chip/internal/tensor"
+)
+
+// HandlerOptions tune the HTTP layer.
+type HandlerOptions struct {
+	// MaxBodyBytes bounds request bodies (predict payloads and
+	// checkpoint uploads). Default 1 GiB.
+	MaxBodyBytes int64
+}
+
+func (o HandlerOptions) withDefaults() HandlerOptions {
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 30
+	}
+	return o
+}
+
+// Handler is the HTTP/JSON front end over a Registry:
+//
+//	POST /v1/models/{name}:predict   run inference (single or batched tensor)
+//	POST /v1/models/{name}           load / hot-reload a checkpoint
+//	DELETE /v1/models/{name}         retire a model
+//	GET  /v1/models                  list models and serving stats
+//	GET  /healthz                    liveness probe
+//	GET  /metrics                    Prometheus text metrics
+type Handler struct {
+	reg     *Registry
+	metrics *Metrics
+	opts    HandlerOptions
+	mux     *http.ServeMux
+}
+
+// NewHandler wires the API routes over reg.
+func NewHandler(reg *Registry, opts HandlerOptions) *Handler {
+	h := &Handler{reg: reg, metrics: NewMetrics(), opts: opts.withDefaults(), mux: http.NewServeMux()}
+	h.mux.HandleFunc("/healthz", h.health)
+	h.mux.HandleFunc("/metrics", h.serveMetrics)
+	h.mux.HandleFunc("/v1/models", h.list)
+	h.mux.HandleFunc("/v1/models/", h.models)
+	return h
+}
+
+// Metrics exposes the handler's metrics store (the bench and tests read
+// observed counters through the /metrics endpoint instead).
+func (h *Handler) Metrics() *Metrics { return h.metrics }
+
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+// Prediction is one sample's result.
+type Prediction struct {
+	Class   int       `json:"class"`
+	Logits  []float32 `json:"logits"`
+	Version int       `json:"version"`
+}
+
+// PredictResponse is the predict endpoint's body.
+type PredictResponse struct {
+	Model       string       `json:"model"`
+	Predictions []Prediction `json:"predictions"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// statusFor maps serving errors to HTTP codes: overload sheds as 429,
+// expired deadlines as 504, unknown models as 404.
+func statusFor(err error) (int, string) {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound, ResultInvalid
+	case errors.Is(err, ErrOverloaded), errors.Is(err, engine.ErrQueueFull):
+		return http.StatusTooManyRequests, ResultRejected
+	case errors.Is(err, engine.ErrDeadlineExceeded):
+		return http.StatusGatewayTimeout, ResultExpired
+	case errors.Is(err, engine.ErrShapeMismatch):
+		// A valid-at-parse-time request can still mis-shape if a hot
+		// reload changed the model's input shape mid-request.
+		return http.StatusBadRequest, ResultInvalid
+	default:
+		return http.StatusInternalServerError, ResultError
+	}
+}
+
+func (h *Handler) health(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "models": len(h.reg.Models())})
+}
+
+func (h *Handler) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	h.metrics.WriteText(w, h.reg)
+}
+
+func (h *Handler) list(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	infos := h.reg.Models()
+	if infos == nil {
+		infos = []ModelInfo{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"models": infos})
+}
+
+// models dispatches /v1/models/{name} and /v1/models/{name}:predict.
+func (h *Handler) models(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/models/")
+	if rest == "" || strings.Contains(rest, "/") {
+		writeError(w, http.StatusNotFound, "unknown path %q", r.URL.Path)
+		return
+	}
+	if name, ok := strings.CutSuffix(rest, ":predict"); ok {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "use POST")
+			return
+		}
+		h.predict(w, r, name)
+		return
+	}
+	switch r.Method {
+	case http.MethodPost:
+		h.load(w, r, rest)
+	case http.MethodDelete:
+		if err := h.reg.Remove(rest); err != nil {
+			writeError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"removed": rest})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "use POST or DELETE")
+	}
+}
+
+// predict parses a single or batched input tensor, fans the samples out
+// concurrently (so one batched request coalesces in the micro-batcher),
+// and replies with per-sample logits and argmax classes.
+func (h *Handler) predict(w http.ResponseWriter, r *http.Request, name string) {
+	start := time.Now()
+	sample, err := h.reg.SampleShape(name)
+	if err != nil {
+		h.metrics.ObserveUnknown()
+		writeError(w, http.StatusNotFound, "model %q not loaded", name)
+		return
+	}
+	in, err := export.ReadInputJSON(http.MaxBytesReader(w, r.Body, h.opts.MaxBodyBytes))
+	if err != nil {
+		h.metrics.Observe(name, ResultInvalid, 0)
+		writeError(w, http.StatusBadRequest, "bad input tensor: %v", err)
+		return
+	}
+	xs, err := in.Samples(sample)
+	if err != nil {
+		h.metrics.Observe(name, ResultInvalid, 0)
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	deadline, err := h.deadline(r)
+	if err != nil {
+		h.metrics.Observe(name, ResultInvalid, 0)
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Fan out at most MaxInFlight samples at a time: each sample is one
+	// admission unit, so a wider batch would exhaust the budget against
+	// itself and 429 even on an idle server. Waves keep any batch size
+	// servable while still shedding against concurrent traffic.
+	width := len(xs)
+	if m := h.reg.MaxInFlight(); m > 0 && m < width {
+		width = m
+	}
+	preds := make([]Prediction, len(xs))
+	errs := make([]error, len(xs))
+	slots := make(chan struct{}, width)
+	var wg sync.WaitGroup
+	for i, x := range xs {
+		wg.Add(1)
+		slots <- struct{}{}
+		go func(i int, x *tensor.Tensor) {
+			defer wg.Done()
+			defer func() { <-slots }()
+			y, version, err := h.reg.InferDeadline(name, x, deadline)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			preds[i] = Prediction{Class: y.Argmax(), Logits: y.Data, Version: version}
+		}(i, x)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			code, result := statusFor(err)
+			h.metrics.Observe(name, result, 0)
+			writeError(w, code, "%v", err)
+			return
+		}
+	}
+	h.metrics.Observe(name, ResultOK, time.Since(start))
+	writeJSON(w, http.StatusOK, PredictResponse{Model: name, Predictions: preds})
+}
+
+// deadline resolves the request deadline: ?deadline_ms= overrides the
+// registry default.
+func (h *Handler) deadline(r *http.Request) (time.Time, error) {
+	q := r.URL.Query().Get("deadline_ms")
+	if q == "" {
+		if d := h.reg.opts.DefaultDeadline; d > 0 {
+			return time.Now().Add(d), nil
+		}
+		return time.Time{}, nil
+	}
+	ms, err := strconv.ParseInt(q, 10, 64)
+	if err != nil || ms <= 0 {
+		return time.Time{}, fmt.Errorf("bad deadline_ms %q", q)
+	}
+	return time.Now().Add(time.Duration(ms) * time.Millisecond), nil
+}
+
+// load reads a checkpoint body and installs it under name (hot reload
+// when the name already serves). ?shape=C,H,W overrides the sample
+// shape for checkpoints that predate the recorded in_shape field.
+func (h *Handler) load(w http.ResponseWriter, r *http.Request, name string) {
+	ck, err := export.ReadJSON(http.MaxBytesReader(w, r.Body, h.opts.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad checkpoint: %v", err)
+		return
+	}
+	var sample []int
+	if q := r.URL.Query().Get("shape"); q != "" {
+		if sample, err = ParseShape(q); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	info, err := h.reg.Load(name, ck, sample)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrClosed) {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	code := http.StatusOK
+	if info.Version == 1 {
+		code = http.StatusCreated
+	}
+	writeJSON(w, code, info)
+}
+
+// ParseShape parses a comma-separated shape like "3,32,32".
+func ParseShape(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("serve: bad shape %q", s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

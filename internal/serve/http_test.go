@@ -1,0 +1,338 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"torch2chip/internal/engine"
+	"torch2chip/internal/export"
+	"torch2chip/internal/serve"
+	"torch2chip/internal/tensor"
+)
+
+func postJSON(t *testing.T, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func checkpointBody(t *testing.T, ck *export.Checkpoint) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := ck.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestHTTPEndToEnd(t *testing.T) {
+	ck, im := buildCheckpoint(t, 5)
+	reg := serve.NewRegistry(serve.Options{})
+	defer reg.Close()
+	ts := httptest.NewServer(serve.NewHandler(reg, serve.HandlerOptions{}))
+	defer ts.Close()
+
+	// Upload the checkpoint.
+	resp, body := postJSON(t, ts.URL+"/v1/models/cnn", checkpointBody(t, ck))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload status %d: %s", resp.StatusCode, body)
+	}
+	var info serve.ModelInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 1 || info.Name != "cnn" {
+		t.Fatalf("upload info %+v", info)
+	}
+
+	// healthz.
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, _ := io.ReadAll(hr.Body)
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK || !strings.Contains(string(hb), `"ok"`) {
+		t.Fatalf("healthz %d: %s", hr.StatusCode, hb)
+	}
+
+	// Single-sample predict, bit-identical to the interpreter.
+	g := tensor.NewRNG(500)
+	x := g.Uniform(0, 1, 1, 3, 8, 8)
+	pb, err := serve.PredictBody([]int{3, 8, 8}, x.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/models/cnn:predict", pb)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict status %d: %s", resp.StatusCode, body)
+	}
+	var pr serve.PredictResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Predictions) != 1 {
+		t.Fatalf("predictions %d, want 1", len(pr.Predictions))
+	}
+	want := im.Forward(x)
+	if pr.Predictions[0].Class != want.Argmax() {
+		t.Fatalf("class %d, want %d", pr.Predictions[0].Class, want.Argmax())
+	}
+	for i := range want.Data {
+		if pr.Predictions[0].Logits[i] != want.Data[i] {
+			t.Fatalf("logit[%d] = %v, interpreter %v", i, pr.Predictions[0].Logits[i], want.Data[i])
+		}
+	}
+
+	// Batched predict: shape [N, sample...], one prediction per sample.
+	const batch = 3
+	xb := g.Uniform(0, 1, batch, 3, 8, 8)
+	pb, err = serve.PredictBody([]int{batch, 3, 8, 8}, xb.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/models/cnn:predict", pb)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batched predict status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Predictions) != batch {
+		t.Fatalf("predictions %d, want %d", len(pr.Predictions), batch)
+	}
+	sampleN := len(xb.Data) / batch
+	for i := 0; i < batch; i++ {
+		xi := tensor.FromSlice(append([]float32(nil), xb.Data[i*sampleN:(i+1)*sampleN]...), 1, 3, 8, 8)
+		wi := im.Forward(xi)
+		for j := range wi.Data {
+			if pr.Predictions[i].Logits[j] != wi.Data[j] {
+				t.Fatalf("sample %d logit[%d] = %v, interpreter %v", i, j, pr.Predictions[i].Logits[j], wi.Data[j])
+			}
+		}
+	}
+
+	// Listing.
+	lr, err := http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, _ := io.ReadAll(lr.Body)
+	lr.Body.Close()
+	if !strings.Contains(string(lb), `"cnn"`) {
+		t.Fatalf("listing missing model: %s", lb)
+	}
+
+	// Hot reload over HTTP bumps the version.
+	resp, body = postJSON(t, ts.URL+"/v1/models/cnn", checkpointBody(t, ck))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 2 {
+		t.Fatalf("reload version = %d, want 2", info.Version)
+	}
+
+	// Metrics: per-model counters and the engine histogram/gauges.
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	ms := string(mb)
+	for _, wantLine := range []string{
+		`t2c_requests_total{model="cnn",result="ok"} 2`,
+		`t2c_request_latency_seconds_count{model="cnn"} 2`,
+		`t2c_request_latency_seconds_bucket{model="cnn",le="+Inf"} 2`,
+		`t2c_model_version{model="cnn"} 2`,
+		`t2c_engine_requests_total{model="cnn"} 4`, // 1 single + 3 batched samples
+	} {
+		if !strings.Contains(ms, wantLine) {
+			t.Fatalf("metrics missing %q in:\n%s", wantLine, ms)
+		}
+	}
+
+	// DELETE retires the model; predict then 404s.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/models/cnn", nil)
+	dr, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr.Body.Close()
+	if dr.StatusCode != http.StatusOK {
+		t.Fatalf("delete status %d", dr.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/models/cnn:predict", pb)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("predict after delete status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHTTPRejectsBadRequests(t *testing.T) {
+	ck, _ := buildCheckpoint(t, 6)
+	reg := serve.NewRegistry(serve.Options{})
+	defer reg.Close()
+	ts := httptest.NewServer(serve.NewHandler(reg, serve.HandlerOptions{}))
+	defer ts.Close()
+	if _, err := reg.Load("cnn", ck, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unknown model.
+	g := tensor.NewRNG(600)
+	pb, _ := serve.PredictBody([]int{3, 8, 8}, g.Uniform(0, 1, 3, 8, 8).Data)
+	resp, _ := postJSON(t, ts.URL+"/v1/models/nope:predict", pb)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown model status %d, want 404", resp.StatusCode)
+	}
+
+	// Transposed layout with matching element count.
+	bad, _ := serve.PredictBody([]int{8, 8, 3}, g.Uniform(0, 1, 8, 8, 3).Data)
+	resp, body := postJSON(t, ts.URL+"/v1/models/cnn:predict", bad)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("transposed input status %d (%s), want 400", resp.StatusCode, body)
+	}
+
+	// Garbage payloads.
+	resp, _ = postJSON(t, ts.URL+"/v1/models/cnn:predict", []byte("{"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage predict status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/models/other", []byte("not a checkpoint"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage upload status %d, want 400", resp.StatusCode)
+	}
+
+	// Bad deadline parameter.
+	resp, _ = postJSON(t, ts.URL+"/v1/models/cnn:predict?deadline_ms=banana", pb)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad deadline status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHTTPOverloadReturns429(t *testing.T) {
+	ck, _ := buildCheckpoint(t, 7)
+	gate := make(chan struct{}, 1)
+	release := make(chan struct{})
+	reg := serve.NewRegistry(serve.Options{
+		MaxInFlight: 1,
+		Engine:      engine.ServerOptions{Workers: 1, MaxBatch: 1, QueueSize: 1, Kernels: blockingKernels(gate, release)},
+	})
+	defer reg.Close()
+	ts := httptest.NewServer(serve.NewHandler(reg, serve.HandlerOptions{}))
+	defer ts.Close()
+	if _, err := reg.Load("cnn", ck, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	g := tensor.NewRNG(700)
+	pb, _ := serve.PredictBody([]int{3, 8, 8}, g.Uniform(0, 1, 3, 8, 8).Data)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, body := postJSON(t, ts.URL+"/v1/models/cnn:predict", pb)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("held request finished %d: %s", resp.StatusCode, body)
+		}
+	}()
+	<-gate // worker parked mid-execute, in-flight budget spent
+
+	resp, body := postJSON(t, ts.URL+"/v1/models/cnn:predict", pb)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload status %d (%s), want 429", resp.StatusCode, body)
+	}
+	close(release)
+	wg.Wait()
+
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	if !strings.Contains(string(mb), `t2c_requests_total{model="cnn",result="rejected"} 1`) {
+		t.Fatalf("metrics missing rejected counter:\n%s", mb)
+	}
+}
+
+func TestHTTPBatchWiderThanAdmissionBudget(t *testing.T) {
+	// A single batched request larger than MaxInFlight must run in
+	// waves and succeed on an idle server, not 429 against itself.
+	ck, _ := buildCheckpoint(t, 9)
+	reg := serve.NewRegistry(serve.Options{MaxInFlight: 2})
+	defer reg.Close()
+	ts := httptest.NewServer(serve.NewHandler(reg, serve.HandlerOptions{}))
+	defer ts.Close()
+	if _, err := reg.Load("cnn", ck, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	const batch = 6
+	g := tensor.NewRNG(800)
+	pb, err := serve.PredictBody([]int{batch, 3, 8, 8}, g.Uniform(0, 1, batch, 3, 8, 8).Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/models/cnn:predict", pb)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("wide batch status %d (%s), want 200", resp.StatusCode, body)
+	}
+	var pr serve.PredictResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Predictions) != batch {
+		t.Fatalf("predictions %d, want %d", len(pr.Predictions), batch)
+	}
+}
+
+func TestRunLoadClosedLoop(t *testing.T) {
+	ck, _ := buildCheckpoint(t, 8)
+	reg := serve.NewRegistry(serve.Options{})
+	defer reg.Close()
+	ts := httptest.NewServer(serve.NewHandler(reg, serve.HandlerOptions{}))
+	defer ts.Close()
+	if _, err := reg.Load("cnn", ck, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	body, err := serve.RandomBody([]int{3, 8, 8}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := serve.RunLoad(serve.LoadOptions{
+		URL: ts.URL, Model: "cnn", Body: body,
+		Mode: "closed", Clients: 4, MaxRequests: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK < 64 || rep.Errors > 0 || rep.Rejected > 0 {
+		t.Fatalf("load report %+v, want ≥64 ok and no failures", rep)
+	}
+	if rep.P50Ns <= 0 || rep.P99Ns < rep.P50Ns || rep.ThroughputRPS <= 0 {
+		t.Fatalf("latency stats %+v look wrong", rep)
+	}
+	if fmt.Sprint(serve.FormatLoadReport(rep)) == "" {
+		t.Fatal("empty report")
+	}
+}

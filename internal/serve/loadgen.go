@@ -1,0 +1,275 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"torch2chip/internal/export"
+	"torch2chip/internal/tensor"
+)
+
+// LoadOptions configure one load-generation run against the HTTP API.
+type LoadOptions struct {
+	// URL is the server base, e.g. "http://127.0.0.1:8080".
+	URL string
+	// Model is the target model name.
+	Model string
+	// Body is the predict payload fired on every request.
+	Body []byte
+	// Mode is "closed" (Clients loops of back-to-back requests, load
+	// tracks service capacity) or "open" (requests fired at QPS
+	// regardless of completions, load tests overload behavior).
+	Mode string
+	// Clients is the closed-loop concurrency (default 8).
+	Clients int
+	// QPS is the open-loop arrival rate (default 100).
+	QPS float64
+	// Duration bounds the run (default 2s).
+	Duration time.Duration
+	// MaxRequests optionally caps total requests (0 = duration-bound).
+	MaxRequests int
+	// DeadlineMS, when > 0, is sent as ?deadline_ms= on every request.
+	DeadlineMS int
+	// Timeout is the per-request client timeout (default 30s).
+	Timeout time.Duration
+}
+
+func (o LoadOptions) withDefaults() LoadOptions {
+	if o.Mode == "" {
+		o.Mode = "closed"
+	}
+	if o.Clients <= 0 {
+		o.Clients = 8
+	}
+	if o.QPS <= 0 {
+		o.QPS = 100
+	}
+	if o.Duration <= 0 {
+		o.Duration = 2 * time.Second
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+	return o
+}
+
+// LoadReport is the run summary: counts by outcome, achieved
+// throughput, and latency percentiles over successful requests.
+type LoadReport struct {
+	Mode        string  `json:"mode"`
+	Clients     int     `json:"clients,omitempty"`
+	TargetQPS   float64 `json:"target_qps,omitempty"`
+	DurationSec float64 `json:"duration_sec"`
+
+	Sent     int `json:"sent"`
+	OK       int `json:"ok"`
+	Rejected int `json:"rejected"` // HTTP 429: admission shed
+	Expired  int `json:"expired"`  // HTTP 504: deadline drop
+	Errors   int `json:"errors"`   // transport failures and 5xx
+	Dropped  int `json:"dropped"`  // open-loop arrivals skipped at the outstanding cap
+
+	ThroughputRPS float64 `json:"throughput_rps"`
+	MeanNs        int64   `json:"mean_ns"`
+	P50Ns         int64   `json:"p50_ns"`
+	P95Ns         int64   `json:"p95_ns"`
+	P99Ns         int64   `json:"p99_ns"`
+	MaxNs         int64   `json:"max_ns"`
+}
+
+// collector accumulates per-request outcomes across client goroutines.
+type collector struct {
+	mu        sync.Mutex
+	latencies []int64
+	sent      atomic.Int64
+	rejected  atomic.Int64
+	expired   atomic.Int64
+	errors    atomic.Int64
+}
+
+func (c *collector) fire(client *http.Client, url string, body []byte) {
+	c.sent.Add(1)
+	start := time.Now()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		c.errors.Add(1)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		ns := time.Since(start).Nanoseconds()
+		c.mu.Lock()
+		c.latencies = append(c.latencies, ns)
+		c.mu.Unlock()
+	case resp.StatusCode == http.StatusTooManyRequests:
+		c.rejected.Add(1)
+	case resp.StatusCode == http.StatusGatewayTimeout:
+		c.expired.Add(1)
+	default:
+		c.errors.Add(1)
+	}
+}
+
+// RunLoad drives the predict endpoint per opts and reports throughput
+// and latency percentiles.
+func RunLoad(opts LoadOptions) (*LoadReport, error) {
+	opts = opts.withDefaults()
+	if opts.URL == "" || opts.Model == "" || len(opts.Body) == 0 {
+		return nil, fmt.Errorf("serve: loadgen needs URL, Model, and Body")
+	}
+	url := fmt.Sprintf("%s/v1/models/%s:predict", opts.URL, opts.Model)
+	if opts.DeadlineMS > 0 {
+		url = fmt.Sprintf("%s?deadline_ms=%d", url, opts.DeadlineMS)
+	}
+	client := &http.Client{
+		Timeout: opts.Timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        opts.Clients + 64,
+			MaxIdleConnsPerHost: opts.Clients + 64,
+		},
+	}
+
+	col := &collector{}
+	stop := time.Now().Add(opts.Duration)
+	budget := int64(opts.MaxRequests)
+	take := func() bool {
+		if time.Now().After(stop) {
+			return false
+		}
+		return budget <= 0 || col.sent.Load() < budget
+	}
+	start := time.Now()
+	var dropped int64
+	switch opts.Mode {
+	case "closed":
+		var wg sync.WaitGroup
+		for c := 0; c < opts.Clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for take() {
+					col.fire(client, url, opts.Body)
+				}
+			}()
+		}
+		wg.Wait()
+	case "open":
+		interval := time.Duration(float64(time.Second) / opts.QPS)
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		// Outstanding requests are capped so a stalled server cannot
+		// spawn unbounded goroutines; arrivals past the cap are counted
+		// as dropped, not silently delayed (that would close the loop).
+		slots := make(chan struct{}, 4096)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		var wg sync.WaitGroup
+		for take() {
+			<-ticker.C
+			select {
+			case slots <- struct{}{}:
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					col.fire(client, url, opts.Body)
+					<-slots
+				}()
+			default:
+				dropped++
+			}
+		}
+		wg.Wait()
+	default:
+		return nil, fmt.Errorf("serve: unknown load mode %q", opts.Mode)
+	}
+	elapsed := time.Since(start)
+
+	rep := &LoadReport{
+		Mode:        opts.Mode,
+		DurationSec: elapsed.Seconds(),
+		Sent:        int(col.sent.Load()),
+		OK:          len(col.latencies),
+		Rejected:    int(col.rejected.Load()),
+		Expired:     int(col.expired.Load()),
+		Errors:      int(col.errors.Load()),
+		Dropped:     int(dropped),
+	}
+	if opts.Mode == "closed" {
+		rep.Clients = opts.Clients
+	} else {
+		rep.TargetQPS = opts.QPS
+	}
+	if elapsed > 0 {
+		rep.ThroughputRPS = float64(rep.OK) / elapsed.Seconds()
+	}
+	lat := col.latencies
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		var sum int64
+		for _, v := range lat {
+			sum += v
+		}
+		rep.MeanNs = sum / int64(len(lat))
+		rep.P50Ns = percentile(lat, 0.50)
+		rep.P95Ns = percentile(lat, 0.95)
+		rep.P99Ns = percentile(lat, 0.99)
+		rep.MaxNs = lat[len(lat)-1]
+	}
+	return rep, nil
+}
+
+// percentile reads the p-quantile from an ascending-sorted slice.
+func percentile(sorted []int64, p float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// PredictBody marshals one predict payload.
+func PredictBody(shape []int, data []float32) ([]byte, error) {
+	return json.Marshal(export.InputTensor{Shape: shape, Data: data})
+}
+
+// RandomBody builds a deterministic random predict payload: batch
+// samples of the given sample shape (batch 1 emits the bare sample
+// shape).
+func RandomBody(sample []int, batch int, seed int64) ([]byte, error) {
+	if batch <= 0 {
+		batch = 1
+	}
+	g := tensor.NewRNG(seed)
+	shape := sample
+	if batch > 1 {
+		shape = append([]int{batch}, sample...)
+	}
+	x := g.Uniform(0, 1, shape...)
+	return PredictBody(shape, x.Data)
+}
+
+// FormatLoadReport renders a human-readable run summary.
+func FormatLoadReport(rep *LoadReport) string {
+	var sb bytes.Buffer
+	if rep.Mode == "closed" {
+		fmt.Fprintf(&sb, "closed loop, %d clients, %.2fs\n", rep.Clients, rep.DurationSec)
+	} else {
+		fmt.Fprintf(&sb, "open loop, target %.0f qps, %.2fs\n", rep.TargetQPS, rep.DurationSec)
+	}
+	fmt.Fprintf(&sb, "sent %d  ok %d  rejected(429) %d  expired(504) %d  errors %d  dropped %d\n",
+		rep.Sent, rep.OK, rep.Rejected, rep.Expired, rep.Errors, rep.Dropped)
+	fmt.Fprintf(&sb, "throughput %.1f req/s\n", rep.ThroughputRPS)
+	fmt.Fprintf(&sb, "latency mean %s  p50 %s  p95 %s  p99 %s  max %s\n",
+		time.Duration(rep.MeanNs), time.Duration(rep.P50Ns),
+		time.Duration(rep.P95Ns), time.Duration(rep.P99Ns), time.Duration(rep.MaxNs))
+	return sb.String()
+}

@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Request results counted per model by the HTTP layer.
+const (
+	ResultOK       = "ok"       // 200, logits returned
+	ResultRejected = "rejected" // 429, shed by admission control
+	ResultExpired  = "expired"  // 504, deadline passed before execution
+	ResultError    = "error"    // 500, execution failure
+	ResultInvalid  = "invalid"  // 400, malformed payload
+)
+
+var allResults = []string{ResultOK, ResultRejected, ResultExpired, ResultError, ResultInvalid}
+
+// latencyBucketsNs are the histogram upper bounds (100µs … 10s,
+// roughly 1-2.5-5 per decade), exposed in seconds in the Prometheus
+// text format; an implicit +Inf bucket follows.
+var latencyBucketsNs = []int64{
+	100_000, 250_000, 500_000,
+	1_000_000, 2_500_000, 5_000_000,
+	10_000_000, 25_000_000, 50_000_000,
+	100_000_000, 250_000_000, 500_000_000,
+	1_000_000_000, 2_500_000_000, 5_000_000_000,
+	10_000_000_000,
+}
+
+// histogram is a fixed-bucket cumulative latency histogram with atomic
+// counters (per-bucket counts are non-cumulative internally and summed
+// at exposition time). The last bucket is the implicit +Inf overflow.
+type histogram struct {
+	buckets []atomic.Int64 // len(latencyBucketsNs)+1
+	sumNs   atomic.Int64
+	count   atomic.Int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{buckets: make([]atomic.Int64, len(latencyBucketsNs)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	i := sort.Search(len(latencyBucketsNs), func(i int) bool { return ns <= latencyBucketsNs[i] })
+	h.buckets[i].Add(1)
+	h.sumNs.Add(ns)
+	h.count.Add(1)
+}
+
+// modelMetrics is the HTTP-side per-model record: result counters and a
+// predict-latency histogram.
+type modelMetrics struct {
+	results map[string]*atomic.Int64
+	latency *histogram
+}
+
+func newModelMetrics() *modelMetrics {
+	mm := &modelMetrics{results: map[string]*atomic.Int64{}, latency: newHistogram()}
+	for _, res := range allResults {
+		mm.results[res] = &atomic.Int64{}
+	}
+	return mm
+}
+
+// Metrics aggregates per-model HTTP serving counters. The engine-side
+// counters (batches, coalescing, queue rejects) live in the registry
+// and are joined in at exposition time by the handler. Requests naming
+// unknown models share one unlabeled counter: per-name entries keyed by
+// attacker-chosen URL segments would grow the map (and every scrape)
+// without bound.
+type Metrics struct {
+	mu      sync.RWMutex
+	models  map[string]*modelMetrics
+	unknown atomic.Int64
+}
+
+// ObserveUnknown counts a request naming a model that is not loaded.
+func (m *Metrics) ObserveUnknown() { m.unknown.Add(1) }
+
+// NewMetrics builds an empty metrics store.
+func NewMetrics() *Metrics { return &Metrics{models: map[string]*modelMetrics{}} }
+
+func (m *Metrics) model(name string) *modelMetrics {
+	m.mu.RLock()
+	mm := m.models[name]
+	m.mu.RUnlock()
+	if mm != nil {
+		return mm
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if mm = m.models[name]; mm == nil {
+		mm = newModelMetrics()
+		m.models[name] = mm
+	}
+	return mm
+}
+
+// Observe records one predict request's result and latency.
+func (m *Metrics) Observe(model, result string, d time.Duration) {
+	mm := m.model(model)
+	if c, ok := mm.results[result]; ok {
+		c.Add(1)
+	}
+	if result == ResultOK {
+		mm.latency.observe(d)
+	}
+}
+
+// WriteText emits the Prometheus text exposition (format 0.0.4) for the
+// HTTP-side counters plus the registry's engine-level stats.
+func (m *Metrics) WriteText(w io.Writer, reg *Registry) {
+	m.mu.RLock()
+	names := make([]string, 0, len(m.models))
+	for n := range m.models {
+		names = append(names, n)
+	}
+	m.mu.RUnlock()
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "# HELP t2c_requests_unknown_total Predict requests naming a model that is not loaded.\n")
+	fmt.Fprintf(w, "# TYPE t2c_requests_unknown_total counter\n")
+	fmt.Fprintf(w, "t2c_requests_unknown_total %d\n", m.unknown.Load())
+
+	fmt.Fprintf(w, "# HELP t2c_requests_total Predict requests by model and result.\n")
+	fmt.Fprintf(w, "# TYPE t2c_requests_total counter\n")
+	for _, n := range names {
+		mm := m.model(n)
+		for _, res := range allResults {
+			fmt.Fprintf(w, "t2c_requests_total{model=%q,result=%q} %d\n", n, res, mm.results[res].Load())
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP t2c_request_latency_seconds Predict latency of successful requests.\n")
+	fmt.Fprintf(w, "# TYPE t2c_request_latency_seconds histogram\n")
+	for _, n := range names {
+		h := m.model(n).latency
+		cum := int64(0)
+		for i, ub := range latencyBucketsNs {
+			cum += h.buckets[i].Load()
+			fmt.Fprintf(w, "t2c_request_latency_seconds_bucket{model=%q,le=\"%g\"} %d\n",
+				n, float64(ub)/1e9, cum)
+		}
+		cum += h.buckets[len(latencyBucketsNs)].Load()
+		fmt.Fprintf(w, "t2c_request_latency_seconds_bucket{model=%q,le=\"+Inf\"} %d\n", n, cum)
+		fmt.Fprintf(w, "t2c_request_latency_seconds_sum{model=%q} %g\n", n, float64(h.sumNs.Load())/1e9)
+		fmt.Fprintf(w, "t2c_request_latency_seconds_count{model=%q} %d\n", n, h.count.Load())
+	}
+
+	if reg == nil {
+		return
+	}
+	infos := reg.Models()
+	emit := func(metric, help, typ string, val func(ModelInfo) int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", metric, help, metric, typ)
+		for _, mi := range infos {
+			fmt.Fprintf(w, "%s{model=%q} %d\n", metric, mi.Name, val(mi))
+		}
+	}
+	emit("t2c_model_version", "Currently served checkpoint version.", "gauge",
+		func(mi ModelInfo) int64 { return int64(mi.Version) })
+	emit("t2c_model_replicas", "engine.Server replicas behind the model.", "gauge",
+		func(mi ModelInfo) int64 { return int64(mi.Replicas) })
+	emit("t2c_engine_requests_total", "Samples served by the replica pools.", "counter",
+		func(mi ModelInfo) int64 { return mi.Stats.Requests })
+	emit("t2c_engine_batches_total", "Batched executes run by the replica pools.", "counter",
+		func(mi ModelInfo) int64 { return mi.Stats.Batches })
+	emit("t2c_engine_failures_total", "Samples that failed during execution.", "counter",
+		func(mi ModelInfo) int64 { return mi.Stats.Failures })
+	emit("t2c_engine_queue_rejects_total", "Samples fast-failed on full replica queues.", "counter",
+		func(mi ModelInfo) int64 { return mi.Stats.Rejected })
+	emit("t2c_engine_deadline_drops_total", "Samples dropped unexecuted past their deadline.", "counter",
+		func(mi ModelInfo) int64 { return mi.Stats.Expired })
+	emit("t2c_admission_rejects_total", "Requests shed by the max-in-flight admission gate.", "counter",
+		func(mi ModelInfo) int64 { return mi.Shed })
+	fmt.Fprintf(w, "# HELP t2c_engine_mean_batch Mean samples per batched execute.\n# TYPE t2c_engine_mean_batch gauge\n")
+	for _, mi := range infos {
+		fmt.Fprintf(w, "t2c_engine_mean_batch{model=%q} %g\n", mi.Name, mi.Stats.MeanBatch())
+	}
+}

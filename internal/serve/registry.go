@@ -1,0 +1,435 @@
+// Package serve is the network-facing multi-model serving layer on top
+// of internal/engine: a registry of named, versioned models loaded from
+// exported checkpoints, each backed by a pool of engine.Server replicas,
+// with atomic hot reload, admission control (bounded queues, max
+// in-flight, per-request deadlines), an HTTP/JSON API, Prometheus-style
+// metrics, and a load generator used by cmd/t2c-load and the serve
+// benchmark.
+//
+// The invariant inherited from the engine holds end to end: every
+// response served over HTTP is bit-identical to IntModel.Forward of the
+// checkpoint version that served it.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"torch2chip/internal/engine"
+	"torch2chip/internal/export"
+	"torch2chip/internal/tensor"
+)
+
+// ErrNotFound is returned for requests naming an unknown model.
+var ErrNotFound = errors.New("serve: model not found")
+
+// ErrOverloaded is the admission controller's fast-fail: the model's
+// max in-flight budget is spent, so the request is shed immediately
+// (HTTP 429) instead of queueing unboundedly.
+var ErrOverloaded = errors.New("serve: too many in-flight requests")
+
+// ErrClosed is returned once the registry has shut down.
+var ErrClosed = errors.New("serve: registry is closed")
+
+// Options configure how the registry builds and guards model entries.
+type Options struct {
+	// Replicas is the number of engine.Server replicas per model
+	// (default 1). All replicas share one *engine.Program, and with it
+	// the per-program prepacked-kernel cache.
+	Replicas int
+	// Engine tunes each replica's batching runtime.
+	Engine engine.ServerOptions
+	// MaxInFlight bounds admitted-but-unfinished requests per model
+	// (default 4 × the per-replica queue capacity × Replicas).
+	MaxInFlight int
+	// DefaultDeadline is applied to requests that carry none (0 = none).
+	DefaultDeadline time.Duration
+	// OptLevel is applied to loaded programs compiled below it, so old
+	// unfused checkpoints serve at current speed (default OptFuse).
+	OptLevel engine.OptLevel
+	// RawOptLevel serves checkpoints exactly as stored when true
+	// (OptLevel zero-value means "default to OptFuse" otherwise).
+	RawOptLevel bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Replicas <= 0 {
+		o.Replicas = 1
+	}
+	if o.MaxInFlight <= 0 {
+		eng := o.Engine.WithDefaults()
+		o.MaxInFlight = 4 * eng.QueueSize * o.Replicas
+	}
+	if o.OptLevel == engine.OptNone && !o.RawOptLevel {
+		o.OptLevel = engine.OptFuse
+	}
+	return o
+}
+
+// Model is one immutable loaded checkpoint version: a program plus its
+// replica pool. It is reference-counted; the registry holds one
+// reference until the version is retired by a reload, and every
+// in-flight request holds one, so a hot swap never closes a pool out
+// from under a request.
+type Model struct {
+	Name    string
+	Version int
+	Sample  []int
+
+	prog *engine.Program
+	pool []*engine.Server
+	rr   atomic.Uint64
+
+	refs      atomic.Int64
+	drained   chan struct{}
+	onDrained func(engine.ServerStats)
+}
+
+func (m *Model) acquire() bool {
+	for {
+		n := m.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if m.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+func (m *Model) release() {
+	if m.refs.Add(-1) == 0 {
+		var st engine.ServerStats
+		for _, s := range m.pool {
+			s.Close()
+			st.Add(s.Stats())
+		}
+		if m.onDrained != nil {
+			m.onDrained(st)
+		}
+		close(m.drained)
+	}
+}
+
+// infer round-robins across replicas; a replica reporting a full queue
+// is skipped, and only when every replica is saturated does the
+// queue-full error surface to the caller.
+func (m *Model) infer(x *tensor.Tensor, deadline time.Time) (*tensor.Tensor, error) {
+	start := m.rr.Add(1)
+	n := uint64(len(m.pool))
+	for i := uint64(0); i < n; i++ {
+		y, err := m.pool[(start+i)%n].TryInfer(x, deadline)
+		if !errors.Is(err, engine.ErrQueueFull) {
+			return y, err
+		}
+	}
+	return nil, engine.ErrQueueFull
+}
+
+// stats aggregates the live replica pools.
+func (m *Model) stats() engine.ServerStats {
+	var st engine.ServerStats
+	for _, s := range m.pool {
+		st.Add(s.Stats())
+	}
+	return st
+}
+
+// entry is the long-lived per-name state: the current model version,
+// the admission semaphore (which survives reloads, so the in-flight cap
+// applies to the name, not the version), and counters folded in from
+// drained versions.
+type entry struct {
+	name    string
+	cur     atomic.Pointer[Model]
+	loadMu  sync.Mutex // serializes reloads of this name
+	version atomic.Int64
+
+	tokens      chan struct{} // admission: max in-flight
+	admRejected atomic.Int64
+
+	retiredMu sync.Mutex
+	retired   engine.ServerStats
+}
+
+func (e *entry) admit() bool {
+	select {
+	case e.tokens <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (e *entry) done() { <-e.tokens }
+
+func (e *entry) absorb(st engine.ServerStats) {
+	e.retiredMu.Lock()
+	e.retired.Add(st)
+	e.retiredMu.Unlock()
+}
+
+// Registry maps model names to versioned serving entries.
+type Registry struct {
+	opts Options
+
+	mu      sync.RWMutex
+	entries map[string]*entry
+	closed  bool
+
+	wg sync.WaitGroup // model versions not yet drained
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry(opts Options) *Registry {
+	return &Registry{opts: opts.withDefaults(), entries: map[string]*entry{}}
+}
+
+// Load installs a checkpoint under name, creating the entry or — if the
+// name already serves — hot-swapping the new version in atomically. The
+// swapped-out version keeps serving its in-flight requests and its
+// pools are closed only once the last of them finishes, so a reload
+// under traffic drops nothing. sample overrides the single-sample input
+// shape; nil uses the shape recorded in the checkpoint's program
+// section (pre-PR-3 checkpoints have none and require the override).
+func (r *Registry) Load(name string, ck *export.Checkpoint, sample []int) (ModelInfo, error) {
+	if name == "" {
+		return ModelInfo{}, fmt.Errorf("serve: empty model name")
+	}
+	prog, err := engine.FromCheckpoint(ck)
+	if err != nil {
+		return ModelInfo{}, err
+	}
+	if prog.OptLevel < r.opts.OptLevel {
+		prog = engine.Optimize(prog, r.opts.OptLevel)
+	}
+	if sample == nil {
+		sample = prog.InShape
+	}
+	if len(sample) == 0 {
+		return ModelInfo{}, fmt.Errorf("serve: checkpoint for %q records no input shape; pass one explicitly", name)
+	}
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ModelInfo{}, ErrClosed
+	}
+	e, ok := r.entries[name]
+	if !ok {
+		e = &entry{name: name, tokens: make(chan struct{}, r.opts.MaxInFlight)}
+		r.entries[name] = e
+	}
+	r.wg.Add(1) // for the model built below; released in onDrained
+	r.mu.Unlock()
+
+	e.loadMu.Lock()
+	defer e.loadMu.Unlock()
+	// Re-check under loadMu: Close sets closed before sweeping entries
+	// (taking each loadMu), so either we see closed here and abort, or
+	// Close's sweep runs after our publish and retires the new model.
+	// Without this, a Load that passed the first check while Close swept
+	// would publish a version nothing ever releases, deadlocking Close.
+	r.mu.RLock()
+	closed := r.closed
+	r.mu.RUnlock()
+	if closed {
+		r.wg.Done()
+		return ModelInfo{}, ErrClosed
+	}
+	pool := make([]*engine.Server, r.opts.Replicas)
+	for i := range pool {
+		srv, err := engine.NewServer(prog, sample, r.opts.Engine)
+		if err != nil {
+			for _, s := range pool[:i] {
+				s.Close()
+			}
+			r.wg.Done()
+			return ModelInfo{}, err
+		}
+		pool[i] = srv
+	}
+	m := &Model{
+		Name:    name,
+		Version: int(e.version.Add(1)),
+		Sample:  append([]int(nil), sample...),
+		prog:    prog,
+		pool:    pool,
+		drained: make(chan struct{}),
+	}
+	m.onDrained = func(st engine.ServerStats) {
+		e.absorb(st)
+		r.wg.Done()
+	}
+	m.refs.Store(1)
+	if old := e.cur.Swap(m); old != nil {
+		old.release() // drop the registry reference; drains asynchronously
+	}
+	return r.info(e, m), nil
+}
+
+func (r *Registry) lookup(name string) *entry {
+	r.mu.RLock()
+	e := r.entries[name]
+	r.mu.RUnlock()
+	return e
+}
+
+// Infer serves one sample through name's current version with the
+// registry's default deadline. It returns the version that served the
+// request, so callers can attribute the response to a checkpoint even
+// across a concurrent hot reload.
+func (r *Registry) Infer(name string, x *tensor.Tensor) (*tensor.Tensor, int, error) {
+	var deadline time.Time
+	if r.opts.DefaultDeadline > 0 {
+		deadline = time.Now().Add(r.opts.DefaultDeadline)
+	}
+	return r.InferDeadline(name, x, deadline)
+}
+
+// InferDeadline is Infer with an explicit deadline (zero = none beyond
+// the admission queue bound).
+func (r *Registry) InferDeadline(name string, x *tensor.Tensor, deadline time.Time) (*tensor.Tensor, int, error) {
+	e := r.lookup(name)
+	if e == nil {
+		return nil, 0, ErrNotFound
+	}
+	if !e.admit() {
+		e.admRejected.Add(1)
+		return nil, 0, ErrOverloaded
+	}
+	defer e.done()
+	for {
+		m := e.cur.Load()
+		if m == nil {
+			return nil, 0, ErrNotFound
+		}
+		if !m.acquire() {
+			// Retired between the pointer load and the ref grab: the
+			// swap that retired it already published a successor.
+			continue
+		}
+		y, err := m.infer(x, deadline)
+		v := m.Version
+		m.release()
+		return y, v, err
+	}
+}
+
+// MaxInFlight reports the per-model admission budget, so the HTTP
+// layer can bound a batched request's fan-out to a width that can
+// actually be admitted.
+func (r *Registry) MaxInFlight() int { return r.opts.MaxInFlight }
+
+// SampleShape reports the input shape name currently expects.
+func (r *Registry) SampleShape(name string) ([]int, error) {
+	e := r.lookup(name)
+	if e == nil {
+		return nil, ErrNotFound
+	}
+	m := e.cur.Load()
+	if m == nil {
+		return nil, ErrNotFound
+	}
+	return append([]int(nil), m.Sample...), nil
+}
+
+// ModelInfo is the listing/reporting view of one model entry.
+type ModelInfo struct {
+	Name     string             `json:"name"`
+	Version  int                `json:"version"`
+	Sample   []int              `json:"sample_shape"`
+	Replicas int                `json:"replicas"`
+	Stats    engine.ServerStats `json:"stats"`
+	Shed     int64              `json:"admission_rejected"`
+}
+
+func (r *Registry) info(e *entry, m *Model) ModelInfo {
+	st := e.engineStats(m)
+	return ModelInfo{
+		Name:     e.name,
+		Version:  m.Version,
+		Sample:   append([]int(nil), m.Sample...),
+		Replicas: len(m.pool),
+		Stats:    st,
+		Shed:     e.admRejected.Load(),
+	}
+}
+
+// engineStats folds drained-version totals into the live pools' counters.
+func (e *entry) engineStats(m *Model) engine.ServerStats {
+	e.retiredMu.Lock()
+	st := e.retired
+	e.retiredMu.Unlock()
+	if m != nil {
+		st.Add(m.stats())
+	}
+	return st
+}
+
+// Models lists all entries sorted by name.
+func (r *Registry) Models() []ModelInfo {
+	r.mu.RLock()
+	entries := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.RUnlock()
+	var out []ModelInfo
+	for _, e := range entries {
+		m := e.cur.Load()
+		if m == nil {
+			continue
+		}
+		out = append(out, r.info(e, m))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Remove retires name: the current version drains and closes, and
+// further requests return ErrNotFound.
+func (r *Registry) Remove(name string) error {
+	e := r.lookup(name)
+	if e == nil {
+		return ErrNotFound
+	}
+	e.loadMu.Lock()
+	m := e.cur.Swap(nil)
+	e.loadMu.Unlock()
+	if m == nil {
+		return ErrNotFound
+	}
+	m.release()
+	return nil
+}
+
+// Close retires every model and blocks until all versions — including
+// ones already retired by reloads — have drained their in-flight
+// requests and closed their pools.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	entries := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+	for _, e := range entries {
+		e.loadMu.Lock()
+		m := e.cur.Swap(nil)
+		e.loadMu.Unlock()
+		if m != nil {
+			m.release()
+		}
+	}
+	r.wg.Wait()
+}

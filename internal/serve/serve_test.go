@@ -1,0 +1,280 @@
+package serve_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"torch2chip/internal/core"
+	"torch2chip/internal/data"
+	"torch2chip/internal/engine"
+	"torch2chip/internal/export"
+	"torch2chip/internal/fuse"
+	"torch2chip/internal/nn"
+	"torch2chip/internal/serve"
+	"torch2chip/internal/tensor"
+)
+
+// buildCheckpoint compiles a small CNN (3×8×8 inputs) seeded with seed
+// and returns its servable checkpoint plus the interpreter oracle.
+// Different seeds yield different weights, so two checkpoints make a
+// distinguishable v1/v2 hot-reload pair.
+func buildCheckpoint(t testing.TB, seed int64) (*export.Checkpoint, *fuse.IntModel) {
+	t.Helper()
+	g := tensor.NewRNG(seed)
+	model := nn.NewSequential(
+		nn.NewConv2d(g, 3, 8, 3, 1, 1, 1, false),
+		nn.NewBatchNorm2d(8),
+		&nn.ReLU{},
+		nn.NewConv2d(g, 8, 8, 3, 2, 1, 1, false),
+		nn.NewBatchNorm2d(8),
+		&nn.ReLU{},
+		&nn.AvgPool{Kernel: 0},
+		&nn.Flatten{},
+		nn.NewLinear(g, 8, 10, true),
+	)
+	for i := 0; i < 4; i++ {
+		model.Forward(g.Uniform(0, 1, 4, 3, 8, 8))
+	}
+	calib, _ := data.Generate(data.SynthCIFAR10, 32, 8)
+	t2c := core.New(model, core.DefaultConfig())
+	t2c.Prepare()
+	if err := t2c.Calibrate(calib.Subset(8), 4); err != nil {
+		t.Fatal(err)
+	}
+	nn.SetTraining(model, false)
+	cm, err := t2c.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm.Prog.InShape = []int{3, 8, 8}
+	ck := export.NewCheckpoint(cm.Int.IntTensors(), nil)
+	ck.Program = cm.Prog.Spec()
+	return ck, cm.Int
+}
+
+func assertSame(t *testing.T, got, want *tensor.Tensor, ctx string) {
+	t.Helper()
+	if len(got.Data) != len(want.Data) {
+		t.Fatalf("%s: %d logits, want %d", ctx, len(got.Data), len(want.Data))
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("%s: logit[%d] = %v, want %v (must be bit-identical)", ctx, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestRegistryLoadAndInfer(t *testing.T) {
+	ck, im := buildCheckpoint(t, 1)
+	reg := serve.NewRegistry(serve.Options{})
+	defer reg.Close()
+	info, err := reg.Load("cnn", ck, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 1 {
+		t.Fatalf("first load version = %d, want 1", info.Version)
+	}
+	if len(info.Sample) != 3 || info.Sample[0] != 3 || info.Sample[1] != 8 || info.Sample[2] != 8 {
+		t.Fatalf("sample shape from checkpoint = %v, want [3 8 8]", info.Sample)
+	}
+
+	g := tensor.NewRNG(100)
+	x := g.Uniform(0, 1, 1, 3, 8, 8)
+	y, version, err := reg.Infer("cnn", x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 1 {
+		t.Fatalf("served version = %d, want 1", version)
+	}
+	assertSame(t, y, im.Forward(x), "registry infer")
+
+	if _, _, err := reg.Infer("missing", x); err != serve.ErrNotFound {
+		t.Fatalf("unknown model returned %v, want ErrNotFound", err)
+	}
+	ms := reg.Models()
+	if len(ms) != 1 || ms[0].Name != "cnn" || ms[0].Stats.Requests != 1 {
+		t.Fatalf("listing = %+v, want one cnn entry with 1 request", ms)
+	}
+	if err := reg.Remove("cnn"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := reg.Infer("cnn", x); err != serve.ErrNotFound {
+		t.Fatalf("removed model returned %v, want ErrNotFound", err)
+	}
+}
+
+func TestRegistryRequiresShapeForLegacyCheckpoints(t *testing.T) {
+	ck, im := buildCheckpoint(t, 2)
+	ck.Program.InShape = nil // simulate a pre-PR-3 checkpoint
+	reg := serve.NewRegistry(serve.Options{})
+	defer reg.Close()
+	if _, err := reg.Load("legacy", ck, nil); err == nil {
+		t.Fatal("load without a recorded or explicit shape must fail")
+	}
+	if _, err := reg.Load("legacy", ck, []int{3, 8, 8}); err != nil {
+		t.Fatal(err)
+	}
+	g := tensor.NewRNG(101)
+	x := g.Uniform(0, 1, 1, 3, 8, 8)
+	y, _, err := reg.Infer("legacy", x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSame(t, y, im.Forward(x), "legacy checkpoint infer")
+}
+
+// TestRegistryHotReloadUnderTraffic swaps checkpoints while concurrent
+// clients hammer the model and requires (a) zero dropped or failed
+// requests, (b) every response bit-identical to IntModel.Forward of the
+// version that served it, and (c) both versions actually observed, so
+// the swap demonstrably happened mid-traffic. Run under -race in CI.
+func TestRegistryHotReloadUnderTraffic(t *testing.T) {
+	ck1, im1 := buildCheckpoint(t, 10)
+	ck2, im2 := buildCheckpoint(t, 20)
+
+	reg := serve.NewRegistry(serve.Options{
+		Replicas: 2,
+		Engine:   engine.ServerOptions{Workers: 2, MaxBatch: 4},
+	})
+	defer reg.Close()
+	if _, err := reg.Load("cnn", ck1, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fixed request set with both oracles precomputed up front, so
+	// goroutines never touch the (non-thread-safe) interpreters.
+	const K = 6
+	g := tensor.NewRNG(300)
+	inputs := make([]*tensor.Tensor, K)
+	want := map[int][]*tensor.Tensor{1: make([]*tensor.Tensor, K), 2: make([]*tensor.Tensor, K)}
+	for k := 0; k < K; k++ {
+		inputs[k] = g.Uniform(0, 1, 1, 3, 8, 8)
+		want[1][k] = im1.Forward(inputs[k])
+		want[2][k] = im2.Forward(inputs[k])
+	}
+
+	const clients, perClient = 12, 40
+	var served atomic.Int64
+	var sawV1, sawV2 atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < perClient; r++ {
+				k := (c + r) % K
+				y, version, err := reg.Infer("cnn", inputs[k])
+				if err != nil {
+					t.Errorf("client %d req %d: %v (no request may be dropped)", c, r, err)
+					return
+				}
+				oracle := want[version]
+				if oracle == nil {
+					t.Errorf("client %d req %d: served by unknown version %d", c, r, version)
+					return
+				}
+				switch version {
+				case 1:
+					sawV1.Add(1)
+				case 2:
+					sawV2.Add(1)
+				}
+				for i := range oracle[k].Data {
+					if y.Data[i] != oracle[k].Data[i] {
+						t.Errorf("client %d req %d: logit[%d] = %v, version-%d interpreter %v",
+							c, r, i, y.Data[i], version, oracle[k].Data[i])
+						return
+					}
+				}
+				served.Add(1)
+			}
+		}(c)
+	}
+
+	// Swap once a third of the traffic has been served, so the reload
+	// demonstrably lands mid-flight.
+	for served.Load() < clients*perClient/3 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	info, err := reg.Load("cnn", ck2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 2 {
+		t.Fatalf("reload version = %d, want 2", info.Version)
+	}
+	wg.Wait()
+
+	if got := served.Load(); got != clients*perClient {
+		t.Fatalf("served %d of %d requests", got, clients*perClient)
+	}
+	if sawV1.Load() == 0 || sawV2.Load() == 0 {
+		t.Fatalf("versions served: v1=%d v2=%d; the reload did not land mid-traffic",
+			sawV1.Load(), sawV2.Load())
+	}
+	// Post-swap requests must be served by v2 only.
+	y, version, err := reg.Infer("cnn", inputs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 2 {
+		t.Fatalf("post-reload version = %d, want 2", version)
+	}
+	assertSame(t, y, want[2][0], "post-reload infer")
+}
+
+// blockingKernels parks the conv kernel on release (signalling gate on
+// entry) so tests can hold a replica mid-execute.
+func blockingKernels(gate chan struct{}, release chan struct{}) *engine.Registry {
+	reg := engine.FastKernels()
+	base, _ := reg.Lookup(engine.OpConv)
+	reg.Register(engine.OpConv, func(ex *engine.Executor, idx int, it *engine.Instr, in []*tensor.IntTensor, out *tensor.IntTensor) {
+		select {
+		case gate <- struct{}{}:
+		default:
+		}
+		<-release
+		base(ex, idx, it, in, out)
+	})
+	return reg
+}
+
+func TestRegistryAdmissionSheds(t *testing.T) {
+	ck, _ := buildCheckpoint(t, 3)
+	gate := make(chan struct{}, 1)
+	release := make(chan struct{})
+	reg := serve.NewRegistry(serve.Options{
+		MaxInFlight: 1,
+		Engine:      engine.ServerOptions{Workers: 1, MaxBatch: 1, QueueSize: 1, Kernels: blockingKernels(gate, release)},
+	})
+	defer reg.Close()
+	if _, err := reg.Load("cnn", ck, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	g := tensor.NewRNG(400)
+	x1, x2 := g.Uniform(0, 1, 1, 3, 8, 8), g.Uniform(0, 1, 1, 3, 8, 8)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, _, err := reg.Infer("cnn", x1); err != nil {
+			t.Errorf("admitted request failed: %v", err)
+		}
+	}()
+	<-gate // the only in-flight token is now held
+
+	if _, _, err := reg.Infer("cnn", x2); err != serve.ErrOverloaded {
+		t.Fatalf("second request returned %v, want ErrOverloaded", err)
+	}
+	close(release)
+	wg.Wait()
+	ms := reg.Models()
+	if len(ms) != 1 || ms[0].Shed != 1 {
+		t.Fatalf("admission rejects = %+v, want Shed=1", ms)
+	}
+}

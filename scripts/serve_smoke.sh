@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# End-to-end serving smoke test: compile a quick model, start the HTTP
+# server, check /healthz and a predict response, fire a short t2c-load
+# burst, and verify /metrics counted it. Run from the repo root; CI runs
+# this on every push.
+set -euo pipefail
+
+OUT=$(mktemp -d)
+PORT="${SERVE_SMOKE_PORT:-18080}"
+URL="http://127.0.0.1:${PORT}"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$OUT"
+}
+trap cleanup EXIT
+
+echo "== build =="
+go build ./...
+go build -o "$OUT/t2c" ./cmd/t2c
+go build -o "$OUT/t2c-load" ./cmd/t2c-load
+
+echo "== compile a quick model =="
+"$OUT/t2c" -model resnet20 -dataset cifar10 -trainer qat -epochs 1 \
+  -train-n 48 -test-n 16 -formats json -save-inputs 2 -out "$OUT"
+
+echo "== start the HTTP server =="
+# Redirect the server's stdio: the background child must not hold the
+# script's stdout pipe open after the script exits.
+"$OUT/t2c" serve -ckpt "$OUT/model_int.json" -http "127.0.0.1:${PORT}" \
+  >"$OUT/server.log" 2>&1 &
+SERVER_PID=$!
+
+echo "== wait for /healthz =="
+for i in $(seq 1 50); do
+  if curl -fsS "$URL/healthz" >/dev/null 2>&1; then break; fi
+  if [ "$i" = 50 ]; then echo "server never became healthy"; cat "$OUT/server.log"; exit 1; fi
+  sleep 0.2
+done
+curl -fsS "$URL/healthz" | grep -q '"ok"'
+
+echo "== predict one exported input =="
+PREDICT=$(curl -fsS -X POST --data-binary @"$OUT/inputs/input_000.json" \
+  "$URL/v1/models/default:predict")
+echo "$PREDICT" | grep -q '"predictions"' || { echo "bad predict response: $PREDICT"; exit 1; }
+
+echo "== hot reload over HTTP =="
+RELOAD=$(curl -fsS -X POST --data-binary @"$OUT/model_int.json" "$URL/v1/models/default")
+echo "$RELOAD" | grep -q '"version":2' || { echo "bad reload response: $RELOAD"; exit 1; }
+
+echo "== t2c-load burst =="
+# The payload comes from an exported input file, so the burst always
+# matches the compiled model's sample shape.
+"$OUT/t2c-load" -url "$URL" -model default -in "$OUT/inputs/input_000.json" \
+  -mode closed -clients 8 -duration 2s -json "$OUT/load.json"
+grep -q '"errors": 0,' "$OUT/load.json" || { echo "load burst had errors:"; cat "$OUT/load.json"; exit 1; }
+if grep -q '"ok": 0,' "$OUT/load.json"; then
+  echo "load burst served nothing:"; cat "$OUT/load.json"; exit 1
+fi
+
+echo "== metrics counted the traffic =="
+METRICS=$(curl -fsS "$URL/metrics")
+echo "$METRICS" | grep -q 't2c_requests_total{model="default",result="ok"}'
+echo "$METRICS" | grep -q 't2c_engine_mean_batch{model="default"}'
+
+echo "serve smoke OK"
