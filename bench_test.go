@@ -223,6 +223,7 @@ func BenchmarkEngineVsIntModel(b *testing.B) {
 			}
 		})
 		b.Run(fmt.Sprintf("engine-pr1/batch%d", batch), benchExec(unfused, engine.Im2ColKernels(), x))
+		b.Run(fmt.Sprintf("engine-fused-i64/batch%d", batch), benchExec(fused, engine.FastKernelsI64(), x))
 		b.Run(fmt.Sprintf("engine-fused/batch%d", batch), benchExec(fused, engine.FastKernels(), x))
 	}
 }

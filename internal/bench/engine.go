@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -18,12 +19,15 @@ import (
 )
 
 // Engine configuration labels: the interpreter oracle, the PR-1 engine
-// (unfused program, full-im2col kernels), the fused+prepacked engine,
-// and the fused program under the allocating reference kernels.
+// (unfused program, full-im2col kernels), the fused+prepacked engine
+// (typed narrow storage since PR-4), the same kernels pinned to I64
+// storage (the PR-2/PR-3 configuration), and the fused program under
+// the allocating reference kernels.
 const (
 	CfgInterpreter = "interpreter"
 	CfgPR1         = "unfused+im2col"
 	CfgFused       = "fused+prepacked"
+	CfgFusedI64    = "fused+prepacked+i64"
 	CfgFusedRef    = "fused+reference"
 )
 
@@ -45,6 +49,11 @@ type EngineRow struct {
 	ArenaBytes   int64 `json:"arena_bytes,omitempty"`
 	ScratchBytes int64 `json:"scratch_bytes,omitempty"`
 	TotalBytes   int64 `json:"total_bytes,omitempty"`
+
+	// ArenaByDType breaks the planned arena down per storage dtype
+	// ("u8", "i16", …), so the memory trajectory records where the
+	// bytes live, not just how many there are.
+	ArenaByDType map[string]int64 `json:"arena_by_dtype,omitempty"`
 }
 
 // FusionRow records what the fusion pass did to one model's program,
@@ -154,6 +163,7 @@ func measureExec(model string, batch int, cfg string, prog *engine.Program, reg 
 		ArenaBytes:   plan.PlannedBytes(),
 		ScratchBytes: ex.ScratchBytes(),
 		TotalBytes:   plan.PlannedBytes() + ex.ScratchBytes(),
+		ArenaByDType: plan.BytesByDType(),
 	}
 }
 
@@ -183,7 +193,7 @@ func EngineComparison(sc Scale) *EngineReport {
 		rep.Fusion = append(rep.Fusion, FusionRow{
 			Model: name, FusionStats: st,
 			ArenaBytesBefore: up.PlannedBytes(), ArenaBytesAfter: fp.PlannedBytes(),
-			NaiveBytesBefore: up.NaiveBytes(), NaiveBytesAfter: fp.NaiveBytes(),
+			NaiveBytesBefore: up.NaiveBytes, NaiveBytesAfter: fp.NaiveBytes,
 		})
 
 		g := tensor.NewRNG(9400)
@@ -201,11 +211,14 @@ func EngineComparison(sc Scale) *EngineReport {
 				AllocsPerOp: interpAllocs,
 			}
 			pr1 := measureExec(name, batch, CfgPR1, unfused, engine.Im2ColKernels(), x, iters)
+			wide := measureExec(name, batch, CfgFusedI64, fused, engine.FastKernelsI64(), x, iters)
 			fast := measureExec(name, batch, CfgFused, fused, engine.FastKernels(), x, iters)
 			pr1.SpeedupVsInterp = iRow.NsPerOp / pr1.NsPerOp
+			wide.SpeedupVsInterp = iRow.NsPerOp / wide.NsPerOp
+			wide.SpeedupVsPR1 = pr1.NsPerOp / wide.NsPerOp
 			fast.SpeedupVsInterp = iRow.NsPerOp / fast.NsPerOp
 			fast.SpeedupVsPR1 = pr1.NsPerOp / fast.NsPerOp
-			rep.Rows = append(rep.Rows, iRow, pr1, fast)
+			rep.Rows = append(rep.Rows, iRow, pr1, wide, fast)
 			if batch == 1 {
 				ref := measureExec(name, batch, CfgFusedRef, fused, engine.ReferenceKernels(), x, iters)
 				ref.SpeedupVsInterp = iRow.NsPerOp / ref.NsPerOp
@@ -214,6 +227,23 @@ func EngineComparison(sc Scale) *EngineReport {
 		}
 	}
 	return rep
+}
+
+// formatDTypeBytes renders a per-dtype byte map compactly and stably.
+func formatDTypeBytes(m map[string]int64) string {
+	if len(m) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s:%d", k, m[k]))
+	}
+	return strings.Join(parts, " ")
 }
 
 // scaleName labels the scale for the report.
@@ -281,10 +311,10 @@ func ServeComparison(sc Scale) []ServeRow {
 // FormatEngine renders the engine comparison tables.
 func FormatEngine(rep *EngineReport) string {
 	var sb strings.Builder
-	sb.WriteString("Engine — fused+prepacked vs PR-1 engine vs IntLayer interpreter\n")
-	fmt.Fprintf(&sb, "%-10s %6s %-16s %12s %10s %8s %8s %7s %12s %12s\n",
+	sb.WriteString("Engine — typed fused+prepacked vs I64 vs PR-1 engine vs IntLayer interpreter\n")
+	fmt.Fprintf(&sb, "%-10s %6s %-20s %12s %10s %8s %8s %7s %12s %12s  %s\n",
 		"model", "batch", "config", "µs/smp", "allocs", "vs intp", "vs pr1",
-		"instrs", "arena B", "scratch B")
+		"instrs", "arena B", "scratch B", "arena dtypes")
 	for _, r := range rep.Rows {
 		vsI, vsP := "", ""
 		if r.SpeedupVsInterp > 0 {
@@ -293,9 +323,9 @@ func FormatEngine(rep *EngineReport) string {
 		if r.SpeedupVsPR1 > 0 {
 			vsP = fmt.Sprintf("%.2fx", r.SpeedupVsPR1)
 		}
-		fmt.Fprintf(&sb, "%-10s %6d %-16s %12.0f %10.1f %8s %8s %7d %12d %12d\n",
+		fmt.Fprintf(&sb, "%-10s %6d %-20s %12.0f %10.1f %8s %8s %7d %12d %12d  %s\n",
 			r.Model, r.Batch, r.Config, r.UsPerSample, r.AllocsPerOp, vsI, vsP,
-			r.Instrs, r.ArenaBytes, r.ScratchBytes)
+			r.Instrs, r.ArenaBytes, r.ScratchBytes, formatDTypeBytes(r.ArenaByDType))
 	}
 	sb.WriteString("\nFusion — instruction and buffer reduction (batch-8 plans)\n")
 	fmt.Fprintf(&sb, "%-10s %8s %8s %8s %8s %7s %6s %8s %14s %14s\n",

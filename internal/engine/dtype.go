@@ -1,0 +1,228 @@
+package engine
+
+// Narrow-precision storage planning: every buffer's code value range is
+// derivable from the instruction that writes it (the producing scaler's
+// requantization range, a residual add's clamp range, or propagation for
+// range-preserving ops), so the narrowest legal storage dtype per buffer
+// is a pure function of the program. Lower annotates fresh programs,
+// Optimize re-annotates after fusion rewrites the epilogues, and the
+// typed executor plans its arenas from the annotation — demoting any
+// conv/linear instruction that cannot take the int32-accumulate fast
+// path back to I64 storage so the legacy kernels run it bit-identically.
+
+import (
+	"fmt"
+	"math"
+
+	"torch2chip/internal/tensor"
+)
+
+// bufRange is a buffer's derived code value range.
+type bufRange struct {
+	lo, hi int64
+	ok     bool
+}
+
+func (r bufRange) maxAbs() int64 {
+	a, b := r.lo, r.hi
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// inferRanges derives the value range of every buffer from the program:
+// the input buffer carries InQuant's code range, conv/linear/rescale
+// outputs the effective epilogue range (folded rescale overrides the own
+// scaler, a folded add's clamp overrides both), residual adds their
+// clamp range, and avgpool/flatten preserve their input's range (an
+// integer mean never exceeds the extremes it averages).
+func (p *Program) inferRanges() ([]bufRange, error) {
+	rng := make([]bufRange, p.NumBufs)
+	rng[p.Input] = bufRange{lo: p.InQuant.QMin(), hi: p.InQuant.QMax(), ok: true}
+	for idx := range p.Instrs {
+		it := &p.Instrs[idx]
+		for _, b := range it.In {
+			if !rng[b].ok {
+				return nil, fmt.Errorf("engine: instr %d (%s) reads buffer %d with no derived range", idx, it.Kind, b)
+			}
+		}
+		var out bufRange
+		switch it.Kind {
+		case OpConv, OpLinear, OpRescale:
+			lo, hi := it.Scaler.OutRange()
+			if it.FusedRescale != nil {
+				lo, hi = it.FusedRescale.OutRange()
+			}
+			out = bufRange{lo: lo, hi: hi, ok: true}
+		case OpAdd:
+			out = bufRange{lo: it.ClampLo, hi: it.ClampHi, ok: true}
+		case OpAvgPool, OpFlatten:
+			out = rng[it.In[0]]
+		default:
+			return nil, fmt.Errorf("engine: unknown op kind %q", it.Kind)
+		}
+		if it.FusedAdd {
+			out = bufRange{lo: it.ClampLo, hi: it.ClampHi, ok: true}
+		}
+		rng[it.Out] = out
+	}
+	return rng, nil
+}
+
+// AnnotateDTypes derives and records the narrowest storage dtype for
+// every buffer (BufDTypes). Lower calls it on fresh programs and
+// Optimize after fusion; deserialized pre-v3 programs stay unannotated
+// and keep planning I64 arenas.
+func (p *Program) AnnotateDTypes() error {
+	rng, err := p.inferRanges()
+	if err != nil {
+		return err
+	}
+	dts := make([]tensor.DType, p.NumBufs)
+	for b, r := range rng {
+		if r.ok {
+			dts[b] = tensor.DTypeForRange(r.lo, r.hi)
+		}
+	}
+	p.BufDTypes = dts
+	packInitMu.Lock()
+	p.stor = nil
+	packInitMu.Unlock()
+	return nil
+}
+
+// Annotated reports whether the program carries storage dtypes.
+func (p *Program) Annotated() bool { return p.BufDTypes != nil }
+
+// storageInfo is the resolved typed-storage decision: the per-buffer
+// storage dtype after demotions, and per instruction whether conv/linear
+// takes the narrow int32-accumulate path.
+type storageInfo struct {
+	dts   []tensor.DType
+	typed []bool
+}
+
+// maxAbsWeight scans the integer weight tensor once (bind-time only).
+func maxAbsWeight(w *tensor.IntTensor) (int64, int64) {
+	if w == nil || w.Numel() == 0 {
+		return 0, 0
+	}
+	return w.MinMax()
+}
+
+// accBound reports whether a K-long dot product of raw codes (≤ rawMax
+// in magnitude) against weights (≤ wAbs) accumulates without int32
+// overflow, which is what makes the narrow GEMM bit-identical to the
+// int64 reference: every partial sum is bounded by K·rawMax·wAbs.
+func accBound(k, rawMax, wAbs int64) bool {
+	if rawMax > math.MaxInt32 {
+		return false
+	}
+	if rawMax == 0 || wAbs == 0 || k == 0 {
+		return true
+	}
+	limit := int64(math.MaxInt32)
+	if k > limit/rawMax || k*rawMax > limit/wAbs {
+		return false
+	}
+	return true
+}
+
+// storage resolves (and caches) the typed-storage plan. Unannotated
+// programs get all-I64 storage and no narrow instructions — exactly the
+// pre-typed engine. Annotated programs start from BufDTypes; every
+// conv/linear whose weights do not fit int8 or whose accumulator bound
+// exceeds int32 is demoted: it runs on the legacy I64 kernels, so its
+// operand and output buffers (and their flatten aliases, which must
+// share storage) are forced to I64. Neighbouring instructions stay
+// narrow — the typed kernels load and store any storage dtype.
+func (p *Program) storage() (*storageInfo, error) {
+	packInitMu.Lock()
+	st := p.stor
+	packInitMu.Unlock()
+	if st != nil {
+		return st, nil
+	}
+	st = &storageInfo{
+		dts:   make([]tensor.DType, p.NumBufs),
+		typed: make([]bool, len(p.Instrs)),
+	}
+	if p.BufDTypes == nil || len(p.BufDTypes) != p.NumBufs {
+		packInitMu.Lock()
+		p.stor = st
+		packInitMu.Unlock()
+		return st, nil
+	}
+	copy(st.dts, p.BufDTypes)
+	rng, err := p.inferRanges()
+	if err != nil {
+		return nil, err
+	}
+
+	// Flatten outputs alias their input storage (the kernel is a no-op),
+	// so a demotion must widen the whole alias group, not one member.
+	group := make([]int, p.NumBufs)
+	for i := range group {
+		group[i] = i
+	}
+	var find func(int) int
+	find = func(b int) int {
+		for group[b] != b {
+			group[b] = group[group[b]]
+			b = group[b]
+		}
+		return b
+	}
+	for i := range p.Instrs {
+		if p.Instrs[i].Kind == OpFlatten {
+			group[find(p.Instrs[i].Out)] = find(p.Instrs[i].In[0])
+		}
+	}
+	members := map[int][]int{}
+	for b := 0; b < p.NumBufs; b++ {
+		r := find(b)
+		members[r] = append(members[r], b)
+	}
+	forceI64 := func(b int) {
+		for _, m := range members[find(b)] {
+			st.dts[m] = tensor.I64
+		}
+	}
+
+	for i := range p.Instrs {
+		it := &p.Instrs[i]
+		if it.Kind != OpConv && it.Kind != OpLinear {
+			continue
+		}
+		var k int64
+		if it.Kind == OpConv {
+			k = int64(it.W.Shape[1] * it.W.Shape[2] * it.W.Shape[3])
+		} else {
+			k = int64(it.W.Shape[1])
+		}
+		wMin, wMax := maxAbsWeight(it.W)
+		wAbs := wMax
+		if -wMin > wAbs {
+			wAbs = -wMin
+		}
+		ok := wMin >= -128 && wMax <= 127 && accBound(k, rng[it.In[0]].maxAbs(), wAbs)
+		st.typed[i] = ok
+		if !ok {
+			for _, b := range it.In {
+				forceI64(b)
+			}
+			forceI64(it.Out)
+		}
+	}
+	packInitMu.Lock()
+	p.stor = st
+	packInitMu.Unlock()
+	return st, nil
+}

@@ -153,20 +153,20 @@ func TestPlannerReusesBuffers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if plan.ArenaWords >= plan.NaiveWords {
-		t.Fatalf("planned %d words not smaller than naive %d", plan.ArenaWords, plan.NaiveWords)
+	if plan.ArenaBytes >= plan.NaiveBytes {
+		t.Fatalf("planned %d bytes not smaller than naive %d", plan.ArenaBytes, plan.NaiveBytes)
 	}
 	// A deep residual chain should reuse aggressively: expect ≥2× saving.
-	if 2*plan.ArenaWords > plan.NaiveWords {
-		t.Errorf("planned %d vs naive %d: expected ≥2× reuse", plan.ArenaWords, plan.NaiveWords)
+	if 2*plan.ArenaBytes > plan.NaiveBytes {
+		t.Errorf("planned %d vs naive %d: expected ≥2× reuse", plan.ArenaBytes, plan.NaiveBytes)
 	}
-	// Every buffer must fit inside the arena.
+	// Every buffer must fit inside its dtype's arena.
 	for b, off := range plan.Offsets {
 		if off < 0 {
 			continue
 		}
-		if end := off + tensor.Numel(plan.Shapes[b]); end > plan.ArenaWords {
-			t.Fatalf("buffer %d [%d,%d) exceeds arena %d", b, off, end, plan.ArenaWords)
+		if end := off + tensor.Numel(plan.Shapes[b]); end > plan.ArenaElems[plan.DTypes[b]] {
+			t.Fatalf("buffer %d (%s) [%d,%d) exceeds arena %d", b, plan.DTypes[b], off, end, plan.ArenaElems[plan.DTypes[b]])
 		}
 	}
 }

@@ -6,27 +6,46 @@ import (
 	"torch2chip/internal/tensor"
 )
 
-// Executor runs a Program for one fixed input shape. All inter-op buffers
-// live in a single arena placed by the static planner; scratch used
-// inside kernels is grow-only and reused across calls, so steady-state
-// Execute performs no per-op allocation. An Executor is not safe for
-// concurrent use — the Server gives each worker its own.
+// Executor runs a Program for one fixed input shape. All inter-op
+// buffers live in per-dtype arenas placed by the static planner (narrow
+// dtypes store one/two/four bytes per element); scratch used inside
+// kernels is grow-only and reused across calls, so steady-state Execute
+// performs no per-op allocation. An Executor is not safe for concurrent
+// use — the Server gives each worker its own.
 type Executor struct {
 	prog *Program
 	plan *Plan
+	stor *storageInfo // typed-storage decisions (nil for I64-only registries)
 	kern []KernelFunc // per-instr resolved kernel
 	reg  *Registry
 
-	arena       []int64
+	// Per-dtype arenas; only the dtypes the plan uses are allocated.
+	arI64 []int64
+	arI8  []int8
+	arU8  []uint8
+	arI16 []int16
+	arU16 []uint16
+	arI32 []int32
+
 	bufs        []*tensor.IntTensor
-	scratchBufs [][]int64                 // grow-only kernel scratch (legacy lazy kernels)
+	scratchBufs [][]int64                 // grow-only kernel scratch (legacy lazy kernels + staging chunks)
 	states      []any                     // per-instr cached kernel state
 	ins         [maxIns]*tensor.IntTensor // reused input operand slice
 
 	// Prepacked-kernel support, sized at bind time by the registry's
-	// prep hooks.
-	slotScratch [][]int64 // per parallel slot, shared across instrs
-	slotNeed    int       // words each slot must hold
+	// prep hooks. slotScratch holds int64 words (legacy panels and the
+	// typed kernels' widened staging chunks); the typed slices hold
+	// narrow gather panels; accTiles hold the int32 GEMM accumulators.
+	slotScratch [][]int64
+	slotNeed    int
+	slotI8      [][]int8
+	slotU8      [][]uint8
+	slotI16     [][]int16
+	slotU16     [][]uint16
+	slotI32     [][]int32
+	typedNeed   [tensor.NumDTypes]int
+	accTiles    [][]int32
+	accNeed     int
 }
 
 // maxIns is the largest instruction fan-in (residual add reads two).
@@ -53,29 +72,42 @@ func NewExecutor(p *Program, inShape []int, opts ...ExecOption) (*Executor, erro
 	if err := checkKernels(p, reg); err != nil {
 		return nil, err
 	}
-	plan, err := p.PlanBuffers(inShape)
+	var plan *Plan
+	var stor *storageInfo
+	var err error
+	if reg.typed {
+		// The typed kernel set executes narrow buffers; registries with
+		// custom kernels plan I64 so `in.Data` stays valid everywhere.
+		if stor, err = p.storage(); err != nil {
+			return nil, err
+		}
+		plan, err = p.planBuffersAs(inShape, stor.dts)
+	} else {
+		plan, err = p.PlanBuffersI64(inShape)
+	}
 	if err != nil {
 		return nil, err
 	}
 	ex := &Executor{
 		prog:        p,
 		plan:        plan,
+		stor:        stor,
 		reg:         reg,
-		arena:       make([]int64, plan.ArenaWords),
 		bufs:        make([]*tensor.IntTensor, p.NumBufs),
 		scratchBufs: make([][]int64, 4),
 		states:      make([]any, len(p.Instrs)),
 	}
+	ex.arI64 = make([]int64, plan.ArenaElems[tensor.I64])
+	ex.arI8 = make([]int8, plan.ArenaElems[tensor.I8])
+	ex.arU8 = make([]uint8, plan.ArenaElems[tensor.U8])
+	ex.arI16 = make([]int16, plan.ArenaElems[tensor.I16])
+	ex.arU16 = make([]uint16, plan.ArenaElems[tensor.U16])
+	ex.arI32 = make([]int32, plan.ArenaElems[tensor.I32])
 	for b := 0; b < p.NumBufs; b++ {
 		if plan.Offsets[b] < 0 {
 			continue
 		}
-		sh := plan.Shapes[b]
-		n := tensor.Numel(sh)
-		ex.bufs[b] = &tensor.IntTensor{
-			Shape: append([]int(nil), sh...),
-			Data:  ex.arena[plan.Offsets[b] : plan.Offsets[b]+n],
-		}
+		ex.bufs[b] = ex.arenaView(plan.DTypes[b], plan.Offsets[b], plan.Shapes[b])
 	}
 	ex.kern = make([]KernelFunc, len(p.Instrs))
 	for i := range p.Instrs {
@@ -95,48 +127,161 @@ func NewExecutor(p *Program, inShape []int, opts ...ExecOption) (*Executor, erro
 		}
 		ex.states[i] = st
 	}
-	if ex.slotNeed > 0 {
-		ex.slotScratch = make([][]int64, tensor.MaxParallelSlots())
-		for s := range ex.slotScratch {
-			ex.slotScratch[s] = make([]int64, ex.slotNeed)
+	slots := 0
+	if ex.slotNeed > 0 || ex.accNeed > 0 {
+		slots = tensor.MaxParallelSlots()
+	} else {
+		for _, n := range ex.typedNeed {
+			if n > 0 {
+				slots = tensor.MaxParallelSlots()
+				break
+			}
+		}
+	}
+	if slots > 0 {
+		if ex.slotNeed > 0 {
+			ex.slotScratch = make([][]int64, slots)
+			for s := range ex.slotScratch {
+				ex.slotScratch[s] = make([]int64, ex.slotNeed)
+			}
+		}
+		if ex.accNeed > 0 {
+			ex.accTiles = make([][]int32, slots)
+			for s := range ex.accTiles {
+				ex.accTiles[s] = make([]int32, ex.accNeed)
+			}
+		}
+		if n := ex.typedNeed[tensor.I8]; n > 0 {
+			ex.slotI8 = make([][]int8, slots)
+			for s := range ex.slotI8 {
+				ex.slotI8[s] = make([]int8, n)
+			}
+		}
+		if n := ex.typedNeed[tensor.U8]; n > 0 {
+			ex.slotU8 = make([][]uint8, slots)
+			for s := range ex.slotU8 {
+				ex.slotU8[s] = make([]uint8, n)
+			}
+		}
+		if n := ex.typedNeed[tensor.I16]; n > 0 {
+			ex.slotI16 = make([][]int16, slots)
+			for s := range ex.slotI16 {
+				ex.slotI16[s] = make([]int16, n)
+			}
+		}
+		if n := ex.typedNeed[tensor.U16]; n > 0 {
+			ex.slotU16 = make([][]uint16, slots)
+			for s := range ex.slotU16 {
+				ex.slotU16[s] = make([]uint16, n)
+			}
+		}
+		if n := ex.typedNeed[tensor.I32]; n > 0 {
+			ex.slotI32 = make([][]int32, slots)
+			for s := range ex.slotI32 {
+				ex.slotI32[s] = make([]int32, n)
+			}
 		}
 	}
 	return ex, nil
 }
 
+// arenaView builds a typed tensor header over the dtype's arena.
+func (ex *Executor) arenaView(dt tensor.DType, off int, shape []int) *tensor.IntTensor {
+	n := tensor.Numel(shape)
+	t := &tensor.IntTensor{Shape: append([]int(nil), shape...), DType: dt}
+	switch dt {
+	case tensor.I8:
+		t.I8 = ex.arI8[off : off+n]
+	case tensor.U8:
+		t.U8 = ex.arU8[off : off+n]
+	case tensor.I16:
+		t.I16 = ex.arI16[off : off+n]
+	case tensor.U16:
+		t.U16 = ex.arU16[off : off+n]
+	case tensor.I32:
+		t.I32 = ex.arI32[off : off+n]
+	default:
+		t.Data = ex.arI64[off : off+n]
+	}
+	return t
+}
+
+// typedInstr reports whether instruction idx takes the narrow
+// int32-accumulate path under this executor's registry.
+func (ex *Executor) typedInstr(idx int) bool {
+	return ex.stor != nil && ex.stor.typed[idx]
+}
+
 // NeedSlotScratch is called by prep hooks to reserve per-parallel-slot
-// scratch words; the executor allocates the maximum requested once.
+// int64 scratch words; the executor allocates the maximum requested once.
 func (ex *Executor) NeedSlotScratch(words int) {
 	if words > ex.slotNeed {
 		ex.slotNeed = words
 	}
 }
 
-// SlotScratch returns the scratch slice owned by a parallel slot.
+// NeedSlotTyped reserves per-slot narrow scratch (gather panels) in
+// elements of the given dtype.
+func (ex *Executor) NeedSlotTyped(dt tensor.DType, elems int) {
+	if dt == tensor.I64 {
+		ex.NeedSlotScratch(elems)
+		return
+	}
+	if elems > ex.typedNeed[dt] {
+		ex.typedNeed[dt] = elems
+	}
+}
+
+// NeedAccTile reserves per-slot int32 accumulator tiles.
+func (ex *Executor) NeedAccTile(elems int) {
+	if elems > ex.accNeed {
+		ex.accNeed = elems
+	}
+}
+
+// SlotScratch returns the int64 scratch slice owned by a parallel slot.
 func (ex *Executor) SlotScratch(slot int) []int64 { return ex.slotScratch[slot] }
 
+// AccTile returns the int32 accumulator tile owned by a parallel slot.
+func (ex *Executor) AccTile(slot int) []int32 { return ex.accTiles[slot] }
+
 // ScratchBytes reports the executor's kernel scratch footprint: planned
-// per-slot panels, the im2col index maps its bound state actually
-// references (shared maps counted once), plus the grow-only buffers the
-// legacy kernels have claimed so far (stable after one Execute).
+// per-slot panels and accumulator tiles, the im2col index maps its bound
+// state actually references (shared maps counted once), plus the
+// grow-only buffers the legacy kernels have claimed so far (stable after
+// one Execute).
 func (ex *Executor) ScratchBytes() int64 {
-	words := len(ex.slotScratch) * ex.slotNeed
+	bytes := int64(len(ex.slotScratch)*ex.slotNeed) * 8
+	bytes += int64(len(ex.accTiles)*ex.accNeed) * 4
+	bytes += int64(len(ex.slotI8) * ex.typedNeed[tensor.I8])
+	bytes += int64(len(ex.slotU8) * ex.typedNeed[tensor.U8])
+	bytes += int64(len(ex.slotI16)*ex.typedNeed[tensor.I16]) * 2
+	bytes += int64(len(ex.slotU16)*ex.typedNeed[tensor.U16]) * 2
+	bytes += int64(len(ex.slotI32)*ex.typedNeed[tensor.I32]) * 4
 	for _, s := range ex.scratchBufs {
-		words += cap(s)
+		bytes += int64(cap(s)) * 8
 	}
-	var idxBytes int64
 	seen := map[*int32]bool{}
-	for _, st := range ex.states {
-		cp, ok := st.(*convPack)
-		if !ok || len(cp.idx) == 0 {
-			continue
+	countIdx := func(idx []int32) {
+		if len(idx) == 0 {
+			return
 		}
-		if k := &cp.idx[0]; !seen[k] {
+		if k := &idx[0]; !seen[k] {
 			seen[k] = true
-			idxBytes += int64(len(cp.idx)) * 4
+			bytes += int64(len(idx)) * 4
 		}
 	}
-	return int64(words)*8 + idxBytes
+	for _, st := range ex.states {
+		switch cp := st.(type) {
+		case *convPack:
+			countIdx(cp.idx)
+		case *convPackT:
+			countIdx(cp.idx)
+		case *linPackT:
+			bytes += int64(len(cp.acc)) * 4
+		}
+	}
+	return bytes
 }
 
 // Plan exposes the executor's buffer placement (for reporting).
@@ -150,18 +295,50 @@ func (ex *Executor) InShape() []int { return ex.plan.Shapes[ex.prog.Input] }
 // tensor is caller-owned; arena storage is reused by the next call.
 func (ex *Executor) ExecuteCodes(codes *tensor.IntTensor, dst *tensor.IntTensor) (*tensor.IntTensor, error) {
 	in := ex.bufs[ex.prog.Input]
-	if len(codes.Data) != len(in.Data) {
+	n := in.Numel()
+	if codes.Numel() != n {
 		return nil, fmt.Errorf("engine: input %v does not match planned shape %v", codes.Shape, in.Shape)
 	}
-	copy(in.Data, codes.Data)
+	if in.DType != tensor.I64 {
+		// The input buffer is stored narrow because the quantizer's code
+		// range fits it; codes outside that range would silently wrap on
+		// the narrowing store (and void the int32 accumulator bound), so
+		// reject them — the I64 engine computed garbage-in-garbage-out,
+		// but never a different value than the interpreter.
+		lo, hi := in.DType.Range()
+		for i := 0; i < n; i++ {
+			if c := codes.Get(i); c < lo || c > hi {
+				return nil, fmt.Errorf("engine: input code %d at %d outside the planned %s storage range [%d, %d]",
+					c, i, in.DType, lo, hi)
+			}
+		}
+	}
+	if in.DType == tensor.I64 && codes.DType == tensor.I64 {
+		copy(in.Data, codes.Data)
+	} else if codes.DType == tensor.I64 {
+		in.WriteInt64(codes.Data, 0)
+	} else {
+		for i := 0; i < n; i++ {
+			in.Put(i, codes.Get(i))
+		}
+	}
 	ex.run()
 	out := ex.bufs[ex.prog.Output]
 	if dst == nil {
 		dst = tensor.NewInt(out.Shape...)
-	} else if len(dst.Data) != len(out.Data) {
+	} else if dst.Numel() != out.Numel() {
 		return nil, fmt.Errorf("engine: dst %v does not match output shape %v", dst.Shape, out.Shape)
 	}
-	copy(dst.Data, out.Data)
+	if out.DType == tensor.I64 && dst.DType == tensor.I64 {
+		copy(dst.Data, out.Data)
+	} else if dst.DType == tensor.I64 {
+		out.ReadInt64(dst.Data, 0)
+	} else {
+		outN := out.Numel()
+		for i := 0; i < outN; i++ {
+			dst.Put(i, out.Get(i))
+		}
+	}
 	return dst, nil
 }
 
@@ -170,7 +347,7 @@ func (ex *Executor) ExecuteCodes(codes *tensor.IntTensor, dst *tensor.IntTensor)
 // program, dequantize the output codes to logits.
 func (ex *Executor) Execute(x *tensor.Tensor) (*tensor.Tensor, error) {
 	in := ex.bufs[ex.prog.Input]
-	if len(x.Data) != len(in.Data) {
+	if len(x.Data) != in.Numel() {
 		return nil, fmt.Errorf("engine: input %v does not match planned shape %v", x.Shape, in.Shape)
 	}
 	ex.prog.InQuant.QuantizeTo(in, x)
@@ -185,13 +362,13 @@ func (ex *Executor) Execute(x *tensor.Tensor) (*tensor.Tensor, error) {
 // zero-alloc path the serving runtime uses.
 func (ex *Executor) ExecuteInto(out *tensor.Tensor, x *tensor.Tensor) error {
 	in := ex.bufs[ex.prog.Input]
-	if len(x.Data) != len(in.Data) {
+	if len(x.Data) != in.Numel() {
 		return fmt.Errorf("engine: input %v does not match planned shape %v", x.Shape, in.Shape)
 	}
 	ex.prog.InQuant.QuantizeTo(in, x)
 	ex.run()
 	codes := ex.bufs[ex.prog.Output]
-	if len(out.Data) != len(codes.Data) {
+	if len(out.Data) != codes.Numel() {
 		return fmt.Errorf("engine: out %v does not match output shape %v", out.Shape, codes.Shape)
 	}
 	ex.DequantizeInto(out, codes)
@@ -201,8 +378,14 @@ func (ex *Executor) ExecuteInto(out *tensor.Tensor, x *tensor.Tensor) error {
 // DequantizeInto maps output codes to float logits with the program's
 // output scale/zero.
 func (ex *Executor) DequantizeInto(out *tensor.Tensor, codes *tensor.IntTensor) {
-	for i, c := range codes.Data {
-		out.Data[i] = float32(c-ex.prog.OutZero) * ex.prog.OutScale
+	if codes.DType == tensor.I64 {
+		for i, c := range codes.Data {
+			out.Data[i] = float32(c-ex.prog.OutZero) * ex.prog.OutScale
+		}
+		return
+	}
+	for i := range out.Data {
+		out.Data[i] = float32(codes.Get(i)-ex.prog.OutZero) * ex.prog.OutScale
 	}
 }
 

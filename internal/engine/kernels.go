@@ -26,10 +26,15 @@ type PrepFunc func(ex *Executor, idx int, it *Instr) (any, error)
 
 // Registry maps op kinds to kernels (and optional bind-time prep hooks).
 // An Executor copies the table it is given, so concurrent servers never
-// observe later mutation.
+// observe later mutation. A registry additionally declares whether its
+// kernel set understands narrow typed buffers (typed); installing any
+// custom kernel clears the flag, so third-party kernels — which read
+// buffers through the legacy `.Data` int64 view — always execute
+// against I64-planned arenas.
 type Registry struct {
 	kernels map[OpKind]KernelFunc
 	preps   map[OpKind]PrepFunc
+	typed   bool
 }
 
 // NewRegistry returns an empty registry.
@@ -39,11 +44,23 @@ func NewRegistry() *Registry {
 
 // Register installs (or replaces) the kernel for kind. Any prep hook
 // registered for kind is kept, so wrapping a kernel (e.g. to count
-// calls) does not lose its prepacked state.
-func (r *Registry) Register(kind OpKind, k KernelFunc) { r.kernels[kind] = k }
+// calls) does not lose its prepacked state. The registry drops to
+// I64-planned buffers: a custom kernel cannot be assumed dtype-aware.
+func (r *Registry) Register(kind OpKind, k KernelFunc) {
+	r.kernels[kind] = k
+	r.typed = false
+}
 
-// RegisterPrep installs the bind-time prep hook for kind.
-func (r *Registry) RegisterPrep(kind OpKind, p PrepFunc) { r.preps[kind] = p }
+// RegisterPrep installs the bind-time prep hook for kind (and, like
+// Register, pins the registry to I64 buffers).
+func (r *Registry) RegisterPrep(kind OpKind, p PrepFunc) {
+	r.preps[kind] = p
+	r.typed = false
+}
+
+// TypedStorage reports whether executors built from this registry plan
+// narrow per-dtype arenas.
+func (r *Registry) TypedStorage() bool { return r.typed }
 
 // Lookup returns the kernel for kind.
 func (r *Registry) Lookup(kind OpKind) (KernelFunc, bool) {
@@ -66,6 +83,7 @@ func (r *Registry) Clone() *Registry {
 	for k, v := range r.preps {
 		c.preps[k] = v
 	}
+	c.typed = r.typed
 	return c
 }
 
@@ -208,13 +226,26 @@ func ReferenceKernels() *Registry {
 // index maps, epilogue constant vectors) and run tiled integer GEMM with
 // per-slot scratch, so steady-state execution does no shape math and no
 // allocation. Grouped/depthwise convolution takes a dedicated
-// register-blocked direct kernel.
+// register-blocked direct kernel. The set is dtype-aware: executors plan
+// narrow per-dtype arenas, conv/linear run the int8-panel GEMM with
+// int32 accumulation where the program's value ranges permit, and odd
+// widths fall back to the I64 kernels per instruction.
 func FastKernels() *Registry {
 	r := ReferenceKernels().Clone()
 	r.Register(OpConv, kernelConvPacked)
 	r.RegisterPrep(OpConv, prepConv)
 	r.Register(OpLinear, kernelLinearPacked)
 	r.RegisterPrep(OpLinear, prepLinear)
+	r.typed = true
+	return r
+}
+
+// FastKernelsI64 is FastKernels pinned to I64 storage: the same fused
+// prepacked kernels over plain int64 arenas — the PR-2 configuration,
+// kept as the measured baseline typed storage is compared against.
+func FastKernelsI64() *Registry {
+	r := FastKernels()
+	r.typed = false
 	return r
 }
 
@@ -237,7 +268,9 @@ var defaultRegistry = FastKernels()
 func DefaultKernels() *Registry { return defaultRegistry }
 
 // Register installs a kernel into the process-wide default set, keyed by
-// op kind. Call before constructing executors or servers.
+// op kind. Call before constructing executors or servers. Like
+// Registry.Register, this pins the default set to I64 storage — custom
+// kernels read buffers through the legacy `.Data` view.
 func Register(kind OpKind, k KernelFunc) { defaultRegistry.Register(kind, k) }
 
 // kernelConvFast lowers dense convolution onto im2col + blocked parallel
@@ -443,9 +476,34 @@ func epilogueRowMajor(it *Instr, dst, src []int64, o int, add []int64) {
 	}
 }
 
+// elemChunk is the staging size of the chunked typed elementwise paths:
+// narrow operands are widened into an int64 scratch chunk, the epilogue
+// runs over the chunk, and the result narrows back into the output —
+// three passes over a cache-resident block, which keeps the dtype
+// dispatch out of the per-element loop.
+const elemChunk = 4096
+
+// allI64 reports whether an instruction's operands and output are all
+// stored as legacy I64 buffers, enabling the pre-typed fast paths.
+func allI64(in []*tensor.IntTensor, out *tensor.IntTensor) bool {
+	if out.DType != tensor.I64 {
+		return false
+	}
+	for _, t := range in {
+		if t.DType != tensor.I64 {
+			return false
+		}
+	}
+	return true
+}
+
 // kernelAvgPool mirrors fuse.IntAvgPool.Forward (round-half-away integer
 // mean), writing into the planned output.
 func kernelAvgPool(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) {
+	if !allI64(in, out) {
+		kernelAvgPoolTyped(ex, it, in[0], out)
+		return
+	}
 	x := in[0]
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	if it.Kernel == 0 {
@@ -488,6 +546,49 @@ func roundDiv(s, cnt int64) int64 {
 	return -((-s + cnt/2) / cnt)
 }
 
+// kernelAvgPoolTyped pools narrow buffers one (sample, channel) plane at
+// a time: widen the plane into int64 scratch, run the identical integer
+// mean, and narrow the pooled plane into the output (means never leave
+// the input's value range, so the store is always representable).
+func kernelAvgPoolTyped(ex *Executor, it *Instr, x, out *tensor.IntTensor) {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	k, st := it.Kernel, it.Stride
+	oh, ow := 1, 1
+	if k > 0 {
+		if st <= 0 {
+			st = k
+		}
+		oh, ow = (h-k)/st+1, (w-k)/st+1
+	}
+	plane := ex.scratch(2, h*w)
+	pooled := ex.scratch(3, oh*ow)
+	for i := 0; i < n*c; i++ {
+		x.ReadInt64(plane, i*h*w)
+		if k == 0 {
+			cnt := int64(h * w)
+			var s int64
+			for _, v := range plane {
+				s += v
+			}
+			pooled[0] = roundDiv(s, cnt)
+		} else {
+			cnt := int64(k * k)
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					var s int64
+					for ky := 0; ky < k; ky++ {
+						for kx := 0; kx < k; kx++ {
+							s += plane[(oy*st+ky)*w+(ox*st+kx)]
+						}
+					}
+					pooled[oy*ow+ox] = roundDiv(s, cnt)
+				}
+			}
+		}
+		out.WriteInt64(pooled, i*oh*ow)
+	}
+}
+
 // kernelFlattenNop: flatten outputs alias their input storage; the
 // executor binds both buffers to the same arena words at prepare time.
 func kernelFlattenNop(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) {
@@ -496,8 +597,15 @@ func kernelFlattenNop(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, 
 // kernelRescale applies the bare MulQuant stage; with a fused residual
 // add (the common identity-shortcut fold) the whole block epilogue —
 // rescale, add, shift-back, clamp — is one read-then-write pass, so the
-// planner may alias the output onto either dying input.
+// planner may alias the output onto either dying input. Narrow buffers
+// take the chunked widen→compute→narrow staging path: the output chunk
+// is stored only after its input (and fused-branch) chunk is fully read,
+// which preserves the in-place aliasing contract at equal dtypes.
 func kernelRescale(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) {
+	if !allI64(in, out) {
+		kernelRescaleTyped(ex, it, in, out)
+		return
+	}
 	if it.FusedRescale == nil && !it.FusedAdd {
 		it.Scaler.ApplyTo(out, in[0], -1)
 		return
@@ -512,10 +620,59 @@ func kernelRescale(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out
 	}
 }
 
+func kernelRescaleTyped(ex *Executor, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) {
+	half, frac, zero, lo, hi := it.Scaler.Consts()
+	sfx, bfx := int64(it.Scaler.ScaleFx[0]), int64(it.Scaler.BiasFx[0])
+	fc := fusedConstsOf(it)
+	var add *tensor.IntTensor
+	if it.FusedAdd {
+		add = in[len(in)-1]
+	}
+	n := out.Numel()
+	a := ex.scratch(2, elemChunk)
+	b := ex.scratch(3, elemChunk)
+	for c0 := 0; c0 < n; c0 += elemChunk {
+		m := n - c0
+		if m > elemChunk {
+			m = elemChunk
+		}
+		av := a[:m]
+		in[0].ReadInt64(av, c0)
+		var bv []int64
+		if add != nil {
+			bv = b[:m]
+			add.ReadInt64(bv, c0)
+		}
+		for i, v := range av {
+			q := intmath.Requantize(v, sfx, bfx, half, frac, zero, lo, hi)
+			av[i] = fc.finish(q, bv, i)
+		}
+		out.WriteInt64(av, c0)
+	}
+}
+
 // kernelResAdd mirrors fuse.IntResidual's add/shift-back/clamp epilogue.
 func kernelResAdd(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) {
 	b, s := in[0], in[1]
 	half := addHalfOf(it.Shift)
+	if !allI64(in, out) {
+		n := out.Numel()
+		av := ex.scratch(2, elemChunk)
+		bv := ex.scratch(3, elemChunk)
+		for c0 := 0; c0 < n; c0 += elemChunk {
+			m := n - c0
+			if m > elemChunk {
+				m = elemChunk
+			}
+			b.ReadInt64(av[:m], c0)
+			s.ReadInt64(bv[:m], c0)
+			for i := 0; i < m; i++ {
+				av[i] = addShiftClamp(av[i]+bv[i], it.Shift, half, it.ClampLo, it.ClampHi)
+			}
+			out.WriteInt64(av[:m], c0)
+		}
+		return
+	}
 	for i := range b.Data {
 		out.Data[i] = addShiftClamp(b.Data[i]+s.Data[i], it.Shift, half, it.ClampLo, it.ClampHi)
 	}

@@ -9,6 +9,8 @@ package engine
 // programs stay bit-identical to IntModel.Forward, which the tests
 // enforce on the whole model zoo.
 
+import "torch2chip/internal/tensor"
+
 // OptLevel selects how aggressively a lowered program is rewritten.
 type OptLevel int
 
@@ -55,6 +57,15 @@ func OptimizeStats(p *Program, lvl OptLevel) (*Program, FusionStats) {
 	}
 	st.InstrsAfter = len(q.Instrs)
 	st.BuffersAfter = countLiveBuffers(q)
+	// Fusion rewires outputs and folds epilogues, which changes the
+	// effective code range of the rewritten buffers — re-derive the
+	// storage annotation. Unannotated programs (pre-v3 checkpoints)
+	// deliberately stay unannotated and keep I64 arenas.
+	if q.Annotated() {
+		if err := q.AnnotateDTypes(); err != nil {
+			q.BufDTypes = nil
+		}
+	}
 	return q, st
 }
 
@@ -65,6 +76,8 @@ func OptimizeStats(p *Program, lvl OptLevel) (*Program, FusionStats) {
 func cloneProgram(p *Program) *Program {
 	q := *p
 	q.pack = nil
+	q.stor = nil
+	q.BufDTypes = append([]tensor.DType(nil), p.BufDTypes...)
 	q.Instrs = make([]Instr, len(p.Instrs))
 	for i := range p.Instrs {
 		q.Instrs[i] = p.Instrs[i]

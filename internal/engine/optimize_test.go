@@ -117,20 +117,21 @@ func TestFusedProgramZeroIntermediateBuffers(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Buffer 1 (the conv→rescale intermediate) is eliminated: the planner
-	// must leave it unplaced, and only input+output words remain.
+	// must leave it unplaced, and only input+output bytes remain (the
+	// hand-built program is unannotated, so storage is 8-byte I64).
 	if plan.Offsets[1] != -1 {
 		t.Fatalf("eliminated buffer still placed at %d", plan.Offsets[1])
 	}
-	want := tensor.Numel([]int{1, 3, 8, 8}) + tensor.Numel([]int{1, 6, 8, 8})
-	if plan.ArenaWords != want {
-		t.Fatalf("arena %d words, want input+output = %d", plan.ArenaWords, want)
+	want := int64(tensor.Numel([]int{1, 3, 8, 8})+tensor.Numel([]int{1, 6, 8, 8})) * 8
+	if plan.ArenaBytes != want {
+		t.Fatalf("arena %d bytes, want input+output = %d", plan.ArenaBytes, want)
 	}
 	unfusedPlan, err := p.PlanBuffers([]int{1, 3, 8, 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if plan.ArenaWords >= unfusedPlan.ArenaWords {
-		t.Fatalf("fused arena %d not smaller than unfused %d", plan.ArenaWords, unfusedPlan.ArenaWords)
+	if plan.ArenaBytes >= unfusedPlan.ArenaBytes {
+		t.Fatalf("fused arena %d not smaller than unfused %d", plan.ArenaBytes, unfusedPlan.ArenaBytes)
 	}
 }
 
@@ -269,11 +270,11 @@ func TestFusionStatsOnZoo(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if fp.ArenaWords > up.ArenaWords {
-				t.Fatalf("fused arena %d grew over unfused %d", fp.ArenaWords, up.ArenaWords)
+			if fp.ArenaBytes > up.ArenaBytes {
+				t.Fatalf("fused arena %d grew over unfused %d", fp.ArenaBytes, up.ArenaBytes)
 			}
-			if fp.NaiveWords > up.NaiveWords {
-				t.Fatalf("fused buffer total %d grew over unfused %d", fp.NaiveWords, up.NaiveWords)
+			if fp.NaiveBytes > up.NaiveBytes {
+				t.Fatalf("fused buffer total %d grew over unfused %d", fp.NaiveBytes, up.NaiveBytes)
 			}
 			// The fused program stays the bit-exact artifact.
 			xb := g.Uniform(0, 1, 2, 3, 32, 32)

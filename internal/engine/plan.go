@@ -3,42 +3,67 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"torch2chip/internal/tensor"
 )
 
 // Plan is the static buffer placement for one input shape: every buffer
-// maps to a word offset inside a single reusable arena. Flatten outputs
-// alias their input storage, and buffers whose live ranges do not overlap
-// share arena words.
+// maps to an element offset inside the arena of its storage dtype.
+// Flatten outputs alias their input storage, and buffers whose live
+// ranges do not overlap share arena space. Storage is packed at byte
+// granularity — each dtype gets its own arena, so an I8 buffer costs one
+// byte per element instead of the pre-typed engine's eight, and element
+// alignment is automatic.
 type Plan struct {
-	Shapes  [][]int // per-buffer inferred shape
-	Offsets []int   // per-buffer arena word offset (alias-resolved)
+	Shapes  [][]int        // per-buffer inferred shape
+	DTypes  []tensor.DType // per-buffer storage dtype
+	Offsets []int          // per-buffer element offset in its dtype arena
 
-	// ArenaWords is the planned arena size; NaiveWords is what allocating
-	// every buffer separately (the interpreter strategy) would take.
-	ArenaWords int
-	NaiveWords int
+	// ArenaElems is the planned per-dtype arena length in elements;
+	// ArenaBytes/NaiveBytes are the planned and unplanned (interpreter
+	// strategy: every buffer allocated separately) footprints in bytes.
+	ArenaElems [tensor.NumDTypes]int
+	ArenaBytes int64
+	NaiveBytes int64
 }
 
-// PlannedBytes returns the arena footprint in bytes (int64 words).
-func (pl *Plan) PlannedBytes() int64 { return int64(pl.ArenaWords) * 8 }
+// PlannedBytes returns the byte-accurate arena footprint.
+func (pl *Plan) PlannedBytes() int64 { return pl.ArenaBytes }
 
-// NaiveBytes returns the unplanned footprint in bytes.
-func (pl *Plan) NaiveBytes() int64 { return int64(pl.NaiveWords) * 8 }
+// BytesByDType reports each non-empty dtype arena's footprint in bytes,
+// the per-dtype breakdown the bench harness records.
+func (pl *Plan) BytesByDType() map[string]int64 {
+	out := map[string]int64{}
+	for d := tensor.DType(0); d < tensor.NumDTypes; d++ {
+		if n := pl.ArenaElems[d]; n > 0 {
+			out[d.String()] = int64(n) * int64(d.Size())
+		}
+	}
+	return out
+}
 
 // String summarizes the plan for logs and the bench CLI.
 func (pl *Plan) String() string {
-	saved := 1 - float64(pl.ArenaWords)/float64(pl.NaiveWords)
-	return fmt.Sprintf("arena %d B (naive %d B, %.0f%% saved)",
-		pl.PlannedBytes(), pl.NaiveBytes(), saved*100)
+	saved := 1 - float64(pl.ArenaBytes)/float64(pl.NaiveBytes)
+	var parts []string
+	for d := tensor.DType(0); d < tensor.NumDTypes; d++ {
+		if n := pl.ArenaElems[d]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s:%d", d, int64(n)*int64(d.Size())))
+		}
+	}
+	return fmt.Sprintf("arena %d B [%s] (naive %d B, %.0f%% saved)",
+		pl.ArenaBytes, strings.Join(parts, " "), pl.NaiveBytes, saved*100)
 }
 
-// interval is a buffer's live range over instruction indices: defined at
-// def (input buffer: -1), last read at use (output buffer: len(instrs)).
+// interval is a buffer root's live range over instruction indices:
+// defined at def (input buffer: -1), last read at use (output buffer:
+// len(instrs)). elems is the widest member in elements; every member of
+// a root shares one storage dtype.
 type interval struct {
 	def, use int
-	words    int
+	elems    int
+	dt       tensor.DType
 }
 
 // aliasCandidates returns the input buffers instr's output may share
@@ -58,17 +83,39 @@ func aliasCandidates(it *Instr) []int {
 	return nil
 }
 
-// PlanBuffers liveness-analyzes the program for the given input shape and
-// greedily packs buffers into the smallest arena: buffers are placed in
-// decreasing size order at the lowest offset not overlapping any
-// already-placed buffer with an intersecting live range. Flatten outputs
-// alias their source, and elementwise outputs (rescale, residual add,
-// fused-add epilogues) are written in place over a dying input, which
-// removes whole buffers from the packed liveness set.
+// PlanBuffers liveness-analyzes the program for the given input shape
+// and greedily packs buffers into the smallest per-dtype arenas: buffers
+// are placed in decreasing size order at the lowest offset not
+// overlapping any already-placed buffer of the same dtype with an
+// intersecting live range. Flatten outputs alias their source, and
+// elementwise outputs (rescale, residual add, fused-add epilogues) are
+// written in place over a dying input of the same dtype. Storage dtypes
+// come from the program's annotation (I64 everywhere when unannotated).
 func (p *Program) PlanBuffers(inShape []int) (*Plan, error) {
+	st, err := p.storage()
+	if err != nil {
+		return nil, err
+	}
+	return p.planBuffersAs(inShape, st.dts)
+}
+
+// PlanBuffersI64 plans with every buffer stored as I64, the layout
+// non-typed kernel registries execute against and the baseline the
+// typed-storage savings are measured from.
+func (p *Program) PlanBuffersI64(inShape []int) (*Plan, error) {
+	return p.planBuffersAs(inShape, nil)
+}
+
+func (p *Program) planBuffersAs(inShape []int, dts []tensor.DType) (*Plan, error) {
 	shapes, err := p.InferShapes(inShape)
 	if err != nil {
 		return nil, err
+	}
+	dtypeOf := func(b int) tensor.DType {
+		if dts == nil {
+			return tensor.I64
+		}
+		return dts[b]
 	}
 	// lastUse[b]: index of the last instruction reading buffer b
 	// (len(instrs) for the program output, -1 for never-read).
@@ -85,9 +132,10 @@ func (p *Program) PlanBuffers(inShape []int) (*Plan, error) {
 
 	// Storage roots, resolved in one ordered walk: flatten aliases
 	// collapse onto their source, and elementwise outputs adopt a dying
-	// input's root. rootUse tracks, per root, the last read over every
-	// member merged so far — a candidate is dead after idx iff its
-	// root's use is ≤ idx.
+	// input's root when the storage dtypes match (aliasing across
+	// element widths would make byte offsets diverge per element).
+	// rootUse tracks, per root, the last read over every member merged
+	// so far — a candidate is dead after idx iff its root's use is ≤ idx.
 	root := make([]int, p.NumBufs)
 	for i := range root {
 		root[i] = i
@@ -103,6 +151,10 @@ func (p *Program) PlanBuffers(inShape []int) (*Plan, error) {
 		it := &p.Instrs[idx]
 		out := it.Out
 		if it.Kind == OpFlatten {
+			if dtypeOf(out) != dtypeOf(it.In[0]) {
+				return nil, fmt.Errorf("engine: flatten %s output dtype %s differs from input %s",
+					it.Name, dtypeOf(out), dtypeOf(it.In[0]))
+			}
 			root[out] = root[it.In[0]]
 			extend(root[out], lastUse[out])
 			continue
@@ -117,6 +169,9 @@ func (p *Program) PlanBuffers(inShape []int) (*Plan, error) {
 			rc := root[c]
 			if rootUse[rc] > idx {
 				continue // still read after this instruction
+			}
+			if dtypeOf(c) != dtypeOf(out) {
+				continue // different element widths cannot share bytes
 			}
 			if it.Kind == OpConv || it.Kind == OpLinear {
 				// The candidate is the fused residual branch; the primary
@@ -145,7 +200,7 @@ func (p *Program) PlanBuffers(inShape []int) (*Plan, error) {
 		r := root[buf]
 		e, ok := iv[r]
 		if !ok {
-			e = &interval{def: at, use: at}
+			e = &interval{def: at, use: at, dt: dtypeOf(buf)}
 			iv[r] = e
 		}
 		if isDef && at < e.def {
@@ -154,8 +209,8 @@ func (p *Program) PlanBuffers(inShape []int) (*Plan, error) {
 		if at > e.use {
 			e.use = at
 		}
-		if w := tensor.Numel(shapes[buf]); w > e.words {
-			e.words = w
+		if n := tensor.Numel(shapes[buf]); n > e.elems {
+			e.elems = n
 		}
 	}
 	touch(p.Input, -1, true)
@@ -169,28 +224,28 @@ func (p *Program) PlanBuffers(inShape []int) (*Plan, error) {
 	// caller can read it after Execute returns.
 	touch(p.Output, len(p.Instrs), false)
 
-	// Greedy placement, largest first.
+	// Greedy placement per dtype arena, largest first.
 	roots := make([]int, 0, len(iv))
-	naive := 0
+	var naive int64
 	for r, e := range iv {
 		roots = append(roots, r)
-		naive += e.words
+		naive += int64(e.elems) * int64(e.dt.Size())
 	}
 	sort.Slice(roots, func(a, b int) bool {
-		if iv[roots[a]].words != iv[roots[b]].words {
-			return iv[roots[a]].words > iv[roots[b]].words
+		if iv[roots[a]].elems != iv[roots[b]].elems {
+			return iv[roots[a]].elems > iv[roots[b]].elems
 		}
 		return roots[a] < roots[b]
 	})
-	type placed struct{ off, words, def, use int }
-	var placements []placed
+	type placed struct{ off, elems, def, use int }
+	placements := map[tensor.DType][]placed{}
 	offsetOf := make(map[int]int, len(roots))
-	arena := 0
+	pl := &Plan{Shapes: shapes, DTypes: make([]tensor.DType, p.NumBufs), Offsets: make([]int, p.NumBufs), NaiveBytes: naive}
 	for _, r := range roots {
 		e := iv[r]
-		// Collect placed buffers whose live ranges overlap this one.
+		// Collect placed same-dtype buffers whose live ranges overlap.
 		var busy []placed
-		for _, q := range placements {
+		for _, q := range placements[e.dt] {
 			if e.def <= q.use && q.def <= e.use {
 				busy = append(busy, q)
 			}
@@ -198,26 +253,28 @@ func (p *Program) PlanBuffers(inShape []int) (*Plan, error) {
 		sort.Slice(busy, func(a, b int) bool { return busy[a].off < busy[b].off })
 		off := 0
 		for _, q := range busy {
-			if off+e.words <= q.off {
+			if off+e.elems <= q.off {
 				break
 			}
-			if q.off+q.words > off {
-				off = q.off + q.words
+			if q.off+q.elems > off {
+				off = q.off + q.elems
 			}
 		}
 		offsetOf[r] = off
-		placements = append(placements, placed{off: off, words: e.words, def: e.def, use: e.use})
-		if off+e.words > arena {
-			arena = off + e.words
+		placements[e.dt] = append(placements[e.dt], placed{off: off, elems: e.elems, def: e.def, use: e.use})
+		if off+e.elems > pl.ArenaElems[e.dt] {
+			pl.ArenaElems[e.dt] = off + e.elems
 		}
 	}
-
-	pl := &Plan{Shapes: shapes, Offsets: make([]int, p.NumBufs), ArenaWords: arena, NaiveWords: naive}
+	for d := tensor.DType(0); d < tensor.NumDTypes; d++ {
+		pl.ArenaBytes += int64(pl.ArenaElems[d]) * int64(d.Size())
+	}
 	for b := 0; b < p.NumBufs; b++ {
 		if shapes[b] == nil {
 			pl.Offsets[b] = -1
 			continue
 		}
+		pl.DTypes[b] = dtypeOf(b)
 		pl.Offsets[b] = offsetOf[root[b]]
 	}
 	return pl, nil

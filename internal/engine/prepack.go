@@ -95,13 +95,24 @@ type convKey struct {
 }
 
 // sharedPack is the shape-independent part of an instruction's
-// prepacked state — weight panels, zero-point row sums, expanded
-// epilogue constants. It is built once per program instruction and
-// shared (read-only) by every executor bound to the program.
+// prepacked state — weight panels (int64 for the legacy kernels, int8
+// for the typed path), zero-point row sums, expanded epilogue constants.
+// It is built once per (instruction, variant) and shared (read-only) by
+// every executor bound to the program.
 type sharedPack struct {
 	wp   []int64
+	wp32 []int32
 	zsum []int64
 	epi  epi
+}
+
+// sharedKey identifies a shared pack: the instruction plus whether it is
+// the typed (int8-panel) or legacy (int64-panel) variant — one program
+// can serve executors of both kinds concurrently (e.g. the bench harness
+// comparing FastKernels against FastKernelsI64).
+type sharedKey struct {
+	idx   int
+	typed bool
 }
 
 // packCache is the per-Program store of shared prepacked state and
@@ -110,23 +121,22 @@ type sharedPack struct {
 // immutable after construction.
 type packCache struct {
 	mu     sync.Mutex
-	shared map[int]*sharedPack
+	shared map[sharedKey]*sharedPack
 	idx    map[convKey][]int32
 }
 
-// sharedFor returns (building on first use) the shared pack for
-// instruction idx.
-func (pc *packCache) sharedFor(idx int, build func() *sharedPack) *sharedPack {
+// sharedFor returns (building on first use) the shared pack for key.
+func (pc *packCache) sharedFor(key sharedKey, build func() *sharedPack) *sharedPack {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	if pc.shared == nil {
-		pc.shared = map[int]*sharedPack{}
+		pc.shared = map[sharedKey]*sharedPack{}
 	}
-	if s, ok := pc.shared[idx]; ok {
+	if s, ok := pc.shared[key]; ok {
 		return s
 	}
 	s := build()
-	pc.shared[idx] = s
+	pc.shared[key] = s
 	return s
 }
 
@@ -231,11 +241,17 @@ func tileSites(colW, spatial int) int {
 }
 
 // prepConv binds a conv instruction: dense convs get the packed-GEMM
-// state, grouped convs the direct-kernel state.
+// state, grouped convs the direct-kernel state. Instructions the storage
+// pass proved narrow-safe bind the typed int8-panel/int32-accumulate
+// variant; everything else (including all-I64 registries) keeps the
+// legacy int64 state, whose buffers the planner stored as I64.
 func prepConv(ex *Executor, idx int, it *Instr) (any, error) {
 	in := ex.plan.Shapes[it.In[0]]
 	if len(in) != 4 {
 		return nil, fmt.Errorf("engine: conv %s input rank %d", it.Name, len(in))
+	}
+	if ex.typedInstr(idx) {
+		return prepConvTyped(ex, idx, it)
 	}
 	pp := it.P
 	if pp.Stride <= 0 {
@@ -248,7 +264,7 @@ func prepConv(ex *Executor, idx int, it *Instr) (any, error) {
 	o, cg, kH, kW := it.W.Shape[0], it.W.Shape[1], it.W.Shape[2], it.W.Shape[3]
 	oh, ow := pp.ConvOutSize(h, kH), pp.ConvOutSize(w, kW)
 	if pp.Groups > 1 {
-		sh := ex.prog.packs().sharedFor(idx, func() *sharedPack {
+		sh := ex.prog.packs().sharedFor(sharedKey{idx: idx}, func() *sharedPack {
 			return &sharedPack{
 				zsum: rowSumsScaled(it.W.Data, o, cg*kH*kW, it.InZero),
 				epi:  newEpi(it, o),
@@ -278,7 +294,7 @@ func prepConv(ex *Executor, idx int, it *Instr) (any, error) {
 		return st, nil
 	}
 	colW := c * kH * kW
-	sh := ex.prog.packs().sharedFor(idx, func() *sharedPack {
+	sh := ex.prog.packs().sharedFor(sharedKey{idx: idx}, func() *sharedPack {
 		return &sharedPack{
 			wp:   packPanels(it.W.Data, o, colW),
 			zsum: rowSumsScaled(it.W.Data, o, colW, it.InZero),
@@ -326,9 +342,12 @@ func prepLinear(ex *Executor, idx int, it *Instr) (any, error) {
 	if len(in) != 2 {
 		return nil, fmt.Errorf("engine: linear %s input rank %d", it.Name, len(in))
 	}
+	if ex.typedInstr(idx) {
+		return prepLinearTyped(ex, idx, it)
+	}
 	rows, k := in[0], in[1]
 	o := it.W.Shape[0]
-	sh := ex.prog.packs().sharedFor(idx, func() *sharedPack {
+	sh := ex.prog.packs().sharedFor(sharedKey{idx: idx}, func() *sharedPack {
 		return &sharedPack{
 			wp:   packPanels(it.W.Data, o, k),
 			zsum: rowSumsScaled(it.W.Data, o, k, it.InZero),
@@ -353,6 +372,10 @@ func kernelConvPacked(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, 
 		runConvPacked(ex, st, it, in, out)
 	case *gconvPack:
 		runConvGroupedPacked(st, it, in, out)
+	case *convPackT:
+		runConvTyped(ex, st, it, in, out)
+	case *gconvPackT:
+		runConvGroupedTyped(ex, st, it, in, out)
 	default:
 		// No prepacked state (custom registry without the prep hook):
 		// fall back to the im2col path.
@@ -542,6 +565,10 @@ func (st *gconvPack) borderAcc(xd, wv []int64, xBase, oy, ox int) int64 {
 // directly (no gather needed) with the zero point folded into the
 // row-sum correction, eliminating the shifted input copy entirely.
 func kernelLinearPacked(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) {
+	if st, ok := (*ex.KernelState(idx)).(*linPackT); ok {
+		runLinearTyped(ex, st, it, in, out)
+		return
+	}
 	st, ok := (*ex.KernelState(idx)).(*linPack)
 	if !ok {
 		kernelLinearFast(ex, idx, it, in, out)

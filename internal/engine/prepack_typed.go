@@ -1,0 +1,603 @@
+package engine
+
+// Narrow-precision prepacked kernels: activations stay in their storage
+// dtype end to end (int8/uint8 block codes, int16/uint16 residual-fine
+// and logit codes), int8-valued weights are packed into int32 panels at
+// bind time, and the GEMM microkernel accumulates in int32 — legal whenever K·|a|max·|w|max
+// fits int32, which Program.storage() proves per instruction before the
+// executor binds this path. The epilogue widens each finished
+// accumulator to int64 exactly once, applies the zero-point row-sum
+// correction and the shared Requantize/fused-epilogue funnel, and
+// narrows the result into the output buffer. Integer addition at any
+// width is exact below overflow, so every code is bit-identical to the
+// I64 reference kernels and the IntModel interpreter.
+
+import (
+	"torch2chip/internal/intmath"
+	"torch2chip/internal/tensor"
+)
+
+// packPanels32 is packPanels producing int32 panels: a [o, k] row-major
+// int64 weight matrix (every value proven to fit int8) blocked into
+// [panel][k][panelW] int32 words — int8-valued, widened once at pack
+// time so the GEMM multiplies without per-element sign extension.
+func packPanels32(w []int64, o, k int) []int32 {
+	np := (o + panelW - 1) / panelW
+	out := make([]int32, np*k*panelW)
+	for pb := 0; pb < np; pb++ {
+		for j := 0; j < k; j++ {
+			for r := 0; r < panelW; r++ {
+				oc := pb*panelW + r
+				if oc < o {
+					out[(pb*k+j)*panelW+r] = int32(w[oc*k+j])
+				}
+			}
+		}
+	}
+	return out
+}
+
+// packRows32 packs a row-major [o, k] int64 weight matrix into a flat
+// int32 slab (the grouped/depthwise kernel walks whole rows).
+func packRows32(w []int64) []int32 {
+	out := make([]int32, len(w))
+	for i, v := range w {
+		out[i] = int32(v)
+	}
+	return out
+}
+
+// typedData returns a tensor's concrete storage slice; the caller's
+// dispatch guarantees A matches the storage dtype.
+func typedData[A tensor.Elem](t *tensor.IntTensor) []A {
+	var v any
+	switch t.DType {
+	case tensor.I8:
+		v = t.I8
+	case tensor.U8:
+		v = t.U8
+	case tensor.I16:
+		v = t.I16
+	case tensor.U16:
+		v = t.U16
+	case tensor.I32:
+		v = t.I32
+	default:
+		v = t.Data
+	}
+	return v.([]A)
+}
+
+// finishInto widens one int32 accumulator (already zero-point corrected
+// by the caller) through the shared requantize + fused-epilogue funnel
+// into an int64 staging chunk; add is chunk-aligned with dst.
+func (e *epi) finishInto(dst, add []int64, i int, acc int64, oc int) {
+	q := intmath.Requantize(acc, e.sfx[oc], e.bfx[oc], e.half, e.frac, e.zero, e.lo, e.hi)
+	dst[i] = e.fc.finish(q, add, i)
+}
+
+// finishSeg finishes one channel's int32 accumulator row — subtract the
+// row-sum correction, requantize, fused epilogue — storing straight into
+// the typed output segment (no int64 staging pass). bv is the widened
+// fused-branch chunk aligned with dst; it is fully read before dst is
+// written, which preserves the planner's same-dtype aliasing contract.
+func finishSeg[O tensor.Elem](dst []O, accRow []int32, bv []int64, e *epi, corr int64, oc int) {
+	sfx, bfx := e.sfx[oc], e.bfx[oc]
+	if e.fc.active() {
+		for i, a := range accRow {
+			q := intmath.Requantize(int64(a)-corr, sfx, bfx, e.half, e.frac, e.zero, e.lo, e.hi)
+			dst[i] = O(e.fc.finish(q, bv, i))
+		}
+		return
+	}
+	for i, a := range accRow {
+		dst[i] = O(intmath.Requantize(int64(a)-corr, sfx, bfx, e.half, e.frac, e.zero, e.lo, e.hi))
+	}
+}
+
+// finishSegOut dispatches finishSeg on the output storage dtype (one
+// switch per channel segment, monomorphized element loops).
+func finishSegOut(out *tensor.IntTensor, off int, accRow []int32, bv []int64, e *epi, corr int64, oc int) {
+	m := len(accRow)
+	switch out.DType {
+	case tensor.I8:
+		finishSeg(out.I8[off:off+m], accRow, bv, e, corr, oc)
+	case tensor.U8:
+		finishSeg(out.U8[off:off+m], accRow, bv, e, corr, oc)
+	case tensor.I16:
+		finishSeg(out.I16[off:off+m], accRow, bv, e, corr, oc)
+	case tensor.U16:
+		finishSeg(out.U16[off:off+m], accRow, bv, e, corr, oc)
+	case tensor.I32:
+		finishSeg(out.I32[off:off+m], accRow, bv, e, corr, oc)
+	default:
+		finishSeg(out.Data[off:off+m], accRow, bv, e, corr, oc)
+	}
+}
+
+// convPackT is the bound state of a dense typed convolution.
+type convPackT struct {
+	n, c, h, w       int
+	o, colW, spatial int
+	tm, tiles, np    int
+	sampleElems      int
+	ad               tensor.DType
+	idx              []int32
+	wp32             []int32
+	zsum             []int64
+	epi              epi
+	parallel         bool
+}
+
+// gconvPackT is the bound state of a grouped/depthwise typed conv.
+type gconvPackT struct {
+	n, c, h, w             int
+	o, og, cg, kH, kW      int
+	oh, ow, stride, pad    int
+	oyLo, oyHi, oxLo, oxHi int
+	ad                     tensor.DType
+	off                    []int32
+	w32                    []int32 // row-major [o][cg·kH·kW], int8-valued
+	zsum                   []int64
+	epi                    epi
+	parallel               bool
+}
+
+// linPackT is the bound state of a typed linear layer.
+type linPackT struct {
+	rows, k, o, np int
+	ad             tensor.DType
+	wp32           []int32
+	zsum           []int64
+	epi            epi
+	acc            []int32 // shared [rows, o] tile; panels write disjoint columns
+	parallel       bool
+}
+
+// prepConvTyped binds a conv instruction onto the narrow path.
+func prepConvTyped(ex *Executor, idx int, it *Instr) (any, error) {
+	in := ex.plan.Shapes[it.In[0]]
+	ad := ex.plan.DTypes[it.In[0]]
+	pp := it.P
+	if pp.Stride <= 0 {
+		pp.Stride = 1
+	}
+	if pp.Groups <= 0 {
+		pp.Groups = 1
+	}
+	n, c, h, w := in[0], in[1], in[2], in[3]
+	o, cg, kH, kW := it.W.Shape[0], it.W.Shape[1], it.W.Shape[2], it.W.Shape[3]
+	oh, ow := pp.ConvOutSize(h, kH), pp.ConvOutSize(w, kW)
+	if pp.Groups > 1 {
+		sh := ex.prog.packs().sharedFor(sharedKey{idx: idx, typed: true}, func() *sharedPack {
+			return &sharedPack{
+				wp32: packRows32(it.W.Data),
+				zsum: rowSumsScaled(it.W.Data, o, cg*kH*kW, it.InZero),
+				epi:  newEpi(it, o),
+			}
+		})
+		st := &gconvPackT{
+			n: n, c: c, h: h, w: w,
+			o: o, og: o / pp.Groups, cg: cg, kH: kH, kW: kW,
+			oh: oh, ow: ow, stride: pp.Stride, pad: pp.Padding,
+			ad:   ad,
+			w32:  sh.wp32,
+			zsum: sh.zsum,
+			epi:  sh.epi,
+		}
+		st.oyLo, st.oyHi = interiorRange(oh, h, kH, pp.Stride, pp.Padding)
+		st.oxLo, st.oxHi = interiorRange(ow, w, kW, pp.Stride, pp.Padding)
+		st.off = make([]int32, cg*kH*kW)
+		t := 0
+		for ch := 0; ch < cg; ch++ {
+			for ky := 0; ky < kH; ky++ {
+				for kx := 0; kx < kW; kx++ {
+					st.off[t] = int32(ch*h*w + ky*w + kx)
+					t++
+				}
+			}
+		}
+		st.parallel = n*o*oh*ow*cg*kH*kW >= 1<<15
+		// Staging: the widened fused branch in the int64 slot, and the
+		// widened input group slab plus the raw accumulator plane in the
+		// int32 slot.
+		ex.NeedSlotScratch(oh * ow)
+		ex.NeedSlotTyped(tensor.I32, cg*h*w+oh*ow)
+		return st, nil
+	}
+	colW := c * kH * kW
+	sh := ex.prog.packs().sharedFor(sharedKey{idx: idx, typed: true}, func() *sharedPack {
+		return &sharedPack{
+			wp32: packPanels32(it.W.Data, o, colW),
+			zsum: rowSumsScaled(it.W.Data, o, colW, it.InZero),
+			epi:  newEpi(it, o),
+		}
+	})
+	st := &convPackT{
+		n: n, c: c, h: h, w: w,
+		o: o, colW: colW, spatial: oh * ow,
+		sampleElems: c * h * w,
+		ad:          ad,
+		idx:         ex.prog.packs().indexMap(convKey{c: c, h: h, w: w, kH: kH, kW: kW, stride: pp.Stride, pad: pp.Padding}),
+		wp32:        sh.wp32,
+		zsum:        sh.zsum,
+		epi:         sh.epi,
+	}
+	st.tm = tileSites(colW, st.spatial)
+	st.tiles = (st.spatial + st.tm - 1) / st.tm
+	st.np = (o + panelW - 1) / panelW
+	st.parallel = n*st.spatial*colW*o >= 1<<16
+	// Staging: widened fused-branch chunk in the int64 slot; the gather
+	// panel widens any input dtype into the int32 slot, so the GEMM is
+	// one non-generic int32 loop.
+	ex.NeedSlotScratch(st.tm)
+	ex.NeedSlotTyped(tensor.I32, st.tm*colW)
+	ex.NeedAccTile(st.tm * st.o)
+	return st, nil
+}
+
+// prepLinearTyped binds a linear instruction onto the narrow path.
+func prepLinearTyped(ex *Executor, idx int, it *Instr) (any, error) {
+	in := ex.plan.Shapes[it.In[0]]
+	rows, k := in[0], in[1]
+	o := it.W.Shape[0]
+	sh := ex.prog.packs().sharedFor(sharedKey{idx: idx, typed: true}, func() *sharedPack {
+		return &sharedPack{
+			wp32: packPanels32(it.W.Data, o, k),
+			zsum: rowSumsScaled(it.W.Data, o, k, it.InZero),
+			epi:  newEpi(it, o),
+		}
+	})
+	st := &linPackT{
+		rows: rows, k: k, o: o,
+		np:   (o + panelW - 1) / panelW,
+		ad:   ex.plan.DTypes[it.In[0]],
+		wp32: sh.wp32,
+		zsum: sh.zsum,
+		epi:  sh.epi,
+		acc:  make([]int32, rows*o),
+	}
+	st.parallel = rows*k*o >= 1<<16
+	return st, nil
+}
+
+// runConvTyped dispatches the dense typed conv on the input dtype; the
+// generic arms monomorphize only the gather — the GEMM runs one
+// non-generic int32 loop over the widened panel.
+func runConvTyped(ex *Executor, st *convPackT, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) {
+	switch st.ad {
+	case tensor.I8:
+		runConvTypedA[int8](ex, st, it, in, out)
+	case tensor.U8:
+		runConvTypedA[uint8](ex, st, it, in, out)
+	case tensor.I16:
+		runConvTypedA[int16](ex, st, it, in, out)
+	case tensor.U16:
+		runConvTypedA[uint16](ex, st, it, in, out)
+	case tensor.I32:
+		runConvTypedA[int32](ex, st, it, in, out)
+	default:
+		runConvTypedA[int64](ex, st, it, in, out)
+	}
+}
+
+// runConvTypedA: per (sample, site-tile) job, gather the tile's im2col
+// panel — widening the storage dtype to int32 — through the cached index
+// map, run the register-blocked int32 GEMM into the slot's channel-major
+// accumulator tile, then finish channel by channel — widen to int64,
+// row-sum correct, requantize, fused epilogue — through an int64 staging
+// chunk narrowed into the NCHW output planes.
+func runConvTypedA[A tensor.Elem](ex *Executor, st *convPackT, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) {
+	xs := typedData[A](in[0])
+	var add *tensor.IntTensor
+	if it.FusedAdd {
+		add = in[len(in)-1]
+	}
+	colW, o := st.colW, st.o
+	tensor.ParallelForSlots(st.n*st.tiles, st.parallel, func(job, slot int) {
+		ni, t := job/st.tiles, job%st.tiles
+		s0 := t * st.tm
+		m := st.tm
+		if s0+m > st.spatial {
+			m = st.spatial - s0
+		}
+		panel := ex.slotI32[slot][:m*colW]
+		sample := xs[ni*st.sampleElems : (ni+1)*st.sampleElems]
+		gatherPanel32(panel, sample, st.idx[s0*colW:(s0+m)*colW], colW, m)
+		// Accumulator tile is channel-major [o][m]: the GEMM scatters four
+		// writes per site pair, and the epilogue walks each channel's
+		// accumulators contiguously.
+		acc := ex.AccTile(slot)
+		gemmPanels32(acc, panel, st.wp32, m, colW, o, st.np)
+		// Epilogue: one contiguous output segment per channel, finished
+		// straight from the accumulator row into the typed output.
+		addw := ex.SlotScratch(slot)[:st.tm]
+		outBase := ni * o * st.spatial
+		for oc := 0; oc < o; oc++ {
+			off := outBase + oc*st.spatial + s0
+			var bv []int64
+			if add != nil {
+				bv = addw[:m]
+				add.ReadInt64(bv, off)
+			}
+			finishSegOut(out, off, acc[oc*m:(oc+1)*m], bv, &st.epi, st.zsum[oc], oc)
+		}
+	})
+}
+
+// gemmPanels32 is the non-generic register-blocked int32 microkernel:
+// C[site, oc] = Σ_j panel[site, j] · w[oc, j] over packed panelW-wide
+// weight panels, two sites per step, written channel-major into acc.
+func gemmPanels32(acc, panel, wp32 []int32, m, colW, o, np int) {
+	for pb := 0; pb < np; pb++ {
+		wp := wp32[pb*colW*panelW : (pb+1)*colW*panelW]
+		oc0 := pb * panelW
+		nch := o - oc0
+		if nch > panelW {
+			nch = panelW
+		}
+		i := 0
+		for ; i+2 <= m; i += 2 {
+			a0 := panel[i*colW : (i+1)*colW]
+			a1 := panel[(i+1)*colW : (i+2)*colW]
+			var c00, c01, c02, c03, c10, c11, c12, c13 int32
+			for j := 0; j < colW; j++ {
+				wj := wp[j*panelW : j*panelW+panelW : j*panelW+panelW]
+				av0, av1 := a0[j], a1[j]
+				w0, w1, w2, w3 := wj[0], wj[1], wj[2], wj[3]
+				c00 += av0 * w0
+				c01 += av0 * w1
+				c02 += av0 * w2
+				c03 += av0 * w3
+				c10 += av1 * w0
+				c11 += av1 * w1
+				c12 += av1 * w2
+				c13 += av1 * w3
+			}
+			storeAccCol(acc, oc0*m+i, m, nch, c00, c01, c02, c03)
+			storeAccCol(acc, oc0*m+i+1, m, nch, c10, c11, c12, c13)
+		}
+		if i < m {
+			a0 := panel[i*colW : (i+1)*colW]
+			var c0, c1, c2, c3 int32
+			for j := 0; j < colW; j++ {
+				wj := wp[j*panelW : j*panelW+panelW : j*panelW+panelW]
+				av := a0[j]
+				c0 += av * wj[0]
+				c1 += av * wj[1]
+				c2 += av * wj[2]
+				c3 += av * wj[3]
+			}
+			storeAccCol(acc, oc0*m+i, m, nch, c0, c1, c2, c3)
+		}
+	}
+}
+
+// storeAccCol writes up to panelW accumulators of one site into the
+// channel-major tile (stride = sites in the tile).
+func storeAccCol(acc []int32, base, stride, nch int, c0, c1, c2, c3 int32) {
+	cs := [panelW]int32{c0, c1, c2, c3}
+	for r := 0; r < nch; r++ {
+		acc[base+r*stride] = cs[r]
+	}
+}
+
+// storeAccRow writes up to panelW accumulators into a row-major tile row
+// (the linear kernel's [rows, o] layout).
+func storeAccRow(acc []int32, base, nch int, c0, c1, c2, c3 int32) {
+	cs := [panelW]int32{c0, c1, c2, c3}
+	for r := 0; r < nch; r++ {
+		acc[base+r] = cs[r]
+	}
+}
+
+// gatherPanel32 fills a [m, colW] int32 im2col panel from one sample's
+// typed codes via the index map, widening at the gather (raw values;
+// padded taps contribute 0 — the zero point is folded into the
+// epilogue's row-sum correction).
+func gatherPanel32[A tensor.Elem](panel []int32, xs []A, idx []int32, colW, m int) {
+	for i := 0; i < m; i++ {
+		row := panel[i*colW : (i+1)*colW]
+		irow := idx[i*colW : (i+1)*colW]
+		for j, id := range irow {
+			if id >= 0 {
+				row[j] = int32(xs[id])
+			} else {
+				row[j] = 0
+			}
+		}
+	}
+}
+
+// runConvGroupedTyped dispatches the grouped typed conv on input dtype.
+func runConvGroupedTyped(ex *Executor, st *gconvPackT, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) {
+	switch st.ad {
+	case tensor.I8:
+		runConvGroupedTypedA[int8](ex, st, it, in, out)
+	case tensor.U8:
+		runConvGroupedTypedA[uint8](ex, st, it, in, out)
+	case tensor.I16:
+		runConvGroupedTypedA[int16](ex, st, it, in, out)
+	case tensor.U16:
+		runConvGroupedTypedA[uint16](ex, st, it, in, out)
+	case tensor.I32:
+		runConvGroupedTypedA[int32](ex, st, it, in, out)
+	default:
+		runConvGroupedTypedA[int64](ex, st, it, in, out)
+	}
+}
+
+// runConvGroupedTypedA: one job per (sample, output channel) plane. The
+// group's input slab is widened once into the slot's int32 scratch —
+// the conv re-reads each input element kH·kW times, so the single
+// widening pass is amortized and keeps the tap loops non-generic. The
+// interior runs the precomputed tap-offset loop with two-site register
+// blocking and no bounds checks, int32 accumulation against the
+// int8-valued weight slab, and the whole plane is finished through an
+// int64 staging buffer narrowed into the output.
+func runConvGroupedTypedA[A tensor.Elem](ex *Executor, st *gconvPackT, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) {
+	xs := typedData[A](in[0])
+	var add *tensor.IntTensor
+	if it.FusedAdd {
+		add = in[len(in)-1]
+	}
+	nt := len(st.off)
+	ohw := st.oh * st.ow
+	slab := st.cg * st.h * st.w
+	tensor.ParallelForSlots(st.n*st.o, st.parallel, func(job, slot int) {
+		ni, oc := job/st.o, job%st.o
+		g := oc / st.og
+		wv := st.w32[oc*nt : (oc+1)*nt]
+		xBase := (ni*st.c + g*st.cg) * st.h * st.w
+		base := (ni*st.o + oc) * ohw
+		xw := ex.slotI32[slot][:slab]
+		for i, v := range xs[xBase : xBase+slab] {
+			xw[i] = int32(v)
+		}
+		// Raw accumulators land in an int32 plane; the epilogue finishes
+		// the whole plane into the typed output in one monomorphized pass.
+		acc := ex.slotI32[slot][slab : slab+ohw]
+		for oy := 0; oy < st.oh; oy++ {
+			rowOff := oy * st.ow
+			interiorRow := oy >= st.oyLo && oy < st.oyHi
+			oxLo, oxHi := st.oxLo, st.oxHi
+			if !interiorRow {
+				oxLo, oxHi = 0, 0
+			}
+			for ox := 0; ox < oxLo; ox++ {
+				acc[rowOff+ox] = st.borderAcc32(xw, wv, oy, ox)
+			}
+			if interiorRow {
+				rowBase := (oy*st.stride-st.pad)*st.w - st.pad
+				ox := oxLo
+				for ; ox+2 <= oxHi; ox += 2 {
+					b0 := rowBase + ox*st.stride
+					b1 := b0 + st.stride
+					var s0, s1 int32
+					for t := 0; t < nt; t++ {
+						o := int(st.off[t])
+						wt := wv[t]
+						s0 += xw[b0+o] * wt
+						s1 += xw[b1+o] * wt
+					}
+					acc[rowOff+ox] = s0
+					acc[rowOff+ox+1] = s1
+				}
+				for ; ox < oxHi; ox++ {
+					b0 := rowBase + ox*st.stride
+					var s int32
+					for t := 0; t < nt; t++ {
+						s += xw[b0+int(st.off[t])] * wv[t]
+					}
+					acc[rowOff+ox] = s
+				}
+			}
+			for ox := oxHi; ox < st.ow; ox++ {
+				acc[rowOff+ox] = st.borderAcc32(xw, wv, oy, ox)
+			}
+		}
+		var bv []int64
+		if add != nil {
+			bv = ex.SlotScratch(slot)[:ohw]
+			add.ReadInt64(bv, base)
+		}
+		finishSegOut(out, base, acc, bv, &st.epi, st.zsum[oc], oc)
+	})
+}
+
+// borderAcc32 accumulates one output site with per-tap bounds checks
+// over the widened group slab (raw codes; out-of-bounds taps
+// contribute 0).
+func (st *gconvPackT) borderAcc32(xw []int32, wv []int32, oy, ox int) int32 {
+	var s int32
+	for ch := 0; ch < st.cg; ch++ {
+		xb := ch * st.h * st.w
+		for ky := 0; ky < st.kH; ky++ {
+			iy := oy*st.stride - st.pad + ky
+			if iy < 0 || iy >= st.h {
+				continue
+			}
+			row := xw[xb+iy*st.w : xb+(iy+1)*st.w]
+			wRow := wv[(ch*st.kH+ky)*st.kW : (ch*st.kH+ky+1)*st.kW]
+			for kx := 0; kx < st.kW; kx++ {
+				ix := ox*st.stride - st.pad + kx
+				if ix >= 0 && ix < st.w {
+					s += row[ix] * wRow[kx]
+				}
+			}
+		}
+	}
+	return s
+}
+
+// runLinearTyped dispatches the typed linear on input dtype.
+func runLinearTyped(ex *Executor, st *linPackT, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) {
+	switch st.ad {
+	case tensor.I8:
+		runLinearTypedA[int8](ex, st, it, in, out)
+	case tensor.U8:
+		runLinearTypedA[uint8](ex, st, it, in, out)
+	case tensor.I16:
+		runLinearTypedA[int16](ex, st, it, in, out)
+	case tensor.U16:
+		runLinearTypedA[uint16](ex, st, it, in, out)
+	case tensor.I32:
+		runLinearTypedA[int32](ex, st, it, in, out)
+	default:
+		runLinearTypedA[int64](ex, st, it, in, out)
+	}
+}
+
+// runLinearTypedA runs the int8-panel GEMM over the typed input rows
+// into the shared int32 tile (panels own disjoint columns), then one
+// row-major epilogue pass widens, corrects, requantizes, and narrows
+// into the output.
+func runLinearTypedA[A tensor.Elem](ex *Executor, st *linPackT, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) {
+	xs := typedData[A](in[0])
+	var add *tensor.IntTensor
+	if it.FusedAdd {
+		add = in[len(in)-1]
+	}
+	k, o := st.k, st.o
+	acc := st.acc
+	tensor.ParallelForInt(st.np, st.parallel, func(pb int) {
+		wp := st.wp32[pb*k*panelW : (pb+1)*k*panelW]
+		oc0 := pb * panelW
+		nch := o - oc0
+		if nch > panelW {
+			nch = panelW
+		}
+		for row := 0; row < st.rows; row++ {
+			a0 := xs[row*k : (row+1)*k]
+			var c0, c1, c2, c3 int32
+			for j := 0; j < k; j++ {
+				wj := wp[j*panelW : j*panelW+panelW : j*panelW+panelW]
+				av := int32(a0[j])
+				c0 += av * int32(wj[0])
+				c1 += av * int32(wj[1])
+				c2 += av * int32(wj[2])
+				c3 += av * int32(wj[3])
+			}
+			storeAccRow(acc, row*o+oc0, nch, c0, c1, c2, c3)
+		}
+	})
+	n := st.rows * o
+	av := ex.scratch(2, elemChunk)
+	bv := ex.scratch(3, elemChunk)
+	for c0 := 0; c0 < n; c0 += elemChunk {
+		m := n - c0
+		if m > elemChunk {
+			m = elemChunk
+		}
+		var bvv []int64
+		if add != nil {
+			bvv = bv[:m]
+			add.ReadInt64(bvv, c0)
+		}
+		for i := 0; i < m; i++ {
+			oc := (c0 + i) % o
+			st.epi.finishInto(av, bvv, i, int64(acc[c0+i])-st.zsum[oc], oc)
+		}
+		out.WriteInt64(av[:m], c0)
+	}
+}

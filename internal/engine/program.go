@@ -93,11 +93,22 @@ type Program struct {
 	// shape out of band; nil on pre-PR-3 checkpoints.
 	InShape []int
 
+	// BufDTypes annotates each buffer with the narrowest storage dtype
+	// that holds every code the producing instruction can emit (derived
+	// from the quantizers' bit-widths; see AnnotateDTypes). nil means
+	// unannotated — pre-v3 checkpoints load that way — and the engine
+	// then plans plain I64 arenas exactly like before typed storage.
+	BufDTypes []tensor.DType
+
 	// pack caches prepacked kernel state that is batch- and
 	// executor-independent (weight panels, zero-point row sums, im2col
 	// index maps), so a server's many (worker, batch-size) executors
 	// bind against one copy instead of re-packing the model each time.
 	pack *packCache
+
+	// stor caches the resolved typed-storage plan (guarded by
+	// packInitMu; see storage()).
+	stor *storageInfo
 }
 
 // packInitMu guards lazy creation of the per-program pack cache, so
@@ -130,6 +141,9 @@ func Lower(im *fuse.IntModel) (*Program, error) {
 		return nil, err
 	}
 	p.Output = out
+	if err := p.AnnotateDTypes(); err != nil {
+		return nil, err
+	}
 	return p, nil
 }
 

@@ -11,8 +11,10 @@ import (
 
 // ProgramSpecVersion is the serialized graph IR version this package
 // writes. Version 2 adds the optimization level and fused-epilogue
-// instruction fields; version-1 checkpoints (no fusion) still load.
-const ProgramSpecVersion = 2
+// instruction fields; version 3 adds per-buffer storage dtypes.
+// Version-1/2 checkpoints still load — with I64 storage everywhere, the
+// exact pre-typed behaviour (re-exporting with t2c upgrades them).
+const ProgramSpecVersion = 3
 
 // minProgramSpecVersion is the oldest spec this package accepts.
 const minProgramSpecVersion = 1
@@ -36,6 +38,9 @@ func (p *Program) Spec() *export.ProgramSpec {
 		NumBufs:  p.NumBufs,
 		Input:    p.Input,
 		Output:   p.Output,
+	}
+	for _, dt := range p.BufDTypes {
+		spec.BufDTypes = append(spec.BufDTypes, dt.String())
 	}
 	for i := range p.Instrs {
 		it := &p.Instrs[i]
@@ -183,5 +188,41 @@ func FromCheckpoint(ck *export.Checkpoint) (*Program, error) {
 		it.FlattenOut = is.FlattenOut
 		p.Instrs = append(p.Instrs, it)
 	}
+	if err := p.loadDTypes(spec); err != nil {
+		return nil, err
+	}
 	return p, nil
+}
+
+// loadDTypes restores the storage annotation from a v3 spec, validating
+// every stored dtype against the range the instruction stream derives —
+// a checkpoint must not be able to request storage too narrow for the
+// codes an op can emit (silent truncation). Storing wider than derived
+// is allowed (I64 everywhere is always valid). v1/v2 specs carry no
+// dtypes and leave the program unannotated (I64 arenas).
+func (p *Program) loadDTypes(spec *export.ProgramSpec) error {
+	if spec.Version < 3 || len(spec.BufDTypes) == 0 {
+		return nil
+	}
+	if len(spec.BufDTypes) != p.NumBufs {
+		return fmt.Errorf("engine: %d buffer dtypes for %d buffers", len(spec.BufDTypes), p.NumBufs)
+	}
+	rng, err := p.inferRanges()
+	if err != nil {
+		return err
+	}
+	dts := make([]tensor.DType, p.NumBufs)
+	for b, s := range spec.BufDTypes {
+		dt, err := tensor.ParseDType(s)
+		if err != nil {
+			return fmt.Errorf("engine: buffer %d: %w", b, err)
+		}
+		if rng[b].ok && !dt.Contains(rng[b].lo, rng[b].hi) {
+			return fmt.Errorf("engine: buffer %d stored as %s cannot hold derived code range [%d, %d]",
+				b, dt, rng[b].lo, rng[b].hi)
+		}
+		dts[b] = dt
+	}
+	p.BufDTypes = dts
+	return nil
 }

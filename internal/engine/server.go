@@ -131,6 +131,9 @@ type Server struct {
 	rejected atomic.Int64
 	expired  atomic.Int64
 
+	arenaBytes   atomic.Int64
+	scratchBytes atomic.Int64
+
 	// mu guards closed and orders queue sends before close: producers
 	// hold the read side (so they can enqueue concurrently), Close takes
 	// the write side.
@@ -255,6 +258,7 @@ func (s *Server) worker() {
 		}
 		n := len(batch)
 		ex, ok := execs[n]
+		created := false
 		if !ok {
 			var err error
 			ex, err = NewExecutor(s.prog, append([]int{n}, s.sample...), WithKernels(s.opts.Kernels))
@@ -265,14 +269,21 @@ func (s *Server) worker() {
 				continue
 			}
 			execs[n] = ex
+			created = true
 			xBatch[n] = tensor.New(append([]int{n}, s.sample...)...)
 			yBatch[n] = tensor.New(ex.OutShape()...)
+			s.arenaBytes.Add(ex.Plan().ArenaBytes)
 		}
 		x, y := xBatch[n], yBatch[n]
 		for i, r := range batch {
 			copy(x.Data[i*sampleN:(i+1)*sampleN], r.x.Data)
 		}
 		err := ex.ExecuteInto(y, x)
+		if created {
+			// Account scratch after the first execute, when the grow-only
+			// buffers the lazy kernels claim have reached steady state.
+			s.scratchBytes.Add(ex.ScratchBytes())
+		}
 		// Count before replying: a client that reads Stats right after
 		// its Infer returns must see this batch. Failed batches count as
 		// failures, not served requests.
@@ -371,6 +382,27 @@ func (s *Server) infer(x *tensor.Tensor, deadline time.Time, block bool) (*tenso
 
 // SampleShape returns the single-sample input shape the server accepts.
 func (s *Server) SampleShape() []int { return append([]int(nil), s.sample...) }
+
+// ServerMemStats reports the memory a server's bound executors hold:
+// planned per-dtype arenas and kernel scratch, summed across every
+// (worker, batch size) executor built so far. With typed storage the
+// arena share is byte-accurate per buffer dtype. Scratch is sampled
+// after each executor's first execute (steady state for the grow-only
+// buffers); im2col index maps shared across a program's executors are
+// attributed to each executor that references them, so the scratch sum
+// slightly overstates a multi-executor server's shared-map footprint.
+type ServerMemStats struct {
+	ArenaBytes   int64 `json:"arena_bytes"`
+	ScratchBytes int64 `json:"scratch_bytes"`
+}
+
+// MemStats returns a snapshot of the executor memory footprint.
+func (s *Server) MemStats() ServerMemStats {
+	return ServerMemStats{
+		ArenaBytes:   s.arenaBytes.Load(),
+		ScratchBytes: s.scratchBytes.Load(),
+	}
+}
 
 // Stats returns a snapshot of the serving counters.
 func (s *Server) Stats() ServerStats {

@@ -1,0 +1,289 @@
+package engine_test
+
+// Typed-storage tests: the narrow-precision engine must stay bit-exact
+// with the IntModel interpreter across every registry, opt level, and
+// dtype mix; the planner's byte accounting must show the narrow arenas
+// actually shrinking; and odd-width models must fall back to I64
+// storage without losing exactness.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"torch2chip/internal/core"
+	"torch2chip/internal/data"
+	"torch2chip/internal/engine"
+	"torch2chip/internal/export"
+	"torch2chip/internal/models"
+	"torch2chip/internal/nn"
+	"torch2chip/internal/tensor"
+)
+
+// resnet20ArenaBudgetBytes is the committed ceiling for the resnet20
+// fused typed plan at batch 8. The PR-3 I64 baseline was 1,572,864 B;
+// typed storage plans ≤ this budget, and CI's bench-smoke job fails if
+// a dtype-widening regression pushes the plan back over it.
+const resnet20ArenaBudgetBytes = 320_000
+
+// compileZoo builds, calibrates, and compiles a zoo model.
+func compileZoo(t testing.TB, name string, calib *data.Dataset) (*core.Compiled, *engine.Program) {
+	t.Helper()
+	g := tensor.NewRNG(7)
+	var model nn.Layer
+	switch name {
+	case "resnet20":
+		model = models.NewResNet(g, models.ResNet20(10))
+	case "mobilenet":
+		model = models.NewMobileNetV1(g, models.MobileNetConfig{WidthMult: 1, NumClasses: 10, Blocks: 4})
+	default:
+		t.Fatalf("unknown zoo model %q", name)
+	}
+	x, _ := calib.Batch([]int{0, 1, 2, 3})
+	model.Forward(x)
+	t2c := core.New(model, core.DefaultConfig())
+	t2c.Prepare()
+	if err := t2c.Calibrate(calib.Subset(8), 4); err != nil {
+		t.Fatal(err)
+	}
+	nn.SetTraining(model, false)
+	cm, err := t2c.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cm, cm.Prog
+}
+
+// TestTypedZooParityAcrossRegistriesAndOptLevels asserts bit-identity of
+// the typed-storage engine against IntModel.Forward for every kernel
+// registry at both opt levels — the dtype mixes differ per model
+// (mobilenet is rescale-free, resnet carries I16 residual-fine codes and
+// U16 pooled codes), so together the zoo exercises every narrow path.
+func TestTypedZooParityAcrossRegistriesAndOptLevels(t *testing.T) {
+	calib, _ := data.Generate(data.SynthCIFAR10, 48, 8)
+	for _, name := range []string{"resnet20", "mobilenet"} {
+		t.Run(name, func(t *testing.T) {
+			cm, fused := compileZoo(t, name, calib)
+			unfused, err := engine.Lower(cm.Int)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := tensor.NewRNG(17)
+			regs := map[string]func() *engine.Registry{
+				"fast-typed": engine.FastKernels,
+				"fast-i64":   engine.FastKernelsI64,
+				"im2col":     engine.Im2ColKernels,
+				"reference":  engine.ReferenceKernels,
+			}
+			for _, prog := range []*engine.Program{unfused, fused} {
+				for rname, mk := range regs {
+					for _, batch := range []int{1, 3} {
+						xb := g.Uniform(0, 1, batch, 3, 32, 32)
+						t.Run(rname, func(t *testing.T) {
+							assertBitIdentical(t, cm.Int, prog, xb, mk())
+						})
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTypedStorageNarrowsArena is the I8-vs-I64 planner regression: the
+// same fused program planned typed must be at least 4x smaller than the
+// I64 plan on resnet20, and must actually place narrow arenas.
+func TestTypedStorageNarrowsArena(t *testing.T) {
+	calib, _ := data.Generate(data.SynthCIFAR10, 48, 8)
+	_, prog := compileZoo(t, "resnet20", calib)
+	typed, err := prog.PlanBuffers([]int{8, 3, 32, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := prog.PlanBuffersI64([]int{8, 3, 32, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("typed plan: %s", typed)
+	t.Logf("wide plan:  %s", wide)
+	if typed.ArenaElems[tensor.I8]+typed.ArenaElems[tensor.U8] == 0 {
+		t.Fatalf("typed plan placed no 8-bit arena: %s", typed)
+	}
+	if wide.ArenaElems[tensor.I64] == 0 || wide.ArenaBytes != int64(wide.ArenaElems[tensor.I64])*8 {
+		t.Fatalf("I64 plan not pure I64: %s", wide)
+	}
+	if typed.ArenaBytes*4 > wide.ArenaBytes {
+		t.Fatalf("typed arena %d B is not ≥4x smaller than I64 arena %d B", typed.ArenaBytes, wide.ArenaBytes)
+	}
+}
+
+// TestResNet20ArenaBudget fails when the fused typed plan exceeds the
+// committed byte budget — the CI tripwire against silent dtype widening.
+func TestResNet20ArenaBudget(t *testing.T) {
+	calib, _ := data.Generate(data.SynthCIFAR10, 48, 8)
+	_, prog := compileZoo(t, "resnet20", calib)
+	plan, err := prog.PlanBuffers([]int{8, 3, 32, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("resnet20 batch-8 typed plan: %s", plan)
+	if plan.ArenaBytes > resnet20ArenaBudgetBytes {
+		t.Fatalf("resnet20 batch-8 arena %d B exceeds committed budget %d B",
+			plan.ArenaBytes, resnet20ArenaBudgetBytes)
+	}
+}
+
+// reloadProgram serializes a program (with im's tensor table) through
+// JSON and reconstructs it, optionally rewriting the spec first.
+func reloadProgram(t *testing.T, tensors map[string]*tensor.IntTensor, spec *export.ProgramSpec) (*engine.Program, error) {
+	t.Helper()
+	ck := export.NewCheckpoint(tensors, nil)
+	ck.Program = spec
+	var buf bytes.Buffer
+	if err := ck.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ck2, err := export.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return engine.FromCheckpoint(ck2)
+}
+
+// TestSpecV3DTypesRoundTrip: a v3 checkpoint restores the storage
+// annotation (same narrow plan), a spec downgraded to v2 loads
+// unannotated with I64 arenas, and a spec whose stored dtype is too
+// narrow for the derived code range is rejected.
+func TestSpecV3DTypesRoundTrip(t *testing.T) {
+	g := tensor.NewRNG(61)
+	calib, _ := data.Generate(data.SynthCIFAR10, 32, 8)
+	im, prog := compile(t, smallCNN(g), calib)
+	inShape := []int{2, 3, 8, 8}
+
+	spec := prog.Spec()
+	if spec.Version != engine.ProgramSpecVersion || len(spec.BufDTypes) != prog.NumBufs {
+		t.Fatalf("spec version %d with %d dtypes, want %d with %d",
+			spec.Version, len(spec.BufDTypes), engine.ProgramSpecVersion, prog.NumBufs)
+	}
+	p3, err := reloadProgram(t, im.IntTensors(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p3.Annotated() {
+		t.Fatal("v3 reload lost the dtype annotation")
+	}
+	want, err := prog.PlanBuffers(inShape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p3.PlanBuffers(inShape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ArenaBytes != want.ArenaBytes {
+		t.Fatalf("reloaded plan %d B, original %d B", got.ArenaBytes, want.ArenaBytes)
+	}
+	xb := g.Uniform(0, 1, 2, 3, 8, 8)
+	assertBitIdentical(t, im, p3, xb, engine.FastKernels())
+
+	// Downgraded v2 spec: loads, unannotated, plans pure I64.
+	legacy := prog.Spec()
+	legacy.Version = 2
+	legacy.BufDTypes = nil
+	p2, err := reloadProgram(t, im.IntTensors(), legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Annotated() {
+		t.Fatal("v2 reload must stay unannotated")
+	}
+	wide, err := p2.PlanBuffers(inShape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i64Plan, err := prog.PlanBuffersI64(inShape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.ArenaBytes != i64Plan.ArenaBytes {
+		t.Fatalf("v2 plan %d B, want the I64 plan's %d B", wide.ArenaBytes, i64Plan.ArenaBytes)
+	}
+	assertBitIdentical(t, im, p2, xb, engine.FastKernels())
+
+	// A stored dtype too narrow for the derived range must be rejected.
+	bad := prog.Spec()
+	for i := range bad.BufDTypes {
+		bad.BufDTypes[i] = "i8" // the 12-bit logit output cannot fit i8
+	}
+	if _, err := reloadProgram(t, im.IntTensors(), bad); err == nil {
+		t.Fatal("expected narrow-dtype validation error")
+	} else if !strings.Contains(err.Error(), "cannot hold") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestExecuteCodesRejectsOutOfRangeInput: the typed engine must refuse
+// raw input codes outside the planned narrow storage range instead of
+// silently wrapping them on the narrowing store.
+func TestExecuteCodesRejectsOutOfRangeInput(t *testing.T) {
+	g := tensor.NewRNG(71)
+	calib, _ := data.Generate(data.SynthCIFAR10, 32, 8)
+	im, prog := compile(t, smallCNN(g), calib)
+	ex, err := engine.NewExecutor(prog, []int{1, 3, 8, 8}, engine.WithKernels(engine.FastKernels()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes := im.InQuant.Quantize(g.Uniform(0, 1, 1, 3, 8, 8))
+	if _, err := ex.ExecuteCodes(codes, nil); err != nil {
+		t.Fatalf("in-range codes rejected: %v", err)
+	}
+	codes.Data[0] = 1 << 20
+	if _, err := ex.ExecuteCodes(codes, nil); err == nil {
+		t.Fatal("expected out-of-range input code to be rejected")
+	}
+}
+
+// TestOddWidthModelFallsBackToI64 compiles a model with 12-bit weights —
+// too wide for the int8 panels — and asserts every conv/linear touching
+// buffer is demoted to I64 storage while execution stays bit-identical.
+func TestOddWidthModelFallsBackToI64(t *testing.T) {
+	g := tensor.NewRNG(51)
+	calib, _ := data.Generate(data.SynthCIFAR10, 32, 8)
+	model := smallCNN(g)
+	cfg := core.DefaultConfig()
+	cfg.Quant.WBits = 12
+	t2c := core.New(model, cfg)
+	t2c.Prepare()
+	if err := t2c.Calibrate(calib.Subset(8), 4); err != nil {
+		t.Fatal(err)
+	}
+	nn.SetTraining(model, false)
+	cm, err := t2c.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := engine.NewExecutor(cm.Prog, []int{2, 3, 8, 8}, engine.WithKernels(engine.FastKernels()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := ex.Plan()
+	for d := tensor.DType(0); d < tensor.NumDTypes; d++ {
+		if d != tensor.I64 && plan.ArenaElems[d] != 0 {
+			t.Fatalf("odd-width model placed a %s arena: %s", d, plan)
+		}
+	}
+	// 12-bit weights really are too wide for int8 somewhere.
+	wide := false
+	for _, it := range cm.Prog.Instrs {
+		if it.W == nil {
+			continue
+		}
+		if mn, mx := it.W.MinMax(); mn < -128 || mx > 127 {
+			wide = true
+		}
+	}
+	if !wide {
+		t.Skip("12-bit quantizer produced int8-range weights; fallback not exercised")
+	}
+	xb := g.Uniform(0, 1, 2, 3, 8, 8)
+	assertBitIdentical(t, cm.Int, cm.Prog, xb, engine.FastKernels())
+}

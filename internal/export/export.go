@@ -197,14 +197,18 @@ type ProgramSpec struct {
 	// InShape is the single-sample input shape (no batch dimension,
 	// e.g. [3,32,32]). Optional for backward compatibility: older
 	// checkpoints omit it and servers must be told the shape explicitly.
-	InShape  []int       `json:"in_shape,omitempty"`
-	InQuant  QuantSpec   `json:"in_quant"`
-	OutScale float32     `json:"out_scale"`
-	OutZero  int64       `json:"out_zero"`
-	NumBufs  int         `json:"num_bufs"`
-	Input    int         `json:"input"`
-	Output   int         `json:"output"`
-	Instrs   []InstrSpec `json:"instrs"`
+	InShape []int `json:"in_shape,omitempty"`
+	// BufDTypes (spec version ≥ 3) annotates each buffer with its
+	// narrow storage dtype ("i8", "u8", "i16", "u16", "i32", "i64").
+	// Older checkpoints omit it and load with I64 storage everywhere.
+	BufDTypes []string    `json:"buf_dtypes,omitempty"`
+	InQuant   QuantSpec   `json:"in_quant"`
+	OutScale  float32     `json:"out_scale"`
+	OutZero   int64       `json:"out_zero"`
+	NumBufs   int         `json:"num_bufs"`
+	Input     int         `json:"input"`
+	Output    int         `json:"output"`
+	Instrs    []InstrSpec `json:"instrs"`
 }
 
 // QuantSpec serializes an activation quantizer's frozen parameters.

@@ -71,6 +71,16 @@ func (l *IntConv2d) Forward(x *tensor.IntTensor) *tensor.IntTensor {
 	return l.Scaler.Apply(acc, 1)
 }
 
+// OutDType is the narrowest storage for this layer's output codes,
+// derived from the scaler's requantization range.
+func (l *IntConv2d) OutDType() tensor.DType { return l.Scaler.OutDType() }
+
+// WeightDType is the narrowest storage for the integer weights, derived
+// from the quantizer's declared precision (weights are always signed).
+func (l *IntConv2d) WeightDType() tensor.DType {
+	return tensor.DTypeForRange(-(1 << (l.WBits - 1)), 1<<(l.WBits-1)-1)
+}
+
 // IntLinear is the deploy-mode fully connected layer.
 type IntLinear struct {
 	Name   string
@@ -91,6 +101,14 @@ func (l *IntLinear) Forward(x *tensor.IntTensor) *tensor.IntTensor {
 	}
 	acc := intmath.MatMulIntT(xs, l.W)
 	return l.Scaler.Apply(acc, 1)
+}
+
+// OutDType is the narrowest storage for this layer's output codes.
+func (l *IntLinear) OutDType() tensor.DType { return l.Scaler.OutDType() }
+
+// WeightDType is the narrowest storage for the integer weights.
+func (l *IntLinear) WeightDType() tensor.DType {
+	return tensor.DTypeForRange(-(1 << (l.WBits - 1)), 1<<(l.WBits-1)-1)
 }
 
 // IntAvgPool averages codes over a window (0 = global) with integer
@@ -201,6 +219,12 @@ func (r *IntResidual) Forward(x *tensor.IntTensor) *tensor.IntTensor {
 	return out
 }
 
+// OutDType is the narrowest storage for the block output codes, derived
+// from the add's clamp range.
+func (r *IntResidual) OutDType() tensor.DType {
+	return tensor.DTypeForRange(r.ClampLo, r.ClampHi)
+}
+
 // IntRescale is a bare MulQuant stage (used for identity shortcuts and
 // scale conversions between blocks).
 type IntRescale struct{ Scaler *intmath.MulQuant }
@@ -209,6 +233,9 @@ type IntRescale struct{ Scaler *intmath.MulQuant }
 func (l *IntRescale) Forward(x *tensor.IntTensor) *tensor.IntTensor {
 	return l.Scaler.Apply(x, -1)
 }
+
+// OutDType is the narrowest storage for the rescaled codes.
+func (l *IntRescale) OutDType() tensor.DType { return l.Scaler.OutDType() }
 
 // IntModel is the deployable integer-only network: a float input is
 // quantized once at the boundary, every internal stage exchanges integer

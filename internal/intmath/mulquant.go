@@ -148,6 +148,18 @@ func (m *MulQuant) Consts() (half int64, frac uint, zero, lo, hi int64) {
 	return int64(1) << (m.FracBits - 1), uint(m.FracBits), m.OutZero, lo, hi
 }
 
+// OutRange returns the requantized output code range [lo, hi] implied by
+// OutBits/OutSigned — the value range every code this scaler emits lives
+// in, and therefore the narrowest legal storage for its output tensor.
+func (m *MulQuant) OutRange() (int64, int64) { return m.qRange() }
+
+// OutDType returns the narrowest storage dtype that holds every output
+// code, the activation-dtype annotation the typed engine plans with.
+func (m *MulQuant) OutDType() tensor.DType {
+	lo, hi := m.qRange()
+	return tensor.DTypeForRange(lo, hi)
+}
+
 // Expand widens the fixed-point codes to n per-channel int64 pairs
 // (unified scaling broadcasts entry 0), the layout prepacked kernels
 // index without the per-element channel branch.

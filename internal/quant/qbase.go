@@ -105,13 +105,17 @@ func (q *QBase) Quantize(x *tensor.Tensor) *tensor.IntTensor {
 
 // QuantizeTo is Quantize writing into a caller-owned destination with the
 // same element count as x, so executors with planned buffers can quantize
-// at the model boundary without allocating.
+// at the model boundary without allocating. The destination may use any
+// storage dtype that holds the quantizer's code range — codes are clamped
+// to [QMin, QMax] before the store, so a narrow input buffer planned from
+// this quantizer's range is always representable.
 func (q *QBase) QuantizeTo(out *tensor.IntTensor, x *tensor.Tensor) {
-	if len(out.Data) != len(x.Data) {
+	if out.Numel() != len(x.Data) {
 		panic("quant: QuantizeTo size mismatch")
 	}
 	chSize := perChannelSize(x, q)
 	qmin, qmax := q.QMin(), q.QMax()
+	direct := out.DType == tensor.I64
 	for i, v := range x.Data {
 		s, z := q.scaleFor(i, chSize)
 		c := int64(math.Round(float64(v/s))) + z
@@ -121,7 +125,11 @@ func (q *QBase) QuantizeTo(out *tensor.IntTensor, x *tensor.Tensor) {
 		if c > qmax {
 			c = qmax
 		}
-		out.Data[i] = c
+		if direct {
+			out.Data[i] = c
+		} else {
+			out.Put(i, c)
+		}
 	}
 }
 

@@ -150,6 +150,17 @@ func TestHTTPEndToEnd(t *testing.T) {
 		t.Fatalf("reload version = %d, want 2", info.Version)
 	}
 
+	// One predict through the reloaded version, so its replica pool has
+	// bound executors and the memory gauges below are live.
+	pbr, err := serve.PredictBody([]int{3, 8, 8}, x.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/models/cnn:predict", pbr)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-reload predict status %d: %s", resp.StatusCode, body)
+	}
+
 	// Metrics: per-model counters and the engine histogram/gauges.
 	mr, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
@@ -159,15 +170,30 @@ func TestHTTPEndToEnd(t *testing.T) {
 	mr.Body.Close()
 	ms := string(mb)
 	for _, wantLine := range []string{
-		`t2c_requests_total{model="cnn",result="ok"} 2`,
-		`t2c_request_latency_seconds_count{model="cnn"} 2`,
-		`t2c_request_latency_seconds_bucket{model="cnn",le="+Inf"} 2`,
+		`t2c_requests_total{model="cnn",result="ok"} 3`,
+		`t2c_request_latency_seconds_count{model="cnn"} 3`,
+		`t2c_request_latency_seconds_bucket{model="cnn",le="+Inf"} 3`,
 		`t2c_model_version{model="cnn"} 2`,
-		`t2c_engine_requests_total{model="cnn"} 4`, // 1 single + 3 batched samples
+		`t2c_engine_requests_total{model="cnn"} 5`, // 1 single + 3 batched + 1 post-reload
+		`t2c_engine_arena_bytes{model="cnn"}`,
+		`t2c_engine_scratch_bytes{model="cnn"}`,
 	} {
 		if !strings.Contains(ms, wantLine) {
 			t.Fatalf("metrics missing %q in:\n%s", wantLine, ms)
 		}
+	}
+	// Traffic has flowed through the reloaded version, so its executors
+	// hold at least one planned arena: the gauge must be positive.
+	var arena int64
+	for _, line := range strings.Split(ms, "\n") {
+		if strings.HasPrefix(line, `t2c_engine_arena_bytes{model="cnn"} `) {
+			if _, err := fmt.Sscanf(line, `t2c_engine_arena_bytes{model="cnn"} %d`, &arena); err != nil {
+				t.Fatalf("unparsable arena gauge %q: %v", line, err)
+			}
+		}
+	}
+	if arena <= 0 {
+		t.Fatalf("arena gauge = %d, want > 0", arena)
 	}
 
 	// DELETE retires the model; predict then 404s.

@@ -179,6 +179,10 @@ func (m *Metrics) WriteText(w io.Writer, reg *Registry) {
 		func(mi ModelInfo) int64 { return mi.Stats.Expired })
 	emit("t2c_admission_rejects_total", "Requests shed by the max-in-flight admission gate.", "counter",
 		func(mi ModelInfo) int64 { return mi.Shed })
+	emit("t2c_engine_arena_bytes", "Planned per-dtype buffer arenas held by the serving version's executors.", "gauge",
+		func(mi ModelInfo) int64 { return mi.Mem.ArenaBytes })
+	emit("t2c_engine_scratch_bytes", "Kernel scratch bound by the serving version's executors.", "gauge",
+		func(mi ModelInfo) int64 { return mi.Mem.ScratchBytes })
 	fmt.Fprintf(w, "# HELP t2c_engine_mean_batch Mean samples per batched execute.\n# TYPE t2c_engine_mean_batch gauge\n")
 	for _, mi := range infos {
 		fmt.Fprintf(w, "t2c_engine_mean_batch{model=%q} %g\n", mi.Name, mi.Stats.MeanBatch())

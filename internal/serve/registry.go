@@ -139,6 +139,18 @@ func (m *Model) stats() engine.ServerStats {
 	return st
 }
 
+// mem aggregates the live replica pools' executor memory (gauge
+// semantics: retired versions no longer hold arenas and are excluded).
+func (m *Model) mem() engine.ServerMemStats {
+	var mem engine.ServerMemStats
+	for _, s := range m.pool {
+		ms := s.MemStats()
+		mem.ArenaBytes += ms.ArenaBytes
+		mem.ScratchBytes += ms.ScratchBytes
+	}
+	return mem
+}
+
 // entry is the long-lived per-name state: the current model version,
 // the admission semaphore (which survives reloads, so the in-flight cap
 // applies to the name, not the version), and counters folded in from
@@ -346,6 +358,9 @@ type ModelInfo struct {
 	Replicas int                `json:"replicas"`
 	Stats    engine.ServerStats `json:"stats"`
 	Shed     int64              `json:"admission_rejected"`
+	// Mem is the current version's executor memory footprint (planned
+	// per-dtype arenas + kernel scratch across the replica pool).
+	Mem engine.ServerMemStats `json:"mem"`
 }
 
 func (r *Registry) info(e *entry, m *Model) ModelInfo {
@@ -357,6 +372,7 @@ func (r *Registry) info(e *entry, m *Model) ModelInfo {
 		Replicas: len(m.pool),
 		Stats:    st,
 		Shed:     e.admRejected.Load(),
+		Mem:      m.mem(),
 	}
 }
 

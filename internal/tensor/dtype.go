@@ -1,0 +1,121 @@
+package tensor
+
+import "fmt"
+
+// DType names the storage element type of an integer tensor. The zero
+// value is I64, the legacy 8-byte word every IntTensor used before typed
+// storage existed, so untyped code keeps working unchanged. Quantized
+// activations live in the narrow types: sub-8-bit codes in I8/U8, the
+// 16-bit residual-branch and logit codes in I16/U16, and wide
+// intermediate codes in I32. Accumulation is never stored — kernels widen
+// in registers and requantize once at the epilogue.
+type DType uint8
+
+const (
+	// I64 is the legacy widest storage (and the accumulator width of the
+	// reference kernels); IntTensor.Data is the I64 view.
+	I64 DType = iota
+	I8
+	U8
+	I16
+	U16
+	I32
+
+	// NumDTypes bounds iteration over dtype-indexed tables.
+	NumDTypes = 6
+)
+
+// Size returns the storage size of one element in bytes.
+func (d DType) Size() int {
+	switch d {
+	case I8, U8:
+		return 1
+	case I16, U16:
+		return 2
+	case I32:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// Range returns the representable value range [lo, hi].
+func (d DType) Range() (int64, int64) {
+	switch d {
+	case I8:
+		return -128, 127
+	case U8:
+		return 0, 255
+	case I16:
+		return -32768, 32767
+	case U16:
+		return 0, 65535
+	case I32:
+		return -(1 << 31), 1<<31 - 1
+	default:
+		return -(1 << 62), 1 << 62 // headroom view; I64 holds anything stored here
+	}
+}
+
+// Contains reports whether every value in [lo, hi] is representable.
+func (d DType) Contains(lo, hi int64) bool {
+	if d == I64 {
+		return true
+	}
+	dlo, dhi := d.Range()
+	return lo >= dlo && hi <= dhi
+}
+
+// String implements fmt.Stringer with the serialized spelling.
+func (d DType) String() string {
+	switch d {
+	case I8:
+		return "i8"
+	case U8:
+		return "u8"
+	case I16:
+		return "i16"
+	case U16:
+		return "u16"
+	case I32:
+		return "i32"
+	default:
+		return "i64"
+	}
+}
+
+// ParseDType inverts String (checkpoint round trips).
+func ParseDType(s string) (DType, error) {
+	switch s {
+	case "i8":
+		return I8, nil
+	case "u8":
+		return U8, nil
+	case "i16":
+		return I16, nil
+	case "u16":
+		return U16, nil
+	case "i32":
+		return I32, nil
+	case "i64":
+		return I64, nil
+	}
+	return I64, fmt.Errorf("tensor: unknown dtype %q", s)
+}
+
+// DTypeForRange returns the smallest dtype whose range contains [lo, hi],
+// preferring signed at equal width.
+func DTypeForRange(lo, hi int64) DType {
+	for _, d := range []DType{I8, U8, I16, U16, I32} {
+		if d.Contains(lo, hi) {
+			return d
+		}
+	}
+	return I64
+}
+
+// Elem is the constraint typed hot loops are generic over: one
+// instantiation per storage dtype, monomorphized by the compiler.
+type Elem interface {
+	~int8 | ~uint8 | ~int16 | ~uint16 | ~int32 | ~int64
+}

@@ -244,17 +244,50 @@ func (t *Tensor) Argmax() int {
 	return bi
 }
 
-// IntTensor is a dense row-major integer tensor. Values are stored as int64
-// so that bit-widths up to 32 plus accumulator headroom are representable;
-// quantized layers declare their logical bit-width separately.
+// IntTensor is a dense row-major integer tensor with dtype-tagged
+// storage. The zero-valued DType is I64 and stores through Data, the
+// legacy []int64 API every existing caller uses; narrow tensors store
+// through exactly one of the typed slices instead, and callers reach the
+// values through Get/Put or the chunked ReadInt64/WriteInt64 accessors
+// (hot loops type-switch once and run monomorphized over the concrete
+// slice). Quantized layers declare their logical bit-width separately —
+// the dtype only fixes the storage width.
 type IntTensor struct {
 	Shape []int
-	Data  []int64
+	Data  []int64 // the I64 view; nil for narrow dtypes
+
+	DType DType
+	I8    []int8
+	U8    []uint8
+	I16   []int16
+	U16   []uint16
+	I32   []int32
 }
 
-// NewInt allocates a zero-filled integer tensor.
+// NewInt allocates a zero-filled I64 integer tensor.
 func NewInt(shape ...int) *IntTensor {
 	return &IntTensor{Shape: append([]int(nil), shape...), Data: make([]int64, Numel(shape))}
+}
+
+// NewTyped allocates a zero-filled tensor with the given storage dtype.
+func NewTyped(dt DType, shape ...int) *IntTensor {
+	t := &IntTensor{Shape: append([]int(nil), shape...), DType: dt}
+	n := Numel(shape)
+	switch dt {
+	case I8:
+		t.I8 = make([]int8, n)
+	case U8:
+		t.U8 = make([]uint8, n)
+	case I16:
+		t.I16 = make([]int16, n)
+	case U16:
+		t.U16 = make([]uint16, n)
+	case I32:
+		t.I32 = make([]int32, n)
+	default:
+		t.Data = make([]int64, n)
+	}
+	return t
 }
 
 // IntFromSlice wraps data with shape (no copy).
@@ -266,39 +299,160 @@ func IntFromSlice(data []int64, shape ...int) *IntTensor {
 }
 
 // Numel returns the number of elements in t.
-func (t *IntTensor) Numel() int { return len(t.Data) }
+func (t *IntTensor) Numel() int { return Numel(t.Shape) }
 
-// Clone returns a deep copy.
+// Get returns element i widened to int64, whatever the storage dtype.
+func (t *IntTensor) Get(i int) int64 {
+	switch t.DType {
+	case I8:
+		return int64(t.I8[i])
+	case U8:
+		return int64(t.U8[i])
+	case I16:
+		return int64(t.I16[i])
+	case U16:
+		return int64(t.U16[i])
+	case I32:
+		return int64(t.I32[i])
+	default:
+		return t.Data[i]
+	}
+}
+
+// Put stores v into element i. v must be representable in the storage
+// dtype; narrowing is a plain conversion, so out-of-range values are the
+// caller's bug (engine buffers derive their dtype from the producing
+// op's clamp range, which makes every store representable).
+func (t *IntTensor) Put(i int, v int64) {
+	switch t.DType {
+	case I8:
+		t.I8[i] = int8(v)
+	case U8:
+		t.U8[i] = uint8(v)
+	case I16:
+		t.I16[i] = int16(v)
+	case U16:
+		t.U16[i] = uint16(v)
+	case I32:
+		t.I32[i] = int32(v)
+	default:
+		t.Data[i] = v
+	}
+}
+
+func widenTo[E Elem](dst []int64, src []E) {
+	for i, v := range src {
+		dst[i] = int64(v)
+	}
+}
+
+func narrowFrom[E Elem](dst []E, src []int64) {
+	for i, v := range src {
+		dst[i] = E(v)
+	}
+}
+
+// ReadInt64 widens elements [off, off+len(dst)) into dst — the chunked
+// load typed kernels stage narrow operands through (the dtype switch
+// runs once per chunk, the copy loop is monomorphized).
+func (t *IntTensor) ReadInt64(dst []int64, off int) {
+	end := off + len(dst)
+	switch t.DType {
+	case I8:
+		widenTo(dst, t.I8[off:end])
+	case U8:
+		widenTo(dst, t.U8[off:end])
+	case I16:
+		widenTo(dst, t.I16[off:end])
+	case U16:
+		widenTo(dst, t.U16[off:end])
+	case I32:
+		widenTo(dst, t.I32[off:end])
+	default:
+		copy(dst, t.Data[off:end])
+	}
+}
+
+// WriteInt64 narrows src into elements [off, off+len(src)) — the chunked
+// store paired with ReadInt64. Values must fit the storage dtype.
+func (t *IntTensor) WriteInt64(src []int64, off int) {
+	end := off + len(src)
+	switch t.DType {
+	case I8:
+		narrowFrom(t.I8[off:end], src)
+	case U8:
+		narrowFrom(t.U8[off:end], src)
+	case I16:
+		narrowFrom(t.I16[off:end], src)
+	case U16:
+		narrowFrom(t.U16[off:end], src)
+	case I32:
+		narrowFrom(t.I32[off:end], src)
+	default:
+		copy(t.Data[off:end], src)
+	}
+}
+
+// Clone returns a deep copy (same storage dtype).
 func (t *IntTensor) Clone() *IntTensor {
-	c := NewInt(t.Shape...)
-	copy(c.Data, t.Data)
+	c := NewTyped(t.DType, t.Shape...)
+	switch t.DType {
+	case I8:
+		copy(c.I8, t.I8)
+	case U8:
+		copy(c.U8, t.U8)
+	case I16:
+		copy(c.I16, t.I16)
+	case U16:
+		copy(c.U16, t.U16)
+	case I32:
+		copy(c.I32, t.I32)
+	default:
+		copy(c.Data, t.Data)
+	}
 	return c
 }
 
 // Reshape returns a view with a new shape sharing the backing data.
 func (t *IntTensor) Reshape(shape ...int) *IntTensor {
-	if Numel(shape) != len(t.Data) {
+	if Numel(shape) != t.Numel() {
 		panic(fmt.Sprintf("tensor: reshape %v incompatible with %v", shape, t.Shape))
 	}
-	return &IntTensor{Shape: append([]int(nil), shape...), Data: t.Data}
+	c := *t
+	c.Shape = append([]int(nil), shape...)
+	return &c
 }
 
 // Float converts to a float32 tensor.
 func (t *IntTensor) Float() *Tensor {
 	f := New(t.Shape...)
-	for i, v := range t.Data {
-		f.Data[i] = float32(v)
+	for i := range f.Data {
+		f.Data[i] = float32(t.Get(i))
 	}
 	return f
 }
 
 // MinMax returns the minimum and maximum integer values.
 func (t *IntTensor) MinMax() (int64, int64) {
-	if len(t.Data) == 0 {
+	n := t.Numel()
+	if n == 0 {
 		return 0, 0
 	}
-	mn, mx := t.Data[0], t.Data[0]
-	for _, v := range t.Data {
+	if t.DType == I64 {
+		mn, mx := t.Data[0], t.Data[0]
+		for _, v := range t.Data {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		return mn, mx
+	}
+	mn, mx := t.Get(0), t.Get(0)
+	for i := 1; i < n; i++ {
+		v := t.Get(i)
 		if v < mn {
 			mn = v
 		}
@@ -312,16 +466,17 @@ func (t *IntTensor) MinMax() (int64, int64) {
 // CountZeros returns the number of zero elements (used to verify that
 // pruned models carry real zeros after conversion).
 func (t *IntTensor) CountZeros() int {
-	n := 0
-	for _, v := range t.Data {
-		if v == 0 {
-			n++
+	n := t.Numel()
+	z := 0
+	for i := 0; i < n; i++ {
+		if t.Get(i) == 0 {
+			z++
 		}
 	}
-	return n
+	return z
 }
 
 // String renders a compact description.
 func (t *IntTensor) String() string {
-	return fmt.Sprintf("IntTensor%v(n=%d)", t.Shape, len(t.Data))
+	return fmt.Sprintf("IntTensor%v(%s, n=%d)", t.Shape, t.DType, t.Numel())
 }

@@ -6,6 +6,94 @@ import (
 	"testing/quick"
 )
 
+func TestDTypeRangesAndParsing(t *testing.T) {
+	for _, tc := range []struct {
+		dt       DType
+		size     int
+		lo, hi   int64
+		spelling string
+	}{
+		{I8, 1, -128, 127, "i8"},
+		{U8, 1, 0, 255, "u8"},
+		{I16, 2, -32768, 32767, "i16"},
+		{U16, 2, 0, 65535, "u16"},
+		{I32, 4, -(1 << 31), 1<<31 - 1, "i32"},
+	} {
+		if tc.dt.Size() != tc.size {
+			t.Fatalf("%s size %d, want %d", tc.dt, tc.dt.Size(), tc.size)
+		}
+		lo, hi := tc.dt.Range()
+		if lo != tc.lo || hi != tc.hi {
+			t.Fatalf("%s range [%d,%d], want [%d,%d]", tc.dt, lo, hi, tc.lo, tc.hi)
+		}
+		if tc.dt.String() != tc.spelling {
+			t.Fatalf("%s spelling %q", tc.dt, tc.dt.String())
+		}
+		back, err := ParseDType(tc.spelling)
+		if err != nil || back != tc.dt {
+			t.Fatalf("ParseDType(%q) = %v, %v", tc.spelling, back, err)
+		}
+	}
+	if _, err := ParseDType("f32"); err == nil {
+		t.Fatal("expected parse error")
+	}
+	// Smallest-dtype selection, signed preferred at equal width.
+	for _, tc := range []struct {
+		lo, hi int64
+		want   DType
+	}{
+		{-128, 127, I8}, {0, 127, I8}, {0, 255, U8}, {-1, 255, I16},
+		{0, 65535, U16}, {-32768, 32767, I16}, {0, 1 << 20, I32},
+		{-(1 << 40), 1 << 40, I64}, {0, 0, I8},
+	} {
+		if got := DTypeForRange(tc.lo, tc.hi); got != tc.want {
+			t.Fatalf("DTypeForRange(%d,%d) = %s, want %s", tc.lo, tc.hi, got, tc.want)
+		}
+	}
+}
+
+func TestTypedIntTensorAccessors(t *testing.T) {
+	for _, dt := range []DType{I8, U8, I16, U16, I32, I64} {
+		x := NewTyped(dt, 2, 3)
+		if x.Numel() != 6 {
+			t.Fatalf("%s Numel %d", dt, x.Numel())
+		}
+		lo, hi := dt.Range()
+		vals := []int64{lo, hi, 0, 1, hi, lo}
+		if dt == I64 {
+			vals = []int64{-1 << 40, 1 << 40, 0, 1, 7, -7}
+		}
+		for i, v := range vals {
+			x.Put(i, v)
+		}
+		for i, v := range vals {
+			if got := x.Get(i); got != v {
+				t.Fatalf("%s Get(%d) = %d, want %d", dt, i, got, v)
+			}
+		}
+		// Chunked widen/narrow round trip.
+		wide := make([]int64, 6)
+		x.ReadInt64(wide, 0)
+		y := NewTyped(dt, 2, 3)
+		y.WriteInt64(wide, 0)
+		for i := range vals {
+			if y.Get(i) != vals[i] {
+				t.Fatalf("%s chunk round trip [%d] = %d, want %d", dt, i, y.Get(i), vals[i])
+			}
+		}
+		// Clone and reshaped view share semantics.
+		c := x.Clone()
+		r := x.Reshape(3, 2)
+		if c.DType != dt || r.DType != dt || r.Get(5) != vals[5] {
+			t.Fatalf("%s clone/reshape mismatch", dt)
+		}
+		mn, mx := x.MinMax()
+		if dt != I64 && (mn != lo || mx != hi) {
+			t.Fatalf("%s MinMax [%d,%d], want [%d,%d]", dt, mn, mx, lo, hi)
+		}
+	}
+}
+
 func TestNewShapeAndNumel(t *testing.T) {
 	x := New(2, 3, 4)
 	if x.Numel() != 24 {

@@ -63,4 +63,12 @@ METRICS=$(curl -fsS "$URL/metrics")
 echo "$METRICS" | grep -q 't2c_requests_total{model="default",result="ok"}'
 echo "$METRICS" | grep -q 't2c_engine_mean_batch{model="default"}'
 
+echo "== metrics expose executor memory gauges =="
+echo "$METRICS" | grep -q 't2c_engine_arena_bytes{model="default"}'
+echo "$METRICS" | grep -q 't2c_engine_scratch_bytes{model="default"}'
+# Traffic has flowed, so the serving version holds at least one planned
+# arena: the gauge must be a positive number.
+ARENA=$(echo "$METRICS" | sed -n 's/^t2c_engine_arena_bytes{model="default"} //p')
+[ -n "$ARENA" ] && [ "$ARENA" -gt 0 ] || { echo "arena gauge not positive: '$ARENA'"; exit 1; }
+
 echo "serve smoke OK"
