@@ -288,3 +288,50 @@ func BenchmarkFakeQuantForwardMobileNet(b *testing.B) {
 		model.Forward(x)
 	}
 }
+
+// BenchmarkEngineViT runs the integer transformer through the compiled
+// engine vs the IntLayer interpreter — the transformer counterpart of
+// BenchmarkEngineVsIntModel (per-head attention matmuls, integer
+// softmax/LayerNorm/GELU, prepacked projections).
+func BenchmarkEngineViT(b *testing.B) {
+	trainDS, _ := data.Generate(data.SynthCIFAR10, 64, 8)
+	g := tensor.NewRNG(14)
+	cfg := models.ViT7(32, 10)
+	cfg.Depth = 2
+	model := models.NewViT(g, cfg)
+	im := buildDeploy(b, model, trainDS)
+	unfused, err := engine.Lower(im)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fused := engine.Optimize(unfused, engine.OptFuse)
+	for _, batch := range []int{1, 8} {
+		x := g.Uniform(0, 1, batch, 3, 32, 32)
+		b.Run(fmt.Sprintf("interpreter/batch%d", batch), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				im.Forward(x)
+			}
+		})
+		for name, reg := range map[string]*engine.Registry{
+			"engine-fused":     engine.FastKernels(),
+			"engine-fused-i64": engine.FastKernelsI64(),
+		} {
+			ex, err := engine.NewExecutor(fused, x.Shape, engine.WithKernels(reg))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := ex.Execute(x); err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%s/batch%d", name, batch), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := ex.Execute(x); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -168,6 +168,26 @@ func runServe(args []string) {
 		float64(st.Requests)/elapsed.Seconds(), st.Batches, st.MeanBatch())
 }
 
+// instrKindSummary renders per-OpKind instruction counts (sorted by
+// kind name), so the fusion summary shows what the compiled graph is
+// made of — for ViT that surfaces the attention lowering at a glance.
+func instrKindSummary(prog *engine.Program) string {
+	counts := map[string]int{}
+	for i := range prog.Instrs {
+		counts[string(prog.Instrs[i].Kind)]++
+	}
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	parts := make([]string, 0, len(kinds))
+	for _, k := range kinds {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, counts[k]))
+	}
+	return strings.Join(parts, " ")
+}
+
 func readCheckpoint(path string) *export.Checkpoint {
 	f, err := os.Open(path)
 	if err != nil {
@@ -315,10 +335,6 @@ func runCompile() {
 	qAcc := train.Evaluate(model, testDS, 32)
 	fmt.Printf("fake-quant accuracy: %.2f%%\n", qAcc*100)
 
-	if *modelName == "vit" {
-		fmt.Println("ViT deploy lowering is not supported; stopping after calibration (integer infer-mode is available via quant.SetMode).")
-		return
-	}
 	nn.SetTraining(model, false)
 	cm, err := t2c.CompileAt(engine.OptLevel(*opt))
 	if err != nil {
@@ -335,6 +351,7 @@ func runCompile() {
 			st.InstrsBefore, st.InstrsAfter, st.BuffersBefore, st.BuffersAfter,
 			st.FoldedRescales, st.FusedAdds, st.FoldedFlattens)
 	}
+	fmt.Printf("instructions by kind: %s\n", instrKindSummary(cm.Prog))
 	if plan, err := cm.Prog.PlanBuffers([]int{8, 3, spec.Size, spec.Size}); err == nil {
 		fmt.Printf("compiled program: %d instrs, batch-8 %s\n", len(cm.Prog.Instrs), plan)
 	} else {

@@ -95,6 +95,10 @@ func buildZooModel(g *tensor.RNG, name string, numClasses int) nn.Layer {
 		return models.NewResNet(g, models.ResNet20(numClasses))
 	case "mobilenet":
 		return models.NewMobileNetV1(g, models.MobileNetConfig{WidthMult: 1, NumClasses: numClasses, Blocks: 4})
+	case "vit":
+		cfg := models.ViT7(32, numClasses)
+		cfg.Depth = 2
+		return models.NewViT(g, cfg)
 	default:
 		panic(fmt.Sprintf("bench: unknown engine model %q", name))
 	}
@@ -177,7 +181,7 @@ func EngineComparison(sc Scale) *EngineReport {
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Batches:    []int{1, 8, 32},
 	}
-	for _, name := range []string{"mobilenet", "resnet20"} {
+	for _, name := range []string{"mobilenet", "resnet20", "vit"} {
 		cm, unfused, _ := engineModel(sc, name)
 		fused := cm.Prog
 

@@ -159,6 +159,10 @@ func (t *T2C) widthsFor(names map[string]*tensor.IntTensor) map[string]int {
 			w[name] = 16
 		case strings.HasSuffix(name, "scaler.bias"):
 			w[name] = 32
+		case strings.HasSuffix(name, ".poscls"):
+			// Positional/class embedding codes live at the 16-bit
+			// embedding scale, not the weight precision.
+			w[name] = 16
 		default:
 			w[name] = t.Cfg.Quant.WBits
 		}

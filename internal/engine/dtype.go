@@ -61,9 +61,16 @@ func (p *Program) inferRanges() ([]bufRange, error) {
 				lo, hi = it.FusedRescale.OutRange()
 			}
 			out = bufRange{lo: lo, hi: hi, ok: true}
+		case OpMatMul, OpLayerNorm:
+			lo, hi := it.Scaler.OutRange()
+			out = bufRange{lo: lo, hi: hi, ok: true}
 		case OpAdd:
 			out = bufRange{lo: it.ClampLo, hi: it.ClampHi, ok: true}
-		case OpAvgPool, OpFlatten:
+		case OpSoftmax, OpGelu, OpEmbed:
+			// The declared clamp range (softmax probability range, GELU
+			// table output range, embedding clamp).
+			out = bufRange{lo: it.ClampLo, hi: it.ClampHi, ok: true}
+		case OpAvgPool, OpFlatten, OpSplitHeads, OpMergeHeads, OpSliceCls:
 			out = rng[it.In[0]]
 		default:
 			return nil, fmt.Errorf("engine: unknown op kind %q", it.Kind)

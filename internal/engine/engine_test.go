@@ -126,21 +126,11 @@ func TestExecuteBitIdenticalZoo(t *testing.T) {
 	}
 }
 
-func TestViTNotLowerable(t *testing.T) {
-	// The ViT path stops at calibration (attention has no deploy
-	// lowering); Convert must fail cleanly rather than mis-compile.
-	g := tensor.NewRNG(3)
-	model := models.NewViT(g, models.ViT7(32, 10))
-	calib, _ := data.Generate(data.SynthCIFAR10, 16, 8)
-	t2c := core.New(model, core.DefaultConfig())
-	t2c.Prepare()
-	if err := t2c.Calibrate(calib.Subset(8), 4); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := t2c.Compile(); err == nil {
-		t.Fatal("expected ViT lowering to fail")
-	}
-}
+// The ViT deploy path is covered by the zoo-parity suite in vit_test.go:
+// since PR 5, Convert lowers attention/LayerNorm/GELU/softmax to
+// integer-only layers and the compiled program must match
+// IntModel.Forward bit for bit (TestViTZooParity replaces the old
+// TestViTNotLowerable, which asserted the compile failed).
 
 func TestPlannerReusesBuffers(t *testing.T) {
 	g := tensor.NewRNG(11)

@@ -210,6 +210,10 @@ func ReferenceKernels() *Registry {
 				xs.Data[i] -= it.InZero
 			}
 		}
+		if len(xs.Shape) != 2 {
+			k := xs.Shape[len(xs.Shape)-1]
+			xs = xs.Reshape(xs.Numel()/k, k)
+		}
 		acc := intmath.MatMulIntT(xs, it.W)
 		it.Scaler.ApplyTo(acc, acc, 1)
 		applyFusedEpilogue(it, out.Data, acc.Data, fusedAddOperand(it, in))
@@ -218,6 +222,7 @@ func ReferenceKernels() *Registry {
 	r.Register(OpFlatten, kernelFlattenNop)
 	r.Register(OpRescale, kernelRescale)
 	r.Register(OpAdd, kernelResAdd)
+	registerViTKernels(r)
 	return r
 }
 
@@ -236,6 +241,7 @@ func FastKernels() *Registry {
 	r.RegisterPrep(OpConv, prepConv)
 	r.Register(OpLinear, kernelLinearPacked)
 	r.RegisterPrep(OpLinear, prepLinear)
+	r.RegisterPrep(OpMatMul, prepMatMul)
 	r.typed = true
 	return r
 }
@@ -430,32 +436,38 @@ func kernelConvGrouped(it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor,
 	})
 }
 
-// linState caches the shifted-input and accumulator headers for one
-// linear instruction.
+// linState caches the 2-D view, shifted-input, and accumulator headers
+// for one linear instruction (inputs of rank > 2 run as row-major
+// [rows, K] views).
 type linState struct {
-	shifted, acc tensor.IntTensor
+	view, shifted, acc tensor.IntTensor
 }
 
 func kernelLinearFast(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) {
 	x := in[0]
+	k := x.Shape[len(x.Shape)-1]
+	rows := x.Numel() / k
 	sp := ex.KernelState(idx)
 	st, ok := (*sp).(*linState)
 	if !ok {
 		st = &linState{
-			shifted: tensor.IntTensor{Shape: append([]int(nil), x.Shape...)},
-			acc:     tensor.IntTensor{Shape: []int{x.Shape[0], it.W.Shape[0]}},
+			view:    tensor.IntTensor{Shape: []int{rows, k}},
+			shifted: tensor.IntTensor{Shape: []int{rows, k}},
+			acc:     tensor.IntTensor{Shape: []int{rows, it.W.Shape[0]}},
 		}
 		*sp = st
 	}
+	st.view.Data = x.Data
+	x2 := &st.view
 	if it.InZero != 0 {
 		st.shifted.Data = ex.scratch(0, len(x.Data))
 		for i, v := range x.Data {
 			st.shifted.Data[i] = v - it.InZero
 		}
-		x = &st.shifted
+		x2 = &st.shifted
 	}
-	st.acc.Data = ex.scratch(1, x.Shape[0]*it.W.Shape[0])
-	tensor.MatMulIntTTo(&st.acc, x, it.W)
+	st.acc.Data = ex.scratch(1, rows*it.W.Shape[0])
+	tensor.MatMulIntTTo(&st.acc, x2, it.W)
 	if it.FusedRescale == nil && !it.FusedAdd {
 		it.Scaler.ApplyTo(out, &st.acc, 1)
 		return
@@ -513,7 +525,7 @@ func kernelAvgPool(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out
 			for _, v := range x.Data[i*h*w : (i+1)*h*w] {
 				s += v
 			}
-			out.Data[i] = roundDiv(s, cnt)
+			out.Data[i] = intmath.RoundDiv(s, cnt)
 		}
 		return
 	}
@@ -533,17 +545,10 @@ func kernelAvgPool(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out
 						s += plane[(oy*st+ky)*w+(ox*st+kx)]
 					}
 				}
-				out.Data[i*oh*ow+oy*ow+ox] = roundDiv(s, cnt)
+				out.Data[i*oh*ow+oy*ow+ox] = intmath.RoundDiv(s, cnt)
 			}
 		}
 	}
-}
-
-func roundDiv(s, cnt int64) int64 {
-	if s >= 0 {
-		return (s + cnt/2) / cnt
-	}
-	return -((-s + cnt/2) / cnt)
 }
 
 // kernelAvgPoolTyped pools narrow buffers one (sample, channel) plane at
@@ -570,7 +575,7 @@ func kernelAvgPoolTyped(ex *Executor, it *Instr, x, out *tensor.IntTensor) {
 			for _, v := range plane {
 				s += v
 			}
-			pooled[0] = roundDiv(s, cnt)
+			pooled[0] = intmath.RoundDiv(s, cnt)
 		} else {
 			cnt := int64(k * k)
 			for oy := 0; oy < oh; oy++ {
@@ -581,7 +586,7 @@ func kernelAvgPoolTyped(ex *Executor, it *Instr, x, out *tensor.IntTensor) {
 							s += plane[(oy*st+ky)*w+(ox*st+kx)]
 						}
 					}
-					pooled[oy*ow+ox] = roundDiv(s, cnt)
+					pooled[oy*ow+ox] = intmath.RoundDiv(s, cnt)
 				}
 			}
 		}

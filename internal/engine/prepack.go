@@ -336,16 +336,18 @@ func interiorRange(outN, inN, k, stride, pad int) (int, int) {
 	return lo, hi
 }
 
-// prepLinear binds a linear instruction.
+// prepLinear binds a linear instruction; rank > 2 inputs run as
+// row-major [rows, K] (ViT token tensors through the same panel GEMM).
 func prepLinear(ex *Executor, idx int, it *Instr) (any, error) {
 	in := ex.plan.Shapes[it.In[0]]
-	if len(in) != 2 {
+	if len(in) < 2 {
 		return nil, fmt.Errorf("engine: linear %s input rank %d", it.Name, len(in))
 	}
 	if ex.typedInstr(idx) {
 		return prepLinearTyped(ex, idx, it)
 	}
-	rows, k := in[0], in[1]
+	k := in[len(in)-1]
+	rows := tensor.Numel(in) / k
 	o := it.W.Shape[0]
 	sh := ex.prog.packs().sharedFor(sharedKey{idx: idx}, func() *sharedPack {
 		return &sharedPack{

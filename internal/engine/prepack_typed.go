@@ -236,10 +236,12 @@ func prepConvTyped(ex *Executor, idx int, it *Instr) (any, error) {
 	return st, nil
 }
 
-// prepLinearTyped binds a linear instruction onto the narrow path.
+// prepLinearTyped binds a linear instruction onto the narrow path
+// (rank > 2 inputs run as row-major [rows, K]).
 func prepLinearTyped(ex *Executor, idx int, it *Instr) (any, error) {
 	in := ex.plan.Shapes[it.In[0]]
-	rows, k := in[0], in[1]
+	k := in[len(in)-1]
+	rows := tensor.Numel(in) / k
 	o := it.W.Shape[0]
 	sh := ex.prog.packs().sharedFor(sharedKey{idx: idx, typed: true}, func() *sharedPack {
 		return &sharedPack{

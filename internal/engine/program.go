@@ -31,6 +31,17 @@ const (
 	OpFlatten OpKind = "flatten" // reshape; aliases its input buffer
 	OpRescale OpKind = "rescale" // bare MulQuant stage
 	OpAdd     OpKind = "resadd"  // residual add with shift-back and clamp
+
+	// Transformer instruction kinds (spec version ≥ 4), lowered from the
+	// integer ViT deploy layers.
+	OpMatMul     OpKind = "matmul"      // batched zero-corrected matmul + MulQuant
+	OpLayerNorm  OpKind = "layernorm"   // integer LayerNorm + γ/β MulQuant
+	OpSoftmax    OpKind = "softmax"     // LUT integer softmax over the last dim
+	OpGelu       OpKind = "gelu"        // elementwise GELU lookup table
+	OpSplitHeads OpKind = "split_heads" // [N,T,D] → [N·H,T,D/H] transpose copy
+	OpMergeHeads OpKind = "merge_heads" // [N·H,T,dh] → [N,T,dh·H] inverse copy
+	OpEmbed      OpKind = "embed"       // NCHW → tokens + positional/class add
+	OpSliceCls   OpKind = "cls"         // [N,T,D] → [N,D] class-token slice
 )
 
 // Instr is one operation over numbered buffers. Only the attribute fields
@@ -53,9 +64,24 @@ type Instr struct {
 	// Avgpool attributes.
 	Kernel, Stride int
 
-	// Residual-add attributes, also used by a FusedAdd epilogue.
+	// Residual-add attributes, also used by a FusedAdd epilogue. Embed,
+	// gelu, and softmax instructions reuse ClampLo/ClampHi as their
+	// declared output code range (gelu/softmax tables are validated
+	// against it at load time).
 	Shift            int
 	ClampLo, ClampHi int64
+
+	// Transformer attributes (only for the v4 instruction kinds).
+	TransposeB bool                // matmul: A×Bᵀ (QKᵀ) vs A×B (attn·V)
+	ZA, ZB     int64               // matmul operand zero points
+	Heads      int                 // split_heads / merge_heads
+	LNDim      int                 // layernorm: normalized width D
+	LNK        int64               // layernorm: round(√D · 2^LNFrac)
+	LNFrac     uint                // layernorm: fixed-point bits of x̂
+	LNEps      int64               // layernorm: code-domain epsilon add
+	Gelu       *intmath.LUT        // gelu lookup table
+	SM         *intmath.LUTSoftmax // softmax exp table + prob width
+	Pos        *tensor.IntTensor   // embed: [T,D] positional+class codes
 
 	// Fused epilogue, attached by the Optimize pass. The value pipeline
 	// per output element is: own op (+ Scaler) → FusedRescale →
@@ -184,6 +210,42 @@ func (p *Program) lowerSeq(layers []fuse.IntLayer, cur int, prefix string) (int,
 				Kind: OpRescale, Name: name, In: []int{cur}, Out: out, Scaler: v.Scaler,
 			})
 			cur = out
+		case *fuse.IntPatchEmbed:
+			conv := p.newBuf()
+			p.Instrs = append(p.Instrs, Instr{
+				Kind: OpConv, Name: name, In: []int{cur}, Out: conv,
+				W: v.Conv.W, P: v.Conv.P, InZero: v.Conv.InZero, Scaler: v.Conv.Scaler, WBits: v.Conv.WBits,
+			})
+			out := p.newBuf()
+			p.Instrs = append(p.Instrs, Instr{
+				Kind: OpEmbed, Name: name + ".embed", In: []int{conv}, Out: out,
+				Pos: v.PosCls, ClampLo: v.ClampLo, ClampHi: v.ClampHi,
+			})
+			cur = out
+		case *fuse.IntLayerNorm:
+			out := p.newBuf()
+			p.Instrs = append(p.Instrs, Instr{
+				Kind: OpLayerNorm, Name: name, In: []int{cur}, Out: out,
+				LNDim: v.D, LNK: v.K, LNFrac: v.FB, LNEps: v.EpsAdd, Scaler: v.Scaler,
+			})
+			cur = out
+		case *fuse.IntGELU:
+			out := p.newBuf()
+			p.Instrs = append(p.Instrs, Instr{
+				Kind: OpGelu, Name: name, In: []int{cur}, Out: out,
+				Gelu: v.LUT, ClampLo: v.OutLo, ClampHi: v.OutHi,
+			})
+			cur = out
+		case fuse.IntSliceCls:
+			out := p.newBuf()
+			p.Instrs = append(p.Instrs, Instr{Kind: OpSliceCls, Name: name, In: []int{cur}, Out: out})
+			cur = out
+		case *fuse.IntAttention:
+			out, err := p.lowerAttention(v, cur, name)
+			if err != nil {
+				return 0, err
+			}
+			cur = out
 		case *fuse.IntResidual:
 			body, err := p.lowerSeq(v.Body, cur, name+".body.")
 			if err != nil {
@@ -204,6 +266,54 @@ func (p *Program) lowerSeq(layers []fuse.IntLayer, cur int, prefix string) (int,
 		}
 	}
 	return cur, nil
+}
+
+// lowerAttention appends the instruction sequence of one integer
+// attention block: three projections, head splits, the two requantized
+// batched matmuls around the integer softmax, head merge, and the output
+// projection.
+func (p *Program) lowerAttention(v *fuse.IntAttention, cur int, name string) (int, error) {
+	if v.Heads <= 0 || v.D%v.Heads != 0 {
+		return 0, fmt.Errorf("engine: attention %s dim %d not divisible by %d heads", name, v.D, v.Heads)
+	}
+	lin := func(suffix string, l *fuse.IntLinear, in int) int {
+		out := p.newBuf()
+		p.Instrs = append(p.Instrs, Instr{
+			Kind: OpLinear, Name: name + suffix, In: []int{in}, Out: out,
+			W: l.W, InZero: l.InZero, Scaler: l.Scaler, WBits: l.WBits,
+		})
+		return out
+	}
+	split := func(suffix string, in int) int {
+		out := p.newBuf()
+		p.Instrs = append(p.Instrs, Instr{
+			Kind: OpSplitHeads, Name: name + suffix, In: []int{in}, Out: out, Heads: v.Heads,
+		})
+		return out
+	}
+	q := split(".qh", lin(".q", v.Q, cur))
+	k := split(".kh", lin(".k", v.K, cur))
+	vv := split(".vh", lin(".v", v.V, cur))
+	logits := p.newBuf()
+	p.Instrs = append(p.Instrs, Instr{
+		Kind: OpMatMul, Name: name + ".qk", In: []int{q, k}, Out: logits,
+		TransposeB: true, ZA: v.QKZA, ZB: v.QKZB, Scaler: v.QKScale,
+	})
+	probs := p.newBuf()
+	p.Instrs = append(p.Instrs, Instr{
+		Kind: OpSoftmax, Name: name + ".softmax", In: []int{logits}, Out: probs,
+		SM: v.Softmax, ClampLo: 0, ClampHi: 1<<v.Softmax.OutBits - 1,
+	})
+	av := p.newBuf()
+	p.Instrs = append(p.Instrs, Instr{
+		Kind: OpMatMul, Name: name + ".av", In: []int{probs, vv}, Out: av,
+		ZA: 0, ZB: v.AVZB, Scaler: v.AVScale,
+	})
+	merged := p.newBuf()
+	p.Instrs = append(p.Instrs, Instr{
+		Kind: OpMergeHeads, Name: name + ".merge", In: []int{av}, Out: merged, Heads: v.Heads,
+	})
+	return lin(".proj", v.Proj, merged), nil
 }
 
 // InferShapes computes the shape of every buffer for a given input shape,
@@ -243,10 +353,12 @@ func (p *Program) InferShapes(inShape []int) ([][]int, error) {
 			}
 			natural = []int{in[0], o, oh, ow}
 		case OpLinear:
-			if len(in) != 2 || in[1] != it.W.Shape[1] {
+			// Row-major [..., K] inputs of any rank ≥ 2: the kernel treats
+			// leading dimensions as rows (ViT token tensors are [N,T,D]).
+			if len(in) < 2 || in[len(in)-1] != it.W.Shape[1] {
 				return nil, fmt.Errorf("engine: %s input %v incompatible with weight %v", it.Name, in, it.W.Shape)
 			}
-			natural = []int{in[0], it.W.Shape[0]}
+			natural = append(append([]int(nil), in[:len(in)-1]...), it.W.Shape[0])
 		case OpAvgPool:
 			if len(in) != 4 {
 				return nil, fmt.Errorf("engine: %s input rank %d, want NCHW", it.Name, len(in))
@@ -274,6 +386,56 @@ func (p *Program) InferShapes(inShape []int) ([][]int, error) {
 				return nil, fmt.Errorf("engine: %s branch shapes %v vs %v", it.Name, b, s)
 			}
 			natural = append([]int(nil), b...)
+		case OpMatMul:
+			bsh := shapes[it.In[1]]
+			if len(in) != 3 || len(bsh) != 3 || in[0] != bsh[0] {
+				return nil, fmt.Errorf("engine: %s operands %v × %v, want matching [B,·,·]", it.Name, in, bsh)
+			}
+			if it.TransposeB {
+				if in[2] != bsh[2] {
+					return nil, fmt.Errorf("engine: %s inner dims %v × %vᵀ", it.Name, in, bsh)
+				}
+				natural = []int{in[0], in[1], bsh[1]}
+			} else {
+				if in[2] != bsh[1] {
+					return nil, fmt.Errorf("engine: %s inner dims %v × %v", it.Name, in, bsh)
+				}
+				natural = []int{in[0], in[1], bsh[2]}
+			}
+		case OpLayerNorm:
+			if len(in) < 2 || in[len(in)-1] != it.LNDim {
+				return nil, fmt.Errorf("engine: %s input %v does not end in D=%d", it.Name, in, it.LNDim)
+			}
+			natural = append([]int(nil), in...)
+		case OpSoftmax, OpGelu:
+			if len(in) < 1 {
+				return nil, fmt.Errorf("engine: %s scalar input", it.Name)
+			}
+			natural = append([]int(nil), in...)
+		case OpSplitHeads:
+			if len(in) != 3 || it.Heads <= 0 || in[2]%it.Heads != 0 {
+				return nil, fmt.Errorf("engine: %s input %v not splittable into %d heads", it.Name, in, it.Heads)
+			}
+			natural = []int{in[0] * it.Heads, in[1], in[2] / it.Heads}
+		case OpMergeHeads:
+			if len(in) != 3 || it.Heads <= 0 || in[0]%it.Heads != 0 {
+				return nil, fmt.Errorf("engine: %s input %v not mergeable from %d heads", it.Name, in, it.Heads)
+			}
+			natural = []int{in[0] / it.Heads, in[1], in[2] * it.Heads}
+		case OpEmbed:
+			if len(in) != 4 || it.Pos == nil || len(it.Pos.Shape) != 2 {
+				return nil, fmt.Errorf("engine: %s input %v / pos table malformed", it.Name, in)
+			}
+			tTok, d := it.Pos.Shape[0], it.Pos.Shape[1]
+			if in[1] != d || in[2]*in[3]+1 != tTok {
+				return nil, fmt.Errorf("engine: %s feature map %v incompatible with pos table %v", it.Name, in, it.Pos.Shape)
+			}
+			natural = []int{in[0], tTok, d}
+		case OpSliceCls:
+			if len(in) != 3 {
+				return nil, fmt.Errorf("engine: %s input rank %d, want [N,T,D]", it.Name, len(in))
+			}
+			natural = []int{in[0], in[2]}
 		default:
 			return nil, fmt.Errorf("engine: unknown op kind %q", it.Kind)
 		}
@@ -319,6 +481,8 @@ func (p *Program) WeightTensors() map[string]*tensor.IntTensor {
 			out[it.Name+".conv.weight"] = it.W
 		case OpLinear:
 			out[it.Name+".linear.weight"] = it.W
+		case OpEmbed:
+			out[it.Name+".poscls"] = it.Pos
 		}
 	}
 	return out

@@ -11,10 +11,12 @@ import (
 
 // ProgramSpecVersion is the serialized graph IR version this package
 // writes. Version 2 adds the optimization level and fused-epilogue
-// instruction fields; version 3 adds per-buffer storage dtypes.
-// Version-1/2 checkpoints still load — with I64 storage everywhere, the
-// exact pre-typed behaviour (re-exporting with t2c upgrades them).
-const ProgramSpecVersion = 3
+// instruction fields; version 3 adds per-buffer storage dtypes; version
+// 4 adds the transformer instruction kinds (matmul, layernorm, softmax,
+// gelu, head split/merge, embed, cls) with their tables and constants.
+// Version-1/2/3 checkpoints still load exactly as before (convnet
+// programs carry no v4 fields; re-exporting with t2c upgrades them).
+const ProgramSpecVersion = 4
 
 // minProgramSpecVersion is the oldest spec this package accepts.
 const minProgramSpecVersion = 1
@@ -64,6 +66,31 @@ func (p *Program) Spec() *export.ProgramSpec {
 			is.Scaler = scalerSpec(it.Scaler)
 		case OpAdd:
 			is.Shift, is.ClampLo, is.ClampHi = it.Shift, it.ClampLo, it.ClampHi
+		case OpMatMul:
+			is.TransposeB, is.ZA, is.ZB = it.TransposeB, it.ZA, it.ZB
+			is.Scaler = scalerSpec(it.Scaler)
+		case OpLayerNorm:
+			is.LNDim, is.LNK, is.LNFrac, is.LNEps = it.LNDim, it.LNK, int(it.LNFrac), it.LNEps
+			is.Scaler = scalerSpec(it.Scaler)
+		case OpSoftmax:
+			is.Softmax = &export.SoftmaxSpec{
+				ExpInMin: it.SM.Exp.InMin,
+				ExpTable: append([]int64(nil), it.SM.Exp.Table...),
+				OutBits:  it.SM.OutBits,
+			}
+			is.ClampLo, is.ClampHi = it.ClampLo, it.ClampHi
+		case OpGelu:
+			is.Gelu = &export.LUTSpec{
+				InMin:    it.Gelu.InMin,
+				Table:    append([]int64(nil), it.Gelu.Table...),
+				OutScale: it.Gelu.OutScale,
+			}
+			is.ClampLo, is.ClampHi = it.ClampLo, it.ClampHi
+		case OpSplitHeads, OpMergeHeads:
+			is.Heads = it.Heads
+		case OpEmbed:
+			is.Weight = it.Name + ".poscls"
+			is.ClampLo, is.ClampHi = it.ClampLo, it.ClampHi
 		}
 		if it.FusedRescale != nil {
 			is.FusedRescale = scalerSpec(it.FusedRescale)
@@ -100,6 +127,29 @@ func scalerFromSpec(s *export.ScalerSpec) *intmath.MulQuant {
 		OutSigned: s.OutSigned,
 		OutZero:   s.OutZero,
 	}
+}
+
+// checkScaler validates a serialized MulQuant before it reaches the
+// kernels: the fixed-point split must be a real INT16 split (FracBits
+// feeds shift amounts), scale and bias must pair up, and the channel
+// count must be unified (1) or exactly the channels the consuming
+// kernel indexes (want; 0 accepts any non-empty). Without this a
+// corrupt checkpoint passes load and panics (or silently computes with
+// channel 0 only) inside a serving worker at inference time.
+func checkScaler(s *export.ScalerSpec, want int) error {
+	if len(s.ScaleFx) == 0 || len(s.BiasFx) != len(s.ScaleFx) {
+		return fmt.Errorf("scaler has %d scales and %d biases", len(s.ScaleFx), len(s.BiasFx))
+	}
+	if s.FracBits < 1 || s.FracBits > 15 || s.IntBits+s.FracBits != 16 {
+		return fmt.Errorf("scaler INT(%d,%d) is not an INT16 split", s.FracBits, s.IntBits)
+	}
+	if s.OutBits < 1 || s.OutBits > 32 {
+		return fmt.Errorf("scaler output width %d bits unsupported", s.OutBits)
+	}
+	if want > 0 && len(s.ScaleFx) != 1 && len(s.ScaleFx) != want {
+		return fmt.Errorf("scaler has %d channels, kernel indexes %d", len(s.ScaleFx), want)
+	}
+	return nil
 }
 
 // FromCheckpoint reconstructs an executable Program from a checkpoint
@@ -149,9 +199,33 @@ func FromCheckpoint(ck *export.Checkpoint) (*Program, error) {
 			if w == nil || is.Scaler == nil {
 				return nil, fmt.Errorf("engine: instr %d (%s) missing weight or scaler", i, is.Kind)
 			}
-		case OpRescale:
+			if err := checkScaler(is.Scaler, w.Shape[0]); err != nil {
+				return nil, fmt.Errorf("engine: instr %d (%s): %w", i, is.Kind, err)
+			}
+		case OpRescale, OpMatMul, OpLayerNorm:
 			if is.Scaler == nil {
-				return nil, fmt.Errorf("engine: instr %d (rescale) missing scaler", i)
+				return nil, fmt.Errorf("engine: instr %d (%s) missing scaler", i, is.Kind)
+			}
+			// Matmul scalers are unified (the kernel reads channel 0 only);
+			// layernorm scalers are per-channel over the normalized width.
+			want := 0
+			switch it.Kind {
+			case OpMatMul:
+				want = 1
+			case OpLayerNorm:
+				want = is.LNDim
+			}
+			if err := checkScaler(is.Scaler, want); err != nil {
+				return nil, fmt.Errorf("engine: instr %d (%s): %w", i, is.Kind, err)
+			}
+		case OpEmbed:
+			if w == nil {
+				return nil, fmt.Errorf("engine: instr %d (embed) missing positional code tensor", i)
+			}
+		}
+		if is.FusedRescale != nil {
+			if err := checkScaler(is.FusedRescale, 0); err != nil {
+				return nil, fmt.Errorf("engine: instr %d (%s) fused rescale: %w", i, is.Kind, err)
 			}
 		}
 		switch it.Kind {
@@ -172,6 +246,46 @@ func FromCheckpoint(ck *export.Checkpoint) (*Program, error) {
 			it.Scaler = scalerFromSpec(is.Scaler)
 		case OpAdd:
 			it.Shift, it.ClampLo, it.ClampHi = is.Shift, is.ClampLo, is.ClampHi
+		case OpMatMul:
+			it.TransposeB, it.ZA, it.ZB = is.TransposeB, is.ZA, is.ZB
+			it.Scaler = scalerFromSpec(is.Scaler)
+		case OpLayerNorm:
+			if is.LNDim < 1 || is.LNK < 1 || is.LNFrac < 1 || is.LNFrac > 30 || is.LNEps < 0 {
+				return nil, fmt.Errorf("engine: instr %d (layernorm) invalid constants D=%d K=%d frac=%d eps=%d",
+					i, is.LNDim, is.LNK, is.LNFrac, is.LNEps)
+			}
+			it.LNDim, it.LNK, it.LNFrac, it.LNEps = is.LNDim, is.LNK, uint(is.LNFrac), is.LNEps
+			it.Scaler = scalerFromSpec(is.Scaler)
+		case OpSoftmax:
+			sm, err := softmaxFromSpec(is.Softmax)
+			if err != nil {
+				return nil, fmt.Errorf("engine: instr %d (softmax): %w", i, err)
+			}
+			it.SM = sm
+			it.ClampLo, it.ClampHi = 0, 1<<sm.OutBits-1
+		case OpGelu:
+			lut, err := lutFromSpec(is.Gelu, is.ClampLo, is.ClampHi)
+			if err != nil {
+				return nil, fmt.Errorf("engine: instr %d (gelu): %w", i, err)
+			}
+			it.Gelu = lut
+			it.ClampLo, it.ClampHi = is.ClampLo, is.ClampHi
+		case OpSplitHeads, OpMergeHeads:
+			if is.Heads < 1 {
+				return nil, fmt.Errorf("engine: instr %d (%s) has %d heads", i, is.Kind, is.Heads)
+			}
+			it.Heads = is.Heads
+		case OpEmbed:
+			if len(w.Shape) != 2 {
+				return nil, fmt.Errorf("engine: instr %d (embed) positional tensor shape %v, want [T,D]", i, w.Shape)
+			}
+			if is.ClampLo > is.ClampHi {
+				return nil, fmt.Errorf("engine: instr %d (embed) clamp [%d,%d] inverted", i, is.ClampLo, is.ClampHi)
+			}
+			it.Pos = w
+			it.ClampLo, it.ClampHi = is.ClampLo, is.ClampHi
+		case OpSliceCls:
+			// No attributes.
 		default:
 			return nil, fmt.Errorf("engine: unknown serialized op kind %q", is.Kind)
 		}
@@ -192,6 +306,62 @@ func FromCheckpoint(ck *export.Checkpoint) (*Program, error) {
 		return nil, err
 	}
 	return p, nil
+}
+
+// lutFromSpec reconstructs a lookup table, rejecting corrupt payloads:
+// the table must be non-empty and every entry must lie inside the
+// instruction's declared output range — a table that can emit codes
+// outside the planned storage dtype would silently wrap on the store.
+func lutFromSpec(s *export.LUTSpec, lo, hi int64) (*intmath.LUT, error) {
+	if s == nil || len(s.Table) == 0 {
+		return nil, fmt.Errorf("missing or empty lookup table")
+	}
+	if lo > hi {
+		return nil, fmt.Errorf("clamp range [%d,%d] inverted", lo, hi)
+	}
+	for i, v := range s.Table {
+		if v < lo || v > hi {
+			return nil, fmt.Errorf("table entry %d = %d outside declared range [%d,%d]", i, v, lo, hi)
+		}
+	}
+	return &intmath.LUT{
+		InMin:    s.InMin,
+		InMax:    s.InMin + int64(len(s.Table)) - 1,
+		Table:    append([]int64(nil), s.Table...),
+		OutScale: s.OutScale,
+	}, nil
+}
+
+// softmaxFromSpec reconstructs the integer softmax, validating the exp
+// table: it must cover max-subtracted codes ending exactly at 0, hold
+// only unsigned 16-bit fixed-point values, and declare a sane output
+// width.
+func softmaxFromSpec(s *export.SoftmaxSpec) (*intmath.LUTSoftmax, error) {
+	if s == nil || len(s.ExpTable) == 0 {
+		return nil, fmt.Errorf("missing or empty exp table")
+	}
+	if s.OutBits < 1 || s.OutBits > 16 {
+		return nil, fmt.Errorf("probability width %d bits unsupported", s.OutBits)
+	}
+	if s.ExpInMin+int64(len(s.ExpTable))-1 != 0 {
+		return nil, fmt.Errorf("exp table domain [%d, %d] does not end at 0",
+			s.ExpInMin, s.ExpInMin+int64(len(s.ExpTable))-1)
+	}
+	for i, v := range s.ExpTable {
+		if v < 0 || v > 0xFFFF {
+			return nil, fmt.Errorf("exp table entry %d = %d outside UQ1.15 range", i, v)
+		}
+	}
+	return &intmath.LUTSoftmax{
+		Exp: &intmath.LUT{
+			InMin:    s.ExpInMin,
+			InMax:    0,
+			Table:    append([]int64(nil), s.ExpTable...),
+			OutScale: float32(1) / (1 << 15),
+		},
+		OutBits:   s.OutBits,
+		ProbScale: 1 / float32(int64(1)<<s.OutBits-1),
+	}, nil
 }
 
 // loadDTypes restores the storage annotation from a v3 spec, validating

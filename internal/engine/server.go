@@ -229,7 +229,25 @@ func (s *Server) batcher() {
 	}
 }
 
-// worker owns one executor per encountered batch size and serves batches.
+// batchBucket rounds a partial batch up to the next power of two
+// (capped at max). Workers plan one executor+arena per bucket instead
+// of per encountered batch size, so ragged traffic builds at most
+// ⌈log2(MaxBatch)⌉+1 arenas per worker rather than MaxBatch of them.
+func batchBucket(n, max int) int {
+	b := 1
+	for b < n {
+		b <<= 1
+	}
+	if b > max {
+		b = max
+	}
+	return b
+}
+
+// worker owns one executor per power-of-two batch bucket and serves
+// batches; partial batches run padded to their bucket (per-sample
+// computation is independent, so the padding lanes are dead work that
+// buys a bounded executor set).
 func (s *Server) worker() {
 	defer s.wg.Done()
 	execs := map[int]*Executor{}
@@ -257,24 +275,25 @@ func (s *Server) worker() {
 			}
 		}
 		n := len(batch)
-		ex, ok := execs[n]
+		bucket := batchBucket(n, s.opts.MaxBatch)
+		ex, ok := execs[bucket]
 		created := false
 		if !ok {
 			var err error
-			ex, err = NewExecutor(s.prog, append([]int{n}, s.sample...), WithKernels(s.opts.Kernels))
+			ex, err = NewExecutor(s.prog, append([]int{bucket}, s.sample...), WithKernels(s.opts.Kernels))
 			if err != nil {
 				for _, r := range batch {
 					r.reply <- reply{err: err}
 				}
 				continue
 			}
-			execs[n] = ex
+			execs[bucket] = ex
 			created = true
-			xBatch[n] = tensor.New(append([]int{n}, s.sample...)...)
-			yBatch[n] = tensor.New(ex.OutShape()...)
+			xBatch[bucket] = tensor.New(append([]int{bucket}, s.sample...)...)
+			yBatch[bucket] = tensor.New(ex.OutShape()...)
 			s.arenaBytes.Add(ex.Plan().ArenaBytes)
 		}
-		x, y := xBatch[n], yBatch[n]
+		x, y := xBatch[bucket], yBatch[bucket]
 		for i, r := range batch {
 			copy(x.Data[i*sampleN:(i+1)*sampleN], r.x.Data)
 		}
@@ -296,7 +315,7 @@ func (s *Server) worker() {
 				s.batched.Add(int64(n))
 			}
 		}
-		outN := len(y.Data) / n
+		outN := len(y.Data) / bucket
 		for i, r := range batch {
 			if err != nil {
 				r.reply <- reply{err: err}

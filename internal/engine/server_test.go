@@ -193,3 +193,59 @@ func TestServerDeadlineDropsUnexecuted(t *testing.T) {
 		t.Fatalf("stats requests = %d, want 1", st.Requests)
 	}
 }
+
+// TestServerArenaBoundedUnderRaggedLoad: a single worker hit with every
+// ragged batch size 1..MaxBatch must build executors only for the
+// power-of-two buckets, so its arena footprint is bounded by the bucket
+// plans — not by one arena per distinct batch size.
+func TestServerArenaBoundedUnderRaggedLoad(t *testing.T) {
+	g := tensor.NewRNG(91)
+	calib, _ := data.Generate(data.SynthCIFAR10, 32, 8)
+	_, prog := compile(t, smallCNN(g), calib)
+	const maxBatch = 8
+	srv, err := engine.NewServer(prog, []int{3, 8, 8}, engine.ServerOptions{
+		Workers: 1, MaxBatch: maxBatch, BatchWait: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Drive bursts of every size 1..MaxBatch; each burst is sent
+	// concurrently and awaited, so the batcher coalesces it into one
+	// batch of exactly that (ragged) size.
+	for size := 1; size <= maxBatch; size++ {
+		inputs := make([]*tensor.Tensor, size)
+		for i := range inputs {
+			inputs[i] = g.Uniform(0, 1, 1, 3, 8, 8)
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < size; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				if _, err := srv.Infer(inputs[i]); err != nil {
+					t.Error(err)
+				}
+			}(i)
+		}
+		wg.Wait()
+	}
+
+	// Bound: the sum of the power-of-two bucket plans (1, 2, 4, 8) for
+	// the single worker. One arena per distinct ragged size would exceed
+	// this (sizes 3, 5, 6, 7 would add four more arenas).
+	var bound int64
+	for b := 1; b <= maxBatch; b <<= 1 {
+		plan, err := prog.PlanBuffers([]int{b, 3, 8, 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound += plan.ArenaBytes
+	}
+	got := srv.MemStats().ArenaBytes
+	t.Logf("arena bytes after ragged 1..%d load: %d (pow2-bucket bound %d)", maxBatch, got, bound)
+	if got > bound {
+		t.Fatalf("arena bytes %d exceed the power-of-two bucket bound %d: ragged sizes are building their own executors", got, bound)
+	}
+}

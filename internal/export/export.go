@@ -260,6 +260,40 @@ type InstrSpec struct {
 	FusedRescale *ScalerSpec `json:"fused_rescale,omitempty"`
 	FusedAdd     bool        `json:"fused_add,omitempty"`
 	FlattenOut   bool        `json:"flatten_out,omitempty"`
+
+	// Transformer attributes (spec version ≥ 4). Matmul instructions
+	// carry the operand zero points and transpose flag; head split/merge
+	// carry Heads; layernorm carries the integer-normalization constants
+	// (its Scaler field holds the γ/β fold); gelu and softmax carry their
+	// lookup tables; embed references its positional/class code tensor
+	// through Weight and reuses ClampLo/ClampHi.
+	TransposeB bool         `json:"transpose_b,omitempty"`
+	ZA         int64        `json:"za,omitempty"`
+	ZB         int64        `json:"zb,omitempty"`
+	Heads      int          `json:"heads,omitempty"`
+	LNDim      int          `json:"ln_dim,omitempty"`
+	LNK        int64        `json:"ln_k,omitempty"`
+	LNFrac     int          `json:"ln_frac,omitempty"`
+	LNEps      int64        `json:"ln_eps,omitempty"`
+	Gelu       *LUTSpec     `json:"gelu,omitempty"`
+	Softmax    *SoftmaxSpec `json:"softmax,omitempty"`
+}
+
+// LUTSpec serializes an integer lookup table (input domain plus the
+// table codes; the output range lives in the instruction's clamp
+// fields and is validated against every entry at load time).
+type LUTSpec struct {
+	InMin    int64   `json:"in_min"`
+	Table    []int64 `json:"table"`
+	OutScale float32 `json:"out_scale,omitempty"`
+}
+
+// SoftmaxSpec serializes the integer softmax: the UQ1.15 exponential
+// table over max-subtracted logit codes and the probability code width.
+type SoftmaxSpec struct {
+	ExpInMin int64   `json:"exp_in_min"`
+	ExpTable []int64 `json:"exp_table"`
+	OutBits  int     `json:"out_bits"`
 }
 
 // CkptTensor is one named integer tensor.

@@ -90,7 +90,10 @@ type IntLinear struct {
 	WBits  int
 }
 
-// Forward runs integer matmul then requantization.
+// Forward runs integer matmul then requantization. Inputs of rank > 2
+// (ViT token tensors [N,T,D]) are treated as row-major [rows, D] views;
+// the output keeps the leading dimensions with the last replaced by the
+// layer's output width.
 func (l *IntLinear) Forward(x *tensor.IntTensor) *tensor.IntTensor {
 	xs := x
 	if l.InZero != 0 {
@@ -99,8 +102,18 @@ func (l *IntLinear) Forward(x *tensor.IntTensor) *tensor.IntTensor {
 			xs.Data[i] -= l.InZero
 		}
 	}
+	if len(xs.Shape) != 2 {
+		k := xs.Shape[len(xs.Shape)-1]
+		xs = xs.Reshape(xs.Numel()/k, k)
+	}
 	acc := intmath.MatMulIntT(xs, l.W)
-	return l.Scaler.Apply(acc, 1)
+	out := l.Scaler.Apply(acc, 1)
+	if len(x.Shape) != 2 {
+		shape := append([]int(nil), x.Shape[:len(x.Shape)-1]...)
+		shape = append(shape, l.W.Shape[0])
+		out = out.Reshape(shape...)
+	}
+	return out
 }
 
 // OutDType is the narrowest storage for this layer's output codes.
@@ -273,21 +286,42 @@ func (m *IntModel) ForwardCodes(x *tensor.Tensor) *tensor.IntTensor {
 // name, the input to the export formats.
 func (m *IntModel) IntTensors() map[string]*tensor.IntTensor {
 	out := map[string]*tensor.IntTensor{}
+	addLinear := func(name string, v *IntLinear) {
+		out[name+".linear.weight"] = v.W
+		out[name+".scaler.scale"] = scalerScaleTensor(v.Scaler)
+		out[name+".scaler.bias"] = scalerBiasTensor(v.Scaler)
+	}
 	var walk func(ls []IntLayer, prefix string)
 	walk = func(ls []IntLayer, prefix string) {
 		for i, l := range ls {
+			name := fmt.Sprintf("%s%d", prefix, i)
 			switch v := l.(type) {
 			case *IntConv2d:
-				out[fmt.Sprintf("%s%d.conv.weight", prefix, i)] = v.W
-				out[fmt.Sprintf("%s%d.scaler.scale", prefix, i)] = scalerScaleTensor(v.Scaler)
-				out[fmt.Sprintf("%s%d.scaler.bias", prefix, i)] = scalerBiasTensor(v.Scaler)
+				out[name+".conv.weight"] = v.W
+				out[name+".scaler.scale"] = scalerScaleTensor(v.Scaler)
+				out[name+".scaler.bias"] = scalerBiasTensor(v.Scaler)
 			case *IntLinear:
-				out[fmt.Sprintf("%s%d.linear.weight", prefix, i)] = v.W
-				out[fmt.Sprintf("%s%d.scaler.scale", prefix, i)] = scalerScaleTensor(v.Scaler)
-				out[fmt.Sprintf("%s%d.scaler.bias", prefix, i)] = scalerBiasTensor(v.Scaler)
+				addLinear(name, v)
+			case *IntPatchEmbed:
+				out[name+".conv.weight"] = v.Conv.W
+				out[name+".scaler.scale"] = scalerScaleTensor(v.Conv.Scaler)
+				out[name+".scaler.bias"] = scalerBiasTensor(v.Conv.Scaler)
+				out[name+".embed.poscls"] = v.PosCls
+			case *IntLayerNorm:
+				out[name+".scaler.scale"] = scalerScaleTensor(v.Scaler)
+				out[name+".scaler.bias"] = scalerBiasTensor(v.Scaler)
+			case *IntAttention:
+				addLinear(name+".q", v.Q)
+				addLinear(name+".k", v.K)
+				addLinear(name+".v", v.V)
+				addLinear(name+".proj", v.Proj)
+				out[name+".qk.scaler.scale"] = scalerScaleTensor(v.QKScale)
+				out[name+".qk.scaler.bias"] = scalerBiasTensor(v.QKScale)
+				out[name+".av.scaler.scale"] = scalerScaleTensor(v.AVScale)
+				out[name+".av.scaler.bias"] = scalerBiasTensor(v.AVScale)
 			case *IntResidual:
-				walk(v.Body, fmt.Sprintf("%s%d.body.", prefix, i))
-				walk(v.Shortcut, fmt.Sprintf("%s%d.shortcut.", prefix, i))
+				walk(v.Body, name+".body.")
+				walk(v.Shortcut, name+".shortcut.")
 			}
 		}
 	}
@@ -316,6 +350,10 @@ func scalerBiasTensor(m *intmath.MulQuant) *tensor.IntTensor {
 // Table 2.
 func (m *IntModel) SizeBytes() int64 {
 	var total int64
+	linBytes := func(v *IntLinear) int64 {
+		return int64(v.W.Numel()*v.WBits+7)/8 +
+			int64(len(v.Scaler.ScaleFx))*2 + int64(len(v.Scaler.BiasFx))*4
+	}
 	var walk func(ls []IntLayer)
 	walk = func(ls []IntLayer) {
 		for _, l := range ls {
@@ -324,8 +362,19 @@ func (m *IntModel) SizeBytes() int64 {
 				total += int64(v.W.Numel()*v.WBits+7) / 8
 				total += int64(len(v.Scaler.ScaleFx))*2 + int64(len(v.Scaler.BiasFx))*4
 			case *IntLinear:
-				total += int64(v.W.Numel()*v.WBits+7) / 8
+				total += linBytes(v)
+			case *IntPatchEmbed:
+				total += int64(v.Conv.W.Numel()*v.Conv.WBits+7) / 8
+				total += int64(len(v.Conv.Scaler.ScaleFx))*2 + int64(len(v.Conv.Scaler.BiasFx))*4
+				total += int64(v.PosCls.Numel()) * 2 // 16-bit embedding codes
+			case *IntLayerNorm:
 				total += int64(len(v.Scaler.ScaleFx))*2 + int64(len(v.Scaler.BiasFx))*4
+			case *IntGELU:
+				total += int64(len(v.LUT.Table)) * 2 // 8→8-bit table, 16-bit entries
+			case *IntAttention:
+				total += linBytes(v.Q) + linBytes(v.K) + linBytes(v.V) + linBytes(v.Proj)
+				total += 2*2 + 2*4 // unified QK/AV scaler entries
+				total += int64(len(v.Softmax.Exp.Table)) * 2
 			case *IntResidual:
 				walk(v.Body)
 				walk(v.Shortcut)

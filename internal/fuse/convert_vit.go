@@ -1,0 +1,333 @@
+package fuse
+
+// ViT lowering: converts the prepared+calibrated transformer blocks into
+// the integer-only deploy layers of vit.go. Requantization points follow
+// the calibrated observers wherever one exists (projection inputs, the
+// QKᵀ/attn·V operand quantizers, the GELU input, the final logits); the
+// two places with no observer — the embedding output and the residual
+// block boundaries — use synthesized 16-bit signed targets whose scale
+// is derived so that clipping is impossible (embedding: an analytic
+// accumulator bound with 4x headroom; boundaries: the block entry scale,
+// which leaves 256x headroom over the 8-bit code range entering the
+// block). LayerNorm renormalizes per row, so those synthesized absolute
+// scales only affect storage precision, never downstream calibration.
+
+import (
+	"fmt"
+	"math"
+
+	"torch2chip/internal/intmath"
+	"torch2chip/internal/models"
+	"torch2chip/internal/nn"
+	"torch2chip/internal/quant"
+	"torch2chip/internal/tensor"
+)
+
+const (
+	// embedCodeBudget is the target magnitude of embedding codes inside
+	// the int16 range: the analytic bound maps to ±embedCodeBudget,
+	// leaving 4x clamp headroom for residual-stream growth downstream.
+	embedCodeBudget = 8192
+	// boundaryBits is the storage width of residual block boundaries.
+	boundaryBits = 16
+	// smProbBits is the probability code width; probabilities carry the
+	// exact scale 1/(2^smProbBits − 1) with no calibration needed. 8
+	// bits keeps the [T,T] attention maps in single-byte storage AND
+	// keeps the attn·V rescale S_p·S_v/S_proj representable in the INT16
+	// fixed-point MulQuant (wider probability codes shrink that ratio
+	// below the fixed-point resolution and destroy the product).
+	smProbBits = 8
+)
+
+// smLogitScale is the softmax logit resolution (temperature step). The
+// logit code WIDTH is chosen per attention from the analytic raw-logit
+// bound — max subtraction happens inside the integer softmax, so the
+// requantized codes must hold unshifted logits without clipping.
+const smLogitScale = float32(1) / 64
+
+func qRangeOf(t target) (int64, int64) {
+	if t.signed {
+		return -(1 << (t.bits - 1)), 1<<(t.bits-1) - 1
+	}
+	return 0, 1<<t.bits - 1
+}
+
+// geluFloat is the tanh-approximation GELU, identical to nn.GELU.
+func geluFloat(x float64) float64 {
+	return 0.5 * x * (1 + math.Tanh(0.7978845608028654*(x+0.044715*x*x*x)))
+}
+
+// lowerPatchEmbed lowers the patch embedding: the conv requantizes into
+// a synthesized 16-bit embedding target, and the positional + class
+// parameters quantize to codes at that same scale so the embedding add
+// is a plain integer add.
+func (c *converter) lowerPatchEmbed(pe *models.PatchEmbed, cur state) (*IntPatchEmbed, state, error) {
+	qc, ok := pe.Conv.(*quant.QConv2d)
+	if !ok {
+		return nil, cur, fmt.Errorf("fuse: patch-embed conv is %T, not a quantized conv (run quant.Prepare first)", pe.Conv)
+	}
+	aq := qc.AQuant.Base()
+	// Analytic output bound from the float weights: |out| ≤ max_oc
+	// Σ_j |w_oc,j| · (S_x · maxShift) + |b_oc|, with maxShift the largest
+	// zero-point-corrected input code magnitude. The fused integer
+	// weights re-quantize these same floats, so the true bound differs
+	// only by the weight quantization step — absorbed by the 4x margin.
+	maxShift := aq.QMax() - aq.Zero[0]
+	if s := aq.Zero[0] - aq.QMin(); s > maxShift {
+		maxShift = s
+	}
+	o := qc.Conv.OutC
+	wf := qc.Conv.W.Data
+	k := wf.Numel() / o
+	var bound float64
+	for oc := 0; oc < o; oc++ {
+		var s float64
+		for _, w := range wf.Data[oc*k : (oc+1)*k] {
+			s += math.Abs(float64(w))
+		}
+		v := s * float64(aq.Scale[0]) * float64(maxShift)
+		if qc.Conv.B != nil {
+			v += math.Abs(float64(qc.Conv.B.Data.Data[oc]))
+		}
+		if v > bound {
+			bound = v
+		}
+	}
+	var posMax float64
+	for _, v := range pe.Pos.Data.Data {
+		posMax = math.Max(posMax, math.Abs(float64(v)))
+	}
+	var clsMax float64
+	for _, v := range pe.Cls.Data.Data {
+		clsMax = math.Max(clsMax, math.Abs(float64(v)))
+	}
+	bound += posMax + clsMax
+	if bound <= 0 {
+		bound = 1
+	}
+	tgt := target{scale: float32(bound / embedCodeBudget), zero: 0, bits: boundaryBits, signed: true}
+	conv, err := c.lowerConv(qc, IdentityBN(o), cur, tgt)
+	if err != nil {
+		return nil, cur, err
+	}
+	lo, hi := qRangeOf(tgt)
+	poscls := tensor.NewInt(pe.T, pe.D)
+	for j := 0; j < pe.D; j++ {
+		poscls.Data[j] = intmath.RoundClip(
+			(float64(pe.Cls.Data.Data[j])+float64(pe.Pos.Data.Data[j]))/float64(tgt.scale), lo, hi)
+	}
+	for t := 1; t < pe.T; t++ {
+		for j := 0; j < pe.D; j++ {
+			poscls.Data[t*pe.D+j] = intmath.RoundClip(
+				float64(pe.Pos.Data.Data[t*pe.D+j])/float64(tgt.scale), lo, hi)
+		}
+	}
+	il := &IntPatchEmbed{Conv: conv, PosCls: poscls, T: pe.T, D: pe.D, ClampLo: lo, ClampHi: hi, Scale: tgt.scale}
+	return il, state{scale: tgt.scale, zero: 0}, nil
+}
+
+// lowerLayerNorm builds the integer LayerNorm: normalization constants
+// from D and the input scale (which positions the float epsilon in the
+// code domain), and the γ/β affine folded with the requantization into
+// tgt.
+func (c *converter) lowerLayerNorm(ln *nn.LayerNorm, inScale float32, tgt target) (*IntLayerNorm, error) {
+	d := ln.D
+	fb := uint(LNFracBits)
+	kc := int64(math.Round(math.Sqrt(float64(d)) * float64(int64(1)<<fb)))
+	eps := float64(ln.Eps) * float64(d) * float64(d) * float64(d) /
+		(float64(inScale) * float64(inScale))
+	den := float32(int64(1)<<fb) * tgt.scale
+	scale := make([]float32, d)
+	bias := make([]float32, d)
+	for j := 0; j < d; j++ {
+		scale[j] = ln.Gamma.Data.Data[j] / den
+		bias[j] = ln.Beta.Data.Data[j] / tgt.scale
+	}
+	mq, err := c.mkMulQuant(scale, bias, "layernorm", tgt)
+	if err != nil {
+		return nil, err
+	}
+	return &IntLayerNorm{D: d, K: kc, FB: fb, EpsAdd: int64(math.Round(eps)), Scaler: mq}, nil
+}
+
+// lowerGELU tabulates GELU from the calibrated input quantizer into the
+// consumer's activation quantizer.
+func (c *converter) lowerGELU(qg *quant.QGELU, tgt target) *IntGELU {
+	gq := qg.AQuant.Base()
+	inS, inZ := gq.Scale[0], gq.Zero[0]
+	lut := intmath.NewLUTQuant(geluFloat, gq.QMin(), gq.QMax(),
+		func(code int64) float64 { return float64(code-inZ) * float64(inS) },
+		tgt.scale, tgt.zero, tgt.bits, tgt.signed)
+	lo, hi := qRangeOf(tgt)
+	return &IntGELU{LUT: lut, OutLo: lo, OutHi: hi}
+}
+
+// lowerAttention lowers a quantized MHA into IntAttention; cur is the
+// state of the codes entering the projections, tgt the requantization
+// target of the attention output (the residual branch's fine scale).
+func (c *converter) lowerAttention(qa *quant.QAttention, cur state, tgt target) (*IntAttention, error) {
+	m := qa.MultiHeadAttention
+	heads, d := m.Heads, m.D
+	if heads <= 0 || d%heads != 0 {
+		return nil, fmt.Errorf("fuse: attention dim %d not divisible by %d heads", d, heads)
+	}
+	qT := targetOf(qa.QK.AQuant.Base())
+	kT := targetOf(qa.QK.BQuant.Base())
+	vT := targetOf(qa.AV.BQuant.Base())
+	projT := targetOf(qa.OProj.AQuant.Base())
+	qL, err := c.lowerLinear(qa.QProj, cur, qT)
+	if err != nil {
+		return nil, err
+	}
+	kL, err := c.lowerLinear(qa.KProj, cur, kT)
+	if err != nil {
+		return nil, err
+	}
+	vL, err := c.lowerLinear(qa.VProj, cur, vT)
+	if err != nil {
+		return nil, err
+	}
+	// QKᵀ: acc·S_q·S_k/√dh requantizes into the softmax logit domain at
+	// step smLogitScale; the code width comes from the exact pre-shift bound
+	// |logit| ≤ dh·|q|max·|k|max/√dh, so raw logits never clip before the
+	// softmax's internal max subtraction.
+	dh := d / heads
+	codeMax := func(t target) float64 {
+		lo, hi := qRangeOf(t)
+		m := hi
+		if -lo > m {
+			m = -lo
+		}
+		return float64(m)
+	}
+	bound := math.Sqrt(float64(dh)) * codeMax(qT) * float64(qT.scale) * codeMax(kT) * float64(kT.scale)
+	smBits := 8
+	for float64(int64(1)<<(smBits-1)-1)*float64(smLogitScale) < bound && smBits < 16 {
+		smBits++
+	}
+	smT := target{scale: smLogitScale, zero: 0, bits: smBits, signed: true}
+	qkScale := qT.scale * kT.scale / (float32(math.Sqrt(float64(dh))) * smT.scale)
+	qkMQ, err := c.mkMulQuant([]float32{qkScale}, []float32{0}, "attention-qk", smT)
+	if err != nil {
+		return nil, err
+	}
+	smLo, smHi := qRangeOf(smT)
+	sm := intmath.NewLUTSoftmax(smLo, smHi, smT.scale, smProbBits)
+	// attn·V: probabilities carry the exact scale 1/(2^bits−1); the
+	// product requantizes into the output projection's input quantizer.
+	avMQ, err := c.mkMulQuant([]float32{sm.ProbScale * vT.scale / projT.scale}, []float32{0}, "attention-av", projT)
+	if err != nil {
+		return nil, err
+	}
+	pL, err := c.lowerLinear(qa.OProj, state{scale: projT.scale, zero: projT.zero}, tgt)
+	if err != nil {
+		return nil, err
+	}
+	return &IntAttention{
+		Heads: heads, D: d,
+		Q: qL, K: kL, V: vL,
+		QKZA: qT.zero, QKZB: kT.zero, QKScale: qkMQ,
+		Softmax: sm,
+		AVZB:    vT.zero, AVScale: avMQ,
+		Proj: pL,
+	}, nil
+}
+
+// lowerTransformerBlock lowers one encoder block into two IntResiduals:
+// x + Attn(LN1(x)) and y + FC2(GELU(FC1(LN2(y)))). Both block
+// boundaries store 16-bit signed codes at the block entry scale — the
+// branches requantize to the 2^shift finer scale, add, shift back.
+func (c *converter) lowerTransformerBlock(b *models.TransformerBlock, cur state) ([]IntLayer, state, error) {
+	qa, ok := b.Attn.(*quant.QAttention)
+	if !ok {
+		return nil, cur, fmt.Errorf("fuse: block attention is %T, not quantized", b.Attn)
+	}
+	fc1, ok := b.FC1.(*quant.QLinear)
+	if !ok {
+		return nil, cur, fmt.Errorf("fuse: block FC1 is %T, not quantized", b.FC1)
+	}
+	fc2, ok := b.FC2.(*quant.QLinear)
+	if !ok {
+		return nil, cur, fmt.Errorf("fuse: block FC2 is %T, not quantized", b.FC2)
+	}
+	qg, ok := b.Act.(*quant.QGELU)
+	if !ok {
+		return nil, cur, fmt.Errorf("fuse: block GELU is %T, not quantized", b.Act)
+	}
+	shift := c.opts.ResidualShift
+	boundary := target{scale: cur.scale, zero: 0, bits: boundaryBits, signed: true}
+	fine := boundary.scale / float32(int64(1)<<shift)
+	branchTarget := target{scale: fine, zero: 0, bits: 16, signed: true}
+	lo, hi := qRangeOf(boundary)
+
+	mkShortcut := func(from state) ([]IntLayer, error) {
+		mq, err := c.mkMulQuant(
+			[]float32{from.scale / fine},
+			[]float32{-float32(from.zero) * from.scale / fine},
+			"shortcut", branchTarget)
+		if err != nil {
+			return nil, err
+		}
+		return []IntLayer{&IntRescale{Scaler: mq}}, nil
+	}
+
+	// Residual 1: x + Attn(LN1(x)).
+	lnT1 := targetOf(qa.QProj.AQuant.Base())
+	ln1, err := c.lowerLayerNorm(b.Norm1, cur.scale, lnT1)
+	if err != nil {
+		return nil, cur, err
+	}
+	attn, err := c.lowerAttention(qa, state{scale: lnT1.scale, zero: lnT1.zero}, branchTarget)
+	if err != nil {
+		return nil, cur, err
+	}
+	sc1, err := mkShortcut(cur)
+	if err != nil {
+		return nil, cur, err
+	}
+	res1 := &IntResidual{Body: []IntLayer{ln1, attn}, Shortcut: sc1, Shift: shift, ClampLo: lo, ClampHi: hi}
+	cur = state{scale: boundary.scale, zero: 0}
+
+	// Residual 2: y + FC2(GELU(FC1(LN2(y)))).
+	lnT2 := targetOf(fc1.AQuant.Base())
+	ln2, err := c.lowerLayerNorm(b.Norm2, cur.scale, lnT2)
+	if err != nil {
+		return nil, cur, err
+	}
+	geluT := targetOf(qg.AQuant.Base())
+	fc1i, err := c.lowerLinear(fc1, state{scale: lnT2.scale, zero: lnT2.zero}, geluT)
+	if err != nil {
+		return nil, cur, err
+	}
+	fc2T := targetOf(fc2.AQuant.Base())
+	gelu := c.lowerGELU(qg, fc2T)
+	fc2i, err := c.lowerLinear(fc2, state{scale: fc2T.scale, zero: fc2T.zero}, branchTarget)
+	if err != nil {
+		return nil, cur, err
+	}
+	sc2, err := mkShortcut(cur)
+	if err != nil {
+		return nil, cur, err
+	}
+	res2 := &IntResidual{Body: []IntLayer{ln2, fc1i, gelu, fc2i}, Shortcut: sc2, Shift: shift, ClampLo: lo, ClampHi: hi}
+	return []IntLayer{res1, res2}, state{scale: boundary.scale, zero: 0}, nil
+}
+
+// lowerClsHead lowers the classification head: slice the class token,
+// integer LayerNorm into the classifier's input quantizer, classify.
+func (c *converter) lowerClsHead(h *models.ClsHead, cur state, final target) ([]IntLayer, error) {
+	fc, ok := h.FC.(*quant.QLinear)
+	if !ok {
+		return nil, fmt.Errorf("fuse: head classifier is %T, not quantized", h.FC)
+	}
+	lnT := targetOf(fc.AQuant.Base())
+	ln, err := c.lowerLayerNorm(h.Norm, cur.scale, lnT)
+	if err != nil {
+		return nil, err
+	}
+	lin, err := c.lowerLinear(fc, state{scale: lnT.scale, zero: lnT.zero}, final)
+	if err != nil {
+		return nil, err
+	}
+	return []IntLayer{IntSliceCls{}, ln, lin}, nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"torch2chip/internal/intmath"
+	"torch2chip/internal/models"
 	"torch2chip/internal/nn"
 	"torch2chip/internal/quant"
 	"torch2chip/internal/tensor"
@@ -121,6 +122,10 @@ func entryActQuant(op nn.Layer) *quant.QBase {
 		return v.AQuant.Base()
 	case *nn.Residual:
 		return firstActQuant(flatten(v.Body))
+	case *models.PatchEmbed:
+		if qc, ok := v.Conv.(*quant.QConv2d); ok {
+			return qc.AQuant.Base()
+		}
 	}
 	return nil
 }
@@ -186,6 +191,27 @@ func (c *converter) convertSeq(ops []nn.Layer, entry state, final target) ([]Int
 			}
 			out = append(out, il)
 			cur = state{scale: tgt.scale, zero: tgt.zero}
+		case *models.PatchEmbed:
+			il, st, err := c.lowerPatchEmbed(v, cur)
+			if err != nil {
+				return nil, cur, err
+			}
+			out = append(out, il)
+			cur = st
+		case *models.TransformerBlock:
+			ls, st, err := c.lowerTransformerBlock(v, cur)
+			if err != nil {
+				return nil, cur, err
+			}
+			out = append(out, ls...)
+			cur = st
+		case *models.ClsHead:
+			ls, err := c.lowerClsHead(v, cur, final)
+			if err != nil {
+				return nil, cur, err
+			}
+			out = append(out, ls...)
+			cur = state{scale: final.scale, zero: final.zero}
 		case *nn.ReLU, *nn.ReLU6:
 			// Absorbed: the preceding MulQuant clamps to the unsigned
 			// range of the next activation quantizer.

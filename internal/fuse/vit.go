@@ -1,0 +1,262 @@
+package fuse
+
+// Integer transformer deploy layers: the all-integer lowering of the
+// ViT building blocks (Figure 4 of the paper). Every stage exchanges
+// integer codes — LayerNorm normalizes with an integer Newton square
+// root, softmax and GELU go through fixed lookup tables, and the two
+// attention matmuls accumulate in int64 and requantize through MulQuant
+// — so the pipeline is exactly reproducible by the compiled engine.
+
+import (
+	"torch2chip/internal/intmath"
+	"torch2chip/internal/tensor"
+)
+
+// LNFracBits is the fixed-point precision of the normalized LayerNorm
+// value: x̂ is carried as round(x̂ · 2^LNFracBits) before the per-channel
+// γ/β affine collapses into the layer's MulQuant.
+const LNFracBits = 12
+
+// IntLayerNorm is the integer-only LayerNorm. Normalization is
+// shift/scale-invariant, so it runs directly on incoming codes with no
+// zero-point or scale bookkeeping: per row, d_i = D·q_i − Σq (exact),
+// x̂_i = d_i·√D / √(Σd²), computed as d_i·K / isqrt(Σd²+1) with
+// K = round(√D·2^FB) and a pure-integer Newton square root. The
+// per-channel γ/β affine plus the requantization into the consumer's
+// activation quantizer is one MulQuant over the fixed-point x̂ codes.
+type IntLayerNorm struct {
+	D  int
+	K  int64
+	FB uint
+	// EpsAdd folds the float LayerNorm epsilon into the code domain:
+	// float divides by √(σ² + ε) over values x = code·S, so the integer
+	// path adds E = round(D³·ε/S²) to Σd² before the square root —
+	// without it, near-constant rows normalize visibly differently from
+	// the float reference.
+	EpsAdd int64
+	Scaler *intmath.MulQuant
+}
+
+// Forward normalizes each row of the flattened [rows, D] view.
+func (l *IntLayerNorm) Forward(x *tensor.IntTensor) *tensor.IntTensor {
+	d := l.D
+	rows := x.Numel() / d
+	acc := tensor.NewInt(x.Shape...)
+	for r := 0; r < rows; r++ {
+		seg := x.Data[r*d : (r+1)*d]
+		var sum int64
+		for _, q := range seg {
+			sum += q
+		}
+		dd := acc.Data[r*d : (r+1)*d]
+		s2 := l.EpsAdd + 1 // +1 guards a constant row at EpsAdd 0
+		for i, q := range seg {
+			di := int64(d)*q - sum
+			dd[i] = di
+			s2 += di * di
+		}
+		root := intmath.ISqrt(s2)
+		for i, di := range dd {
+			dd[i] = intmath.RoundDiv(di*l.K, root)
+		}
+	}
+	return l.Scaler.Apply(acc, len(acc.Shape)-1)
+}
+
+// OutDType is the narrowest storage for the requantized output codes.
+func (l *IntLayerNorm) OutDType() tensor.DType { return l.Scaler.OutDType() }
+
+// IntGELU maps codes through the fixed GELU lookup table (input domain =
+// the calibrated GELU-input quantizer, output = the consumer's affine
+// activation quantizer, zero point folded into the table entries).
+type IntGELU struct {
+	LUT *intmath.LUT
+	// OutLo/OutHi record the declared output code range (the consumer
+	// quantizer's range); every table entry lies inside it, and the
+	// engine plans the output buffer's storage dtype from it.
+	OutLo, OutHi int64
+}
+
+// Forward applies the table elementwise.
+func (l *IntGELU) Forward(x *tensor.IntTensor) *tensor.IntTensor { return l.LUT.Apply(x) }
+
+// OutDType is the narrowest storage for the table's output codes.
+func (l *IntGELU) OutDType() tensor.DType { return tensor.DTypeForRange(l.OutLo, l.OutHi) }
+
+// IntSliceCls takes token 0 of a [N, T, D] token tensor — the class
+// token the head classifies. Slicing before the head LayerNorm is exact
+// (LayerNorm is per-row) and skips normalizing the discarded tokens.
+type IntSliceCls struct{}
+
+// Forward returns the [N, D] class-token rows.
+func (IntSliceCls) Forward(x *tensor.IntTensor) *tensor.IntTensor {
+	n, t, d := x.Shape[0], x.Shape[1], x.Shape[2]
+	out := tensor.NewInt(n, d)
+	for ni := 0; ni < n; ni++ {
+		copy(out.Data[ni*d:(ni+1)*d], x.Data[ni*t*d:ni*t*d+d])
+	}
+	return out
+}
+
+// IntPatchEmbed is the integer patch embedding: the strided integer
+// convolution requantizes into a synthesized 16-bit embedding scale
+// (derived from an exact accumulator bound, so clipping is impossible),
+// the [N,D,h,w] feature map transposes into [N,T,D] token rows, and the
+// pre-quantized positional (+class) codes add in with a final clamp.
+type IntPatchEmbed struct {
+	Conv *IntConv2d
+	// PosCls holds [T, D] codes at the embedding scale: row 0 is the
+	// class token plus its positional embedding, rows 1..T-1 the patch
+	// positional embeddings.
+	PosCls           *tensor.IntTensor
+	T, D             int
+	ClampLo, ClampHi int64
+	// Scale is the embedding code scale (value = code · Scale); the block
+	// boundaries downstream store codes at this same scale.
+	Scale float32
+}
+
+// Forward embeds patches and prepends the class token.
+func (l *IntPatchEmbed) Forward(x *tensor.IntTensor) *tensor.IntTensor {
+	f := l.Conv.Forward(x) // [N, D, h, w]
+	n, d := f.Shape[0], f.Shape[1]
+	sp := f.Shape[2] * f.Shape[3]
+	out := tensor.NewInt(n, l.T, d)
+	clamp := func(v int64) int64 {
+		if v < l.ClampLo {
+			return l.ClampLo
+		}
+		if v > l.ClampHi {
+			return l.ClampHi
+		}
+		return v
+	}
+	for ni := 0; ni < n; ni++ {
+		base := ni * l.T * d
+		for j := 0; j < d; j++ {
+			out.Data[base+j] = clamp(l.PosCls.Data[j])
+		}
+		for t := 0; t < sp; t++ {
+			row := out.Data[base+(1+t)*d : base+(2+t)*d]
+			pos := l.PosCls.Data[(1+t)*d : (2+t)*d]
+			for j := 0; j < d; j++ {
+				row[j] = clamp(f.Data[(ni*d+j)*sp+t] + pos[j])
+			}
+		}
+	}
+	return out
+}
+
+// OutDType is the narrowest storage for the clamped embedding codes.
+func (l *IntPatchEmbed) OutDType() tensor.DType {
+	return tensor.DTypeForRange(l.ClampLo, l.ClampHi)
+}
+
+// IntAttention is integer-only multi-head self-attention: the four
+// projections are IntLinears, QKᵀ and attn·V run as integer matmuls per
+// (sample, head) with MulQuant requantization at each product, and the
+// row softmax is the LUT-based integer softmax. Probability codes carry
+// the exact scale 1/(2^bits−1), so the attn·V requantization needs no
+// calibrated observer for the probabilities.
+type IntAttention struct {
+	Heads, D int
+	Q, K, V  *IntLinear
+	// QKZA/QKZB are the query/key operand zero points; QKScale folds
+	// S_q·S_k/(√dh · S_logit) and emits the softmax's 8-bit logit codes.
+	QKZA, QKZB int64
+	QKScale    *intmath.MulQuant
+	Softmax    *intmath.LUTSoftmax
+	// AVZB is the value operand zero point (probabilities are zero-free);
+	// AVScale folds S_p·S_v/S_proj into the projection's input quantizer.
+	AVZB    int64
+	AVScale *intmath.MulQuant
+	Proj    *IntLinear
+}
+
+// Forward computes integer self-attention over [N, T, D] codes.
+func (a *IntAttention) Forward(x *tensor.IntTensor) *tensor.IntTensor {
+	n, t := x.Shape[0], x.Shape[1]
+	dh := a.D / a.Heads
+	q := a.Q.Forward(x)
+	k := a.K.Forward(x)
+	v := a.V.Forward(x)
+	qh := splitHeadCodes(q, a.Heads)
+	kh := splitHeadCodes(k, a.Heads)
+	vh := splitHeadCodes(v, a.Heads)
+	ctx := tensor.NewInt(n*a.Heads, t, dh)
+	for b := 0; b < n*a.Heads; b++ {
+		qb := headView(qh, b)
+		kb := headView(kh, b)
+		vb := headView(vh, b)
+		logits := a.QKScale.Apply(matMulShifted(qb, kb, a.QKZA, a.QKZB, true), -1)
+		probs := a.Softmax.Apply(logits)
+		av := a.AVScale.Apply(matMulShifted(probs, vb, 0, a.AVZB, false), -1)
+		copy(ctx.Data[b*t*dh:(b+1)*t*dh], av.Data)
+	}
+	merged := mergeHeadCodes(ctx, a.Heads)
+	return a.Proj.Forward(merged)
+}
+
+// OutDType is the narrowest storage for the projection's output codes.
+func (a *IntAttention) OutDType() tensor.DType { return a.Proj.OutDType() }
+
+// splitHeadCodes rearranges [N, T, D] into [N·H, T, D/H].
+func splitHeadCodes(x *tensor.IntTensor, heads int) *tensor.IntTensor {
+	n, t, d := x.Shape[0], x.Shape[1], x.Shape[2]
+	dh := d / heads
+	out := tensor.NewInt(n*heads, t, dh)
+	for ni := 0; ni < n; ni++ {
+		for h := 0; h < heads; h++ {
+			for ti := 0; ti < t; ti++ {
+				src := x.Data[(ni*t+ti)*d+h*dh : (ni*t+ti)*d+(h+1)*dh]
+				copy(out.Data[((ni*heads+h)*t+ti)*dh:((ni*heads+h)*t+ti+1)*dh], src)
+			}
+		}
+	}
+	return out
+}
+
+// mergeHeadCodes is the inverse of splitHeadCodes: [B, T, dh] → [B/H, T, dh·H].
+func mergeHeadCodes(x *tensor.IntTensor, heads int) *tensor.IntTensor {
+	b, t, dh := x.Shape[0], x.Shape[1], x.Shape[2]
+	n, d := b/heads, dh*heads
+	out := tensor.NewInt(n, t, d)
+	for ni := 0; ni < n; ni++ {
+		for h := 0; h < heads; h++ {
+			for ti := 0; ti < t; ti++ {
+				dst := out.Data[(ni*t+ti)*d+h*dh : (ni*t+ti)*d+(h+1)*dh]
+				copy(dst, x.Data[((ni*heads+h)*t+ti)*dh:((ni*heads+h)*t+ti+1)*dh])
+			}
+		}
+	}
+	return out
+}
+
+// headView returns the rank-2 view of batch entry b of a [B, M, K] tensor.
+func headView(x *tensor.IntTensor, b int) *tensor.IntTensor {
+	m, k := x.Shape[1], x.Shape[2]
+	return &tensor.IntTensor{Shape: []int{m, k}, Data: x.Data[b*m*k : (b+1)*m*k]}
+}
+
+// matMulShifted computes the zero-point-corrected integer product
+// Σ (a−za)(b−zb) with int64 accumulation; transB selects A×Bᵀ.
+func matMulShifted(a, b *tensor.IntTensor, za, zb int64, transB bool) *tensor.IntTensor {
+	as := a
+	if za != 0 {
+		as = a.Clone()
+		for i := range as.Data {
+			as.Data[i] -= za
+		}
+	}
+	bs := b
+	if zb != 0 {
+		bs = b.Clone()
+		for i := range bs.Data {
+			bs.Data[i] -= zb
+		}
+	}
+	if transB {
+		return intmath.MatMulIntT(as, bs)
+	}
+	return intmath.MatMulInt(as, bs)
+}

@@ -1,0 +1,140 @@
+package fuse_test
+
+// Integer-transformer conversion tests: the deploy pipeline must track
+// the float model within calibration tolerance (the fake-quant model is
+// the calibration floor — the integer pipeline adds only bounded extra
+// noise on top of it), and the integer LayerNorm must land on the same
+// code grid as the float LayerNorm up to ±2 codes.
+
+import (
+	"math"
+	"testing"
+
+	"torch2chip/internal/core"
+	"torch2chip/internal/data"
+	"torch2chip/internal/fuse"
+	"torch2chip/internal/models"
+	"torch2chip/internal/nn"
+	"torch2chip/internal/quant"
+	"torch2chip/internal/tensor"
+)
+
+// buildViT constructs the test transformer (deterministic init per seed).
+func buildViT(seed int64, depth int) nn.Layer {
+	g := tensor.NewRNG(seed)
+	cfg := models.ViT7(32, 10)
+	cfg.Depth = depth
+	return models.NewViT(g, cfg)
+}
+
+// convertViT runs prepare→calibrate→convert on a fresh ViT.
+func convertViT(t testing.TB, seed int64, depth int) (nn.Layer, *fuse.IntModel) {
+	t.Helper()
+	model := buildViT(seed, depth)
+	calib, _ := data.Generate(data.SynthCIFAR10, 16, 8)
+	t2c := core.New(model, core.DefaultConfig())
+	t2c.Prepare()
+	if err := t2c.Calibrate(calib.Subset(8), 4); err != nil {
+		t.Fatal(err)
+	}
+	nn.SetTraining(model, false)
+	im, err := t2c.Convert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model, im
+}
+
+func meanAbsDiff(a, b *tensor.Tensor) float64 {
+	var sum float64
+	for i := range a.Data {
+		sum += math.Abs(float64(a.Data[i] - b.Data[i]))
+	}
+	return sum / float64(len(a.Data))
+}
+
+// TestViTConvertTracksFloat: the integer deploy model's logits stay
+// within calibration tolerance of the FP32 model — bounded by a small
+// multiple of the fake-quant model's own distance from FP32 (the noise
+// the chosen quantizers introduce before any integer lowering).
+func TestViTConvertTracksFloat(t *testing.T) {
+	raw := buildViT(3, 2)
+	nn.SetTraining(raw, false)
+	fq, im := convertViT(t, 3, 2)
+
+	g := tensor.NewRNG(77)
+	x := g.Uniform(0, 1, 4, 3, 32, 32)
+	yRaw := raw.Forward(x)
+	yFQ := fq.Forward(x)
+	yInt := im.Forward(x)
+
+	floorErr := meanAbsDiff(yRaw, yFQ)
+	intErr := meanAbsDiff(yRaw, yInt)
+	t.Logf("mean |fq-raw| = %.4f, mean |int-raw| = %.4f", floorErr, intErr)
+	if floorErr == 0 {
+		t.Fatal("fake-quant floor is zero; calibration did not run")
+	}
+	if intErr > 3*floorErr {
+		t.Fatalf("integer logits drift %.4f exceeds 3x the calibration floor %.4f", intErr, floorErr)
+	}
+}
+
+// TestViTIntLayerNormMatchesFloat: the integer LayerNorm (integer Newton
+// square root, code-domain epsilon) lands within ±2 codes of the float
+// LayerNorm quantized on the same grid.
+func TestViTIntLayerNormMatchesFloat(t *testing.T) {
+	fq, im := convertViT(t, 3, 2)
+	g := tensor.NewRNG(78)
+	x := g.Uniform(0, 1, 2, 3, 32, 32)
+
+	seq := fq.(*nn.Sequential)
+	blk := seq.Layers[1].(*models.TransformerBlock)
+	qa := blk.Attn.(*quant.QAttention)
+	femb := seq.Layers[0].Forward(x)
+	fln := blk.Norm1.Forward(femb)
+
+	pe := im.Layers[0].(*fuse.IntPatchEmbed)
+	res1 := im.Layers[1].(*fuse.IntResidual)
+	ln1 := res1.Body[0].(*fuse.IntLayerNorm)
+	if ln1.EpsAdd <= 0 {
+		t.Fatalf("integer LayerNorm lost the epsilon fold: EpsAdd=%d", ln1.EpsAdd)
+	}
+	qln := ln1.Forward(pe.Forward(im.InQuant.Quantize(x)))
+
+	aq := qa.QProj.AQuant.Base()
+	s := float64(aq.Scale[0])
+	var maxd int64
+	for i := range fln.Data {
+		c := int64(math.Round(float64(fln.Data[i]) / s))
+		if c < aq.QMin() {
+			c = aq.QMin()
+		}
+		if c > aq.QMax() {
+			c = aq.QMax()
+		}
+		d := qln.Data[i] - c
+		if d < 0 {
+			d = -d
+		}
+		if d > maxd {
+			maxd = d
+		}
+	}
+	if maxd > 2 {
+		t.Fatalf("integer LayerNorm deviates %d codes from the float grid", maxd)
+	}
+}
+
+// TestViTConvertRequiresPrepared: converting an unprepared ViT must fail
+// with a clear error instead of mis-compiling.
+func TestViTConvertRequiresPrepared(t *testing.T) {
+	model := buildViT(5, 1)
+	nn.SetTraining(model, false)
+	outQ := quant.NewMinMax(12, true, false)
+	outQ.Observe(tensor.Ones(4, 10))
+	opts := fuse.DefaultOptions()
+	opts.OutQuant = outQ.Base()
+	if _, err := fuse.Convert(model, opts); err == nil {
+		t.Fatal("expected conversion of an unprepared ViT to fail")
+	}
+}

@@ -8,6 +8,7 @@ package intmath
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"torch2chip/internal/tensor"
 )
@@ -111,6 +112,40 @@ func Conv2dInt(x, w *tensor.IntTensor, zx int64, p tensor.ConvParams) *tensor.In
 		}
 	}
 	return out
+}
+
+// RoundDiv divides num by den (den > 0) rounding half away from zero —
+// the shared integer-division rounding every deploy stage uses, so the
+// interpreter and the engine kernels agree bit for bit.
+func RoundDiv(num, den int64) int64 {
+	if num >= 0 {
+		return (num + den/2) / den
+	}
+	return -((-num + den/2) / den)
+}
+
+// ISqrt returns floor(sqrt(n)) computed with a pure-integer Newton
+// iteration (seeded from the bit length, so convergence takes a handful
+// of steps). Hardware-friendly and exactly reproducible: the integer
+// LayerNorm normalization divides by this root, so every engine kernel
+// lands on the same codes as the interpreter.
+func ISqrt(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	if n < 4 {
+		return 1
+	}
+	// Seed x0 = 2^ceil(bits/2) ≥ sqrt(n); Newton from above is monotone
+	// decreasing, so the loop exits at floor(sqrt(n)).
+	x := int64(1) << ((bits.Len64(uint64(n)) + 1) / 2)
+	for {
+		y := (x + n/x) / 2
+		if y >= x {
+			return x
+		}
+		x = y
+	}
 }
 
 // RoundClip rounds v to the nearest integer and clips to [lo, hi].

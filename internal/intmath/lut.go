@@ -37,6 +37,41 @@ func NewLUT(f func(float64) float64, inMin, inMax int64, inScale float32, outSca
 	return l
 }
 
+// NewLUTQuant tabulates f between two affine quantizers: input codes in
+// [inMin, inMax] decode through inVal (which owns the input scale and
+// zero point), outputs re-quantize as round(y/outScale)+outZero clamped
+// to the declared output range. This is the general form integer GELU
+// uses — the input is a signed calibrated domain, the output an affine
+// activation quantizer with a non-zero zero point.
+func NewLUTQuant(f func(float64) float64, inMin, inMax int64, inVal func(int64) float64, outScale float32, outZero int64, outBits int, outSigned bool) *LUT {
+	l := &LUT{InMin: inMin, InMax: inMax, OutScale: outScale, Table: make([]int64, inMax-inMin+1)}
+	var lo, hi int64
+	if outSigned {
+		lo, hi = -(1 << (outBits - 1)), 1<<(outBits-1)-1
+	} else {
+		lo, hi = 0, 1<<outBits-1
+	}
+	for c := inMin; c <= inMax; c++ {
+		y := f(inVal(c))
+		l.Table[c-inMin] = RoundClip(y/float64(outScale)+float64(outZero), lo, hi)
+	}
+	return l
+}
+
+// Range returns the smallest and largest output code in the table.
+func (l *LUT) Range() (int64, int64) {
+	lo, hi := l.Table[0], l.Table[0]
+	for _, v := range l.Table[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
 // Lookup maps one input code through the table, clamping out-of-range
 // codes to the table edges (saturating hardware behaviour).
 func (l *LUT) Lookup(c int64) int64 {
@@ -62,7 +97,10 @@ func (l *LUT) Apply(x *tensor.IntTensor) *tensor.IntTensor {
 // attention (Figure 4): exponentials come from an 8-bit-input, 16-bit
 // fixed-point-output LUT; normalization is an integer divide.
 type LUTSoftmax struct {
-	exp *LUT
+	// Exp is the exponential table over max-subtracted logit codes
+	// (domain [inMin−inMax, 0]); exported so checkpoints can round-trip
+	// the exact table the model was compiled with.
+	Exp *LUT
 	// OutBits of the resulting probability codes (unsigned).
 	OutBits int
 	// probScale converts probability codes to float: p = code / 2^OutBits-ish
@@ -76,9 +114,36 @@ func NewLUTSoftmax(inMin, inMax int64, inScale float32, outBits int) *LUTSoftmax
 	const expFrac = 15 // UQ1.15: exp(z) for z<=0 lies in (0,1]
 	expScale := float32(math.Pow(2, -expFrac))
 	exp := NewLUT(math.Exp, inMin-inMax, 0, inScale, expScale, 16, false)
-	s := &LUTSoftmax{exp: exp, OutBits: outBits}
+	s := &LUTSoftmax{Exp: exp, OutBits: outBits}
 	s.ProbScale = 1 / float32(int64(1)<<outBits-1)
 	return s
+}
+
+// ApplyRow computes the integer softmax of one logit row into dst (same
+// length, may alias src): subtract the row max, look up UQ1.15
+// exponentials, sum in int64, and emit (e·(2^OutBits−1) + sum/2)/sum.
+// scratch must hold len(src) words. Both the interpreter and every
+// engine kernel funnel through this, so the codes cannot drift.
+func (s *LUTSoftmax) ApplyRow(dst, src, scratch []int64) {
+	var mx int64 = math.MinInt64
+	for _, c := range src {
+		if c > mx {
+			mx = c
+		}
+	}
+	var sum int64
+	for j, c := range src {
+		e := s.Exp.Lookup(c - mx)
+		scratch[j] = e
+		sum += e
+	}
+	if sum == 0 {
+		sum = 1
+	}
+	scaleMax := int64(1)<<s.OutBits - 1
+	for j, e := range scratch[:len(src)] {
+		dst[j] = (e*scaleMax + sum/2) / sum
+	}
 }
 
 // Apply computes row-wise integer softmax over the last dimension of x.
@@ -89,29 +154,9 @@ func (s *LUTSoftmax) Apply(x *tensor.IntTensor) *tensor.IntTensor {
 	d := x.Shape[len(x.Shape)-1]
 	rows := len(x.Data) / d
 	out := tensor.NewInt(x.Shape...)
-	scaleMax := int64(1)<<s.OutBits - 1
+	scratch := make([]int64, d)
 	for r := 0; r < rows; r++ {
-		seg := x.Data[r*d : (r+1)*d]
-		var mx int64 = math.MinInt64
-		for _, c := range seg {
-			if c > mx {
-				mx = c
-			}
-		}
-		var sum int64
-		es := make([]int64, d)
-		for j, c := range seg {
-			e := s.exp.Lookup(c - mx)
-			es[j] = e
-			sum += e
-		}
-		if sum == 0 {
-			sum = 1
-		}
-		o := out.Data[r*d : (r+1)*d]
-		for j, e := range es {
-			o[j] = (e*scaleMax + sum/2) / sum
-		}
+		s.ApplyRow(out.Data[r*d:(r+1)*d], x.Data[r*d:(r+1)*d], scratch)
 	}
 	return out
 }

@@ -119,7 +119,7 @@ type TransformerBlock struct {
 	Attn  nn.Layer // *nn.MultiHeadAttention (or QAttention)
 	Norm2 *nn.LayerNorm
 	FC1   nn.Layer // *nn.Linear (or QLinear)
-	Act   *nn.GELU
+	Act   nn.Layer // *nn.GELU (or QGELU, which observes the GELU input)
 	FC2   nn.Layer
 	D     int
 
@@ -164,24 +164,29 @@ func (b *TransformerBlock) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	return tensor.Add(gy, b.Norm1.Backward(ga))
 }
 
-// Params returns all block parameters.
+// Params returns all block parameters (including the activation's —
+// a quantized GELU wrapper may carry learnable quantizer parameters).
 func (b *TransformerBlock) Params() []*nn.Param {
 	ps := b.Norm1.Params()
 	ps = append(ps, b.Attn.Params()...)
 	ps = append(ps, b.Norm2.Params()...)
 	ps = append(ps, b.FC1.Params()...)
+	ps = append(ps, b.Act.Params()...)
 	return append(ps, b.FC2.Params()...)
 }
 
 // Children exposes sub-layers for mode walks.
 func (b *TransformerBlock) Children() []nn.Layer {
-	return []nn.Layer{b.Norm1, b.Attn, b.Norm2, b.FC1, b.FC2}
+	return []nn.Layer{b.Norm1, b.Attn, b.Norm2, b.FC1, b.Act, b.FC2}
 }
 
-// Rewire lets the quantization pass swap the attention and MLP linears.
+// Rewire lets the quantization pass swap the attention, the MLP linears,
+// and the GELU (whose quantized wrapper calibrates the activation range
+// the integer GELU table is built over).
 func (b *TransformerBlock) Rewire(f func(nn.Layer) nn.Layer) {
 	b.Attn = f(b.Attn)
 	b.FC1 = f(b.FC1)
+	b.Act = f(b.Act)
 	b.FC2 = f(b.FC2)
 }
 

@@ -114,6 +114,8 @@ func Prepare(root nn.Layer, cfg Config) nn.Layer {
 		return NewQConv2d(l, cfg.NewWeightQuantizer(), cfg.NewActQuantizer())
 	case *nn.Linear:
 		return NewQLinear(l, cfg.NewWeightQuantizer(), cfg.NewActQuantizer())
+	case *nn.GELU:
+		return NewQGELU(l, cfg.signedActQuantizer())
 	case *nn.MultiHeadAttention:
 		return PrepareAttention(l, cfg)
 	default:
@@ -167,6 +169,35 @@ func (qa *QAttention) SetCalibrating(c bool) {
 	qa.QK.SetCalibrating(c)
 	qa.AV.SetCalibrating(c)
 }
+
+// QGELU wraps a GELU with a signed activation observer on its input.
+// The training path fake-quantizes the input before the float GELU, so
+// calibration registers the activation range the deploy-time integer
+// GELU table is built over (fuse.Convert reads AQuant for the table's
+// input domain; there is no other observer of the FC1 output).
+type QGELU struct {
+	G      *nn.GELU
+	AQuant Quantizer
+}
+
+// NewQGELU wraps a GELU activation.
+func NewQGELU(g *nn.GELU, aq Quantizer) *QGELU { return &QGELU{G: g, AQuant: aq} }
+
+// Forward observes/fake-quantizes the input, then applies the float GELU.
+func (q *QGELU) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return q.G.Forward(q.AQuant.TrainForward(x))
+}
+
+// Backward routes the gradient through the GELU and the quantizer STE.
+func (q *QGELU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return q.AQuant.BackwardInput(q.G.Backward(grad))
+}
+
+// Params returns learnable quantizer parameters (empty for MinMax).
+func (q *QGELU) Params() []*nn.Param { return q.AQuant.Params() }
+
+// SetCalibrating toggles the input observer.
+func (q *QGELU) SetCalibrating(c bool) { q.AQuant.Base().Calibrating = c }
 
 // Walk visits every layer in the tree, leaves included, calling fn.
 func Walk(root nn.Layer, fn func(nn.Layer)) {

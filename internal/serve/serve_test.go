@@ -11,6 +11,7 @@ import (
 	"torch2chip/internal/engine"
 	"torch2chip/internal/export"
 	"torch2chip/internal/fuse"
+	"torch2chip/internal/models"
 	"torch2chip/internal/nn"
 	"torch2chip/internal/serve"
 	"torch2chip/internal/tensor"
@@ -277,4 +278,71 @@ func TestRegistryAdmissionSheds(t *testing.T) {
 	if len(ms) != 1 || ms[0].Shed != 1 {
 		t.Fatalf("admission rejects = %+v, want Shed=1", ms)
 	}
+}
+
+// buildViTCheckpoint compiles a small ViT into a servable checkpoint —
+// the transformer counterpart of buildCheckpoint, exercising the v4
+// program section (matmul/layernorm/softmax/gelu instrs and tables)
+// through the serving stack.
+func buildViTCheckpoint(t testing.TB, seed int64) (*export.Checkpoint, *fuse.IntModel) {
+	t.Helper()
+	g := tensor.NewRNG(seed)
+	cfg := models.ViT7(32, 10)
+	cfg.Depth = 1
+	model := models.NewViT(g, cfg)
+	calib, _ := data.Generate(data.SynthCIFAR10, 32, 8)
+	t2c := core.New(model, core.DefaultConfig())
+	t2c.Prepare()
+	if err := t2c.Calibrate(calib.Subset(8), 4); err != nil {
+		t.Fatal(err)
+	}
+	nn.SetTraining(model, false)
+	cm, err := t2c.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm.Prog.InShape = []int{3, 32, 32}
+	ck := export.NewCheckpoint(cm.Int.IntTensors(), nil)
+	ck.Program = cm.Prog.Spec()
+	return ck, cm.Int
+}
+
+// TestRegistryServesViTWithHotReload: a ViT checkpoint loads into the
+// registry, serves bit-identical predictions, hot-reloads to a second
+// version, and keeps serving the new weights.
+func TestRegistryServesViTWithHotReload(t *testing.T) {
+	ck1, im1 := buildViTCheckpoint(t, 11)
+	ck2, im2 := buildViTCheckpoint(t, 12)
+	reg := serve.NewRegistry(serve.Options{})
+	defer reg.Close()
+	info, err := reg.Load("vit", ck1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Sample) != 3 || info.Sample[0] != 3 || info.Sample[1] != 32 || info.Sample[2] != 32 {
+		t.Fatalf("vit sample shape from checkpoint = %v, want [3 32 32]", info.Sample)
+	}
+
+	g := tensor.NewRNG(100)
+	x := g.Uniform(0, 1, 1, 3, 32, 32)
+	y, version, err := reg.Infer("vit", x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 1 {
+		t.Fatalf("served version = %d, want 1", version)
+	}
+	assertSame(t, y, im1.Forward(x), "vit v1 infer")
+
+	if _, err := reg.Load("vit", ck2, nil); err != nil {
+		t.Fatal(err)
+	}
+	y2, version2, err := reg.Infer("vit", x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version2 != 2 {
+		t.Fatalf("served version after reload = %d, want 2", version2)
+	}
+	assertSame(t, y2, im2.Forward(x), "vit v2 infer")
 }

@@ -48,6 +48,17 @@ echo "== hot reload over HTTP =="
 RELOAD=$(curl -fsS -X POST --data-binary @"$OUT/model_int.json" "$URL/v1/models/default")
 echo "$RELOAD" | grep -q '"version":2' || { echo "bad reload response: $RELOAD"; exit 1; }
 
+echo "== compile + serve a ViT checkpoint =="
+"$OUT/t2c" -model vit -dataset cifar10 -trainer qat -epochs 1 \
+  -train-n 48 -test-n 16 -formats json -save-inputs 1 -out "$OUT/vit"
+curl -fsS -X POST --data-binary @"$OUT/vit/model_int.json" "$URL/v1/models/vit" \
+  | grep -q '"version":1' || { echo "vit upload failed"; exit 1; }
+VPRED=$(curl -fsS -X POST --data-binary @"$OUT/vit/inputs/input_000.json" \
+  "$URL/v1/models/vit:predict")
+echo "$VPRED" | grep -q '"predictions"' || { echo "bad vit predict response: $VPRED"; exit 1; }
+curl -fsS -X POST --data-binary @"$OUT/vit/model_int.json" "$URL/v1/models/vit" \
+  | grep -q '"version":2' || { echo "vit hot reload failed"; exit 1; }
+
 echo "== t2c-load burst =="
 # The payload comes from an exported input file, so the burst always
 # matches the compiled model's sample shape.
