@@ -23,10 +23,32 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"torch2chip/internal/bench"
 )
+
+// parseProcs parses the -gomaxprocs comma list ("1,4,8") into a sweep.
+func parseProcs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad core budget %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty core-budget list")
+	}
+	return out, nil
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1..table4, fig3..fig5, ablation, engine, serve, all")
@@ -34,7 +56,14 @@ func main() {
 	outDir := flag.String("out", "bench-out", "output directory for export artifacts (fig5)")
 	jsonPath := flag.String("json", "BENCH_engine.json", "path for the engine experiment's JSON report (empty = skip)")
 	serveJSON := flag.String("serve-json", "BENCH_serve.json", "path for the serve experiment's JSON report (empty = skip)")
+	gomaxprocs := flag.String("gomaxprocs", "1,4,8", "comma-separated GOMAXPROCS sweep for the engine experiment")
 	flag.Parse()
+
+	procs, err := parseProcs(*gomaxprocs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-gomaxprocs: %v\n", err)
+		os.Exit(2)
+	}
 
 	var sc bench.Scale
 	switch *scale {
@@ -110,7 +139,7 @@ func main() {
 	if want("engine") {
 		any = true
 		run("engine", func() {
-			rep := bench.EngineComparison(sc)
+			rep := bench.EngineComparison(sc, procs)
 			rep.Serve = bench.ServeComparison(sc)
 			fmt.Print(bench.FormatEngine(rep))
 			if *jsonPath != "" {

@@ -20,13 +20,16 @@ import (
 
 // Engine configuration labels: the interpreter oracle, the PR-1 engine
 // (unfused program, full-im2col kernels), the fused+prepacked engine
-// (typed narrow storage since PR-4), the same kernels pinned to I64
-// storage (the PR-2/PR-3 configuration), and the fused program under
-// the allocating reference kernels.
+// (typed narrow storage since PR-4, SWAR disabled — the PR-5
+// configuration the speedup_vs_pr5 column is measured against), the
+// same prepacked engine with the SWAR dual-lane GEMM enabled, the
+// typed kernels pinned to I64 storage (the PR-2/PR-3 configuration),
+// and the fused program under the allocating reference kernels.
 const (
 	CfgInterpreter = "interpreter"
 	CfgPR1         = "unfused+im2col"
 	CfgFused       = "fused+prepacked"
+	CfgFusedSwar   = "fused+prepacked+swar"
 	CfgFusedI64    = "fused+prepacked+i64"
 	CfgFusedRef    = "fused+reference"
 )
@@ -37,13 +40,21 @@ type EngineRow struct {
 	Batch  int    `json:"batch"`
 	Config string `json:"config"`
 
+	// GoMaxProcs is the core budget the row was measured under (the
+	// GOMAXPROCS sweep value; parallel splitting is capped to match).
+	GoMaxProcs int `json:"gomaxprocs"`
+
 	NsPerOp     float64 `json:"ns_per_op"`
 	UsPerSample float64 `json:"us_per_sample"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 
-	// SpeedupVsInterp/VsPR1 compare latency at the same (model, batch).
+	// SpeedupVsInterp/VsPR1 compare latency at the same (model, batch)
+	// against the single-core interpreter and PR-1 baselines;
+	// SpeedupVsPR5 compares against the fused+prepacked no-SWAR
+	// configuration at the same (model, batch, gomaxprocs).
 	SpeedupVsInterp float64 `json:"speedup_vs_interpreter,omitempty"`
 	SpeedupVsPR1    float64 `json:"speedup_vs_pr1,omitempty"`
+	SpeedupVsPR5    float64 `json:"speedup_vs_pr5,omitempty"`
 
 	Instrs       int   `json:"instrs,omitempty"`
 	ArenaBytes   int64 `json:"arena_bytes,omitempty"`
@@ -67,6 +78,18 @@ type FusionRow struct {
 	NaiveBytesAfter  int64 `json:"naive_bytes_after"`
 }
 
+// KernelRow aggregates the fused program's bound kernel paths for one
+// model — which instructions run SWAR (and at what lane width and site
+// tiles), which fell back, and which stayed on the direct paths.
+type KernelRow struct {
+	Model   string `json:"model"`
+	Path    string `json:"path"`
+	Count   int    `json:"count"`
+	Lanes   int    `json:"lanes,omitempty"`    // SWAR lane width (channels per word)
+	TileMin int    `json:"tile_min,omitempty"` // smallest bound site/row tile
+	TileMax int    `json:"tile_max,omitempty"` // largest bound site/row tile
+}
+
 // ServeRow summarizes one batched-serving run.
 type ServeRow struct {
 	Model      string  `json:"model"`
@@ -81,10 +104,12 @@ type ServeRow struct {
 // PRs.
 type EngineReport struct {
 	Scale      string      `json:"scale"`
-	GoMaxProcs int         `json:"gomaxprocs"`
+	GoMaxProcs int         `json:"gomaxprocs"` // largest swept core budget
+	Procs      []int       `json:"procs"`      // the GOMAXPROCS sweep
 	Batches    []int       `json:"batches"`
 	Rows       []EngineRow `json:"rows"`
 	Fusion     []FusionRow `json:"fusion"`
+	Kernels    []KernelRow `json:"kernels"`
 	Serve      []ServeRow  `json:"serve"`
 }
 
@@ -171,14 +196,71 @@ func measureExec(model string, batch int, cfg string, prog *engine.Program, reg 
 	}
 }
 
+// kernelSummary aggregates one model's bound kernel paths at batch 8.
+func kernelSummary(name string, prog *engine.Program) []KernelRow {
+	ex, err := engine.NewExecutor(prog, []int{8, 3, 32, 32}, engine.WithKernels(engine.FastKernels()))
+	if err != nil {
+		panic(err)
+	}
+	byPath := map[string]*KernelRow{}
+	order := []string{}
+	for _, c := range ex.KernelChoices() {
+		r, ok := byPath[c.Path]
+		if !ok {
+			r = &KernelRow{Model: name, Path: c.Path, Lanes: c.Lanes, TileMin: c.TileM, TileMax: c.TileM}
+			byPath[c.Path] = r
+			order = append(order, c.Path)
+		}
+		r.Count++
+		if c.TileM > 0 && (r.TileMin == 0 || c.TileM < r.TileMin) {
+			r.TileMin = c.TileM
+		}
+		if c.TileM > r.TileMax {
+			r.TileMax = c.TileM
+		}
+	}
+	out := make([]KernelRow, 0, len(order))
+	for _, p := range order {
+		out = append(out, *byPath[p])
+	}
+	return out
+}
+
 // EngineComparison measures the interpreter, the PR-1 engine, and the
-// fused+prepacked engine at batch 1, 8, and 32 (the reference registry
-// rides along at batch 1 as the oracle configuration), plus per-model
-// fusion statistics.
-func EngineComparison(sc Scale) *EngineReport {
+// fused+prepacked engines (SWAR on and off) at batch 1, 8, and 32,
+// sweeping the two prepacked configurations over the procs core
+// budgets. The single-core baselines (interpreter, PR-1, I64, the
+// batch-1 reference oracle) are measured once at the first budget. Each
+// row records its gomaxprocs; speedup_vs_pr5 compares the SWAR engine
+// against the no-SWAR engine at the same (model, batch, gomaxprocs).
+// The worker pool is frozen at the largest budget up front, then each
+// sweep step narrows GOMAXPROCS and the splitting cap together, so a
+// row never wishes for workers its budget would not have started.
+func EngineComparison(sc Scale, procs []int) *EngineReport {
+	if len(procs) == 0 {
+		procs = []int{1, 4, 8}
+	}
+	maxProcs := procs[0]
+	for _, p := range procs {
+		if p > maxProcs {
+			maxProcs = p
+		}
+	}
+	basePG := runtime.GOMAXPROCS(maxProcs)
+	tensor.InitParallel()
+	defer runtime.GOMAXPROCS(basePG)
+	atBudget := func(p int, f func()) {
+		runtime.GOMAXPROCS(p)
+		old := tensor.SetParallelism(p)
+		defer tensor.SetParallelism(old)
+		defer runtime.GOMAXPROCS(maxProcs)
+		f()
+	}
+
 	rep := &EngineReport{
 		Scale:      scaleName(sc),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoMaxProcs: maxProcs,
+		Procs:      procs,
 		Batches:    []int{1, 8, 32},
 	}
 	for _, name := range []string{"mobilenet", "resnet20", "vit"} {
@@ -199,6 +281,7 @@ func EngineComparison(sc Scale) *EngineReport {
 			ArenaBytesBefore: up.PlannedBytes(), ArenaBytesAfter: fp.PlannedBytes(),
 			NaiveBytesBefore: up.NaiveBytes, NaiveBytesAfter: fp.NaiveBytes,
 		})
+		rep.Kernels = append(rep.Kernels, kernelSummary(name, fused)...)
 
 		g := tensor.NewRNG(9400)
 		for _, batch := range rep.Batches {
@@ -207,24 +290,43 @@ func EngineComparison(sc Scale) *EngineReport {
 			if batch == 1 {
 				iters = 10
 			}
-			interp, interpAllocs := timeAndAllocs(iters, func() { cm.Int.Forward(x) })
-			iRow := EngineRow{
-				Model: name, Batch: batch, Config: CfgInterpreter,
-				NsPerOp:     float64(interp.Nanoseconds()),
-				UsPerSample: float64(interp.Microseconds()) / float64(batch),
-				AllocsPerOp: interpAllocs,
+			var iRow, pr1, wide EngineRow
+			atBudget(procs[0], func() {
+				interp, interpAllocs := timeAndAllocs(iters, func() { cm.Int.Forward(x) })
+				iRow = EngineRow{
+					Model: name, Batch: batch, Config: CfgInterpreter, GoMaxProcs: procs[0],
+					NsPerOp:     float64(interp.Nanoseconds()),
+					UsPerSample: float64(interp.Microseconds()) / float64(batch),
+					AllocsPerOp: interpAllocs,
+				}
+				pr1 = measureExec(name, batch, CfgPR1, unfused, engine.Im2ColKernels(), x, iters)
+				wide = measureExec(name, batch, CfgFusedI64, fused, engine.FastKernelsI64(), x, iters)
+				pr1.GoMaxProcs, wide.GoMaxProcs = procs[0], procs[0]
+				pr1.SpeedupVsInterp = iRow.NsPerOp / pr1.NsPerOp
+				wide.SpeedupVsInterp = iRow.NsPerOp / wide.NsPerOp
+				wide.SpeedupVsPR1 = pr1.NsPerOp / wide.NsPerOp
+			})
+			rep.Rows = append(rep.Rows, iRow, pr1, wide)
+			for _, p := range procs {
+				var noswar, swar EngineRow
+				atBudget(p, func() {
+					noswar = measureExec(name, batch, CfgFused, fused, engine.FastKernelsNoSwar(), x, iters)
+					swar = measureExec(name, batch, CfgFusedSwar, fused, engine.FastKernels(), x, iters)
+				})
+				noswar.GoMaxProcs, swar.GoMaxProcs = p, p
+				noswar.SpeedupVsInterp = iRow.NsPerOp / noswar.NsPerOp
+				noswar.SpeedupVsPR1 = pr1.NsPerOp / noswar.NsPerOp
+				swar.SpeedupVsInterp = iRow.NsPerOp / swar.NsPerOp
+				swar.SpeedupVsPR1 = pr1.NsPerOp / swar.NsPerOp
+				swar.SpeedupVsPR5 = noswar.NsPerOp / swar.NsPerOp
+				rep.Rows = append(rep.Rows, noswar, swar)
 			}
-			pr1 := measureExec(name, batch, CfgPR1, unfused, engine.Im2ColKernels(), x, iters)
-			wide := measureExec(name, batch, CfgFusedI64, fused, engine.FastKernelsI64(), x, iters)
-			fast := measureExec(name, batch, CfgFused, fused, engine.FastKernels(), x, iters)
-			pr1.SpeedupVsInterp = iRow.NsPerOp / pr1.NsPerOp
-			wide.SpeedupVsInterp = iRow.NsPerOp / wide.NsPerOp
-			wide.SpeedupVsPR1 = pr1.NsPerOp / wide.NsPerOp
-			fast.SpeedupVsInterp = iRow.NsPerOp / fast.NsPerOp
-			fast.SpeedupVsPR1 = pr1.NsPerOp / fast.NsPerOp
-			rep.Rows = append(rep.Rows, iRow, pr1, wide, fast)
 			if batch == 1 {
-				ref := measureExec(name, batch, CfgFusedRef, fused, engine.ReferenceKernels(), x, iters)
+				var ref EngineRow
+				atBudget(procs[0], func() {
+					ref = measureExec(name, batch, CfgFusedRef, fused, engine.ReferenceKernels(), x, iters)
+				})
+				ref.GoMaxProcs = procs[0]
 				ref.SpeedupVsInterp = iRow.NsPerOp / ref.NsPerOp
 				rep.Rows = append(rep.Rows, ref)
 			}
@@ -315,20 +417,23 @@ func ServeComparison(sc Scale) []ServeRow {
 // FormatEngine renders the engine comparison tables.
 func FormatEngine(rep *EngineReport) string {
 	var sb strings.Builder
-	sb.WriteString("Engine — typed fused+prepacked vs I64 vs PR-1 engine vs IntLayer interpreter\n")
-	fmt.Fprintf(&sb, "%-10s %6s %-20s %12s %10s %8s %8s %7s %12s %12s  %s\n",
-		"model", "batch", "config", "µs/smp", "allocs", "vs intp", "vs pr1",
+	sb.WriteString("Engine — typed fused+prepacked (SWAR on/off, GOMAXPROCS sweep) vs I64 vs PR-1 engine vs IntLayer interpreter\n")
+	fmt.Fprintf(&sb, "%-10s %6s %-22s %5s %12s %10s %8s %8s %8s %7s %12s %12s  %s\n",
+		"model", "batch", "config", "procs", "µs/smp", "allocs", "vs intp", "vs pr1", "vs pr5",
 		"instrs", "arena B", "scratch B", "arena dtypes")
 	for _, r := range rep.Rows {
-		vsI, vsP := "", ""
+		vsI, vsP, vs5 := "", "", ""
 		if r.SpeedupVsInterp > 0 {
 			vsI = fmt.Sprintf("%.2fx", r.SpeedupVsInterp)
 		}
 		if r.SpeedupVsPR1 > 0 {
 			vsP = fmt.Sprintf("%.2fx", r.SpeedupVsPR1)
 		}
-		fmt.Fprintf(&sb, "%-10s %6d %-20s %12.0f %10.1f %8s %8s %7d %12d %12d  %s\n",
-			r.Model, r.Batch, r.Config, r.UsPerSample, r.AllocsPerOp, vsI, vsP,
+		if r.SpeedupVsPR5 > 0 {
+			vs5 = fmt.Sprintf("%.2fx", r.SpeedupVsPR5)
+		}
+		fmt.Fprintf(&sb, "%-10s %6d %-22s %5d %12.0f %10.1f %8s %8s %8s %7d %12d %12d  %s\n",
+			r.Model, r.Batch, r.Config, r.GoMaxProcs, r.UsPerSample, r.AllocsPerOp, vsI, vsP, vs5,
 			r.Instrs, r.ArenaBytes, r.ScratchBytes, formatDTypeBytes(r.ArenaByDType))
 	}
 	sb.WriteString("\nFusion — instruction and buffer reduction (batch-8 plans)\n")
@@ -340,6 +445,23 @@ func FormatEngine(rep *EngineReport) string {
 			f.Model, f.InstrsBefore, f.InstrsAfter, f.BuffersBefore, f.BuffersAfter,
 			f.FoldedRescales, f.FusedAdds, f.FoldedFlattens,
 			f.ArenaBytesBefore, f.ArenaBytesAfter)
+	}
+	if len(rep.Kernels) > 0 {
+		sb.WriteString("\nKernel config — bound compute paths (fused program, batch-8 bind)\n")
+		fmt.Fprintf(&sb, "%-10s %-12s %6s %6s %10s\n", "model", "path", "count", "lanes", "site tile")
+		for _, k := range rep.Kernels {
+			lanes, tiles := "", ""
+			if k.Lanes > 0 {
+				lanes = fmt.Sprintf("%d", k.Lanes)
+			}
+			if k.TileMax > 0 {
+				tiles = fmt.Sprintf("%d", k.TileMax)
+				if k.TileMin != k.TileMax {
+					tiles = fmt.Sprintf("%d–%d", k.TileMin, k.TileMax)
+				}
+			}
+			fmt.Fprintf(&sb, "%-10s %-12s %6d %6s %10s\n", k.Model, k.Path, k.Count, lanes, tiles)
+		}
 	}
 	if len(rep.Serve) > 0 {
 		sb.WriteString("\nServing — micro-batching runtime\n")

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 
+	"torch2chip/internal/intmath"
 	"torch2chip/internal/tensor"
 )
 
@@ -109,11 +110,13 @@ func (p *Program) AnnotateDTypes() error {
 func (p *Program) Annotated() bool { return p.BufDTypes != nil }
 
 // storageInfo is the resolved typed-storage decision: the per-buffer
-// storage dtype after demotions, and per instruction whether conv/linear
-// takes the narrow int32-accumulate path.
+// storage dtype after demotions, per instruction whether conv/linear
+// takes the narrow int32-accumulate path, and whether it may additionally
+// take the SWAR lane-packed path (a strict subset of typed).
 type storageInfo struct {
 	dts   []tensor.DType
 	typed []bool
+	swar  []bool
 }
 
 // maxAbsWeight scans the integer weight tensor once (bind-time only).
@@ -160,6 +163,7 @@ func (p *Program) storage() (*storageInfo, error) {
 	st = &storageInfo{
 		dts:   make([]tensor.DType, p.NumBufs),
 		typed: make([]bool, len(p.Instrs)),
+		swar:  make([]bool, len(p.Instrs)),
 	}
 	if p.BufDTypes == nil || len(p.BufDTypes) != p.NumBufs {
 		packInitMu.Lock()
@@ -228,8 +232,48 @@ func (p *Program) storage() (*storageInfo, error) {
 			forceI64(it.Out)
 		}
 	}
+
+	// SWAR eligibility is decided after all demotions settled: the packed
+	// microkernel gathers activations as biased bytes, so the input's
+	// resolved storage must be 8-bit, and the biased dot product must fit
+	// one 32-bit lane. Grouped convs keep the direct kernel — channel
+	// pairing has nothing to pack there.
+	for i := range p.Instrs {
+		it := &p.Instrs[i]
+		if !st.typed[i] {
+			continue
+		}
+		if it.Kind == OpConv && it.P.Groups > 1 {
+			continue
+		}
+		var k int64
+		if it.Kind == OpConv {
+			k = int64(it.W.Shape[1] * it.W.Shape[2] * it.W.Shape[3])
+		} else if it.Kind == OpLinear {
+			k = int64(it.W.Shape[1])
+		} else {
+			continue
+		}
+		ad := st.dts[it.In[0]]
+		if ad != tensor.I8 && ad != tensor.U8 {
+			continue
+		}
+		wMin, wMax := maxAbsWeight(it.W)
+		st.swar[i] = swarEligible(k, ad, wMin, wMax)
+	}
 	packInitMu.Lock()
 	p.stor = st
 	packInitMu.Unlock()
 	return st, nil
+}
+
+// swarEligible is the lane-overflow legality rule: activations biased to
+// the storage dtype's full unsigned span (so any code the executor
+// accepts is safe, not just the derived range) and weights biased by
+// −wMin give non-negative multiplicands with spans aSpan = hi−lo and
+// wSpan = wMax−wMin; the K-long biased dot product must fit one 32-bit
+// sub-accumulator.
+func swarEligible(k int64, ad tensor.DType, wMin, wMax int64) bool {
+	lo, hi := ad.Range()
+	return intmath.SwarLegal(k, hi-lo, wMax-wMin)
 }

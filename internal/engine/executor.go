@@ -28,9 +28,12 @@ type Executor struct {
 	arI32 []int32
 
 	bufs        []*tensor.IntTensor
-	scratchBufs [][]int64                 // grow-only kernel scratch (legacy lazy kernels + staging chunks)
-	states      []any                     // per-instr cached kernel state
-	ins         [maxIns]*tensor.IntTensor // reused input operand slice
+	scratchBufs [][]int64             // grow-only kernel scratch (legacy lazy kernels + staging chunks)
+	states      []any                 // per-instr cached kernel state
+	opIns       [][]*tensor.IntTensor // per-instr input operand views, bound once
+	waves       []wave                // hazard-free instruction groups (schedule.go)
+	maxPar      int                   // WithMaxParallel bound (0 = pool width)
+	waveRuns    int                   // waves executed member-concurrently so far
 
 	// Prepacked-kernel support, sized at bind time by the registry's
 	// prep hooks. slotScratch holds int64 words (legacy panels and the
@@ -48,17 +51,30 @@ type Executor struct {
 	accNeed     int
 }
 
-// maxIns is the largest instruction fan-in (residual add reads two).
-const maxIns = 2
-
 // ExecOption configures NewExecutor.
 type ExecOption func(*execConfig)
 
-type execConfig struct{ reg *Registry }
+type execConfig struct {
+	reg    *Registry
+	maxPar int
+}
 
 // WithKernels selects the kernel registry (default: DefaultKernels).
 func WithKernels(r *Registry) ExecOption {
 	return func(c *execConfig) { c.reg = r }
+}
+
+// WithMaxParallel caps how many worker-pool lanes this executor's
+// kernels may occupy at once (0 or less = the pool's full width). A
+// server running R replicas binds each with ⌈width/R⌉ so concurrent
+// executors share cores instead of oversubscribing them.
+func WithMaxParallel(n int) ExecOption {
+	return func(c *execConfig) {
+		if n < 0 {
+			n = 0
+		}
+		c.maxPar = n
+	}
 }
 
 // NewExecutor plans and binds a program for inputs of shape inShape
@@ -96,6 +112,7 @@ func NewExecutor(p *Program, inShape []int, opts ...ExecOption) (*Executor, erro
 		bufs:        make([]*tensor.IntTensor, p.NumBufs),
 		scratchBufs: make([][]int64, 4),
 		states:      make([]any, len(p.Instrs)),
+		maxPar:      cfg.maxPar,
 	}
 	ex.arI64 = make([]int64, plan.ArenaElems[tensor.I64])
 	ex.arI8 = make([]int8, plan.ArenaElems[tensor.I8])
@@ -110,9 +127,15 @@ func NewExecutor(p *Program, inShape []int, opts ...ExecOption) (*Executor, erro
 		ex.bufs[b] = ex.arenaView(plan.DTypes[b], plan.Offsets[b], plan.Shapes[b])
 	}
 	ex.kern = make([]KernelFunc, len(p.Instrs))
+	ex.opIns = make([][]*tensor.IntTensor, len(p.Instrs))
 	for i := range p.Instrs {
 		k, _ := reg.Lookup(p.Instrs[i].Kind)
 		ex.kern[i] = k
+		ops := make([]*tensor.IntTensor, len(p.Instrs[i].In))
+		for j, b := range p.Instrs[i].In {
+			ops[j] = ex.bufs[b]
+		}
+		ex.opIns[i] = ops
 	}
 	// Bind-time prep: prepack weights, epilogue constants, and cached
 	// index maps so the first Execute already runs the steady state.
@@ -182,6 +205,7 @@ func NewExecutor(p *Program, inShape []int, opts ...ExecOption) (*Executor, erro
 			}
 		}
 	}
+	ex.buildWaves()
 	return ex, nil
 }
 
@@ -392,14 +416,43 @@ func (ex *Executor) DequantizeInto(out *tensor.Tensor, codes *tensor.IntTensor) 
 // OutShape returns the planned output logits shape.
 func (ex *Executor) OutShape() []int { return ex.plan.Shapes[ex.prog.Output] }
 
+// run executes the bound program wave by wave. A wave whose members
+// all carry a serial fallback runs them concurrently on the shared
+// pool when no single member could saturate it alone (each member then
+// owns one slot's scratch for its whole duration); otherwise members
+// run in program order with their own intra-op parallelism. Both paths
+// compute identical values — wave members write disjoint arena
+// intervals by construction.
 func (ex *Executor) run() {
-	for i := range ex.prog.Instrs {
-		it := &ex.prog.Instrs[i]
-		for j, b := range it.In {
-			ex.ins[j] = ex.bufs[b]
+	for wi := range ex.waves {
+		wv := &ex.waves[wi]
+		if wv.safe && len(wv.members) >= 2 {
+			if w := ex.kernelWorkers(); w > 1 && wv.units < w {
+				ex.waveRuns++
+				members := wv.members
+				tensor.ParallelForSlotsN(len(members), ex.maxPar, true, func(i, slot int) {
+					ex.runInstrSeq(members[i], slot)
+				})
+				continue
+			}
 		}
-		ex.kern[i](ex, i, it, ex.ins[:len(it.In)], ex.bufs[it.Out])
+		for _, i := range wv.members {
+			ex.runInstr(i)
+		}
 	}
+}
+
+// runInstr dispatches one instruction through its bound kernel (the
+// kernel may parallelize internally).
+func (ex *Executor) runInstr(i int) {
+	it := &ex.prog.Instrs[i]
+	ex.kern[i](ex, i, it, ex.opIns[i], ex.bufs[it.Out])
+}
+
+// runInstrSeq runs one wave member serially, confined to slot.
+func (ex *Executor) runInstrSeq(i, slot int) {
+	it := &ex.prog.Instrs[i]
+	ex.states[i].(waveRunner).runSeq(ex, i, it, ex.opIns[i], ex.bufs[it.Out], slot)
 }
 
 // KernelState returns the cached state slot for instruction idx. Kernels

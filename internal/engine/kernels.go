@@ -35,6 +35,7 @@ type Registry struct {
 	kernels map[OpKind]KernelFunc
 	preps   map[OpKind]PrepFunc
 	typed   bool
+	swar    bool
 }
 
 // NewRegistry returns an empty registry.
@@ -49,6 +50,7 @@ func NewRegistry() *Registry {
 func (r *Registry) Register(kind OpKind, k KernelFunc) {
 	r.kernels[kind] = k
 	r.typed = false
+	r.swar = false
 }
 
 // RegisterPrep installs the bind-time prep hook for kind (and, like
@@ -56,6 +58,7 @@ func (r *Registry) Register(kind OpKind, k KernelFunc) {
 func (r *Registry) RegisterPrep(kind OpKind, p PrepFunc) {
 	r.preps[kind] = p
 	r.typed = false
+	r.swar = false
 }
 
 // TypedStorage reports whether executors built from this registry plan
@@ -84,6 +87,7 @@ func (r *Registry) Clone() *Registry {
 		c.preps[k] = v
 	}
 	c.typed = r.typed
+	c.swar = r.swar
 	return c
 }
 
@@ -235,6 +239,9 @@ func ReferenceKernels() *Registry {
 // narrow per-dtype arenas, conv/linear run the int8-panel GEMM with
 // int32 accumulation where the program's value ranges permit, and odd
 // widths fall back to the I64 kernels per instruction.
+// Where the storage pass additionally proves the SWAR lane bound, dense
+// conv/linear run the lane-packed microkernel (two output channels per
+// 64-bit accumulator word over byte-gathered activation panels).
 func FastKernels() *Registry {
 	r := ReferenceKernels().Clone()
 	r.Register(OpConv, kernelConvPacked)
@@ -243,6 +250,17 @@ func FastKernels() *Registry {
 	r.RegisterPrep(OpLinear, prepLinear)
 	r.RegisterPrep(OpMatMul, prepMatMul)
 	r.typed = true
+	r.swar = true
+	return r
+}
+
+// FastKernelsNoSwar is FastKernels with the SWAR microkernel disabled:
+// the PR-5 typed int32-panel configuration, kept as the measured baseline
+// the lane-packed path is compared against (`fused+prepacked` bench
+// rows).
+func FastKernelsNoSwar() *Registry {
+	r := FastKernels()
+	r.swar = false
 	return r
 }
 
@@ -252,6 +270,7 @@ func FastKernels() *Registry {
 func FastKernelsI64() *Registry {
 	r := FastKernels()
 	r.typed = false
+	r.swar = false
 	return r
 }
 
@@ -294,7 +313,7 @@ func kernelConvFast(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, ou
 		kernelConvGEMM(ex, idx, it, in, out, pp)
 		return
 	}
-	kernelConvGrouped(it, in, out, pp)
+	kernelConvGrouped(ex, it, in, out, pp)
 }
 
 // convState caches the im2col/GEMM tensor headers for one conv
@@ -332,7 +351,7 @@ func kernelConvGEMM(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, ou
 	scaler := it.Scaler
 	fused := it.FusedRescale != nil || it.FusedAdd
 	add := fusedAddOperand(it, in)
-	tensor.ParallelForInt(n*o, n*o*spatial >= 1<<15, func(job int) {
+	tensor.ParallelForIntN(n*o, ex.maxPar, n*o*spatial >= 1<<15, func(job int) {
 		ni, oc := job/o, job%o
 		base := (ni*o + oc) * spatial
 		dst := out.Data[base : base+spatial]
@@ -372,7 +391,7 @@ func epilogueGather(it *Instr, dst, src []int64, stride, oc int, add []int64) {
 	}
 }
 
-func kernelConvGrouped(it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor, pp tensor.ConvParams) {
+func kernelConvGrouped(ex *Executor, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor, pp tensor.ConvParams) {
 	x := in[0]
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	o, cg, kH, kW := it.W.Shape[0], it.W.Shape[1], it.W.Shape[2], it.W.Shape[3]
@@ -382,7 +401,7 @@ func kernelConvGrouped(it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor,
 	scaler := it.Scaler
 	fused := it.FusedRescale != nil || it.FusedAdd
 	add := fusedAddOperand(it, in)
-	tensor.ParallelForInt(n*o, n*o*oh*ow*cg*kH*kW >= 1<<15, func(job int) {
+	tensor.ParallelForIntN(n*o, ex.maxPar, n*o*oh*ow*cg*kH*kW >= 1<<15, func(job int) {
 		ni, oc := job/o, job%o
 		g := oc / og
 		wBase := oc * cg * kH * kW

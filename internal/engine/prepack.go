@@ -100,19 +100,22 @@ type convKey struct {
 // It is built once per (instruction, variant) and shared (read-only) by
 // every executor bound to the program.
 type sharedPack struct {
-	wp   []int64
-	wp32 []int32
-	zsum []int64
-	epi  epi
+	wp    []int64
+	wp32  []int32
+	wps   []uint64 // SWAR lane-packed biased weights
+	zsum  []int64
+	bcorr []int64 // SWAR activation-bias correction ba·Σw per channel
+	epi   epi
 }
 
-// sharedKey identifies a shared pack: the instruction plus whether it is
-// the typed (int8-panel) or legacy (int64-panel) variant — one program
-// can serve executors of both kinds concurrently (e.g. the bench harness
-// comparing FastKernels against FastKernelsI64).
+// sharedKey identifies a shared pack: the instruction plus which variant
+// — typed (int8-panel), swar (lane-packed), or legacy (int64-panel) —
+// one program can serve executors of all kinds concurrently (e.g. the
+// bench harness comparing FastKernels against FastKernelsI64).
 type sharedKey struct {
 	idx   int
 	typed bool
+	swar  bool
 }
 
 // packCache is the per-Program store of shared prepacked state and
@@ -250,6 +253,9 @@ func prepConv(ex *Executor, idx int, it *Instr) (any, error) {
 	if len(in) != 4 {
 		return nil, fmt.Errorf("engine: conv %s input rank %d", it.Name, len(in))
 	}
+	if ex.swarInstr(idx) {
+		return prepConvSwar(ex, idx, it)
+	}
 	if ex.typedInstr(idx) {
 		return prepConvTyped(ex, idx, it)
 	}
@@ -343,6 +349,9 @@ func prepLinear(ex *Executor, idx int, it *Instr) (any, error) {
 	if len(in) < 2 {
 		return nil, fmt.Errorf("engine: linear %s input rank %d", it.Name, len(in))
 	}
+	if ex.swarInstr(idx) {
+		return prepLinearSwar(ex, idx, it)
+	}
 	if ex.typedInstr(idx) {
 		return prepLinearTyped(ex, idx, it)
 	}
@@ -373,7 +382,9 @@ func kernelConvPacked(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, 
 	case *convPack:
 		runConvPacked(ex, st, it, in, out)
 	case *gconvPack:
-		runConvGroupedPacked(st, it, in, out)
+		runConvGroupedPacked(ex, st, it, in, out)
+	case *convPackS:
+		runConvSwar(ex, st, it, in, out)
 	case *convPackT:
 		runConvTyped(ex, st, it, in, out)
 	case *gconvPackT:
@@ -394,7 +405,7 @@ func runConvPacked(ex *Executor, st *convPack, it *Instr, in []*tensor.IntTensor
 	add := fusedAddOperand(it, in)
 	outD := out.Data
 	colW := st.colW
-	tensor.ParallelForSlots(st.n*st.tiles, st.parallel, func(job, slot int) {
+	tensor.ParallelForSlotsN(st.n*st.tiles, ex.maxPar, st.parallel, func(job, slot int) {
 		ni, t := job/st.tiles, job%st.tiles
 		s0 := t * st.tm
 		m := st.tm
@@ -482,13 +493,13 @@ func (st *convPack) finishSite(outD, add []int64, outBase, s, oc0, nch int, c0, 
 // blocking and no bounds checks; border sites take the checked loop.
 // Both paths gather raw codes and correct with z·Σw, exactly like the
 // dense kernel.
-func runConvGroupedPacked(st *gconvPack, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) {
+func runConvGroupedPacked(ex *Executor, st *gconvPack, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) {
 	x := in[0]
 	add := fusedAddOperand(it, in)
 	outD := out.Data
 	wD := it.W.Data
 	nt := len(st.off)
-	tensor.ParallelForInt(st.n*st.o, st.parallel, func(job int) {
+	tensor.ParallelForIntN(st.n*st.o, ex.maxPar, st.parallel, func(job int) {
 		ni, oc := job/st.o, job%st.o
 		g := oc / st.og
 		wv := wD[oc*nt : (oc+1)*nt]
@@ -567,6 +578,10 @@ func (st *gconvPack) borderAcc(xd, wv []int64, xBase, oy, ox int) int64 {
 // directly (no gather needed) with the zero point folded into the
 // row-sum correction, eliminating the shifted input copy entirely.
 func kernelLinearPacked(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) {
+	if st, ok := (*ex.KernelState(idx)).(*linPackS); ok {
+		runLinearSwar(ex, st, it, in, out)
+		return
+	}
 	if st, ok := (*ex.KernelState(idx)).(*linPackT); ok {
 		runLinearTyped(ex, st, it, in, out)
 		return
@@ -580,7 +595,7 @@ func kernelLinearPacked(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor
 	add := fusedAddOperand(it, in)
 	outD := out.Data
 	k := st.k
-	tensor.ParallelForInt(st.np, st.parallel, func(pb int) {
+	tensor.ParallelForIntN(st.np, ex.maxPar, st.parallel, func(pb int) {
 		wp := st.wp[pb*k*panelW : (pb+1)*k*panelW]
 		oc0 := pb * panelW
 		nch := st.o - oc0

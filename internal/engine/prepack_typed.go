@@ -223,7 +223,7 @@ func prepConvTyped(ex *Executor, idx int, it *Instr) (any, error) {
 		zsum:        sh.zsum,
 		epi:         sh.epi,
 	}
-	st.tm = tileSites(colW, st.spatial)
+	st.tm = splitTileM(tileSites(colW, st.spatial), st.spatial, n, ex.kernelWorkers())
 	st.tiles = (st.spatial + st.tm - 1) / st.tm
 	st.np = (o + panelW - 1) / panelW
 	st.parallel = n*st.spatial*colW*o >= 1<<16
@@ -290,13 +290,19 @@ func runConvTyped(ex *Executor, st *convPackT, it *Instr, in []*tensor.IntTensor
 // row-sum correct, requantize, fused epilogue — through an int64 staging
 // chunk narrowed into the NCHW output planes.
 func runConvTypedA[A tensor.Elem](ex *Executor, st *convPackT, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) {
+	tensor.ParallelForSlotsN(st.n*st.tiles, ex.maxPar, st.parallel, convTypedJob[A](ex, st, it, in, out))
+}
+
+// convTypedJob builds the per-(sample, site-tile) job body shared by
+// the parallel loop and the serial wave fallback.
+func convTypedJob[A tensor.Elem](ex *Executor, st *convPackT, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) func(job, slot int) {
 	xs := typedData[A](in[0])
 	var add *tensor.IntTensor
 	if it.FusedAdd {
 		add = in[len(in)-1]
 	}
 	colW, o := st.colW, st.o
-	tensor.ParallelForSlots(st.n*st.tiles, st.parallel, func(job, slot int) {
+	return func(job, slot int) {
 		ni, t := job/st.tiles, job%st.tiles
 		s0 := t * st.tm
 		m := st.tm
@@ -324,7 +330,32 @@ func runConvTypedA[A tensor.Elem](ex *Executor, st *convPackT, it *Instr, in []*
 			}
 			finishSegOut(out, off, acc[oc*m:(oc+1)*m], bv, &st.epi, st.zsum[oc], oc)
 		}
-	})
+	}
+}
+
+func (st *convPackT) seqUnits() int { return st.n * st.tiles }
+
+// runSeq executes the whole conv serially on one pool slot (wave
+// member execution).
+func (st *convPackT) runSeq(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor, slot int) {
+	var body func(job, slot int)
+	switch st.ad {
+	case tensor.I8:
+		body = convTypedJob[int8](ex, st, it, in, out)
+	case tensor.U8:
+		body = convTypedJob[uint8](ex, st, it, in, out)
+	case tensor.I16:
+		body = convTypedJob[int16](ex, st, it, in, out)
+	case tensor.U16:
+		body = convTypedJob[uint16](ex, st, it, in, out)
+	case tensor.I32:
+		body = convTypedJob[int32](ex, st, it, in, out)
+	default:
+		body = convTypedJob[int64](ex, st, it, in, out)
+	}
+	for job := 0; job < st.n*st.tiles; job++ {
+		body(job, slot)
+	}
 }
 
 // gemmPanels32 is the non-generic register-blocked int32 microkernel:
@@ -438,6 +469,12 @@ func runConvGroupedTyped(ex *Executor, st *gconvPackT, it *Instr, in []*tensor.I
 // int8-valued weight slab, and the whole plane is finished through an
 // int64 staging buffer narrowed into the output.
 func runConvGroupedTypedA[A tensor.Elem](ex *Executor, st *gconvPackT, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) {
+	tensor.ParallelForSlotsN(st.n*st.o, ex.maxPar, st.parallel, gconvTypedJob[A](ex, st, it, in, out))
+}
+
+// gconvTypedJob builds the per-(sample, channel-plane) job body shared
+// by the parallel loop and the serial wave fallback.
+func gconvTypedJob[A tensor.Elem](ex *Executor, st *gconvPackT, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) func(job, slot int) {
 	xs := typedData[A](in[0])
 	var add *tensor.IntTensor
 	if it.FusedAdd {
@@ -446,7 +483,7 @@ func runConvGroupedTypedA[A tensor.Elem](ex *Executor, st *gconvPackT, it *Instr
 	nt := len(st.off)
 	ohw := st.oh * st.ow
 	slab := st.cg * st.h * st.w
-	tensor.ParallelForSlots(st.n*st.o, st.parallel, func(job, slot int) {
+	return func(job, slot int) {
 		ni, oc := job/st.o, job%st.o
 		g := oc / st.og
 		wv := st.w32[oc*nt : (oc+1)*nt]
@@ -504,7 +541,32 @@ func runConvGroupedTypedA[A tensor.Elem](ex *Executor, st *gconvPackT, it *Instr
 			add.ReadInt64(bv, base)
 		}
 		finishSegOut(out, base, acc, bv, &st.epi, st.zsum[oc], oc)
-	})
+	}
+}
+
+func (st *gconvPackT) seqUnits() int { return st.n * st.o }
+
+// runSeq executes the whole grouped conv serially on one pool slot
+// (wave member execution).
+func (st *gconvPackT) runSeq(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor, slot int) {
+	var body func(job, slot int)
+	switch st.ad {
+	case tensor.I8:
+		body = gconvTypedJob[int8](ex, st, it, in, out)
+	case tensor.U8:
+		body = gconvTypedJob[uint8](ex, st, it, in, out)
+	case tensor.I16:
+		body = gconvTypedJob[int16](ex, st, it, in, out)
+	case tensor.U16:
+		body = gconvTypedJob[uint16](ex, st, it, in, out)
+	case tensor.I32:
+		body = gconvTypedJob[int32](ex, st, it, in, out)
+	default:
+		body = gconvTypedJob[int64](ex, st, it, in, out)
+	}
+	for job := 0; job < st.n*st.o; job++ {
+		body(job, slot)
+	}
 }
 
 // borderAcc32 accumulates one output site with per-tap bounds checks
@@ -562,7 +624,7 @@ func runLinearTypedA[A tensor.Elem](ex *Executor, st *linPackT, it *Instr, in []
 	}
 	k, o := st.k, st.o
 	acc := st.acc
-	tensor.ParallelForInt(st.np, st.parallel, func(pb int) {
+	tensor.ParallelForIntN(st.np, ex.maxPar, st.parallel, func(pb int) {
 		wp := st.wp32[pb*k*panelW : (pb+1)*k*panelW]
 		oc0 := pb * panelW
 		nch := o - oc0

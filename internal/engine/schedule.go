@@ -1,0 +1,166 @@
+package engine
+
+// Bind-time wave scheduling: the executor groups consecutive
+// instructions that have no data or storage hazards between them into
+// waves. At run time a wave whose members all carry a serial fallback
+// (waveRunner) may execute its members concurrently on the shared
+// worker pool — cross-instruction parallelism for independent IR nodes
+// (e.g. the q/k/v projections of a transformer block) that are each too
+// small to saturate the pool alone. Hazards are decided on arena
+// intervals, not buffer IDs: the planner reuses freed arena ranges and
+// aliases flattened views, so two distinct buffers may share storage —
+// interval overlap within the same dtype arena is the ground truth.
+
+import "torch2chip/internal/tensor"
+
+// waveRunner is implemented by prepacked kernel states that can run
+// their whole instruction serially on one parallel slot, touching only
+// that slot's scratch. That is exactly the contract wave-parallel
+// execution needs: members run concurrently, each confined to the slot
+// the pool handed it. States that stage through the executor's shared
+// grow-only scratch (legacy and elementwise kernels, the typed linear's
+// shared accumulator) must not implement it.
+type waveRunner interface {
+	runSeq(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor, slot int)
+	// seqUnits reports the instruction's parallel job count — the wave
+	// heuristic only trades intra-op splitting for cross-instruction
+	// concurrency when no member could saturate the pool by itself.
+	seqUnits() int
+}
+
+// wave is one scheduling step of the bound program.
+type wave struct {
+	members []int
+	safe    bool // every member implements waveRunner
+	units   int  // largest member job count
+}
+
+// span is a half-open element range in one dtype arena. The zero
+// span (lo == hi) never overlaps anything.
+type span struct {
+	dt     tensor.DType
+	lo, hi int
+}
+
+func overlaps(a, b span) bool {
+	return a.dt == b.dt && a.lo < b.hi && b.lo < a.hi
+}
+
+// bufInterval returns the arena range buffer b occupies (zero interval
+// for unplaced buffers, which are never live operands).
+func (ex *Executor) bufInterval(b int) span {
+	if b < 0 || ex.plan.Offsets[b] < 0 {
+		return span{}
+	}
+	off := ex.plan.Offsets[b]
+	return span{dt: ex.plan.DTypes[b], lo: off, hi: off + tensor.Numel(ex.plan.Shapes[b])}
+}
+
+// buildWaves greedily grows waves in program order. An instruction
+// joins the current wave iff the wave (and the instruction) are
+// wave-safe and its output interval is disjoint from every member's
+// reads and writes, and its reads are disjoint from every member's
+// write — the classic RAW/WAR/WAW conditions on storage. Anything else
+// closes the wave; a non-wave-safe instruction always sits in a
+// singleton (the next instruction sees safe == false and flushes).
+func (ex *Executor) buildWaves() {
+	var waves []wave
+	cur := wave{safe: true}
+	var curW, curR []span
+	flush := func() {
+		if len(cur.members) > 0 {
+			waves = append(waves, cur)
+		}
+		cur = wave{safe: true}
+		curW, curR = curW[:0], curR[:0]
+	}
+	for i := range ex.prog.Instrs {
+		it := &ex.prog.Instrs[i]
+		wr, isWR := ex.states[i].(waveRunner)
+		w := ex.bufInterval(it.Out)
+		var rs []span
+		for _, b := range it.In {
+			rs = append(rs, ex.bufInterval(b))
+		}
+		hazard := !isWR || !cur.safe
+		if !hazard {
+		scan:
+			for _, pw := range curW {
+				if overlaps(w, pw) {
+					hazard = true
+					break
+				}
+				for _, r := range rs {
+					if overlaps(r, pw) {
+						hazard = true
+						break scan
+					}
+				}
+			}
+			if !hazard {
+				for _, pr := range curR {
+					if overlaps(w, pr) {
+						hazard = true
+						break
+					}
+				}
+			}
+		}
+		if hazard {
+			flush()
+		}
+		cur.members = append(cur.members, i)
+		cur.safe = cur.safe && isWR
+		curW = append(curW, w)
+		curR = append(curR, rs...)
+		if isWR {
+			if u := wr.seqUnits(); u > cur.units {
+				cur.units = u
+			}
+		}
+	}
+	flush()
+	ex.waves = waves
+}
+
+// WaveSummary reports the member count of every scheduling wave in
+// program order — introspection for tests and the bench harness (a
+// count > 1 means those instructions may run concurrently).
+func (ex *Executor) WaveSummary() []int {
+	out := make([]int, len(ex.waves))
+	for i := range ex.waves {
+		out[i] = len(ex.waves[i].members)
+	}
+	return out
+}
+
+// WaveParallelRuns counts how many waves have executed their members
+// concurrently since bind — the run-time heuristic can decline a wave
+// (pool width 1, or a member already saturates the pool), so tests and
+// the bench harness use this to tell whether cross-instruction
+// parallelism actually engaged.
+func (ex *Executor) WaveParallelRuns() int { return ex.waveRuns }
+
+// kernelWorkers is the parallelism actually available to this
+// executor's kernels: the pool's effective width clamped by the
+// executor's own WithMaxParallel bound.
+func (ex *Executor) kernelWorkers() int {
+	w := tensor.Parallelism()
+	if ex.maxPar > 0 && ex.maxPar < w {
+		w = ex.maxPar
+	}
+	return w
+}
+
+// splitTileM halves a GEMM site tile until the (sample × tile) job grid
+// offers at least one job per available worker, so small layers still
+// scale instead of leaving workers idle. Tile size never affects
+// values — each site's accumulator and epilogue are element-local — so
+// this is a pure scheduling choice. The floor keeps the microkernel's
+// register blocking worthwhile.
+func splitTileM(tm, spatial, n, workers int) int {
+	for tm > 8 && n*((spatial+tm-1)/tm) < workers {
+		tm >>= 1
+	}
+	return tm
+}

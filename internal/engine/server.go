@@ -30,6 +30,13 @@ type ServerOptions struct {
 	// Workers is the number of executor-owning goroutines (default
 	// GOMAXPROCS/2, min 1).
 	Workers int
+	// KernelThreads bounds the intra-op parallelism of each worker's
+	// executors (default GOMAXPROCS/Workers, min 1). The resolved
+	// Workers×KernelThreads product never exceeds GOMAXPROCS: an
+	// explicitly oversubscribed config is trimmed on the kernel-thread
+	// side, so concurrent replicas share cores instead of each fanning
+	// out to the full pool width.
+	KernelThreads int
 	// MaxBatch is the micro-batch size requests are coalesced into
 	// (default 8).
 	MaxBatch int
@@ -48,11 +55,24 @@ type ServerOptions struct {
 func (o ServerOptions) WithDefaults() ServerOptions { return o.withDefaults() }
 
 func (o ServerOptions) withDefaults() ServerOptions {
+	maxp := runtime.GOMAXPROCS(0)
 	if o.Workers <= 0 {
-		o.Workers = runtime.GOMAXPROCS(0) / 2
+		o.Workers = maxp / 2
 		if o.Workers < 1 {
 			o.Workers = 1
 		}
+	}
+	if o.KernelThreads <= 0 {
+		o.KernelThreads = maxp / o.Workers
+	}
+	// Cap the worker × kernel-thread product at GOMAXPROCS. Workers are
+	// goroutines (the scheduler multiplexes an excess harmlessly), so the
+	// trim lands on the kernel-thread side down to its floor of 1.
+	for o.Workers*o.KernelThreads > maxp && o.KernelThreads > 1 {
+		o.KernelThreads--
+	}
+	if o.KernelThreads < 1 {
+		o.KernelThreads = 1
 	}
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = 8
@@ -280,7 +300,8 @@ func (s *Server) worker() {
 		created := false
 		if !ok {
 			var err error
-			ex, err = NewExecutor(s.prog, append([]int{bucket}, s.sample...), WithKernels(s.opts.Kernels))
+			ex, err = NewExecutor(s.prog, append([]int{bucket}, s.sample...),
+				WithKernels(s.opts.Kernels), WithMaxParallel(s.opts.KernelThreads))
 			if err != nil {
 				for _, r := range batch {
 					r.reply <- reply{err: err}

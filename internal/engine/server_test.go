@@ -2,6 +2,7 @@ package engine_test
 
 import (
 	"errors"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -247,5 +248,95 @@ func TestServerArenaBoundedUnderRaggedLoad(t *testing.T) {
 	t.Logf("arena bytes after ragged 1..%d load: %d (pow2-bucket bound %d)", maxBatch, got, bound)
 	if got > bound {
 		t.Fatalf("arena bytes %d exceed the power-of-two bucket bound %d: ragged sizes are building their own executors", got, bound)
+	}
+}
+
+func TestServerOptionsBoundKernelThreads(t *testing.T) {
+	maxp := runtime.GOMAXPROCS(0)
+	// Defaults must never oversubscribe: Workers×KernelThreads ≤ GOMAXPROCS.
+	d := engine.ServerOptions{}.WithDefaults()
+	if d.KernelThreads < 1 {
+		t.Fatalf("default KernelThreads %d < 1", d.KernelThreads)
+	}
+	if d.Workers*d.KernelThreads > maxp {
+		t.Fatalf("default Workers(%d)×KernelThreads(%d) oversubscribes GOMAXPROCS=%d",
+			d.Workers, d.KernelThreads, maxp)
+	}
+	// An explicitly oversubscribed config is trimmed on the kernel-thread
+	// side, down to the floor of 1 thread per worker.
+	o := engine.ServerOptions{Workers: 2 * maxp, KernelThreads: 2 * maxp}.WithDefaults()
+	if o.Workers != 2*maxp {
+		t.Fatalf("explicit Workers rewritten: %d", o.Workers)
+	}
+	if o.KernelThreads != 1 {
+		t.Fatalf("oversubscribed KernelThreads resolved to %d, want floor 1", o.KernelThreads)
+	}
+	// A config that fits is kept verbatim.
+	k := engine.ServerOptions{Workers: 1, KernelThreads: maxp}.WithDefaults()
+	if k.KernelThreads != maxp {
+		t.Fatalf("fitting KernelThreads rewritten: %d, want %d", k.KernelThreads, maxp)
+	}
+}
+
+// TestServerOversubscribedDrains is the regression test for the worker
+// budget: a config whose worker × kernel-thread product far exceeds the
+// machine must still serve every request correctly and drain on Close,
+// with each executor's parallelism clamped instead of the replicas
+// multiplying into the pool.
+func TestServerOversubscribedDrains(t *testing.T) {
+	g := tensor.NewRNG(47)
+	calib, _ := data.Generate(data.SynthCIFAR10, 32, 8)
+	model := smallCNN(g)
+	_, prog := compile(t, model, calib)
+
+	srv, err := engine.NewServer(prog, []int{3, 8, 8}, engine.ServerOptions{
+		Workers:       8,
+		KernelThreads: 8,
+		MaxBatch:      4,
+		Kernels:       engine.FastKernels(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: a plain single-sample executor on the same registry.
+	ref, err := engine.NewExecutor(prog, []int{1, 3, 8, 8}, engine.WithKernels(engine.FastKernels()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 64
+	inputs := make([]*tensor.Tensor, n)
+	want := make([]*tensor.Tensor, n)
+	for i := range inputs {
+		inputs[i] = g.Uniform(0, 1, 3, 8, 8)
+		y, err := ref.Execute(inputs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = y
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			y, err := srv.Infer(inputs[i])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for j := range y.Data {
+				if y.Data[j] != want[i].Data[j] {
+					t.Errorf("request %d diverges from the reference executor at %d", i, j)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	srv.Close() // must drain, not deadlock
+	if got := srv.Stats().Requests; got != n {
+		t.Fatalf("served %d of %d requests", got, n)
 	}
 }

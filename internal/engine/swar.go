@@ -1,0 +1,609 @@
+package engine
+
+// SWAR lane-packed GEMM microkernels: two output channels share one
+// 64-bit accumulator word (32-bit lanes), so every multiply retires two
+// MACs. Both multiplicands are biased non-negative at bind time —
+// activations gathered as bytes a' = a − lo(dtype) ∈ [0, 255], weights
+// packed as w' = w − wMin ∈ [0, wSpan] — which makes lane sums monotone:
+// as long as the final lane value fits 32 bits (the storage pass proves
+// K·aSpan·wSpan ≤ 2³²−1 per instruction), no carry ever crosses lanes.
+// The raw dot product is recovered exactly from the biased one,
+//
+//	S = S' − bw·ΣA'(site) − ba·Σw(channel),
+//
+// where ΣA' is the per-site sum of gathered bytes (computed during the
+// gather, padding included) and Σw the per-channel weight row sum; the
+// result lands in the same int32 accumulator tile and flows through the
+// identical finishSegOut epilogue (zero-point row-sum correction,
+// requantize, fused epilogue) as the int32-panel path — bit-identity by
+// construction. Cache story: a byte panel holds 8× the sites of an int64
+// panel per cache line (4 codes per 32-bit word), so SWAR tiles target
+// larger site counts while staying L1-resident; K is never split — the
+// legality bound already caps it.
+
+import (
+	"fmt"
+
+	"torch2chip/internal/intmath"
+	"torch2chip/internal/tensor"
+)
+
+// swarLanes is the number of output channels per packed accumulator word.
+const swarLanes = intmath.SwarLanes
+
+// convPackS is the bound state of a dense SWAR convolution.
+type convPackS struct {
+	n, c, h, w       int
+	o, colW, spatial int
+	tm, tiles, np    int
+	sampleElems      int
+	kH, kW           int
+	stride, pad, ow  int
+	oyLo, oyHi       int // interior rows: all taps in bounds
+	oxLo, oxHi       int // interior cols
+	ad               tensor.DType
+	idx              []int32
+	wps              []uint64
+	zsum             []int64 // z·Σw per channel (epilogue correction)
+	bcorr            []int64 // ba·Σw per channel (activation-bias correction)
+	ba, bw           int64
+	epi              epi
+	parallel         bool
+}
+
+// linPackS is the bound state of a SWAR linear layer (row-tiled).
+type linPackS struct {
+	rows, k, o, np int
+	tm, tiles      int
+	ad             tensor.DType
+	wps            []uint64
+	zsum           []int64
+	bcorr          []int64
+	ba, bw         int64
+	epi            epi
+	parallel       bool
+}
+
+// swarInstr reports whether instruction idx takes the SWAR lane-packed
+// path under this executor's registry.
+func (ex *Executor) swarInstr(idx int) bool {
+	return ex.reg.swar && ex.stor != nil && ex.stor.swar[idx]
+}
+
+// packPanelsSwar packs biased weights w' = w + bw into lane pairs,
+// de-interleaved per panel: the first k words of a panel hold channels
+// (0,1) in (low, high) lanes for each tap j, the next k words channels
+// (2,3). The split-half layout lets the microkernel index both word
+// streams with the same tap counter the range loop already bounds.
+// Channels beyond o pack lane value 0, which contributes nothing and is
+// never extracted.
+func packPanelsSwar(w []int64, o, k int, bw int64) []uint64 {
+	np := (o + panelW - 1) / panelW
+	out := make([]uint64, np*k*swarLanes)
+	for pb := 0; pb < np; pb++ {
+		lo := out[pb*k*swarLanes : pb*k*swarLanes+k]
+		hi := out[pb*k*swarLanes+k : (pb+1)*k*swarLanes]
+		for j := 0; j < k; j++ {
+			var lane [panelW]uint32
+			for r := 0; r < panelW; r++ {
+				if oc := pb*panelW + r; oc < o {
+					lane[r] = uint32(w[oc*k+j] + bw)
+				}
+			}
+			lo[j] = intmath.PackLanes2(lane[0], lane[1])
+			hi[j] = intmath.PackLanes2(lane[2], lane[3])
+		}
+	}
+	return out
+}
+
+// tileSitesSwar picks the SWAR site tile: byte panels pack 8× the sites
+// of an int64 panel per cache line, so the target is 16 KiB of gathered
+// activations per tile (L1-resident alongside the packed weight panel).
+func tileSitesSwar(colW, spatial int) int {
+	tm := 16384 / colW
+	if tm < 4 {
+		tm = 4
+	}
+	if tm > 64 {
+		tm = 64
+	}
+	if tm > spatial {
+		tm = spatial
+	}
+	return tm
+}
+
+// swarShared builds (or fetches) the shared SWAR pack of an instruction.
+func swarShared(ex *Executor, idx int, it *Instr, o, k int, ba, bw int64) *sharedPack {
+	return ex.prog.packs().sharedFor(sharedKey{idx: idx, swar: true}, func() *sharedPack {
+		wsum := rowSumsScaled(it.W.Data, o, k, 1)
+		bc := make([]int64, o)
+		for i, s := range wsum {
+			bc[i] = ba * s
+		}
+		return &sharedPack{
+			wps:   packPanelsSwar(it.W.Data, o, k, bw),
+			zsum:  rowSumsScaled(it.W.Data, o, k, it.InZero),
+			bcorr: bc,
+			epi:   newEpi(it, o),
+		}
+	})
+}
+
+// swarBiases derives the activation and weight biases of an instruction:
+// ba from the input's resolved storage dtype (full span, so any accepted
+// code is safe), bw from the actual weight minimum.
+func swarBiases(ad tensor.DType, w *tensor.IntTensor) (ba, bw int64) {
+	lo, _ := ad.Range()
+	wMin, _ := w.MinMax()
+	return -lo, -wMin
+}
+
+// prepConvSwar binds a dense conv onto the SWAR lane-packed path.
+func prepConvSwar(ex *Executor, idx int, it *Instr) (any, error) {
+	in := ex.plan.Shapes[it.In[0]]
+	ad := ex.plan.DTypes[it.In[0]]
+	if ad != tensor.I8 && ad != tensor.U8 {
+		return nil, fmt.Errorf("engine: swar conv %s input dtype %s", it.Name, ad)
+	}
+	pp := it.P
+	if pp.Stride <= 0 {
+		pp.Stride = 1
+	}
+	n, c, h, w := in[0], in[1], in[2], in[3]
+	o, _, kH, kW := it.W.Shape[0], it.W.Shape[1], it.W.Shape[2], it.W.Shape[3]
+	oh, ow := pp.ConvOutSize(h, kH), pp.ConvOutSize(w, kW)
+	colW := c * kH * kW
+	ba, bw := swarBiases(ad, it.W)
+	sh := swarShared(ex, idx, it, o, colW, ba, bw)
+	st := &convPackS{
+		n: n, c: c, h: h, w: w,
+		o: o, colW: colW, spatial: oh * ow,
+		sampleElems: c * h * w,
+		kH:          kH, kW: kW,
+		stride: pp.Stride, pad: pp.Padding, ow: ow,
+		ad:    ad,
+		idx:   ex.prog.packs().indexMap(convKey{c: c, h: h, w: w, kH: kH, kW: kW, stride: pp.Stride, pad: pp.Padding}),
+		wps:   sh.wps,
+		zsum:  sh.zsum,
+		bcorr: sh.bcorr,
+		ba:    ba,
+		bw:    bw,
+		epi:   sh.epi,
+	}
+	st.oyLo, st.oyHi = interiorRange(oh, h, kH, pp.Stride, pp.Padding)
+	st.oxLo, st.oxHi = interiorRange(ow, w, kW, pp.Stride, pp.Padding)
+	st.tm = splitTileM(tileSitesSwar(colW, st.spatial), st.spatial, n, ex.kernelWorkers())
+	st.tiles = (st.spatial + st.tm - 1) / st.tm
+	st.np = (o + panelW - 1) / panelW
+	st.parallel = n*st.spatial*colW*o >= 1<<16
+	// Staging: fused-add chunk plus per-site byte sums in the int64 slot,
+	// the biased byte panel in the u8 slot, the accumulator tile shared
+	// with the int32-panel path.
+	ex.NeedSlotScratch(2 * st.tm)
+	ex.NeedSlotTyped(tensor.U8, st.tm*colW)
+	ex.NeedAccTile(st.tm * st.o)
+	return st, nil
+}
+
+// prepLinearSwar binds a linear layer onto the SWAR path (rank > 2
+// inputs run as row-major [rows, K], tiled over rows).
+func prepLinearSwar(ex *Executor, idx int, it *Instr) (any, error) {
+	in := ex.plan.Shapes[it.In[0]]
+	ad := ex.plan.DTypes[it.In[0]]
+	if ad != tensor.I8 && ad != tensor.U8 {
+		return nil, fmt.Errorf("engine: swar linear %s input dtype %s", it.Name, ad)
+	}
+	k := in[len(in)-1]
+	rows := tensor.Numel(in) / k
+	o := it.W.Shape[0]
+	ba, bw := swarBiases(ad, it.W)
+	sh := swarShared(ex, idx, it, o, k, ba, bw)
+	st := &linPackS{
+		rows: rows, k: k, o: o,
+		np:    (o + panelW - 1) / panelW,
+		ad:    ad,
+		wps:   sh.wps,
+		zsum:  sh.zsum,
+		bcorr: sh.bcorr,
+		ba:    ba,
+		bw:    bw,
+		epi:   sh.epi,
+	}
+	st.tm = splitTileM(tileSitesSwar(k, rows), rows, 1, ex.kernelWorkers())
+	st.tiles = (rows + st.tm - 1) / st.tm
+	st.parallel = rows*k*o >= 1<<16
+	// Staging: per-row int64 requantize chunk + fused-add chunk + byte
+	// sums; the biased byte panel; the row-major accumulator tile.
+	ex.NeedSlotScratch(2*o + st.tm)
+	ex.NeedSlotTyped(tensor.U8, st.tm*k)
+	ex.NeedAccTile(st.tm * st.o)
+	return st, nil
+}
+
+// gatherPanelBytes fills a [m, colW] biased byte panel for sites
+// [s0, s0+m) of one sample and records each site's byte sum ΣA'.
+// Interior sites (every tap in bounds) gather kW-contiguous byte runs
+// straight from the input planes — no index loads, no branches; border
+// sites fall back to the index map, where padded taps write the bias
+// byte (raw 0), exactly mirroring the raw gather's zero-fill.
+func gatherPanelBytes[A tensor.Elem](panel []uint8, sums []int64, xs []A, st *convPackS, s0, m int) {
+	ba := st.ba
+	colW := st.colW
+	kW, kH, hw := st.kW, st.kH, st.h*st.w
+	oy := s0 / st.ow
+	ox := s0 - oy*st.ow
+	for i := 0; i < m; i++ {
+		row := panel[i*colW : (i+1)*colW]
+		if oy >= st.oyLo && oy < st.oyHi && ox >= st.oxLo && ox < st.oxHi {
+			base := (oy*st.stride-st.pad)*st.w + ox*st.stride - st.pad
+			var sum int64
+			switch {
+			case kW == 1 && kH == 1:
+				// 1×1 conv: one byte per channel plane, stride h·w.
+				tap := base
+				for ch := range row {
+					b := uint8(int64(xs[tap]) + ba)
+					row[ch] = b
+					sum += int64(b)
+					tap += hw
+				}
+			case kW == 3:
+				// 3-wide kernels: each (channel, row) run is three
+				// contiguous bytes.
+				p := 0
+				tapc := base
+				for ch := 0; ch < st.c; ch++ {
+					tap := tapc
+					for ky := 0; ky < kH; ky++ {
+						src := xs[tap : tap+3]
+						dst := row[p:][:3]
+						b0 := uint8(int64(src[0]) + ba)
+						b1 := uint8(int64(src[1]) + ba)
+						b2 := uint8(int64(src[2]) + ba)
+						dst[0] = b0
+						dst[1] = b1
+						dst[2] = b2
+						sum += int64(b0) + int64(b1) + int64(b2)
+						tap += st.w
+						p += 3
+					}
+					tapc += hw
+				}
+			default:
+				p := 0
+				tapc := base
+				for ch := 0; ch < st.c; ch++ {
+					tap := tapc
+					for ky := 0; ky < kH; ky++ {
+						src := xs[tap : tap+kW]
+						dst := row[p:][:len(src)]
+						for t, v := range src {
+							b := uint8(int64(v) + ba)
+							dst[t] = b
+							sum += int64(b)
+						}
+						tap += st.w
+						p += kW
+					}
+					tapc += hw
+				}
+			}
+			sums[i] = sum
+		} else {
+			irow := st.idx[(oy*st.ow+ox)*colW:][:colW]
+			pad := uint8(ba)
+			var sum int64
+			for j, id := range irow {
+				b := pad
+				if id >= 0 {
+					b = uint8(int64(xs[id]) + ba)
+				}
+				row[j] = b
+				sum += int64(b)
+			}
+			sums[i] = sum
+		}
+		ox++
+		if ox == st.ow {
+			ox = 0
+			oy++
+		}
+	}
+}
+
+// gatherRowBytes fills a [m, k] biased byte panel straight from
+// contiguous input rows (the linear layout) and records row byte sums.
+func gatherRowBytes[A tensor.Elem](panel []uint8, sums []int64, xs []A, k, m int, ba int64) {
+	for i := 0; i < m; i++ {
+		xrow := xs[i*k : (i+1)*k]
+		row := panel[i*k:][:len(xrow)]
+		var s int64
+		for j, v := range xrow {
+			b := uint8(int64(v) + ba)
+			row[j] = b
+			s += int64(b)
+		}
+		sums[i] = s
+	}
+}
+
+// gemmPanelsSwar is the lane-packed microkernel: per packed weight panel
+// and site pair, four 64-bit accumulator words carry eight channel sums
+// (two lanes each); the epilogue extracts the lanes, removes both bias
+// corrections, and stores exact raw int32 dot products into the
+// accumulator tile at acc[oc·cs + site·rs] (cs = tile sites, rs = 1 for
+// the conv's channel-major tile; cs = 1, rs = o for the linear's
+// row-major tile).
+func gemmPanelsSwar(acc []int32, panel []uint8, wps []uint64, sums, bcorr []int64, bw int64, m, colW, o, np, cs, rs int) {
+	for pb := 0; pb < np; pb++ {
+		// Split-half panel layout: wa[j] carries channels (0,1) of tap j,
+		// wb[j] channels (2,3). Re-slicing both halves (and the site rows
+		// below) to exactly colW lets the compiler drop every bounds check
+		// in the inner loop — the range variable proves them all.
+		wp := wps[pb*colW*swarLanes : (pb+1)*colW*swarLanes]
+		wa := wp[:colW]
+		wb := wp[colW:][:colW]
+		oc0 := pb * panelW
+		nch := o - oc0
+		if nch > panelW {
+			nch = panelW
+		}
+		i := 0
+		// Four sites per step: eight independent accumulator words hide
+		// the multiply latency, and each packed weight load is reused
+		// across four sites.
+		for ; i+4 <= m; i += 4 {
+			a0 := panel[i*colW:][:colW]
+			a1 := panel[(i+1)*colW:][:colW]
+			a2 := panel[(i+2)*colW:][:colW]
+			a3 := panel[(i+3)*colW:][:colW]
+			var p00, p01, p10, p11, p20, p21, p30, p31 uint64
+			for j := range wa {
+				w01 := wa[j]
+				w23 := wb[j]
+				av0 := uint64(a0[j])
+				av1 := uint64(a1[j])
+				av2 := uint64(a2[j])
+				av3 := uint64(a3[j])
+				p00 += av0 * w01
+				p01 += av0 * w23
+				p10 += av1 * w01
+				p11 += av1 * w23
+				p20 += av2 * w01
+				p21 += av2 * w23
+				p30 += av3 * w01
+				p31 += av3 * w23
+			}
+			storeSwarSite(acc, bcorr, oc0, nch, i, cs, rs, bw*sums[i], p00, p01)
+			storeSwarSite(acc, bcorr, oc0, nch, i+1, cs, rs, bw*sums[i+1], p10, p11)
+			storeSwarSite(acc, bcorr, oc0, nch, i+2, cs, rs, bw*sums[i+2], p20, p21)
+			storeSwarSite(acc, bcorr, oc0, nch, i+3, cs, rs, bw*sums[i+3], p30, p31)
+		}
+		for ; i < m; i++ {
+			a0 := panel[i*colW:][:colW]
+			var p00, p01 uint64
+			for j := range wa {
+				av0 := uint64(a0[j])
+				p00 += av0 * wa[j]
+				p01 += av0 * wb[j]
+			}
+			storeSwarSite(acc, bcorr, oc0, nch, i, cs, rs, bw*sums[i], p00, p01)
+		}
+	}
+}
+
+// storeSwarSite extracts up to panelW lanes of one site, removes the
+// per-site (bw·ΣA') and per-channel (ba·Σw) bias corrections, and writes
+// the exact raw accumulators. Full panels (the common case) store all
+// four lanes without the remainder loop.
+func storeSwarSite(acc []int32, bcorr []int64, oc0, nch, i, cs, rs int, siteCorr int64, p01, p23 uint64) {
+	base := oc0*cs + i*rs
+	if nch == panelW {
+		bc := bcorr[oc0:][:panelW]
+		acc[base] = int32(intmath.LaneLo(p01) - siteCorr - bc[0])
+		acc[base+cs] = int32(intmath.LaneHi(p01) - siteCorr - bc[1])
+		acc[base+2*cs] = int32(intmath.LaneLo(p23) - siteCorr - bc[2])
+		acc[base+3*cs] = int32(intmath.LaneHi(p23) - siteCorr - bc[3])
+		return
+	}
+	lanes := [panelW]int64{
+		intmath.LaneLo(p01), intmath.LaneHi(p01),
+		intmath.LaneLo(p23), intmath.LaneHi(p23),
+	}
+	for r := 0; r < nch; r++ {
+		acc[base+r*cs] = int32(lanes[r] - siteCorr - bcorr[oc0+r])
+	}
+}
+
+// runConvSwar dispatches the SWAR conv on the input storage dtype
+// (selection guarantees an 8-bit dtype).
+func runConvSwar(ex *Executor, st *convPackS, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) {
+	if st.ad == tensor.U8 {
+		runConvSwarA[uint8](ex, st, it, in, out)
+		return
+	}
+	runConvSwarA[int8](ex, st, it, in, out)
+}
+
+// runConvSwarA: per (sample, site-tile) job, gather the tile's biased
+// byte panel plus per-site sums, run the lane-packed GEMM into the
+// channel-major int32 tile, and finish each channel through the shared
+// typed epilogue.
+func runConvSwarA[A tensor.Elem](ex *Executor, st *convPackS, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) {
+	tensor.ParallelForSlotsN(st.n*st.tiles, ex.maxPar, st.parallel, convSwarJob[A](ex, st, it, in, out))
+}
+
+// convSwarJob builds the per-(sample, site-tile) job body shared by the
+// parallel loop and the serial wave fallback.
+func convSwarJob[A tensor.Elem](ex *Executor, st *convPackS, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) func(job, slot int) {
+	xs := typedData[A](in[0])
+	var add *tensor.IntTensor
+	if it.FusedAdd {
+		add = in[len(in)-1]
+	}
+	colW, o := st.colW, st.o
+	return func(job, slot int) {
+		ni, t := job/st.tiles, job%st.tiles
+		s0 := t * st.tm
+		m := st.tm
+		if s0+m > st.spatial {
+			m = st.spatial - s0
+		}
+		panel := ex.slotU8[slot][:m*colW]
+		sc := ex.SlotScratch(slot)
+		addw, sums := sc[:st.tm], sc[st.tm:st.tm+m]
+		sample := xs[ni*st.sampleElems : (ni+1)*st.sampleElems]
+		gatherPanelBytes(panel, sums, sample, st, s0, m)
+		acc := ex.AccTile(slot)
+		gemmPanelsSwar(acc, panel, st.wps, sums, st.bcorr, st.bw, m, colW, o, st.np, m, 1)
+		outBase := ni * o * st.spatial
+		for oc := 0; oc < o; oc++ {
+			off := outBase + oc*st.spatial + s0
+			var bv []int64
+			if add != nil {
+				bv = addw[:m]
+				add.ReadInt64(bv, off)
+			}
+			finishSegOut(out, off, acc[oc*m:(oc+1)*m], bv, &st.epi, st.zsum[oc], oc)
+		}
+	}
+}
+
+func (st *convPackS) seqUnits() int { return st.n * st.tiles }
+
+// runSeq executes the whole conv serially on one pool slot (wave
+// member execution).
+func (st *convPackS) runSeq(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor, slot int) {
+	var body func(job, slot int)
+	if st.ad == tensor.U8 {
+		body = convSwarJob[uint8](ex, st, it, in, out)
+	} else {
+		body = convSwarJob[int8](ex, st, it, in, out)
+	}
+	for job := 0; job < st.n*st.tiles; job++ {
+		body(job, slot)
+	}
+}
+
+// runLinearSwar dispatches the SWAR linear on the input storage dtype.
+func runLinearSwar(ex *Executor, st *linPackS, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) {
+	if st.ad == tensor.U8 {
+		runLinearSwarA[uint8](ex, st, it, in, out)
+		return
+	}
+	runLinearSwarA[int8](ex, st, it, in, out)
+}
+
+// runLinearSwarA: per row-tile job, gather biased byte rows plus sums,
+// run the lane-packed GEMM into the row-major int32 tile, then finish
+// row by row — widen, correct, requantize, fused epilogue — through the
+// slot's int64 staging chunk into the output.
+func runLinearSwarA[A tensor.Elem](ex *Executor, st *linPackS, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) {
+	tensor.ParallelForSlotsN(st.tiles, ex.maxPar, st.parallel, linSwarJob[A](ex, st, it, in, out))
+}
+
+// linSwarJob builds the per-row-tile job body shared by the parallel
+// loop and the serial wave fallback.
+func linSwarJob[A tensor.Elem](ex *Executor, st *linPackS, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) func(t, slot int) {
+	xs := typedData[A](in[0])
+	var add *tensor.IntTensor
+	if it.FusedAdd {
+		add = in[len(in)-1]
+	}
+	k, o := st.k, st.o
+	return func(t, slot int) {
+		r0 := t * st.tm
+		m := st.tm
+		if r0+m > st.rows {
+			m = st.rows - r0
+		}
+		panel := ex.slotU8[slot][:m*k]
+		sc := ex.SlotScratch(slot)
+		av, bv, sums := sc[:o], sc[o:2*o], sc[2*o:2*o+m]
+		gatherRowBytes(panel, sums, xs[r0*k:(r0+m)*k], k, m, st.ba)
+		acc := ex.AccTile(slot)
+		gemmPanelsSwar(acc, panel, st.wps, sums, st.bcorr, st.bw, m, k, o, st.np, 1, o)
+		for i := 0; i < m; i++ {
+			row := acc[i*o : (i+1)*o]
+			var bvv []int64
+			if add != nil {
+				bvv = bv[:o]
+				add.ReadInt64(bvv, (r0+i)*o)
+			}
+			for oc, a := range row {
+				st.epi.finishInto(av, bvv, oc, int64(a)-st.zsum[oc], oc)
+			}
+			out.WriteInt64(av[:o], (r0+i)*o)
+		}
+	}
+}
+
+func (st *linPackS) seqUnits() int { return st.tiles }
+
+// runSeq executes the whole linear serially on one pool slot (wave
+// member execution).
+func (st *linPackS) runSeq(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor, slot int) {
+	var body func(t, slot int)
+	if st.ad == tensor.U8 {
+		body = linSwarJob[uint8](ex, st, it, in, out)
+	} else {
+		body = linSwarJob[int8](ex, st, it, in, out)
+	}
+	for t := 0; t < st.tiles; t++ {
+		body(t, slot)
+	}
+}
+
+// KernelChoice describes the compute path one instruction is bound to —
+// introspection for the bench harness's fusion summary and the fallback
+// tests.
+type KernelChoice struct {
+	Index int    // instruction index
+	Name  string // instruction name
+	Kind  OpKind
+	Path  string // "swar", "i32-panel", "i32-direct", "i64-panel", "i64-direct", "matmul", "im2col", ""
+	Lanes int    // output channels per packed accumulator word (SWAR only)
+	TileM int    // site/row tile of the bound GEMM state
+}
+
+// KernelChoices reports, per conv/linear/matmul instruction, which
+// prepacked path the executor bound (after all storage and SWAR legality
+// decisions).
+func (ex *Executor) KernelChoices() []KernelChoice {
+	var out []KernelChoice
+	for i := range ex.prog.Instrs {
+		it := &ex.prog.Instrs[i]
+		switch it.Kind {
+		case OpConv, OpLinear, OpMatMul:
+		default:
+			continue
+		}
+		c := KernelChoice{Index: i, Name: it.Name, Kind: it.Kind}
+		switch st := ex.states[i].(type) {
+		case *convPackS:
+			c.Path, c.Lanes, c.TileM = "swar", swarLanes, st.tm
+		case *linPackS:
+			c.Path, c.Lanes, c.TileM = "swar", swarLanes, st.tm
+		case *convPackT:
+			c.Path, c.TileM = "i32-panel", st.tm
+		case *linPackT:
+			c.Path, c.TileM = "i32-panel", st.rows
+		case *gconvPackT:
+			c.Path = "i32-direct"
+		case *convPack:
+			c.Path, c.TileM = "i64-panel", st.tm
+		case *linPack:
+			c.Path, c.TileM = "i64-panel", st.rows
+		case *gconvPack:
+			c.Path = "i64-direct"
+		case *mmPack:
+			c.Path = "matmul"
+		default:
+			c.Path = "im2col"
+		}
+		out = append(out, c)
+	}
+	return out
+}

@@ -1,0 +1,259 @@
+package engine_test
+
+// Black-box SWAR and multicore tests: kernel-path selection (including
+// the overflow fallback) via KernelChoices, bit-parity across
+// parallelism settings, wave scheduling on the transformer, and a
+// scaling sanity check on multicore runners.
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"torch2chip/internal/data"
+	"torch2chip/internal/engine"
+	"torch2chip/internal/nn"
+	"torch2chip/internal/tensor"
+)
+
+// TestSwarKernelSelectionOnZoo asserts the storage pass actually binds
+// the SWAR path where it is legal and falls back where it is not: dense
+// convs/linears on the 8-bit zoo models bind "swar", grouped/depthwise
+// convs (excluded from lane packing) stay on the direct int32 path, and
+// the no-SWAR registry binds none.
+func TestSwarKernelSelectionOnZoo(t *testing.T) {
+	calib, _ := data.Generate(data.SynthCIFAR10, 48, 8)
+	for _, name := range []string{"resnet20", "mobilenet"} {
+		_, prog := compileZoo(t, name, calib)
+		ex, err := engine.NewExecutor(prog, []int{8, 3, 32, 32}, engine.WithKernels(engine.FastKernels()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var swar, direct int
+		for _, c := range ex.KernelChoices() {
+			switch c.Path {
+			case "swar":
+				swar++
+				if c.Lanes != 2 {
+					t.Fatalf("%s %s: swar lanes %d, want 2", name, c.Name, c.Lanes)
+				}
+				if c.TileM <= 0 {
+					t.Fatalf("%s %s: swar tile %d", name, c.Name, c.TileM)
+				}
+			case "i32-direct":
+				direct++
+			}
+		}
+		if swar == 0 {
+			t.Fatalf("%s bound no SWAR instruction", name)
+		}
+		if name == "mobilenet" && direct == 0 {
+			t.Fatal("mobilenet depthwise convs must stay on the direct int32 fallback")
+		}
+		exNo, err := engine.NewExecutor(prog, []int{8, 3, 32, 32}, engine.WithKernels(engine.FastKernelsNoSwar()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range exNo.KernelChoices() {
+			if c.Path == "swar" {
+				t.Fatalf("%s no-swar registry bound a SWAR kernel at %s", name, c.Name)
+			}
+		}
+	}
+}
+
+// TestEngineParityAcrossParallelism: the engine's codes are bit-identical
+// whatever the parallelism — across the process-wide cap and across the
+// per-executor WithMaxParallel bound (which also gates wave-parallel
+// execution).
+func TestEngineParityAcrossParallelism(t *testing.T) {
+	calib, _ := data.Generate(data.SynthCIFAR10, 48, 8)
+	progs := map[string]*engine.Program{}
+	_, progs["resnet20"] = compileZoo(t, "resnet20", calib)
+	_, progs["vit"] = compileViT(t, 3, 1)
+	g := tensor.NewRNG(23)
+	x := g.Uniform(0, 1, 4, 3, 32, 32)
+	for name, prog := range progs {
+		var ref *tensor.Tensor
+		for _, maxPar := range []int{1, 2, 0} {
+			ex, err := engine.NewExecutor(prog, x.Shape,
+				engine.WithKernels(engine.FastKernels()), engine.WithMaxParallel(maxPar))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, width := range []int{1, 4} {
+				old := tensor.SetParallelism(width)
+				y, err := ex.Execute(x)
+				tensor.SetParallelism(old)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ref == nil {
+					ref = y
+					continue
+				}
+				for i := range ref.Data {
+					if y.Data[i] != ref.Data[i] {
+						t.Fatalf("%s maxPar=%d width=%d diverges at %d", name, maxPar, width, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// branchyCNN has a residual block whose shortcut carries its own conv —
+// the two branch convs are independent IR nodes whose outputs are
+// simultaneously live at the join, so (unfused) the planner must place
+// them disjointly and the wave scheduler may run them concurrently.
+func branchyCNN(g *tensor.RNG) nn.Layer {
+	model := nn.NewSequential(
+		nn.NewConv2d(g, 3, 8, 3, 1, 1, 1, false),
+		nn.NewBatchNorm2d(8),
+		&nn.ReLU{},
+		nn.NewResidual(
+			nn.NewSequential(
+				nn.NewConv2d(g, 8, 8, 3, 1, 1, 1, false),
+				nn.NewBatchNorm2d(8),
+				&nn.ReLU{},
+			),
+			nn.NewConv2d(g, 8, 8, 1, 1, 0, 1, false),
+		),
+		&nn.AvgPool{Kernel: 0},
+		&nn.Flatten{},
+		nn.NewLinear(g, 8, 10, true),
+	)
+	for i := 0; i < 4; i++ {
+		model.Forward(g.Uniform(0, 1, 4, 3, 8, 8))
+	}
+	return model
+}
+
+// TestWavesOnBranchedResidual: on the unfused branched program the
+// scheduler must group the two independent branch convs into one wave,
+// the wave-parallel path must actually engage on a small input (where
+// intra-op tiling cannot saturate the pool alone), and its output must
+// be bit-identical to a serial executor's. The fused program serializes
+// the join (add-fusion consumes the body output inside the shortcut
+// conv), so there waves degenerate to singletons — both variants must
+// still cover every instruction exactly once.
+func TestWavesOnBranchedResidual(t *testing.T) {
+	g := tensor.NewRNG(5)
+	calib, _ := data.Generate(data.SynthCIFAR10, 32, 8)
+	im, fused := compile(t, branchyCNN(g), calib)
+	unfused, err := engine.Lower(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Batch 1 on a 4×4 input: 16 conv sites split to at most two tiles
+	// per branch (tile floor 8), so no member can saturate a ≥4-wide
+	// pool and the wave heuristic must choose cross-instruction
+	// concurrency.
+	x := g.Uniform(0, 1, 1, 3, 4, 4)
+	for _, tc := range []struct {
+		name     string
+		prog     *engine.Program
+		wantWave bool
+	}{
+		{"unfused", unfused, true},
+		{"fused", fused, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ex, err := engine.NewExecutor(tc.prog, x.Shape, engine.WithKernels(engine.FastKernels()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := ex.WaveSummary()
+			total, widest := 0, 0
+			for _, n := range sum {
+				total += n
+				if n > widest {
+					widest = n
+				}
+			}
+			if total != len(tc.prog.Instrs) {
+				t.Fatalf("waves cover %d of %d instructions", total, len(tc.prog.Instrs))
+			}
+			if tc.wantWave && widest < 2 {
+				t.Fatalf("no multi-instruction wave on the unfused branched program: %v", sum)
+			}
+			y, err := ex.Execute(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.wantWave {
+				if ex.WaveParallelRuns() == 0 {
+					t.Fatalf("wave-parallel path never engaged (pool width %d, waves %v)",
+						tensor.Parallelism(), sum)
+				}
+			} else if ex.WaveParallelRuns() != 0 {
+				t.Fatal("singleton waves must not run member-concurrently")
+			}
+			serial, err := engine.NewExecutor(tc.prog, x.Shape,
+				engine.WithKernels(engine.FastKernels()), engine.WithMaxParallel(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := serial.Execute(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serial.WaveParallelRuns() != 0 {
+				t.Fatal("WithMaxParallel(1) executor ran a wave concurrently")
+			}
+			for i := range want.Data {
+				if y.Data[i] != want.Data[i] {
+					t.Fatalf("wave-parallel output diverges from serial at %d", i)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineScalingSanity: on a ≥4-core runner, resnet20 at parallelism
+// 4 must be at least 1.5x faster than at parallelism 1. Skipped on
+// narrower machines (CI's bench-smoke job runs it where it can).
+func TestEngineScalingSanity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need ≥4 cores, have %d", runtime.NumCPU())
+	}
+	if tensor.InitParallel() < 4 {
+		t.Skipf("worker pool frozen at %d lanes", tensor.InitParallel())
+	}
+	calib, _ := data.Generate(data.SynthCIFAR10, 48, 8)
+	_, prog := compileZoo(t, "resnet20", calib)
+	ex, err := engine.NewExecutor(prog, []int{8, 3, 32, 32}, engine.WithKernels(engine.FastKernels()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tensor.NewRNG(3)
+	x := g.Uniform(0, 1, 8, 3, 32, 32)
+	best := func(width int) time.Duration {
+		old := tensor.SetParallelism(width)
+		defer tensor.SetParallelism(old)
+		if _, err := ex.Execute(x); err != nil { // warm
+			t.Fatal(err)
+		}
+		b := time.Duration(1 << 62)
+		for i := 0; i < 5; i++ {
+			start := time.Now()
+			if _, err := ex.Execute(x); err != nil {
+				t.Fatal(err)
+			}
+			if el := time.Since(start); el < b {
+				b = el
+			}
+		}
+		return b
+	}
+	t1 := best(1)
+	t4 := best(4)
+	ratio := float64(t1) / float64(t4)
+	t.Logf("resnet20 batch-8: width1 %v, width4 %v, speedup %.2fx", t1, t4, ratio)
+	if ratio < 1.5 {
+		t.Fatalf("parallelism 4 speedup %.2fx < 1.5x over parallelism 1", ratio)
+	}
+}

@@ -70,10 +70,11 @@ func TestTypedZooParityAcrossRegistriesAndOptLevels(t *testing.T) {
 			}
 			g := tensor.NewRNG(17)
 			regs := map[string]func() *engine.Registry{
-				"fast-typed": engine.FastKernels,
-				"fast-i64":   engine.FastKernelsI64,
-				"im2col":     engine.Im2ColKernels,
-				"reference":  engine.ReferenceKernels,
+				"fast-typed":  engine.FastKernels,
+				"fast-noswar": engine.FastKernelsNoSwar,
+				"fast-i64":    engine.FastKernelsI64,
+				"im2col":      engine.Im2ColKernels,
+				"reference":   engine.ReferenceKernels,
 			}
 			for _, prog := range []*engine.Program{unfused, fused} {
 				for rname, mk := range regs {

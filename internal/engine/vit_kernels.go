@@ -33,6 +33,7 @@ func registerViTKernels(r *Registry) {
 // live tensor shapes; per-slot scratch was sized by prepMatMul).
 type mmPack struct {
 	parallel bool
+	batches  int
 }
 
 // prepMatMul reserves per-slot staging for the parallel batched matmul.
@@ -44,7 +45,18 @@ func prepMatMul(ex *Executor, idx int, it *Instr) (any, error) {
 	}
 	b, m, k, n := a[0], a[1], a[2], o[2]
 	ex.NeedSlotScratch(m*k + k*n + m*n)
-	return &mmPack{parallel: b*m*k*n >= 1<<14}, nil
+	return &mmPack{parallel: b*m*k*n >= 1<<14, batches: b}, nil
+}
+
+func (st *mmPack) seqUnits() int { return st.batches }
+
+// runSeq executes every batch entry serially on one pool slot (wave
+// member execution).
+func (st *mmPack) runSeq(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor, slot int) {
+	body, batches := matMulJob(ex, it, in, out)
+	for bi := 0; bi < batches; bi++ {
+		body(bi, slot)
+	}
 }
 
 // matMulBatch computes one batch entry: ov[M,N] = requant(Σ (av−za)(bv−zb))
@@ -104,6 +116,11 @@ func stageShift(dst []int64, t *tensor.IntTensor, off int, z int64) {
 // With bound mmPack state (fast registries) batch entries run in
 // parallel on per-slot scratch; otherwise serially on executor scratch.
 func kernelMatMul(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) {
+	if st, ok := (*ex.KernelState(idx)).(*mmPack); ok {
+		body, batches := matMulJob(ex, it, in, out)
+		tensor.ParallelForSlotsN(batches, ex.maxPar, st.parallel, body)
+		return
+	}
 	a, b := in[0], in[1]
 	m, k := a.Shape[1], a.Shape[2]
 	n := out.Shape[2]
@@ -112,25 +129,37 @@ func kernelMatMul(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out 
 	if it.TransposeB {
 		bw = n * k
 	}
-	run := func(bi int, av, bv, ov []int64) {
+	av := ex.scratch(0, aw)
+	bv := ex.scratch(1, bw)
+	ov := ex.scratch(2, ow)
+	for bi := 0; bi < batches; bi++ {
 		stageShift(av, a, bi*aw, it.ZA)
 		stageShift(bv, b, bi*bw, it.ZB)
 		matMulBatch(ov, av, bv, m, k, n, it.TransposeB, it.Scaler)
 		out.WriteInt64(ov, bi*ow)
 	}
-	if st, ok := (*ex.KernelState(idx)).(*mmPack); ok {
-		tensor.ParallelForSlots(batches, st.parallel, func(bi, slot int) {
-			s := ex.SlotScratch(slot)
-			run(bi, s[:aw], s[aw:aw+bw], s[aw+bw:aw+bw+ow])
-		})
-		return
+}
+
+// matMulJob builds the per-batch-entry job body (staged through the
+// slot's scratch) shared by the parallel loop and the serial wave
+// fallback, returning the batch count alongside.
+func matMulJob(ex *Executor, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) (func(bi, slot int), int) {
+	a, b := in[0], in[1]
+	m, k := a.Shape[1], a.Shape[2]
+	n := out.Shape[2]
+	batches := a.Shape[0]
+	aw, bw, ow := m*k, k*n, m*n
+	if it.TransposeB {
+		bw = n * k
 	}
-	av := ex.scratch(0, aw)
-	bv := ex.scratch(1, bw)
-	ov := ex.scratch(2, ow)
-	for bi := 0; bi < batches; bi++ {
-		run(bi, av, bv, ov)
-	}
+	return func(bi, slot int) {
+		s := ex.SlotScratch(slot)
+		av, bv, ov := s[:aw], s[aw:aw+bw], s[aw+bw:aw+bw+ow]
+		stageShift(av, a, bi*aw, it.ZA)
+		stageShift(bv, b, bi*bw, it.ZB)
+		matMulBatch(ov, av, bv, m, k, n, it.TransposeB, it.Scaler)
+		out.WriteInt64(ov, bi*ow)
+	}, batches
 }
 
 // kernelLayerNorm mirrors fuse.IntLayerNorm.Forward row by row: exact

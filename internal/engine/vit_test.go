@@ -55,10 +55,11 @@ func TestViTZooParity(t *testing.T) {
 	}
 	g := tensor.NewRNG(17)
 	regs := map[string]func() *engine.Registry{
-		"fast-typed": engine.FastKernels,
-		"fast-i64":   engine.FastKernelsI64,
-		"im2col":     engine.Im2ColKernels,
-		"reference":  engine.ReferenceKernels,
+		"fast-typed":  engine.FastKernels,
+		"fast-noswar": engine.FastKernelsNoSwar,
+		"fast-i64":    engine.FastKernelsI64,
+		"im2col":      engine.Im2ColKernels,
+		"reference":   engine.ReferenceKernels,
 	}
 	for pname, prog := range map[string]*engine.Program{"unfused": unfused, "fused": fused} {
 		for rname, mk := range regs {

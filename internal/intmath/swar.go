@@ -1,0 +1,51 @@
+package intmath
+
+import "math"
+
+// SWAR (SIMD-within-a-register) lane primitives for the packed int8 GEMM
+// path. Two output channels share one 64-bit accumulator word, each
+// owning a 32-bit lane. Both multiplicands are biased to be non-negative
+// — activations to [0, 255] bytes, weights to [0, wSpan] — so lane sums
+// grow monotonically and, as long as the final value of the low lane
+// fits 32 bits, no carry ever crosses into the high lane: every
+// intermediate partial sum is bounded by the final sum. SwarLegal is the
+// per-instruction proof obligation for that bound.
+
+// SwarLanes is the number of output channels packed per 64-bit word.
+const SwarLanes = 2
+
+// SwarLaneBits is the width of one packed sub-accumulator.
+const SwarLaneBits = 32
+
+// SwarLaneMax is the largest value a packed sub-accumulator may reach
+// without corrupting the neighbouring lane.
+const SwarLaneMax = math.MaxUint32
+
+// SwarLegal reports whether a K-long dot product of biased activations
+// (each ≤ aSpan) against biased weights (each ≤ wSpan) stays within one
+// 32-bit lane: K·aSpan·wSpan ≤ SwarLaneMax. All arguments must be
+// non-negative; the comparison is performed without overflow.
+func SwarLegal(k, aSpan, wSpan int64) bool {
+	if k < 0 || aSpan < 0 || wSpan < 0 {
+		return false
+	}
+	if k == 0 || aSpan == 0 || wSpan == 0 {
+		return true
+	}
+	if aSpan > SwarLaneMax || k > SwarLaneMax/aSpan {
+		return false
+	}
+	return k*aSpan <= SwarLaneMax/wSpan
+}
+
+// PackLanes2 packs two biased weights into one accumulator word: lane 0
+// (low) holds w0, lane 1 (high) holds w1. Both must be in [0, 2^32).
+func PackLanes2(w0, w1 uint32) uint64 {
+	return uint64(w0) | uint64(w1)<<SwarLaneBits
+}
+
+// LaneLo extracts the low 32-bit sub-accumulator.
+func LaneLo(acc uint64) int64 { return int64(acc & SwarLaneMax) }
+
+// LaneHi extracts the high 32-bit sub-accumulator.
+func LaneHi(acc uint64) int64 { return int64(acc >> SwarLaneBits) }

@@ -1,0 +1,77 @@
+package intmath
+
+import "testing"
+
+// TestSwarLegalBoundary pins the lane-overflow legality rule at its
+// exact edge for full 8-bit spans on both sides (aSpan = wSpan = 255):
+// one 32-bit lane holds K·255·255 ⇔ K ≤ 66051.
+func TestSwarLegalBoundary(t *testing.T) {
+	if !SwarLegal(66051, 255, 255) {
+		t.Fatal("K=66051 at full spans must be legal: 66051·255·255 ≤ 2³²−1")
+	}
+	if SwarLegal(66052, 255, 255) {
+		t.Fatal("K=66052 at full spans must be illegal: 66052·255·255 > 2³²−1")
+	}
+	// The bound really is exact, not merely monotone.
+	if p := int64(66051) * 255 * 255; p > SwarLaneMax {
+		t.Fatalf("66051·255·255 = %d exceeds the lane max %d", p, int64(SwarLaneMax))
+	}
+	if p := int64(66052) * 255 * 255; p <= SwarLaneMax {
+		t.Fatalf("66052·255·255 = %d fits the lane max %d", p, int64(SwarLaneMax))
+	}
+}
+
+func TestSwarLegalEdgeCases(t *testing.T) {
+	// Zero on any axis is trivially legal (the sum is 0).
+	for _, c := range [][3]int64{{0, 255, 255}, {100, 0, 255}, {100, 255, 0}} {
+		if !SwarLegal(c[0], c[1], c[2]) {
+			t.Fatalf("SwarLegal%v = false, want true", c)
+		}
+	}
+	// Negative arguments are rejected.
+	for _, c := range [][3]int64{{-1, 255, 255}, {1, -1, 255}, {1, 255, -1}} {
+		if SwarLegal(c[0], c[1], c[2]) {
+			t.Fatalf("SwarLegal%v = true, want false", c)
+		}
+	}
+	// Arguments whose product overflows int64 must not wrap to legal.
+	if SwarLegal(1<<40, 1<<30, 1<<30) {
+		t.Fatal("huge operands wrapped to legal")
+	}
+	if !SwarLegal(1, SwarLaneMax, 1) {
+		t.Fatal("1·laneMax·1 must be legal")
+	}
+	if SwarLegal(2, SwarLaneMax, 1) {
+		t.Fatal("2·laneMax·1 must be illegal")
+	}
+}
+
+// TestPackLanesRoundTrip: lane packing and extraction are inverses, and
+// independent lane sums accumulate without cross-lane carry while both
+// lanes stay below 2³².
+func TestPackLanesRoundTrip(t *testing.T) {
+	cases := [][2]uint32{{0, 0}, {1, 0}, {0, 1}, {255, 255}, {SwarLaneMax, SwarLaneMax}, {12345, 67890}}
+	for _, c := range cases {
+		w := PackLanes2(c[0], c[1])
+		if got := LaneLo(w); got != int64(c[0]) {
+			t.Fatalf("LaneLo(Pack(%d,%d)) = %d", c[0], c[1], got)
+		}
+		if got := LaneHi(w); got != int64(c[1]) {
+			t.Fatalf("LaneHi(Pack(%d,%d)) = %d", c[0], c[1], got)
+		}
+	}
+	// Accumulated multiply-adds stay per-lane exact at the legality bound.
+	var acc uint64
+	var lo, hi int64
+	for i := 0; i < 66051; i++ {
+		a := uint64(i % 256)
+		w := PackLanes2(uint32(255-i%256), uint32(i%251))
+		acc += a * w
+		lo += int64(a) * int64(255-i%256)
+		hi += int64(a) * int64(i%251)
+	}
+	if LaneLo(acc) != lo || LaneHi(acc) != hi {
+		t.Fatalf("lane sums (%d, %d) diverge from scalar (%d, %d)",
+			LaneLo(acc), LaneHi(acc), lo, hi)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Add returns a + b elementwise. Shapes must match.
@@ -163,7 +164,56 @@ var (
 	poolOnce    sync.Once
 	poolJobs    chan poolJob
 	poolWorkers int
+
+	// parCap bounds how many chunks a parallel section may split into,
+	// process-wide. 0 means "pool width". It exists so callers that must
+	// emulate a narrower machine (bench sweeps over GOMAXPROCS, serving
+	// replicas sharing cores) can throttle splitting without restarting
+	// the pool: idle workers simply receive no jobs.
+	parCap atomic.Int32
 )
+
+// SetParallelism bounds the number of chunks every subsequent parallel
+// section splits into (including the caller's own chunk). n <= 0 removes
+// the bound. The previous value is returned so callers can restore it.
+// The bound only limits splitting — it never grows the pool beyond the
+// width frozen at first use.
+func SetParallelism(n int) int {
+	old := int(parCap.Swap(int32(n)))
+	return old
+}
+
+// Parallelism reports the current effective split width: the frozen pool
+// width clamped by SetParallelism.
+func Parallelism() int {
+	ensurePool()
+	return splitWidth(0)
+}
+
+// InitParallel forces the worker pool to start now, freezing its width at
+// the current GOMAXPROCS, and returns that width. Benchmarks that sweep
+// GOMAXPROCS call it once at the highest value so later SetParallelism
+// caps can only narrow, never wish for workers that were never started.
+func InitParallel() int {
+	ensurePool()
+	return poolWorkers
+}
+
+// splitWidth returns how many chunks a section may split into given the
+// pool width, the process-wide cap, and a per-call bound (0 = none).
+func splitWidth(maxSplit int) int {
+	w := poolWorkers
+	if c := int(parCap.Load()); c > 0 && c < w {
+		w = c
+	}
+	if maxSplit > 0 && maxSplit < w {
+		w = maxSplit
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
 
 // ensurePool lazily starts the process-wide worker pool. Persistent
 // workers avoid spawning goroutines on every parallel section, which
@@ -199,6 +249,12 @@ func ensurePool() {
 // fit the pool queue run inline, so progress never depends on a free
 // worker. fn must not call parallelFor (workers do not re-dispatch).
 func parallelFor(n int, parallel bool, fn func(i int)) {
+	parallelForN(n, 0, parallel, fn)
+}
+
+// parallelForN is parallelFor with a per-call split bound (0 = none),
+// further clamped by the process-wide SetParallelism cap.
+func parallelForN(n, maxSplit int, parallel bool, fn func(i int)) {
 	if !parallel || n < 2 {
 		for i := 0; i < n; i++ {
 			fn(i)
@@ -206,9 +262,15 @@ func parallelFor(n int, parallel bool, fn func(i int)) {
 		return
 	}
 	ensurePool()
-	workers := runtime.GOMAXPROCS(0)
+	workers := splitWidth(maxSplit)
 	if workers > n {
 		workers = n
+	}
+	if workers < 2 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
 	}
 	chunk := (n + workers - 1) / workers
 	var wg sync.WaitGroup
@@ -252,6 +314,12 @@ func MaxParallelSlots() int {
 // a slot is never executed by two goroutines at once. Slots are in
 // [0, MaxParallelSlots()).
 func parallelForSlots(n int, parallel bool, fn func(i, slot int)) {
+	parallelForSlotsN(n, 0, parallel, fn)
+}
+
+// parallelForSlotsN is parallelForSlots with a per-call split bound
+// (0 = none), further clamped by the process-wide SetParallelism cap.
+func parallelForSlotsN(n, maxSplit int, parallel bool, fn func(i, slot int)) {
 	if !parallel || n < 2 {
 		for i := 0; i < n; i++ {
 			fn(i, 0)
@@ -259,9 +327,15 @@ func parallelForSlots(n int, parallel bool, fn func(i, slot int)) {
 		return
 	}
 	ensurePool()
-	workers := poolWorkers
+	workers := splitWidth(maxSplit)
 	if workers > n {
 		workers = n
+	}
+	if workers < 2 {
+		for i := 0; i < n; i++ {
+			fn(i, 0)
+		}
+		return
 	}
 	chunk := (n + workers - 1) / workers
 	var wg sync.WaitGroup
