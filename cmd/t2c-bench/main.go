@@ -13,7 +13,8 @@
 //
 // The engine experiment also writes a machine-readable report
 // (ns/op, allocs/op, arena bytes, instruction counts before/after
-// fusion) to the -json path, BENCH_engine.json by default, so the perf
+// fusion, parallel-wave counts and the modeled work fraction inside
+// waves) to the -json path, BENCH_engine.json by default, so the perf
 // trajectory is comparable across PRs. The serve experiment likewise
 // writes QPS, latency percentiles, mean batch size, and reject counts
 // to the -serve-json path, BENCH_serve.json by default.

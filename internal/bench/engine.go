@@ -61,6 +61,14 @@ type EngineRow struct {
 	ScratchBytes int64 `json:"scratch_bytes,omitempty"`
 	TotalBytes   int64 `json:"total_bytes,omitempty"`
 
+	// Waves counts the plan's parallel scheduling waves and
+	// ParallelFraction the share of modeled work inside them — the
+	// PR-7 co-planned memory/schedule stats, recorded so the trajectory
+	// shows when wave scheduling engages (fused ViT) and when it
+	// degenerates to the serial plan (chain-structured CNNs).
+	Waves            int     `json:"waves,omitempty"`
+	ParallelFraction float64 `json:"parallel_fraction,omitempty"`
+
 	// ArenaByDType breaks the planned arena down per storage dtype
 	// ("u8", "i16", …), so the memory trajectory records where the
 	// bytes live, not just how many there are.
@@ -185,14 +193,16 @@ func measureExec(model string, batch int, cfg string, prog *engine.Program, reg 
 	plan := ex.Plan()
 	return EngineRow{
 		Model: model, Batch: batch, Config: cfg,
-		NsPerOp:      float64(el.Nanoseconds()),
-		UsPerSample:  float64(el.Microseconds()) / float64(batch),
-		AllocsPerOp:  allocs,
-		Instrs:       len(prog.Instrs),
-		ArenaBytes:   plan.PlannedBytes(),
-		ScratchBytes: ex.ScratchBytes(),
-		TotalBytes:   plan.PlannedBytes() + ex.ScratchBytes(),
-		ArenaByDType: plan.BytesByDType(),
+		NsPerOp:          float64(el.Nanoseconds()),
+		UsPerSample:      float64(el.Microseconds()) / float64(batch),
+		AllocsPerOp:      allocs,
+		Instrs:           len(prog.Instrs),
+		ArenaBytes:       plan.PlannedBytes(),
+		ScratchBytes:     ex.ScratchBytes(),
+		TotalBytes:       plan.PlannedBytes() + ex.ScratchBytes(),
+		ArenaByDType:     plan.BytesByDType(),
+		Waves:            plan.ParallelWaves,
+		ParallelFraction: plan.ParallelFrac,
 	}
 }
 
@@ -418,11 +428,11 @@ func ServeComparison(sc Scale) []ServeRow {
 func FormatEngine(rep *EngineReport) string {
 	var sb strings.Builder
 	sb.WriteString("Engine — typed fused+prepacked (SWAR on/off, GOMAXPROCS sweep) vs I64 vs PR-1 engine vs IntLayer interpreter\n")
-	fmt.Fprintf(&sb, "%-10s %6s %-22s %5s %12s %10s %8s %8s %8s %7s %12s %12s  %s\n",
+	fmt.Fprintf(&sb, "%-10s %6s %-22s %5s %12s %10s %8s %8s %8s %7s %5s %6s %12s %12s  %s\n",
 		"model", "batch", "config", "procs", "µs/smp", "allocs", "vs intp", "vs pr1", "vs pr5",
-		"instrs", "arena B", "scratch B", "arena dtypes")
+		"instrs", "waves", "par%", "arena B", "scratch B", "arena dtypes")
 	for _, r := range rep.Rows {
-		vsI, vsP, vs5 := "", "", ""
+		vsI, vsP, vs5, par := "", "", "", ""
 		if r.SpeedupVsInterp > 0 {
 			vsI = fmt.Sprintf("%.2fx", r.SpeedupVsInterp)
 		}
@@ -432,9 +442,12 @@ func FormatEngine(rep *EngineReport) string {
 		if r.SpeedupVsPR5 > 0 {
 			vs5 = fmt.Sprintf("%.2fx", r.SpeedupVsPR5)
 		}
-		fmt.Fprintf(&sb, "%-10s %6d %-22s %5d %12.0f %10.1f %8s %8s %8s %7d %12d %12d  %s\n",
+		if r.Waves > 0 {
+			par = fmt.Sprintf("%.0f%%", r.ParallelFraction*100)
+		}
+		fmt.Fprintf(&sb, "%-10s %6d %-22s %5d %12.0f %10.1f %8s %8s %8s %7d %5d %6s %12d %12d  %s\n",
 			r.Model, r.Batch, r.Config, r.GoMaxProcs, r.UsPerSample, r.AllocsPerOp, vsI, vsP, vs5,
-			r.Instrs, r.ArenaBytes, r.ScratchBytes, formatDTypeBytes(r.ArenaByDType))
+			r.Instrs, r.Waves, par, r.ArenaBytes, r.ScratchBytes, formatDTypeBytes(r.ArenaByDType))
 	}
 	sb.WriteString("\nFusion — instruction and buffer reduction (batch-8 plans)\n")
 	fmt.Fprintf(&sb, "%-10s %8s %8s %8s %8s %7s %6s %8s %14s %14s\n",

@@ -1,0 +1,69 @@
+package engine
+
+// Bind-time work model: per-instruction cost estimates from op kind ×
+// shapes, used by the planner to decide which candidate waves are worth
+// a parallel dispatch and which to demote first when disjoint placement
+// would exceed the arena-growth budget. The constants are calibrated
+// against the committed BENCH_engine.json ns/op record (single-core
+// fused+prepacked+swar rows: resnet20 batch-8 ≈ 98 ms over ~330 M MACs
+// ≈ 0.30 ns/MAC, vit ≈ 0.25 ns/MAC), so modeled work is within ~2x of
+// measured time on the machine that produced the record — more than
+// enough to separate µs-scale GEMMs from ns-scale dispatch overhead.
+// The model only gates scheduling; it never affects values.
+
+import "torch2chip/internal/tensor"
+
+const (
+	// nsPerMac is the modeled cost of one multiply-accumulate on the
+	// prepacked integer GEMM paths (fixed-point: 0.3 ns ≈ 3/10).
+	macNsNum, macNsDen = 3, 10
+	// nsPerElem is the modeled cost of one element of a non-GEMM
+	// instruction (requantize funnels, LUT lookups, copies).
+	elemNs = 1
+)
+
+// PlanConfig tunes parallelism-aware placement. The zero value disables
+// arena growth entirely (serial-plan bytes are a hard ceiling) and
+// accepts any wave with positive modeled work; DefaultPlanConfig is
+// what NewExecutor uses when no WithPlanConfig option is given.
+type PlanConfig struct {
+	// ArenaGrowth is the fraction of the serial plan's arena bytes the
+	// parallelism-aware plan may add to keep same-wave outputs disjoint
+	// (0.25 = up to 25% larger). Waves are demoted cheapest-first until
+	// the plan fits, so the bound is always honored.
+	ArenaGrowth float64
+	// MinWaveNs is the smallest modeled wave work (summed over members)
+	// worth a cross-instruction parallel dispatch; below it the pool
+	// barrier would cost more than the overlap buys.
+	MinWaveNs int64
+}
+
+// DefaultPlanConfig allows 25% arena growth and requires ~2 µs of
+// modeled work per wave (a pool dispatch plus barrier costs on the
+// order of 1 µs).
+func DefaultPlanConfig() PlanConfig {
+	return PlanConfig{ArenaGrowth: 0.25, MinWaveNs: 2000}
+}
+
+// instrWorkNs models one instruction's serial execution time in
+// nanoseconds from its kind and planned shapes.
+func instrWorkNs(it *Instr, shapes [][]int) int64 {
+	var macs int64
+	switch it.Kind {
+	case OpConv:
+		// W is [o, c/groups, kH, kW]; out is [n, o, oh, ow].
+		out := shapes[it.Out]
+		macs = int64(tensor.Numel(out)) * int64(tensor.Numel(it.W.Shape)) / int64(it.W.Shape[0])
+	case OpLinear:
+		// W is [o, k]; rows = numel(in)/k.
+		in := shapes[it.In[0]]
+		macs = int64(tensor.Numel(in)) * int64(it.W.Shape[0])
+	case OpMatMul:
+		// [b, m, k] × [b, k, n] (or transposed): b·m·k·n.
+		a, out := shapes[it.In[0]], shapes[it.Out]
+		macs = int64(tensor.Numel(out)) * int64(a[len(a)-1])
+	default:
+		return int64(tensor.Numel(shapes[it.Out])) * elemNs
+	}
+	return macs * macNsNum / macNsDen
+}

@@ -55,8 +55,9 @@ type Executor struct {
 type ExecOption func(*execConfig)
 
 type execConfig struct {
-	reg    *Registry
-	maxPar int
+	reg     *Registry
+	maxPar  int
+	planCfg PlanConfig
 }
 
 // WithKernels selects the kernel registry (default: DefaultKernels).
@@ -77,10 +78,18 @@ func WithMaxParallel(n int) ExecOption {
 	}
 }
 
+// WithPlanConfig overrides the parallelism-aware placement tuning
+// (arena-growth budget, minimum wave work). The default is
+// DefaultPlanConfig; PlanConfig{} forbids any arena growth, which
+// demotes every wave that would cost bytes.
+func WithPlanConfig(pc PlanConfig) ExecOption {
+	return func(c *execConfig) { c.planCfg = pc }
+}
+
 // NewExecutor plans and binds a program for inputs of shape inShape
 // (full shape including the batch dimension, e.g. [8,3,32,32]).
 func NewExecutor(p *Program, inShape []int, opts ...ExecOption) (*Executor, error) {
-	cfg := execConfig{reg: DefaultKernels()}
+	cfg := execConfig{reg: DefaultKernels(), planCfg: DefaultPlanConfig()}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -92,12 +101,14 @@ func NewExecutor(p *Program, inShape []int, opts ...ExecOption) (*Executor, erro
 	var stor *storageInfo
 	var err error
 	if reg.typed {
-		// The typed kernel set executes narrow buffers; registries with
-		// custom kernels plan I64 so `in.Data` stays valid everywhere.
+		// The typed kernel set executes narrow buffers and binds the
+		// slot-confined states wave execution needs, so it plans with the
+		// parallelism-aware schedule; registries with custom kernels plan
+		// I64 and serial so `in.Data` stays valid everywhere.
 		if stor, err = p.storage(); err != nil {
 			return nil, err
 		}
-		plan, err = p.planBuffersAs(inShape, stor.dts)
+		plan, err = p.planBuffersAs(inShape, stor.dts, &cfg.planCfg)
 	} else {
 		plan, err = p.PlanBuffersI64(inShape)
 	}
@@ -301,8 +312,6 @@ func (ex *Executor) ScratchBytes() int64 {
 			countIdx(cp.idx)
 		case *convPackT:
 			countIdx(cp.idx)
-		case *linPackT:
-			bytes += int64(len(cp.acc)) * 4
 		}
 	}
 	return bytes
@@ -416,25 +425,29 @@ func (ex *Executor) DequantizeInto(out *tensor.Tensor, codes *tensor.IntTensor) 
 // OutShape returns the planned output logits shape.
 func (ex *Executor) OutShape() []int { return ex.plan.Shapes[ex.prog.Output] }
 
-// run executes the bound program wave by wave. A wave whose members
-// all carry a serial fallback runs them concurrently on the shared
-// pool when no single member could saturate it alone (each member then
-// owns one slot's scratch for its whole duration); otherwise members
-// run in program order with their own intra-op parallelism. Both paths
-// compute identical values — wave members write disjoint arena
-// intervals by construction.
+// run executes the bound program wave by wave. A safe parallel wave
+// dispatches the combined job grid of all its members in one pool
+// pass — each job confined to the slot the pool hands it — so
+// independent GEMMs overlap while still splitting internally into
+// tiles; with a single worker, or a wave the bind-time checks demoted,
+// members run in program order with their own intra-op parallelism.
+// Both paths compute identical values — wave members write disjoint
+// arena intervals by construction, and job bodies are the same tile
+// bodies the intra-op path runs.
 func (ex *Executor) run() {
 	for wi := range ex.waves {
 		wv := &ex.waves[wi]
-		if wv.safe && len(wv.members) >= 2 {
-			if w := ex.kernelWorkers(); w > 1 && wv.units < w {
-				ex.waveRuns++
-				members := wv.members
-				tensor.ParallelForSlotsN(len(members), ex.maxPar, true, func(i, slot int) {
-					ex.runInstrSeq(members[i], slot)
-				})
-				continue
-			}
+		if wv.safe && ex.kernelWorkers() > 1 {
+			ex.waveRuns++
+			total := wv.jobOff[len(wv.bodies)]
+			tensor.ParallelForSlotsN(total, ex.maxPar, true, func(j, slot int) {
+				m := 0
+				for wv.jobOff[m+1] <= j {
+					m++
+				}
+				wv.bodies[m](j-wv.jobOff[m], slot)
+			})
+			continue
 		}
 		for _, i := range wv.members {
 			ex.runInstr(i)
@@ -447,12 +460,6 @@ func (ex *Executor) run() {
 func (ex *Executor) runInstr(i int) {
 	it := &ex.prog.Instrs[i]
 	ex.kern[i](ex, i, it, ex.opIns[i], ex.bufs[it.Out])
-}
-
-// runInstrSeq runs one wave member serially, confined to slot.
-func (ex *Executor) runInstrSeq(i, slot int) {
-	it := &ex.prog.Instrs[i]
-	ex.states[i].(waveRunner).runSeq(ex, i, it, ex.opIns[i], ex.bufs[it.Out], slot)
 }
 
 // KernelState returns the cached state slot for instruction idx. Kernels

@@ -143,14 +143,16 @@ type gconvPackT struct {
 	parallel               bool
 }
 
-// linPackT is the bound state of a typed linear layer.
+// linPackT is the bound state of a typed linear layer (row-tiled; each
+// job owns a slot-local [tm, o] accumulator tile, the same contract as
+// the SWAR linear, so the state is wave-capable).
 type linPackT struct {
 	rows, k, o, np int
+	tm, tiles      int
 	ad             tensor.DType
 	wp32           []int32
 	zsum           []int64
 	epi            epi
-	acc            []int32 // shared [rows, o] tile; panels write disjoint columns
 	parallel       bool
 }
 
@@ -257,10 +259,32 @@ func prepLinearTyped(ex *Executor, idx int, it *Instr) (any, error) {
 		wp32: sh.wp32,
 		zsum: sh.zsum,
 		epi:  sh.epi,
-		acc:  make([]int32, rows*o),
 	}
+	st.tm = splitTileM(tileRowsTyped(o, rows), rows, 1, ex.kernelWorkers())
+	st.tiles = (rows + st.tm - 1) / st.tm
 	st.parallel = rows*k*o >= 1<<16
+	// Staging: per-row int64 requantize chunk + fused-add chunk in the
+	// slot's scratch; the row-major accumulator tile.
+	ex.NeedSlotScratch(2 * o)
+	ex.NeedAccTile(st.tm * st.o)
 	return st, nil
+}
+
+// tileRowsTyped picks the typed linear's row tile: target a 32 KiB
+// int32 accumulator tile per slot (L1-resident alongside the weight
+// panel), clamped to the row count.
+func tileRowsTyped(o, rows int) int {
+	tm := 8192 / o
+	if tm < 4 {
+		tm = 4
+	}
+	if tm > 64 {
+		tm = 64
+	}
+	if tm > rows {
+		tm = rows
+	}
+	return tm
 }
 
 // runConvTyped dispatches the dense typed conv on the input dtype; the
@@ -333,11 +357,9 @@ func convTypedJob[A tensor.Elem](ex *Executor, st *convPackT, it *Instr, in []*t
 	}
 }
 
-func (st *convPackT) seqUnits() int { return st.n * st.tiles }
-
-// runSeq executes the whole conv serially on one pool slot (wave
-// member execution).
-func (st *convPackT) runSeq(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor, slot int) {
+// jobs exposes the conv as its (sample × site-tile) grid for wave
+// execution (waveRunner).
+func (st *convPackT) jobs(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) (func(job, slot int), int) {
 	var body func(job, slot int)
 	switch st.ad {
 	case tensor.I8:
@@ -353,9 +375,7 @@ func (st *convPackT) runSeq(ex *Executor, idx int, it *Instr, in []*tensor.IntTe
 	default:
 		body = convTypedJob[int64](ex, st, it, in, out)
 	}
-	for job := 0; job < st.n*st.tiles; job++ {
-		body(job, slot)
-	}
+	return body, st.n * st.tiles
 }
 
 // gemmPanels32 is the non-generic register-blocked int32 microkernel:
@@ -544,11 +564,9 @@ func gconvTypedJob[A tensor.Elem](ex *Executor, st *gconvPackT, it *Instr, in []
 	}
 }
 
-func (st *gconvPackT) seqUnits() int { return st.n * st.o }
-
-// runSeq executes the whole grouped conv serially on one pool slot
-// (wave member execution).
-func (st *gconvPackT) runSeq(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor, slot int) {
+// jobs exposes the grouped conv as its (sample × channel-plane) grid
+// for wave execution (waveRunner).
+func (st *gconvPackT) jobs(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) (func(job, slot int), int) {
 	var body func(job, slot int)
 	switch st.ad {
 	case tensor.I8:
@@ -564,9 +582,7 @@ func (st *gconvPackT) runSeq(ex *Executor, idx int, it *Instr, in []*tensor.IntT
 	default:
 		body = gconvTypedJob[int64](ex, st, it, in, out)
 	}
-	for job := 0; job < st.n*st.o; job++ {
-		body(job, slot)
-	}
+	return body, st.n * st.o
 }
 
 // borderAcc32 accumulates one output site with per-tap bounds checks
@@ -612,56 +628,87 @@ func runLinearTyped(ex *Executor, st *linPackT, it *Instr, in []*tensor.IntTenso
 	}
 }
 
-// runLinearTypedA runs the int8-panel GEMM over the typed input rows
-// into the shared int32 tile (panels own disjoint columns), then one
-// row-major epilogue pass widens, corrects, requantizes, and narrows
-// into the output.
+// runLinearTypedA runs the int8-panel GEMM over row tiles — each job
+// fills a slot-local row-major [m, o] int32 tile, then finishes row by
+// row (widen, correct, requantize, fused epilogue) through the slot's
+// int64 staging chunk into the output.
 func runLinearTypedA[A tensor.Elem](ex *Executor, st *linPackT, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) {
+	tensor.ParallelForSlotsN(st.tiles, ex.maxPar, st.parallel, linTypedJob[A](ex, st, it, in, out))
+}
+
+// linTypedJob builds the per-row-tile job body shared by the parallel
+// loop and wave execution. Each output element's accumulation order
+// over k (and its epilogue) is unchanged from the untiled layout, so
+// tiling never affects values.
+func linTypedJob[A tensor.Elem](ex *Executor, st *linPackT, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) func(t, slot int) {
 	xs := typedData[A](in[0])
 	var add *tensor.IntTensor
 	if it.FusedAdd {
 		add = in[len(in)-1]
 	}
 	k, o := st.k, st.o
-	acc := st.acc
-	tensor.ParallelForIntN(st.np, ex.maxPar, st.parallel, func(pb int) {
-		wp := st.wp32[pb*k*panelW : (pb+1)*k*panelW]
-		oc0 := pb * panelW
-		nch := o - oc0
-		if nch > panelW {
-			nch = panelW
+	return func(t, slot int) {
+		r0 := t * st.tm
+		m := st.tm
+		if r0+m > st.rows {
+			m = st.rows - r0
 		}
-		for row := 0; row < st.rows; row++ {
-			a0 := xs[row*k : (row+1)*k]
-			var c0, c1, c2, c3 int32
-			for j := 0; j < k; j++ {
-				wj := wp[j*panelW : j*panelW+panelW : j*panelW+panelW]
-				av := int32(a0[j])
-				c0 += av * int32(wj[0])
-				c1 += av * int32(wj[1])
-				c2 += av * int32(wj[2])
-				c3 += av * int32(wj[3])
+		acc := ex.AccTile(slot)[:m*o]
+		for pb := 0; pb < st.np; pb++ {
+			wp := st.wp32[pb*k*panelW : (pb+1)*k*panelW]
+			oc0 := pb * panelW
+			nch := o - oc0
+			if nch > panelW {
+				nch = panelW
 			}
-			storeAccRow(acc, row*o+oc0, nch, c0, c1, c2, c3)
+			for i := 0; i < m; i++ {
+				a0 := xs[(r0+i)*k : (r0+i+1)*k]
+				var c0, c1, c2, c3 int32
+				for j := 0; j < k; j++ {
+					wj := wp[j*panelW : j*panelW+panelW : j*panelW+panelW]
+					av := int32(a0[j])
+					c0 += av * wj[0]
+					c1 += av * wj[1]
+					c2 += av * wj[2]
+					c3 += av * wj[3]
+				}
+				storeAccRow(acc, i*o+oc0, nch, c0, c1, c2, c3)
+			}
 		}
-	})
-	n := st.rows * o
-	av := ex.scratch(2, elemChunk)
-	bv := ex.scratch(3, elemChunk)
-	for c0 := 0; c0 < n; c0 += elemChunk {
-		m := n - c0
-		if m > elemChunk {
-			m = elemChunk
-		}
-		var bvv []int64
-		if add != nil {
-			bvv = bv[:m]
-			add.ReadInt64(bvv, c0)
-		}
+		sc := ex.SlotScratch(slot)
+		av, bv := sc[:o], sc[o:2*o]
 		for i := 0; i < m; i++ {
-			oc := (c0 + i) % o
-			st.epi.finishInto(av, bvv, i, int64(acc[c0+i])-st.zsum[oc], oc)
+			row := acc[i*o : (i+1)*o]
+			var bvv []int64
+			if add != nil {
+				bvv = bv[:o]
+				add.ReadInt64(bvv, (r0+i)*o)
+			}
+			for oc, a := range row {
+				st.epi.finishInto(av, bvv, oc, int64(a)-st.zsum[oc], oc)
+			}
+			out.WriteInt64(av[:o], (r0+i)*o)
 		}
-		out.WriteInt64(av[:m], c0)
 	}
+}
+
+// jobs exposes the linear as its row-tile grid for wave execution
+// (waveRunner).
+func (st *linPackT) jobs(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) (func(job, slot int), int) {
+	var body func(job, slot int)
+	switch st.ad {
+	case tensor.I8:
+		body = linTypedJob[int8](ex, st, it, in, out)
+	case tensor.U8:
+		body = linTypedJob[uint8](ex, st, it, in, out)
+	case tensor.I16:
+		body = linTypedJob[int16](ex, st, it, in, out)
+	case tensor.U16:
+		body = linTypedJob[uint16](ex, st, it, in, out)
+	case tensor.I32:
+		body = linTypedJob[int32](ex, st, it, in, out)
+	default:
+		body = linTypedJob[int64](ex, st, it, in, out)
+	}
+	return body, st.tiles
 }

@@ -1,38 +1,36 @@
 package engine
 
-// Bind-time wave scheduling: the executor groups consecutive
-// instructions that have no data or storage hazards between them into
-// waves. At run time a wave whose members all carry a serial fallback
-// (waveRunner) may execute its members concurrently on the shared
-// worker pool — cross-instruction parallelism for independent IR nodes
-// (e.g. the q/k/v projections of a transformer block) that are each too
-// small to saturate the pool alone. Hazards are decided on arena
-// intervals, not buffer IDs: the planner reuses freed arena ranges and
-// aliases flattened views, so two distinct buffers may share storage —
-// interval overlap within the same dtype arena is the ground truth.
+// Bind-time wave scheduling: the planner co-plans placement with a wave
+// schedule (plan.go) — mutually independent GEMM instructions are
+// grouped into waves whose outputs the planner keeps in disjoint arena
+// regions, under a configurable arena-growth budget. The executor
+// consumes that schedule here: at bind it flattens each parallel wave's
+// members into one combined job grid (every member contributes its
+// intra-op tiles), and at run time the whole grid dispatches as a
+// single pool pass — cross-instruction parallelism for independent IR
+// nodes (e.g. the q/k/v projections of a transformer block) without
+// giving up intra-op splitting for the members that need it.
 
 import "torch2chip/internal/tensor"
 
-// waveRunner is implemented by prepacked kernel states that can run
-// their whole instruction serially on one parallel slot, touching only
-// that slot's scratch. That is exactly the contract wave-parallel
-// execution needs: members run concurrently, each confined to the slot
-// the pool handed it. States that stage through the executor's shared
-// grow-only scratch (legacy and elementwise kernels, the typed linear's
-// shared accumulator) must not implement it.
+// waveRunner is implemented by prepacked kernel states that can expose
+// their instruction as a grid of slot-confined jobs: jobs returns a
+// body executing one job on one parallel slot (touching only that
+// slot's scratch) plus the job count. That is exactly the contract
+// wave-parallel execution needs — jobs from different members run
+// concurrently, each confined to the slot the pool handed it. States
+// that stage through the executor's shared grow-only scratch (legacy
+// and elementwise kernels) must not implement it.
 type waveRunner interface {
-	runSeq(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor, slot int)
-	// seqUnits reports the instruction's parallel job count — the wave
-	// heuristic only trades intra-op splitting for cross-instruction
-	// concurrency when no member could saturate the pool by itself.
-	seqUnits() int
+	jobs(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) (func(job, slot int), int)
 }
 
 // wave is one scheduling step of the bound program.
 type wave struct {
 	members []int
-	safe    bool // every member implements waveRunner
-	units   int  // largest member job count
+	safe    bool // planner marked parallel AND every member binds a waveRunner
+	bodies  []func(job, slot int)
+	jobOff  []int // prefix sums: member i owns jobs [jobOff[i], jobOff[i+1])
 }
 
 // span is a half-open element range in one dtype arena. The zero
@@ -56,70 +54,66 @@ func (ex *Executor) bufInterval(b int) span {
 	return span{dt: ex.plan.DTypes[b], lo: off, hi: off + tensor.Numel(ex.plan.Shapes[b])}
 }
 
-// buildWaves greedily grows waves in program order. An instruction
-// joins the current wave iff the wave (and the instruction) are
-// wave-safe and its output interval is disjoint from every member's
-// reads and writes, and its reads are disjoint from every member's
-// write — the classic RAW/WAR/WAW conditions on storage. Anything else
-// closes the wave; a non-wave-safe instruction always sits in a
-// singleton (the next instruction sees safe == false and flushes).
-func (ex *Executor) buildWaves() {
-	var waves []wave
-	cur := wave{safe: true}
-	var curW, curR []span
-	flush := func() {
-		if len(cur.members) > 0 {
-			waves = append(waves, cur)
+// waveDisjoint re-checks the classic RAW/WAR/WAW conditions on arena
+// storage for one planned wave: every member's output interval must be
+// disjoint from every other member's reads and writes. The planner
+// guarantees this by construction (same-step outputs never share
+// placement, and members' inputs predate the wave); the re-check is a
+// cheap bind-time assertion that demotes the wave to serial instead of
+// racing if a future planner change breaks the invariant.
+func (ex *Executor) waveDisjoint(members []int) bool {
+	for i, mi := range members {
+		w := ex.bufInterval(ex.prog.Instrs[mi].Out)
+		for j, mj := range members {
+			if i == j {
+				continue
+			}
+			if overlaps(w, ex.bufInterval(ex.prog.Instrs[mj].Out)) {
+				return false
+			}
+			for _, b := range ex.prog.Instrs[mj].In {
+				if overlaps(w, ex.bufInterval(b)) {
+					return false
+				}
+			}
 		}
-		cur = wave{safe: true}
-		curW, curR = curW[:0], curR[:0]
 	}
-	for i := range ex.prog.Instrs {
-		it := &ex.prog.Instrs[i]
-		wr, isWR := ex.states[i].(waveRunner)
-		w := ex.bufInterval(it.Out)
-		var rs []span
-		for _, b := range it.In {
-			rs = append(rs, ex.bufInterval(b))
-		}
-		hazard := !isWR || !cur.safe
-		if !hazard {
-		scan:
-			for _, pw := range curW {
-				if overlaps(w, pw) {
-					hazard = true
+	return true
+}
+
+// buildWaves materializes the plan's wave schedule for this binding: a
+// parallel wave is kept iff every member's bound state implements
+// waveRunner and the placement re-check passes; it then caches each
+// member's job body and the combined grid's prefix sums so run() can
+// dispatch the whole wave as one pool pass with zero per-call setup.
+func (ex *Executor) buildWaves() {
+	waves := make([]wave, 0, len(ex.plan.Schedule))
+	for _, pw := range ex.plan.Schedule {
+		wv := wave{members: pw.Members}
+		if pw.Parallel && len(pw.Members) >= 2 {
+			wv.safe = true
+			for _, m := range pw.Members {
+				if _, ok := ex.states[m].(waveRunner); !ok {
+					wv.safe = false
 					break
 				}
-				for _, r := range rs {
-					if overlaps(r, pw) {
-						hazard = true
-						break scan
-					}
+			}
+			if wv.safe && !ex.waveDisjoint(pw.Members) {
+				wv.safe = false
+			}
+			if wv.safe {
+				wv.bodies = make([]func(job, slot int), len(pw.Members))
+				wv.jobOff = make([]int, len(pw.Members)+1)
+				for i, m := range pw.Members {
+					it := &ex.prog.Instrs[m]
+					body, n := ex.states[m].(waveRunner).jobs(ex, m, it, ex.opIns[m], ex.bufs[it.Out])
+					wv.bodies[i] = body
+					wv.jobOff[i+1] = wv.jobOff[i] + n
 				}
 			}
-			if !hazard {
-				for _, pr := range curR {
-					if overlaps(w, pr) {
-						hazard = true
-						break
-					}
-				}
-			}
 		}
-		if hazard {
-			flush()
-		}
-		cur.members = append(cur.members, i)
-		cur.safe = cur.safe && isWR
-		curW = append(curW, w)
-		curR = append(curR, rs...)
-		if isWR {
-			if u := wr.seqUnits(); u > cur.units {
-				cur.units = u
-			}
-		}
+		waves = append(waves, wv)
 	}
-	flush()
 	ex.waves = waves
 }
 
@@ -135,10 +129,9 @@ func (ex *Executor) WaveSummary() []int {
 }
 
 // WaveParallelRuns counts how many waves have executed their members
-// concurrently since bind — the run-time heuristic can decline a wave
-// (pool width 1, or a member already saturates the pool), so tests and
-// the bench harness use this to tell whether cross-instruction
-// parallelism actually engaged.
+// concurrently since bind — the run-time gate can decline a wave (pool
+// width 1), so tests and the bench harness use this to tell whether
+// cross-instruction parallelism actually engaged.
 func (ex *Executor) WaveParallelRuns() int { return ex.waveRuns }
 
 // kernelWorkers is the parallelism actually available to this

@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -153,6 +154,8 @@ type Server struct {
 
 	arenaBytes   atomic.Int64
 	scratchBytes atomic.Int64
+	planWaves    atomic.Int64  // max parallel waves over bound plans
+	parallelFrac atomic.Uint64 // max Plan.ParallelFrac (float64 bits)
 
 	// mu guards closed and orders queue sends before close: producers
 	// hold the read side (so they can enqueue concurrently), Close takes
@@ -313,6 +316,7 @@ func (s *Server) worker() {
 			xBatch[bucket] = tensor.New(append([]int{bucket}, s.sample...)...)
 			yBatch[bucket] = tensor.New(ex.OutShape()...)
 			s.arenaBytes.Add(ex.Plan().ArenaBytes)
+			s.recordPlanParallelism(ex.Plan())
 		}
 		x, y := xBatch[bucket], yBatch[bucket]
 		for i, r := range batch {
@@ -434,13 +438,39 @@ func (s *Server) SampleShape() []int { return append([]int(nil), s.sample...) }
 type ServerMemStats struct {
 	ArenaBytes   int64 `json:"arena_bytes"`
 	ScratchBytes int64 `json:"scratch_bytes"`
+	// Waves / ParallelFraction are the plan-level parallelism stats of
+	// the bound executors (max over batch buckets, which only widens
+	// with batch size): scheduling steps whose members run concurrently,
+	// and the modeled-work share inside them.
+	Waves            int     `json:"waves,omitempty"`
+	ParallelFraction float64 `json:"parallel_fraction,omitempty"`
+}
+
+// recordPlanParallelism folds one freshly bound plan's parallelism
+// stats into the server's max-aggregated gauges.
+func (s *Server) recordPlanParallelism(pl *Plan) {
+	for {
+		cur := s.planWaves.Load()
+		if int64(pl.ParallelWaves) <= cur || s.planWaves.CompareAndSwap(cur, int64(pl.ParallelWaves)) {
+			break
+		}
+	}
+	for {
+		cur := s.parallelFrac.Load()
+		if pl.ParallelFrac <= math.Float64frombits(cur) ||
+			s.parallelFrac.CompareAndSwap(cur, math.Float64bits(pl.ParallelFrac)) {
+			break
+		}
+	}
 }
 
 // MemStats returns a snapshot of the executor memory footprint.
 func (s *Server) MemStats() ServerMemStats {
 	return ServerMemStats{
-		ArenaBytes:   s.arenaBytes.Load(),
-		ScratchBytes: s.scratchBytes.Load(),
+		ArenaBytes:       s.arenaBytes.Load(),
+		ScratchBytes:     s.scratchBytes.Load(),
+		Waves:            int(s.planWaves.Load()),
+		ParallelFraction: math.Float64frombits(s.parallelFrac.Load()),
 	}
 }
 

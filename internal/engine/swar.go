@@ -471,20 +471,16 @@ func convSwarJob[A tensor.Elem](ex *Executor, st *convPackS, it *Instr, in []*te
 	}
 }
 
-func (st *convPackS) seqUnits() int { return st.n * st.tiles }
-
-// runSeq executes the whole conv serially on one pool slot (wave
-// member execution).
-func (st *convPackS) runSeq(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor, slot int) {
+// jobs exposes the conv as its (sample × site-tile) grid for wave
+// execution (waveRunner).
+func (st *convPackS) jobs(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) (func(job, slot int), int) {
 	var body func(job, slot int)
 	if st.ad == tensor.U8 {
 		body = convSwarJob[uint8](ex, st, it, in, out)
 	} else {
 		body = convSwarJob[int8](ex, st, it, in, out)
 	}
-	for job := 0; job < st.n*st.tiles; job++ {
-		body(job, slot)
-	}
+	return body, st.n * st.tiles
 }
 
 // runLinearSwar dispatches the SWAR linear on the input storage dtype.
@@ -540,20 +536,16 @@ func linSwarJob[A tensor.Elem](ex *Executor, st *linPackS, it *Instr, in []*tens
 	}
 }
 
-func (st *linPackS) seqUnits() int { return st.tiles }
-
-// runSeq executes the whole linear serially on one pool slot (wave
-// member execution).
-func (st *linPackS) runSeq(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor, slot int) {
+// jobs exposes the linear as its row-tile grid for wave execution
+// (waveRunner).
+func (st *linPackS) jobs(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) (func(job, slot int), int) {
 	var body func(t, slot int)
 	if st.ad == tensor.U8 {
 		body = linSwarJob[uint8](ex, st, it, in, out)
 	} else {
 		body = linSwarJob[int8](ex, st, it, in, out)
 	}
-	for t := 0; t < st.tiles; t++ {
-		body(t, slot)
-	}
+	return body, st.tiles
 }
 
 // KernelChoice describes the compute path one instruction is bound to —
@@ -589,7 +581,7 @@ func (ex *Executor) KernelChoices() []KernelChoice {
 		case *convPackT:
 			c.Path, c.TileM = "i32-panel", st.tm
 		case *linPackT:
-			c.Path, c.TileM = "i32-panel", st.rows
+			c.Path, c.TileM = "i32-panel", st.tm
 		case *gconvPackT:
 			c.Path = "i32-direct"
 		case *convPack:

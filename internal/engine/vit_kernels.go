@@ -48,15 +48,10 @@ func prepMatMul(ex *Executor, idx int, it *Instr) (any, error) {
 	return &mmPack{parallel: b*m*k*n >= 1<<14, batches: b}, nil
 }
 
-func (st *mmPack) seqUnits() int { return st.batches }
-
-// runSeq executes every batch entry serially on one pool slot (wave
-// member execution).
-func (st *mmPack) runSeq(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor, slot int) {
-	body, batches := matMulJob(ex, it, in, out)
-	for bi := 0; bi < batches; bi++ {
-		body(bi, slot)
-	}
+// jobs exposes the matmul as its batch-entry grid for wave execution
+// (waveRunner).
+func (st *mmPack) jobs(ex *Executor, idx int, it *Instr, in []*tensor.IntTensor, out *tensor.IntTensor) (func(job, slot int), int) {
+	return matMulJob(ex, it, in, out)
 }
 
 // matMulBatch computes one batch entry: ov[M,N] = requant(Σ (av−za)(bv−zb))

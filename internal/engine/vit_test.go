@@ -281,8 +281,13 @@ func TestViTArenaUsesNarrowAttentionMaps(t *testing.T) {
 
 // vitArenaBudgetBytes is the committed ceiling for the depth-2 ViT
 // fused typed plan at batch 8 (measured 505,440 B: I8 projections/probs
-// operands, U8 attention maps, I16 block boundaries). CI's bench-smoke
-// fails if a dtype-widening regression pushes the plan over it.
+// operands, U8 attention maps, I16 block boundaries). Parallelism-aware
+// placement keeps the same bytes even with both q/k/v waves live —
+// hoisting the projections shortens the shared input's lifetime by as
+// much as the sibling outputs extend theirs — so the budget carries
+// over from the serial planner unchanged. CI's bench-smoke fails if a
+// dtype-widening (or wave-placement) regression pushes the plan over
+// it.
 const vitArenaBudgetBytes = 560_000
 
 // TestViTArenaBudget is the transformer counterpart of

@@ -147,6 +147,15 @@ func (m *Model) mem() engine.ServerMemStats {
 		ms := s.MemStats()
 		mem.ArenaBytes += ms.ArenaBytes
 		mem.ScratchBytes += ms.ScratchBytes
+		// Parallelism stats describe the shared plan, not a footprint:
+		// replicas bind the same program, so take the max instead of
+		// summing.
+		if ms.Waves > mem.Waves {
+			mem.Waves = ms.Waves
+		}
+		if ms.ParallelFraction > mem.ParallelFraction {
+			mem.ParallelFraction = ms.ParallelFraction
+		}
 	}
 	return mem
 }

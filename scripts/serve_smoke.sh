@@ -82,4 +82,13 @@ echo "$METRICS" | grep -q 't2c_engine_scratch_bytes{model="default"}'
 ARENA=$(echo "$METRICS" | sed -n 's/^t2c_engine_arena_bytes{model="default"} //p')
 [ -n "$ARENA" ] && [ "$ARENA" -gt 0 ] || { echo "arena gauge not positive: '$ARENA'"; exit 1; }
 
+echo "== metrics expose plan parallelism gauges =="
+echo "$METRICS" | grep -q 't2c_engine_waves{model="default"}'
+echo "$METRICS" | grep -q 't2c_engine_parallel_fraction{model="default"}'
+# The ViT plan forms q/k/v waves whenever the replica pool is wider than
+# one lane; the gauge is informational (0 on single-core runners), but
+# it must parse as a non-negative integer.
+WAVES=$(echo "$METRICS" | sed -n 's/^t2c_engine_waves{model="vit"} //p')
+[ -n "$WAVES" ] && [ "$WAVES" -ge 0 ] || { echo "vit waves gauge missing: '$WAVES'"; exit 1; }
+
 echo "serve smoke OK"
