@@ -9,6 +9,7 @@
 //	t2c-bench -exp fig3|fig4|fig5    # workflow figures
 //	t2c-bench -exp engine            # fused+prepacked engine vs PR-1 engine vs interpreter
 //	t2c-bench -exp serve             # HTTP serving subsystem under load
+//	t2c-bench -exp profile           # measured vs modeled per-op cost calibration
 //	t2c-bench -exp all -scale quick  # everything at test scale
 //
 // The engine experiment also writes a machine-readable report
@@ -17,7 +18,11 @@
 // waves) to the -json path, BENCH_engine.json by default, so the perf
 // trajectory is comparable across PRs. The serve experiment likewise
 // writes QPS, latency percentiles, mean batch size, and reject counts
-// to the -serve-json path, BENCH_serve.json by default.
+// to the -serve-json path, BENCH_serve.json by default. The profile
+// experiment runs the zoo under instruction-level tracing, joins
+// measured span times against the bind-time cost model, and writes the
+// per-op calibration ratios to the -profile-json path,
+// BENCH_profile.json by default.
 package main
 
 import (
@@ -52,11 +57,12 @@ func parseProcs(s string) ([]int, error) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1..table4, fig3..fig5, ablation, engine, serve, all")
+	exp := flag.String("exp", "all", "experiment: table1..table4, fig3..fig5, ablation, engine, serve, profile, all")
 	scale := flag.String("scale", "quick", "compute scale: quick or full")
 	outDir := flag.String("out", "bench-out", "output directory for export artifacts (fig5)")
 	jsonPath := flag.String("json", "BENCH_engine.json", "path for the engine experiment's JSON report (empty = skip)")
 	serveJSON := flag.String("serve-json", "BENCH_serve.json", "path for the serve experiment's JSON report (empty = skip)")
+	profileJSON := flag.String("profile-json", "BENCH_profile.json", "path for the profile experiment's JSON report (empty = skip)")
 	gomaxprocs := flag.String("gomaxprocs", "1,4,8", "comma-separated GOMAXPROCS sweep for the engine experiment")
 	flag.Parse()
 
@@ -163,6 +169,20 @@ func main() {
 					os.Exit(1)
 				}
 				fmt.Printf("wrote %s\n", *serveJSON)
+			}
+		})
+	}
+	if want("profile") {
+		any = true
+		run("profile", func() {
+			rep := bench.ProfileComparison(sc)
+			fmt.Print(bench.FormatProfile(rep))
+			if *profileJSON != "" {
+				if err := bench.WriteProfileJSON(*profileJSON, rep); err != nil {
+					fmt.Fprintf(os.Stderr, "profile: write %s: %v\n", *profileJSON, err)
+					os.Exit(1)
+				}
+				fmt.Printf("wrote %s\n", *profileJSON)
 			}
 		})
 	}

@@ -39,6 +39,7 @@ import (
 	"torch2chip/internal/quant"
 	"torch2chip/internal/serve"
 	"torch2chip/internal/tensor"
+	"torch2chip/internal/trace"
 	"torch2chip/internal/train"
 )
 
@@ -68,6 +69,10 @@ func runServe(args []string) {
 	wait := fs.Duration("batch-wait", 500*time.Microsecond, "max wait to fill a micro-batch")
 	queue := fs.Int("queue", 0, "per-replica request queue capacity (0 = auto)")
 	opt := fs.Int("opt", 1, "optimization level for unfused checkpoints (0 = run as stored)")
+	traceOn := fs.Bool("trace", false, "record per-model spans, served at /debug/trace?model=X (-http mode)")
+	traceSpans := fs.Int("trace-spans", 0, "span ring capacity per ring with -trace (0 = default 4096)")
+	traceSample := fs.Int("trace-sample", 0, "with -trace, trace one in N HTTP requests (0 = every request)")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (-http mode)")
 	if err := fs.Parse(args); err != nil {
 		log.Fatal(err)
 	}
@@ -83,10 +88,15 @@ func runServe(args []string) {
 	}
 
 	if *httpAddr != "" {
-		runServeHTTP(*httpAddr, *ckptPath, *name, sample, engOpts, serveHTTPConfig{
+		cfg := serveHTTPConfig{
 			replicas: *replicas, maxInFlight: *maxInFlight,
 			deadline: *deadlineFlag, opt: engine.OptLevel(*opt),
-		})
+			pprof: *pprofOn,
+		}
+		if *traceOn {
+			cfg.trace = &trace.Config{RingSpans: *traceSpans, SampleEvery: *traceSample}
+		}
+		runServeHTTP(*httpAddr, *ckptPath, *name, sample, engOpts, cfg)
 		return
 	}
 	if *inDir == "" {
@@ -206,6 +216,8 @@ type serveHTTPConfig struct {
 	maxInFlight int
 	deadline    time.Duration
 	opt         engine.OptLevel
+	trace       *trace.Config
+	pprof       bool
 }
 
 // runServeHTTP starts the multi-model serving subsystem: registry +
@@ -219,6 +231,7 @@ func runServeHTTP(addr, ckptPath, name string, sample []int, engOpts engine.Serv
 		DefaultDeadline: cfg.deadline,
 		OptLevel:        cfg.opt,
 		RawOptLevel:     cfg.opt == engine.OptNone,
+		Trace:           cfg.trace,
 	})
 	if ckptPath != "" {
 		info, err := reg.Load(name, readCheckpoint(ckptPath), sample)
@@ -228,7 +241,7 @@ func runServeHTTP(addr, ckptPath, name string, sample []int, engOpts engine.Serv
 		log.Printf("loaded model %q v%d (sample %v, %d replicas)",
 			info.Name, info.Version, info.Sample, info.Replicas)
 	}
-	srv := &http.Server{Addr: addr, Handler: serve.NewHandler(reg, serve.HandlerOptions{})}
+	srv := &http.Server{Addr: addr, Handler: serve.NewHandler(reg, serve.HandlerOptions{EnablePprof: cfg.pprof})}
 	done := make(chan struct{})
 	go func() {
 		sig := make(chan os.Signal, 1)

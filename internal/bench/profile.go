@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"torch2chip/internal/engine"
+	"torch2chip/internal/tensor"
+	"torch2chip/internal/trace"
+)
+
+// ProfileOp is one op kind's measured-vs-modeled record for one model:
+// the mean measured nanoseconds per run (summed over the kind's
+// instructions, from the tracer's instruction spans), the bind-time
+// cost model's prediction for the same instructions, and their ratio —
+// the calibration factor an SLO-aware scheduler would apply to the
+// model's constants on this machine.
+type ProfileOp struct {
+	Op         string  `json:"op"`
+	Instrs     int     `json:"instrs"`      // instructions of this kind per run
+	Spans      int64   `json:"spans"`       // instruction spans recorded over all iters
+	MeasuredNs int64   `json:"measured_ns"` // mean measured ns per run
+	ModeledNs  int64   `json:"modeled_ns"`  // cost-model ns per run
+	Ratio      float64 `json:"ratio"`       // measured / modeled
+
+	// Hist is the per-span duration distribution across all iterations
+	// (trace.OpBucketsNs bounds), exposing the spread the means hide.
+	Hist trace.HistSnapshot `json:"hist"`
+}
+
+// ProfileModel aggregates one zoo model's profile run.
+type ProfileModel struct {
+	Model      string      `json:"model"`
+	Batch      int         `json:"batch"`
+	Iters      int         `json:"iters"`
+	MeasuredNs int64       `json:"measured_ns"` // sum of per-op measured means
+	ModeledNs  int64       `json:"modeled_ns"`  // sum of per-op model predictions
+	Ratio      float64     `json:"ratio"`
+	Ops        []ProfileOp `json:"ops"`
+}
+
+// ProfileReport is the measured-vs-modeled calibration artifact,
+// serialized to BENCH_profile.json.
+type ProfileReport struct {
+	Scale  string         `json:"scale"`
+	Batch  int            `json:"batch"`
+	Iters  int            `json:"iters"`
+	Models []ProfileModel `json:"models"`
+}
+
+// ProfileComparison runs the zoo under instruction-level tracing and
+// joins the measured per-op execution times against the bind-time cost
+// model (engine.Program.ModeledOpWork). Runs are pinned to parallelism
+// 1: the cost model predicts serial work, and only serially executed
+// waves record per-instruction spans (a parallel wave's members
+// interleave across pool slots, so their wall times would not be
+// attributable). The first, untraced execute warms scratch buffers and
+// the prepack cache so one-time costs stay out of the calibration.
+func ProfileComparison(sc Scale) *ProfileReport {
+	const batch = 8
+	iters := 3
+	if scaleName(sc) == "full" {
+		iters = 10
+	}
+	old := tensor.SetParallelism(1)
+	defer tensor.SetParallelism(old)
+
+	rep := &ProfileReport{Scale: scaleName(sc), Batch: batch, Iters: iters}
+	g := tensor.NewRNG(9600)
+	for _, name := range []string{"mobilenet", "resnet20", "vit"} {
+		cm, _, _ := engineModel(sc, name)
+		fused := cm.Prog
+		x := g.Uniform(0, 1, batch, 3, 32, 32)
+
+		tracer := trace.New(trace.Config{RingSpans: 4096})
+		ex, err := engine.NewExecutor(fused, x.Shape,
+			engine.WithKernels(engine.FastKernels()), engine.WithTracer(tracer))
+		if err != nil {
+			panic(err)
+		}
+		if _, err := ex.Execute(x); err != nil { // untraced warm-up
+			panic(err)
+		}
+		tracer.SetEnabled(true)
+		for i := 0; i < iters; i++ {
+			if _, err := ex.Execute(x); err != nil {
+				panic(err)
+			}
+		}
+		tracer.SetEnabled(false)
+
+		modeled, err := fused.ModeledOpWork(x.Shape)
+		if err != nil {
+			panic(err)
+		}
+		modelNs := map[string]*engine.OpWork{}
+		for i := range modeled {
+			modelNs[string(modeled[i].Kind)] = &modeled[i]
+		}
+
+		pm := ProfileModel{Model: name, Batch: batch, Iters: iters}
+		for _, op := range tracer.OpProfile() {
+			po := ProfileOp{
+				Op:         op.Name,
+				Spans:      op.Count,
+				MeasuredNs: op.SumNs / int64(iters),
+				Hist:       op.Hist,
+			}
+			if w := modelNs[op.Name]; w != nil {
+				po.Instrs = w.Instrs
+				po.ModeledNs = w.WorkNs
+				if w.WorkNs > 0 {
+					po.Ratio = float64(po.MeasuredNs) / float64(w.WorkNs)
+				}
+			}
+			pm.MeasuredNs += po.MeasuredNs
+			pm.ModeledNs += po.ModeledNs
+			pm.Ops = append(pm.Ops, po)
+		}
+		if pm.ModeledNs > 0 {
+			pm.Ratio = float64(pm.MeasuredNs) / float64(pm.ModeledNs)
+		}
+		rep.Models = append(rep.Models, pm)
+	}
+	return rep
+}
+
+// WriteProfileJSON serializes the report (indented, trailing newline).
+func WriteProfileJSON(path string, rep *ProfileReport) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// FormatProfile renders the measured-vs-modeled calibration table.
+func FormatProfile(rep *ProfileReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Profile — measured vs modeled ns per run (batch %d, parallelism 1, %d iters)\n",
+		rep.Batch, rep.Iters)
+	fmt.Fprintf(&sb, "%-10s %-14s %7s %7s %14s %14s %8s\n",
+		"model", "op", "instrs", "spans", "measured ns", "modeled ns", "ratio")
+	for _, m := range rep.Models {
+		for _, op := range m.Ops {
+			fmt.Fprintf(&sb, "%-10s %-14s %7d %7d %14d %14d %8.2f\n",
+				m.Model, op.Op, op.Instrs, op.Spans, op.MeasuredNs, op.ModeledNs, op.Ratio)
+		}
+		fmt.Fprintf(&sb, "%-10s %-14s %7s %7s %14d %14d %8.2f\n",
+			m.Model, "total", "", "", m.MeasuredNs, m.ModeledNs, m.Ratio)
+	}
+	return sb.String()
+}

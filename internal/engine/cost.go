@@ -45,6 +45,41 @@ func DefaultPlanConfig() PlanConfig {
 	return PlanConfig{ArenaGrowth: 0.25, MinWaveNs: 2000}
 }
 
+// OpWork is the work model's aggregate for one op kind over a program:
+// how many instructions of the kind execute per run and the summed
+// modeled serial nanoseconds. The profile experiment joins this against
+// measured per-instruction spans to produce the measured-vs-modeled
+// calibration ratio the SLO scheduler will consume.
+type OpWork struct {
+	Kind   OpKind
+	Instrs int
+	WorkNs int64
+}
+
+// ModeledOpWork evaluates the bind-time work model for every
+// instruction at inShape (full shape including the batch dimension) and
+// aggregates it per op kind, in first-appearance order.
+func (p *Program) ModeledOpWork(inShape []int) ([]OpWork, error) {
+	shapes, err := p.InferShapes(inShape)
+	if err != nil {
+		return nil, err
+	}
+	idx := map[OpKind]int{}
+	var out []OpWork
+	for i := range p.Instrs {
+		it := &p.Instrs[i]
+		j, ok := idx[it.Kind]
+		if !ok {
+			j = len(out)
+			idx[it.Kind] = j
+			out = append(out, OpWork{Kind: it.Kind})
+		}
+		out[j].Instrs++
+		out[j].WorkNs += instrWorkNs(it, shapes)
+	}
+	return out, nil
+}
+
 // instrWorkNs models one instruction's serial execution time in
 // nanoseconds from its kind and planned shapes.
 func instrWorkNs(it *Instr, shapes [][]int) int64 {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"torch2chip/internal/tensor"
+	"torch2chip/internal/trace"
 )
 
 // Executor runs a Program for one fixed input shape. All inter-op
@@ -35,6 +36,16 @@ type Executor struct {
 	maxPar      int                   // WithMaxParallel bound (0 = pool width)
 	waveRuns    int                   // waves executed member-concurrently so far
 
+	// Tracing (nil ring when no tracer was bound; the disabled path
+	// then costs one nil check per Execute). Names are interned and
+	// output footprints precomputed at bind so recording never
+	// allocates or re-derives shape math.
+	ring      *trace.Ring
+	traceTID  int32
+	instrName []uint32 // per-instr interned op-kind name
+	instrOutB []int64  // per-instr output-buffer bytes
+	waveName  uint32
+
 	// Prepacked-kernel support, sized at bind time by the registry's
 	// prep hooks. slotScratch holds int64 words (legacy panels and the
 	// typed kernels' widened staging chunks); the typed slices hold
@@ -55,9 +66,12 @@ type Executor struct {
 type ExecOption func(*execConfig)
 
 type execConfig struct {
-	reg     *Registry
-	maxPar  int
-	planCfg PlanConfig
+	reg      *Registry
+	maxPar   int
+	planCfg  PlanConfig
+	tracer   *trace.Tracer
+	ring     *trace.Ring
+	traceTID int32
 }
 
 // WithKernels selects the kernel registry (default: DefaultKernels).
@@ -84,6 +98,20 @@ func WithMaxParallel(n int) ExecOption {
 // demotes every wave that would cost bytes.
 func WithPlanConfig(pc PlanConfig) ExecOption {
 	return func(c *execConfig) { c.planCfg = pc }
+}
+
+// WithTracer binds the executor to a span tracer with its own ring —
+// the standalone (bench/profile) form. Serving workers share one ring
+// per engine.Server via WithTraceRing instead.
+func WithTracer(t *trace.Tracer) ExecOption {
+	return func(c *execConfig) { c.tracer = t }
+}
+
+// WithTraceRing records this executor's spans into an existing ring,
+// tagged with lane id tid (the Chrome-trace thread the spans land on —
+// servers pass the worker index).
+func WithTraceRing(r *trace.Ring, tid int32) ExecOption {
+	return func(c *execConfig) { c.ring, c.traceTID = r, tid }
 }
 
 // NewExecutor plans and binds a program for inputs of shape inShape
@@ -217,7 +245,34 @@ func NewExecutor(p *Program, inShape []int, opts ...ExecOption) (*Executor, erro
 		}
 	}
 	ex.buildWaves()
+	ex.bindTrace(&cfg)
 	return ex, nil
+}
+
+// bindTrace resolves the tracing options: interns every instruction's
+// op-kind name and precomputes output footprints so the recording hot
+// path is a clock read and a ring write, nothing else.
+func (ex *Executor) bindTrace(cfg *execConfig) {
+	ring, tid := cfg.ring, cfg.traceTID
+	if ring == nil && cfg.tracer != nil {
+		ring = cfg.tracer.NewRing()
+	}
+	if ring == nil {
+		return
+	}
+	ex.ring, ex.traceTID = ring, tid
+	t := ring.Tracer()
+	ex.waveName = t.Intern("wave")
+	ex.instrName = make([]uint32, len(ex.prog.Instrs))
+	ex.instrOutB = make([]int64, len(ex.prog.Instrs))
+	for i := range ex.prog.Instrs {
+		it := &ex.prog.Instrs[i]
+		ex.instrName[i] = t.Intern(string(it.Kind))
+		out := it.Out
+		if ex.plan.Offsets[out] >= 0 {
+			ex.instrOutB[i] = int64(tensor.Numel(ex.plan.Shapes[out])) * int64(ex.plan.DTypes[out].Size())
+		}
+	}
 }
 
 // arenaView builds a typed tensor header over the dtype's arena.
@@ -435,6 +490,10 @@ func (ex *Executor) OutShape() []int { return ex.plan.Shapes[ex.prog.Output] }
 // arena intervals by construction, and job bodies are the same tile
 // bodies the intra-op path runs.
 func (ex *Executor) run() {
+	if ex.ring.Active() {
+		ex.runTraced()
+		return
+	}
 	for wi := range ex.waves {
 		wv := &ex.waves[wi]
 		if wv.safe && ex.kernelWorkers() > 1 {
@@ -452,6 +511,52 @@ func (ex *Executor) run() {
 		for _, i := range wv.members {
 			ex.runInstr(i)
 		}
+	}
+}
+
+// runTraced is run() with span recording: every wave gets a KindWave
+// span (A0 = members, A1 = combined jobs, or 0 when it ran serially),
+// and serially executed instructions each get a KindInstr span (A0 =
+// output-buffer bytes, A1 = instruction index). Members of a
+// parallel-dispatched wave are timed only as the wave — their job
+// grids interleave across pool slots, so per-member wall time is not a
+// meaningful quantity there.
+func (ex *Executor) runTraced() {
+	r := ex.ring
+	for wi := range ex.waves {
+		wv := &ex.waves[wi]
+		wStart := r.Now()
+		if wv.safe && ex.kernelWorkers() > 1 {
+			ex.waveRuns++
+			total := wv.jobOff[len(wv.bodies)]
+			tensor.ParallelForSlotsN(total, ex.maxPar, true, func(j, slot int) {
+				m := 0
+				for wv.jobOff[m+1] <= j {
+					m++
+				}
+				wv.bodies[m](j-wv.jobOff[m], slot)
+			})
+			r.Record(trace.Span{
+				Start: wStart, Dur: r.Now() - wStart, Name: ex.waveName,
+				Kind: trace.KindWave, TID: ex.traceTID,
+				A0: int64(len(wv.members)), A1: int64(total),
+			})
+			continue
+		}
+		for _, i := range wv.members {
+			start := r.Now()
+			ex.runInstr(i)
+			r.Record(trace.Span{
+				Start: start, Dur: r.Now() - start, Name: ex.instrName[i],
+				Kind: trace.KindInstr, TID: ex.traceTID,
+				A0: ex.instrOutB[i], A1: int64(i),
+			})
+		}
+		r.Record(trace.Span{
+			Start: wStart, Dur: r.Now() - wStart, Name: ex.waveName,
+			Kind: trace.KindWave, TID: ex.traceTID,
+			A0: int64(len(wv.members)), A1: 0,
+		})
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"torch2chip/internal/tensor"
+	"torch2chip/internal/trace"
 )
 
 // ErrQueueFull is returned by TryInfer when the request queue is at
@@ -48,6 +49,11 @@ type ServerOptions struct {
 	QueueSize int
 	// Kernels selects the kernel registry (default DefaultKernels).
 	Kernels *Registry
+	// Trace, when non-nil, gives the server a span ring on the tracer:
+	// workers record queue-wait and batch spans and bind their
+	// executors for per-instruction/wave spans. nil (the default)
+	// leaves serving at the PR-7 hot path — no ring, no clock reads.
+	Trace *trace.Tracer
 }
 
 // WithDefaults returns o with unset fields resolved, so higher layers
@@ -123,6 +129,8 @@ type request struct {
 	x        *tensor.Tensor
 	deadline time.Time // zero = no deadline
 	reply    chan reply
+	enq      int64  // tracer-relative enqueue ns (0 = not traced)
+	tid      uint64 // request trace id propagated from the HTTP layer
 }
 
 type reply struct {
@@ -157,6 +165,19 @@ type Server struct {
 	planWaves    atomic.Int64  // max parallel waves over bound plans
 	parallelFrac atomic.Uint64 // max Plan.ParallelFrac (float64 bits)
 
+	// Tracing: one shared multi-writer ring for the batcher and all
+	// workers (nil without a tracer); interned span names bound once.
+	ring        *trace.Ring
+	nmQueueWait uint32
+	nmBatch     uint32
+	nmBatchForm uint32
+
+	// batchWait is always on (two clock reads per batch, not per
+	// request): the time from a batch's first request to its dispatch,
+	// the signal that separates batch formation from execution when a
+	// latency histogram regresses.
+	batchWait *trace.Hist
+
 	// mu guards closed and orders queue sends before close: producers
 	// hold the read side (so they can enqueue concurrently), Close takes
 	// the write side.
@@ -176,17 +197,24 @@ func NewServer(p *Program, sampleShape []int, opts ServerOptions) (*Server, erro
 		return nil, err
 	}
 	s := &Server{
-		prog:    p,
-		sample:  append([]int(nil), sampleShape...),
-		opts:    opts,
-		queue:   make(chan request, opts.QueueSize),
-		batches: make(chan []request, opts.Workers),
+		prog:      p,
+		sample:    append([]int(nil), sampleShape...),
+		opts:      opts,
+		queue:     make(chan request, opts.QueueSize),
+		batches:   make(chan []request, opts.Workers),
+		batchWait: trace.NewHist(trace.BatchWaitBucketsNs),
+	}
+	if opts.Trace != nil {
+		s.ring = opts.Trace.NewRing()
+		s.nmQueueWait = opts.Trace.Intern("queue_wait")
+		s.nmBatch = opts.Trace.Intern("batch")
+		s.nmBatchForm = opts.Trace.Intern("batch_form")
 	}
 	s.batcherW.Add(1)
 	go s.batcher()
 	for w := 0; w < opts.Workers; w++ {
 		s.wg.Add(1)
-		go s.worker()
+		go s.worker(w)
 	}
 	return s, nil
 }
@@ -210,6 +238,7 @@ func (s *Server) batcher() {
 		if !ok {
 			return
 		}
+		t0 := time.Now()
 		batch := append(make([]request, 0, s.opts.MaxBatch), first)
 		// Fast path: drain whatever is already queued, no timer involved.
 	drain:
@@ -217,7 +246,7 @@ func (s *Server) batcher() {
 			select {
 			case r, ok := <-s.queue:
 				if !ok {
-					s.batches <- batch
+					s.dispatch(batch, t0)
 					return
 				}
 				batch = append(batch, r)
@@ -248,9 +277,31 @@ func (s *Server) batcher() {
 				}
 			}
 		}
-		s.batches <- batch
+		s.dispatch(batch, t0)
 	}
 }
+
+// dispatch hands a formed batch to the workers, recording how long the
+// batcher held it open: always into the batch-wait histogram, and as a
+// KindBatchForm span when tracing is armed (the span is anchored at
+// dispatch-time minus the measured wait so it aligns with the worker's
+// queue-wait and batch spans on the tracer clock).
+func (s *Server) dispatch(batch []request, t0 time.Time) {
+	wait := time.Since(t0).Nanoseconds()
+	s.batchWait.Observe(wait)
+	if s.ring.Active() {
+		s.ring.Record(trace.Span{
+			Start: s.ring.Now() - wait, Dur: wait, Name: s.nmBatchForm,
+			Kind: trace.KindBatchForm, TID: batcherLane,
+			A0: int64(len(batch)),
+		})
+	}
+	s.batches <- batch
+}
+
+// batcherLane is the Chrome-trace lane the batcher's spans render on,
+// clear of the worker lanes (worker w records on lane w).
+const batcherLane = 999
 
 // batchBucket rounds a partial batch up to the next power of two
 // (capped at max). Workers plan one executor+arena per bucket instead
@@ -270,8 +321,9 @@ func batchBucket(n, max int) int {
 // worker owns one executor per power-of-two batch bucket and serves
 // batches; partial batches run padded to their bucket (per-sample
 // computation is independent, so the padding lanes are dead work that
-// buys a bounded executor set).
-func (s *Server) worker() {
+// buys a bounded executor set). w is the worker index — the trace lane
+// its spans and its executors' spans are tagged with.
+func (s *Server) worker(w int) {
 	defer s.wg.Done()
 	execs := map[int]*Executor{}
 	var xBatch, yBatch map[int]*tensor.Tensor
@@ -304,7 +356,8 @@ func (s *Server) worker() {
 		if !ok {
 			var err error
 			ex, err = NewExecutor(s.prog, append([]int{bucket}, s.sample...),
-				WithKernels(s.opts.Kernels), WithMaxParallel(s.opts.KernelThreads))
+				WithKernels(s.opts.Kernels), WithMaxParallel(s.opts.KernelThreads),
+				WithTraceRing(s.ring, int32(w)))
 			if err != nil {
 				for _, r := range batch {
 					r.reply <- reply{err: err}
@@ -322,7 +375,31 @@ func (s *Server) worker() {
 		for i, r := range batch {
 			copy(x.Data[i*sampleN:(i+1)*sampleN], r.x.Data)
 		}
+		var bStart int64
+		traced := s.ring.Active()
+		if traced {
+			// Close each request's queue-wait span now that its batch is
+			// about to execute; the executor's instruction/wave spans then
+			// nest inside the batch span that follows.
+			bStart = s.ring.Now()
+			for _, r := range batch {
+				if r.enq > 0 {
+					s.ring.Record(trace.Span{
+						Start: r.enq, Dur: bStart - r.enq, Name: s.nmQueueWait,
+						Kind: trace.KindQueueWait, TID: int32(w), ID: r.tid,
+						A0: int64(n),
+					})
+				}
+			}
+		}
 		err := ex.ExecuteInto(y, x)
+		if traced {
+			s.ring.Record(trace.Span{
+				Start: bStart, Dur: s.ring.Now() - bStart, Name: s.nmBatch,
+				Kind: trace.KindBatch, TID: int32(w),
+				A0: int64(n), A1: int64(bucket),
+			})
+		}
 		if created {
 			// Account scratch after the first execute, when the grow-only
 			// buffers the lazy kernels claim have reached steady state.
@@ -387,7 +464,7 @@ func (s *Server) checkShape(x *tensor.Tensor) error {
 // and blocks until its logits are ready, waiting for queue space if the
 // server is saturated.
 func (s *Server) Infer(x *tensor.Tensor) (*tensor.Tensor, error) {
-	return s.infer(x, time.Time{}, true)
+	return s.infer(x, time.Time{}, true, 0)
 }
 
 // TryInfer is Infer with admission control: it fast-fails with
@@ -395,10 +472,17 @@ func (s *Server) Infer(x *tensor.Tensor) (*tensor.Tensor, error) {
 // non-zero deadline makes workers drop the request unexecuted
 // (ErrDeadlineExceeded) once it expires.
 func (s *Server) TryInfer(x *tensor.Tensor, deadline time.Time) (*tensor.Tensor, error) {
-	return s.infer(x, deadline, false)
+	return s.infer(x, deadline, false, 0)
 }
 
-func (s *Server) infer(x *tensor.Tensor, deadline time.Time, block bool) (*tensor.Tensor, error) {
+// TryInferTraced is TryInfer carrying a request trace id: the worker's
+// queue-wait span for this request records tid, stitching the engine
+// timeline to the HTTP request span that owns the id.
+func (s *Server) TryInferTraced(x *tensor.Tensor, deadline time.Time, tid uint64) (*tensor.Tensor, error) {
+	return s.infer(x, deadline, false, tid)
+}
+
+func (s *Server) infer(x *tensor.Tensor, deadline time.Time, block bool, tid uint64) (*tensor.Tensor, error) {
 	if err := s.checkShape(x); err != nil {
 		return nil, err
 	}
@@ -408,6 +492,10 @@ func (s *Server) infer(x *tensor.Tensor, deadline time.Time, block bool) (*tenso
 		return nil, fmt.Errorf("engine: server is closed")
 	}
 	r := request{x: x, deadline: deadline, reply: make(chan reply, 1)}
+	if s.ring.Active() {
+		r.enq = s.ring.Now()
+		r.tid = tid
+	}
 	if block {
 		s.queue <- r
 	} else {
@@ -426,6 +514,16 @@ func (s *Server) infer(x *tensor.Tensor, deadline time.Time, block bool) (*tenso
 
 // SampleShape returns the single-sample input shape the server accepts.
 func (s *Server) SampleShape() []int { return append([]int(nil), s.sample...) }
+
+// QueueDepth samples the number of requests currently waiting in the
+// batcher queue — a point-in-time gauge, exact only at the instant of
+// the read.
+func (s *Server) QueueDepth() int { return len(s.queue) }
+
+// BatchWait snapshots the always-on batch-formation-wait histogram:
+// the time each dispatched batch sat open in the batcher, from its
+// first request to hand-off.
+func (s *Server) BatchWait() trace.HistSnapshot { return s.batchWait.Snapshot() }
 
 // ServerMemStats reports the memory a server's bound executors hold:
 // planned per-dtype arenas and kernel scratch, summed across every

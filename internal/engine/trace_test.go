@@ -1,0 +1,214 @@
+package engine_test
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"torch2chip/internal/data"
+	"torch2chip/internal/engine"
+	"torch2chip/internal/tensor"
+	"torch2chip/internal/trace"
+)
+
+func countKinds(spans []trace.Span) map[trace.Kind]int {
+	n := map[trace.Kind]int{}
+	for _, s := range spans {
+		n[s.Kind]++
+	}
+	return n
+}
+
+// TestExecutorTraceSpans runs a traced executor serially and checks the
+// recorded timeline: one instruction span per instruction per execute,
+// each wrapped by a wave span, with correct indices and op names.
+func TestExecutorTraceSpans(t *testing.T) {
+	old := tensor.SetParallelism(1) // serial waves → per-instruction spans
+	defer tensor.SetParallelism(old)
+	g := tensor.NewRNG(71)
+	calib, _ := data.Generate(data.SynthCIFAR10, 32, 8)
+	_, prog := compile(t, smallCNN(g), calib)
+
+	tr := trace.New(trace.Config{RingSpans: 1024})
+	ex, err := engine.NewExecutor(prog, []int{2, 3, 8, 8},
+		engine.WithKernels(engine.FastKernels()), engine.WithTracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := g.Uniform(0, 1, 2, 3, 8, 8)
+
+	// Disabled tracer: executes must record nothing.
+	if _, err := ex.Execute(x); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Snapshot(); len(got) != 0 {
+		t.Fatalf("disabled tracer recorded %d spans", len(got))
+	}
+
+	tr.SetEnabled(true)
+	const iters = 2
+	for i := 0; i < iters; i++ {
+		if _, err := ex.Execute(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spans := tr.Snapshot()
+	kinds := countKinds(spans)
+	if want := iters * len(prog.Instrs); kinds[trace.KindInstr] != want {
+		t.Fatalf("instr spans = %d, want %d (%d instrs × %d iters)",
+			kinds[trace.KindInstr], want, len(prog.Instrs), iters)
+	}
+	if kinds[trace.KindWave] == 0 {
+		t.Fatal("no wave spans recorded")
+	}
+	// Per-execute, the instruction indices must cover the program and
+	// each instruction span must nest inside some wave span.
+	seen := map[int64]int{}
+	for _, s := range spans {
+		if s.Kind != trace.KindInstr {
+			continue
+		}
+		seen[s.A1]++
+		nested := false
+		for _, w := range spans {
+			if w.Kind == trace.KindWave && w.Start <= s.Start && s.Start+s.Dur <= w.Start+w.Dur {
+				nested = true
+				break
+			}
+		}
+		if !nested {
+			t.Fatalf("instruction span %+v not nested in any wave span", s)
+		}
+	}
+	for i := range prog.Instrs {
+		if seen[int64(i)] != iters {
+			t.Fatalf("instruction %d recorded %d spans, want %d", i, seen[int64(i)], iters)
+		}
+	}
+	// The op histograms must have aggregated every instruction span.
+	var total int64
+	for _, op := range tr.OpProfile() {
+		total += op.Count
+	}
+	if total != int64(iters*len(prog.Instrs)) {
+		t.Fatalf("op profile aggregated %d spans, want %d", total, iters*len(prog.Instrs))
+	}
+}
+
+// TestServerTraceSpans drives a traced Server and checks the request →
+// batch → wave nesting and the trace-id stitching from TryInferTraced
+// into the queue-wait span.
+func TestServerTraceSpans(t *testing.T) {
+	g := tensor.NewRNG(72)
+	calib, _ := data.Generate(data.SynthCIFAR10, 32, 8)
+	_, prog := compile(t, smallCNN(g), calib)
+	tr := trace.New(trace.Config{RingSpans: 1024})
+	tr.SetEnabled(true)
+	srv, err := engine.NewServer(prog, []int{3, 8, 8}, engine.ServerOptions{
+		Workers: 1, MaxBatch: 4, Trace: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const tid = 77
+	deadline := time.Now().Add(5 * time.Second)
+	if _, err := srv.TryInferTraced(g.Uniform(0, 1, 3, 8, 8), deadline, tid); err != nil {
+		t.Fatal(err)
+	}
+	spans := tr.Snapshot()
+	kinds := countKinds(spans)
+	for _, k := range []trace.Kind{trace.KindQueueWait, trace.KindBatch, trace.KindWave} {
+		if kinds[k] == 0 {
+			t.Fatalf("no %s span recorded (kinds: %v)", k, kinds)
+		}
+	}
+	var qw, batch *trace.Span
+	for i := range spans {
+		switch spans[i].Kind {
+		case trace.KindQueueWait:
+			qw = &spans[i]
+		case trace.KindBatch:
+			batch = &spans[i]
+		}
+	}
+	if qw.ID != tid {
+		t.Fatalf("queue-wait span carries trace id %d, want %d", qw.ID, tid)
+	}
+	// Queue wait ends where the batch begins; the executor's spans nest
+	// inside the batch span.
+	if qw.Start+qw.Dur != batch.Start {
+		t.Fatalf("queue-wait [%d,+%d] does not end at batch start %d", qw.Start, qw.Dur, batch.Start)
+	}
+	for _, s := range spans {
+		if s.Kind == trace.KindInstr || s.Kind == trace.KindWave {
+			if s.Start < batch.Start || s.Start+s.Dur > batch.Start+batch.Dur {
+				t.Fatalf("engine span %+v escapes its batch span %+v", s, batch)
+			}
+		}
+	}
+
+	// The always-on batch-wait histogram saw the dispatch, and the
+	// queue-depth gauge reads cleanly on an idle server.
+	if bw := srv.BatchWait(); bw.Count < 1 {
+		t.Fatalf("batch-wait count = %d, want >= 1", bw.Count)
+	}
+	if d := srv.QueueDepth(); d != 0 {
+		t.Fatalf("idle queue depth = %d", d)
+	}
+}
+
+// TestExecutorDisabledTraceOverhead guards the tentpole's overhead
+// claim in a CI-friendly form: binding a tracer that stays disabled
+// must not measurably slow Execute (the hot path only gains one atomic
+// load per run). Medians over several trials keep scheduler noise out;
+// the threshold is deliberately loose — the acceptance benchmark is the
+// precise check, this catches gross regressions like accidental
+// always-on recording.
+func TestExecutorDisabledTraceOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	old := tensor.SetParallelism(1)
+	defer tensor.SetParallelism(old)
+	g := tensor.NewRNG(73)
+	calib, _ := data.Generate(data.SynthCIFAR10, 32, 8)
+	_, prog := compile(t, smallCNN(g), calib)
+	x := g.Uniform(0, 1, 8, 3, 8, 8)
+
+	build := func(opts ...engine.ExecOption) *engine.Executor {
+		ex, err := engine.NewExecutor(prog, x.Shape, append([]engine.ExecOption{
+			engine.WithKernels(engine.FastKernels())}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ex.Execute(x); err != nil { // warm scratch + prepack
+			t.Fatal(err)
+		}
+		return ex
+	}
+	measure := func(ex *engine.Executor) time.Duration {
+		const trials, iters = 5, 30
+		times := make([]time.Duration, trials)
+		for tr := range times {
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				if _, err := ex.Execute(x); err != nil {
+					t.Fatal(err)
+				}
+			}
+			times[tr] = time.Since(start)
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		return times[trials/2]
+	}
+
+	plain := build()
+	traced := build(engine.WithTracer(trace.New(trace.Config{})))
+	base := measure(plain)
+	withRing := measure(traced)
+	if withRing > base+base/3*2 { // 66% headroom: catches always-on recording, not jitter
+		t.Fatalf("disabled tracing slowed Execute: %v -> %v", base, withRing)
+	}
+}

@@ -5,14 +5,17 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"torch2chip/internal/engine"
 	"torch2chip/internal/export"
 	"torch2chip/internal/tensor"
+	"torch2chip/internal/trace"
 )
 
 // HandlerOptions tune the HTTP layer.
@@ -20,6 +23,10 @@ type HandlerOptions struct {
 	// MaxBodyBytes bounds request bodies (predict payloads and
 	// checkpoint uploads). Default 1 GiB.
 	MaxBodyBytes int64
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// serving mux (off by default: profiles expose internals, so the
+	// flag is an explicit opt-in).
+	EnablePprof bool
 }
 
 func (o HandlerOptions) withDefaults() HandlerOptions {
@@ -37,11 +44,14 @@ func (o HandlerOptions) withDefaults() HandlerOptions {
 //	GET  /v1/models                  list models and serving stats
 //	GET  /healthz                    liveness probe
 //	GET  /metrics                    Prometheus text metrics
+//	GET  /debug/trace?model={name}   Chrome trace-event JSON span dump
+//	GET  /debug/pprof/...            stdlib profiles (EnablePprof only)
 type Handler struct {
-	reg     *Registry
-	metrics *Metrics
-	opts    HandlerOptions
-	mux     *http.ServeMux
+	reg      *Registry
+	metrics  *Metrics
+	opts     HandlerOptions
+	mux      *http.ServeMux
+	traceSeq atomic.Uint64 // request trace-id allocator
 }
 
 // NewHandler wires the API routes over reg.
@@ -51,6 +61,14 @@ func NewHandler(reg *Registry, opts HandlerOptions) *Handler {
 	h.mux.HandleFunc("/metrics", h.serveMetrics)
 	h.mux.HandleFunc("/v1/models", h.list)
 	h.mux.HandleFunc("/v1/models/", h.models)
+	h.mux.HandleFunc("/debug/trace", h.debugTrace)
+	if h.opts.EnablePprof {
+		h.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		h.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		h.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		h.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		h.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return h
 }
 
@@ -156,6 +174,43 @@ func (h *Handler) models(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// Span lanes of the HTTP layer. Engine workers use their worker index
+// and the batcher uses lane 999, so HTTP spans start at 1000: the
+// request span on httpLane, fan-out spans spread over the next
+// fanoutLanes so concurrent samples don't stack on one Chrome track.
+const (
+	httpLane    = 1000
+	fanoutLanes = 63
+)
+
+// traceID resolves the request's trace id: an X-Trace-Id header (hex,
+// non-zero) propagates an upstream id, otherwise a fresh one is drawn
+// from the handler's counter.
+func (h *Handler) traceID(r *http.Request) uint64 {
+	if v := r.Header.Get("X-Trace-Id"); v != "" {
+		if id, err := strconv.ParseUint(v, 16, 64); err == nil && id != 0 {
+			return id
+		}
+	}
+	return h.traceSeq.Add(1)
+}
+
+// resultCode compresses a result label into a span argument.
+func resultCode(result string) int64 {
+	switch result {
+	case ResultOK:
+		return 0
+	case ResultRejected:
+		return 1
+	case ResultExpired:
+		return 2
+	case ResultInvalid:
+		return 3
+	default:
+		return 4
+	}
+}
+
 // predict parses a single or batched input tensor, fans the samples out
 // concurrently (so one batched request coalesces in the micro-batcher),
 // and replies with per-sample logits and argmax classes.
@@ -167,21 +222,50 @@ func (h *Handler) predict(w http.ResponseWriter, r *http.Request, name string) {
 		writeError(w, http.StatusNotFound, "model %q not loaded", name)
 		return
 	}
+
+	// When the model's tracer is armed and this request is sampled,
+	// record a request span plus one fan-out span per sample, all
+	// carrying one trace id that the engine stitches into its queue-wait
+	// spans. The untraced path pays one nil-ring branch.
+	ring := h.reg.TraceRing(name)
+	tracer := ring.Tracer()
+	traced := ring.Active() && tracer.SampleRequest()
+	var tid uint64
+	var reqStart int64
+	var nmRequest, nmFanout uint32
+	if traced {
+		tid = h.traceID(r)
+		reqStart = ring.Now()
+		nmRequest = tracer.Intern("request")
+		nmFanout = tracer.Intern("fanout")
+		w.Header().Set("X-Trace-Id", strconv.FormatUint(tid, 16))
+	}
+	endSpan := func(samples int, result string) {
+		if traced {
+			now := ring.Now()
+			ring.Record(trace.Span{Start: reqStart, Dur: now - reqStart,
+				Name: nmRequest, Kind: trace.KindRequest, TID: httpLane,
+				ID: tid, A0: int64(samples), A1: resultCode(result)})
+		}
+	}
 	in, err := export.ReadInputJSON(http.MaxBytesReader(w, r.Body, h.opts.MaxBodyBytes))
 	if err != nil {
 		h.metrics.Observe(name, ResultInvalid, 0)
+		endSpan(0, ResultInvalid)
 		writeError(w, http.StatusBadRequest, "bad input tensor: %v", err)
 		return
 	}
 	xs, err := in.Samples(sample)
 	if err != nil {
 		h.metrics.Observe(name, ResultInvalid, 0)
+		endSpan(0, ResultInvalid)
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	deadline, err := h.deadline(r)
 	if err != nil {
 		h.metrics.Observe(name, ResultInvalid, 0)
+		endSpan(len(xs), ResultInvalid)
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -204,7 +288,22 @@ func (h *Handler) predict(w http.ResponseWriter, r *http.Request, name string) {
 		go func(i int, x *tensor.Tensor) {
 			defer wg.Done()
 			defer func() { <-slots }()
-			y, version, err := h.reg.InferDeadline(name, x, deadline)
+			var t0 int64
+			if traced {
+				t0 = ring.Now()
+			}
+			y, version, err := h.reg.InferTraced(name, x, deadline, tid)
+			if traced {
+				code := int64(0)
+				if err != nil {
+					_, res := statusFor(err)
+					code = resultCode(res)
+				}
+				ring.Record(trace.Span{Start: t0, Dur: ring.Now() - t0,
+					Name: nmFanout, Kind: trace.KindFanout,
+					TID: httpLane + 1 + int32(i%fanoutLanes),
+					ID:  tid, A0: int64(i), A1: code})
+			}
 			if err != nil {
 				errs[i] = err
 				return
@@ -216,13 +315,39 @@ func (h *Handler) predict(w http.ResponseWriter, r *http.Request, name string) {
 	for _, err := range errs {
 		if err != nil {
 			code, result := statusFor(err)
-			h.metrics.Observe(name, result, 0)
+			h.metrics.Observe(name, result, time.Since(start))
+			endSpan(len(xs), result)
 			writeError(w, code, "%v", err)
 			return
 		}
 	}
 	h.metrics.Observe(name, ResultOK, time.Since(start))
+	endSpan(len(xs), ResultOK)
 	writeJSON(w, http.StatusOK, PredictResponse{Model: name, Predictions: preds})
+}
+
+// debugTrace dumps ?model=X's recorded spans as Chrome trace-event
+// JSON (loadable in Perfetto / chrome://tracing). The dump is a
+// flight-recorder snapshot: the most recent spans still intact in the
+// model's rings, sorted by start time.
+func (h *Handler) debugTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	name := r.URL.Query().Get("model")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "missing ?model= parameter")
+		return
+	}
+	t := h.reg.Tracer(name)
+	if t == nil {
+		writeError(w, http.StatusNotFound,
+			"no trace for model %q (model not loaded, or serving started without tracing)", name)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = trace.WriteChrome(w, t, name, t.Snapshot())
 }
 
 // deadline resolves the request deadline: ?deadline_ms= overrides the

@@ -171,8 +171,10 @@ func TestHTTPEndToEnd(t *testing.T) {
 	ms := string(mb)
 	for _, wantLine := range []string{
 		`t2c_requests_total{model="cnn",result="ok"} 3`,
-		`t2c_request_latency_seconds_count{model="cnn"} 3`,
-		`t2c_request_latency_seconds_bucket{model="cnn",le="+Inf"} 3`,
+		`t2c_request_latency_seconds_count{model="cnn",result="ok"} 3`,
+		`t2c_request_latency_seconds_bucket{model="cnn",result="ok",le="+Inf"} 3`,
+		`t2c_replica_queue_depth{model="cnn"}`,
+		`t2c_batch_wait_seconds_count{model="cnn"}`,
 		`t2c_model_version{model="cnn"} 2`,
 		`t2c_engine_requests_total{model="cnn"} 5`, // 1 single + 3 batched + 1 post-reload
 		`t2c_engine_arena_bytes{model="cnn"}`,

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"torch2chip/internal/trace"
 )
 
 // Request results counted per model by the HTTP layer.
@@ -19,6 +21,12 @@ const (
 )
 
 var allResults = []string{ResultOK, ResultRejected, ResultExpired, ResultError, ResultInvalid}
+
+// latencyResults are the results that get a latency histogram: requests
+// that reached the serving path. Rejections and malformed payloads fail
+// before any meaningful latency accrues, so histograms for them would
+// only blur the percentiles.
+var latencyResults = []string{ResultOK, ResultExpired, ResultError}
 
 // latencyBucketsNs are the histogram upper bounds (100µs … 10s,
 // roughly 1-2.5-5 per decade), exposed in seconds in the Prometheus
@@ -53,17 +61,22 @@ func (h *histogram) observe(d time.Duration) {
 	h.count.Add(1)
 }
 
-// modelMetrics is the HTTP-side per-model record: result counters and a
-// predict-latency histogram.
+// modelMetrics is the HTTP-side per-model record: result counters and
+// predict-latency histograms keyed by result (ok / expired / error), so
+// timeout and failure latency is visible instead of only the happy
+// path.
 type modelMetrics struct {
 	results map[string]*atomic.Int64
-	latency *histogram
+	latency map[string]*histogram
 }
 
 func newModelMetrics() *modelMetrics {
-	mm := &modelMetrics{results: map[string]*atomic.Int64{}, latency: newHistogram()}
+	mm := &modelMetrics{results: map[string]*atomic.Int64{}, latency: map[string]*histogram{}}
 	for _, res := range allResults {
 		mm.results[res] = &atomic.Int64{}
+	}
+	for _, res := range latencyResults {
+		mm.latency[res] = newHistogram()
 	}
 	return mm
 }
@@ -102,14 +115,15 @@ func (m *Metrics) model(name string) *modelMetrics {
 	return mm
 }
 
-// Observe records one predict request's result and latency.
+// Observe records one predict request's result and latency. Latency
+// feeds the result's histogram when it has one (ok, expired, error).
 func (m *Metrics) Observe(model, result string, d time.Duration) {
 	mm := m.model(model)
 	if c, ok := mm.results[result]; ok {
 		c.Add(1)
 	}
-	if result == ResultOK {
-		mm.latency.observe(d)
+	if h, ok := mm.latency[result]; ok {
+		h.observe(d)
 	}
 }
 
@@ -137,20 +151,24 @@ func (m *Metrics) WriteText(w io.Writer, reg *Registry) {
 		}
 	}
 
-	fmt.Fprintf(w, "# HELP t2c_request_latency_seconds Predict latency of successful requests.\n")
+	fmt.Fprintf(w, "# HELP t2c_request_latency_seconds Predict latency by model and result.\n")
 	fmt.Fprintf(w, "# TYPE t2c_request_latency_seconds histogram\n")
 	for _, n := range names {
-		h := m.model(n).latency
-		cum := int64(0)
-		for i, ub := range latencyBucketsNs {
-			cum += h.buckets[i].Load()
-			fmt.Fprintf(w, "t2c_request_latency_seconds_bucket{model=%q,le=\"%g\"} %d\n",
-				n, float64(ub)/1e9, cum)
+		mm := m.model(n)
+		for _, res := range latencyResults {
+			h := mm.latency[res]
+			labels := fmt.Sprintf("model=%q,result=%q", n, res)
+			cum := int64(0)
+			for i, ub := range latencyBucketsNs {
+				cum += h.buckets[i].Load()
+				fmt.Fprintf(w, "t2c_request_latency_seconds_bucket{%s,le=\"%g\"} %d\n",
+					labels, float64(ub)/1e9, cum)
+			}
+			cum += h.buckets[len(latencyBucketsNs)].Load()
+			fmt.Fprintf(w, "t2c_request_latency_seconds_bucket{%s,le=\"+Inf\"} %d\n", labels, cum)
+			fmt.Fprintf(w, "t2c_request_latency_seconds_sum{%s} %g\n", labels, float64(h.sumNs.Load())/1e9)
+			fmt.Fprintf(w, "t2c_request_latency_seconds_count{%s} %d\n", labels, h.count.Load())
 		}
-		cum += h.buckets[len(latencyBucketsNs)].Load()
-		fmt.Fprintf(w, "t2c_request_latency_seconds_bucket{model=%q,le=\"+Inf\"} %d\n", n, cum)
-		fmt.Fprintf(w, "t2c_request_latency_seconds_sum{model=%q} %g\n", n, float64(h.sumNs.Load())/1e9)
-		fmt.Fprintf(w, "t2c_request_latency_seconds_count{model=%q} %d\n", n, h.count.Load())
 	}
 
 	if reg == nil {
@@ -193,4 +211,41 @@ func (m *Metrics) WriteText(w io.Writer, reg *Registry) {
 	for _, mi := range infos {
 		fmt.Fprintf(w, "t2c_engine_mean_batch{model=%q} %g\n", mi.Name, mi.Stats.MeanBatch())
 	}
+	emit("t2c_replica_queue_depth", "Requests waiting in replica queues, sampled at scrape time.", "gauge",
+		func(mi ModelInfo) int64 { return int64(mi.QueueDepth) })
+	fmt.Fprintf(w, "# HELP t2c_batch_wait_seconds Time each dispatched batch sat open in the batcher.\n# TYPE t2c_batch_wait_seconds histogram\n")
+	for _, mi := range infos {
+		writeHistSnapshot(w, "t2c_batch_wait_seconds", fmt.Sprintf("model=%q", mi.Name), mi.BatchWait)
+	}
+	// Per-op execution-time histograms exist only when the registry was
+	// built with tracing: they aggregate the engine's instruction spans.
+	wroteOpHeader := false
+	for _, mi := range infos {
+		ops := reg.Tracer(mi.Name).OpProfile()
+		if len(ops) > 0 && !wroteOpHeader {
+			fmt.Fprintf(w, "# HELP t2c_op_seconds Measured per-instruction execution time by op kind (traced models only).\n# TYPE t2c_op_seconds histogram\n")
+			wroteOpHeader = true
+		}
+		for _, op := range ops {
+			writeHistSnapshot(w, "t2c_op_seconds", fmt.Sprintf("model=%q,op=%q", mi.Name, op.Name), op.Hist)
+		}
+	}
+}
+
+// writeHistSnapshot emits one trace.HistSnapshot (ns bounds,
+// non-cumulative counts) as a Prometheus histogram in seconds.
+func writeHistSnapshot(w io.Writer, metric, labels string, h trace.HistSnapshot) {
+	cum := int64(0)
+	for i, ub := range h.BoundsNs {
+		if i < len(h.Counts) {
+			cum += h.Counts[i]
+		}
+		fmt.Fprintf(w, "%s_bucket{%s,le=\"%g\"} %d\n", metric, labels, float64(ub)/1e9, cum)
+	}
+	if n := len(h.BoundsNs); n < len(h.Counts) {
+		cum += h.Counts[n]
+	}
+	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", metric, labels, cum)
+	fmt.Fprintf(w, "%s_sum{%s} %g\n", metric, labels, float64(h.SumNs)/1e9)
+	fmt.Fprintf(w, "%s_count{%s} %d\n", metric, labels, h.Count)
 }

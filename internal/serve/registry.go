@@ -22,6 +22,7 @@ import (
 	"torch2chip/internal/engine"
 	"torch2chip/internal/export"
 	"torch2chip/internal/tensor"
+	"torch2chip/internal/trace"
 )
 
 // ErrNotFound is returned for requests naming an unknown model.
@@ -54,6 +55,13 @@ type Options struct {
 	// RawOptLevel serves checkpoints exactly as stored when true
 	// (OptLevel zero-value means "default to OptFuse" otherwise).
 	RawOptLevel bool
+	// Trace, when non-nil, gives every model entry its own armed
+	// span Tracer sized by the config: engine replicas record
+	// instruction/wave/batch spans, the HTTP layer records
+	// request/fanout spans, and /debug/trace?model=X snapshots them as
+	// Chrome trace-event JSON. nil keeps the engine hot path at its
+	// untraced cost (a nil-ring branch per execute).
+	Trace *trace.Config
 }
 
 func (o Options) withDefaults() Options {
@@ -117,17 +125,36 @@ func (m *Model) release() {
 
 // infer round-robins across replicas; a replica reporting a full queue
 // is skipped, and only when every replica is saturated does the
-// queue-full error surface to the caller.
-func (m *Model) infer(x *tensor.Tensor, deadline time.Time) (*tensor.Tensor, error) {
+// queue-full error surface to the caller. tid is the request trace id
+// stitched into the replica's queue-wait span (0 = untraced).
+func (m *Model) infer(x *tensor.Tensor, deadline time.Time, tid uint64) (*tensor.Tensor, error) {
 	start := m.rr.Add(1)
 	n := uint64(len(m.pool))
 	for i := uint64(0); i < n; i++ {
-		y, err := m.pool[(start+i)%n].TryInfer(x, deadline)
+		y, err := m.pool[(start+i)%n].TryInferTraced(x, deadline, tid)
 		if !errors.Is(err, engine.ErrQueueFull) {
 			return y, err
 		}
 	}
 	return nil, engine.ErrQueueFull
+}
+
+// queueDepth sums the instantaneous replica queue lengths.
+func (m *Model) queueDepth() int {
+	d := 0
+	for _, s := range m.pool {
+		d += s.QueueDepth()
+	}
+	return d
+}
+
+// batchWait merges the replicas' batch-formation-wait histograms.
+func (m *Model) batchWait() trace.HistSnapshot {
+	var h trace.HistSnapshot
+	for _, s := range m.pool {
+		h.Merge(s.BatchWait())
+	}
+	return h
 }
 
 // stats aggregates the live replica pools.
@@ -169,6 +196,15 @@ type entry struct {
 	cur     atomic.Pointer[Model]
 	loadMu  sync.Mutex // serializes reloads of this name
 	version atomic.Int64
+
+	// tracer and httpRing are set once at entry creation (nil when the
+	// registry was built without Options.Trace) and immutable after, so
+	// every serving path may read them without synchronization. The
+	// tracer survives hot reloads: a new version's replicas record into
+	// the same rings, keeping one timeline per model name.
+	tracer      *trace.Tracer
+	httpRing    *trace.Ring
+	nmAdmission uint32
 
 	tokens      chan struct{} // admission: max in-flight
 	admRejected atomic.Int64
@@ -243,6 +279,12 @@ func (r *Registry) Load(name string, ck *export.Checkpoint, sample []int) (Model
 	e, ok := r.entries[name]
 	if !ok {
 		e = &entry{name: name, tokens: make(chan struct{}, r.opts.MaxInFlight)}
+		if r.opts.Trace != nil {
+			e.tracer = trace.New(*r.opts.Trace)
+			e.tracer.SetEnabled(true)
+			e.httpRing = e.tracer.NewRing()
+			e.nmAdmission = e.tracer.Intern("admission_reject")
+		}
 		r.entries[name] = e
 	}
 	r.wg.Add(1) // for the model built below; released in onDrained
@@ -262,9 +304,11 @@ func (r *Registry) Load(name string, ck *export.Checkpoint, sample []int) (Model
 		r.wg.Done()
 		return ModelInfo{}, ErrClosed
 	}
+	eng := r.opts.Engine
+	eng.Trace = e.tracer
 	pool := make([]*engine.Server, r.opts.Replicas)
 	for i := range pool {
-		srv, err := engine.NewServer(prog, sample, r.opts.Engine)
+		srv, err := engine.NewServer(prog, sample, eng)
 		if err != nil {
 			for _, s := range pool[:i] {
 				s.Close()
@@ -315,12 +359,25 @@ func (r *Registry) Infer(name string, x *tensor.Tensor) (*tensor.Tensor, int, er
 // InferDeadline is Infer with an explicit deadline (zero = none beyond
 // the admission queue bound).
 func (r *Registry) InferDeadline(name string, x *tensor.Tensor, deadline time.Time) (*tensor.Tensor, int, error) {
+	return r.InferTraced(name, x, deadline, 0)
+}
+
+// InferTraced is InferDeadline carrying a request trace id: the id is
+// stitched into the replica's queue-wait span so the HTTP request span
+// and the engine-side spans join on it in the trace. An admission
+// rejection records a zero-duration admission span against the same id.
+// tid 0 means "not a traced request".
+func (r *Registry) InferTraced(name string, x *tensor.Tensor, deadline time.Time, tid uint64) (*tensor.Tensor, int, error) {
 	e := r.lookup(name)
 	if e == nil {
 		return nil, 0, ErrNotFound
 	}
 	if !e.admit() {
 		e.admRejected.Add(1)
+		if ring := e.httpRing; tid != 0 && ring.Active() {
+			ring.Record(trace.Span{Start: ring.Now(), Name: e.nmAdmission,
+				Kind: trace.KindAdmission, TID: httpLane, ID: tid, A0: 1})
+		}
 		return nil, 0, ErrOverloaded
 	}
 	defer e.done()
@@ -334,11 +391,29 @@ func (r *Registry) InferDeadline(name string, x *tensor.Tensor, deadline time.Ti
 			// swap that retired it already published a successor.
 			continue
 		}
-		y, err := m.infer(x, deadline)
+		y, err := m.infer(x, deadline, tid)
 		v := m.Version
 		m.release()
 		return y, v, err
 	}
+}
+
+// Tracer returns name's span tracer (nil when the model is unknown or
+// the registry was built without tracing).
+func (r *Registry) Tracer(name string) *trace.Tracer {
+	if e := r.lookup(name); e != nil {
+		return e.tracer
+	}
+	return nil
+}
+
+// TraceRing returns name's HTTP-layer span ring (nil-safe: recording
+// guards on Active).
+func (r *Registry) TraceRing(name string) *trace.Ring {
+	if e := r.lookup(name); e != nil {
+		return e.httpRing
+	}
+	return nil
 }
 
 // MaxInFlight reports the per-model admission budget, so the HTTP
@@ -370,18 +445,26 @@ type ModelInfo struct {
 	// Mem is the current version's executor memory footprint (planned
 	// per-dtype arenas + kernel scratch across the replica pool).
 	Mem engine.ServerMemStats `json:"mem"`
+	// QueueDepth is the instantaneous sum of replica queue lengths at
+	// the time the info was taken.
+	QueueDepth int `json:"queue_depth"`
+	// BatchWait is the always-on batch-formation-wait histogram merged
+	// across the live replica pool.
+	BatchWait trace.HistSnapshot `json:"batch_wait"`
 }
 
 func (r *Registry) info(e *entry, m *Model) ModelInfo {
 	st := e.engineStats(m)
 	return ModelInfo{
-		Name:     e.name,
-		Version:  m.Version,
-		Sample:   append([]int(nil), m.Sample...),
-		Replicas: len(m.pool),
-		Stats:    st,
-		Shed:     e.admRejected.Load(),
-		Mem:      m.mem(),
+		Name:       e.name,
+		Version:    m.Version,
+		Sample:     append([]int(nil), m.Sample...),
+		Replicas:   len(m.pool),
+		Stats:      st,
+		Shed:       e.admRejected.Load(),
+		Mem:        m.mem(),
+		QueueDepth: m.queueDepth(),
+		BatchWait:  m.batchWait(),
 	}
 }
 

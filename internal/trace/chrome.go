@@ -1,0 +1,41 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteChrome emits spans in the Chrome trace-event format (the JSON
+// object form, loadable in Perfetto and chrome://tracing): one complete
+// ("ph":"X") event per span, timestamps in microseconds relative to the
+// tracer's epoch, the span kind as the category, the lane id as the
+// thread id, and the request trace id plus the two kind-specific args
+// under "args". pid groups every lane of this tracer under one label.
+func WriteChrome(w io.Writer, t *Tracer, label string, spans []Span) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	fmt.Fprintf(bw, "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":%s}}", strconv.Quote(label))
+	for i := range spans {
+		s := &spans[i]
+		bw.WriteString(",\n")
+		fmt.Fprintf(bw,
+			"{\"name\":%s,\"cat\":%q,\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":1,\"tid\":%d,"+
+				"\"args\":{\"id\":%d,\"a0\":%d,\"a1\":%d}}",
+			strconv.Quote(t.Name(s.Name)), s.Kind.String(),
+			usec(s.Start), usec(s.Dur), s.TID, s.ID, s.A0, s.A1)
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// usec renders nanoseconds as a decimal microsecond literal without
+// float rounding (Chrome ts/dur are µs; sub-µs spans keep 3 decimals).
+func usec(ns int64) string {
+	neg := ""
+	if ns < 0 {
+		neg, ns = "-", -ns
+	}
+	return fmt.Sprintf("%s%d.%03d", neg, ns/1000, ns%1000)
+}

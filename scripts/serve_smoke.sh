@@ -28,7 +28,7 @@ echo "== start the HTTP server =="
 # Redirect the server's stdio: the background child must not hold the
 # script's stdout pipe open after the script exits.
 "$OUT/t2c" serve -ckpt "$OUT/model_int.json" -http "127.0.0.1:${PORT}" \
-  >"$OUT/server.log" 2>&1 &
+  -trace -pprof >"$OUT/server.log" 2>&1 &
 SERVER_PID=$!
 
 echo "== wait for /healthz =="
@@ -73,6 +73,29 @@ echo "== metrics counted the traffic =="
 METRICS=$(curl -fsS "$URL/metrics")
 echo "$METRICS" | grep -q 't2c_requests_total{model="default",result="ok"}'
 echo "$METRICS" | grep -q 't2c_engine_mean_batch{model="default"}'
+
+echo "== metrics expose the observability gauges =="
+echo "$METRICS" | grep -q 't2c_request_latency_seconds_count{model="default",result="ok"}'
+echo "$METRICS" | grep -q 't2c_replica_queue_depth{model="default"}'
+echo "$METRICS" | grep -q 't2c_batch_wait_seconds_count{model="default"}'
+# Traced serving aggregates per-op execution-time histograms.
+echo "$METRICS" | grep -q 't2c_op_seconds_count{model="default",op="conv"}'
+
+echo "== /debug/trace emits a Chrome trace with the span chain =="
+# The dump can run to megabytes after the load burst: grep a file, not a
+# pipe, so grep -q's early exit cannot SIGPIPE the producer under pipefail.
+curl -fsS -o "$OUT/trace.json" "$URL/debug/trace?model=default"
+python3 -c 'import json,sys; d=json.load(open(sys.argv[1])); assert d["traceEvents"], "no events"' "$OUT/trace.json" \
+  || { echo "debug/trace is not valid trace JSON"; exit 1; }
+for CAT in request queue_wait batch; do
+  grep -q "\"cat\":\"$CAT\"" "$OUT/trace.json" || { echo "trace missing $CAT spans"; exit 1; }
+done
+
+echo "== pprof answers behind the flag =="
+curl -fsS "$URL/debug/pprof/" | grep -qi profile
+# A real profile body (CPU profile over one second) must download.
+curl -fsS -o "$OUT/cpu.pprof" "$URL/debug/pprof/profile?seconds=1"
+[ -s "$OUT/cpu.pprof" ] || { echo "empty pprof profile"; exit 1; }
 
 echo "== metrics expose executor memory gauges =="
 echo "$METRICS" | grep -q 't2c_engine_arena_bytes{model="default"}'
