@@ -36,6 +36,7 @@ import (
 	"torch2chip/internal/export"
 	"torch2chip/internal/models"
 	"torch2chip/internal/nn"
+	"torch2chip/internal/prune"
 	"torch2chip/internal/quant"
 	"torch2chip/internal/serve"
 	"torch2chip/internal/tensor"
@@ -198,6 +199,15 @@ func instrKindSummary(prog *engine.Program) string {
 	return strings.Join(parts, " ")
 }
 
+// nmLabel renders the detected N:M structure of a sparsity-report entry,
+// empty when the weights carry none.
+func nmLabel(info engine.SparsityInfo) string {
+	if info.NMN == 0 {
+		return ""
+	}
+	return fmt.Sprintf("(%d:%d)", info.NMN, info.NMM)
+}
+
 func readCheckpoint(path string) *export.Checkpoint {
 	f, err := os.Open(path)
 	if err != nil {
@@ -271,6 +281,10 @@ func runCompile() {
 	weight := flag.String("weight", "minmax", "weight quantizer: minmax|sawb|rcf|lsq|adaround")
 	act := flag.String("act", "minmax", "activation quantizer: minmax|pact|rcf|lsq|qdrop")
 	trainer := flag.String("trainer", "qat", "trainer: qat|ptq")
+	pruneSparsity := flag.Float64("prune-sparsity", 0,
+		"one-shot global magnitude prune to this weight sparsity after training, before quantize+compile (0 = off)")
+	pruneNM := flag.String("prune-nm", "",
+		"one-shot N:M structured prune after training, before quantize+compile, e.g. 2:4")
 	epochs := flag.Int("epochs", 8, "training epochs")
 	trainN := flag.Int("train-n", 600, "training samples")
 	testN := flag.Int("test-n", 200, "test samples")
@@ -342,6 +356,40 @@ func runCompile() {
 		log.Fatalf("unknown trainer %q", *trainer)
 	}
 
+	if *pruneSparsity > 0 || *pruneNM != "" {
+		// One-shot prune the trained FP weights before calibration, so
+		// quantization scales are fit to the pruned distribution and the
+		// exact zeros survive into the integer checkpoint.
+		params := prune.PrunableParams(model)
+		if len(params) == 0 {
+			// QAT wrapping replaces nn.Conv2d/nn.Linear with dual-path
+			// leaves; reach through them for the underlying weights.
+			convs, lins, _ := quant.QuantizedLayers(model)
+			for _, c := range convs {
+				params = append(params, c.Conv.W)
+			}
+			for _, l := range lins {
+				params = append(params, l.Lin.W)
+			}
+		}
+		if *pruneNM != "" {
+			var n, m int
+			if _, err := fmt.Sscanf(*pruneNM, "%d:%d", &n, &m); err != nil {
+				log.Fatalf("bad -prune-nm %q (want N:M, e.g. 2:4): %v", *pruneNM, err)
+			}
+			pr, err := prune.NewNM(params, n, m)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pr.Step(1)
+			fmt.Printf("pruned %d weight tensors to %d:%d structure\n", len(params), n, m)
+		} else {
+			prune.NewMagnitude(params, *pruneSparsity).Step(1)
+			fmt.Printf("pruned %d weight tensors to %.0f%% global magnitude sparsity\n",
+				len(params), *pruneSparsity*100)
+		}
+	}
+
 	if err := t2c.Calibrate(calib, 16); err != nil {
 		log.Fatal(err)
 	}
@@ -365,6 +413,15 @@ func runCompile() {
 			st.FoldedRescales, st.FusedAdds, st.FoldedFlattens)
 	}
 	fmt.Printf("instructions by kind: %s\n", instrKindSummary(cm.Prog))
+	if ws, sf := cm.Prog.SparsityStats(); ws > 0 {
+		fmt.Printf("weight sparsity: %.1f%%, modeled MAC skip: %.1f%%\n", ws*100, sf*100)
+		for _, info := range cm.Prog.SparsityReport() {
+			if info.Strategy != "dense" {
+				fmt.Printf("  %-24s %-6s ws=%.2f skip=%.2f %s\n",
+					info.Name, info.Strategy, info.WeightSparsity, info.SkipFraction, nmLabel(info))
+			}
+		}
+	}
 	if plan, err := cm.Prog.PlanBuffers([]int{8, 3, spec.Size, spec.Size}); err == nil {
 		fmt.Printf("compiled program: %d instrs, batch-8 %s\n", len(cm.Prog.Instrs), plan)
 	} else {

@@ -15,6 +15,7 @@ import (
 	"torch2chip/internal/engine"
 	"torch2chip/internal/models"
 	"torch2chip/internal/nn"
+	"torch2chip/internal/prune"
 	"torch2chip/internal/tensor"
 )
 
@@ -32,6 +33,11 @@ const (
 	CfgFusedSwar   = "fused+prepacked+swar"
 	CfgFusedI64    = "fused+prepacked+i64"
 	CfgFusedRef    = "fused+reference"
+	// CfgFusedDense is the full fast registry with sparsity-aware binding
+	// disabled: pruned weights run the dense kernels over the full K
+	// range — the baseline the sparse sweep's speedup_vs_dense measures
+	// against.
+	CfgFusedDense = "fused+prepacked+dense"
 )
 
 // EngineRow is one measured (model, batch, config) point.
@@ -73,6 +79,20 @@ type EngineRow struct {
 	// ("u8", "i16", …), so the memory trajectory records where the
 	// bytes live, not just how many there are.
 	ArenaByDType map[string]int64 `json:"arena_by_dtype,omitempty"`
+
+	// Sparse-sweep columns. Prune labels the pruning the model's weights
+	// received before quantize+compile ("mag0", "mag50", "mag70",
+	// "nm24"); Sparsity is the resulting exactly-zero weight fraction;
+	// SkipFraction the modeled MAC share the sparsity-aware kernels
+	// skip; EffectiveMacs the modeled executed MACs of the row's
+	// configuration at its batch; SpeedupVsDense compares the
+	// sparsity-aware registry against the dense-forced registry on the
+	// same pruned program.
+	Prune          string  `json:"prune,omitempty"`
+	Sparsity       float64 `json:"sparsity,omitempty"`
+	SkipFraction   float64 `json:"skip_fraction,omitempty"`
+	EffectiveMacs  int64   `json:"effective_macs,omitempty"`
+	SpeedupVsDense float64 `json:"speedup_vs_dense,omitempty"`
 }
 
 // FusionRow records what the fusion pass did to one model's program,
@@ -96,6 +116,9 @@ type KernelRow struct {
 	Lanes   int    `json:"lanes,omitempty"`    // SWAR lane width (channels per word)
 	TileMin int    `json:"tile_min,omitempty"` // smallest bound site/row tile
 	TileMax int    `json:"tile_max,omitempty"` // largest bound site/row tile
+	// MaxSkip is the largest per-instruction MAC skip fraction among the
+	// path's bindings (sparse paths only).
+	MaxSkip float64 `json:"max_skip,omitempty"`
 }
 
 // ServeRow summarizes one batched-serving run.
@@ -163,6 +186,43 @@ func engineModel(sc Scale, name string) (*core.Compiled, *engine.Program, *data.
 	return cm, unfused, trainDS
 }
 
+// engineModelPruned builds, one-shot prunes, and compiles one zoo model
+// for the sparse sweep: global magnitude to the target sparsity, or 2:4
+// N:M structure when nm is set (target 0 and nm false leave the weights
+// dense — the sweep's 0% control). The single-sample input shape is
+// stamped so SparsityStats can model the skip fraction.
+func engineModelPruned(sc Scale, name string, target float64, nm bool) *core.Compiled {
+	trainDS, _ := data.Generate(data.SynthCIFAR10, sc.TrainN/2, 8)
+	g := tensor.NewRNG(9300)
+	model := buildZooModel(g, name, trainDS.NumClasses)
+	x, _ := trainDS.Batch([]int{0, 1, 2, 3})
+	model.Forward(x) // realistic BN statistics
+	if nm || target > 0 {
+		params := prune.PrunableParams(model)
+		if nm {
+			pr, err := prune.NewNM(params, 2, 4)
+			if err != nil {
+				panic(err)
+			}
+			pr.Step(1)
+		} else {
+			prune.NewMagnitude(params, target).Step(1)
+		}
+	}
+	t2c := core.New(model, core.DefaultConfig())
+	t2c.Prepare()
+	if err := t2c.Calibrate(trainDS.Subset(5), 16); err != nil {
+		panic(err)
+	}
+	nn.SetTraining(model, false)
+	cm, err := t2c.Compile()
+	if err != nil {
+		panic(err)
+	}
+	cm.Prog.InShape = []int{3, 32, 32}
+	return cm
+}
+
 // timeAndAllocs runs f repeatedly for at least minIters and reports
 // (wall-clock per call, heap allocations per call).
 func timeAndAllocs(minIters int, f func()) (time.Duration, float64) {
@@ -227,6 +287,9 @@ func kernelSummary(name string, prog *engine.Program) []KernelRow {
 		}
 		if c.TileM > r.TileMax {
 			r.TileMax = c.TileM
+		}
+		if c.SkipFrac > r.MaxSkip {
+			r.MaxSkip = c.SkipFrac
 		}
 	}
 	out := make([]KernelRow, 0, len(order))
@@ -342,6 +405,52 @@ func EngineComparison(sc Scale, procs []int) *EngineReport {
 			}
 		}
 	}
+
+	// Sparse sweep: each zoo model pruned to 0%/50%/70%/85% global
+	// magnitude and 2:4 N:M structure, measured at batch 8 under the
+	// single-core budget with the sparsity-aware registry against the
+	// dense-forced one on the same pruned program. Both rows carry the
+	// weight sparsity; the sparse row adds the modeled skip fraction and
+	// effective MACs of its bound kernels. Global magnitude pruning
+	// distributes unevenly across layers, so mid-sparsity configs keep
+	// early layers near-dense (Amdahl); the 85% config is where the
+	// sparse kernels dominate end to end.
+	pruneCfgs := []struct {
+		label  string
+		target float64
+		nm     bool
+	}{{"mag0", 0, false}, {"mag50", 0.5, false}, {"mag70", 0.7, false}, {"mag85", 0.85, false}, {"nm24", 0, true}}
+	g := tensor.NewRNG(9600)
+	for _, name := range []string{"mobilenet", "resnet20", "vit"} {
+		for _, pc := range pruneCfgs {
+			cm := engineModelPruned(sc, name, pc.target, pc.nm)
+			prog := cm.Prog
+			ws, sf := prog.SparsityStats()
+			denseMacs, effMacs, err := prog.ModeledMacs([]int{8, 3, 32, 32})
+			if err != nil {
+				panic(err)
+			}
+			x := g.Uniform(0, 1, 8, 3, 32, 32)
+			var dense, sparse EngineRow
+			atBudget(procs[0], func() {
+				dense = measureExec(name, 8, CfgFusedDense, prog, engine.FastKernelsNoSparse(), x, 5)
+				sparse = measureExec(name, 8, CfgFusedSwar, prog, engine.FastKernels(), x, 5)
+			})
+			for _, r := range []*EngineRow{&dense, &sparse} {
+				r.GoMaxProcs = procs[0]
+				r.Prune = pc.label
+				r.Sparsity = ws
+			}
+			dense.EffectiveMacs = denseMacs
+			sparse.EffectiveMacs = effMacs
+			sparse.SkipFraction = sf
+			sparse.SpeedupVsDense = dense.NsPerOp / sparse.NsPerOp
+			rep.Rows = append(rep.Rows, dense, sparse)
+			if pc.label != "mag0" {
+				rep.Kernels = append(rep.Kernels, kernelSummary(name+"/"+pc.label, prog)...)
+			}
+		}
+	}
 	return rep
 }
 
@@ -431,7 +540,12 @@ func FormatEngine(rep *EngineReport) string {
 	fmt.Fprintf(&sb, "%-10s %6s %-22s %5s %12s %10s %8s %8s %8s %7s %5s %6s %12s %12s  %s\n",
 		"model", "batch", "config", "procs", "µs/smp", "allocs", "vs intp", "vs pr1", "vs pr5",
 		"instrs", "waves", "par%", "arena B", "scratch B", "arena dtypes")
+	hasSparse := false
 	for _, r := range rep.Rows {
+		if r.Prune != "" {
+			hasSparse = true
+			continue
+		}
 		vsI, vsP, vs5, par := "", "", "", ""
 		if r.SpeedupVsInterp > 0 {
 			vsI = fmt.Sprintf("%.2fx", r.SpeedupVsInterp)
@@ -449,6 +563,25 @@ func FormatEngine(rep *EngineReport) string {
 			r.Model, r.Batch, r.Config, r.GoMaxProcs, r.UsPerSample, r.AllocsPerOp, vsI, vsP, vs5,
 			r.Instrs, r.Waves, par, r.ArenaBytes, r.ScratchBytes, formatDTypeBytes(r.ArenaByDType))
 	}
+	if hasSparse {
+		sb.WriteString("\nSparsity — pruned zoo under the sparsity-aware vs dense-forced fast registry (batch 8)\n")
+		fmt.Fprintf(&sb, "%-10s %-6s %-22s %12s %9s %9s %14s %9s\n",
+			"model", "prune", "config", "µs/smp", "wsparse", "skip", "eff MACs", "vs dense")
+		for _, r := range rep.Rows {
+			if r.Prune == "" {
+				continue
+			}
+			vsD, skip := "", ""
+			if r.SpeedupVsDense > 0 {
+				vsD = fmt.Sprintf("%.2fx", r.SpeedupVsDense)
+			}
+			if r.Config != CfgFusedDense {
+				skip = fmt.Sprintf("%.1f%%", r.SkipFraction*100)
+			}
+			fmt.Fprintf(&sb, "%-10s %-6s %-22s %12.0f %8.1f%% %9s %14d %9s\n",
+				r.Model, r.Prune, r.Config, r.UsPerSample, r.Sparsity*100, skip, r.EffectiveMacs, vsD)
+		}
+	}
 	sb.WriteString("\nFusion — instruction and buffer reduction (batch-8 plans)\n")
 	fmt.Fprintf(&sb, "%-10s %8s %8s %8s %8s %7s %6s %8s %14s %14s\n",
 		"model", "instrs", "fused", "bufs", "fused", "rescale", "adds", "flatten",
@@ -461,9 +594,9 @@ func FormatEngine(rep *EngineReport) string {
 	}
 	if len(rep.Kernels) > 0 {
 		sb.WriteString("\nKernel config — bound compute paths (fused program, batch-8 bind)\n")
-		fmt.Fprintf(&sb, "%-10s %-12s %6s %6s %10s\n", "model", "path", "count", "lanes", "site tile")
+		fmt.Fprintf(&sb, "%-16s %-12s %6s %6s %10s %9s\n", "model", "path", "count", "lanes", "site tile", "max skip")
 		for _, k := range rep.Kernels {
-			lanes, tiles := "", ""
+			lanes, tiles, skip := "", "", ""
 			if k.Lanes > 0 {
 				lanes = fmt.Sprintf("%d", k.Lanes)
 			}
@@ -473,7 +606,10 @@ func FormatEngine(rep *EngineReport) string {
 					tiles = fmt.Sprintf("%d–%d", k.TileMin, k.TileMax)
 				}
 			}
-			fmt.Fprintf(&sb, "%-10s %-12s %6d %6s %10s\n", k.Model, k.Path, k.Count, lanes, tiles)
+			if k.MaxSkip > 0 {
+				skip = fmt.Sprintf("%.1f%%", k.MaxSkip*100)
+			}
+			fmt.Fprintf(&sb, "%-16s %-12s %6d %6s %10s %9s\n", k.Model, k.Path, k.Count, lanes, tiles, skip)
 		}
 	}
 	if len(rep.Serve) > 0 {

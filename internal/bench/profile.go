@@ -69,9 +69,24 @@ func ProfileComparison(sc Scale) *ProfileReport {
 
 	rep := &ProfileReport{Scale: scaleName(sc), Batch: batch, Iters: iters}
 	g := tensor.NewRNG(9600)
-	for _, name := range []string{"mobilenet", "resnet20", "vit"} {
-		cm, _, _ := engineModel(sc, name)
-		fused := cm.Prog
+	// The pruned entry calibrates the sparse-kernel cost constants: its
+	// modeled ns already discount skipped MACs (Program.sparseEff), so
+	// its ratio should land near the dense models' — a drift means the
+	// per-MAC costs of the sparse inner loops need re-measuring.
+	models := []struct {
+		label  string
+		sparse float64
+	}{{"mobilenet", 0}, {"resnet20", 0}, {"vit", 0}, {"resnet20/mag70", 0.7}}
+	for _, mc := range models {
+		var fused *engine.Program
+		if mc.sparse > 0 {
+			name := mc.label[:strings.IndexByte(mc.label, '/')]
+			fused = engineModelPruned(sc, name, mc.sparse, false).Prog
+		} else {
+			cm, _, _ := engineModel(sc, mc.label)
+			fused = cm.Prog
+		}
+		name := mc.label
 		x := g.Uniform(0, 1, batch, 3, 32, 32)
 
 		tracer := trace.New(trace.Config{RingSpans: 4096})

@@ -75,30 +75,46 @@ func (p *Program) ModeledOpWork(inShape []int) ([]OpWork, error) {
 			out = append(out, OpWork{Kind: it.Kind})
 		}
 		out[j].Instrs++
-		out[j].WorkNs += instrWorkNs(it, shapes)
+		out[j].WorkNs += p.instrWorkNs(i, shapes)
 	}
 	return out, nil
 }
 
-// instrWorkNs models one instruction's serial execution time in
-// nanoseconds from its kind and planned shapes.
-func instrWorkNs(it *Instr, shapes [][]int) int64 {
-	var macs int64
+// instrDenseMacs counts one GEMM instruction's dense multiply-
+// accumulates at the planned shapes (0 for non-GEMM kinds).
+func instrDenseMacs(it *Instr, shapes [][]int) int64 {
 	switch it.Kind {
 	case OpConv:
 		// W is [o, c/groups, kH, kW]; out is [n, o, oh, ow].
 		out := shapes[it.Out]
-		macs = int64(tensor.Numel(out)) * int64(tensor.Numel(it.W.Shape)) / int64(it.W.Shape[0])
+		return int64(tensor.Numel(out)) * int64(tensor.Numel(it.W.Shape)) / int64(it.W.Shape[0])
 	case OpLinear:
 		// W is [o, k]; rows = numel(in)/k.
 		in := shapes[it.In[0]]
-		macs = int64(tensor.Numel(in)) * int64(it.W.Shape[0])
+		return int64(tensor.Numel(in)) * int64(it.W.Shape[0])
 	case OpMatMul:
 		// [b, m, k] × [b, k, n] (or transposed): b·m·k·n.
 		a, out := shapes[it.In[0]], shapes[it.Out]
-		macs = int64(tensor.Numel(out)) * int64(a[len(a)-1])
-	default:
+		return int64(tensor.Numel(out)) * int64(a[len(a)-1])
+	}
+	return 0
+}
+
+// instrWorkNs models one instruction's serial execution time in
+// nanoseconds from its kind and planned shapes. Conv/linear MACs are
+// scaled by the instruction's effective-MAC fraction — the sparse-bound
+// kernels execute only the live fraction, so waves formed around (and
+// calibration ratios computed against) the dense count would be
+// dishonest on pruned models.
+func (p *Program) instrWorkNs(i int, shapes [][]int) int64 {
+	it := &p.Instrs[i]
+	macs := instrDenseMacs(it, shapes)
+	if macs == 0 {
 		return int64(tensor.Numel(shapes[it.Out])) * elemNs
+	}
+	if it.Kind == OpConv || it.Kind == OpLinear {
+		_, num, den := p.sparseEff(i)
+		macs = macs * num / den
 	}
 	return macs * macNsNum / macNsDen
 }

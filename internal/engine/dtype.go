@@ -101,7 +101,12 @@ func (p *Program) AnnotateDTypes() error {
 	}
 	p.BufDTypes = dts
 	packInitMu.Lock()
+	// Weight-derived caches are invalidated together: re-annotation is
+	// the "program changed" hook, and a caller that swapped weight
+	// content in place (hot-reload plumbing) must not serve the stale
+	// sparsity analysis or storage plan.
 	p.stor = nil
+	p.spar = nil
 	packInitMu.Unlock()
 	return nil
 }
@@ -117,6 +122,12 @@ type storageInfo struct {
 	dts   []tensor.DType
 	typed []bool
 	swar  []bool
+	// swarSparse marks typed conv/linear instructions whose pruned
+	// weights fit the SWAR lane bound over their live K positions even
+	// though the dense full-K bound fails (or also holds). Only the
+	// pair-skipping SWAR kernel is legal under this flag — the dense
+	// kernel's biased sum runs the full K range.
+	swarSparse []bool
 }
 
 // maxAbsWeight scans the integer weight tensor once (bind-time only).
@@ -161,9 +172,10 @@ func (p *Program) storage() (*storageInfo, error) {
 		return st, nil
 	}
 	st = &storageInfo{
-		dts:   make([]tensor.DType, p.NumBufs),
-		typed: make([]bool, len(p.Instrs)),
-		swar:  make([]bool, len(p.Instrs)),
+		dts:        make([]tensor.DType, p.NumBufs),
+		typed:      make([]bool, len(p.Instrs)),
+		swar:       make([]bool, len(p.Instrs)),
+		swarSparse: make([]bool, len(p.Instrs)),
 	}
 	if p.BufDTypes == nil || len(p.BufDTypes) != p.NumBufs {
 		packInitMu.Lock()
@@ -207,17 +219,18 @@ func (p *Program) storage() (*storageInfo, error) {
 		}
 	}
 
+	spar := p.sparsity()
 	for i := range p.Instrs {
 		it := &p.Instrs[i]
 		if it.Kind != OpConv && it.Kind != OpLinear {
 			continue
 		}
-		var k int64
-		if it.Kind == OpConv {
-			k = int64(it.W.Shape[1] * it.W.Shape[2] * it.W.Shape[3])
-		} else {
-			k = int64(it.W.Shape[1])
-		}
+		// The accumulator bound uses the largest per-channel *nonzero*
+		// count as the effective K: zero weights contribute nothing to
+		// any partial sum (dense or sparse kernel alike), so every
+		// partial sum is bounded by maxRowNnz·rawMax·wAbs. Dense weights
+		// reduce to the full K exactly as before.
+		k := spar[i].maxRowNnz
 		wMin, wMax := maxAbsWeight(it.W)
 		wAbs := wMax
 		if -wMin > wAbs {
@@ -260,6 +273,11 @@ func (p *Program) storage() (*storageInfo, error) {
 		}
 		wMin, wMax := maxAbsWeight(it.W)
 		st.swar[i] = swarEligible(k, ad, wMin, wMax)
+		// The pair-skipping kernel only ever sums live positions, so its
+		// lane bound is the largest per-(panel, pair) live count.
+		if spar[i].skip != nil {
+			st.swarSparse[i] = swarEligible(spar[i].maxPairLive, ad, wMin, wMax)
+		}
 	}
 	packInitMu.Lock()
 	p.stor = st

@@ -36,6 +36,7 @@ type Registry struct {
 	preps   map[OpKind]PrepFunc
 	typed   bool
 	swar    bool
+	sparse  bool
 }
 
 // NewRegistry returns an empty registry.
@@ -51,6 +52,7 @@ func (r *Registry) Register(kind OpKind, k KernelFunc) {
 	r.kernels[kind] = k
 	r.typed = false
 	r.swar = false
+	r.sparse = false
 }
 
 // RegisterPrep installs the bind-time prep hook for kind (and, like
@@ -59,6 +61,7 @@ func (r *Registry) RegisterPrep(kind OpKind, p PrepFunc) {
 	r.preps[kind] = p
 	r.typed = false
 	r.swar = false
+	r.sparse = false
 }
 
 // TypedStorage reports whether executors built from this registry plan
@@ -88,6 +91,7 @@ func (r *Registry) Clone() *Registry {
 	}
 	c.typed = r.typed
 	c.swar = r.swar
+	c.sparse = r.sparse
 	return c
 }
 
@@ -251,6 +255,7 @@ func FastKernels() *Registry {
 	r.RegisterPrep(OpMatMul, prepMatMul)
 	r.typed = true
 	r.swar = true
+	r.sparse = true
 	return r
 }
 
@@ -271,6 +276,18 @@ func FastKernelsI64() *Registry {
 	r := FastKernels()
 	r.typed = false
 	r.swar = false
+	r.sparse = false
+	return r
+}
+
+// FastKernelsNoSparse is FastKernels with sparsity-aware binding
+// disabled: pruned weights run the dense typed/SWAR kernels over the
+// full K range — the measured baseline the zero-panel skipping and
+// N:M-packed paths are compared against (`fused+prepacked+dense` bench
+// rows).
+func FastKernelsNoSparse() *Registry {
+	r := FastKernels()
+	r.sparse = false
 	return r
 }
 

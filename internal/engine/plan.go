@@ -159,7 +159,7 @@ func (p *Program) planBuffersAs(inShape []int, dts []tensor.DType, cfg *PlanConf
 	work := make([]int64, len(p.Instrs))
 	var totalWork int64
 	for i := range p.Instrs {
-		work[i] = instrWorkNs(&p.Instrs[i], shapes)
+		work[i] = p.instrWorkNs(i, shapes)
 		totalWork += work[i]
 	}
 

@@ -111,11 +111,28 @@ type sharedPack struct {
 // sharedKey identifies a shared pack: the instruction plus which variant
 // — typed (int8-panel), swar (lane-packed), or legacy (int64-panel) —
 // one program can serve executors of all kinds concurrently (e.g. the
-// bench harness comparing FastKernels against FastKernelsI64).
+// bench harness comparing FastKernels against FastKernelsI64). The key
+// also carries a weight-content fingerprint: a program whose weights
+// were swapped in place (e.g. a hot reload routed to the same Program
+// value, or a differently-pruned checkpoint under one model name) can
+// never be served a stale panel plan built from the old content.
 type sharedKey struct {
 	idx   int
 	typed bool
 	swar  bool
+	fp    uint64
+}
+
+// weightFP is an FNV-1a fingerprint of an instruction's weight content,
+// mixed into sharedKey. O(numel) per executor bind — the same order as
+// the packing it guards.
+func weightFP(w *tensor.IntTensor) uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range w.Data {
+		h ^= uint64(v)
+		h *= 1099511628211
+	}
+	return h
 }
 
 // packCache is the per-Program store of shared prepacked state and
@@ -253,6 +270,20 @@ func prepConv(ex *Executor, idx int, it *Instr) (any, error) {
 	if len(in) != 4 {
 		return nil, fmt.Errorf("engine: conv %s input rank %d", it.Name, len(in))
 	}
+	// Sparse dispatch: the cost-driven plan picks the modeled-fastest
+	// legal kernel for the instruction's zero structure (CSR and N:M
+	// bind on the typed path, pair-skipping on the SWAR path — the
+	// latter including instructions only the live-K lane bound admits).
+	// pickDense falls through to the ordinary dense precedence.
+	if sp := ex.sparseInstr(idx); sp != nil {
+		pick, _, _ := sparsePlan(sp, ex.typedInstr(idx), ex.swarInstr(idx), ex.swarSparseInstr(idx))
+		switch pick {
+		case pickCSR, pickNM:
+			return prepConvTyped(ex, idx, it)
+		case pickPairSwar:
+			return prepConvSwar(ex, idx, it)
+		}
+	}
 	if ex.swarInstr(idx) {
 		return prepConvSwar(ex, idx, it)
 	}
@@ -270,7 +301,7 @@ func prepConv(ex *Executor, idx int, it *Instr) (any, error) {
 	o, cg, kH, kW := it.W.Shape[0], it.W.Shape[1], it.W.Shape[2], it.W.Shape[3]
 	oh, ow := pp.ConvOutSize(h, kH), pp.ConvOutSize(w, kW)
 	if pp.Groups > 1 {
-		sh := ex.prog.packs().sharedFor(sharedKey{idx: idx}, func() *sharedPack {
+		sh := ex.prog.packs().sharedFor(sharedKey{idx: idx, fp: weightFP(it.W)}, func() *sharedPack {
 			return &sharedPack{
 				zsum: rowSumsScaled(it.W.Data, o, cg*kH*kW, it.InZero),
 				epi:  newEpi(it, o),
@@ -300,7 +331,7 @@ func prepConv(ex *Executor, idx int, it *Instr) (any, error) {
 		return st, nil
 	}
 	colW := c * kH * kW
-	sh := ex.prog.packs().sharedFor(sharedKey{idx: idx}, func() *sharedPack {
+	sh := ex.prog.packs().sharedFor(sharedKey{idx: idx, fp: weightFP(it.W)}, func() *sharedPack {
 		return &sharedPack{
 			wp:   packPanels(it.W.Data, o, colW),
 			zsum: rowSumsScaled(it.W.Data, o, colW, it.InZero),
@@ -349,6 +380,16 @@ func prepLinear(ex *Executor, idx int, it *Instr) (any, error) {
 	if len(in) < 2 {
 		return nil, fmt.Errorf("engine: linear %s input rank %d", it.Name, len(in))
 	}
+	// Cost-driven sparse dispatch, mirroring prepConv.
+	if sp := ex.sparseInstr(idx); sp != nil {
+		pick, _, _ := sparsePlan(sp, ex.typedInstr(idx), ex.swarInstr(idx), ex.swarSparseInstr(idx))
+		switch pick {
+		case pickCSR, pickNM:
+			return prepLinearTyped(ex, idx, it)
+		case pickPairSwar:
+			return prepLinearSwar(ex, idx, it)
+		}
+	}
 	if ex.swarInstr(idx) {
 		return prepLinearSwar(ex, idx, it)
 	}
@@ -358,7 +399,7 @@ func prepLinear(ex *Executor, idx int, it *Instr) (any, error) {
 	k := in[len(in)-1]
 	rows := tensor.Numel(in) / k
 	o := it.W.Shape[0]
-	sh := ex.prog.packs().sharedFor(sharedKey{idx: idx}, func() *sharedPack {
+	sh := ex.prog.packs().sharedFor(sharedKey{idx: idx, fp: weightFP(it.W)}, func() *sharedPack {
 		return &sharedPack{
 			wp:   packPanels(it.W.Data, o, k),
 			zsum: rowSumsScaled(it.W.Data, o, k, it.InZero),

@@ -115,7 +115,11 @@ func finishSegOut(out *tensor.IntTensor, off int, accRow []int32, bv []int64, e 
 	}
 }
 
-// convPackT is the bound state of a dense typed convolution.
+// convPackT is the bound state of a dense typed convolution. At most
+// one of skip/nm is set (sparsity-aware registries only): skip routes
+// the GEMM through the pair-granular live-list kernel, nm through the
+// N:M-packed kernel — both bit-identical to the dense panel loop
+// because skipped positions hold exactly-zero weights.
 type convPackT struct {
 	n, c, h, w       int
 	o, colW, spatial int
@@ -124,6 +128,8 @@ type convPackT struct {
 	ad               tensor.DType
 	idx              []int32
 	wp32             []int32
+	skip             *panelSkip
+	nm               *nmPack
 	zsum             []int64
 	epi              epi
 	parallel         bool
@@ -151,6 +157,8 @@ type linPackT struct {
 	tm, tiles      int
 	ad             tensor.DType
 	wp32           []int32
+	skip           *panelSkip
+	nm             *nmPack
 	zsum           []int64
 	epi            epi
 	parallel       bool
@@ -171,7 +179,7 @@ func prepConvTyped(ex *Executor, idx int, it *Instr) (any, error) {
 	o, cg, kH, kW := it.W.Shape[0], it.W.Shape[1], it.W.Shape[2], it.W.Shape[3]
 	oh, ow := pp.ConvOutSize(h, kH), pp.ConvOutSize(w, kW)
 	if pp.Groups > 1 {
-		sh := ex.prog.packs().sharedFor(sharedKey{idx: idx, typed: true}, func() *sharedPack {
+		sh := ex.prog.packs().sharedFor(sharedKey{idx: idx, typed: true, fp: weightFP(it.W)}, func() *sharedPack {
 			return &sharedPack{
 				wp32: packRows32(it.W.Data),
 				zsum: rowSumsScaled(it.W.Data, o, cg*kH*kW, it.InZero),
@@ -208,7 +216,7 @@ func prepConvTyped(ex *Executor, idx int, it *Instr) (any, error) {
 		return st, nil
 	}
 	colW := c * kH * kW
-	sh := ex.prog.packs().sharedFor(sharedKey{idx: idx, typed: true}, func() *sharedPack {
+	sh := ex.prog.packs().sharedFor(sharedKey{idx: idx, typed: true, fp: weightFP(it.W)}, func() *sharedPack {
 		return &sharedPack{
 			wp32: packPanels32(it.W.Data, o, colW),
 			zsum: rowSumsScaled(it.W.Data, o, colW, it.InZero),
@@ -228,6 +236,14 @@ func prepConvTyped(ex *Executor, idx int, it *Instr) (any, error) {
 	st.tm = splitTileM(tileSites(colW, st.spatial), st.spatial, n, ex.kernelWorkers())
 	st.tiles = (st.spatial + st.tm - 1) / st.tm
 	st.np = (o + panelW - 1) / panelW
+	if sp := ex.sparseInstr(idx); sp != nil {
+		switch ex.sparsePickFor(idx) {
+		case pickCSR:
+			st.skip = sp.skip
+		case pickNM:
+			st.nm = sp.nm
+		}
+	}
 	st.parallel = n*st.spatial*colW*o >= 1<<16
 	// Staging: widened fused-branch chunk in the int64 slot; the gather
 	// panel widens any input dtype into the int32 slot, so the GEMM is
@@ -245,7 +261,7 @@ func prepLinearTyped(ex *Executor, idx int, it *Instr) (any, error) {
 	k := in[len(in)-1]
 	rows := tensor.Numel(in) / k
 	o := it.W.Shape[0]
-	sh := ex.prog.packs().sharedFor(sharedKey{idx: idx, typed: true}, func() *sharedPack {
+	sh := ex.prog.packs().sharedFor(sharedKey{idx: idx, typed: true, fp: weightFP(it.W)}, func() *sharedPack {
 		return &sharedPack{
 			wp32: packPanels32(it.W.Data, o, k),
 			zsum: rowSumsScaled(it.W.Data, o, k, it.InZero),
@@ -262,6 +278,14 @@ func prepLinearTyped(ex *Executor, idx int, it *Instr) (any, error) {
 	}
 	st.tm = splitTileM(tileRowsTyped(o, rows), rows, 1, ex.kernelWorkers())
 	st.tiles = (rows + st.tm - 1) / st.tm
+	if sp := ex.sparseInstr(idx); sp != nil {
+		switch ex.sparsePickFor(idx) {
+		case pickCSR:
+			st.skip = sp.skip
+		case pickNM:
+			st.nm = sp.nm
+		}
+	}
 	st.parallel = rows*k*o >= 1<<16
 	// Staging: per-row int64 requantize chunk + fused-add chunk in the
 	// slot's scratch; the row-major accumulator tile.
@@ -340,7 +364,14 @@ func convTypedJob[A tensor.Elem](ex *Executor, st *convPackT, it *Instr, in []*t
 		// writes per site pair, and the epilogue walks each channel's
 		// accumulators contiguously.
 		acc := ex.AccTile(slot)
-		gemmPanels32(acc, panel, st.wp32, m, colW, o, st.np)
+		switch {
+		case st.nm != nil:
+			gemmPanelsNM(acc, panel, st.nm, m, colW, o)
+		case st.skip != nil:
+			gemmPanels32CSR(acc, panel, st.skip, m, colW, o)
+		default:
+			gemmPanels32(acc, panel, st.wp32, m, colW, o, st.np)
+		}
 		// Epilogue: one contiguous output segment per channel, finished
 		// straight from the accumulator row into the typed output.
 		addw := ex.SlotScratch(slot)[:st.tm]
@@ -654,25 +685,32 @@ func linTypedJob[A tensor.Elem](ex *Executor, st *linPackT, it *Instr, in []*ten
 			m = st.rows - r0
 		}
 		acc := ex.AccTile(slot)[:m*o]
-		for pb := 0; pb < st.np; pb++ {
-			wp := st.wp32[pb*k*panelW : (pb+1)*k*panelW]
-			oc0 := pb * panelW
-			nch := o - oc0
-			if nch > panelW {
-				nch = panelW
-			}
-			for i := 0; i < m; i++ {
-				a0 := xs[(r0+i)*k : (r0+i+1)*k]
-				var c0, c1, c2, c3 int32
-				for j := 0; j < k; j++ {
-					wj := wp[j*panelW : j*panelW+panelW : j*panelW+panelW]
-					av := int32(a0[j])
-					c0 += av * wj[0]
-					c1 += av * wj[1]
-					c2 += av * wj[2]
-					c3 += av * wj[3]
+		switch {
+		case st.nm != nil:
+			linPanelsNM(acc, xs, st.nm, r0, m, k, o)
+		case st.skip != nil:
+			linPanelsCSR(acc, xs, st.skip, r0, m, k, o)
+		default:
+			for pb := 0; pb < st.np; pb++ {
+				wp := st.wp32[pb*k*panelW : (pb+1)*k*panelW]
+				oc0 := pb * panelW
+				nch := o - oc0
+				if nch > panelW {
+					nch = panelW
 				}
-				storeAccRow(acc, i*o+oc0, nch, c0, c1, c2, c3)
+				for i := 0; i < m; i++ {
+					a0 := xs[(r0+i)*k : (r0+i+1)*k]
+					var c0, c1, c2, c3 int32
+					for j := 0; j < k; j++ {
+						wj := wp[j*panelW : j*panelW+panelW : j*panelW+panelW]
+						av := int32(a0[j])
+						c0 += av * wj[0]
+						c1 += av * wj[1]
+						c2 += av * wj[2]
+						c3 += av * wj[3]
+					}
+					storeAccRow(acc, i*o+oc0, nch, c0, c1, c2, c3)
+				}
 			}
 		}
 		sc := ex.SlotScratch(slot)

@@ -135,6 +135,10 @@ type Program struct {
 	// stor caches the resolved typed-storage plan (guarded by
 	// packInitMu; see storage()).
 	stor *storageInfo
+
+	// spar caches the per-instruction weight-sparsity analysis (guarded
+	// by packInitMu; see sparsity()).
+	spar []instrSparsity
 }
 
 // packInitMu guards lazy creation of the per-program pack cache, so

@@ -542,6 +542,11 @@ type ServerMemStats struct {
 	// and the modeled-work share inside them.
 	Waves            int     `json:"waves,omitempty"`
 	ParallelFraction float64 `json:"parallel_fraction,omitempty"`
+	// WeightSparsity / SkipFraction are the bound program's sparsity
+	// stats: the exactly-zero weight fraction, and the modeled MAC share
+	// the sparsity-aware kernels skip (0 for a dense checkpoint).
+	WeightSparsity float64 `json:"weight_sparsity,omitempty"`
+	SkipFraction   float64 `json:"skip_fraction,omitempty"`
 }
 
 // recordPlanParallelism folds one freshly bound plan's parallelism
@@ -564,11 +569,14 @@ func (s *Server) recordPlanParallelism(pl *Plan) {
 
 // MemStats returns a snapshot of the executor memory footprint.
 func (s *Server) MemStats() ServerMemStats {
+	ws, sf := s.prog.SparsityStats()
 	return ServerMemStats{
 		ArenaBytes:       s.arenaBytes.Load(),
 		ScratchBytes:     s.scratchBytes.Load(),
 		Waves:            int(s.planWaves.Load()),
 		ParallelFraction: math.Float64frombits(s.parallelFrac.Load()),
+		WeightSparsity:   ws,
+		SkipFraction:     sf,
 	}
 }
 

@@ -31,7 +31,12 @@ import (
 // swarLanes is the number of output channels per packed accumulator word.
 const swarLanes = intmath.SwarLanes
 
-// convPackS is the bound state of a dense SWAR convolution.
+// convPackS is the bound state of a SWAR convolution. A non-nil skip
+// routes the GEMM through the pair-skipping kernel, which iterates only
+// the live (nonzero-pair) K positions of each panel and accumulates the
+// live byte sums its bias correction needs in-loop; instructions whose
+// pruned weights pass only the live-K lane bound (storageInfo.swarSparse)
+// are ONLY legal with skip set.
 type convPackS struct {
 	n, c, h, w       int
 	o, colW, spatial int
@@ -44,6 +49,7 @@ type convPackS struct {
 	ad               tensor.DType
 	idx              []int32
 	wps              []uint64
+	skip             *panelSkip
 	zsum             []int64 // z·Σw per channel (epilogue correction)
 	bcorr            []int64 // ba·Σw per channel (activation-bias correction)
 	ba, bw           int64
@@ -51,12 +57,14 @@ type convPackS struct {
 	parallel         bool
 }
 
-// linPackS is the bound state of a SWAR linear layer (row-tiled).
+// linPackS is the bound state of a SWAR linear layer (row-tiled; skip
+// as in convPackS).
 type linPackS struct {
 	rows, k, o, np int
 	tm, tiles      int
 	ad             tensor.DType
 	wps            []uint64
+	skip           *panelSkip
 	zsum           []int64
 	bcorr          []int64
 	ba, bw         int64
@@ -116,7 +124,7 @@ func tileSitesSwar(colW, spatial int) int {
 
 // swarShared builds (or fetches) the shared SWAR pack of an instruction.
 func swarShared(ex *Executor, idx int, it *Instr, o, k int, ba, bw int64) *sharedPack {
-	return ex.prog.packs().sharedFor(sharedKey{idx: idx, swar: true}, func() *sharedPack {
+	return ex.prog.packs().sharedFor(sharedKey{idx: idx, swar: true, fp: weightFP(it.W)}, func() *sharedPack {
 		wsum := rowSumsScaled(it.W.Data, o, k, 1)
 		bc := make([]int64, o)
 		for i, s := range wsum {
@@ -174,6 +182,9 @@ func prepConvSwar(ex *Executor, idx int, it *Instr) (any, error) {
 	}
 	st.oyLo, st.oyHi = interiorRange(oh, h, kH, pp.Stride, pp.Padding)
 	st.oxLo, st.oxHi = interiorRange(ow, w, kW, pp.Stride, pp.Padding)
+	if sp := ex.sparseInstr(idx); sp != nil && ex.sparsePickFor(idx) == pickPairSwar {
+		st.skip = sp.skip
+	}
 	st.tm = splitTileM(tileSitesSwar(colW, st.spatial), st.spatial, n, ex.kernelWorkers())
 	st.tiles = (st.spatial + st.tm - 1) / st.tm
 	st.np = (o + panelW - 1) / panelW
@@ -210,6 +221,9 @@ func prepLinearSwar(ex *Executor, idx int, it *Instr) (any, error) {
 		ba:    ba,
 		bw:    bw,
 		epi:   sh.epi,
+	}
+	if sp := ex.sparseInstr(idx); sp != nil && ex.sparsePickFor(idx) == pickPairSwar {
+		st.skip = sp.skip
 	}
 	st.tm = splitTileM(tileSitesSwar(k, rows), rows, 1, ex.kernelWorkers())
 	st.tiles = (rows + st.tm - 1) / st.tm
@@ -457,7 +471,11 @@ func convSwarJob[A tensor.Elem](ex *Executor, st *convPackS, it *Instr, in []*te
 		sample := xs[ni*st.sampleElems : (ni+1)*st.sampleElems]
 		gatherPanelBytes(panel, sums, sample, st, s0, m)
 		acc := ex.AccTile(slot)
-		gemmPanelsSwar(acc, panel, st.wps, sums, st.bcorr, st.bw, m, colW, o, st.np, m, 1)
+		if st.skip != nil {
+			gemmPanelsSwarSparse(acc, panel, st.wps, st.skip, st.bcorr, st.bw, m, colW, o, st.np, m, 1)
+		} else {
+			gemmPanelsSwar(acc, panel, st.wps, sums, st.bcorr, st.bw, m, colW, o, st.np, m, 1)
+		}
 		outBase := ni * o * st.spatial
 		for oc := 0; oc < o; oc++ {
 			off := outBase + oc*st.spatial + s0
@@ -520,7 +538,11 @@ func linSwarJob[A tensor.Elem](ex *Executor, st *linPackS, it *Instr, in []*tens
 		av, bv, sums := sc[:o], sc[o:2*o], sc[2*o:2*o+m]
 		gatherRowBytes(panel, sums, xs[r0*k:(r0+m)*k], k, m, st.ba)
 		acc := ex.AccTile(slot)
-		gemmPanelsSwar(acc, panel, st.wps, sums, st.bcorr, st.bw, m, k, o, st.np, 1, o)
+		if st.skip != nil {
+			gemmPanelsSwarSparse(acc, panel, st.wps, st.skip, st.bcorr, st.bw, m, k, o, st.np, 1, o)
+		} else {
+			gemmPanelsSwar(acc, panel, st.wps, sums, st.bcorr, st.bw, m, k, o, st.np, 1, o)
+		}
 		for i := 0; i < m; i++ {
 			row := acc[i*o : (i+1)*o]
 			var bvv []int64
@@ -555,9 +577,15 @@ type KernelChoice struct {
 	Index int    // instruction index
 	Name  string // instruction name
 	Kind  OpKind
-	Path  string // "swar", "i32-panel", "i32-direct", "i64-panel", "i64-direct", "matmul", "im2col", ""
+	Path  string // "swar", "swar-sparse", "i32-panel", "i32-sparse", "i32-nm", "i32-direct", "i64-panel", "i64-direct", "matmul", "im2col", ""
 	Lanes int    // output channels per packed accumulator word (SWAR only)
 	TileM int    // site/row tile of the bound GEMM state
+	// WeightSparsity is the fraction of exactly-zero weights;
+	// SkipFrac the fraction of dense MACs the bound kernel skips
+	// (1 − effective/dense; 0 on dense-bound paths even when the
+	// weights are sparse).
+	WeightSparsity float64
+	SkipFrac       float64
 }
 
 // KernelChoices reports, per conv/linear/matmul instruction, which
@@ -573,15 +601,40 @@ func (ex *Executor) KernelChoices() []KernelChoice {
 			continue
 		}
 		c := KernelChoice{Index: i, Name: it.Name, Kind: it.Kind}
+		if it.Kind == OpConv || it.Kind == OpLinear {
+			sp := ex.prog.sparsity()[i]
+			if sp.wCount > 0 {
+				c.WeightSparsity = float64(sp.wZeros) / float64(sp.wCount)
+			}
+		}
+		sparseBound := false
 		switch st := ex.states[i].(type) {
 		case *convPackS:
 			c.Path, c.Lanes, c.TileM = "swar", swarLanes, st.tm
+			if st.skip != nil {
+				c.Path, sparseBound = "swar-sparse", true
+			}
 		case *linPackS:
 			c.Path, c.Lanes, c.TileM = "swar", swarLanes, st.tm
+			if st.skip != nil {
+				c.Path, sparseBound = "swar-sparse", true
+			}
 		case *convPackT:
 			c.Path, c.TileM = "i32-panel", st.tm
+			switch {
+			case st.nm != nil:
+				c.Path, sparseBound = "i32-nm", true
+			case st.skip != nil:
+				c.Path, sparseBound = "i32-sparse", true
+			}
 		case *linPackT:
 			c.Path, c.TileM = "i32-panel", st.tm
+			switch {
+			case st.nm != nil:
+				c.Path, sparseBound = "i32-nm", true
+			case st.skip != nil:
+				c.Path, sparseBound = "i32-sparse", true
+			}
 		case *gconvPackT:
 			c.Path = "i32-direct"
 		case *convPack:
@@ -594,6 +647,19 @@ func (ex *Executor) KernelChoices() []KernelChoice {
 			c.Path = "matmul"
 		default:
 			c.Path = "im2col"
+		}
+		if sparseBound {
+			// Skip fraction of the kernel actually bound (the CSR, pair
+			// list, and N:M forms execute different MAC counts).
+			sp := ex.prog.sparsity()[i]
+			switch c.Path {
+			case "i32-sparse":
+				c.SkipFrac = 1 - float64(sp.skip.csrMacs)/float64(sp.skip.denseMacs)
+			case "swar-sparse":
+				c.SkipFrac = 1 - float64(sp.skip.liveMacs)/float64(sp.skip.denseMacs)
+			case "i32-nm":
+				c.SkipFrac = 1 - float64(sp.nm.n)/float64(nmM)
+			}
 		}
 		out = append(out, c)
 	}

@@ -317,3 +317,18 @@ func TensorSparsity(t *tensor.Tensor) float64 {
 	}
 	return float64(zeros) / math.Max(1, float64(len(t.Data)))
 }
+
+// IntTensorSparsity reports the zero fraction of an integer tensor —
+// the post-quantization sparsity the engine actually sees. Pruned float
+// weights export as exact integer zeros (symmetric weight quantizers map
+// 0 to code 0), and quantization may round additional tiny weights to
+// zero, so this is never below the float-side sparsity.
+func IntTensorSparsity(t *tensor.IntTensor) float64 {
+	zeros := 0
+	for _, v := range t.Data {
+		if v == 0 {
+			zeros++
+		}
+	}
+	return float64(zeros) / math.Max(1, float64(len(t.Data)))
+}

@@ -179,6 +179,8 @@ func TestHTTPEndToEnd(t *testing.T) {
 		`t2c_engine_requests_total{model="cnn"} 5`, // 1 single + 3 batched + 1 post-reload
 		`t2c_engine_arena_bytes{model="cnn"}`,
 		`t2c_engine_scratch_bytes{model="cnn"}`,
+		`t2c_engine_weight_sparsity{model="cnn"}`,
+		`t2c_engine_skip_fraction{model="cnn"}`,
 	} {
 		if !strings.Contains(ms, wantLine) {
 			t.Fatalf("metrics missing %q in:\n%s", wantLine, ms)

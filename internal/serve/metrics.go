@@ -207,6 +207,14 @@ func (m *Metrics) WriteText(w io.Writer, reg *Registry) {
 	for _, mi := range infos {
 		fmt.Fprintf(w, "t2c_engine_parallel_fraction{model=%q} %g\n", mi.Name, mi.Mem.ParallelFraction)
 	}
+	fmt.Fprintf(w, "# HELP t2c_engine_weight_sparsity Exactly-zero weight fraction of the serving program.\n# TYPE t2c_engine_weight_sparsity gauge\n")
+	for _, mi := range infos {
+		fmt.Fprintf(w, "t2c_engine_weight_sparsity{model=%q} %g\n", mi.Name, mi.Mem.WeightSparsity)
+	}
+	fmt.Fprintf(w, "# HELP t2c_engine_skip_fraction Modeled MAC share skipped by the sparsity-aware kernels.\n# TYPE t2c_engine_skip_fraction gauge\n")
+	for _, mi := range infos {
+		fmt.Fprintf(w, "t2c_engine_skip_fraction{model=%q} %g\n", mi.Name, mi.Mem.SkipFraction)
+	}
 	fmt.Fprintf(w, "# HELP t2c_engine_mean_batch Mean samples per batched execute.\n# TYPE t2c_engine_mean_batch gauge\n")
 	for _, mi := range infos {
 		fmt.Fprintf(w, "t2c_engine_mean_batch{model=%q} %g\n", mi.Name, mi.Stats.MeanBatch())

@@ -183,6 +183,13 @@ func (m *Model) mem() engine.ServerMemStats {
 		if ms.ParallelFraction > mem.ParallelFraction {
 			mem.ParallelFraction = ms.ParallelFraction
 		}
+		// Sparsity stats likewise describe the shared program.
+		if ms.WeightSparsity > mem.WeightSparsity {
+			mem.WeightSparsity = ms.WeightSparsity
+		}
+		if ms.SkipFraction > mem.SkipFraction {
+			mem.SkipFraction = ms.SkipFraction
+		}
 	}
 	return mem
 }

@@ -59,6 +59,19 @@ echo "$VPRED" | grep -q '"predictions"' || { echo "bad vit predict response: $VP
 curl -fsS -X POST --data-binary @"$OUT/vit/model_int.json" "$URL/v1/models/vit" \
   | grep -q '"version":2' || { echo "vit hot reload failed"; exit 1; }
 
+echo "== compile + serve a pruned checkpoint =="
+# One-shot magnitude prune before quantize+compile; the sparse
+# checkpoint uses the same format, so upload and predict are unchanged.
+"$OUT/t2c" -model resnet20 -dataset cifar10 -trainer qat -epochs 1 \
+  -train-n 48 -test-n 16 -prune-sparsity 0.7 -formats json -save-inputs 1 \
+  -out "$OUT/sparse" | tee "$OUT/sparse.log"
+grep -q 'weight sparsity: 70' "$OUT/sparse.log" || { echo "prune summary missing"; exit 1; }
+curl -fsS -X POST --data-binary @"$OUT/sparse/model_int.json" "$URL/v1/models/sparse" \
+  | grep -q '"version":1' || { echo "sparse upload failed"; exit 1; }
+SPRED=$(curl -fsS -X POST --data-binary @"$OUT/sparse/inputs/input_000.json" \
+  "$URL/v1/models/sparse:predict")
+echo "$SPRED" | grep -q '"predictions"' || { echo "bad sparse predict response: $SPRED"; exit 1; }
+
 echo "== t2c-load burst =="
 # The payload comes from an exported input file, so the burst always
 # matches the compiled model's sample shape.
@@ -104,6 +117,14 @@ echo "$METRICS" | grep -q 't2c_engine_scratch_bytes{model="default"}'
 # arena: the gauge must be a positive number.
 ARENA=$(echo "$METRICS" | sed -n 's/^t2c_engine_arena_bytes{model="default"} //p')
 [ -n "$ARENA" ] && [ "$ARENA" -gt 0 ] || { echo "arena gauge not positive: '$ARENA'"; exit 1; }
+
+echo "== metrics expose sparsity gauges for the pruned model =="
+echo "$METRICS" | grep -q 't2c_engine_weight_sparsity{model="sparse"}'
+echo "$METRICS" | grep -q 't2c_engine_skip_fraction{model="sparse"}'
+# 70% of the weights are exactly zero, so the gauge must read ≥ 0.6.
+WSP=$(echo "$METRICS" | sed -n 's/^t2c_engine_weight_sparsity{model="sparse"} //p')
+python3 -c "import sys; sys.exit(0 if float('$WSP') >= 0.6 else 1)" \
+  || { echo "weight sparsity gauge too low: '$WSP'"; exit 1; }
 
 echo "== metrics expose plan parallelism gauges =="
 echo "$METRICS" | grep -q 't2c_engine_waves{model="default"}'
