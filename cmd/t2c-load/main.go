@@ -7,19 +7,26 @@
 //	         -mode closed -clients 64 -duration 5s
 //	t2c-load -url http://127.0.0.1:8080 -model default -in out/inputs/input_000.json \
 //	         -mode open -qps 500 -duration 5s -deadline-ms 50
+//	t2c-load -url http://127.0.0.1:8080 -model default -shape 3,32,32 \
+//	         -zipf 1.1 -zipf-n 64 -clients 32 -duration 5s
 //
 // Closed loop (-clients N) measures service capacity: each client fires
 // its next request when the previous completes. Open loop (-qps R)
 // fires at the target arrival rate regardless of completions, which is
 // what exposes admission-control behavior (429s, deadline drops) under
-// overload.
+// overload; -schedule shapes the arrival rate over the run (bursty or
+// ramping traces). -zipf samples a pool of -zipf-n payloads with Zipf
+// popularity, the trace that exercises the server's inference cache —
+// the run ends by scraping /metrics for the model's cache hit rate.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
 
 	"torch2chip/internal/export"
@@ -38,11 +45,17 @@ func main() {
 	batch := flag.Int("batch", 1, "samples per request payload")
 	inFile := flag.String("in", "", "input tensor JSON file to use as the payload (overrides -shape)")
 	deadlineMS := flag.Int("deadline-ms", 0, "per-request deadline sent as ?deadline_ms=")
+	deadlinesMS := flag.String("deadlines-ms", "", "comma-separated deadline mix cycled per request, e.g. 25,250 (overrides -deadline-ms)")
+	priority := flag.String("priority", "", "priority class sent as ?priority= (high, normal, low)")
+	zipf := flag.Float64("zipf", 0, "Zipf skew over a pool of payloads (>1 enables, e.g. 1.1)")
+	zipfN := flag.Int("zipf-n", 64, "distinct payloads in the Zipf pool (needs -shape)")
+	schedule := flag.String("schedule", "", "open-loop rate multipliers over equal segments, e.g. 1,4,0.5,4")
 	seed := flag.Int64("seed", 1, "random payload seed")
 	jsonPath := flag.String("json", "", "also write the report as JSON to this path")
 	flag.Parse()
 
 	var body []byte
+	var bodies [][]byte
 	var err error
 	switch {
 	case *inFile != "":
@@ -63,22 +76,37 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if body, err = serve.RandomBody(sample, *batch, *seed); err != nil {
+		if *zipf > 1 {
+			if bodies, err = serve.ZipfBodies(sample, *batch, *zipfN, *seed); err != nil {
+				log.Fatal(err)
+			}
+		} else if body, err = serve.RandomBody(sample, *batch, *seed); err != nil {
 			log.Fatal(err)
 		}
 	default:
 		log.Fatal("t2c-load: pass -shape C,H,W or -in input.json to build the payload")
 	}
+	deadlines, err := serve.ParseIntList(*deadlinesMS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched, err := serve.ParseRateSchedule(*schedule)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	rep, err := serve.RunLoad(serve.LoadOptions{
-		URL: *url, Model: *model, Body: body,
-		Mode: *mode, Clients: *clients, QPS: *qps,
-		Duration: *duration, MaxRequests: *maxReq, DeadlineMS: *deadlineMS,
+		URL: *url, Model: *model, Body: body, Bodies: bodies, ZipfS: *zipf,
+		Mode: *mode, Clients: *clients, QPS: *qps, Schedule: sched,
+		Duration: *duration, MaxRequests: *maxReq,
+		DeadlineMS: *deadlineMS, DeadlinesMS: deadlines,
+		Priority: *priority, Seed: *seed,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(serve.FormatLoadReport(rep))
+	printCacheStats(*url, *model)
 	if *jsonPath != "" {
 		b, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -89,4 +117,26 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
 	}
+}
+
+// printCacheStats scrapes /metrics for the model's inference-cache hit
+// rate; silently skipped when the endpoint or series is unavailable.
+func printCacheStats(url, model string) {
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		return
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return
+	}
+	text := string(raw)
+	rate, ok := serve.ScrapeMetric(text, "t2c_cache_hit_rate", model)
+	if !ok {
+		return
+	}
+	hits, _ := serve.ScrapeMetric(text, "t2c_cache_hits_total", model)
+	misses, _ := serve.ScrapeMetric(text, "t2c_cache_misses_total", model)
+	fmt.Printf("cache hit rate %.3f  (hits %.0f  misses %.0f)\n", rate, hits, misses)
 }

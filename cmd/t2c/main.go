@@ -70,6 +70,10 @@ func runServe(args []string) {
 	wait := fs.Duration("batch-wait", 500*time.Microsecond, "max wait to fill a micro-batch")
 	queue := fs.Int("queue", 0, "per-replica request queue capacity (0 = auto)")
 	opt := fs.Int("opt", 1, "optimization level for unfused checkpoints (0 = run as stored)")
+	sched := fs.String("sched", "edf", "request scheduling policy: edf (deadline-driven) or fifo")
+	costProfile := fs.String("cost-profile", "", "BENCH_profile.json with measured per-op ratios to calibrate the batcher's cost model")
+	cacheCap := fs.Int("cache-capacity", 0, "content-addressed inference cache entries per model (0 = default 1024, negative = disabled)")
+	cacheFloor := fs.Float64("cache-floor", 0, "observed hit rate below which cache inserts back off (0 = default 0.02, negative = no floor)")
 	traceOn := fs.Bool("trace", false, "record per-model spans, served at /debug/trace?model=X (-http mode)")
 	traceSpans := fs.Int("trace-spans", 0, "span ring capacity per ring with -trace (0 = default 4096)")
 	traceSample := fs.Int("trace-sample", 0, "with -trace, trace one in N HTTP requests (0 = every request)")
@@ -77,8 +81,20 @@ func runServe(args []string) {
 	if err := fs.Parse(args); err != nil {
 		log.Fatal(err)
 	}
+	schedPolicy, err := engine.ParseSchedPolicy(*sched)
+	if err != nil {
+		log.Fatal(err)
+	}
 	engOpts := engine.ServerOptions{
 		Workers: *workers, MaxBatch: *maxBatch, BatchWait: *wait, QueueSize: *queue,
+		Sched: schedPolicy,
+	}
+	if *costProfile != "" {
+		cost, err := serve.LoadCostProfile(*costProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		engOpts.Cost = cost
 	}
 	var sample []int
 	if *shape != "" {
@@ -92,7 +108,7 @@ func runServe(args []string) {
 		cfg := serveHTTPConfig{
 			replicas: *replicas, maxInFlight: *maxInFlight,
 			deadline: *deadlineFlag, opt: engine.OptLevel(*opt),
-			pprof: *pprofOn,
+			pprof: *pprofOn, cacheCap: *cacheCap, cacheFloor: *cacheFloor,
 		}
 		if *traceOn {
 			cfg.trace = &trace.Config{RingSpans: *traceSpans, SampleEvery: *traceSample}
@@ -228,6 +244,8 @@ type serveHTTPConfig struct {
 	opt         engine.OptLevel
 	trace       *trace.Config
 	pprof       bool
+	cacheCap    int
+	cacheFloor  float64
 }
 
 // runServeHTTP starts the multi-model serving subsystem: registry +
@@ -242,6 +260,8 @@ func runServeHTTP(addr, ckptPath, name string, sample []int, engOpts engine.Serv
 		OptLevel:        cfg.opt,
 		RawOptLevel:     cfg.opt == engine.OptNone,
 		Trace:           cfg.trace,
+		CacheCapacity:   cfg.cacheCap,
+		CacheHitFloor:   cfg.cacheFloor,
 	})
 	if ckptPath != "" {
 		info, err := reg.Load(name, readCheckpoint(ckptPath), sample)

@@ -14,6 +14,8 @@ import (
 	"torch2chip/internal/engine"
 	"torch2chip/internal/export"
 	"torch2chip/internal/serve"
+	"torch2chip/internal/tensor"
+	"torch2chip/internal/trace"
 )
 
 // ServeBenchRow is one HTTP serving scenario's measured outcome.
@@ -23,6 +25,16 @@ type ServeBenchRow struct {
 	Clients   int     `json:"clients,omitempty"`
 	TargetQPS float64 `json:"target_qps,omitempty"`
 	Reloads   int     `json:"reloads"`
+	// Sched is the replica queue policy the scenario ran under ("edf"
+	// or "fifo"); Priority labels the per-class rows of the priority
+	// overload scenario; ZipfS marks input-repeat trace runs; Model is
+	// set when a scenario serves a different zoo model than the report
+	// default (the cache/deadline scenarios use the heavier resnet20 so
+	// inference cost dominates HTTP overhead).
+	Sched    string  `json:"sched,omitempty"`
+	Priority string  `json:"priority,omitempty"`
+	ZipfS    float64 `json:"zipf_s,omitempty"`
+	Model    string  `json:"model,omitempty"`
 
 	DurationSec   float64 `json:"duration_sec"`
 	Sent          int     `json:"sent"`
@@ -31,6 +43,9 @@ type ServeBenchRow struct {
 	Expired       int     `json:"expired"`
 	Errors        int     `json:"errors"`
 	ThroughputRPS float64 `json:"throughput_rps"`
+	// Attainment is OK/Sent — the deadline-attainment scoreboard of the
+	// EDF-vs-FIFO overload scenarios.
+	Attainment float64 `json:"attainment"`
 
 	P50Ns  int64 `json:"p50_ns"`
 	P95Ns  int64 `json:"p95_ns"`
@@ -39,6 +54,24 @@ type ServeBenchRow struct {
 
 	MeanBatch     float64 `json:"mean_batch"`
 	EngineSamples int64   `json:"engine_samples"`
+
+	// Inference-cache columns (zero when the scenario disables caching).
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// HitsBitexact is set on the cache-hot row: every pool payload
+	// replayed through the warm cache produced logits bitwise equal to a
+	// cache-disabled reference server's.
+	HitsBitexact *bool `json:"hits_bitexact,omitempty"`
+	// SpeedupVsCold is hot/cold throughput on the same Zipf trace (set
+	// on the cache-hot row).
+	SpeedupVsCold float64 `json:"speedup_vs_cold,omitempty"`
+
+	// Modeled-vs-measured batch execution: the scheduler's modeled
+	// full-batch cost and the mean relative error of its predictions
+	// against measured executes.
+	ModeledBatchNs  int64   `json:"modeled_batch_ns"`
+	BatchCostAbsErr float64 `json:"batch_cost_abs_err"`
 }
 
 // ServeReport is the machine-readable serving-performance record
@@ -50,10 +83,11 @@ type ServeReport struct {
 	Rows       []ServeBenchRow `json:"rows"`
 }
 
-// serveCheckpoint compiles the bench model and wraps it in a servable
-// checkpoint (tensor table + program section + recorded input shape).
-func serveCheckpoint(sc Scale) []byte {
-	cm, _, _ := engineModel(sc, "mobilenet")
+// serveCheckpoint compiles the named bench model and wraps it in a
+// servable checkpoint (tensor table + program section + recorded input
+// shape); the compiled program rides along for cost calibration.
+func serveCheckpoint(sc Scale, name string) ([]byte, *engine.Program) {
+	cm, _, _ := engineModel(sc, name)
 	cm.Prog.InShape = []int{3, 32, 32}
 	ck := export.NewCheckpoint(cm.Int.IntTensors(), nil)
 	ck.Program = cm.Prog.Spec()
@@ -61,7 +95,51 @@ func serveCheckpoint(sc Scale) []byte {
 	if err := ck.WriteJSON(&buf); err != nil {
 		panic(err)
 	}
-	return buf.Bytes()
+	return buf.Bytes(), cm.Prog
+}
+
+// calibrateCost measures per-op measured/modeled ratios for prog the
+// same way the profile experiment does (serial traced executes over a
+// warm executor) and returns the CostModel the deadline-driven batcher
+// consumes — the in-process equivalent of `t2c serve -cost-profile
+// BENCH_profile.json`.
+func calibrateCost(prog *engine.Program, batch int) *engine.CostModel {
+	old := tensor.SetParallelism(1)
+	defer tensor.SetParallelism(old)
+	g := tensor.NewRNG(9601)
+	x := g.Uniform(0, 1, append([]int{batch}, prog.InShape...)...)
+	tracer := trace.New(trace.Config{RingSpans: 4096})
+	ex, err := engine.NewExecutor(prog, x.Shape,
+		engine.WithKernels(engine.FastKernels()), engine.WithTracer(tracer))
+	if err != nil {
+		panic(err)
+	}
+	if _, err := ex.Execute(x); err != nil { // untraced warm-up
+		panic(err)
+	}
+	tracer.SetEnabled(true)
+	const iters = 3
+	for i := 0; i < iters; i++ {
+		if _, err := ex.Execute(x); err != nil {
+			panic(err)
+		}
+	}
+	tracer.SetEnabled(false)
+	modeled, err := prog.ModeledOpWork(x.Shape)
+	if err != nil {
+		panic(err)
+	}
+	modelNs := map[string]int64{}
+	for _, w := range modeled {
+		modelNs[string(w.Kind)] = w.WorkNs
+	}
+	ratios := map[engine.OpKind]float64{}
+	for _, op := range tracer.OpProfile() {
+		if w := modelNs[op.Name]; w > 0 {
+			ratios[engine.OpKind(op.Name)] = float64(op.SumNs/iters) / float64(w)
+		}
+	}
+	return &engine.CostModel{Ratios: ratios}
 }
 
 // uploadCheckpoint POSTs ck to the load/reload endpoint.
@@ -86,10 +164,25 @@ func uploadCheckpoint(url, name string, ck []byte) error {
 //     16-in-flight admission budget, demonstrating fast-fail 429s
 //     instead of unbounded buffering;
 //   - open-400qps: open-loop arrivals at a fixed rate with a 100 ms
-//     per-request deadline, the latency-bounded operating point.
+//     per-request deadline, the latency-bounded operating point;
+//   - zipf-cache-cold / zipf-cache-hot: the same Zipf(1.1) repeated-input
+//     trace with the inference cache disabled vs enabled — the hot row
+//     records the throughput speedup and verifies every pool payload's
+//     cached logits bitwise against a cache-disabled reference server;
+//   - overload-fifo / overload-edf: identical open-loop overload with a
+//     mixed 25/250 ms deadline population under FIFO vs EDF+cost
+//     scheduling, scored on deadline attainment;
+//   - overload-prio-high / overload-prio-low: concurrent high- and
+//     low-class closed-loop runs against a tight admission budget — the
+//     low class sheds first.
+//
+// Scenarios that measure the engine path (1–3 and the scheduling ones)
+// run with the cache disabled, otherwise their single repeated payload
+// would short-circuit into the cache and measure nothing.
 func ServeBench(sc Scale) *ServeReport {
 	rep := &ServeReport{Scale: scaleName(sc), GoMaxProcs: runtime.GOMAXPROCS(0), Model: "mobilenet"}
-	ck := serveCheckpoint(sc)
+	ck, prog := serveCheckpoint(sc, "mobilenet")
+	cost := calibrateCost(prog, 8)
 	body, err := serve.RandomBody([]int{3, 32, 32}, 1, 9600)
 	if err != nil {
 		panic(err)
@@ -103,7 +196,10 @@ func ServeBench(sc Scale) *ServeReport {
 	// queue is provisioned for the client count so the run demonstrates
 	// batched, drop-free serving across the swap.
 	{
-		reg := serve.NewRegistry(serve.Options{Engine: engine.ServerOptions{MaxBatch: 8, QueueSize: 128}})
+		reg := serve.NewRegistry(serve.Options{
+			Engine:        engine.ServerOptions{MaxBatch: 8, QueueSize: 128, Cost: cost},
+			CacheCapacity: -1,
+		})
 		ts := httptest.NewServer(serve.NewHandler(reg, serve.HandlerOptions{}))
 		if err := uploadCheckpoint(ts.URL, "mobilenet", ck); err != nil {
 			panic(err)
@@ -133,8 +229,9 @@ func ServeBench(sc Scale) *ServeReport {
 	// fast-fail 429s, not unbounded buffering.
 	{
 		reg := serve.NewRegistry(serve.Options{
-			Engine:      engine.ServerOptions{MaxBatch: 8, QueueSize: 16},
-			MaxInFlight: 16,
+			Engine:        engine.ServerOptions{MaxBatch: 8, QueueSize: 16, Cost: cost},
+			MaxInFlight:   16,
+			CacheCapacity: -1,
 		})
 		ts := httptest.NewServer(serve.NewHandler(reg, serve.HandlerOptions{}))
 		if err := uploadCheckpoint(ts.URL, "mobilenet", ck); err != nil {
@@ -155,7 +252,10 @@ func ServeBench(sc Scale) *ServeReport {
 	// Scenario 3: open-loop arrivals with a per-request deadline, the
 	// latency-bounded operating point.
 	{
-		reg := serve.NewRegistry(serve.Options{Engine: engine.ServerOptions{MaxBatch: 8, QueueSize: 64}})
+		reg := serve.NewRegistry(serve.Options{
+			Engine:        engine.ServerOptions{MaxBatch: 8, QueueSize: 64, Cost: cost},
+			CacheCapacity: -1,
+		})
 		ts := httptest.NewServer(serve.NewHandler(reg, serve.HandlerOptions{}))
 		if err := uploadCheckpoint(ts.URL, "mobilenet", ck); err != nil {
 			panic(err)
@@ -171,7 +271,204 @@ func ServeBench(sc Scale) *ServeReport {
 		ts.Close()
 		reg.Close()
 	}
+
+	// Scenarios 4–7 serve the heavier resnet20 so per-request inference
+	// cost dominates HTTP overhead: that is what a cache hit saves, and
+	// what makes a fixed arrival rate a genuine overload on this box.
+	ckHeavy, progHeavy := serveCheckpoint(sc, "resnet20")
+	costHeavy := calibrateCost(progHeavy, 8)
+
+	// Scenarios 4/5: the Zipf(1.1) repeated-input trace, cache disabled
+	// vs enabled. Same pool, same seed, same client pressure — the only
+	// variable is the content-addressed cache.
+	bodies, err := serve.ZipfBodies([]int{3, 32, 32}, 1, 64, 7000)
+	if err != nil {
+		panic(err)
+	}
+	zipfLoad := func(url string) *serve.LoadReport {
+		lr, err := serve.RunLoad(serve.LoadOptions{
+			URL: url, Model: "resnet20", Bodies: bodies, ZipfS: 1.1,
+			Mode: "closed", Clients: 32, Duration: dur, Seed: 41,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return lr
+	}
+	var coldQPS float64
+	{
+		reg := serve.NewRegistry(serve.Options{
+			Engine:        engine.ServerOptions{MaxBatch: 8, QueueSize: 128, Cost: costHeavy},
+			CacheCapacity: -1,
+		})
+		ts := httptest.NewServer(serve.NewHandler(reg, serve.HandlerOptions{}))
+		if err := uploadCheckpoint(ts.URL, "resnet20", ckHeavy); err != nil {
+			panic(err)
+		}
+		lr := zipfLoad(ts.URL)
+		row := serveRow("zipf-cache-cold", 0, lr, reg)
+		row.ZipfS = 1.1
+		row.Model = "resnet20"
+		coldQPS = lr.ThroughputRPS
+		rep.Rows = append(rep.Rows, row)
+		ts.Close()
+		reg.Close()
+	}
+	{
+		reg := serve.NewRegistry(serve.Options{
+			Engine:        engine.ServerOptions{MaxBatch: 8, QueueSize: 128, Cost: costHeavy},
+			CacheCapacity: 4096,
+		})
+		ts := httptest.NewServer(serve.NewHandler(reg, serve.HandlerOptions{}))
+		if err := uploadCheckpoint(ts.URL, "resnet20", ckHeavy); err != nil {
+			panic(err)
+		}
+		lr := zipfLoad(ts.URL)
+		row := serveRow("zipf-cache-hot", 0, lr, reg)
+		row.ZipfS = 1.1
+		row.Model = "resnet20"
+		if coldQPS > 0 {
+			row.SpeedupVsCold = lr.ThroughputRPS / coldQPS
+		}
+		bitexact := verifyBitexact(ts.URL, "resnet20", ckHeavy, bodies)
+		row.HitsBitexact = &bitexact
+		rep.Rows = append(rep.Rows, row)
+		ts.Close()
+		reg.Close()
+	}
+
+	// Scenarios 6/7: identical open-loop overload with a mixed 25/250 ms
+	// deadline population, FIFO baseline vs EDF+cost. The arrival rate is
+	// pinned well past the heavy model's service capacity, so the queue
+	// stays saturated and scheduling order decides which deadlines
+	// survive.
+	overQPS := 450.0
+	for _, sched := range []engine.SchedPolicy{engine.SchedFIFO, engine.SchedEDF} {
+		reg := serve.NewRegistry(serve.Options{
+			Engine:        engine.ServerOptions{MaxBatch: 8, QueueSize: 64, Sched: sched, Cost: costHeavy},
+			CacheCapacity: -1,
+		})
+		ts := httptest.NewServer(serve.NewHandler(reg, serve.HandlerOptions{}))
+		if err := uploadCheckpoint(ts.URL, "resnet20", ckHeavy); err != nil {
+			panic(err)
+		}
+		lr, err := serve.RunLoad(serve.LoadOptions{
+			URL: ts.URL, Model: "resnet20", Body: body,
+			Mode: "open", QPS: overQPS, Duration: dur,
+			DeadlinesMS: []int{25, 250},
+		})
+		if err != nil {
+			panic(err)
+		}
+		row := serveRow("overload-"+string(sched), 0, lr, reg)
+		row.Sched = string(sched)
+		row.Model = "resnet20"
+		rep.Rows = append(rep.Rows, row)
+		ts.Close()
+		reg.Close()
+	}
+
+	// Scenarios 8/9: concurrent high- and low-class closed-loop runs
+	// against a tight admission budget. The low class hits the reserved
+	// headroom and sheds; the high class keeps serving.
+	{
+		reg := serve.NewRegistry(serve.Options{
+			Engine:        engine.ServerOptions{MaxBatch: 8, QueueSize: 16, Cost: cost},
+			MaxInFlight:   16,
+			CacheCapacity: -1,
+		})
+		ts := httptest.NewServer(serve.NewHandler(reg, serve.HandlerOptions{}))
+		if err := uploadCheckpoint(ts.URL, "mobilenet", ck); err != nil {
+			panic(err)
+		}
+		type res struct {
+			pri string
+			lr  *serve.LoadReport
+		}
+		results := make(chan res, 2)
+		for _, pri := range []string{"high", "low"} {
+			go func(pri string) {
+				lr, err := serve.RunLoad(serve.LoadOptions{
+					URL: ts.URL, Model: "mobilenet", Body: body,
+					Mode: "closed", Clients: 24, Duration: dur, Priority: pri,
+				})
+				if err != nil {
+					panic(err)
+				}
+				results <- res{pri, lr}
+			}(pri)
+		}
+		rows := map[string]ServeBenchRow{}
+		for i := 0; i < 2; i++ {
+			r := <-results
+			row := serveRow("overload-prio-"+r.pri, 0, r.lr, reg)
+			row.Priority = r.pri
+			rows[r.pri] = row
+		}
+		rep.Rows = append(rep.Rows, rows["high"], rows["low"])
+		ts.Close()
+		reg.Close()
+	}
 	return rep
+}
+
+// verifyBitexact replays every pool payload against the warm cache-hot
+// server and a freshly loaded cache-disabled reference, comparing
+// per-sample logits bitwise. This is the cache's certification: a hit
+// must be indistinguishable from recompute.
+func verifyBitexact(hotURL, name string, ck []byte, bodies [][]byte) bool {
+	ref := serve.NewRegistry(serve.Options{CacheCapacity: -1})
+	defer ref.Close()
+	refTS := httptest.NewServer(serve.NewHandler(ref, serve.HandlerOptions{}))
+	defer refTS.Close()
+	if err := uploadCheckpoint(refTS.URL, name, ck); err != nil {
+		panic(err)
+	}
+	for _, b := range bodies {
+		hot, err := predictLogits(hotURL, name, b)
+		if err != nil {
+			return false
+		}
+		want, err := predictLogits(refTS.URL, name, b)
+		if err != nil {
+			return false
+		}
+		if len(hot) != len(want) {
+			return false
+		}
+		for i := range hot {
+			if len(hot[i]) != len(want[i]) {
+				return false
+			}
+			for j := range hot[i] {
+				if hot[i][j] != want[i][j] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// predictLogits POSTs one payload and returns the per-sample logits.
+func predictLogits(url, name string, body []byte) ([][]float32, error) {
+	resp, err := http.Post(url+"/v1/models/"+name+":predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("bench: predict status %d", resp.StatusCode)
+	}
+	var pr serve.PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return nil, err
+	}
+	out := make([][]float32, len(pr.Predictions))
+	for i, p := range pr.Predictions {
+		out[i] = p.Logits
+	}
+	return out, nil
 }
 
 func serveRow(scenario string, reloads int, lr *serve.LoadReport, reg *serve.Registry) ServeBenchRow {
@@ -179,12 +476,17 @@ func serveRow(scenario string, reloads int, lr *serve.LoadReport, reg *serve.Reg
 		Scenario: scenario, Mode: lr.Mode, Clients: lr.Clients, TargetQPS: lr.TargetQPS,
 		Reloads: reloads, DurationSec: lr.DurationSec,
 		Sent: lr.Sent, OK: lr.OK, Rejected: lr.Rejected, Expired: lr.Expired, Errors: lr.Errors,
-		ThroughputRPS: lr.ThroughputRPS,
-		P50Ns:         lr.P50Ns, P95Ns: lr.P95Ns, P99Ns: lr.P99Ns, MeanNs: lr.MeanNs,
+		ThroughputRPS: lr.ThroughputRPS, Attainment: lr.Attainment,
+		P50Ns: lr.P50Ns, P95Ns: lr.P95Ns, P99Ns: lr.P99Ns, MeanNs: lr.MeanNs,
 	}
 	for _, mi := range reg.Models() {
 		row.MeanBatch = mi.Stats.MeanBatch()
 		row.EngineSamples = mi.Stats.Requests
+		row.CacheHits = mi.Cache.Hits
+		row.CacheMisses = mi.Cache.Misses
+		row.CacheHitRate = mi.Cache.HitRate
+		row.ModeledBatchNs = mi.Cost.ModeledBatchNs
+		row.BatchCostAbsErr = mi.Cost.MeanAbsErr()
 	}
 	return row
 }
@@ -204,16 +506,20 @@ func FormatServeBench(rep *ServeReport) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Serve — HTTP serving subsystem (%s, GOMAXPROCS=%d, model %s)\n",
 		rep.Scale, rep.GoMaxProcs, rep.Model)
-	fmt.Fprintf(&sb, "%-18s %-7s %8s %8s %7s %7s %7s %10s %9s %9s %9s %10s\n",
-		"scenario", "mode", "sent", "ok", "429s", "504s", "errs", "req/s", "p50", "p95", "p99", "mean batch")
+	fmt.Fprintf(&sb, "%-18s %-7s %8s %8s %7s %7s %7s %10s %7s %9s %9s %9s %10s %8s\n",
+		"scenario", "mode", "sent", "ok", "429s", "504s", "errs", "req/s", "attain", "p50", "p95", "p99", "mean batch", "cache")
 	for _, r := range rep.Rows {
-		fmt.Fprintf(&sb, "%-18s %-7s %8d %8d %7d %7d %7d %10.0f %9s %9s %9s %10.2f\n",
+		cache := "-"
+		if r.CacheHits+r.CacheMisses > 0 {
+			cache = fmt.Sprintf("%.3f", r.CacheHitRate)
+		}
+		fmt.Fprintf(&sb, "%-18s %-7s %8d %8d %7d %7d %7d %10.0f %7.3f %9s %9s %9s %10.2f %8s\n",
 			r.Scenario, r.Mode, r.Sent, r.OK, r.Rejected, r.Expired, r.Errors,
-			r.ThroughputRPS,
+			r.ThroughputRPS, r.Attainment,
 			time.Duration(r.P50Ns).Round(10*time.Microsecond),
 			time.Duration(r.P95Ns).Round(10*time.Microsecond),
 			time.Duration(r.P99Ns).Round(10*time.Microsecond),
-			r.MeanBatch)
+			r.MeanBatch, cache)
 	}
 	return sb.String()
 }

@@ -45,6 +45,26 @@ func DefaultPlanConfig() PlanConfig {
 	return PlanConfig{ArenaGrowth: 0.25, MinWaveNs: 2000}
 }
 
+// CostModel carries measured-vs-modeled calibration ratios per op kind,
+// typically loaded from a committed BENCH_profile.json run. Multiplying
+// the bind-time work model by these ratios turns it from a relative
+// scheduling heuristic into a wall-clock predictor for the machine the
+// profile was measured on. A nil model (and any op kind missing from
+// Ratios) models the ratio as 1.
+type CostModel struct {
+	Ratios map[OpKind]float64
+}
+
+func (c *CostModel) ratio(k OpKind) float64 {
+	if c == nil || c.Ratios == nil {
+		return 1
+	}
+	if r, ok := c.Ratios[k]; ok && r > 0 {
+		return r
+	}
+	return 1
+}
+
 // OpWork is the work model's aggregate for one op kind over a program:
 // how many instructions of the kind execute per run and the summed
 // modeled serial nanoseconds. The profile experiment joins this against

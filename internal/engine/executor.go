@@ -480,6 +480,18 @@ func (ex *Executor) DequantizeInto(out *tensor.Tensor, codes *tensor.IntTensor) 
 // OutShape returns the planned output logits shape.
 func (ex *Executor) OutShape() []int { return ex.plan.Shapes[ex.prog.Output] }
 
+// DequantizeOutput maps output codes to float logits with the exact
+// per-element expression DequantizeInto uses, so callers that carry
+// codes end to end (the serving cache path) produce floats
+// bit-identical to the executor's own dequantize.
+func (p *Program) DequantizeOutput(codes []int64, shape []int) *tensor.Tensor {
+	out := tensor.New(shape...)
+	for i, c := range codes {
+		out.Data[i] = float32(c-p.OutZero) * p.OutScale
+	}
+	return out
+}
+
 // run executes the bound program wave by wave. A safe parallel wave
 // dispatches the combined job grid of all its members in one pool
 // pass — each job confined to the slot the pool hands it — so

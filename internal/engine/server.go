@@ -14,8 +14,11 @@ import (
 )
 
 // ErrQueueFull is returned by TryInfer when the request queue is at
-// capacity: the server is overloaded and the caller should shed load
-// (the HTTP layer maps it to 429) instead of buffering unboundedly.
+// capacity and the request lost victim selection: the server is
+// overloaded and the caller should shed load (the HTTP layer maps it to
+// 429) instead of buffering unboundedly. Under EDF scheduling a more
+// urgent arrival can evict a queued request, in which case the evicted
+// request receives this error instead.
 var ErrQueueFull = errors.New("engine: server queue full")
 
 // ErrDeadlineExceeded is returned when a request's deadline expired
@@ -26,6 +29,8 @@ var ErrDeadlineExceeded = errors.New("engine: request deadline exceeded")
 // callers (the HTTP layer) can report them as client errors — e.g. a
 // request racing a hot reload that changed the model's input shape.
 var ErrShapeMismatch = errors.New("engine: sample shape mismatch")
+
+var errServerClosed = errors.New("engine: server is closed")
 
 // ServerOptions tune the batched serving runtime.
 type ServerOptions struct {
@@ -43,10 +48,21 @@ type ServerOptions struct {
 	// (default 8).
 	MaxBatch int
 	// BatchWait bounds how long the batcher waits for more requests after
-	// the first one arrives (default 500µs).
+	// the first one arrives (default 500µs). Under SchedEDF the wait is
+	// additionally cut short whenever the modeled cost of a larger batch
+	// would blow the earliest queued deadline.
 	BatchWait time.Duration
 	// QueueSize is the request queue capacity (default 4×MaxBatch×Workers).
 	QueueSize int
+	// Sched selects the request queue's scheduling policy: SchedEDF
+	// (the default) orders waiting requests earliest-deadline-first
+	// under priority classes and closes batches deadline-driven;
+	// SchedFIFO is the strict-arrival-order, fixed-timer baseline.
+	Sched SchedPolicy
+	// Cost supplies measured per-op calibration ratios (from a
+	// BENCH_profile.json run) that scale the bind-time work model into
+	// EstimateCost's wall-clock predictions. nil models every ratio as 1.
+	Cost *CostModel
 	// Kernels selects the kernel registry (default DefaultKernels).
 	Kernels *Registry
 	// Trace, when non-nil, gives the server a span ring on the tracer:
@@ -90,6 +106,9 @@ func (o ServerOptions) withDefaults() ServerOptions {
 	if o.QueueSize <= 0 {
 		o.QueueSize = 4 * o.MaxBatch * o.Workers
 	}
+	if o.Sched == "" {
+		o.Sched = SchedEDF
+	}
 	if o.Kernels == nil {
 		o.Kernels = DefaultKernels()
 	}
@@ -102,8 +121,13 @@ type ServerStats struct {
 	Batches  int64 // successful batched executes
 	Batched  int64 // samples that shared a batch with at least one other
 	Failures int64 // requests that returned an execution error
-	Rejected int64 // TryInfer fast-fails on a full queue
+	Rejected int64 // queue-full fast-fails and evictions, all classes
 	Expired  int64 // requests whose deadline passed before execution
+	// Per-class queue sheds (fast-fails plus victim evictions), summing
+	// to Rejected: the signal that PriLow absorbs overload first.
+	ShedHigh   int64
+	ShedNormal int64
+	ShedLow    int64
 }
 
 // Add accumulates other into s (for aggregating replica pools and
@@ -115,6 +139,9 @@ func (s *ServerStats) Add(o ServerStats) {
 	s.Failures += o.Failures
 	s.Rejected += o.Rejected
 	s.Expired += o.Expired
+	s.ShedHigh += o.ShedHigh
+	s.ShedNormal += o.ShedNormal
+	s.ShedLow += o.ShedLow
 }
 
 // MeanBatch returns the average samples per batched execute.
@@ -125,45 +152,97 @@ func (s ServerStats) MeanBatch() float64 {
 	return float64(s.Requests) / float64(s.Batches)
 }
 
+// CostStats reports how the scheduler's modeled batch-execution cost
+// tracks measured reality. Raw sums, so replica pools aggregate with
+// Add; MeanAbsErr derives the mean relative error.
+type CostStats struct {
+	// Batches is the number of measured batch executes.
+	Batches int64 `json:"batches"`
+	// ModeledBatchNs is EstimateCost at MaxBatch — the modeled
+	// worst-case execute the deadline-driven batcher budgets with.
+	ModeledBatchNs int64 `json:"modeled_batch_ns"`
+	// AbsErrMicroSum accumulates |measured−modeled|/modeled per batch
+	// in microunits (1e6 = 100% error).
+	AbsErrMicroSum int64 `json:"abs_err_micro_sum"`
+}
+
+// Add folds o into c (ModeledBatchNs is a property of the shared
+// program, so it maxes rather than sums).
+func (c *CostStats) Add(o CostStats) {
+	c.Batches += o.Batches
+	c.AbsErrMicroSum += o.AbsErrMicroSum
+	if o.ModeledBatchNs > c.ModeledBatchNs {
+		c.ModeledBatchNs = o.ModeledBatchNs
+	}
+}
+
+// MeanAbsErr returns the mean relative modeled-vs-measured error
+// (0.25 = modeled execution time off by 25% on average).
+func (c CostStats) MeanAbsErr() float64 {
+	if c.Batches == 0 {
+		return 0
+	}
+	return float64(c.AbsErrMicroSum) / 1e6 / float64(c.Batches)
+}
+
+// request is the queue's unit of work: input codes (quantization happens
+// at enqueue time, so the cache and batcher share one deterministic code
+// path), deadline, priority class, and reply plumbing.
 type request struct {
-	x        *tensor.Tensor
-	deadline time.Time // zero = no deadline
+	codes    *tensor.IntTensor // I64 quantized input codes, one sample
+	deadline time.Time         // zero = no deadline
+	class    PriorityClass
+	seq      uint64 // arrival order, assigned by the queue
 	reply    chan reply
 	enq      int64  // tracer-relative enqueue ns (0 = not traced)
 	tid      uint64 // request trace id propagated from the HTTP layer
 }
 
 type reply struct {
-	y   *tensor.Tensor
-	err error
+	codes *tensor.IntTensor // I64 output codes, [1, out...]
+	err   error
 }
 
 // Server is the batched serving runtime: single-sample requests are
 // coalesced by a micro-batching queue into batched executes that run on a
 // pool of workers, each owning planned executors (one per encountered
 // batch size), so steady-state serving does not allocate inter-op
-// buffers.
+// buffers. Requests travel as quantized input codes end to end; the
+// float Infer API quantizes on entry and dequantizes on reply with the
+// exact boundary arithmetic the executor uses, so results are
+// bit-identical to the pre-codes path.
 type Server struct {
 	prog   *Program
 	sample []int // single-sample shape (no batch dim)
 	opts   ServerOptions
 
-	queue    chan request
+	q        *reqQueue
 	batches  chan []request
 	wg       sync.WaitGroup
 	batcherW sync.WaitGroup
 
-	requests atomic.Int64
-	nBatches atomic.Int64
-	batched  atomic.Int64
-	failures atomic.Int64
-	rejected atomic.Int64
-	expired  atomic.Int64
+	requests   atomic.Int64
+	nBatches   atomic.Int64
+	batched    atomic.Int64
+	failures   atomic.Int64
+	rejected   atomic.Int64
+	expired    atomic.Int64
+	shedHigh   atomic.Int64
+	shedNormal atomic.Int64
+	shedLow    atomic.Int64
 
 	arenaBytes   atomic.Int64
 	scratchBytes atomic.Int64
 	planWaves    atomic.Int64  // max parallel waves over bound plans
 	parallelFrac atomic.Uint64 // max Plan.ParallelFrac (float64 bits)
+
+	// Modeled batch-execution cost per batch bucket (lazily filled; one
+	// ModeledOpWork evaluation per bucket per server lifetime), and the
+	// measured-vs-modeled error accumulators the workers feed.
+	costMu       sync.Mutex
+	costNs       map[int]int64
+	costErrMicro atomic.Int64
+	costBatches  atomic.Int64
 
 	// Tracing: one shared multi-writer ring for the batcher and all
 	// workers (nil without a tracer); interned span names bound once.
@@ -175,10 +254,14 @@ type Server struct {
 	// batchWait is always on (two clock reads per batch, not per
 	// request): the time from a batch's first request to its dispatch,
 	// the signal that separates batch formation from execution when a
-	// latency histogram regresses.
+	// latency histogram regresses. execHist and slackHist are its
+	// companions on the execute side: measured batch execution time, and
+	// the earliest-deadline slack remaining at dispatch.
 	batchWait *trace.Hist
+	execHist  *trace.Hist
+	slackHist *trace.Hist
 
-	// mu guards closed and orders queue sends before close: producers
+	// mu guards closed and orders queue pushes before close: producers
 	// hold the read side (so they can enqueue concurrently), Close takes
 	// the write side.
 	mu     sync.RWMutex
@@ -200,9 +283,12 @@ func NewServer(p *Program, sampleShape []int, opts ServerOptions) (*Server, erro
 		prog:      p,
 		sample:    append([]int(nil), sampleShape...),
 		opts:      opts,
-		queue:     make(chan request, opts.QueueSize),
+		q:         newReqQueue(opts.QueueSize, opts.Sched == SchedEDF),
 		batches:   make(chan []request, opts.Workers),
+		costNs:    map[int]int64{},
 		batchWait: trace.NewHist(trace.BatchWaitBucketsNs),
+		execHist:  trace.NewHist(trace.OpBucketsNs),
+		slackHist: trace.NewHist(trace.BatchWaitBucketsNs),
 	}
 	if opts.Trace != nil {
 		s.ring = opts.Trace.NewRing()
@@ -219,13 +305,41 @@ func NewServer(p *Program, sampleShape []int, opts ServerOptions) (*Server, erro
 	return s, nil
 }
 
+// EstimateCost returns the modeled wall-clock execution time of one
+// batched execute at the given batch size: the bind-time work model
+// evaluated at the batch's power-of-two bucket, scaled by the per-op
+// calibration ratios in Options.Cost. The estimate is serial (intra-op
+// parallelism would only shrink it), so the deadline-driven batcher errs
+// toward closing batches early rather than blowing deadlines.
+func (s *Server) EstimateCost(batch int) time.Duration {
+	return time.Duration(s.bucketCostNs(batchBucket(batch, s.opts.MaxBatch)))
+}
+
+func (s *Server) bucketCostNs(bucket int) int64 {
+	s.costMu.Lock()
+	defer s.costMu.Unlock()
+	if v, ok := s.costNs[bucket]; ok {
+		return v
+	}
+	var total float64
+	ops, err := s.prog.ModeledOpWork(append([]int{bucket}, s.sample...))
+	if err == nil {
+		for _, op := range ops {
+			total += float64(op.WorkNs) * s.opts.Cost.ratio(op.Kind)
+		}
+	}
+	v := int64(total)
+	s.costNs[bucket] = v
+	return v
+}
+
 // batcher coalesces queued requests: a batch is dispatched the moment it
-// reaches MaxBatch, or when BatchWait has elapsed since its first
-// request. When requests arrive faster than the flush interval the
-// backlog is drained non-blocking to a full batch without ever arming
-// the timer, so a saturated server dispatches at queue speed and never
-// waits on a timer tick with a full batch in hand. One timer is reused
-// across batches instead of being allocated per batch.
+// reaches MaxBatch, when BatchWait has elapsed since its first request,
+// or — under SchedEDF — as soon as admitting one more request would,
+// per EstimateCost, make the batch miss its earliest member deadline.
+// When requests arrive faster than the flush interval the backlog is
+// drained without ever arming the timer, so a saturated server
+// dispatches at queue speed. One timer is reused across batches.
 func (s *Server) batcher() {
 	defer s.batcherW.Done()
 	defer close(s.batches)
@@ -233,48 +347,59 @@ func (s *Server) batcher() {
 	if !timer.Stop() {
 		<-timer.C
 	}
+	edf := s.opts.Sched == SchedEDF
 	for {
-		first, ok := <-s.queue
+		first, ok := s.q.waitPop()
 		if !ok {
 			return
 		}
 		t0 := time.Now()
 		batch := append(make([]request, 0, s.opts.MaxBatch), first)
-		// Fast path: drain whatever is already queued, no timer involved.
-	drain:
+	fill:
 		for len(batch) < s.opts.MaxBatch {
-			select {
-			case r, ok := <-s.queue:
-				if !ok {
-					s.dispatch(batch, t0)
-					return
-				}
-				batch = append(batch, r)
-			default:
-				break drain
-			}
-		}
-		if len(batch) < s.opts.MaxBatch {
-			// Slow path: wait up to BatchWait (measured from the first
-			// request) for stragglers; a full batch dispatches immediately.
-			timer.Reset(s.opts.BatchWait)
-		fill:
-			for len(batch) < s.opts.MaxBatch {
-				select {
-				case r, ok := <-s.queue:
-					if !ok {
-						break fill
+			var accept func(request) bool
+			if edf {
+				b := batch // capture current batch for the predicate
+				accept = func(r request) bool {
+					ed := earliestDeadline(b, r.deadline)
+					if ed.IsZero() {
+						return true
 					}
-					batch = append(batch, r)
-				case <-timer.C:
-					break fill
+					return time.Until(ed) >= s.EstimateCost(len(b)+1)
 				}
 			}
-			if !timer.Stop() {
-				select {
-				case <-timer.C:
-				default:
+			r, st := s.q.tryPop(accept)
+			switch st {
+			case popOK:
+				batch = append(batch, r)
+				continue
+			case popRejected:
+				// Admitting the head request would blow a deadline the
+				// current batch can still meet: close now.
+				break fill
+			}
+			// Queue empty: wait for a straggler, bounded by BatchWait and
+			// — under EDF — by the slack the batch's own deadlines leave
+			// after the modeled cost of executing one request larger.
+			wait := s.opts.BatchWait - time.Since(t0)
+			if edf {
+				if ed := earliestDeadline(batch, time.Time{}); !ed.IsZero() {
+					if slack := time.Until(ed) - s.EstimateCost(len(batch)+1); slack < wait {
+						wait = slack
+					}
 				}
+			}
+			if wait <= 0 || s.q.closedAndEmpty() {
+				break fill
+			}
+			timer.Reset(wait)
+			select {
+			case <-s.q.notEmpty:
+				if !timer.Stop() {
+					<-timer.C
+				}
+			case <-timer.C:
+				break fill
 			}
 		}
 		s.dispatch(batch, t0)
@@ -282,13 +407,20 @@ func (s *Server) batcher() {
 }
 
 // dispatch hands a formed batch to the workers, recording how long the
-// batcher held it open: always into the batch-wait histogram, and as a
-// KindBatchForm span when tracing is armed (the span is anchored at
-// dispatch-time minus the measured wait so it aligns with the worker's
-// queue-wait and batch spans on the tracer clock).
+// batcher held it open (always into the batch-wait histogram, and as a
+// KindBatchForm span when tracing is armed) and — when the batch
+// carries deadlines — the earliest-deadline slack remaining at
+// dispatch, clamped at zero (the deadline-attainment signal).
 func (s *Server) dispatch(batch []request, t0 time.Time) {
 	wait := time.Since(t0).Nanoseconds()
 	s.batchWait.Observe(wait)
+	if ed := earliestDeadline(batch, time.Time{}); !ed.IsZero() {
+		slack := time.Until(ed).Nanoseconds()
+		if slack < 0 {
+			slack = 0
+		}
+		s.slackHist.Observe(slack)
+	}
 	if s.ring.Active() {
 		s.ring.Record(trace.Span{
 			Start: s.ring.Now() - wait, Dur: wait, Name: s.nmBatchForm,
@@ -326,8 +458,8 @@ func batchBucket(n, max int) int {
 func (s *Server) worker(w int) {
 	defer s.wg.Done()
 	execs := map[int]*Executor{}
-	var xBatch, yBatch map[int]*tensor.Tensor
-	xBatch, yBatch = map[int]*tensor.Tensor{}, map[int]*tensor.Tensor{}
+	xCodes := map[int]*tensor.IntTensor{}
+	yCodes := map[int]*tensor.IntTensor{}
 	sampleN := tensor.Numel(s.sample)
 	for batch := range s.batches {
 		// Drop requests whose deadline passed while queued: replying
@@ -366,15 +498,18 @@ func (s *Server) worker(w int) {
 			}
 			execs[bucket] = ex
 			created = true
-			xBatch[bucket] = tensor.New(append([]int{bucket}, s.sample...)...)
-			yBatch[bucket] = tensor.New(ex.OutShape()...)
+			xCodes[bucket] = tensor.NewInt(append([]int{bucket}, s.sample...)...)
+			yCodes[bucket] = tensor.NewInt(ex.OutShape()...)
 			s.arenaBytes.Add(ex.Plan().ArenaBytes)
 			s.recordPlanParallelism(ex.Plan())
 		}
-		x, y := xBatch[bucket], yBatch[bucket]
+		xc, yc := xCodes[bucket], yCodes[bucket]
 		for i, r := range batch {
-			copy(x.Data[i*sampleN:(i+1)*sampleN], r.x.Data)
+			copy(xc.Data[i*sampleN:(i+1)*sampleN], r.codes.Data)
 		}
+		// Padding lanes beyond n keep whatever codes the previous batch
+		// left (zero initially) — always in-range, and per-sample
+		// computation is independent, so they cannot affect live lanes.
 		var bStart int64
 		traced := s.ring.Active()
 		if traced {
@@ -392,7 +527,18 @@ func (s *Server) worker(w int) {
 				}
 			}
 		}
-		err := ex.ExecuteInto(y, x)
+		t0 := time.Now()
+		_, err := ex.ExecuteCodes(xc, yc)
+		execNs := time.Since(t0).Nanoseconds()
+		s.execHist.Observe(execNs)
+		if mod := s.bucketCostNs(bucket); mod > 0 {
+			errMicro := (execNs - mod) * 1e6 / mod
+			if errMicro < 0 {
+				errMicro = -errMicro
+			}
+			s.costErrMicro.Add(errMicro)
+			s.costBatches.Add(1)
+		}
 		if traced {
 			s.ring.Record(trace.Span{
 				Start: bStart, Dur: s.ring.Now() - bStart, Name: s.nmBatch,
@@ -417,15 +563,15 @@ func (s *Server) worker(w int) {
 				s.batched.Add(int64(n))
 			}
 		}
-		outN := len(y.Data) / bucket
+		outN := yc.Numel() / bucket
 		for i, r := range batch {
 			if err != nil {
 				r.reply <- reply{err: err}
 				continue
 			}
-			yi := tensor.New(append([]int{1}, y.Shape[1:]...)...)
-			copy(yi.Data, y.Data[i*outN:(i+1)*outN])
-			r.reply <- reply{y: yi}
+			yi := tensor.NewInt(append([]int{1}, yc.Shape[1:]...)...)
+			copy(yi.Data, yc.Data[i*outN:(i+1)*outN])
+			r.reply <- reply{codes: yi}
 		}
 	}
 }
@@ -439,22 +585,22 @@ func hasDeadlines(batch []request) bool {
 	return false
 }
 
-// checkShape validates a request tensor against the server's sample
+// checkShape validates a request shape against the server's sample
 // shape, accepting the documented [1, sample...] batch-of-one form.
 // Comparing only element counts is not enough: a [32,32,3] tensor has
 // the same Numel as a [3,32,32] model input but a different layout, and
 // accepting it would silently misinfer.
-func (s *Server) checkShape(x *tensor.Tensor) error {
-	sh := x.Shape
+func (s *Server) checkShape(shape []int) error {
+	sh := shape
 	if len(sh) == len(s.sample)+1 && sh[0] == 1 {
 		sh = sh[1:]
 	}
 	if len(sh) != len(s.sample) {
-		return fmt.Errorf("%w: sample shape %v, server expects %v", ErrShapeMismatch, x.Shape, s.sample)
+		return fmt.Errorf("%w: sample shape %v, server expects %v", ErrShapeMismatch, shape, s.sample)
 	}
 	for i := range sh {
 		if sh[i] != s.sample[i] {
-			return fmt.Errorf("%w: sample shape %v, server expects %v", ErrShapeMismatch, x.Shape, s.sample)
+			return fmt.Errorf("%w: sample shape %v, server expects %v", ErrShapeMismatch, shape, s.sample)
 		}
 	}
 	return nil
@@ -483,33 +629,73 @@ func (s *Server) TryInferTraced(x *tensor.Tensor, deadline time.Time, tid uint64
 }
 
 func (s *Server) infer(x *tensor.Tensor, deadline time.Time, block bool, tid uint64) (*tensor.Tensor, error) {
-	if err := s.checkShape(x); err != nil {
+	if err := s.checkShape(x.Shape); err != nil {
 		return nil, err
 	}
+	codes := tensor.NewInt(x.Shape...)
+	s.prog.InQuant.QuantizeTo(codes, x)
+	out, err := s.inferCodes(codes, deadline, PriNormal, block, tid)
+	if err != nil {
+		return nil, err
+	}
+	return s.prog.DequantizeOutput(out.Data, out.Shape), nil
+}
+
+// TryInferCodes serves one sample already quantized to input codes
+// (I64, shape = sampleShape or [1, sampleShape...]), returning its
+// output codes. This is the serving cache's entry point: the caller
+// quantized once to compute the cache key, and on a miss the exact same
+// codes execute here — so a later hit is bit-identical by construction.
+// class orders the request against other queued work and picks shed
+// victims under overload.
+func (s *Server) TryInferCodes(codes *tensor.IntTensor, deadline time.Time, class PriorityClass, tid uint64) (*tensor.IntTensor, error) {
+	if err := s.checkShape(codes.Shape); err != nil {
+		return nil, err
+	}
+	if codes.DType != tensor.I64 || codes.Data == nil {
+		return nil, fmt.Errorf("engine: TryInferCodes needs an I64 code tensor")
+	}
+	return s.inferCodes(codes, deadline, class, false, tid)
+}
+
+func (s *Server) inferCodes(codes *tensor.IntTensor, deadline time.Time, class PriorityClass, block bool, tid uint64) (*tensor.IntTensor, error) {
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
-		return nil, fmt.Errorf("engine: server is closed")
+		return nil, errServerClosed
 	}
-	r := request{x: x, deadline: deadline, reply: make(chan reply, 1)}
+	r := request{codes: codes, deadline: deadline, class: class, reply: make(chan reply, 1)}
 	if s.ring.Active() {
 		r.enq = s.ring.Now()
 		r.tid = tid
 	}
-	if block {
-		s.queue <- r
-	} else {
-		select {
-		case s.queue <- r:
-		default:
-			s.mu.RUnlock()
-			s.rejected.Add(1)
-			return nil, ErrQueueFull
+	victim, evicted, err := s.q.push(r, block)
+	if err != nil {
+		s.mu.RUnlock()
+		if errors.Is(err, ErrQueueFull) {
+			s.countShed(class)
 		}
+		return nil, err
+	}
+	if evicted {
+		s.countShed(victim.class)
+		victim.reply <- reply{err: ErrQueueFull}
 	}
 	s.mu.RUnlock()
 	rep := <-r.reply
-	return rep.y, rep.err
+	return rep.codes, rep.err
+}
+
+func (s *Server) countShed(class PriorityClass) {
+	s.rejected.Add(1)
+	switch {
+	case class < PriNormal:
+		s.shedHigh.Add(1)
+	case class > PriNormal:
+		s.shedLow.Add(1)
+	default:
+		s.shedNormal.Add(1)
+	}
 }
 
 // SampleShape returns the single-sample input shape the server accepts.
@@ -518,12 +704,30 @@ func (s *Server) SampleShape() []int { return append([]int(nil), s.sample...) }
 // QueueDepth samples the number of requests currently waiting in the
 // batcher queue — a point-in-time gauge, exact only at the instant of
 // the read.
-func (s *Server) QueueDepth() int { return len(s.queue) }
+func (s *Server) QueueDepth() int { return s.q.depth() }
 
 // BatchWait snapshots the always-on batch-formation-wait histogram:
 // the time each dispatched batch sat open in the batcher, from its
 // first request to hand-off.
 func (s *Server) BatchWait() trace.HistSnapshot { return s.batchWait.Snapshot() }
+
+// BatchExec snapshots the always-on batch-execution-time histogram —
+// the measured side of the cost model's prediction.
+func (s *Server) BatchExec() trace.HistSnapshot { return s.execHist.Snapshot() }
+
+// BatchSlack snapshots the dispatch-time earliest-deadline slack
+// histogram (deadlined batches only, clamped at zero): how much margin
+// the deadline-driven batcher left for execution.
+func (s *Server) BatchSlack() trace.HistSnapshot { return s.slackHist.Snapshot() }
+
+// CostStats reports the modeled-vs-measured batch execution record.
+func (s *Server) CostStats() CostStats {
+	return CostStats{
+		Batches:        s.costBatches.Load(),
+		ModeledBatchNs: s.bucketCostNs(batchBucket(s.opts.MaxBatch, s.opts.MaxBatch)),
+		AbsErrMicroSum: s.costErrMicro.Load(),
+	}
+}
 
 // ServerMemStats reports the memory a server's bound executors hold:
 // planned per-dtype arenas and kernel scratch, summed across every
@@ -583,12 +787,15 @@ func (s *Server) MemStats() ServerMemStats {
 // Stats returns a snapshot of the serving counters.
 func (s *Server) Stats() ServerStats {
 	return ServerStats{
-		Requests: s.requests.Load(),
-		Batches:  s.nBatches.Load(),
-		Batched:  s.batched.Load(),
-		Failures: s.failures.Load(),
-		Rejected: s.rejected.Load(),
-		Expired:  s.expired.Load(),
+		Requests:   s.requests.Load(),
+		Batches:    s.nBatches.Load(),
+		Batched:    s.batched.Load(),
+		Failures:   s.failures.Load(),
+		Rejected:   s.rejected.Load(),
+		Expired:    s.expired.Load(),
+		ShedHigh:   s.shedHigh.Load(),
+		ShedNormal: s.shedNormal.Load(),
+		ShedLow:    s.shedLow.Load(),
 	}
 }
 
@@ -600,7 +807,7 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
-	close(s.queue)
+	s.q.close()
 	s.mu.Unlock()
 	s.batcherW.Wait()
 	s.wg.Wait()

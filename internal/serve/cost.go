@@ -1,0 +1,63 @@
+package serve
+
+// Loading measured calibration ratios for the engine's cost model from a
+// committed BENCH_profile.json (the PR 8 profile artifact). The serve
+// layer re-declares the minimal slice of the profile schema it needs
+// rather than importing internal/bench, which depends on this package.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"torch2chip/internal/engine"
+)
+
+// profileReport mirrors bench.ProfileReport down to the fields the cost
+// model consumes: per-model, per-op measured/modeled ratios.
+type profileReport struct {
+	Models []struct {
+		Model string `json:"model"`
+		Ops   []struct {
+			Op    string  `json:"op"`
+			Ratio float64 `json:"ratio"`
+		} `json:"ops"`
+	} `json:"models"`
+}
+
+// LoadCostProfile reads a BENCH_profile.json calibration artifact and
+// returns a CostModel whose per-op ratios average the measured/modeled
+// ratios across every profiled model (an op kind absent from the
+// profile keeps the modeled ratio of 1). The averaging smooths
+// per-model noise; what matters for deadline-driven batching is the
+// order of magnitude, not the third digit.
+func LoadCostProfile(path string) (*engine.CostModel, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep profileReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("serve: parse cost profile %s: %w", path, err)
+	}
+	sums := map[engine.OpKind]float64{}
+	counts := map[engine.OpKind]int{}
+	for _, m := range rep.Models {
+		for _, op := range m.Ops {
+			if op.Ratio <= 0 {
+				continue
+			}
+			k := engine.OpKind(op.Op)
+			sums[k] += op.Ratio
+			counts[k]++
+		}
+	}
+	if len(sums) == 0 {
+		return nil, fmt.Errorf("serve: cost profile %s has no usable op ratios", path)
+	}
+	ratios := make(map[engine.OpKind]float64, len(sums))
+	for k, s := range sums {
+		ratios[k] = s / float64(counts[k])
+	}
+	return &engine.CostModel{Ratios: ratios}, nil
+}

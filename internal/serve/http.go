@@ -78,11 +78,14 @@ func (h *Handler) Metrics() *Metrics { return h.metrics }
 
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
 
-// Prediction is one sample's result.
+// Prediction is one sample's result. Cached marks responses served from
+// the content-addressed inference cache — bit-identical to a recompute,
+// flagged only so operators can attribute latency.
 type Prediction struct {
 	Class   int       `json:"class"`
 	Logits  []float32 `json:"logits"`
 	Version int       `json:"version"`
+	Cached  bool      `json:"cached,omitempty"`
 }
 
 // PredictResponse is the predict endpoint's body.
@@ -248,6 +251,23 @@ func (h *Handler) predict(w http.ResponseWriter, r *http.Request, name string) {
 				ID: tid, A0: int64(samples), A1: resultCode(result)})
 		}
 	}
+	// Validate scheduling parameters before reading the body: a request
+	// with a malformed deadline or priority is a client error (400)
+	// regardless of payload, and rejecting it here skips the tensor parse.
+	deadline, err := h.deadline(r)
+	if err != nil {
+		h.metrics.Observe(name, ResultInvalid, 0)
+		endSpan(0, ResultInvalid)
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	class, err := h.priority(r)
+	if err != nil {
+		h.metrics.Observe(name, ResultInvalid, 0)
+		endSpan(0, ResultInvalid)
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	in, err := export.ReadInputJSON(http.MaxBytesReader(w, r.Body, h.opts.MaxBodyBytes))
 	if err != nil {
 		h.metrics.Observe(name, ResultInvalid, 0)
@@ -262,11 +282,13 @@ func (h *Handler) predict(w http.ResponseWriter, r *http.Request, name string) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	deadline, err := h.deadline(r)
-	if err != nil {
-		h.metrics.Observe(name, ResultInvalid, 0)
-		endSpan(len(xs), ResultInvalid)
-		writeError(w, http.StatusBadRequest, "%v", err)
+	// A deadline that expired while the body was read (or arrived
+	// already dead) is rejected before any fan-out: no admission tokens,
+	// no queue slots, no execution for work that cannot meet its SLO.
+	if !deadline.IsZero() && time.Now().After(deadline) {
+		h.metrics.Observe(name, ResultExpired, time.Since(start))
+		endSpan(len(xs), ResultExpired)
+		writeError(w, http.StatusGatewayTimeout, "%v", engine.ErrDeadlineExceeded)
 		return
 	}
 
@@ -292,7 +314,7 @@ func (h *Handler) predict(w http.ResponseWriter, r *http.Request, name string) {
 			if traced {
 				t0 = ring.Now()
 			}
-			y, version, err := h.reg.InferTraced(name, x, deadline, tid)
+			res, err := h.reg.Predict(name, x, deadline, class, tid)
 			if traced {
 				code := int64(0)
 				if err != nil {
@@ -308,7 +330,7 @@ func (h *Handler) predict(w http.ResponseWriter, r *http.Request, name string) {
 				errs[i] = err
 				return
 			}
-			preds[i] = Prediction{Class: y.Argmax(), Logits: y.Data, Version: version}
+			preds[i] = Prediction{Class: res.Y.Argmax(), Logits: res.Y.Data, Version: res.Version, Cached: res.Cached}
 		}(i, x)
 	}
 	wg.Wait()
@@ -350,8 +372,14 @@ func (h *Handler) debugTrace(w http.ResponseWriter, r *http.Request) {
 	_ = trace.WriteChrome(w, t, name, t.Snapshot())
 }
 
+// maxDeadlineMS caps ?deadline_ms= so the millisecond→Duration
+// conversion cannot overflow int64 nanoseconds (2^40 ms ≈ 35 years —
+// anything larger means "no deadline" in practice anyway).
+const maxDeadlineMS = 1 << 40
+
 // deadline resolves the request deadline: ?deadline_ms= overrides the
-// registry default.
+// registry default. Unparsable, zero, or negative values are client
+// errors the predict handler maps to 400.
 func (h *Handler) deadline(r *http.Request) (time.Time, error) {
 	q := r.URL.Query().Get("deadline_ms")
 	if q == "" {
@@ -362,9 +390,23 @@ func (h *Handler) deadline(r *http.Request) (time.Time, error) {
 	}
 	ms, err := strconv.ParseInt(q, 10, 64)
 	if err != nil || ms <= 0 {
-		return time.Time{}, fmt.Errorf("bad deadline_ms %q", q)
+		return time.Time{}, fmt.Errorf("bad deadline_ms %q (want a positive integer)", q)
+	}
+	if ms > maxDeadlineMS {
+		ms = maxDeadlineMS
 	}
 	return time.Now().Add(time.Duration(ms) * time.Millisecond), nil
+}
+
+// priority resolves the request's priority class from ?priority= (the
+// X-Priority header is the fallback): high, normal (the default), or
+// low. Unknown names are client errors mapped to 400.
+func (h *Handler) priority(r *http.Request) (engine.PriorityClass, error) {
+	q := r.URL.Query().Get("priority")
+	if q == "" {
+		q = r.Header.Get("X-Priority")
+	}
+	return engine.ParsePriority(q)
 }
 
 // load reads a checkpoint body and installs it under name (hot reload

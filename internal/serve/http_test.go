@@ -150,8 +150,10 @@ func TestHTTPEndToEnd(t *testing.T) {
 		t.Fatalf("reload version = %d, want 2", info.Version)
 	}
 
-	// One predict through the reloaded version, so its replica pool has
-	// bound executors and the memory gauges below are live.
+	// Replaying the first input against the reloaded version: the
+	// checkpoint content is identical, so the fingerprint-keyed cache
+	// stays warm across the reload and serves this as a hit —
+	// bit-identical logits, no engine execution.
 	pbr, err := serve.PredictBody([]int{3, 8, 8}, x.Data)
 	if err != nil {
 		t.Fatal(err)
@@ -159,6 +161,29 @@ func TestHTTPEndToEnd(t *testing.T) {
 	resp, body = postJSON(t, ts.URL+"/v1/models/cnn:predict", pbr)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("post-reload predict status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Predictions[0].Cached {
+		t.Fatalf("post-reload replay not served from cache: %+v", pr.Predictions[0])
+	}
+	for i := range want.Data {
+		if pr.Predictions[0].Logits[i] != want.Data[i] {
+			t.Fatalf("cached logit[%d] = %v, interpreter %v", i, pr.Predictions[0].Logits[i], want.Data[i])
+		}
+	}
+
+	// A fresh input still executes: bound executors make the memory
+	// gauges below live for the reloaded pool.
+	xf := g.Uniform(0, 1, 1, 3, 8, 8)
+	pbf, err := serve.PredictBody([]int{3, 8, 8}, xf.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/models/cnn:predict", pbf)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-reload fresh predict status %d: %s", resp.StatusCode, body)
 	}
 
 	// Metrics: per-model counters and the engine histogram/gauges.
@@ -170,13 +195,15 @@ func TestHTTPEndToEnd(t *testing.T) {
 	mr.Body.Close()
 	ms := string(mb)
 	for _, wantLine := range []string{
-		`t2c_requests_total{model="cnn",result="ok"} 3`,
-		`t2c_request_latency_seconds_count{model="cnn",result="ok"} 3`,
-		`t2c_request_latency_seconds_bucket{model="cnn",result="ok",le="+Inf"} 3`,
+		`t2c_requests_total{model="cnn",result="ok"} 4`,
+		`t2c_request_latency_seconds_count{model="cnn",result="ok"} 4`,
+		`t2c_request_latency_seconds_bucket{model="cnn",result="ok",le="+Inf"} 4`,
 		`t2c_replica_queue_depth{model="cnn"}`,
 		`t2c_batch_wait_seconds_count{model="cnn"}`,
+		`t2c_batch_exec_seconds_count{model="cnn"}`,
 		`t2c_model_version{model="cnn"} 2`,
-		`t2c_engine_requests_total{model="cnn"} 5`, // 1 single + 3 batched + 1 post-reload
+		`t2c_engine_requests_total{model="cnn"} 5`, // 1 single + 3 batched + 1 post-reload fresh
+		`t2c_cache_hits_total{model="cnn"} 1`,      // the post-reload replay
 		`t2c_engine_arena_bytes{model="cnn"}`,
 		`t2c_engine_scratch_bytes{model="cnn"}`,
 		`t2c_engine_weight_sparsity{model="cnn"}`,
@@ -251,10 +278,54 @@ func TestHTTPRejectsBadRequests(t *testing.T) {
 		t.Fatalf("garbage upload status %d, want 400", resp.StatusCode)
 	}
 
-	// Bad deadline parameter.
-	resp, _ = postJSON(t, ts.URL+"/v1/models/cnn:predict?deadline_ms=banana", pb)
+	// Bad deadline parameters: unparsable, negative, and zero are all
+	// client errors, not generic 500s.
+	for _, q := range []string{"banana", "-5", "0"} {
+		resp, body = postJSON(t, ts.URL+"/v1/models/cnn:predict?deadline_ms="+q, pb)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("deadline_ms=%s status %d (%s), want 400", q, resp.StatusCode, body)
+		}
+	}
+
+	// Unknown priority class is a client error; known classes serve.
+	resp, body = postJSON(t, ts.URL+"/v1/models/cnn:predict?priority=urgent", pb)
 	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("bad deadline status %d, want 400", resp.StatusCode)
+		t.Fatalf("priority=urgent status %d (%s), want 400", resp.StatusCode, body)
+	}
+	for _, q := range []string{"high", "normal", "low"} {
+		resp, body = postJSON(t, ts.URL+"/v1/models/cnn:predict?priority="+q, pb)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("priority=%s status %d (%s), want 200", q, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestHTTPDeadlineExpiredAtAdmission: a request whose deadline has
+// already passed once the body is parsed must be rejected with 504
+// before it reaches the engine at all — no fan-out, no wasted compute.
+func TestHTTPDeadlineExpiredAtAdmission(t *testing.T) {
+	ck, _ := buildCheckpoint(t, 8)
+	reg := serve.NewRegistry(serve.Options{CacheCapacity: -1})
+	defer reg.Close()
+	ts := httptest.NewServer(serve.NewHandler(reg, serve.HandlerOptions{}))
+	defer ts.Close()
+	if _, err := reg.Load("cnn", ck, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// A large batch makes body decode reliably outlast the 1 ms deadline.
+	g := tensor.NewRNG(601)
+	x := g.Uniform(0, 1, 256, 3, 8, 8)
+	pb, err := serve.PredictBody([]int{256, 3, 8, 8}, x.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/models/cnn:predict?deadline_ms=1", pb)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("pre-expired predict status %d (%s), want 504", resp.StatusCode, body)
+	}
+	if got := reg.Models()[0].Stats.Requests; got != 0 {
+		t.Fatalf("expired request fanned out to the engine (%d requests served)", got)
 	}
 }
 

@@ -1,12 +1,16 @@
 package serve
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,6 +41,28 @@ type LoadOptions struct {
 	MaxRequests int
 	// DeadlineMS, when > 0, is sent as ?deadline_ms= on every request.
 	DeadlineMS int
+	// DeadlinesMS, when non-empty, overrides DeadlineMS with a cycled
+	// mix of deadlines (e.g. tight and loose SLO classes sharing one
+	// run), which is what separates EDF from FIFO scheduling.
+	DeadlinesMS []int
+	// Priority, when non-empty, is sent as ?priority= on every request
+	// ("high", "normal", "low").
+	Priority string
+	// Bodies, when non-empty, overrides Body with a pool of payloads
+	// sampled per request — the input-repeat trace cache experiments
+	// need. ZipfS > 1 samples the pool Zipf-distributed (body 0 most
+	// popular); otherwise bodies are sampled uniformly.
+	Bodies [][]byte
+	// ZipfS is the Zipf skew for Bodies sampling (1.1 = the committed
+	// cache trace; values <= 1 mean uniform).
+	ZipfS float64
+	// Seed makes body sampling deterministic (default 1).
+	Seed int64
+	// Schedule, when non-empty, shapes the open-loop arrival rate:
+	// Duration splits into len(Schedule) equal segments, segment k
+	// firing at QPS × Schedule[k] — a bursty or diurnal-ramp trace from
+	// one flag.
+	Schedule []float64
 	// Timeout is the per-request client timeout (default 30s).
 	Timeout time.Duration
 }
@@ -57,6 +83,9 @@ func (o LoadOptions) withDefaults() LoadOptions {
 	if o.Timeout <= 0 {
 		o.Timeout = 30 * time.Second
 	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
 	return o
 }
 
@@ -74,6 +103,10 @@ type LoadReport struct {
 	Expired  int `json:"expired"`  // HTTP 504: deadline drop
 	Errors   int `json:"errors"`   // transport failures and 5xx
 	Dropped  int `json:"dropped"`  // open-loop arrivals skipped at the outstanding cap
+
+	// Attainment is OK/Sent — with per-request deadlines, the fraction
+	// of offered load that met its SLO (the EDF-vs-FIFO scoreboard).
+	Attainment float64 `json:"attainment"`
 
 	ThroughputRPS float64 `json:"throughput_rps"`
 	MeanNs        int64   `json:"mean_ns"`
@@ -122,12 +155,51 @@ func (c *collector) fire(client *http.Client, url string, body []byte) {
 // and latency percentiles.
 func RunLoad(opts LoadOptions) (*LoadReport, error) {
 	opts = opts.withDefaults()
-	if opts.URL == "" || opts.Model == "" || len(opts.Body) == 0 {
-		return nil, fmt.Errorf("serve: loadgen needs URL, Model, and Body")
+	if opts.URL == "" || opts.Model == "" || (len(opts.Body) == 0 && len(opts.Bodies) == 0) {
+		return nil, fmt.Errorf("serve: loadgen needs URL, Model, and Body or Bodies")
 	}
-	url := fmt.Sprintf("%s/v1/models/%s:predict", opts.URL, opts.Model)
-	if opts.DeadlineMS > 0 {
-		url = fmt.Sprintf("%s?deadline_ms=%d", url, opts.DeadlineMS)
+	// Precompute the URL variants (one per deadline in the mix, cycled
+	// per request) and the body pool sampler.
+	base := fmt.Sprintf("%s/v1/models/%s:predict", opts.URL, opts.Model)
+	deadlines := opts.DeadlinesMS
+	if len(deadlines) == 0 && opts.DeadlineMS > 0 {
+		deadlines = []int{opts.DeadlineMS}
+	}
+	urls := []string{base}
+	if len(deadlines) > 0 {
+		urls = urls[:0]
+		for _, ms := range deadlines {
+			urls = append(urls, fmt.Sprintf("%s?deadline_ms=%d", base, ms))
+		}
+	}
+	if opts.Priority != "" {
+		for i, u := range urls {
+			sep := "?"
+			if strings.Contains(u, "?") {
+				sep = "&"
+			}
+			urls[i] = u + sep + "priority=" + opts.Priority
+		}
+	}
+	var urlSeq atomic.Uint64
+	nextURL := func() string {
+		if len(urls) == 1 {
+			return urls[0]
+		}
+		return urls[(urlSeq.Add(1)-1)%uint64(len(urls))]
+	}
+	// bodyPicker returns a per-goroutine sampler over the body pool
+	// (rand.Zipf is not goroutine-safe, so each client gets its own).
+	bodyPicker := func(seed int64) func() []byte {
+		if len(opts.Bodies) == 0 {
+			return func() []byte { return opts.Body }
+		}
+		rng := rand.New(rand.NewSource(seed))
+		if opts.ZipfS > 1 && len(opts.Bodies) > 1 {
+			z := rand.NewZipf(rng, opts.ZipfS, 1, uint64(len(opts.Bodies)-1))
+			return func() []byte { return opts.Bodies[z.Uint64()] }
+		}
+		return func() []byte { return opts.Bodies[rng.Intn(len(opts.Bodies))] }
 	}
 	client := &http.Client{
 		Timeout: opts.Timeout,
@@ -153,38 +225,72 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 		var wg sync.WaitGroup
 		for c := 0; c < opts.Clients; c++ {
 			wg.Add(1)
-			go func() {
+			go func(c int) {
 				defer wg.Done()
+				pick := bodyPicker(opts.Seed + int64(c))
 				for take() {
-					col.fire(client, url, opts.Body)
+					col.fire(client, nextURL(), pick())
 				}
-			}()
+			}(c)
 		}
 		wg.Wait()
 	case "open":
-		interval := time.Duration(float64(time.Second) / opts.QPS)
-		if interval <= 0 {
-			interval = time.Microsecond
-		}
 		// Outstanding requests are capped so a stalled server cannot
 		// spawn unbounded goroutines; arrivals past the cap are counted
 		// as dropped, not silently delayed (that would close the loop).
 		slots := make(chan struct{}, 4096)
-		ticker := time.NewTicker(interval)
-		defer ticker.Stop()
 		var wg sync.WaitGroup
-		for take() {
-			<-ticker.C
-			select {
-			case slots <- struct{}{}:
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					col.fire(client, url, opts.Body)
-					<-slots
-				}()
-			default:
-				dropped++
+		pick := bodyPicker(opts.Seed)
+		// The arrival schedule: one segment at QPS when none was given,
+		// otherwise Duration/len(Schedule) per segment at QPS×multiplier.
+		schedule := opts.Schedule
+		if len(schedule) == 0 {
+			schedule = []float64{1}
+		}
+		segDur := opts.Duration / time.Duration(len(schedule))
+		for _, mult := range schedule {
+			rate := opts.QPS * mult
+			if rate <= 0 {
+				if !sleepWhile(take, segDur) {
+					break
+				}
+				continue
+			}
+			// Deficit-based pacing: the dispatcher shares cores with the
+			// server under test, and a starved loop blocking on a bare
+			// time.Ticker silently sheds every missed tick, collapsing the
+			// offered rate to the service rate. Each wakeup instead
+			// launches however many arrivals the elapsed time now owes, so
+			// the target rate holds even when wakeups are late.
+			segStart := time.Now()
+			segEnd := segStart.Add(segDur)
+			launched := 0
+			wake := time.NewTicker(time.Millisecond)
+			for take() {
+				now := time.Now()
+				if now.After(segEnd) {
+					break
+				}
+				owed := int(now.Sub(segStart).Seconds()*rate) - launched
+				for ; owed > 0; owed-- {
+					launched++
+					select {
+					case slots <- struct{}{}:
+						wg.Add(1)
+						go func(url string, body []byte) {
+							defer wg.Done()
+							col.fire(client, url, body)
+							<-slots
+						}(nextURL(), pick())
+					default:
+						dropped++
+					}
+				}
+				<-wake.C
+			}
+			wake.Stop()
+			if !take() {
+				break
 			}
 		}
 		wg.Wait()
@@ -211,6 +317,9 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 	if elapsed > 0 {
 		rep.ThroughputRPS = float64(rep.OK) / elapsed.Seconds()
 	}
+	if rep.Sent > 0 {
+		rep.Attainment = float64(rep.OK) / float64(rep.Sent)
+	}
 	lat := col.latencies
 	if len(lat) > 0 {
 		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
@@ -225,6 +334,19 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 		rep.MaxNs = lat[len(lat)-1]
 	}
 	return rep, nil
+}
+
+// sleepWhile idles through a zero-rate schedule segment in small steps,
+// returning false as soon as take() says the run is over.
+func sleepWhile(take func() bool, d time.Duration) bool {
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+		if !take() {
+			return false
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return take()
 }
 
 // percentile reads the p-quantile from an ascending-sorted slice.
@@ -257,6 +379,94 @@ func RandomBody(sample []int, batch int, seed int64) ([]byte, error) {
 	return PredictBody(shape, x.Data)
 }
 
+// ZipfBodies builds a deterministic pool of n distinct single-sample
+// predict payloads for the input-repeat cache experiments: sampled with
+// ZipfS > 1, body 0 is the hot head of the popularity distribution.
+func ZipfBodies(sample []int, batch, n int, seed int64) ([][]byte, error) {
+	if n <= 0 {
+		n = 1
+	}
+	bodies := make([][]byte, n)
+	for i := range bodies {
+		b, err := RandomBody(sample, batch, seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+	}
+	return bodies, nil
+}
+
+// ParseRateSchedule parses a comma-separated list of open-loop rate
+// multipliers like "1,4,0.5,4" (equal-duration segments).
+func ParseRateSchedule(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("serve: bad rate schedule %q", s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseIntList parses a comma-separated list of positive integers like
+// "25,250" (the mixed-deadline flag).
+func ParseIntList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("serve: bad integer list %q", s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ScrapeMetric pulls one sample out of a Prometheus text exposition:
+// the first series of metric labeled model=name (any extra labels
+// match). The loadgen CLI uses it to report cache hit rates without a
+// metrics client dependency.
+func ScrapeMetric(text, metric, model string) (float64, bool) {
+	want := fmt.Sprintf("model=%q", model)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, metric) {
+			continue
+		}
+		rest := line[len(metric):]
+		// Exact metric name: next char must open the label set or be a
+		// space (otherwise we matched a prefix like _total vs _totals).
+		if len(rest) == 0 || (rest[0] != '{' && rest[0] != ' ') {
+			continue
+		}
+		if model != "" && !strings.Contains(rest, want) {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err == nil {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
 // FormatLoadReport renders a human-readable run summary.
 func FormatLoadReport(rep *LoadReport) string {
 	var sb bytes.Buffer
@@ -265,8 +475,8 @@ func FormatLoadReport(rep *LoadReport) string {
 	} else {
 		fmt.Fprintf(&sb, "open loop, target %.0f qps, %.2fs\n", rep.TargetQPS, rep.DurationSec)
 	}
-	fmt.Fprintf(&sb, "sent %d  ok %d  rejected(429) %d  expired(504) %d  errors %d  dropped %d\n",
-		rep.Sent, rep.OK, rep.Rejected, rep.Expired, rep.Errors, rep.Dropped)
+	fmt.Fprintf(&sb, "sent %d  ok %d  rejected(429) %d  expired(504) %d  errors %d  dropped %d  attainment %.3f\n",
+		rep.Sent, rep.OK, rep.Rejected, rep.Expired, rep.Errors, rep.Dropped, rep.Attainment)
 	fmt.Fprintf(&sb, "throughput %.1f req/s\n", rep.ThroughputRPS)
 	fmt.Fprintf(&sb, "latency mean %s  p50 %s  p95 %s  p99 %s  max %s\n",
 		time.Duration(rep.MeanNs), time.Duration(rep.P50Ns),

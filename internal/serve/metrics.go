@@ -221,9 +221,45 @@ func (m *Metrics) WriteText(w io.Writer, reg *Registry) {
 	}
 	emit("t2c_replica_queue_depth", "Requests waiting in replica queues, sampled at scrape time.", "gauge",
 		func(mi ModelInfo) int64 { return int64(mi.QueueDepth) })
+	emit("t2c_cache_hits_total", "Inference-cache hits (bit-identical to recompute).", "counter",
+		func(mi ModelInfo) int64 { return mi.Cache.Hits })
+	emit("t2c_cache_misses_total", "Inference-cache misses.", "counter",
+		func(mi ModelInfo) int64 { return mi.Cache.Misses })
+	emit("t2c_cache_evictions_total", "Inference-cache LRU evictions.", "counter",
+		func(mi ModelInfo) int64 { return mi.Cache.Evictions })
+	emit("t2c_cache_suppressed_total", "Inserts skipped while hit-rate admission backed caching off.", "counter",
+		func(mi ModelInfo) int64 { return mi.Cache.Suppressed })
+	emit("t2c_cache_entries", "Inference-cache entries currently held.", "gauge",
+		func(mi ModelInfo) int64 { return int64(mi.Cache.Entries) })
+	emit("t2c_cache_capacity", "Inference-cache capacity (0 = caching disabled).", "gauge",
+		func(mi ModelInfo) int64 { return int64(mi.Cache.Capacity) })
+	fmt.Fprintf(w, "# HELP t2c_cache_hit_rate Lifetime inference-cache hit rate.\n# TYPE t2c_cache_hit_rate gauge\n")
+	for _, mi := range infos {
+		fmt.Fprintf(w, "t2c_cache_hit_rate{model=%q} %g\n", mi.Name, mi.Cache.HitRate)
+	}
+	emit("t2c_sched_shed_high_total", "High-class samples shed on full replica queues.", "counter",
+		func(mi ModelInfo) int64 { return mi.Stats.ShedHigh })
+	emit("t2c_sched_shed_normal_total", "Normal-class samples shed on full replica queues.", "counter",
+		func(mi ModelInfo) int64 { return mi.Stats.ShedNormal })
+	emit("t2c_sched_shed_low_total", "Low-class samples shed on full replica queues.", "counter",
+		func(mi ModelInfo) int64 { return mi.Stats.ShedLow })
+	emit("t2c_modeled_batch_ns", "Modeled full-batch execution cost in nanoseconds (EstimateCost at MaxBatch).", "gauge",
+		func(mi ModelInfo) int64 { return mi.Cost.ModeledBatchNs })
+	fmt.Fprintf(w, "# HELP t2c_batch_cost_abs_err Mean relative modeled-vs-measured batch execution error.\n# TYPE t2c_batch_cost_abs_err gauge\n")
+	for _, mi := range infos {
+		fmt.Fprintf(w, "t2c_batch_cost_abs_err{model=%q} %g\n", mi.Name, mi.Cost.MeanAbsErr())
+	}
 	fmt.Fprintf(w, "# HELP t2c_batch_wait_seconds Time each dispatched batch sat open in the batcher.\n# TYPE t2c_batch_wait_seconds histogram\n")
 	for _, mi := range infos {
 		writeHistSnapshot(w, "t2c_batch_wait_seconds", fmt.Sprintf("model=%q", mi.Name), mi.BatchWait)
+	}
+	fmt.Fprintf(w, "# HELP t2c_batch_exec_seconds Measured batch execution time.\n# TYPE t2c_batch_exec_seconds histogram\n")
+	for _, mi := range infos {
+		writeHistSnapshot(w, "t2c_batch_exec_seconds", fmt.Sprintf("model=%q", mi.Name), mi.BatchExec)
+	}
+	fmt.Fprintf(w, "# HELP t2c_batch_slack_seconds Earliest-deadline slack remaining at batch dispatch.\n# TYPE t2c_batch_slack_seconds histogram\n")
+	for _, mi := range infos {
+		writeHistSnapshot(w, "t2c_batch_slack_seconds", fmt.Sprintf("model=%q", mi.Name), mi.BatchSlack)
 	}
 	// Per-op execution-time histograms exist only when the registry was
 	// built with tracing: they aggregate the engine's instruction spans.

@@ -62,6 +62,21 @@ type Options struct {
 	// Chrome trace-event JSON. nil keeps the engine hot path at its
 	// untraced cost (a nil-ring branch per execute).
 	Trace *trace.Config
+	// CacheCapacity bounds each model's content-addressed inference
+	// cache in entries (default 1024; negative disables caching). Hits
+	// are bit-identical to recompute by construction — the key covers
+	// the program's content fingerprint and the full quantized input
+	// codes — and bypass admission and batching entirely.
+	CacheCapacity int
+	// CacheHitFloor is the observed hit rate below which a model's
+	// cache stops admitting inserts (default 0.02; negative disables
+	// the floor). Measured over CacheWindow lookups with exponential
+	// backoff, so models whose traffic never repeats shed the caching
+	// overhead instead of churning entries.
+	CacheHitFloor float64
+	// CacheWindow is the admission-measurement window in lookups
+	// (default 512).
+	CacheWindow int
 }
 
 func (o Options) withDefaults() Options {
@@ -74,6 +89,17 @@ func (o Options) withDefaults() Options {
 	}
 	if o.OptLevel == engine.OptNone && !o.RawOptLevel {
 		o.OptLevel = engine.OptFuse
+	}
+	if o.CacheCapacity == 0 {
+		o.CacheCapacity = 1024
+	}
+	if o.CacheHitFloor == 0 {
+		o.CacheHitFloor = 0.02
+	} else if o.CacheHitFloor < 0 {
+		o.CacheHitFloor = 0
+	}
+	if o.CacheWindow <= 0 {
+		o.CacheWindow = 512
 	}
 	return o
 }
@@ -89,6 +115,7 @@ type Model struct {
 	Sample  []int
 
 	prog *engine.Program
+	fp   uint64 // program content fingerprint: the cache-key version
 	pool []*engine.Server
 	rr   atomic.Uint64
 
@@ -123,15 +150,17 @@ func (m *Model) release() {
 	}
 }
 
-// infer round-robins across replicas; a replica reporting a full queue
-// is skipped, and only when every replica is saturated does the
-// queue-full error surface to the caller. tid is the request trace id
-// stitched into the replica's queue-wait span (0 = untraced).
-func (m *Model) infer(x *tensor.Tensor, deadline time.Time, tid uint64) (*tensor.Tensor, error) {
+// inferCodes round-robins a quantized sample across replicas; a replica
+// reporting a full queue is skipped, and only when every replica is
+// saturated does the queue-full error surface to the caller (under EDF
+// that rejection may name an evicted lower-urgency victim rather than
+// this request). tid is the request trace id stitched into the
+// replica's queue-wait span (0 = untraced).
+func (m *Model) inferCodes(codes *tensor.IntTensor, deadline time.Time, class engine.PriorityClass, tid uint64) (*tensor.IntTensor, error) {
 	start := m.rr.Add(1)
 	n := uint64(len(m.pool))
 	for i := uint64(0); i < n; i++ {
-		y, err := m.pool[(start+i)%n].TryInferTraced(x, deadline, tid)
+		y, err := m.pool[(start+i)%n].TryInferCodes(codes, deadline, class, tid)
 		if !errors.Is(err, engine.ErrQueueFull) {
 			return y, err
 		}
@@ -155,6 +184,34 @@ func (m *Model) batchWait() trace.HistSnapshot {
 		h.Merge(s.BatchWait())
 	}
 	return h
+}
+
+// batchExec merges the replicas' measured batch-execution histograms.
+func (m *Model) batchExec() trace.HistSnapshot {
+	var h trace.HistSnapshot
+	for _, s := range m.pool {
+		h.Merge(s.BatchExec())
+	}
+	return h
+}
+
+// batchSlack merges the replicas' dispatch-time deadline-slack
+// histograms.
+func (m *Model) batchSlack() trace.HistSnapshot {
+	var h trace.HistSnapshot
+	for _, s := range m.pool {
+		h.Merge(s.BatchSlack())
+	}
+	return h
+}
+
+// costStats aggregates the replicas' modeled-vs-measured cost record.
+func (m *Model) costStats() engine.CostStats {
+	var c engine.CostStats
+	for _, s := range m.pool {
+		c.Add(s.CostStats())
+	}
+	return c
 }
 
 // stats aggregates the live replica pools.
@@ -216,6 +273,13 @@ type entry struct {
 	tokens      chan struct{} // admission: max in-flight
 	admRejected atomic.Int64
 
+	// cache is the entry's content-addressed inference cache (nil when
+	// disabled). It survives hot reloads — keys embed the program
+	// fingerprint, so a content-changing reload makes old entries
+	// unreachable (Load flushes them eagerly), while a content-identical
+	// reload keeps the cache warm.
+	cache *modelCache
+
 	retiredMu sync.Mutex
 	retired   engine.ServerStats
 }
@@ -227,6 +291,26 @@ func (e *entry) admit() bool {
 	default:
 		return false
 	}
+}
+
+// admitClass is admit with priority-aware shedding: low-class requests
+// are refused while the last quarter of the in-flight budget (min 1
+// token) is all that remains, so under overload PriLow sheds first and
+// better classes keep headroom. With a budget of 1 the reserve is the
+// whole budget — PriLow is never admitted there, which a config that
+// small has opted into.
+func (e *entry) admitClass(class engine.PriorityClass) bool {
+	if class > engine.PriNormal {
+		budget := cap(e.tokens)
+		reserve := budget / 4
+		if reserve < 1 {
+			reserve = 1
+		}
+		if len(e.tokens) >= budget-reserve {
+			return false
+		}
+	}
+	return e.admit()
 }
 
 func (e *entry) done() { <-e.tokens }
@@ -286,6 +370,7 @@ func (r *Registry) Load(name string, ck *export.Checkpoint, sample []int) (Model
 	e, ok := r.entries[name]
 	if !ok {
 		e = &entry{name: name, tokens: make(chan struct{}, r.opts.MaxInFlight)}
+		e.cache = newModelCache(r.opts.CacheCapacity, r.opts.CacheHitFloor, int64(r.opts.CacheWindow))
 		if r.opts.Trace != nil {
 			e.tracer = trace.New(*r.opts.Trace)
 			e.tracer.SetEnabled(true)
@@ -330,6 +415,7 @@ func (r *Registry) Load(name string, ck *export.Checkpoint, sample []int) (Model
 		Version: int(e.version.Add(1)),
 		Sample:  append([]int(nil), sample...),
 		prog:    prog,
+		fp:      prog.Fingerprint(),
 		pool:    pool,
 		drained: make(chan struct{}),
 	}
@@ -339,6 +425,12 @@ func (r *Registry) Load(name string, ck *export.Checkpoint, sample []int) (Model
 	}
 	m.refs.Store(1)
 	if old := e.cur.Swap(m); old != nil {
+		if old.fp != m.fp {
+			// Content changed: the old version's cache entries are already
+			// unreachable (keys embed the fingerprint); flush to free the
+			// memory now rather than waiting for LRU churn.
+			e.cache.flush()
+		}
 		old.release() // drop the registry reference; drains asynchronously
 	}
 	return r.info(e, m), nil
@@ -375,34 +467,97 @@ func (r *Registry) InferDeadline(name string, x *tensor.Tensor, deadline time.Ti
 // rejection records a zero-duration admission span against the same id.
 // tid 0 means "not a traced request".
 func (r *Registry) InferTraced(name string, x *tensor.Tensor, deadline time.Time, tid uint64) (*tensor.Tensor, int, error) {
+	res, err := r.Predict(name, x, deadline, engine.PriNormal, tid)
+	return res.Y, res.Version, err
+}
+
+// PredictResult is one served sample: logits, the checkpoint version
+// that computed them, and whether they came from the inference cache
+// (bit-identical to recompute either way).
+type PredictResult struct {
+	Y       *tensor.Tensor
+	Version int
+	Cached  bool
+}
+
+// Predict serves one sample through name's current version: quantize,
+// consult the content-addressed cache (hits return immediately,
+// bypassing admission and the batcher), then admit under the request's
+// priority class and run the codes through a replica. The request
+// travels as quantized codes end to end, so a cache hit and a
+// recompute are bit-identical by construction.
+func (r *Registry) Predict(name string, x *tensor.Tensor, deadline time.Time, class engine.PriorityClass, tid uint64) (PredictResult, error) {
 	e := r.lookup(name)
 	if e == nil {
-		return nil, 0, ErrNotFound
+		return PredictResult{}, ErrNotFound
 	}
-	if !e.admit() {
-		e.admRejected.Add(1)
-		if ring := e.httpRing; tid != 0 && ring.Active() {
-			ring.Record(trace.Span{Start: ring.Now(), Name: e.nmAdmission,
-				Kind: trace.KindAdmission, TID: httpLane, ID: tid, A0: 1})
-		}
-		return nil, 0, ErrOverloaded
-	}
-	defer e.done()
 	for {
 		m := e.cur.Load()
 		if m == nil {
-			return nil, 0, ErrNotFound
+			return PredictResult{}, ErrNotFound
 		}
 		if !m.acquire() {
 			// Retired between the pointer load and the ref grab: the
 			// swap that retired it already published a successor.
 			continue
 		}
-		y, err := m.infer(x, deadline, tid)
-		v := m.Version
+		res, err := r.predictOn(e, m, x, deadline, class, tid)
 		m.release()
-		return y, v, err
+		return res, err
 	}
+}
+
+func (r *Registry) predictOn(e *entry, m *Model, x *tensor.Tensor, deadline time.Time, class engine.PriorityClass, tid uint64) (PredictResult, error) {
+	if err := checkSample(x.Shape, m.Sample); err != nil {
+		return PredictResult{}, err
+	}
+	// Quantize up front: the codes are both the cache key material and —
+	// on a miss — exactly what executes, which is what makes a later hit
+	// provably identical to the recompute it replaced.
+	codes := tensor.NewInt(x.Shape...)
+	m.prog.InQuant.QuantizeTo(codes, x)
+	key := cacheKey(m.fp, codes.Data)
+	if out, shape, ok := e.cache.get(key, codes.Data); ok {
+		return PredictResult{Y: m.prog.DequantizeOutput(out, shape), Version: m.Version, Cached: true}, nil
+	}
+	if !e.admitClass(class) {
+		e.admRejected.Add(1)
+		if ring := e.httpRing; tid != 0 && ring.Active() {
+			ring.Record(trace.Span{Start: ring.Now(), Name: e.nmAdmission,
+				Kind: trace.KindAdmission, TID: httpLane, ID: tid, A0: 1})
+		}
+		return PredictResult{}, ErrOverloaded
+	}
+	defer e.done()
+	out, err := m.inferCodes(codes, deadline, class, tid)
+	if err != nil {
+		return PredictResult{}, err
+	}
+	// A put racing a hot reload is harmless: the key embeds the
+	// fingerprint this result was computed under, so a new version never
+	// reads it and LRU churn reclaims the slot.
+	e.cache.put(key, codes.Data, out.Data, out.Shape)
+	return PredictResult{Y: m.prog.DequantizeOutput(out.Data, out.Shape), Version: m.Version}, nil
+}
+
+// checkSample validates a request tensor shape against the model's
+// single-sample shape, accepting the [1, sample...] batch-of-one form —
+// the serve-side mirror of the engine server's own check, needed here
+// because quantization and cache lookup run before any replica sees the
+// request.
+func checkSample(shape, sample []int) error {
+	sh := shape
+	if len(sh) == len(sample)+1 && sh[0] == 1 {
+		sh = sh[1:]
+	}
+	ok := len(sh) == len(sample)
+	for i := 0; ok && i < len(sh); i++ {
+		ok = sh[i] == sample[i]
+	}
+	if !ok {
+		return fmt.Errorf("%w: sample shape %v, model expects %v", engine.ErrShapeMismatch, shape, sample)
+	}
+	return nil
 }
 
 // Tracer returns name's span tracer (nil when the model is unknown or
@@ -458,20 +613,40 @@ type ModelInfo struct {
 	// BatchWait is the always-on batch-formation-wait histogram merged
 	// across the live replica pool.
 	BatchWait trace.HistSnapshot `json:"batch_wait"`
+	// BatchExec is the measured batch-execution-time histogram — the
+	// measured side of the scheduler's cost model.
+	BatchExec trace.HistSnapshot `json:"batch_exec"`
+	// BatchSlack is the dispatch-time earliest-deadline slack histogram
+	// (deadlined batches only).
+	BatchSlack trace.HistSnapshot `json:"batch_slack"`
+	// Cost is the modeled-vs-measured batch execution record of the
+	// live replica pool.
+	Cost engine.CostStats `json:"cost"`
+	// Cache is the entry's inference-cache snapshot (zero capacity when
+	// caching is disabled).
+	Cache CacheStats `json:"cache"`
+	// Fingerprint is the serving program's content fingerprint (the
+	// cache-key version component), hex-encoded.
+	Fingerprint string `json:"fingerprint"`
 }
 
 func (r *Registry) info(e *entry, m *Model) ModelInfo {
 	st := e.engineStats(m)
 	return ModelInfo{
-		Name:       e.name,
-		Version:    m.Version,
-		Sample:     append([]int(nil), m.Sample...),
-		Replicas:   len(m.pool),
-		Stats:      st,
-		Shed:       e.admRejected.Load(),
-		Mem:        m.mem(),
-		QueueDepth: m.queueDepth(),
-		BatchWait:  m.batchWait(),
+		Name:        e.name,
+		Version:     m.Version,
+		Sample:      append([]int(nil), m.Sample...),
+		Replicas:    len(m.pool),
+		Stats:       st,
+		Shed:        e.admRejected.Load(),
+		Mem:         m.mem(),
+		QueueDepth:  m.queueDepth(),
+		BatchWait:   m.batchWait(),
+		BatchExec:   m.batchExec(),
+		BatchSlack:  m.batchSlack(),
+		Cost:        m.costStats(),
+		Cache:       e.cache.stats(),
+		Fingerprint: fmt.Sprintf("%016x", m.fp),
 	}
 }
 

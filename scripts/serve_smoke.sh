@@ -82,10 +82,40 @@ if grep -q '"ok": 0,' "$OUT/load.json"; then
   echo "load burst served nothing:"; cat "$OUT/load.json"; exit 1
 fi
 
+echo "== repeated predict is served from the inference cache =="
+# The burst replayed input_000.json, and the earlier hot reload kept the
+# program fingerprint, so this replay must answer from the warm cache.
+CPRED=$(curl -fsS -X POST --data-binary @"$OUT/inputs/input_000.json" \
+  "$URL/v1/models/default:predict")
+echo "$CPRED" | grep -q '"cached":true' || { echo "repeat predict missed the cache: $CPRED"; exit 1; }
+
+echo "== zipf trace through t2c-load reports the cache hit rate =="
+# The quick cifar10 compile downsamples to 3x16x16 samples; the distinct
+# pool payloads also force engine executes on the post-reload version.
+"$OUT/t2c-load" -url "$URL" -model default -shape 3,16,16 \
+  -zipf 1.1 -zipf-n 8 -mode closed -clients 4 -duration 2s \
+  -json "$OUT/zipf.json" | tee "$OUT/zipf.log"
+grep -q '"errors": 0,' "$OUT/zipf.json" || { echo "zipf burst had errors:"; cat "$OUT/zipf.json"; exit 1; }
+if grep -q '"ok": 0,' "$OUT/zipf.json"; then
+  echo "zipf burst served nothing:"; cat "$OUT/zipf.json"; exit 1
+fi
+grep -q 'cache hit rate' "$OUT/zipf.log" || { echo "t2c-load printed no cache stats"; exit 1; }
+
 echo "== metrics counted the traffic =="
 METRICS=$(curl -fsS "$URL/metrics")
 echo "$METRICS" | grep -q 't2c_requests_total{model="default",result="ok"}'
 echo "$METRICS" | grep -q 't2c_engine_mean_batch{model="default"}'
+
+echo "== metrics expose the cache and scheduler series =="
+HITS=$(echo "$METRICS" | sed -n 's/^t2c_cache_hits_total{model="default"} //p')
+[ -n "$HITS" ] && [ "$HITS" -gt 0 ] || { echo "cache hits not positive: '$HITS'"; exit 1; }
+echo "$METRICS" | grep -q 't2c_cache_hit_rate{model="default"}'
+echo "$METRICS" | grep -q 't2c_cache_entries{model="default"}'
+echo "$METRICS" | grep -q 't2c_sched_shed_low_total{model="default"}'
+echo "$METRICS" | grep -q 't2c_modeled_batch_ns{model="default"}'
+echo "$METRICS" | grep -q 't2c_batch_cost_abs_err{model="default"}'
+echo "$METRICS" | grep -q 't2c_batch_exec_seconds_count{model="default"}'
+echo "$METRICS" | grep -q 't2c_batch_slack_seconds_count{model="default"}'
 
 echo "== metrics expose the observability gauges =="
 echo "$METRICS" | grep -q 't2c_request_latency_seconds_count{model="default",result="ok"}'
